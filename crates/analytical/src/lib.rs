@@ -1,0 +1,28 @@
+//! # quarc-analytical
+//!
+//! M/G/1-based analytical latency models for the Quarc, Spidergon and mesh
+//! networks, mirroring the role of the paper's ref. [8]: an independent
+//! check that the flit-level simulator behaves like wormhole queueing theory
+//! says it must (paper §3.2). The models also expose the structural facts the
+//! paper argues from — per-link load balance ([`linkload`]) and the
+//! saturation-rate gap between the two architectures ([`latency`]).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod beta;
+pub mod latency;
+pub mod linkload;
+pub mod mg1;
+
+pub use beta::{
+    quarc_effective_port_rate, quarc_port_saturation_with_beta, spidergon_effective_port_rate,
+    spidergon_saturation_with_beta,
+};
+pub use latency::{
+    mesh_unicast_latency, quarc_broadcast_zero_load, quarc_saturation_rate,
+    quarc_unicast_latency, spidergon_broadcast_zero_load, spidergon_saturation_rate,
+    spidergon_unicast_latency,
+};
+pub use linkload::{mesh_loads, quarc_loads, spidergon_loads, LinkLoads};
+pub use mg1::mg1_wait;

@@ -1,0 +1,25 @@
+//! # quarc-area
+//!
+//! A structural Virtex-II Pro area model for the Quarc and Spidergon
+//! switches and transceivers, standing in for the paper's ISE synthesis runs
+//! (§3.1). The model counts FF/LUT primitives per module, packs them into
+//! slices and is calibrated once against the paper's Table 1 (32-bit Quarc
+//! switch, 1453 slices) and the 1700-slice 32-bit Spidergon total; the
+//! 16/32/64-bit series of Fig. 12 then follows from structure.
+//!
+//! See `DESIGN.md` for why this substitution preserves the paper's claims:
+//! the comparison is *structural* (sparser feeder tables, no routing logic,
+//! no header-rewrite unit), and those structures are taken directly from
+//! `quarc-core`'s topology tables.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod model;
+pub mod switch;
+
+pub use model::SwitchParams;
+pub use switch::{
+    fig12_series, quarc_switch, quarc_transceiver, spidergon_switch, spidergon_transceiver,
+    AreaBreakdown, ModuleArea,
+};

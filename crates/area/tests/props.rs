@@ -1,0 +1,61 @@
+//! Property tests for the area model: monotonicity and sanity over the full
+//! legal parameter space, not just the paper's three widths.
+
+use proptest::prelude::*;
+use quarc_area::{quarc_switch, quarc_transceiver, spidergon_switch, SwitchParams};
+
+fn params() -> impl Strategy<Value = SwitchParams> {
+    (8usize..=128, 2usize..=2, 2usize..=16).prop_map(|(width, vcs, buffer_depth)| SwitchParams {
+        width,
+        vcs,
+        buffer_depth,
+    })
+}
+
+proptest! {
+    /// Area grows monotonically with width for every module composition.
+    #[test]
+    fn monotone_in_width(p in params()) {
+        let wider = SwitchParams { width: p.width + 8, ..p };
+        prop_assert!(quarc_switch(&wider).total() > quarc_switch(&p).total());
+        prop_assert!(spidergon_switch(&wider).total() > spidergon_switch(&p).total());
+        prop_assert!(quarc_transceiver(&wider).total() > quarc_transceiver(&p).total());
+    }
+
+    /// Area grows monotonically with buffer depth.
+    #[test]
+    fn monotone_in_depth(p in params()) {
+        let deeper = SwitchParams { buffer_depth: p.buffer_depth + 2, ..p };
+        prop_assert!(quarc_switch(&deeper).total() > quarc_switch(&p).total());
+    }
+
+    /// The Quarc switch is smaller than the Spidergon switch across the
+    /// whole parameter space, not just the paper's widths (§3.1's claim is
+    /// structural, so it must hold structurally).
+    #[test]
+    fn quarc_always_smaller(p in params()) {
+        prop_assert!(quarc_switch(&p).total() < spidergon_switch(&p).total());
+    }
+
+    /// Module estimates are positive and finite, and the total is their sum.
+    #[test]
+    fn breakdown_is_consistent(p in params()) {
+        for b in [quarc_switch(&p), spidergon_switch(&p)] {
+            let sum: f64 = b.modules.iter().map(|m| m.slices).sum();
+            prop_assert!((b.total() - sum).abs() < 1e-9);
+            for m in &b.modules {
+                prop_assert!(m.slices.is_finite() && m.slices > 0.0, "{}", m.name);
+            }
+        }
+    }
+
+    /// Doubling the width never doubles the area (width-independent control
+    /// plane) but always adds at least the pure datapath share.
+    #[test]
+    fn width_scaling_bounds(p in params()) {
+        let double = SwitchParams { width: p.width * 2, ..p };
+        let ratio = quarc_switch(&double).total() / quarc_switch(&p).total();
+        prop_assert!(ratio < 2.0, "ratio {ratio}");
+        prop_assert!(ratio > 1.2, "ratio {ratio}");
+    }
+}

@@ -1,0 +1,52 @@
+//! Ablation benchmarks: how the simulator's wall-time cost responds to the
+//! structural knobs DESIGN.md §6 calls out (buffer depth, link latency,
+//! message length). The *simulated-metric* ablations are printed by
+//! `cargo run -p quarc-bench --bin ablation`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use quarc_core::config::NocConfig;
+use quarc_sim::driver::NocSim;
+use quarc_sim::QuarcNetwork;
+use quarc_workloads::{Synthetic, SyntheticConfig};
+
+const CYCLES: u64 = 1_500;
+
+fn run_cfg(cfg: NocConfig, msg_len: usize) -> u64 {
+    let n = cfg.n;
+    let mut net = QuarcNetwork::new(cfg);
+    let mut wl = Synthetic::new(n, SyntheticConfig::paper(0.03, msg_len, 0.05, 5));
+    for _ in 0..CYCLES {
+        net.step(&mut wl);
+    }
+    net.metrics().flits_delivered()
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablations");
+    g.sample_size(10);
+
+    for depth in [2usize, 4, 16] {
+        g.bench_function(format!("buffer_depth_{depth}"), |b| {
+            b.iter(|| run_cfg(NocConfig::quarc(16).with_buffer_depth(depth), 8))
+        });
+    }
+
+    for lat in [1u64, 4] {
+        g.bench_function(format!("link_latency_{lat}"), |b| {
+            b.iter(|| {
+                let mut cfg = NocConfig::quarc(16);
+                cfg.link_latency = lat;
+                run_cfg(cfg, 8)
+            })
+        });
+    }
+
+    for m in [2usize, 8, 32] {
+        g.bench_function(format!("msg_len_{m}"), |b| b.iter(|| run_cfg(NocConfig::quarc(16), m)));
+    }
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

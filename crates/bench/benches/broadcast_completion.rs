@@ -1,0 +1,59 @@
+//! Benchmarks the simulated broadcast operation end to end: wall time to
+//! carry one broadcast to quiescence in each architecture and in the
+//! signal-level model (the simulated *latency* gap itself is asserted by
+//! tests and printed by the figure binaries; this measures the simulators).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use quarc_core::config::NocConfig;
+use quarc_core::ids::NodeId;
+use quarc_sim::driver::NocSim;
+use quarc_sim::{QuarcNetwork, SpidergonNetwork};
+use quarc_workloads::{MessageRequest, TraceRecord, TraceWorkload};
+
+fn one_broadcast() -> Vec<TraceRecord> {
+    vec![TraceRecord { cycle: 0, request: MessageRequest::broadcast(NodeId(0), 16) }]
+}
+
+fn bench_broadcast(c: &mut Criterion) {
+    let mut g = c.benchmark_group("broadcast_completion");
+    g.sample_size(20);
+
+    for n in [16usize, 64] {
+        g.bench_function(format!("quarc_n{n}"), |b| {
+            b.iter(|| {
+                let mut net = QuarcNetwork::new(NocConfig::quarc(n));
+                let mut wl = TraceWorkload::new(n, one_broadcast());
+                while !net.quiesced() || net.now() == 0 {
+                    net.step(&mut wl);
+                }
+                net.now()
+            })
+        });
+        g.bench_function(format!("spidergon_n{n}"), |b| {
+            b.iter(|| {
+                let mut net = SpidergonNetwork::new(NocConfig::spidergon(n));
+                let mut wl = TraceWorkload::new(n, one_broadcast());
+                while !net.quiesced() || net.now() == 0 {
+                    net.step(&mut wl);
+                }
+                net.now()
+            })
+        });
+    }
+
+    g.bench_function("rtl_quarc_n16", |b| {
+        b.iter(|| {
+            let mut ring = quarc_rtl::RingRtl::new(16);
+            for (quad, frame) in quarc_rtl::xcvr::broadcast_frames(ring.ring(), NodeId(0), 16) {
+                ring.inject(NodeId(0), quad, &frame);
+            }
+            ring.run_until_idle(10_000);
+            ring.now()
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_broadcast);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! End-to-end simulator throughput: simulated cycles per wall second for the
+//! configurations the figures sweep. This is what bounds how long the figure
+//! binaries take.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use quarc_core::config::NocConfig;
+use quarc_sim::driver::NocSim;
+use quarc_sim::{QuarcNetwork, SpidergonNetwork};
+use quarc_workloads::{Synthetic, SyntheticConfig};
+
+const CYCLES: u64 = 2_000;
+
+fn bench_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("network_throughput");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(CYCLES));
+
+    for n in [16usize, 64] {
+        g.bench_function(format!("quarc_n{n}"), |b| {
+            b.iter(|| {
+                let mut net = QuarcNetwork::new(NocConfig::quarc(n));
+                let mut wl = Synthetic::new(n, SyntheticConfig::paper(0.02, 16, 0.05, 1));
+                for _ in 0..CYCLES {
+                    net.step(&mut wl);
+                }
+                net.metrics().flits_delivered()
+            })
+        });
+        g.bench_function(format!("spidergon_n{n}"), |b| {
+            b.iter(|| {
+                let mut net = SpidergonNetwork::new(NocConfig::spidergon(n));
+                let mut wl = Synthetic::new(n, SyntheticConfig::paper(0.02, 16, 0.05, 1));
+                for _ in 0..CYCLES {
+                    net.step(&mut wl);
+                }
+                net.metrics().flits_delivered()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_throughput);
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! Micro-benchmarks of the router hot path: the cost of one network `step`
+//! for both architectures, idle and under load.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use quarc_core::config::NocConfig;
+use quarc_sim::driver::NocSim;
+use quarc_sim::{QuarcNetwork, SpidergonNetwork};
+use quarc_workloads::{Synthetic, SyntheticConfig};
+
+fn loaded_quarc(n: usize, rate: f64) -> (QuarcNetwork, Synthetic) {
+    let mut net = QuarcNetwork::new(NocConfig::quarc(n));
+    let mut wl = Synthetic::new(n, SyntheticConfig::paper(rate, 8, 0.05, 7));
+    for _ in 0..2_000 {
+        net.step(&mut wl);
+    }
+    (net, wl)
+}
+
+fn loaded_spidergon(n: usize, rate: f64) -> (SpidergonNetwork, Synthetic) {
+    let mut net = SpidergonNetwork::new(NocConfig::spidergon(n));
+    let mut wl = Synthetic::new(n, SyntheticConfig::paper(rate, 8, 0.05, 7));
+    for _ in 0..2_000 {
+        net.step(&mut wl);
+    }
+    (net, wl)
+}
+
+fn bench_step(c: &mut Criterion) {
+    let mut g = c.benchmark_group("router_step");
+    g.sample_size(20);
+
+    g.bench_function("quarc_n16_idle", |b| {
+        b.iter_batched(
+            || loaded_quarc(16, 0.0),
+            |(mut net, mut wl)| {
+                for _ in 0..100 {
+                    net.step(&mut wl);
+                }
+                net.now()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    g.bench_function("quarc_n16_loaded", |b| {
+        b.iter_batched(
+            || loaded_quarc(16, 0.05),
+            |(mut net, mut wl)| {
+                for _ in 0..100 {
+                    net.step(&mut wl);
+                }
+                net.now()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    g.bench_function("spidergon_n16_loaded", |b| {
+        b.iter_batched(
+            || loaded_spidergon(16, 0.05),
+            |(mut net, mut wl)| {
+                for _ in 0..100 {
+                    net.step(&mut wl);
+                }
+                net.now()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    g.bench_function("quarc_n64_loaded", |b| {
+        b.iter_batched(
+            || loaded_quarc(64, 0.01),
+            |(mut net, mut wl)| {
+                for _ in 0..100 {
+                    net.step(&mut wl);
+                }
+                net.now()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_step);
+criterion_main!(benches);

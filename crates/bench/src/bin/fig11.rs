@@ -1,0 +1,32 @@
+//! Regenerates **Fig. 11**: average latency vs message rate for N = 64,
+//! M = 16, broadcast rate β ∈ {0%, 5%, 10%}, Quarc vs Spidergon.
+//!
+//! ```text
+//! cargo run -p quarc-bench --bin fig11 --release
+//! ```
+
+use quarc_bench::figures::{print_figure, rates, run_figure, FigureCurve};
+use quarc_core::topology::TopologyKind;
+use quarc_sim::RunSpec;
+
+fn main() {
+    let n = 64;
+    let m = 16;
+    let hi = quarc_analytical::quarc_saturation_rate(n, m) * 1.1;
+    let r = rates(hi / 40.0, hi, 10);
+    let mut curves = Vec::new();
+    for beta in [0.0, 0.05, 0.10] {
+        for kind in [TopologyKind::Quarc, TopologyKind::Spidergon] {
+            curves.push(FigureCurve::new(
+                kind,
+                n,
+                m,
+                beta,
+                r.clone(),
+                50 + (beta * 100.0) as u64,
+            ));
+        }
+    }
+    let results = run_figure(curves, &RunSpec::default());
+    print_figure("Fig. 11: N=64, M=16, beta in {0,5,10}%", &results);
+}

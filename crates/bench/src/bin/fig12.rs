@@ -1,0 +1,21 @@
+//! Regenerates **Fig. 12**: slice-count comparison of the Quarc and
+//! Spidergon switches at 16/32/64-bit datapath widths.
+//!
+//! ```text
+//! cargo run -p quarc-bench --bin fig12 --release
+//! ```
+
+use quarc_area::fig12_series;
+
+fn main() {
+    println!("# Fig. 12: cost comparison between Quarc and Spidergon switches");
+    println!("width_bits,quarc_slices,spidergon_slices,quarc_over_spidergon");
+    for (w, q, s) in fig12_series() {
+        println!("{w},{q:.0},{s:.0},{:.3}", q / s);
+    }
+    println!("#");
+    println!("# shape check: Quarc < Spidergon at every width; both grow sub-linearly in width");
+    let series = fig12_series();
+    let ok = series.iter().all(|(_, q, s)| q < s);
+    println!("# quarc_smaller_everywhere = {ok}");
+}

@@ -1,0 +1,148 @@
+//! A command-line front end for one-off simulations: pick a topology, size,
+//! workload and load, get the run summary as CSV.
+//!
+//! ```text
+//! cargo run -p quarc-bench --bin simulate --release -- \
+//!     --topology quarc --nodes 32 --rate 0.01 --msg-len 16 --beta 0.05 \
+//!     --warmup 2000 --measure 20000 --seed 7
+//! ```
+//!
+//! Flags (all optional): `--topology quarc|spidergon|mesh|torus`,
+//! `--nodes N`, `--rate R`, `--msg-len M`, `--beta B`, `--pattern
+//! uniform|complement|neighbour|bit-reversal`, `--buffer-depth D`,
+//! `--warmup C`, `--measure C`, `--seed S`.
+
+use quarc_core::config::NocConfig;
+use quarc_sim::driver::NocSim;
+use quarc_sim::mesh_net::MeshNetwork;
+use quarc_sim::torus_net::TorusNetwork;
+use quarc_sim::{run, QuarcNetwork, RunResult, RunSpec, SpidergonNetwork};
+use quarc_workloads::{Pattern, Synthetic, SyntheticConfig};
+
+#[derive(Debug)]
+struct Args {
+    topology: String,
+    nodes: usize,
+    rate: f64,
+    msg_len: usize,
+    beta: f64,
+    pattern: Pattern,
+    buffer_depth: usize,
+    warmup: u64,
+    measure: u64,
+    seed: u64,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            topology: "quarc".into(),
+            nodes: 16,
+            rate: 0.01,
+            msg_len: 8,
+            beta: 0.0,
+            pattern: Pattern::Uniform,
+            buffer_depth: 4,
+            warmup: 2_000,
+            measure: 20_000,
+            seed: 1,
+        }
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: simulate [--topology quarc|spidergon|mesh|torus] [--nodes N] \
+         [--rate R] [--msg-len M] [--beta B] [--pattern P] [--buffer-depth D] \
+         [--warmup C] [--measure C] [--seed S]"
+    );
+    std::process::exit(2)
+}
+
+fn parse_args() -> Args {
+    let mut args = Args::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let Some(value) = it.next() else { usage() };
+        let ok = match flag.as_str() {
+            "--topology" => {
+                args.topology = value;
+                true
+            }
+            "--nodes" => value.parse().map(|v| args.nodes = v).is_ok(),
+            "--rate" => value.parse().map(|v| args.rate = v).is_ok(),
+            "--msg-len" => value.parse().map(|v| args.msg_len = v).is_ok(),
+            "--beta" => value.parse().map(|v| args.beta = v).is_ok(),
+            "--buffer-depth" => value.parse().map(|v| args.buffer_depth = v).is_ok(),
+            "--warmup" => value.parse().map(|v| args.warmup = v).is_ok(),
+            "--measure" => value.parse().map(|v| args.measure = v).is_ok(),
+            "--seed" => value.parse().map(|v| args.seed = v).is_ok(),
+            "--pattern" => {
+                args.pattern = match value.as_str() {
+                    "uniform" => Pattern::Uniform,
+                    "complement" => Pattern::Complement,
+                    "neighbour" | "neighbor" => Pattern::Neighbour,
+                    "bit-reversal" => Pattern::BitReversal,
+                    _ => usage(),
+                };
+                true
+            }
+            _ => usage(),
+        };
+        if !ok {
+            usage()
+        }
+    }
+    args
+}
+
+fn main() {
+    let a = parse_args();
+    let spec = RunSpec {
+        warmup: a.warmup,
+        measure: a.measure,
+        drain: 2 * a.measure,
+        ..Default::default()
+    };
+    let wl_cfg = SyntheticConfig {
+        rate: a.rate,
+        msg_len: a.msg_len,
+        broadcast_frac: a.beta,
+        pattern: a.pattern,
+        seed: a.seed,
+    };
+
+    let result: RunResult = match a.topology.as_str() {
+        "quarc" => {
+            let cfg = NocConfig::quarc(a.nodes).with_buffer_depth(a.buffer_depth);
+            let mut net = QuarcNetwork::new(cfg);
+            let mut wl = Synthetic::new(a.nodes, wl_cfg);
+            run(&mut net, &mut wl, &spec)
+        }
+        "spidergon" => {
+            let cfg = NocConfig::spidergon(a.nodes).with_buffer_depth(a.buffer_depth);
+            let mut net = SpidergonNetwork::new(cfg);
+            let mut wl = Synthetic::new(a.nodes, wl_cfg);
+            run(&mut net, &mut wl, &spec)
+        }
+        "mesh" => {
+            let mut cfg = NocConfig::mesh(a.nodes).with_buffer_depth(a.buffer_depth);
+            cfg.vcs = 1;
+            assert!(a.beta == 0.0, "the mesh model carries unicast traffic only");
+            let mut net = MeshNetwork::new(cfg);
+            let mut wl = Synthetic::new(net.num_nodes(), wl_cfg);
+            run(&mut net, &mut wl, &spec)
+        }
+        "torus" => {
+            let cfg = NocConfig::mesh(a.nodes).with_buffer_depth(a.buffer_depth);
+            assert!(a.beta == 0.0, "the torus model carries unicast traffic only");
+            let mut net = TorusNetwork::new(cfg);
+            let mut wl = Synthetic::new(net.num_nodes(), wl_cfg);
+            run(&mut net, &mut wl, &spec)
+        }
+        _ => usage(),
+    };
+
+    println!("{}", RunResult::csv_header());
+    println!("{}", result.csv_row());
+}

@@ -1,0 +1,170 @@
+//! Shared machinery for the per-figure binaries.
+//!
+//! Each of the paper's latency figures is a family of latency-vs-load
+//! curves; a [`FigureCurve`] names one curve (topology × parameters) and
+//! [`run_figure`] measures the whole family in parallel (one OS thread per
+//! curve — the simulators are single-threaded and independent).
+
+use quarc_core::config::NocConfig;
+use quarc_core::topology::TopologyKind;
+use quarc_sim::{latency_curve, CurvePoint, CurveSpec, RunSpec};
+
+/// One curve of a figure.
+#[derive(Debug, Clone)]
+pub struct FigureCurve {
+    /// Label used in the CSV (`quarc`, `spidergon`, …).
+    pub label: String,
+    /// Sweep parameters.
+    pub spec: CurveSpec,
+    /// Offered rates to visit (messages/node/cycle).
+    pub rates: Vec<f64>,
+}
+
+impl FigureCurve {
+    /// A curve with the paper's default workload shape.
+    pub fn new(
+        kind: TopologyKind,
+        n: usize,
+        msg_len: usize,
+        beta: f64,
+        rates: Vec<f64>,
+        seed: u64,
+    ) -> Self {
+        let noc = match kind {
+            TopologyKind::Quarc => NocConfig::quarc(n),
+            TopologyKind::Spidergon => NocConfig::spidergon(n),
+            TopologyKind::Mesh => NocConfig::mesh(n),
+        };
+        FigureCurve {
+            label: format!("{kind}-n{n}-m{msg_len}-b{}", (beta * 100.0).round() as u32),
+            spec: CurveSpec { noc, msg_len, beta, seed },
+            rates,
+        }
+    }
+}
+
+/// A measured curve.
+#[derive(Debug)]
+pub struct FigureResult {
+    /// The curve's label.
+    pub label: String,
+    /// Sweep parameters.
+    pub spec: CurveSpec,
+    /// The measured points (sweep stops after sustained saturation).
+    pub points: Vec<CurvePoint>,
+}
+
+impl FigureResult {
+    /// The highest offered rate this curve sustained without saturating.
+    pub fn sustainable_rate(&self) -> Option<f64> {
+        self.points.iter().rev().find(|p| !p.result.saturated).map(|p| p.rate)
+    }
+
+    /// The unicast latency of the lowest-rate (zero-load-ish) point.
+    pub fn base_unicast_latency(&self) -> Option<f64> {
+        self.points.first().map(|p| p.result.unicast_mean)
+    }
+
+    /// The broadcast completion latency of the lowest-rate point.
+    pub fn base_broadcast_latency(&self) -> Option<f64> {
+        self.points.first().map(|p| p.result.bcast_completion_mean)
+    }
+}
+
+/// Measure every curve, each on its own thread.
+pub fn run_figure(curves: Vec<FigureCurve>, run_spec: &RunSpec) -> Vec<FigureResult> {
+    let mut results: Vec<Option<FigureResult>> = Vec::new();
+    results.resize_with(curves.len(), || None);
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (i, curve) in curves.iter().enumerate() {
+            let rs = *run_spec;
+            handles.push((
+                i,
+                scope.spawn(move |_| {
+                    let points = latency_curve(&curve.spec, &curve.rates, &rs);
+                    FigureResult { label: curve.label.clone(), spec: curve.spec, points }
+                }),
+            ));
+        }
+        for (i, h) in handles {
+            results[i] = Some(h.join().expect("curve thread panicked"));
+        }
+    })
+    .expect("scope");
+    results.into_iter().map(|r| r.expect("filled")).collect()
+}
+
+/// Print a figure's CSV (stdout) with `#` summary lines.
+pub fn print_figure(title: &str, results: &[FigureResult]) {
+    println!("# {title}");
+    println!(
+        "curve,rate,unicast_mean,bcast_reception_mean,bcast_completion_mean,throughput,saturated"
+    );
+    for r in results {
+        for p in &r.points {
+            println!(
+                "{},{:.5},{:.2},{:.2},{:.2},{:.5},{}",
+                r.label,
+                p.rate,
+                p.result.unicast_mean,
+                p.result.bcast_reception_mean,
+                p.result.bcast_completion_mean,
+                p.result.throughput,
+                p.result.saturated
+            );
+        }
+    }
+    println!("#");
+    println!("# summary (per curve): zero-load unicast / zero-load broadcast completion / max sustainable rate");
+    for r in results {
+        println!(
+            "#   {:<28} {:>8.1} / {:>8.1} / {}",
+            r.label,
+            r.base_unicast_latency().unwrap_or(f64::NAN),
+            r.base_broadcast_latency().unwrap_or(f64::NAN),
+            r.sustainable_rate().map_or_else(|| "saturated everywhere".into(), |v| format!("{v:.4}")),
+        );
+    }
+}
+
+/// Geometrically spaced rates re-exported for the binaries.
+pub fn rates(lo: f64, hi: f64, steps: usize) -> Vec<f64> {
+    quarc_sim::geometric_rates(lo, hi, steps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_runs_in_parallel_and_orders_results() {
+        let curves = vec![
+            FigureCurve::new(TopologyKind::Quarc, 8, 4, 0.0, vec![0.005, 0.01], 1),
+            FigureCurve::new(TopologyKind::Spidergon, 8, 4, 0.0, vec![0.005, 0.01], 1),
+        ];
+        let rs = RunSpec { warmup: 100, measure: 1_000, drain: 2_000, ..Default::default() };
+        let results = run_figure(curves, &rs);
+        assert_eq!(results.len(), 2);
+        assert!(results[0].label.starts_with("quarc"));
+        assert!(results[1].label.starts_with("spidergon"));
+        assert!(results[0].points.len() == 2);
+        assert!(results[0].base_unicast_latency().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn sustainable_rate_reflects_saturation() {
+        let curves = vec![FigureCurve::new(
+            TopologyKind::Quarc,
+            8,
+            8,
+            0.0,
+            vec![0.005, 0.6, 0.7],
+            2,
+        )];
+        let rs = RunSpec { warmup: 100, measure: 1_000, drain: 1_000, ..Default::default() };
+        let results = run_figure(curves, &rs);
+        let sus = results[0].sustainable_rate().unwrap();
+        assert!(sus < 0.1, "sustainable {sus}");
+    }
+}

@@ -1,0 +1,14 @@
+//! # quarc-bench
+//!
+//! The figure-regeneration harness: one binary per table/figure of the
+//! paper's evaluation (§3), plus Criterion micro-benchmarks of the simulator
+//! itself. The binaries print CSV to stdout and a human-readable summary as
+//! `#`-prefixed comment lines, so their output can be piped straight into a
+//! plotting tool or diffed against `EXPERIMENTS.md`.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod figures;
+
+pub use figures::{run_figure, FigureCurve, FigureResult};

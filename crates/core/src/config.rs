@@ -1,0 +1,222 @@
+//! Network configuration shared by the simulator, the RTL model and the
+//! benchmark harness.
+
+use crate::topology::TopologyKind;
+use std::fmt;
+
+/// Errors raised when validating a [`NocConfig`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// Node count incompatible with the chosen topology.
+    BadNodeCount {
+        /// The offending count.
+        n: usize,
+        /// The constraint that was violated.
+        requirement: &'static str,
+    },
+    /// Parameter outside its legal range.
+    BadParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Human-readable constraint.
+        requirement: &'static str,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::BadNodeCount { n, requirement } => {
+                write!(f, "invalid node count {n}: {requirement}")
+            }
+            ConfigError::BadParameter { name, requirement } => {
+                write!(f, "invalid parameter {name}: {requirement}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Structural parameters of one simulated network.
+///
+/// Defaults follow the paper's hardware: 2 virtual channels per physical link
+/// (§2.3.1: "the Quarc switch is capable of supporting two virtual channels"),
+/// parameterised buffers (we default to 4 flits per VC lane), single-cycle
+/// links.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NocConfig {
+    /// Topology family.
+    pub kind: TopologyKind,
+    /// Number of nodes (ring topologies) or of mesh nodes (`cols × rows`
+    /// derived as a near-square).
+    pub n: usize,
+    /// Virtual channels per physical link.
+    pub vcs: usize,
+    /// Input buffer depth per VC lane, in flits.
+    pub buffer_depth: usize,
+    /// Link traversal latency in cycles.
+    pub link_latency: u64,
+}
+
+impl NocConfig {
+    /// A Quarc network of `n` nodes with paper defaults.
+    pub fn quarc(n: usize) -> Self {
+        NocConfig { kind: TopologyKind::Quarc, n, ..Default::default() }
+    }
+
+    /// A Spidergon network of `n` nodes with paper defaults.
+    pub fn spidergon(n: usize) -> Self {
+        NocConfig { kind: TopologyKind::Spidergon, n, ..Default::default() }
+    }
+
+    /// A near-square mesh of at least `n` nodes with paper defaults.
+    pub fn mesh(n: usize) -> Self {
+        NocConfig { kind: TopologyKind::Mesh, n, ..Default::default() }
+    }
+
+    /// Override the buffer depth.
+    pub fn with_buffer_depth(mut self, depth: usize) -> Self {
+        self.buffer_depth = depth;
+        self
+    }
+
+    /// Check all structural constraints.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        match self.kind {
+            TopologyKind::Quarc => {
+                if self.n < 4 || self.n % 4 != 0 {
+                    return Err(ConfigError::BadNodeCount {
+                        n: self.n,
+                        requirement: "Quarc requires n ≥ 4 and n ≡ 0 (mod 4)",
+                    });
+                }
+            }
+            TopologyKind::Spidergon => {
+                if self.n < 4 || self.n % 2 != 0 {
+                    return Err(ConfigError::BadNodeCount {
+                        n: self.n,
+                        requirement: "Spidergon requires even n ≥ 4",
+                    });
+                }
+            }
+            TopologyKind::Mesh => {
+                if self.n < 1 {
+                    return Err(ConfigError::BadNodeCount {
+                        n: self.n,
+                        requirement: "mesh requires n ≥ 1",
+                    });
+                }
+            }
+        }
+        if self.n > crate::flit::wire::MAX_NODES {
+            return Err(ConfigError::BadNodeCount {
+                n: self.n,
+                requirement: "34-bit flits carry 6-bit addresses (n ≤ 64, paper §2.6)",
+            });
+        }
+        if self.vcs < 1 || self.vcs > 4 {
+            return Err(ConfigError::BadParameter {
+                name: "vcs",
+                requirement: "1 ≤ vcs ≤ 4 (paper hardware uses 2)",
+            });
+        }
+        if self.kind != TopologyKind::Mesh && self.vcs < 2 {
+            return Err(ConfigError::BadParameter {
+                name: "vcs",
+                requirement: "ring topologies need ≥ 2 VCs for the dateline scheme",
+            });
+        }
+        if self.buffer_depth < 1 {
+            return Err(ConfigError::BadParameter {
+                name: "buffer_depth",
+                requirement: "at least one flit of buffering per VC lane",
+            });
+        }
+        if self.link_latency < 1 {
+            return Err(ConfigError::BadParameter {
+                name: "link_latency",
+                requirement: "links take at least one cycle",
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Default for NocConfig {
+    fn default() -> Self {
+        NocConfig {
+            kind: TopologyKind::Quarc,
+            n: 16,
+            vcs: 2,
+            buffer_depth: 4,
+            link_latency: 1,
+        }
+    }
+}
+
+impl fmt::Display for NocConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} n={} vcs={} buf={} link={}",
+            self.kind, self.n, self.vcs, self.buffer_depth, self.link_latency
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_paper_hardware() {
+        let c = NocConfig::default();
+        assert_eq!(c.vcs, 2);
+        assert_eq!(c.link_latency, 1);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn quarc_rejects_non_multiple_of_four() {
+        assert!(NocConfig::quarc(16).validate().is_ok());
+        assert!(NocConfig::quarc(18).validate().is_err());
+        assert!(NocConfig::quarc(2).validate().is_err());
+    }
+
+    #[test]
+    fn spidergon_accepts_even() {
+        assert!(NocConfig::spidergon(6).validate().is_ok());
+        assert!(NocConfig::spidergon(7).validate().is_err());
+    }
+
+    #[test]
+    fn node_count_bounded_by_address_width() {
+        assert!(NocConfig::quarc(64).validate().is_ok());
+        assert!(NocConfig::quarc(68).validate().is_err());
+    }
+
+    #[test]
+    fn ring_needs_two_vcs() {
+        let mut c = NocConfig::quarc(16);
+        c.vcs = 1;
+        assert!(c.validate().is_err());
+        let mut m = NocConfig::mesh(16);
+        m.vcs = 1;
+        assert!(m.validate().is_ok());
+    }
+
+    #[test]
+    fn buffer_depth_override() {
+        let c = NocConfig::quarc(16).with_buffer_depth(8);
+        assert_eq!(c.buffer_depth, 8);
+        assert!(c.validate().is_ok());
+        assert!(NocConfig::quarc(16).with_buffer_depth(0).validate().is_err());
+    }
+
+    #[test]
+    fn error_display() {
+        let e = NocConfig::quarc(18).validate().unwrap_err();
+        assert!(e.to_string().contains("18"));
+    }
+}

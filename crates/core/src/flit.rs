@@ -1,0 +1,403 @@
+//! Flits and the 34-bit wire format of the paper's Fig. 7.
+//!
+//! A wormhole packet is a stream of flits: one *header* that claims resources
+//! hop by hop, zero or more *body* flits, and one *tail* that releases them.
+//! The paper transmits 34-bit flits: a 32-bit payload plus a 2-bit flit-type
+//! field added by the transceiver's write controller (§2.4), with the last
+//! three bits of header flits encoding the traffic class (§2.6).
+//!
+//! The paper does not pin down every field boundary, so this module fixes a
+//! concrete layout (documented on [`wire`]) and property-tests that encoding
+//! and decoding round-trip. The RTL model (`quarc-rtl`) moves these encoded
+//! words over LocalLink; the behavioural simulator moves [`Flit`] structs that
+//! additionally carry bookkeeping ([`PacketMeta`]) used only for statistics
+//! and invariant checking, never for routing decisions that the hardware could
+//! not make.
+
+use crate::ids::{MessageId, NodeId, PacketId};
+use crate::ring::RingDir;
+use std::fmt;
+
+/// Position of a flit within its packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FlitKind {
+    /// First flit: carries addressing and claims the route.
+    Header,
+    /// Middle flit: pure payload, follows the header's path.
+    Body,
+    /// Last flit: releases the route behind it.
+    Tail,
+}
+
+impl FlitKind {
+    /// The 2-bit wire encoding of the flit type (bits `[1:0]`).
+    #[inline]
+    pub fn wire_bits(self) -> u64 {
+        match self {
+            FlitKind::Header => 0b00,
+            FlitKind::Body => 0b01,
+            FlitKind::Tail => 0b10,
+        }
+    }
+
+    /// Decode the 2-bit flit-type field.
+    pub fn from_wire_bits(bits: u64) -> Option<FlitKind> {
+        match bits & 0b11 {
+            0b00 => Some(FlitKind::Header),
+            0b01 => Some(FlitKind::Body),
+            0b10 => Some(FlitKind::Tail),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for FlitKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlitKind::Header => write!(f, "H"),
+            FlitKind::Body => write!(f, "B"),
+            FlitKind::Tail => write!(f, "T"),
+        }
+    }
+}
+
+/// Traffic class carried in the 3-bit field of header flits (paper Fig. 7
+/// shows unicast, multicast and broadcast; the two *chain* classes encode
+/// Spidergon's broadcast-by-unicast replication state, which the paper
+/// describes as header rewriting in the Spidergon switch, §2.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TrafficClass {
+    /// Point-to-point message.
+    Unicast,
+    /// Path-based multicast: the header bitstring marks which nodes along the
+    /// branch take a copy (bit 0 = next node, shifted every hop).
+    Multicast,
+    /// True broadcast: every node on the branch absorbs and forwards.
+    Broadcast,
+    /// Spidergon broadcast-by-unicast rim chain: delivered to `dst`, then the
+    /// receiving transceiver rewrites the header and re-injects it to the next
+    /// rim neighbour while `bitstring` (the remaining-hop count) is non-zero.
+    ChainRim,
+    /// Spidergon broadcast-by-unicast cross seed: delivered to the antipode,
+    /// which re-injects two `ChainRim` packets, one per rim direction, each
+    /// covering `bitstring` further nodes.
+    ChainCross,
+}
+
+impl TrafficClass {
+    /// The 3-bit wire encoding (bits `[33:31]` of header flits).
+    #[inline]
+    pub fn wire_bits(self) -> u64 {
+        match self {
+            TrafficClass::Unicast => 0b000,
+            TrafficClass::Multicast => 0b001,
+            TrafficClass::Broadcast => 0b010,
+            TrafficClass::ChainRim => 0b011,
+            TrafficClass::ChainCross => 0b100,
+        }
+    }
+
+    /// Decode the 3-bit traffic-class field.
+    pub fn from_wire_bits(bits: u64) -> Option<TrafficClass> {
+        match bits & 0b111 {
+            0b000 => Some(TrafficClass::Unicast),
+            0b001 => Some(TrafficClass::Multicast),
+            0b010 => Some(TrafficClass::Broadcast),
+            0b011 => Some(TrafficClass::ChainRim),
+            0b100 => Some(TrafficClass::ChainCross),
+            _ => None,
+        }
+    }
+
+    /// True for the two Spidergon replication classes.
+    #[inline]
+    pub fn is_chain(self) -> bool {
+        matches!(self, TrafficClass::ChainRim | TrafficClass::ChainCross)
+    }
+
+    /// True if flits of this class are cloned by intermediate Quarc routers.
+    #[inline]
+    pub fn is_collective(self) -> bool {
+        matches!(self, TrafficClass::Multicast | TrafficClass::Broadcast)
+    }
+}
+
+impl fmt::Display for TrafficClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TrafficClass::Unicast => "unicast",
+            TrafficClass::Multicast => "multicast",
+            TrafficClass::Broadcast => "broadcast",
+            TrafficClass::ChainRim => "chain-rim",
+            TrafficClass::ChainCross => "chain-cross",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Per-packet bookkeeping carried (by value) on every flit of the behavioural
+/// simulator.
+///
+/// Only the fields that appear in the wire format (`class`, `src`, `dst`,
+/// `bitstring`, `dir`) may influence routing; the rest exists so the ejection
+/// side can compute latencies and the test suite can assert conservation
+/// without a global side table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PacketMeta {
+    /// The application-level message this packet belongs to.
+    pub message: MessageId,
+    /// Unique id of this packet (one per wormhole worm).
+    pub packet: PacketId,
+    /// Traffic class (wire field).
+    pub class: TrafficClass,
+    /// Originating node (wire field).
+    pub src: NodeId,
+    /// Destination: for collectives, the *last* node of the branch (wire field).
+    pub dst: NodeId,
+    /// Multicast bitstring / chain remaining-count (wire field).
+    pub bitstring: u16,
+    /// Rim direction for chain packets (wire field, 1 bit).
+    pub dir: RingDir,
+    /// Number of flits in this packet (header + bodies + tail).
+    pub len: u32,
+    /// Cycle at which the *message* was created at the source PE. Source
+    /// queueing is therefore included in measured latency, as in the paper.
+    pub created_at: u64,
+}
+
+/// One flit of a wormhole packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Flit {
+    /// Packet bookkeeping (see [`PacketMeta`] for what routing may read).
+    pub meta: PacketMeta,
+    /// Index of this flit within its packet (`0 == header`).
+    pub seq: u32,
+    /// Header / body / tail.
+    pub kind: FlitKind,
+    /// 32-bit payload (body/tail flits only; headers carry addressing).
+    pub payload: u32,
+}
+
+impl Flit {
+    /// Is this the header flit?
+    #[inline]
+    pub fn is_header(&self) -> bool {
+        self.kind == FlitKind::Header
+    }
+
+    /// Is this the tail flit?
+    #[inline]
+    pub fn is_tail(&self) -> bool {
+        self.kind == FlitKind::Tail
+    }
+}
+
+impl fmt::Display for Flit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}/{} {} {}→{}]",
+            self.kind, self.seq, self.meta.len, self.meta.class, self.meta.src, self.meta.dst
+        )
+    }
+}
+
+/// The 34-bit wire format (our concrete realisation of the paper's Fig. 7).
+///
+/// ```text
+/// header:  [33:31] class  [30] dir  [29:14] bitstring  [13:8] src  [7:2] dst  [1:0] = 00
+/// body:    [33:2]  payload                                                  [1:0] = 01
+/// tail:    [33:2]  payload                                                  [1:0] = 10
+/// ```
+///
+/// Six address bits bound the network at 64 nodes, exactly the scalability
+/// limit the paper states in §2.6 ("it is assumed that the network size may be
+/// up to 64 nodes"); larger networks would need wider flits or multi-flit
+/// headers, which the paper leaves as a variant.
+pub mod wire {
+    use super::*;
+
+    /// Number of valid bits in an encoded flit word.
+    pub const FLIT_BITS: u32 = 34;
+    /// Mask of the valid bits.
+    pub const FLIT_MASK: u64 = (1u64 << FLIT_BITS) - 1;
+    /// Maximum addressable network size with 6-bit addresses.
+    pub const MAX_NODES: usize = 64;
+
+    /// A decoded wire flit — exactly the information present on the wire,
+    /// with none of the simulator-side bookkeeping.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum WireFlit {
+        /// Header flit fields.
+        Header {
+            /// Traffic class.
+            class: TrafficClass,
+            /// Rim direction bit (chain classes).
+            dir: RingDir,
+            /// Multicast bitstring / chain remaining-count.
+            bitstring: u16,
+            /// Source address (6 bits).
+            src: NodeId,
+            /// Destination address (6 bits).
+            dst: NodeId,
+        },
+        /// Body flit payload.
+        Body(u32),
+        /// Tail flit payload.
+        Tail(u32),
+    }
+
+    /// Encode a behavioural [`Flit`] into its 34-bit wire word.
+    ///
+    /// Panics (debug) if an address does not fit in 6 bits.
+    pub fn encode(flit: &Flit) -> u64 {
+        match flit.kind {
+            FlitKind::Header => {
+                let m = &flit.meta;
+                debug_assert!(m.src.index() < MAX_NODES && m.dst.index() < MAX_NODES);
+                let dir_bit = match m.dir {
+                    RingDir::Cw => 0u64,
+                    RingDir::Ccw => 1u64,
+                };
+                (m.class.wire_bits() << 31)
+                    | (dir_bit << 30)
+                    | ((m.bitstring as u64) << 14)
+                    | ((m.src.index() as u64) << 8)
+                    | ((m.dst.index() as u64) << 2)
+                    | FlitKind::Header.wire_bits()
+            }
+            FlitKind::Body => ((flit.payload as u64) << 2) | FlitKind::Body.wire_bits(),
+            FlitKind::Tail => ((flit.payload as u64) << 2) | FlitKind::Tail.wire_bits(),
+        }
+    }
+
+    /// Decode a 34-bit wire word.
+    ///
+    /// Returns `None` for reserved flit-type or traffic-class encodings, or if
+    /// bits above [`FLIT_BITS`] are set.
+    pub fn decode(word: u64) -> Option<WireFlit> {
+        if word & !FLIT_MASK != 0 {
+            return None;
+        }
+        match FlitKind::from_wire_bits(word)? {
+            FlitKind::Header => {
+                let class = TrafficClass::from_wire_bits(word >> 31)?;
+                let dir = if (word >> 30) & 1 == 1 { RingDir::Ccw } else { RingDir::Cw };
+                let bitstring = ((word >> 14) & 0xFFFF) as u16;
+                let src = NodeId::new(((word >> 8) & 0x3F) as usize);
+                let dst = NodeId::new(((word >> 2) & 0x3F) as usize);
+                Some(WireFlit::Header { class, dir, bitstring, src, dst })
+            }
+            FlitKind::Body => Some(WireFlit::Body(((word >> 2) & 0xFFFF_FFFF) as u32)),
+            FlitKind::Tail => Some(WireFlit::Tail(((word >> 2) & 0xFFFF_FFFF) as u32)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::wire::*;
+    use super::*;
+
+    fn meta(class: TrafficClass, src: u16, dst: u16, bitstring: u16, dir: RingDir) -> PacketMeta {
+        PacketMeta {
+            message: MessageId(1),
+            packet: PacketId(2),
+            class,
+            src: NodeId(src),
+            dst: NodeId(dst),
+            bitstring,
+            dir,
+            len: 8,
+            created_at: 0,
+        }
+    }
+
+    #[test]
+    fn header_roundtrip() {
+        let m = meta(TrafficClass::Broadcast, 0, 11, 0xBEEF, RingDir::Ccw);
+        let f = Flit { meta: m, seq: 0, kind: FlitKind::Header, payload: 0 };
+        let w = encode(&f);
+        assert!(w <= FLIT_MASK);
+        match decode(w).unwrap() {
+            WireFlit::Header { class, dir, bitstring, src, dst } => {
+                assert_eq!(class, TrafficClass::Broadcast);
+                assert_eq!(dir, RingDir::Ccw);
+                assert_eq!(bitstring, 0xBEEF);
+                assert_eq!(src, NodeId(0));
+                assert_eq!(dst, NodeId(11));
+            }
+            other => panic!("expected header, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn body_and_tail_roundtrip() {
+        let m = meta(TrafficClass::Unicast, 1, 2, 0, RingDir::Cw);
+        for (kind, want) in [(FlitKind::Body, 0xDEADBEEFu32), (FlitKind::Tail, 0x12345678)] {
+            let f = Flit { meta: m, seq: 1, kind, payload: want };
+            match (kind, decode(encode(&f)).unwrap()) {
+                (FlitKind::Body, WireFlit::Body(p)) => assert_eq!(p, want),
+                (FlitKind::Tail, WireFlit::Tail(p)) => assert_eq!(p, want),
+                other => panic!("mismatch: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn flit_word_is_34_bits() {
+        let m = meta(TrafficClass::Multicast, 63, 63, 0xFFFF, RingDir::Ccw);
+        let f = Flit { meta: m, seq: 0, kind: FlitKind::Header, payload: 0 };
+        assert!(encode(&f) <= FLIT_MASK);
+        let body = Flit { meta: m, seq: 1, kind: FlitKind::Tail, payload: u32::MAX };
+        assert!(encode(&body) <= FLIT_MASK);
+    }
+
+    #[test]
+    fn reserved_encodings_rejected() {
+        assert_eq!(decode(0b11), None, "flit type 0b11 is reserved");
+        // class 0b111 is reserved
+        let bad = (0b111u64 << 31) | FlitKind::Header.wire_bits();
+        assert_eq!(decode(bad), None);
+        // bits above bit 33 must be clear
+        assert_eq!(decode(1u64 << 34), None);
+    }
+
+    #[test]
+    fn class_predicates() {
+        assert!(TrafficClass::ChainRim.is_chain());
+        assert!(TrafficClass::ChainCross.is_chain());
+        assert!(!TrafficClass::Broadcast.is_chain());
+        assert!(TrafficClass::Broadcast.is_collective());
+        assert!(TrafficClass::Multicast.is_collective());
+        assert!(!TrafficClass::Unicast.is_collective());
+    }
+
+    #[test]
+    fn kind_wire_bits_roundtrip() {
+        for k in [FlitKind::Header, FlitKind::Body, FlitKind::Tail] {
+            assert_eq!(FlitKind::from_wire_bits(k.wire_bits()), Some(k));
+        }
+        assert_eq!(FlitKind::from_wire_bits(0b11), None);
+    }
+
+    #[test]
+    fn class_wire_bits_roundtrip() {
+        for c in [
+            TrafficClass::Unicast,
+            TrafficClass::Multicast,
+            TrafficClass::Broadcast,
+            TrafficClass::ChainRim,
+            TrafficClass::ChainCross,
+        ] {
+            assert_eq!(TrafficClass::from_wire_bits(c.wire_bits()), Some(c));
+        }
+    }
+
+    #[test]
+    fn display_formats() {
+        let m = meta(TrafficClass::Unicast, 3, 9, 0, RingDir::Cw);
+        let f = Flit { meta: m, seq: 0, kind: FlitKind::Header, payload: 0 };
+        assert_eq!(f.to_string(), "H[0/8 unicast n3→n9]");
+    }
+}

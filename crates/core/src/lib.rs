@@ -1,0 +1,67 @@
+//! # quarc-core
+//!
+//! Core abstractions of the **Quarc Network-on-Chip** (Moadeli, Maji,
+//! Vanderbauwhede, *"Design and implementation of the Quarc Network on-Chip"*,
+//! IEEE IPDPS 2009): the 34-bit flit wire format, packet metadata, the Quarc
+//! and Spidergon ring topologies (plus a 2D mesh used for validation), the
+//! quadrant calculator that constitutes the entirety of Quarc routing, the
+//! BRCP broadcast/multicast branch planner, Spidergon's broadcast-by-unicast
+//! replication plan, and the dateline virtual-channel discipline with a
+//! channel-dependency-graph deadlock-freedom checker.
+//!
+//! Everything in this crate is pure (no I/O, no clocks, no randomness): these
+//! are the definitions that the flit-level simulator (`quarc-sim`), the
+//! signal-level hardware model (`quarc-rtl`), the area model (`quarc-area`)
+//! and the analytical latency models (`quarc-analytical`) all share, so that
+//! a routing convention fixed here is fixed everywhere.
+//!
+//! ## Quick tour
+//!
+//! ```
+//! use quarc_core::prelude::*;
+//!
+//! // The paper's Fig. 6: node 0 broadcasting in a 16-node Quarc emits four
+//! // streams whose header destinations are 4, 5, 11 and 12.
+//! let ring = Ring::new(16);
+//! let mut dsts: Vec<u16> = broadcast_branches(&ring, NodeId(0))
+//!     .iter()
+//!     .map(|b| b.dst.0)
+//!     .collect();
+//! dsts.sort();
+//! assert_eq!(dsts, vec![4, 5, 11, 12]);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod config;
+pub mod flit;
+pub mod ids;
+pub mod quadrant;
+pub mod ring;
+pub mod routing;
+pub mod topology;
+pub mod torus;
+pub mod vc;
+
+/// Convenient re-exports of the types used by nearly every downstream module.
+pub mod prelude {
+    pub use crate::config::{ConfigError, NocConfig};
+    pub use crate::flit::{Flit, FlitKind, PacketMeta, TrafficClass};
+    pub use crate::ids::{MessageId, NodeId, PacketId, VcId};
+    pub use crate::quadrant::{
+        broadcast_branches, multicast_branches, quadrant_of, unicast_hops, unicast_path, Branch,
+        Quadrant,
+    };
+    pub use crate::ring::{Ring, RingDir};
+    pub use crate::routing::{
+        chain_continuations, quarc_injection_out, quarc_route, spidergon_broadcast_seeds,
+        spidergon_hops, spidergon_route, ChainSeed, RouteAction,
+    };
+    pub use crate::topology::{
+        MeshOut, MeshTopology, QuarcIn, QuarcOut, QuarcTopology, SpiIn, SpiOut,
+        SpidergonTopology, TopologyKind,
+    };
+    pub use crate::torus::{TorusOut, TorusTopology};
+    pub use crate::vc::{vc_after_rim_hop, vc_for_cross_hop, INJECTION_VC};
+}

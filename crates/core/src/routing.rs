@@ -1,0 +1,508 @@
+//! Per-hop routing decisions for Quarc and Spidergon switches, and the
+//! Spidergon broadcast-by-unicast replication plan.
+//!
+//! The Quarc decision (§2.5.1) is deliberately trivial — "packets are either
+//! destined for the local port or forwarded to a single possible destination"
+//! — because the source transceiver already picked the quadrant. The only
+//! state a Quarc switch inspects is: *did the header's destination address
+//! match my own?* plus, for collectives, the broadcast tag / multicast
+//! bitstring that tells the ingress multiplexer to clone.
+//!
+//! The Spidergon decision is the classical across-first scheme, and its
+//! broadcast is the paper's ref. [9] algorithm: a replication *chain* that
+//! costs N−1 link traversals, each one a full store-and-forward through the
+//! receiving node's single injection port.
+
+use crate::flit::{PacketMeta, TrafficClass};
+use crate::ids::NodeId;
+use crate::quadrant::Quadrant;
+use crate::ring::{Ring, RingDir};
+use crate::topology::{QuarcIn, QuarcOut, SpiOut};
+
+/// What a switch does with an arriving header (and, by wormhole state, with
+/// the body and tail flits that follow it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouteAction<Out> {
+    /// Absorb the packet into the local PE.
+    Deliver,
+    /// Forward on the given output port.
+    Forward(Out),
+    /// Clone at the ingress multiplexer: the local PE takes a copy *and* the
+    /// flit continues on the given output port (§2.5.2: "the flits of the
+    /// packet at the same time are received by the local node and forwarded
+    /// along the rim").
+    DeliverAndForward(Out),
+}
+
+impl<Out: Copy> RouteAction<Out> {
+    /// The output port the flit continues on, if any.
+    #[inline]
+    pub fn forward_port(&self) -> Option<Out> {
+        match self {
+            RouteAction::Deliver => None,
+            RouteAction::Forward(p) | RouteAction::DeliverAndForward(p) => Some(*p),
+        }
+    }
+
+    /// Whether the local PE receives a copy.
+    #[inline]
+    pub fn delivers(&self) -> bool {
+        matches!(self, RouteAction::Deliver | RouteAction::DeliverAndForward(_))
+    }
+}
+
+/// The output port a Quarc local ingress (quadrant) queue feeds — the entire
+/// "routing" a source-injected flit needs (§2.5.1).
+#[inline]
+pub fn quarc_injection_out(quad: Quadrant) -> QuarcOut {
+    match quad {
+        Quadrant::Right => QuarcOut::RimCw,
+        Quadrant::CrossRight => QuarcOut::CrossRight,
+        Quadrant::CrossLeft => QuarcOut::CrossLeft,
+        Quadrant::Left => QuarcOut::RimCcw,
+    }
+}
+
+/// The Quarc switch decision for a header arriving on `input` at `node`.
+///
+/// Matches the paper's §2.3.2/§2.5: rim and cross-right inputs may deliver or
+/// continue in the *same* direction; the cross-left input is transit-only;
+/// local ingress ports go straight to their quadrant's link.
+pub fn quarc_route(ring: &Ring, node: NodeId, input: QuarcIn, meta: &PacketMeta) -> RouteAction<QuarcOut> {
+    let continue_out = match input {
+        QuarcIn::Local(q) => return RouteAction::Forward(quarc_injection_out(q)),
+        QuarcIn::RimCw => QuarcOut::RimCw,
+        QuarcIn::RimCcw => QuarcOut::RimCcw,
+        QuarcIn::CrossRight => QuarcOut::RimCw,
+        QuarcIn::CrossLeft => {
+            // Transit-only: the antipode is covered by the cross-right stream.
+            debug_assert_ne!(meta.dst, node, "cross-left input never delivers");
+            return RouteAction::Forward(QuarcOut::RimCcw);
+        }
+    };
+    debug_assert_eq!(
+        ring.len() % 4,
+        0,
+        "Quarc ring must be a multiple of 4 (checked at topology construction)"
+    );
+    if meta.dst == node {
+        return RouteAction::Deliver;
+    }
+    match meta.class {
+        TrafficClass::Broadcast => RouteAction::DeliverAndForward(continue_out),
+        TrafficClass::Multicast => {
+            if meta.bitstring & 1 == 1 {
+                RouteAction::DeliverAndForward(continue_out)
+            } else {
+                RouteAction::Forward(continue_out)
+            }
+        }
+        _ => RouteAction::Forward(continue_out),
+    }
+}
+
+/// Header bookkeeping applied when a Quarc switch forwards a header flit:
+/// multicast bitstrings shift one position per hop so that bit 0 always
+/// answers "does the *next* node take a copy?" (§2.5.3).
+#[inline]
+pub fn advance_header(meta: &mut PacketMeta) {
+    if meta.class == TrafficClass::Multicast {
+        meta.bitstring >>= 1;
+    }
+}
+
+/// The across-first Spidergon routing function (paper §2.1 / ref. [5]).
+///
+/// `q = ⌊n/4⌋`; CW for `d ∈ [1, q]`, CCW for `d ∈ [n − q, n)`, cross
+/// otherwise. The cross link is only ever taken as a first hop, so routes are
+/// minimal and at most `1 + q` hops (for `d` just above `q`).
+pub fn spidergon_route(ring: &Ring, node: NodeId, dst: NodeId) -> RouteAction<SpiOut> {
+    if dst == node {
+        return RouteAction::Deliver;
+    }
+    let n = ring.len();
+    let q = n / 4;
+    let d = ring.cw_dist(node, dst);
+    if d <= q {
+        RouteAction::Forward(SpiOut::RimCw)
+    } else if d >= n - q {
+        RouteAction::Forward(SpiOut::RimCcw)
+    } else {
+        RouteAction::Forward(SpiOut::Cross)
+    }
+}
+
+/// Shortest-path hop count under Spidergon routing.
+pub fn spidergon_hops(ring: &Ring, src: NodeId, dst: NodeId) -> usize {
+    let mut cur = src;
+    let mut hops = 0;
+    loop {
+        match spidergon_route(ring, cur, dst) {
+            RouteAction::Deliver => return hops,
+            RouteAction::Forward(out) => {
+                cur = match out {
+                    SpiOut::RimCw => ring.cw(cur),
+                    SpiOut::RimCcw => ring.ccw(cur),
+                    SpiOut::Cross => ring.antipode(cur),
+                    SpiOut::Eject => unreachable!("route never returns Eject as Forward"),
+                };
+                hops += 1;
+                debug_assert!(hops <= ring.len(), "Spidergon route diverged");
+            }
+            RouteAction::DeliverAndForward(_) => {
+                unreachable!("Spidergon unicast routing never clones")
+            }
+        }
+    }
+}
+
+/// The full Spidergon walk from `src` to `dst` as `(node, out_port)` pairs,
+/// excluding the final ejection. Used by the analytical link-load model.
+pub fn spidergon_path(ring: &Ring, src: NodeId, dst: NodeId) -> Vec<(NodeId, SpiOut)> {
+    let mut path = Vec::new();
+    let mut cur = src;
+    loop {
+        match spidergon_route(ring, cur, dst) {
+            RouteAction::Deliver => return path,
+            RouteAction::Forward(out) => {
+                path.push((cur, out));
+                cur = match out {
+                    SpiOut::RimCw => ring.cw(cur),
+                    SpiOut::RimCcw => ring.ccw(cur),
+                    SpiOut::Cross => ring.antipode(cur),
+                    SpiOut::Eject => unreachable!(),
+                };
+            }
+            RouteAction::DeliverAndForward(_) => unreachable!(),
+        }
+    }
+}
+
+/// One step of the Spidergon broadcast-by-unicast plan: a packet to inject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChainSeed {
+    /// `ChainRim` (rim replication) or `ChainCross` (antipode seed).
+    pub class: TrafficClass,
+    /// Destination of this packet (always one routing hop's final target:
+    /// the next rim neighbour or the antipode).
+    pub dst: NodeId,
+    /// Rim direction the chain propagates in (`Cw` placeholder for cross).
+    pub dir: RingDir,
+    /// Number of nodes the chain must still cover *after* `dst`; carried in
+    /// the header's bitstring field and decremented at every re-injection
+    /// (this is the paper's "header flit needs to be rewritten").
+    pub remaining: u16,
+}
+
+/// The packets a Spidergon source injects to broadcast (ref. [9]'s N−1-hop
+/// algorithm): one rim chain per direction covering `q` nodes each, plus a
+/// cross seed whose receiver spawns two more rim chains covering `q − 1`
+/// nodes each. Total link traversals: `q + q + 1 + (q−1) + (q−1) = n − 1`.
+///
+/// Requires `n ≡ 0 (mod 4)` (the configuration used in all of the paper's
+/// broadcast experiments).
+pub fn spidergon_broadcast_seeds(ring: &Ring, src: NodeId) -> Vec<ChainSeed> {
+    assert!(ring.len() % 4 == 0, "broadcast plan requires n ≡ 0 (mod 4)");
+    let q = ring.quarter() as u16;
+    vec![
+        ChainSeed {
+            class: TrafficClass::ChainRim,
+            dst: ring.cw(src),
+            dir: RingDir::Cw,
+            remaining: q - 1,
+        },
+        ChainSeed {
+            class: TrafficClass::ChainRim,
+            dst: ring.ccw(src),
+            dir: RingDir::Ccw,
+            remaining: q - 1,
+        },
+        ChainSeed {
+            class: TrafficClass::ChainCross,
+            dst: ring.antipode(src),
+            dir: RingDir::Cw,
+            remaining: q - 1,
+        },
+    ]
+}
+
+/// The packets a Spidergon *transceiver* re-injects when a chain packet is
+/// delivered to it (the switch-side replication logic the paper describes in
+/// §2.2: "The NoC switches must contain the logic to create the required
+/// packets on receipt of a broadcast-by-unicast packet").
+pub fn chain_continuations(ring: &Ring, node: NodeId, meta: &PacketMeta) -> Vec<ChainSeed> {
+    match meta.class {
+        TrafficClass::ChainRim => {
+            if meta.bitstring == 0 {
+                Vec::new()
+            } else {
+                vec![ChainSeed {
+                    class: TrafficClass::ChainRim,
+                    dst: ring.step(node, meta.dir),
+                    dir: meta.dir,
+                    remaining: meta.bitstring - 1,
+                }]
+            }
+        }
+        TrafficClass::ChainCross => {
+            if meta.bitstring == 0 {
+                Vec::new()
+            } else {
+                vec![
+                    ChainSeed {
+                        class: TrafficClass::ChainRim,
+                        dst: ring.cw(node),
+                        dir: RingDir::Cw,
+                        remaining: meta.bitstring - 1,
+                    },
+                    ChainSeed {
+                        class: TrafficClass::ChainRim,
+                        dst: ring.ccw(node),
+                        dir: RingDir::Ccw,
+                        remaining: meta.bitstring - 1,
+                    },
+                ]
+            }
+        }
+        _ => Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{MessageId, PacketId};
+    use std::collections::HashSet;
+
+    fn meta(class: TrafficClass, src: u16, dst: u16, bitstring: u16, dir: RingDir) -> PacketMeta {
+        PacketMeta {
+            message: MessageId(0),
+            packet: PacketId(0),
+            class,
+            src: NodeId(src),
+            dst: NodeId(dst),
+            bitstring,
+            dir,
+            len: 4,
+            created_at: 0,
+        }
+    }
+
+    #[test]
+    fn quarc_unicast_forwarding_and_delivery() {
+        let ring = Ring::new(16);
+        let m = meta(TrafficClass::Unicast, 0, 3, 0, RingDir::Cw);
+        // At node 1 and 2 the header keeps moving CW; at 3 it delivers.
+        assert_eq!(
+            quarc_route(&ring, NodeId(1), QuarcIn::RimCw, &m),
+            RouteAction::Forward(QuarcOut::RimCw)
+        );
+        assert_eq!(quarc_route(&ring, NodeId(3), QuarcIn::RimCw, &m), RouteAction::Deliver);
+    }
+
+    #[test]
+    fn quarc_broadcast_clones_at_intermediates() {
+        let ring = Ring::new(16);
+        let m = meta(TrafficClass::Broadcast, 0, 4, 0, RingDir::Cw);
+        assert_eq!(
+            quarc_route(&ring, NodeId(2), QuarcIn::RimCw, &m),
+            RouteAction::DeliverAndForward(QuarcOut::RimCw)
+        );
+        assert_eq!(quarc_route(&ring, NodeId(4), QuarcIn::RimCw, &m), RouteAction::Deliver);
+    }
+
+    #[test]
+    fn quarc_cross_right_delivers_at_antipode_for_broadcast() {
+        let ring = Ring::new(16);
+        // Cross-right broadcast stream from 0: dst 11, first arrival at 8.
+        let m = meta(TrafficClass::Broadcast, 0, 11, 0, RingDir::Cw);
+        assert_eq!(
+            quarc_route(&ring, NodeId(8), QuarcIn::CrossRight, &m),
+            RouteAction::DeliverAndForward(QuarcOut::RimCw)
+        );
+    }
+
+    #[test]
+    fn quarc_cross_left_is_transit_only() {
+        let ring = Ring::new(16);
+        // Cross-left broadcast stream from 0: dst 5, passes node 8 silently.
+        let m = meta(TrafficClass::Broadcast, 0, 5, 0, RingDir::Cw);
+        assert_eq!(
+            quarc_route(&ring, NodeId(8), QuarcIn::CrossLeft, &m),
+            RouteAction::Forward(QuarcOut::RimCcw)
+        );
+    }
+
+    #[test]
+    fn quarc_local_ports_map_to_their_links() {
+        let ring = Ring::new(16);
+        let m = meta(TrafficClass::Unicast, 0, 3, 0, RingDir::Cw);
+        for (quad, out) in [
+            (Quadrant::Right, QuarcOut::RimCw),
+            (Quadrant::Left, QuarcOut::RimCcw),
+            (Quadrant::CrossRight, QuarcOut::CrossRight),
+            (Quadrant::CrossLeft, QuarcOut::CrossLeft),
+        ] {
+            assert_eq!(
+                quarc_route(&ring, NodeId(0), QuarcIn::Local(quad), &m),
+                RouteAction::Forward(out)
+            );
+        }
+    }
+
+    #[test]
+    fn multicast_bit0_controls_clone() {
+        let ring = Ring::new(16);
+        let hit = meta(TrafficClass::Multicast, 0, 4, 0b101, RingDir::Cw);
+        let miss = meta(TrafficClass::Multicast, 0, 4, 0b100, RingDir::Cw);
+        assert_eq!(
+            quarc_route(&ring, NodeId(1), QuarcIn::RimCw, &hit),
+            RouteAction::DeliverAndForward(QuarcOut::RimCw)
+        );
+        assert_eq!(
+            quarc_route(&ring, NodeId(1), QuarcIn::RimCw, &miss),
+            RouteAction::Forward(QuarcOut::RimCw)
+        );
+        let mut m = hit;
+        advance_header(&mut m);
+        assert_eq!(m.bitstring, 0b10);
+    }
+
+    #[test]
+    fn advance_header_only_touches_multicast() {
+        let mut m = meta(TrafficClass::Broadcast, 0, 4, 0xFFFF, RingDir::Cw);
+        advance_header(&mut m);
+        assert_eq!(m.bitstring, 0xFFFF);
+    }
+
+    #[test]
+    fn spidergon_route_matches_quadrants() {
+        let ring = Ring::new(16);
+        let s = NodeId(0);
+        for (dst, want) in [
+            (1u16, RouteAction::Forward(SpiOut::RimCw)),
+            (4, RouteAction::Forward(SpiOut::RimCw)),
+            (5, RouteAction::Forward(SpiOut::Cross)),
+            (8, RouteAction::Forward(SpiOut::Cross)),
+            (11, RouteAction::Forward(SpiOut::Cross)),
+            (12, RouteAction::Forward(SpiOut::RimCcw)),
+            (15, RouteAction::Forward(SpiOut::RimCcw)),
+        ] {
+            assert_eq!(spidergon_route(&ring, s, NodeId(dst)), want, "dst {dst}");
+        }
+        assert_eq!(spidergon_route(&ring, s, s), RouteAction::Deliver);
+    }
+
+    #[test]
+    fn spidergon_routes_are_minimal_and_terminate() {
+        for n in [8usize, 16, 32, 64] {
+            let ring = Ring::new(n);
+            let q = n / 4;
+            for s in ring.nodes() {
+                for t in ring.nodes() {
+                    let h = spidergon_hops(&ring, s, t);
+                    let d = ring.cw_dist(s, t);
+                    let expect = if t == s {
+                        0
+                    } else if d <= q {
+                        d
+                    } else if d >= n - q {
+                        n - d
+                    } else {
+                        // cross + rim remainder
+                        1 + d.abs_diff(n / 2)
+                    };
+                    assert_eq!(h, expect, "n={n} {s}->{t}");
+                    assert!(h <= q + 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn spidergon_path_crosses_at_most_once() {
+        let ring = Ring::new(32);
+        for s in ring.nodes() {
+            for t in ring.nodes() {
+                let crossings = spidergon_path(&ring, s, t)
+                    .iter()
+                    .filter(|(_, out)| *out == SpiOut::Cross)
+                    .count();
+                assert!(crossings <= 1, "{s}->{t}");
+            }
+        }
+    }
+
+    #[test]
+    fn spidergon_quarc_same_unicast_distance() {
+        // The Quarc keeps Spidergon's shortest paths (§2.2 "The Quarc
+        // preserves all other features ... deterministic shortest path
+        // routing algorithm").
+        for n in [8usize, 16, 32, 64] {
+            let ring = Ring::new(n);
+            for s in ring.nodes() {
+                for t in ring.nodes() {
+                    assert_eq!(
+                        spidergon_hops(&ring, s, t),
+                        crate::quadrant::unicast_hops(&ring, s, t),
+                        "n={n} {s}->{t}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Execute the full broadcast-by-unicast replication and check coverage
+    /// and the N−1 total-hop claim.
+    #[test]
+    fn chain_broadcast_covers_all_nodes_in_n_minus_1_hops() {
+        for n in [8usize, 16, 32, 64] {
+            let ring = Ring::new(n);
+            let src = NodeId(2 % n as u16);
+            let mut covered = HashSet::new();
+            let mut total_hops = 0usize;
+            let mut queue: Vec<ChainSeed> = spidergon_broadcast_seeds(&ring, src);
+            while let Some(seed) = queue.pop() {
+                total_hops += spidergon_hops(&ring, seed_prev(&ring, &seed), seed.dst).max(1);
+                assert!(covered.insert(seed.dst), "n={n}: {} covered twice", seed.dst);
+                let m = meta(seed.class, src.0, seed.dst.0, seed.remaining, seed.dir);
+                queue.extend(chain_continuations(&ring, seed.dst, &m));
+            }
+            assert_eq!(covered.len(), n - 1, "n={n}");
+            assert!(!covered.contains(&src));
+            assert_eq!(total_hops, n - 1, "n={n}: paper claims N−1 link traversals");
+        }
+    }
+
+    /// The node a seed was injected from: its rim predecessor (or the
+    /// antipode's source for cross seeds). Test helper only.
+    fn seed_prev(ring: &Ring, seed: &ChainSeed) -> NodeId {
+        match seed.class {
+            TrafficClass::ChainRim => ring.step(seed.dst, seed.dir.opposite()),
+            TrafficClass::ChainCross => ring.antipode(seed.dst),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn chain_continuation_terminates() {
+        let ring = Ring::new(16);
+        let m = meta(TrafficClass::ChainRim, 0, 4, 0, RingDir::Cw);
+        assert!(chain_continuations(&ring, NodeId(4), &m).is_empty());
+        let m = meta(TrafficClass::Unicast, 0, 4, 7, RingDir::Cw);
+        assert!(chain_continuations(&ring, NodeId(4), &m).is_empty());
+    }
+
+    #[test]
+    fn route_action_accessors() {
+        let a: RouteAction<SpiOut> = RouteAction::Deliver;
+        assert!(a.delivers());
+        assert_eq!(a.forward_port(), None);
+        let b = RouteAction::Forward(SpiOut::RimCw);
+        assert!(!b.delivers());
+        assert_eq!(b.forward_port(), Some(SpiOut::RimCw));
+        let c = RouteAction::DeliverAndForward(SpiOut::RimCw);
+        assert!(c.delivers());
+        assert_eq!(c.forward_port(), Some(SpiOut::RimCw));
+    }
+}

@@ -1,0 +1,731 @@
+//! Topology descriptions: port enumerations, link maps and feeder tables for
+//! the Quarc and Spidergon NoCs (plus a 2D mesh used for simulator
+//! validation, mirroring the paper's §3.2, and as the paper's stated "next
+//! objective" comparison point).
+//!
+//! A *feeder table* lists, for every output port of a switch, which input
+//! ports may ever request it under the deterministic routing discipline. The
+//! paper's cost argument (§2.3.2) rests on these tables being tiny — "the
+//! hardware is tailored to the paths allowed by the routing discipline" — so
+//! they are defined here once and shared by the behavioural router, the RTL
+//! crossbar and the area model.
+
+use crate::ids::NodeId;
+use crate::quadrant::Quadrant;
+use crate::ring::Ring;
+use std::fmt;
+
+/// Which network family a configuration refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TopologyKind {
+    /// The paper's contribution: edge-symmetric ring + doubled cross links,
+    /// all-port router.
+    Quarc,
+    /// The STMicroelectronics baseline: ring + single cross link, one-port
+    /// router.
+    Spidergon,
+    /// 2D mesh with XY routing (validation / extension).
+    Mesh,
+}
+
+impl fmt::Display for TopologyKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TopologyKind::Quarc => "quarc",
+            TopologyKind::Spidergon => "spidergon",
+            TopologyKind::Mesh => "mesh",
+        };
+        write!(f, "{s}")
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Quarc
+// ---------------------------------------------------------------------------
+
+/// Input ports of a Quarc switch: four network inputs plus the four local
+/// ingress ports of the all-port router.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QuarcIn {
+    /// Rim input carrying clockwise traffic (link from the CCW neighbour).
+    RimCw,
+    /// Rim input carrying counter-clockwise traffic.
+    RimCcw,
+    /// Cross-right link input (arrives at the antipode; may deliver there).
+    CrossRight,
+    /// Cross-left link input (transit only — never delivers, §2.3.2).
+    CrossLeft,
+    /// Local ingress from the transceiver's per-quadrant queue.
+    Local(Quadrant),
+}
+
+impl QuarcIn {
+    /// All eight input ports.
+    pub const ALL: [QuarcIn; 8] = [
+        QuarcIn::RimCw,
+        QuarcIn::RimCcw,
+        QuarcIn::CrossRight,
+        QuarcIn::CrossLeft,
+        QuarcIn::Local(Quadrant::Right),
+        QuarcIn::Local(Quadrant::CrossRight),
+        QuarcIn::Local(Quadrant::CrossLeft),
+        QuarcIn::Local(Quadrant::Left),
+    ];
+
+    /// The four network (non-local) inputs.
+    pub const NETWORK: [QuarcIn; 4] =
+        [QuarcIn::RimCw, QuarcIn::RimCcw, QuarcIn::CrossRight, QuarcIn::CrossLeft];
+
+    /// Stable index for per-port arrays (0..8).
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            QuarcIn::RimCw => 0,
+            QuarcIn::RimCcw => 1,
+            QuarcIn::CrossRight => 2,
+            QuarcIn::CrossLeft => 3,
+            QuarcIn::Local(q) => 4 + q.index(),
+        }
+    }
+
+    /// Is this one of the four local ingress ports?
+    #[inline]
+    pub fn is_local(self) -> bool {
+        matches!(self, QuarcIn::Local(_))
+    }
+}
+
+impl fmt::Display for QuarcIn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QuarcIn::RimCw => write!(f, "in:rim-cw"),
+            QuarcIn::RimCcw => write!(f, "in:rim-ccw"),
+            QuarcIn::CrossRight => write!(f, "in:cross-right"),
+            QuarcIn::CrossLeft => write!(f, "in:cross-left"),
+            QuarcIn::Local(q) => write!(f, "in:local-{q}"),
+        }
+    }
+}
+
+/// Output ports of a Quarc switch: four network outputs plus local ejection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QuarcOut {
+    /// Rim link to the clockwise neighbour.
+    RimCw,
+    /// Rim link to the counter-clockwise neighbour.
+    RimCcw,
+    /// Cross-right link to the antipode.
+    CrossRight,
+    /// Cross-left link to the antipode.
+    CrossLeft,
+    /// Delivery to the local PE.
+    Eject,
+}
+
+impl QuarcOut {
+    /// All five output ports.
+    pub const ALL: [QuarcOut; 5] = [
+        QuarcOut::RimCw,
+        QuarcOut::RimCcw,
+        QuarcOut::CrossRight,
+        QuarcOut::CrossLeft,
+        QuarcOut::Eject,
+    ];
+
+    /// The four network (link) outputs.
+    pub const NETWORK: [QuarcOut; 4] =
+        [QuarcOut::RimCw, QuarcOut::RimCcw, QuarcOut::CrossRight, QuarcOut::CrossLeft];
+
+    /// Stable index for per-port arrays (0..5).
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            QuarcOut::RimCw => 0,
+            QuarcOut::RimCcw => 1,
+            QuarcOut::CrossRight => 2,
+            QuarcOut::CrossLeft => 3,
+            QuarcOut::Eject => 4,
+        }
+    }
+}
+
+impl fmt::Display for QuarcOut {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QuarcOut::RimCw => write!(f, "out:rim-cw"),
+            QuarcOut::RimCcw => write!(f, "out:rim-ccw"),
+            QuarcOut::CrossRight => write!(f, "out:cross-right"),
+            QuarcOut::CrossLeft => write!(f, "out:cross-left"),
+            QuarcOut::Eject => write!(f, "out:eject"),
+        }
+    }
+}
+
+/// The Quarc topology: `n` nodes (n ≡ 0 mod 4) on a ring with CW/CCW rim
+/// links and *two* unidirectional cross links per node pair.
+#[derive(Debug, Clone, Copy)]
+pub struct QuarcTopology {
+    ring: Ring,
+}
+
+impl QuarcTopology {
+    /// Build an `n`-node Quarc. Panics unless `n ≥ 4` and `n ≡ 0 (mod 4)`.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 4 && n % 4 == 0, "Quarc requires n ≥ 4 and n ≡ 0 (mod 4), got {n}");
+        QuarcTopology { ring: Ring::new(n) }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// The underlying ring arithmetic.
+    #[inline]
+    pub fn ring(&self) -> &Ring {
+        &self.ring
+    }
+
+    /// Where a network output of `node` lands: the downstream node and the
+    /// input port it feeds there. `Eject` has no downstream and returns
+    /// `None`.
+    pub fn link_target(&self, node: NodeId, out: QuarcOut) -> Option<(NodeId, QuarcIn)> {
+        match out {
+            QuarcOut::RimCw => Some((self.ring.cw(node), QuarcIn::RimCw)),
+            QuarcOut::RimCcw => Some((self.ring.ccw(node), QuarcIn::RimCcw)),
+            QuarcOut::CrossRight => Some((self.ring.antipode(node), QuarcIn::CrossRight)),
+            QuarcOut::CrossLeft => Some((self.ring.antipode(node), QuarcIn::CrossLeft)),
+            QuarcOut::Eject => None,
+        }
+    }
+
+    /// The feeder table (§2.3.2): which inputs may ever request each output.
+    ///
+    /// Note the asymmetry between the cross inputs: `CrossRight` may eject
+    /// (deliver at the antipode) while `CrossLeft` is transit-only — this is
+    /// the paper's "one of the cross input ports may require to send flits in
+    /// maximum two possible destinations".
+    pub fn feeders(out: QuarcOut) -> &'static [QuarcIn] {
+        match out {
+            QuarcOut::RimCw => {
+                &[QuarcIn::RimCw, QuarcIn::CrossRight, QuarcIn::Local(Quadrant::Right)]
+            }
+            QuarcOut::RimCcw => {
+                &[QuarcIn::RimCcw, QuarcIn::CrossLeft, QuarcIn::Local(Quadrant::Left)]
+            }
+            QuarcOut::CrossRight => &[QuarcIn::Local(Quadrant::CrossRight)],
+            QuarcOut::CrossLeft => &[QuarcIn::Local(Quadrant::CrossLeft)],
+            QuarcOut::Eject => &[QuarcIn::RimCw, QuarcIn::RimCcw, QuarcIn::CrossRight],
+        }
+    }
+
+    /// The outputs an input may request (transpose of [`Self::feeders`]).
+    pub fn destinations(input: QuarcIn) -> &'static [QuarcOut] {
+        match input {
+            QuarcIn::RimCw => &[QuarcOut::Eject, QuarcOut::RimCw],
+            QuarcIn::RimCcw => &[QuarcOut::Eject, QuarcOut::RimCcw],
+            QuarcIn::CrossRight => &[QuarcOut::Eject, QuarcOut::RimCw],
+            QuarcIn::CrossLeft => &[QuarcOut::RimCcw],
+            QuarcIn::Local(Quadrant::Right) => &[QuarcOut::RimCw],
+            QuarcIn::Local(Quadrant::CrossRight) => &[QuarcOut::CrossRight],
+            QuarcIn::Local(Quadrant::CrossLeft) => &[QuarcOut::CrossLeft],
+            QuarcIn::Local(Quadrant::Left) => &[QuarcOut::RimCcw],
+        }
+    }
+
+    /// Every directed network link as `(from, out_port, to)`.
+    pub fn links(&self) -> Vec<(NodeId, QuarcOut, NodeId)> {
+        let mut v = Vec::with_capacity(self.num_nodes() * 4);
+        for node in self.ring.nodes() {
+            for out in QuarcOut::NETWORK {
+                let (to, _) = self.link_target(node, out).expect("network port");
+                v.push((node, out, to));
+            }
+        }
+        v
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Spidergon
+// ---------------------------------------------------------------------------
+
+/// Input ports of a Spidergon switch: three network inputs plus the single
+/// local ingress of the one-port router.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SpiIn {
+    /// Rim input carrying clockwise traffic.
+    RimCw,
+    /// Rim input carrying counter-clockwise traffic.
+    RimCcw,
+    /// Cross ("spoke") link input.
+    Cross,
+    /// The single local ingress port.
+    Local,
+}
+
+impl SpiIn {
+    /// All four input ports.
+    pub const ALL: [SpiIn; 4] = [SpiIn::RimCw, SpiIn::RimCcw, SpiIn::Cross, SpiIn::Local];
+
+    /// Stable index for per-port arrays (0..4).
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            SpiIn::RimCw => 0,
+            SpiIn::RimCcw => 1,
+            SpiIn::Cross => 2,
+            SpiIn::Local => 3,
+        }
+    }
+}
+
+impl fmt::Display for SpiIn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpiIn::RimCw => write!(f, "in:rim-cw"),
+            SpiIn::RimCcw => write!(f, "in:rim-ccw"),
+            SpiIn::Cross => write!(f, "in:cross"),
+            SpiIn::Local => write!(f, "in:local"),
+        }
+    }
+}
+
+/// Output ports of a Spidergon switch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SpiOut {
+    /// Rim link to the clockwise neighbour.
+    RimCw,
+    /// Rim link to the counter-clockwise neighbour.
+    RimCcw,
+    /// Cross link to the antipode.
+    Cross,
+    /// Delivery to the local PE (single ejection port).
+    Eject,
+}
+
+impl SpiOut {
+    /// All four output ports.
+    pub const ALL: [SpiOut; 4] = [SpiOut::RimCw, SpiOut::RimCcw, SpiOut::Cross, SpiOut::Eject];
+
+    /// The three network (link) outputs.
+    pub const NETWORK: [SpiOut; 3] = [SpiOut::RimCw, SpiOut::RimCcw, SpiOut::Cross];
+
+    /// Stable index for per-port arrays (0..4).
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            SpiOut::RimCw => 0,
+            SpiOut::RimCcw => 1,
+            SpiOut::Cross => 2,
+            SpiOut::Eject => 3,
+        }
+    }
+}
+
+impl fmt::Display for SpiOut {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpiOut::RimCw => write!(f, "out:rim-cw"),
+            SpiOut::RimCcw => write!(f, "out:rim-ccw"),
+            SpiOut::Cross => write!(f, "out:cross"),
+            SpiOut::Eject => write!(f, "out:eject"),
+        }
+    }
+}
+
+/// The Spidergon topology: `n` nodes (even) on a ring with CW/CCW rim links
+/// and one cross link per node pair.
+#[derive(Debug, Clone, Copy)]
+pub struct SpidergonTopology {
+    ring: Ring,
+}
+
+impl SpidergonTopology {
+    /// Build an `n`-node Spidergon. Panics unless `n ≥ 4` and `n` is even.
+    /// (We additionally require `n ≡ 0 (mod 4)` when comparing against Quarc,
+    /// but the topology itself only needs even `n`.)
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 4 && n % 2 == 0, "Spidergon requires even n ≥ 4, got {n}");
+        SpidergonTopology { ring: Ring::new(n) }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// The underlying ring arithmetic.
+    #[inline]
+    pub fn ring(&self) -> &Ring {
+        &self.ring
+    }
+
+    /// Where a network output of `node` lands.
+    pub fn link_target(&self, node: NodeId, out: SpiOut) -> Option<(NodeId, SpiIn)> {
+        match out {
+            SpiOut::RimCw => Some((self.ring.cw(node), SpiIn::RimCw)),
+            SpiOut::RimCcw => Some((self.ring.ccw(node), SpiIn::RimCcw)),
+            SpiOut::Cross => Some((self.ring.antipode(node), SpiIn::Cross)),
+            SpiOut::Eject => None,
+        }
+    }
+
+    /// The feeder table under across-first deterministic routing.
+    ///
+    /// The cross input may continue in either rim direction (or eject), and
+    /// the single ejection port is shared by all three network inputs — both
+    /// facts make the Spidergon crossbar busier than Quarc's, which is the
+    /// structural root of the paper's cost result.
+    pub fn feeders(out: SpiOut) -> &'static [SpiIn] {
+        match out {
+            SpiOut::RimCw => &[SpiIn::RimCw, SpiIn::Cross, SpiIn::Local],
+            SpiOut::RimCcw => &[SpiIn::RimCcw, SpiIn::Cross, SpiIn::Local],
+            SpiOut::Cross => &[SpiIn::Local],
+            SpiOut::Eject => &[SpiIn::RimCw, SpiIn::RimCcw, SpiIn::Cross],
+        }
+    }
+
+    /// The outputs an input may request (transpose of [`Self::feeders`]).
+    pub fn destinations(input: SpiIn) -> &'static [SpiOut] {
+        match input {
+            SpiIn::RimCw => &[SpiOut::Eject, SpiOut::RimCw],
+            SpiIn::RimCcw => &[SpiOut::Eject, SpiOut::RimCcw],
+            SpiIn::Cross => &[SpiOut::Eject, SpiOut::RimCw, SpiOut::RimCcw],
+            SpiIn::Local => &[SpiOut::RimCw, SpiOut::RimCcw, SpiOut::Cross],
+        }
+    }
+
+    /// Every directed network link as `(from, out_port, to)`.
+    pub fn links(&self) -> Vec<(NodeId, SpiOut, NodeId)> {
+        let mut v = Vec::with_capacity(self.num_nodes() * 3);
+        for node in self.ring.nodes() {
+            for out in SpiOut::NETWORK {
+                let (to, _) = self.link_target(node, out).expect("network port");
+                v.push((node, out, to));
+            }
+        }
+        v
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Mesh (validation / extension)
+// ---------------------------------------------------------------------------
+
+/// Output ports of a mesh router (XY dimension-ordered routing).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MeshOut {
+    /// +x direction.
+    East,
+    /// −x direction.
+    West,
+    /// +y direction.
+    North,
+    /// −y direction.
+    South,
+    /// Delivery to the local PE.
+    Eject,
+}
+
+impl MeshOut {
+    /// All five ports.
+    pub const ALL: [MeshOut; 5] =
+        [MeshOut::East, MeshOut::West, MeshOut::North, MeshOut::South, MeshOut::Eject];
+
+    /// Stable index (0..5).
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            MeshOut::East => 0,
+            MeshOut::West => 1,
+            MeshOut::North => 2,
+            MeshOut::South => 3,
+            MeshOut::Eject => 4,
+        }
+    }
+}
+
+/// A `cols × rows` 2D mesh with XY routing; node `i` sits at
+/// `(i % cols, i / cols)`.
+#[derive(Debug, Clone, Copy)]
+pub struct MeshTopology {
+    cols: usize,
+    rows: usize,
+}
+
+impl MeshTopology {
+    /// Build a mesh. Panics if either dimension is zero.
+    pub fn new(cols: usize, rows: usize) -> Self {
+        assert!(cols >= 1 && rows >= 1, "mesh dimensions must be positive");
+        assert!(cols * rows <= u16::MAX as usize);
+        MeshTopology { cols, rows }
+    }
+
+    /// A near-square mesh of at least `n` nodes (used to compare against ring
+    /// topologies of size `n`).
+    pub fn square(n: usize) -> Self {
+        let side = (n as f64).sqrt().ceil() as usize;
+        MeshTopology::new(side, side)
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.cols * self.rows
+    }
+
+    /// Columns (x extent).
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Rows (y extent).
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Node coordinates.
+    #[inline]
+    pub fn coords(&self, node: NodeId) -> (usize, usize) {
+        (node.index() % self.cols, node.index() / self.cols)
+    }
+
+    /// Node at coordinates.
+    #[inline]
+    pub fn node_at(&self, x: usize, y: usize) -> NodeId {
+        debug_assert!(x < self.cols && y < self.rows);
+        NodeId::new(y * self.cols + x)
+    }
+
+    /// Where a network output of `node` lands (inputs are identified by the
+    /// *opposite* output direction at the receiver). `None` at mesh edges.
+    pub fn link_target(&self, node: NodeId, out: MeshOut) -> Option<NodeId> {
+        let (x, y) = self.coords(node);
+        match out {
+            MeshOut::East if x + 1 < self.cols => Some(self.node_at(x + 1, y)),
+            MeshOut::West if x > 0 => Some(self.node_at(x - 1, y)),
+            MeshOut::North if y + 1 < self.rows => Some(self.node_at(x, y + 1)),
+            MeshOut::South if y > 0 => Some(self.node_at(x, y - 1)),
+            _ => None,
+        }
+    }
+
+    /// XY-routing decision: x first, then y, then eject.
+    pub fn route(&self, cur: NodeId, dst: NodeId) -> MeshOut {
+        let (cx, cy) = self.coords(cur);
+        let (dx, dy) = self.coords(dst);
+        if dx > cx {
+            MeshOut::East
+        } else if dx < cx {
+            MeshOut::West
+        } else if dy > cy {
+            MeshOut::North
+        } else if dy < cy {
+            MeshOut::South
+        } else {
+            MeshOut::Eject
+        }
+    }
+
+    /// Manhattan hop count.
+    pub fn hops(&self, src: NodeId, dst: NodeId) -> usize {
+        let (sx, sy) = self.coords(src);
+        let (dx, dy) = self.coords(dst);
+        sx.abs_diff(dx) + sy.abs_diff(dy)
+    }
+
+    /// Mesh diameter `2(√n − 1)` for a square mesh — the paper compares the
+    /// Quarc diameter `n/4` against this in §2.6.
+    pub fn diameter(&self) -> usize {
+        (self.cols - 1) + (self.rows - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quarc_port_indices_are_dense() {
+        let mut seen = [false; 8];
+        for p in QuarcIn::ALL {
+            assert!(!seen[p.index()]);
+            seen[p.index()] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+        let mut seen = [false; 5];
+        for p in QuarcOut::ALL {
+            assert!(!seen[p.index()]);
+            seen[p.index()] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn quarc_links_form_consistent_graph() {
+        let t = QuarcTopology::new(16);
+        // Each node has 4 outgoing network links; every incoming port of every
+        // node is fed by exactly one link.
+        let links = t.links();
+        assert_eq!(links.len(), 64);
+        let mut incoming = std::collections::HashMap::new();
+        for node in t.ring().nodes() {
+            for out in QuarcOut::NETWORK {
+                let (to, in_port) = t.link_target(node, out).unwrap();
+                assert!(
+                    incoming.insert((to, in_port), node).is_none(),
+                    "duplicate feeder for {to} {in_port}"
+                );
+            }
+        }
+        assert_eq!(incoming.len(), 64);
+    }
+
+    #[test]
+    fn quarc_cross_links_are_antipodal_and_paired() {
+        let t = QuarcTopology::new(16);
+        for node in t.ring().nodes() {
+            let (r, pr) = t.link_target(node, QuarcOut::CrossRight).unwrap();
+            let (l, pl) = t.link_target(node, QuarcOut::CrossLeft).unwrap();
+            assert_eq!(r, l, "both cross links reach the antipode");
+            assert_eq!(r, t.ring().antipode(node));
+            assert_eq!(pr, QuarcIn::CrossRight);
+            assert_eq!(pl, QuarcIn::CrossLeft);
+        }
+    }
+
+    #[test]
+    fn quarc_feeder_table_matches_paper_section_232() {
+        // "left, right and one of the cross input port may require to send
+        // flits in maximum two possible destinations. The remaining input
+        // ports only have one possible destination OPC."
+        let two_dest: Vec<QuarcIn> = QuarcIn::ALL
+            .into_iter()
+            .filter(|&p| QuarcTopology::destinations(p).len() == 2)
+            .collect();
+        let one_dest: Vec<QuarcIn> = QuarcIn::ALL
+            .into_iter()
+            .filter(|&p| QuarcTopology::destinations(p).len() == 1)
+            .collect();
+        assert_eq!(two_dest, vec![QuarcIn::RimCw, QuarcIn::RimCcw, QuarcIn::CrossRight]);
+        assert_eq!(one_dest.len(), 5); // cross-left + 4 local ingress ports
+        assert!(one_dest.contains(&QuarcIn::CrossLeft));
+    }
+
+    #[test]
+    fn quarc_feeders_and_destinations_are_transposes() {
+        for out in QuarcOut::ALL {
+            for &input in QuarcTopology::feeders(out) {
+                assert!(
+                    QuarcTopology::destinations(input).contains(&out),
+                    "{input} feeds {out} but {out} not in destinations({input})"
+                );
+            }
+        }
+        for input in QuarcIn::ALL {
+            for &out in QuarcTopology::destinations(input) {
+                assert!(QuarcTopology::feeders(out).contains(&input));
+            }
+        }
+    }
+
+    #[test]
+    fn spidergon_feeders_and_destinations_are_transposes() {
+        for out in SpiOut::ALL {
+            for &input in SpidergonTopology::feeders(out) {
+                assert!(SpidergonTopology::destinations(input).contains(&out));
+            }
+        }
+        for input in SpiIn::ALL {
+            for &out in SpidergonTopology::destinations(input) {
+                assert!(SpidergonTopology::feeders(out).contains(&input));
+            }
+        }
+    }
+
+    #[test]
+    fn spidergon_links_count() {
+        let t = SpidergonTopology::new(16);
+        assert_eq!(t.links().len(), 48); // 3 unidirectional network links/node
+        let (to, port) = t.link_target(NodeId(3), SpiOut::Cross).unwrap();
+        assert_eq!(to, NodeId(11));
+        assert_eq!(port, SpiIn::Cross);
+    }
+
+    #[test]
+    fn quarc_edge_count_doubles_cross_capacity() {
+        // Quarc has 4n directed links vs Spidergon's 3n: the doubled spoke.
+        let q = QuarcTopology::new(32);
+        let s = SpidergonTopology::new(32);
+        assert_eq!(q.links().len(), 128);
+        assert_eq!(s.links().len(), 96);
+    }
+
+    #[test]
+    fn mesh_coords_roundtrip() {
+        let m = MeshTopology::new(4, 4);
+        for i in 0..16usize {
+            let n = NodeId::new(i);
+            let (x, y) = m.coords(n);
+            assert_eq!(m.node_at(x, y), n);
+        }
+    }
+
+    #[test]
+    fn mesh_xy_route_reaches_destination() {
+        let m = MeshTopology::new(4, 4);
+        for s in 0..16usize {
+            for t in 0..16usize {
+                let (src, dst) = (NodeId::new(s), NodeId::new(t));
+                let mut cur = src;
+                let mut hops = 0;
+                loop {
+                    match m.route(cur, dst) {
+                        MeshOut::Eject => break,
+                        out => {
+                            cur = m.link_target(cur, out).expect("route stays in mesh");
+                            hops += 1;
+                        }
+                    }
+                    assert!(hops <= m.diameter(), "route diverged");
+                }
+                assert_eq!(cur, dst);
+                assert_eq!(hops, m.hops(src, dst));
+            }
+        }
+    }
+
+    #[test]
+    fn mesh_edges_have_no_neighbours_outside() {
+        let m = MeshTopology::new(3, 3);
+        assert_eq!(m.link_target(NodeId(2), MeshOut::East), None);
+        assert_eq!(m.link_target(NodeId(0), MeshOut::West), None);
+        assert_eq!(m.link_target(NodeId(0), MeshOut::South), None);
+        assert_eq!(m.link_target(NodeId(8), MeshOut::North), None);
+    }
+
+    #[test]
+    fn diameter_comparison_quarc_vs_mesh() {
+        // §2.6 motivates the 64-node cap: the Quarc diameter n/4 grows
+        // linearly while the mesh diameter 2(√n − 1) grows as √n, so the ring
+        // topologies stop being competitive somewhere below n = 64
+        // (16 vs 14 at n = 64).
+        for n in [16usize, 36] {
+            let mesh = MeshTopology::square(n);
+            assert!(n / 4 <= mesh.diameter(), "n={n}");
+        }
+        assert!(64 / 4 > MeshTopology::square(64).diameter());
+    }
+
+    #[test]
+    fn topology_kind_display() {
+        assert_eq!(TopologyKind::Quarc.to_string(), "quarc");
+        assert_eq!(TopologyKind::Spidergon.to_string(), "spidergon");
+        assert_eq!(TopologyKind::Mesh.to_string(), "mesh");
+    }
+}

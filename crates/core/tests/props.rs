@@ -1,0 +1,198 @@
+//! Property-based tests over the core routing and encoding invariants.
+//!
+//! These complement the unit tests with randomly generated configurations:
+//! any counterexample here would be a soundness bug in the reproduction (a
+//! mis-routed packet, a node missed by a broadcast, or a corrupted wire
+//! word), so the strategies deliberately cover every legal network size.
+
+use proptest::prelude::*;
+use quarc_core::flit::wire::{decode, encode, WireFlit};
+use quarc_core::prelude::*;
+use std::collections::HashSet;
+
+/// Legal Quarc network sizes (n ≡ 0 mod 4, ≤ 64 per the 6-bit address field).
+fn quarc_sizes() -> impl Strategy<Value = usize> {
+    prop_oneof![Just(4usize), Just(8), Just(12), Just(16), Just(24), Just(32), Just(48), Just(64)]
+}
+
+fn arb_class() -> impl Strategy<Value = TrafficClass> {
+    prop_oneof![
+        Just(TrafficClass::Unicast),
+        Just(TrafficClass::Multicast),
+        Just(TrafficClass::Broadcast),
+        Just(TrafficClass::ChainRim),
+        Just(TrafficClass::ChainCross),
+    ]
+}
+
+fn arb_dir() -> impl Strategy<Value = RingDir> {
+    prop_oneof![Just(RingDir::Cw), Just(RingDir::Ccw)]
+}
+
+proptest! {
+    /// Every header survives an encode/decode round trip bit-exactly.
+    #[test]
+    fn header_wire_roundtrip(
+        class in arb_class(),
+        dir in arb_dir(),
+        src in 0u16..64,
+        dst in 0u16..64,
+        bitstring in any::<u16>(),
+    ) {
+        let meta = PacketMeta {
+            message: MessageId(0),
+            packet: PacketId(0),
+            class,
+            src: NodeId(src),
+            dst: NodeId(dst),
+            bitstring,
+            dir,
+            len: 2,
+            created_at: 0,
+        };
+        let flit = Flit { meta, seq: 0, kind: FlitKind::Header, payload: 0 };
+        match decode(encode(&flit)).expect("valid encoding") {
+            WireFlit::Header { class: c, dir: d, bitstring: b, src: s, dst: t } => {
+                prop_assert_eq!(c, class);
+                prop_assert_eq!(d, dir);
+                prop_assert_eq!(b, bitstring);
+                prop_assert_eq!(s, NodeId(src));
+                prop_assert_eq!(t, NodeId(dst));
+            }
+            other => prop_assert!(false, "decoded {:?}", other),
+        }
+    }
+
+    /// Body and tail payloads survive the round trip.
+    #[test]
+    fn payload_wire_roundtrip(payload in any::<u32>(), tail in any::<bool>()) {
+        let meta = PacketMeta {
+            message: MessageId(0),
+            packet: PacketId(0),
+            class: TrafficClass::Unicast,
+            src: NodeId(0),
+            dst: NodeId(1),
+            bitstring: 0,
+            dir: RingDir::Cw,
+            len: 2,
+            created_at: 0,
+        };
+        let kind = if tail { FlitKind::Tail } else { FlitKind::Body };
+        let flit = Flit { meta, seq: 1, kind, payload };
+        let decoded = decode(encode(&flit)).expect("valid encoding");
+        match (tail, decoded) {
+            (true, WireFlit::Tail(p)) | (false, WireFlit::Body(p)) => prop_assert_eq!(p, payload),
+            other => prop_assert!(false, "decoded {:?}", other.1),
+        }
+    }
+
+    /// Unicast paths are valid walks: each hop is rim-adjacent or antipodal,
+    /// the walk ends at the destination and its length equals `unicast_hops`.
+    #[test]
+    fn unicast_path_is_valid_walk(n in quarc_sizes(), src_raw in 0usize..64, dst_raw in 0usize..64) {
+        let ring = Ring::new(n);
+        let src = NodeId::new(src_raw % n);
+        let dst = NodeId::new(dst_raw % n);
+        let path = unicast_path(&ring, src, dst);
+        prop_assert_eq!(path.len(), unicast_hops(&ring, src, dst));
+        let mut prev = src;
+        for (i, &node) in path.iter().enumerate() {
+            let adjacent = node == ring.cw(prev) || node == ring.ccw(prev);
+            let crossed = node == ring.antipode(prev) && i == 0;
+            prop_assert!(adjacent || crossed, "illegal hop {prev}->{node}");
+            prev = node;
+        }
+        if src != dst {
+            prop_assert_eq!(*path.last().unwrap(), dst);
+        }
+    }
+
+    /// Broadcast branches partition the non-source nodes exactly.
+    #[test]
+    fn broadcast_partitions_network(n in quarc_sizes(), src_raw in 0usize..64) {
+        let ring = Ring::new(n);
+        let src = NodeId::new(src_raw % n);
+        let mut covered = HashSet::new();
+        for b in broadcast_branches(&ring, src) {
+            for d in &b.deliveries {
+                prop_assert!(covered.insert(*d), "{d} covered twice");
+            }
+            // Header destination is the last delivery of the branch.
+            prop_assert_eq!(*b.deliveries.last().unwrap(), b.dst);
+        }
+        prop_assert_eq!(covered.len(), n - 1);
+        prop_assert!(!covered.contains(&src));
+    }
+
+    /// Multicast branches deliver to exactly the requested target set, and
+    /// the bitstring has exactly one bit per delivery.
+    #[test]
+    fn multicast_hits_exact_target_set(
+        n in quarc_sizes(),
+        src_raw in 0usize..64,
+        target_bits in any::<u64>(),
+    ) {
+        let ring = Ring::new(n);
+        let src = NodeId::new(src_raw % n);
+        let targets: Vec<NodeId> = (0..n)
+            .filter(|&i| target_bits & (1 << i) != 0)
+            .map(NodeId::new)
+            .collect();
+        let want: HashSet<NodeId> = targets.iter().copied().filter(|&t| t != src).collect();
+        let branches = multicast_branches(&ring, src, &targets);
+        let mut got = HashSet::new();
+        for b in &branches {
+            prop_assert_eq!(b.bitstring.count_ones() as usize, b.deliveries.len());
+            for d in &b.deliveries {
+                prop_assert!(got.insert(*d), "{d} delivered twice");
+            }
+        }
+        prop_assert_eq!(got, want);
+    }
+
+    /// Quarc preserves Spidergon's shortest-path distances (paper §2.2).
+    #[test]
+    fn distances_agree(n in quarc_sizes(), a in 0usize..64, b in 0usize..64) {
+        let ring = Ring::new(n);
+        let (a, b) = (NodeId::new(a % n), NodeId::new(b % n));
+        prop_assert_eq!(unicast_hops(&ring, a, b), spidergon_hops(&ring, a, b));
+    }
+
+    /// The Spidergon replication chain covers every node exactly once
+    /// regardless of source.
+    #[test]
+    fn chain_broadcast_partitions_network(n in quarc_sizes(), src_raw in 0usize..64) {
+        let ring = Ring::new(n);
+        let src = NodeId::new(src_raw % n);
+        let mut covered = HashSet::new();
+        let mut queue = spidergon_broadcast_seeds(&ring, src);
+        while let Some(seed) = queue.pop() {
+            prop_assert!(covered.insert(seed.dst), "{} twice", seed.dst);
+            let meta = PacketMeta {
+                message: MessageId(0),
+                packet: PacketId(0),
+                class: seed.class,
+                src,
+                dst: seed.dst,
+                bitstring: seed.remaining,
+                dir: seed.dir,
+                len: 2,
+                created_at: 0,
+            };
+            queue.extend(chain_continuations(&ring, seed.dst, &meta));
+        }
+        prop_assert_eq!(covered.len(), n - 1);
+    }
+
+    /// The quadrant decision is a function of the CW distance only
+    /// (vertex symmetry of the topology).
+    #[test]
+    fn quadrant_depends_only_on_distance(n in quarc_sizes(), s in 0usize..64, d in 1usize..64) {
+        let ring = Ring::new(n);
+        let d = 1 + (d % (n - 1));
+        let s = s % n;
+        let q0 = quadrant_of(&ring, NodeId(0), NodeId::new(d % n));
+        let qs = quadrant_of(&ring, NodeId::new(s), NodeId::new((s + d) % n));
+        prop_assert_eq!(q0, qs);
+    }
+}

@@ -1,0 +1,198 @@
+//! Deterministic, forkable random number generation.
+//!
+//! Every stochastic element of a simulation (per-node injection processes,
+//! destination choices, traffic-class coin flips) draws from a [`DetRng`]
+//! derived from the run's master seed and a stream identifier, so that runs
+//! are bit-reproducible and per-node streams are statistically independent of
+//! each other regardless of how many draws each one makes.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// SplitMix64 step — used to whiten (seed, stream) pairs into SmallRng seeds.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A deterministic RNG stream.
+#[derive(Debug, Clone)]
+pub struct DetRng {
+    inner: SmallRng,
+    seed: u64,
+}
+
+impl DetRng {
+    /// Master stream for a run.
+    pub fn new(seed: u64) -> Self {
+        DetRng { inner: SmallRng::seed_from_u64(splitmix64(seed)), seed }
+    }
+
+    /// An independent stream derived from this RNG's seed and `stream`.
+    /// Forking is a pure function of `(seed, stream)` — it does not consume
+    /// state from `self` — so components can be created in any order.
+    pub fn fork(&self, stream: u64) -> DetRng {
+        let mixed = splitmix64(self.seed ^ splitmix64(stream.wrapping_add(0xA5A5_5A5A)));
+        DetRng { inner: SmallRng::seed_from_u64(mixed), seed: mixed }
+    }
+
+    /// A uniformly random `u64`.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.random()
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    #[inline]
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            self.inner.random_bool(p)
+        }
+    }
+
+    /// Uniform integer in `[0, bound)`. Panics if `bound == 0`.
+    #[inline]
+    pub fn below(&mut self, bound: usize) -> usize {
+        self.inner.random_range(0..bound)
+    }
+
+    /// Uniform integer in `[0, bound)` excluding `not`; used for uniform
+    /// destination selection (a PE never messages itself). Panics if
+    /// `bound < 2`.
+    #[inline]
+    pub fn below_excluding(&mut self, bound: usize, not: usize) -> usize {
+        debug_assert!(bound >= 2 && not < bound);
+        let v = self.inner.random_range(0..bound - 1);
+        if v >= not {
+            v + 1
+        } else {
+            v
+        }
+    }
+
+    /// A geometric inter-arrival gap: the number of *additional* cycles until
+    /// the next arrival of a Bernoulli(`rate`) per-cycle process (the
+    /// discrete-time analogue of Poisson arrivals used by NoC simulators).
+    /// Returns at least 1. For `rate >= 1` every cycle has an arrival.
+    pub fn geometric_gap(&mut self, rate: f64) -> u64 {
+        if rate >= 1.0 {
+            return 1;
+        }
+        assert!(rate > 0.0, "geometric_gap needs a positive rate");
+        let u: f64 = self.inner.random();
+        // Inverse CDF of the geometric distribution on {1, 2, ...}.
+        let gap = (1.0 - u).ln() / (1.0 - rate).ln();
+        (gap.ceil() as u64).max(1)
+    }
+
+    /// A uniformly random `f64` in `[0, 1)`.
+    #[inline]
+    pub fn unit(&mut self) -> f64 {
+        self.inner.random()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = DetRng::new(42);
+        let mut b = DetRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = DetRng::new(1);
+        let mut b = DetRng::new(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 2);
+    }
+
+    #[test]
+    fn forks_are_independent_of_parent_consumption() {
+        let parent = DetRng::new(7);
+        let mut f1 = parent.fork(3);
+        let parent2 = DetRng::new(7);
+        let _ = DetRng::new(7); // unrelated
+        let mut f2 = parent2.fork(3);
+        for _ in 0..50 {
+            assert_eq!(f1.next_u64(), f2.next_u64());
+        }
+    }
+
+    #[test]
+    fn forks_with_different_streams_differ() {
+        let parent = DetRng::new(7);
+        let mut a = parent.fork(0);
+        let mut b = parent.fork(1);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 2);
+    }
+
+    #[test]
+    fn below_excluding_never_returns_excluded() {
+        let mut r = DetRng::new(11);
+        for not in 0..8 {
+            for _ in 0..200 {
+                let v = r.below_excluding(8, not);
+                assert!(v < 8 && v != not);
+            }
+        }
+    }
+
+    #[test]
+    fn below_excluding_is_roughly_uniform() {
+        let mut r = DetRng::new(13);
+        let mut counts = [0usize; 8];
+        for _ in 0..80_000 {
+            counts[r.below_excluding(8, 3)] += 1;
+        }
+        assert_eq!(counts[3], 0);
+        for (i, &c) in counts.iter().enumerate() {
+            if i != 3 {
+                // Expected ~11428 each; allow ±10%.
+                assert!((10_200..12_700).contains(&c), "bucket {i}: {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = DetRng::new(5);
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+        assert!(!r.chance(-0.5));
+        assert!(r.chance(1.5));
+    }
+
+    #[test]
+    fn geometric_gap_mean_matches_rate() {
+        let mut r = DetRng::new(99);
+        let rate = 0.1;
+        let n = 50_000;
+        let total: u64 = (0..n).map(|_| r.geometric_gap(rate)).sum();
+        let mean = total as f64 / n as f64;
+        // Mean of geometric on {1,2,...} with success prob 0.1 is 10.
+        assert!((mean - 10.0).abs() < 0.3, "mean {mean}");
+    }
+
+    #[test]
+    fn geometric_gap_saturates_at_one() {
+        let mut r = DetRng::new(1);
+        for _ in 0..100 {
+            assert_eq!(r.geometric_gap(1.0), 1);
+            assert_eq!(r.geometric_gap(2.0), 1);
+        }
+    }
+}

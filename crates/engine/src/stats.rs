@@ -1,0 +1,405 @@
+//! Online statistics for simulation measurements.
+//!
+//! Latency samples arrive one packet at a time over millions of cycles, so
+//! everything here is single-pass and constant-memory: Welford mean/variance
+//! ([`OnlineStats`]), a power-of-two histogram with percentile queries
+//! ([`LatencyHistogram`]), and batch-means steady-state estimation
+//! ([`BatchMeans`]) used by the load-sweep harness to decide when a point has
+//! converged or saturated.
+
+/// Single-pass mean / variance / extrema (Welford's algorithm).
+#[derive(Debug, Clone, Default)]
+pub struct OnlineStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        OnlineStats { count: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    /// Add one sample.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Unbiased sample variance (0 for fewer than two samples).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest sample (`None` if empty).
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest sample (`None` if empty).
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Merge another accumulator into this one (parallel sweeps).
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        self.mean += delta * other.count as f64 / total as f64;
+        self.m2 += other.m2
+            + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
+        self.count = total;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// A histogram over `u64` values with geometric (power-of-two) buckets:
+/// bucket `k` holds values in `[2^(k−1), 2^k)` (bucket 0 holds only zero).
+/// Gives ≤ 2× relative error on percentile queries at constant memory, which
+/// is ample for latency distribution shape checks.
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    buckets: [u64; 65],
+    count: u64,
+    total: u128,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram { buckets: [0; 65], count: 0, total: 0 }
+    }
+
+    fn bucket_of(value: u64) -> usize {
+        (64 - value.leading_zeros()) as usize
+    }
+
+    /// Record one value.
+    pub fn record(&mut self, value: u64) {
+        self.buckets[Self::bucket_of(value)] += 1;
+        self.count += 1;
+        self.total += value as u128;
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact mean of recorded values.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total as f64 / self.count as f64
+        }
+    }
+
+    /// Upper bound of the bucket containing the `p`-th percentile
+    /// (`0 < p ≤ 100`). `None` if empty.
+    pub fn percentile(&self, p: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (k, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(if k == 0 { 0 } else { (1u64 << k).saturating_sub(1) });
+            }
+        }
+        Some(u64::MAX)
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.total += other.total;
+    }
+}
+
+/// Batch-means steady-state estimation: samples are grouped into fixed-size
+/// batches; the variance of batch means estimates the Monte-Carlo error of
+/// the grand mean far better than the raw sample variance does for the
+/// autocorrelated samples a queueing simulation produces.
+#[derive(Debug, Clone)]
+pub struct BatchMeans {
+    batch_size: u64,
+    current_sum: f64,
+    current_count: u64,
+    batch_means: Vec<f64>,
+}
+
+impl BatchMeans {
+    /// Accumulator with the given batch size (samples per batch).
+    pub fn new(batch_size: u64) -> Self {
+        assert!(batch_size > 0);
+        BatchMeans { batch_size, current_sum: 0.0, current_count: 0, batch_means: Vec::new() }
+    }
+
+    /// Add one sample.
+    pub fn push(&mut self, x: f64) {
+        self.current_sum += x;
+        self.current_count += 1;
+        if self.current_count == self.batch_size {
+            self.batch_means.push(self.current_sum / self.batch_size as f64);
+            self.current_sum = 0.0;
+            self.current_count = 0;
+        }
+    }
+
+    /// Number of completed batches.
+    pub fn batches(&self) -> usize {
+        self.batch_means.len()
+    }
+
+    /// Grand mean over completed batches (`None` until one completes).
+    pub fn mean(&self) -> Option<f64> {
+        if self.batch_means.is_empty() {
+            return None;
+        }
+        Some(self.batch_means.iter().sum::<f64>() / self.batch_means.len() as f64)
+    }
+
+    /// Standard error of the grand mean (`None` until two batches complete).
+    pub fn std_error(&self) -> Option<f64> {
+        let k = self.batch_means.len();
+        if k < 2 {
+            return None;
+        }
+        let mean = self.mean().expect("non-empty");
+        let var = self
+            .batch_means
+            .iter()
+            .map(|m| (m - mean) * (m - mean))
+            .sum::<f64>()
+            / (k - 1) as f64;
+        Some((var / k as f64).sqrt())
+    }
+
+    /// Whether the estimate has converged to the requested relative
+    /// half-width (e.g. `0.05` for ±5%), with at least `min_batches` batches.
+    pub fn converged(&self, rel: f64, min_batches: usize) -> bool {
+        if self.batches() < min_batches.max(2) {
+            return false;
+        }
+        let mean = self.mean().expect("non-empty");
+        let se = self.std_error().expect(">=2 batches");
+        // Student-t at 95% ≈ 2 for the batch counts we use.
+        mean.abs() > f64::EPSILON && 2.0 * se / mean.abs() <= rel
+    }
+}
+
+/// A windowed throughput meter: counts events and reports events/cycle.
+#[derive(Debug, Clone, Default)]
+pub struct Throughput {
+    events: u64,
+    start: u64,
+    end: u64,
+}
+
+impl Throughput {
+    /// Meter measuring from `start` (cycle).
+    pub fn new(start: u64) -> Self {
+        Throughput { events: 0, start, end: start }
+    }
+
+    /// Record `k` events at cycle `now`.
+    pub fn record(&mut self, now: u64, k: u64) {
+        self.events += k;
+        self.end = self.end.max(now);
+    }
+
+    /// Mark the end of the measurement window.
+    pub fn close(&mut self, now: u64) {
+        self.end = self.end.max(now);
+    }
+
+    /// Total events recorded.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// Events per cycle over the window (0 for an empty window).
+    pub fn per_cycle(&self) -> f64 {
+        if self.end <= self.start {
+            0.0
+        } else {
+            self.events as f64 / (self.end - self.start) as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_matches_naive() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let mut s = OnlineStats::new();
+        for &x in &xs {
+            s.push(x);
+        }
+        assert_eq!(s.count(), 6);
+        assert!((s.mean() - 3.5).abs() < 1e-12);
+        assert!((s.variance() - 3.5).abs() < 1e-12);
+        assert_eq!(s.min(), Some(1.0));
+        assert_eq!(s.max(), Some(6.0));
+    }
+
+    #[test]
+    fn welford_merge_equals_single_pass() {
+        let mut all = OnlineStats::new();
+        let mut a = OnlineStats::new();
+        let mut b = OnlineStats::new();
+        for i in 0..100 {
+            let x = (i as f64).sin() * 10.0;
+            all.push(x);
+            if i % 2 == 0 {
+                a.push(x);
+            } else {
+                b.push(x);
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert!((a.mean() - all.mean()).abs() < 1e-9);
+        assert!((a.variance() - all.variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_stats_are_safe() {
+        let s = OnlineStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.min(), None);
+        let mut a = OnlineStats::new();
+        a.merge(&s);
+        assert_eq!(a.count(), 0);
+    }
+
+    #[test]
+    fn histogram_mean_is_exact() {
+        let mut h = LatencyHistogram::new();
+        for v in [10u64, 20, 30, 40] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert!((h.mean() - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_percentile_brackets_value() {
+        let mut h = LatencyHistogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let p50 = h.percentile(50.0).unwrap();
+        // True median 500; bucket upper bound must bracket it within 2x.
+        assert!((500..=1023).contains(&p50), "p50 {p50}");
+        let p100 = h.percentile(100.0).unwrap();
+        assert!(p100 >= 1000);
+        assert_eq!(LatencyHistogram::new().percentile(50.0), None);
+    }
+
+    #[test]
+    fn histogram_zero_goes_to_bucket_zero() {
+        let mut h = LatencyHistogram::new();
+        h.record(0);
+        assert_eq!(h.percentile(100.0), Some(0));
+    }
+
+    #[test]
+    fn histogram_merge() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        a.record(5);
+        b.record(15);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert!((a.mean() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn batch_means_converges_on_constant_stream() {
+        let mut bm = BatchMeans::new(10);
+        for _ in 0..100 {
+            bm.push(42.0);
+        }
+        assert_eq!(bm.batches(), 10);
+        assert_eq!(bm.mean(), Some(42.0));
+        assert_eq!(bm.std_error(), Some(0.0));
+        assert!(bm.converged(0.01, 5));
+    }
+
+    #[test]
+    fn batch_means_not_converged_early() {
+        let mut bm = BatchMeans::new(10);
+        for i in 0..15 {
+            bm.push(i as f64);
+        }
+        assert_eq!(bm.batches(), 1);
+        assert!(!bm.converged(0.5, 2));
+        assert!(bm.std_error().is_none());
+    }
+
+    #[test]
+    fn throughput_rate() {
+        let mut t = Throughput::new(100);
+        t.record(150, 25);
+        t.close(200);
+        assert_eq!(t.events(), 25);
+        assert!((t.per_cycle() - 0.25).abs() < 1e-12);
+        let empty = Throughput::new(10);
+        assert_eq!(empty.per_cycle(), 0.0);
+    }
+}

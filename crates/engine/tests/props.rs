@@ -1,0 +1,111 @@
+//! Property tests for the simulation kernel: ordering of the event queue,
+//! statistical correctness of the accumulators, reproducibility of the RNG.
+
+use proptest::prelude::*;
+use quarc_engine::stats::{BatchMeans, LatencyHistogram, OnlineStats};
+use quarc_engine::{DetRng, EventQueue};
+
+proptest! {
+    /// Events always pop in (time, insertion) order regardless of push order.
+    #[test]
+    fn event_queue_is_a_stable_priority_queue(times in prop::collection::vec(0u64..1000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(t, (t, i));
+        }
+        let drained = q.drain_due(u64::MAX);
+        // Sorted by time; among equal times, by insertion index.
+        for w in drained.windows(2) {
+            prop_assert!(w[0].0 < w[1].0 || (w[0].0 == w[1].0 && w[0].1 < w[1].1));
+        }
+        prop_assert_eq!(drained.len(), times.len());
+    }
+
+    /// `pop_due` never returns an event from the future.
+    #[test]
+    fn pop_due_respects_horizon(times in prop::collection::vec(0u64..1000, 1..100), now in 0u64..1000) {
+        let mut q = EventQueue::new();
+        for &t in &times {
+            q.push(t, t);
+        }
+        let due = q.drain_due(now);
+        prop_assert!(due.iter().all(|&t| t <= now));
+        prop_assert_eq!(due.len() + q.len(), times.len());
+    }
+
+    /// Welford mean/variance agree with the two-pass formulas.
+    #[test]
+    fn welford_matches_two_pass(xs in prop::collection::vec(-1e6f64..1e6, 2..300)) {
+        let mut s = OnlineStats::new();
+        for &x in &xs {
+            s.push(x);
+        }
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1.0);
+        prop_assert!((s.mean() - mean).abs() <= 1e-6 * (1.0 + mean.abs()));
+        prop_assert!((s.variance() - var).abs() <= 1e-5 * (1.0 + var.abs()));
+    }
+
+    /// Merging split accumulators equals one-pass accumulation.
+    #[test]
+    fn welford_merge_is_associative(
+        xs in prop::collection::vec(-1e3f64..1e3, 1..100),
+        split in 0usize..100,
+    ) {
+        let split = split % xs.len().max(1);
+        let mut whole = OnlineStats::new();
+        let mut left = OnlineStats::new();
+        let mut right = OnlineStats::new();
+        for (i, &x) in xs.iter().enumerate() {
+            whole.push(x);
+            if i < split { left.push(x) } else { right.push(x) }
+        }
+        left.merge(&right);
+        prop_assert_eq!(left.count(), whole.count());
+        prop_assert!((left.mean() - whole.mean()).abs() < 1e-9 * (1.0 + whole.mean().abs()));
+    }
+
+    /// Histogram percentiles bracket true values within the 2x bucket bound.
+    #[test]
+    fn histogram_percentile_within_bucket_error(values in prop::collection::vec(1u64..1_000_000, 1..300)) {
+        let mut h = LatencyHistogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        let true_median = sorted[(sorted.len() - 1) / 2];
+        let est = h.percentile(50.0).unwrap();
+        // Bucket upper bound: est is within [true/1, 2*true] roughly.
+        prop_assert!(est >= true_median / 2, "est {est} vs median {true_median}");
+        prop_assert!(est <= true_median.saturating_mul(2).max(1), "est {est} vs {true_median}");
+    }
+
+    /// Same seed → same stream; fork independence from consumption order.
+    #[test]
+    fn rng_reproducible(seed in any::<u64>(), stream in any::<u64>()) {
+        let mut a = DetRng::new(seed).fork(stream);
+        let mut b = DetRng::new(seed).fork(stream);
+        for _ in 0..16 {
+            prop_assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    /// Batch-means grand mean equals the plain mean over complete batches.
+    #[test]
+    fn batch_means_mean_is_exact(xs in prop::collection::vec(0f64..100.0, 10..200)) {
+        let batch = 5u64;
+        let mut bm = BatchMeans::new(batch);
+        for &x in &xs {
+            bm.push(x);
+        }
+        let complete = (xs.len() / batch as usize) * batch as usize;
+        if complete > 0 {
+            let plain = xs[..complete].iter().sum::<f64>() / complete as f64;
+            prop_assert!((bm.mean().unwrap() - plain).abs() < 1e-9);
+        } else {
+            prop_assert!(bm.mean().is_none());
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! The Flow Control Unit (§2.3.2).
+//!
+//! "First when it receives a request from the VC arbiter, it checks the
+//! header flit and sets the crossbar according to the destination address.
+//! Second, it sends a request to the corresponding OPC for access. ... If it
+//! receives the grant signal, then the FCU stores the switching information
+//! till the tail flit of the same packet ... If the FCU receives a body flit
+//! then it reads the switching information from the stored table. ... In
+//! case of a tail flit, the FCU deletes the corresponding entry in the table
+//! as this is the last flit of the same packet."
+
+use crate::signals::NUM_VCS;
+use quarc_core::flit::FlitKind;
+
+/// Where the crossbar must steer the current packet: the ingress-mux setting
+/// of the Quarc switch. `deliver && forward` is the broadcast clone state
+/// (§2.5.2: "setting a flag on the ingress multiplexer which causes it to
+/// clone the flits").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OutSel {
+    /// Local PE takes a copy.
+    pub deliver: bool,
+    /// Network output port to continue on (None = pure absorption).
+    pub forward: Option<usize>,
+}
+
+/// A request the FCU raises towards an OPC (or the local sink).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FcuReq {
+    /// Which VC lane of this input port the word comes from.
+    pub lane: usize,
+    /// Crossbar setting for the word's packet.
+    pub sel: OutSel,
+    /// The 34-bit word itself.
+    pub word: u64,
+    /// Flit position flags (decoded from the word's type field).
+    pub is_header: bool,
+    /// Tail flag.
+    pub is_tail: bool,
+}
+
+/// Decode the flit-type bits of a word.
+pub fn word_kind(word: u64) -> FlitKind {
+    FlitKind::from_wire_bits(word).expect("reserved flit type on the wire")
+}
+
+/// The per-input-port flow control unit: holds the switching table.
+#[derive(Debug, Clone, Default)]
+pub struct Fcu {
+    table: [Option<OutSel>; NUM_VCS],
+}
+
+impl Fcu {
+    /// An FCU with an empty switching table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The stored switching info for a lane (None between packets).
+    pub fn entry(&self, lane: usize) -> Option<OutSel> {
+        self.table[lane]
+    }
+
+    /// Combinational: build the request for the granted lane's head word.
+    /// `route` resolves a *header* word to its crossbar setting; body/tail
+    /// words read the stored table.
+    pub fn comb(
+        &self,
+        granted_lane: Option<usize>,
+        head: Option<u64>,
+        route: impl FnOnce(u64) -> OutSel,
+    ) -> Option<FcuReq> {
+        let lane = granted_lane?;
+        let word = head?;
+        let kind = word_kind(word);
+        let sel = match kind {
+            FlitKind::Header => {
+                debug_assert!(self.table[lane].is_none(), "header while table entry live");
+                route(word)
+            }
+            FlitKind::Body | FlitKind::Tail => {
+                self.table[lane].expect("body/tail flit without a switching-table entry")
+            }
+        };
+        Some(FcuReq {
+            lane,
+            sel,
+            word,
+            is_header: kind == FlitKind::Header,
+            is_tail: kind == FlitKind::Tail,
+        })
+    }
+
+    /// Clock edge, applied only for requests that were actually *granted*
+    /// (the flit moved): store on header, delete on tail.
+    pub fn commit(&mut self, req: &FcuReq) {
+        if req.is_header {
+            self.table[req.lane] = Some(req.sel);
+        }
+        if req.is_tail {
+            self.table[req.lane] = None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn header_word() -> u64 {
+        // Any word with type bits 00 is a header at this layer.
+        0b00
+    }
+    fn body_word() -> u64 {
+        0b01
+    }
+    fn tail_word() -> u64 {
+        0b10
+    }
+
+    #[test]
+    fn header_routes_and_stores() {
+        let mut fcu = Fcu::new();
+        let sel = OutSel { deliver: false, forward: Some(2) };
+        let req = fcu.comb(Some(0), Some(header_word()), |_| sel).unwrap();
+        assert!(req.is_header);
+        assert_eq!(req.sel, sel);
+        fcu.commit(&req);
+        assert_eq!(fcu.entry(0), Some(sel));
+    }
+
+    #[test]
+    fn body_follows_table_tail_clears() {
+        let mut fcu = Fcu::new();
+        let sel = OutSel { deliver: true, forward: Some(1) };
+        let h = fcu.comb(Some(1), Some(header_word()), |_| sel).unwrap();
+        fcu.commit(&h);
+        let b = fcu
+            .comb(Some(1), Some(body_word()), |_| panic!("body must not re-route"))
+            .unwrap();
+        assert_eq!(b.sel, sel);
+        fcu.commit(&b);
+        assert_eq!(fcu.entry(1), Some(sel));
+        let t = fcu
+            .comb(Some(1), Some(tail_word()), |_| panic!("tail must not re-route"))
+            .unwrap();
+        assert!(t.is_tail);
+        fcu.commit(&t);
+        assert_eq!(fcu.entry(1), None);
+    }
+
+    #[test]
+    fn no_grant_no_request() {
+        let fcu = Fcu::new();
+        assert!(fcu.comb(None, Some(header_word()), |_| unreachable!()).is_none());
+        assert!(fcu.comb(Some(0), None, |_| unreachable!()).is_none());
+    }
+
+    #[test]
+    fn lanes_are_independent() {
+        let mut fcu = Fcu::new();
+        let s0 = OutSel { deliver: false, forward: Some(0) };
+        let s1 = OutSel { deliver: true, forward: None };
+        let h0 = fcu.comb(Some(0), Some(header_word()), |_| s0).unwrap();
+        fcu.commit(&h0);
+        let h1 = fcu.comb(Some(1), Some(header_word()), |_| s1).unwrap();
+        fcu.commit(&h1);
+        assert_eq!(fcu.entry(0), Some(s0));
+        assert_eq!(fcu.entry(1), Some(s1));
+    }
+
+    #[test]
+    #[should_panic(expected = "without a switching-table entry")]
+    fn body_without_header_panics() {
+        let fcu = Fcu::new();
+        fcu.comb(Some(0), Some(body_word()), |_| unreachable!());
+    }
+}

@@ -1,0 +1,45 @@
+//! # quarc-rtl
+//!
+//! A signal-level ("RTL-style") model of the Quarc switch and transceiver —
+//! the Rust counterpart of the paper's Verilog implementation (§2.3–§2.7).
+//! Every FSM the paper names is here with its published state set:
+//!
+//! * [`write_ctrl::WriteController`] — `idle`/`write`, driven by
+//!   `SOF_N`/`EOF_N` (§2.3.1);
+//! * [`vc_arbiter::VcArbiter`] — `idle`/`grant_0`/`grant_1` with the
+//!   `times_up` fairness timer (§2.3.2);
+//! * [`fcu::Fcu`] — the switching table keyed by header flits, read by body
+//!   flits, cleared by tails (§2.3.2);
+//! * [`opc::Opc`] — master grant FSM plus slave VC-allocation table driven
+//!   by the downstream `CH_STATUS_N` (§2.3.3), with no output buffering;
+//! * [`signals`] — the Xilinx LocalLink bundles of §2.7;
+//! * [`switch::QuarcSwitchRtl`] — the composed switch of Fig. 4, including
+//!   the broadcast-cloning ingress multiplexer;
+//! * [`xcvr`] — the transceiver's frame building + quadrant calculation
+//!   (Fig. 5);
+//! * [`ring::RingRtl`] — an `n`-switch ring test bench.
+//!
+//! Words on the wire are the 34-bit format of `quarc_core::flit::wire`, so
+//! this crate exercises the paper's packet format end to end. One deliberate
+//! difference from the behavioural simulator (`quarc-sim`): the OPC performs
+//! the paper's *dynamic* VC allocation, while the simulator uses the
+//! restrictive dateline assignment for provable deadlock freedom; the
+//! co-simulation tests compare *delivery sets*, which must agree exactly.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod fcu;
+pub mod fifo;
+pub mod opc;
+pub mod ring;
+pub mod signals;
+pub mod switch;
+pub mod vc_arbiter;
+pub mod vcd;
+pub mod write_ctrl;
+pub mod xcvr;
+
+pub use ring::{PeDelivery, ReceivedFrame, RingRtl};
+pub use signals::{LlFwd, LlRev, NUM_VCS};
+pub use switch::{Delivery, QuarcSwitchRtl, SwitchStepIn, SwitchStepOut};

@@ -1,0 +1,161 @@
+//! The VC arbiter FSM (§2.3.2).
+//!
+//! "The FSM for the VC arbiter has three states, namely, idle, grant_0 and
+//! grant_1. A timer generates the `times_up` signal to indicate that the
+//! wait session is over in case a flit is waiting for the grant signal and
+//! another flit has arrived at the other channel of the same input. Using
+//! this method of arbitration it is possible to generate equal opportunity
+//! between both channels of the same input port."
+
+/// FSM states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VaState {
+    /// No lane requesting.
+    Idle,
+    /// Lane 0 holds the grant.
+    Grant0,
+    /// Lane 1 holds the grant.
+    Grant1,
+}
+
+/// The per-input-port VC arbiter.
+#[derive(Debug, Clone)]
+pub struct VcArbiter {
+    state: VaState,
+    timer: u32,
+    timeout: u32,
+}
+
+impl VcArbiter {
+    /// Arbiter with the given fairness timeout (cycles a lane may hold the
+    /// grant while the other lane waits).
+    pub fn new(timeout: u32) -> Self {
+        assert!(timeout >= 1);
+        VcArbiter { state: VaState::Idle, timer: 0, timeout }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> VaState {
+        self.state
+    }
+
+    /// Combinational: which lane is granted this cycle, given each lane's
+    /// (inverted) `empty` signal.
+    pub fn granted(&self, has_flit: [bool; 2]) -> Option<usize> {
+        match self.state {
+            VaState::Idle => {
+                // Activated directly by the empty signals.
+                if has_flit[0] {
+                    Some(0)
+                } else if has_flit[1] {
+                    Some(1)
+                } else {
+                    None
+                }
+            }
+            VaState::Grant0 if has_flit[0] => Some(0),
+            VaState::Grant1 if has_flit[1] => Some(1),
+            // Granted lane drained: the other lane may proceed immediately.
+            VaState::Grant0 => has_flit[1].then_some(1),
+            VaState::Grant1 => has_flit[0].then_some(0),
+        }
+    }
+
+    /// Clock edge. `has_flit` are the lanes' request signals.
+    pub fn tick(&mut self, has_flit: [bool; 2]) {
+        let next = match self.state {
+            VaState::Idle => {
+                if has_flit[0] {
+                    VaState::Grant0
+                } else if has_flit[1] {
+                    VaState::Grant1
+                } else {
+                    VaState::Idle
+                }
+            }
+            VaState::Grant0 => {
+                if !has_flit[0] {
+                    if has_flit[1] {
+                        VaState::Grant1
+                    } else {
+                        VaState::Idle
+                    }
+                } else if has_flit[1] && self.timer >= self.timeout {
+                    VaState::Grant1 // times_up: multiplex for equal opportunity
+                } else {
+                    VaState::Grant0
+                }
+            }
+            VaState::Grant1 => {
+                if !has_flit[1] {
+                    if has_flit[0] {
+                        VaState::Grant0
+                    } else {
+                        VaState::Idle
+                    }
+                } else if has_flit[0] && self.timer >= self.timeout {
+                    VaState::Grant0
+                } else {
+                    VaState::Grant1
+                }
+            }
+        };
+        self.timer = if next == self.state && next != VaState::Idle { self.timer + 1 } else { 0 };
+        self.state = next;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_until_request() {
+        let mut a = VcArbiter::new(4);
+        assert_eq!(a.granted([false, false]), None);
+        a.tick([false, false]);
+        assert_eq!(a.state(), VaState::Idle);
+        assert_eq!(a.granted([true, false]), Some(0));
+        a.tick([true, false]);
+        assert_eq!(a.state(), VaState::Grant0);
+    }
+
+    #[test]
+    fn lane1_served_when_lane0_empty() {
+        let mut a = VcArbiter::new(4);
+        a.tick([false, true]);
+        assert_eq!(a.state(), VaState::Grant1);
+        assert_eq!(a.granted([false, true]), Some(1));
+    }
+
+    #[test]
+    fn times_up_multiplexes_between_busy_lanes() {
+        let mut a = VcArbiter::new(3);
+        let mut states = Vec::new();
+        for _ in 0..16 {
+            a.tick([true, true]);
+            states.push(a.state());
+        }
+        assert!(states.contains(&VaState::Grant0));
+        assert!(states.contains(&VaState::Grant1), "timer never rotated the grant: {states:?}");
+    }
+
+    #[test]
+    fn grant_follows_drain() {
+        let mut a = VcArbiter::new(8);
+        a.tick([true, false]);
+        assert_eq!(a.state(), VaState::Grant0);
+        // Lane 0 drains while lane 1 fills: immediate hand-over.
+        assert_eq!(a.granted([false, true]), Some(1));
+        a.tick([false, true]);
+        assert_eq!(a.state(), VaState::Grant1);
+    }
+
+    #[test]
+    fn returns_to_idle_when_quiet() {
+        let mut a = VcArbiter::new(2);
+        a.tick([true, false]);
+        a.tick([false, false]);
+        assert_eq!(a.state(), VaState::Idle);
+    }
+}

@@ -1,0 +1,110 @@
+//! Round-robin arbitration.
+//!
+//! The paper's switch contains two layers of arbitration — the VC arbiter
+//! that picks which lane of an input port may request (§2.3.2, with its
+//! `times_up` fairness timer) and the OPC master FSM that grants one of up to
+//! three requesting inputs (§2.3.3). Both are modelled as round-robin
+//! pointers, which is what the timer-based multiplexing converges to under
+//! sustained load.
+
+/// Arbitration policy (the DESIGN.md §6 ablation knob).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ArbPolicy {
+    /// Rotate the grant pointer past each winner (the paper's timer-based
+    /// "equal opportunity" behaviour under sustained load). Default.
+    #[default]
+    RoundRobin,
+    /// Always grant the lowest-index eligible candidate. Cheaper logic, but
+    /// biased: low-index feeders (through traffic, in our tables) can starve
+    /// local injection under contention.
+    FixedPriority,
+}
+
+/// A round-robin pointer over `len` candidates.
+#[derive(Debug, Clone, Default)]
+pub struct RoundRobin {
+    next: usize,
+    policy: ArbPolicy,
+}
+
+impl RoundRobin {
+    /// Fresh arbiter starting at candidate 0 with round-robin rotation.
+    pub fn new() -> Self {
+        RoundRobin { next: 0, policy: ArbPolicy::RoundRobin }
+    }
+
+    /// Fresh arbiter with an explicit policy.
+    pub fn with_policy(policy: ArbPolicy) -> Self {
+        RoundRobin { next: 0, policy }
+    }
+
+    /// Grant the first eligible candidate at or after the pointer, advancing
+    /// the pointer past the winner (round-robin) or keeping it at zero
+    /// (fixed priority). Returns `None` when nothing is eligible (the
+    /// pointer does not move).
+    pub fn pick(&mut self, len: usize, mut eligible: impl FnMut(usize) -> bool) -> Option<usize> {
+        if len == 0 {
+            return None;
+        }
+        for i in 0..len {
+            let k = (self.next + i) % len;
+            if eligible(k) {
+                if self.policy == ArbPolicy::RoundRobin {
+                    self.next = (k + 1) % len;
+                }
+                return Some(k);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rotates_fairly_under_full_load() {
+        let mut rr = RoundRobin::new();
+        let picks: Vec<usize> = (0..8).map(|_| rr.pick(4, |_| true).unwrap()).collect();
+        assert_eq!(picks, vec![0, 1, 2, 3, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn skips_ineligible() {
+        let mut rr = RoundRobin::new();
+        assert_eq!(rr.pick(4, |k| k == 2), Some(2));
+        assert_eq!(rr.pick(4, |k| k == 2), Some(2));
+        assert_eq!(rr.pick(4, |_| false), None);
+    }
+
+    #[test]
+    fn empty_domain() {
+        let mut rr = RoundRobin::new();
+        assert_eq!(rr.pick(0, |_| true), None);
+    }
+
+    #[test]
+    fn no_starvation_with_persistent_competitor() {
+        // Candidate 0 always requests; candidate 1 requests always too.
+        // Both must be served equally.
+        let mut rr = RoundRobin::new();
+        let mut counts = [0usize; 2];
+        for _ in 0..100 {
+            counts[rr.pick(2, |_| true).unwrap()] += 1;
+        }
+        assert_eq!(counts, [50, 50]);
+    }
+
+    #[test]
+    fn fixed_priority_starves_low_priority() {
+        let mut fp = RoundRobin::with_policy(ArbPolicy::FixedPriority);
+        let mut counts = [0usize; 2];
+        for _ in 0..100 {
+            counts[fp.pick(2, |_| true).unwrap()] += 1;
+        }
+        assert_eq!(counts, [100, 0], "fixed priority must always grant index 0");
+        // Candidate 1 is only served when 0 is silent.
+        assert_eq!(fp.pick(2, |k| k == 1), Some(1));
+    }
+}

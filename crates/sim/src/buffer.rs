@@ -1,0 +1,125 @@
+//! Virtual-channel input buffers.
+//!
+//! The paper's IPC "incorporates two lanes of input buffers ... parametrized
+//! in width and depth" (§2.3.1). Width is abstracted away by the behavioural
+//! simulator (a [`Flit`] is a flit); depth is enforced here, and the `full`
+//! signal of the hardware becomes the credit check in the upstream router's
+//! arbitration.
+
+use quarc_core::flit::Flit;
+use std::collections::VecDeque;
+
+/// One VC lane of an input port: a bounded flit FIFO.
+#[derive(Debug, Clone)]
+pub struct VcFifo {
+    q: VecDeque<Flit>,
+    cap: usize,
+}
+
+impl VcFifo {
+    /// A FIFO holding at most `cap` flits.
+    pub fn new(cap: usize) -> Self {
+        assert!(cap >= 1);
+        VcFifo { q: VecDeque::with_capacity(cap), cap }
+    }
+
+    /// Append a flit. Panics if full — the upstream credit check must make
+    /// this impossible, so violating it is a simulator bug, not back-pressure.
+    pub fn push(&mut self, flit: Flit) {
+        assert!(self.q.len() < self.cap, "VC buffer overflow: credit accounting broken");
+        self.q.push_back(flit);
+    }
+
+    /// The flit at the head, if any.
+    #[inline]
+    pub fn front(&self) -> Option<&Flit> {
+        self.q.front()
+    }
+
+    /// Remove and return the head flit.
+    #[inline]
+    pub fn pop(&mut self) -> Option<Flit> {
+        self.q.pop_front()
+    }
+
+    /// Number of buffered flits.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.q.len()
+    }
+
+    /// Whether the lane is empty (the `empty` signal of §2.3.1).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.q.is_empty()
+    }
+
+    /// Free slots (the complement of the `full`/`ch_status_n` signal).
+    #[inline]
+    pub fn free(&self) -> usize {
+        self.cap - self.q.len()
+    }
+
+    /// Buffer capacity in flits.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quarc_core::flit::{FlitKind, PacketMeta, TrafficClass};
+    use quarc_core::ids::{MessageId, NodeId, PacketId};
+    use quarc_core::ring::RingDir;
+
+    fn flit(seq: u32) -> Flit {
+        Flit {
+            meta: PacketMeta {
+                message: MessageId(0),
+                packet: PacketId(0),
+                class: TrafficClass::Unicast,
+                src: NodeId(0),
+                dst: NodeId(1),
+                bitstring: 0,
+                dir: RingDir::Cw,
+                len: 4,
+                created_at: 0,
+            },
+            seq,
+            kind: FlitKind::Body,
+            payload: seq,
+        }
+    }
+
+    #[test]
+    fn fifo_order() {
+        let mut f = VcFifo::new(4);
+        for i in 0..4 {
+            f.push(flit(i));
+        }
+        assert_eq!(f.len(), 4);
+        assert_eq!(f.free(), 0);
+        for i in 0..4 {
+            assert_eq!(f.pop().unwrap().seq, i);
+        }
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn overflow_panics() {
+        let mut f = VcFifo::new(1);
+        f.push(flit(0));
+        f.push(flit(1));
+    }
+
+    #[test]
+    fn front_does_not_consume() {
+        let mut f = VcFifo::new(2);
+        f.push(flit(7));
+        assert_eq!(f.front().unwrap().seq, 7);
+        assert_eq!(f.len(), 1);
+    }
+}

@@ -1,0 +1,229 @@
+//! The simulation driver: warmup, measurement, drain and saturation
+//! detection — the protocol behind every latency-vs-load point in the
+//! paper's Figs. 9–11.
+
+use crate::metrics::Metrics;
+use quarc_core::flit::TrafficClass;
+use quarc_core::topology::TopologyKind;
+use quarc_engine::Cycle;
+use quarc_workloads::Workload;
+
+/// Object-safe interface over the concrete network simulators.
+pub trait NocSim {
+    /// Advance one cycle, polling `workload` for new messages.
+    fn step(&mut self, workload: &mut dyn Workload);
+    /// Current cycle.
+    fn now(&self) -> Cycle;
+    /// Node count.
+    fn num_nodes(&self) -> usize;
+    /// Topology family.
+    fn kind(&self) -> TopologyKind;
+    /// Measurement state.
+    fn metrics(&self) -> &Metrics;
+    /// Mutable measurement state (used to start the measurement window).
+    fn metrics_mut(&mut self) -> &mut Metrics;
+    /// Flits queued at source transceivers.
+    fn source_backlog(&self) -> usize;
+    /// Whether no traffic is anywhere in the system.
+    fn quiesced(&self) -> bool;
+}
+
+/// Parameters of one measured run.
+#[derive(Debug, Clone, Copy)]
+pub struct RunSpec {
+    /// Cycles simulated before measurement starts.
+    pub warmup: Cycle,
+    /// Cycles of measured injection.
+    pub measure: Cycle,
+    /// Maximum extra cycles allowed for in-flight traffic to drain.
+    pub drain: Cycle,
+    /// A run is declared saturated when the mean measured latency exceeds
+    /// this cap or the source backlog at the end of measurement exceeds
+    /// `backlog_cap` flits per node.
+    pub latency_cap: f64,
+    /// Per-node backlog (in flits) above which the run counts as saturated.
+    pub backlog_cap: f64,
+}
+
+impl Default for RunSpec {
+    fn default() -> Self {
+        RunSpec {
+            warmup: 2_000,
+            measure: 20_000,
+            drain: 30_000,
+            latency_cap: 2_000.0,
+            backlog_cap: 200.0,
+        }
+    }
+}
+
+impl RunSpec {
+    /// A shorter spec for tests and smoke runs.
+    pub fn quick() -> Self {
+        RunSpec { warmup: 500, measure: 4_000, drain: 8_000, ..Default::default() }
+    }
+}
+
+/// Summary of one run: the numbers a figure plots.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Topology family.
+    pub kind: TopologyKind,
+    /// Nodes.
+    pub n: usize,
+    /// Offered load in messages/node/cycle, as reported by the workload.
+    pub offered_rate: Option<f64>,
+    /// Mean unicast latency (cycles), creation → tail at destination.
+    pub unicast_mean: f64,
+    /// 95th-percentile unicast latency.
+    pub unicast_p95: Option<u64>,
+    /// Unicast sample count.
+    pub unicast_samples: u64,
+    /// Mean broadcast latency per reception.
+    pub bcast_reception_mean: f64,
+    /// Mean broadcast completion latency (last receiver).
+    pub bcast_completion_mean: f64,
+    /// Broadcast messages completed in the window.
+    pub bcast_samples: u64,
+    /// Delivered flit throughput per node per cycle over the measurement
+    /// window.
+    pub throughput: f64,
+    /// Whether the run hit a saturation criterion.
+    pub saturated: bool,
+    /// Source backlog (flits) at the end of the measurement window.
+    pub end_backlog: usize,
+}
+
+impl RunResult {
+    /// CSV header matching [`Self::csv_row`].
+    pub fn csv_header() -> &'static str {
+        "topology,n,rate,unicast_mean,unicast_p95,unicast_samples,bcast_reception_mean,\
+         bcast_completion_mean,bcast_samples,throughput,saturated,end_backlog"
+    }
+
+    /// One CSV row.
+    pub fn csv_row(&self) -> String {
+        format!(
+            "{},{},{},{:.3},{},{},{:.3},{:.3},{},{:.5},{},{}",
+            self.kind,
+            self.n,
+            self.offered_rate.map_or_else(|| "-".into(), |r| format!("{r:.5}")),
+            self.unicast_mean,
+            self.unicast_p95.map_or_else(|| "-".into(), |p| p.to_string()),
+            self.unicast_samples,
+            self.bcast_reception_mean,
+            self.bcast_completion_mean,
+            self.bcast_samples,
+            self.throughput,
+            self.saturated,
+            self.end_backlog,
+        )
+    }
+}
+
+/// A workload that generates nothing (used to drain).
+struct Silence;
+
+impl Workload for Silence {
+    fn poll(
+        &mut self,
+        _node: quarc_core::ids::NodeId,
+        _now: Cycle,
+    ) -> Vec<quarc_workloads::MessageRequest> {
+        Vec::new()
+    }
+}
+
+/// Run the warmup/measure/drain protocol and summarise.
+///
+/// Injection runs for `warmup + measure` cycles; only messages created inside
+/// the measurement window contribute latency samples. After measurement the
+/// workload is silenced and the network drains (bounded by `spec.drain`) so
+/// in-flight measured messages still complete. A saturated network will not
+/// drain — the partial statistics plus the `saturated` flag are returned.
+pub fn run(net: &mut dyn NocSim, workload: &mut dyn Workload, spec: &RunSpec) -> RunResult {
+    let t0 = net.now();
+    for _ in 0..spec.warmup {
+        net.step(workload);
+    }
+    net.metrics_mut().begin_measurement(t0 + spec.warmup);
+    let flits_before = net.metrics().flits_delivered();
+    for _ in 0..spec.measure {
+        net.step(workload);
+    }
+    let flits_after = net.metrics().flits_delivered();
+    let end_backlog = net.source_backlog();
+
+    let mut silence = Silence;
+    for _ in 0..spec.drain {
+        if net.quiesced() {
+            break;
+        }
+        net.step(&mut silence);
+    }
+
+    let m = net.metrics();
+    let unicast_mean = m.unicast_latency().mean();
+    let bcast_completion_mean = m.broadcast_completion_latency().mean();
+    let backlog_per_node = end_backlog as f64 / net.num_nodes() as f64;
+    let drained = net.quiesced();
+    let saturated = unicast_mean > spec.latency_cap
+        || bcast_completion_mean > spec.latency_cap
+        || backlog_per_node > spec.backlog_cap
+        || !drained;
+
+    RunResult {
+        kind: net.kind(),
+        n: net.num_nodes(),
+        offered_rate: workload.nominal_rate(),
+        unicast_mean,
+        unicast_p95: m.unicast_histogram().percentile(95.0),
+        unicast_samples: m.unicast_latency().count(),
+        bcast_reception_mean: m.broadcast_reception_latency().mean(),
+        bcast_completion_mean,
+        bcast_samples: m.completed(TrafficClass::Broadcast),
+        throughput: (flits_after - flits_before) as f64
+            / (spec.measure as f64 * net.num_nodes() as f64),
+        saturated,
+        end_backlog,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quarc_net::QuarcNetwork;
+    use quarc_core::config::NocConfig;
+    use quarc_workloads::{Synthetic, SyntheticConfig};
+
+    #[test]
+    fn light_load_run_is_unsaturated() {
+        let mut net = QuarcNetwork::new(NocConfig::quarc(16));
+        let mut wl = Synthetic::new(16, SyntheticConfig::paper(0.01, 8, 0.05, 1));
+        let res = run(&mut net, &mut wl, &RunSpec::quick());
+        assert!(!res.saturated, "{res:?}");
+        assert!(res.unicast_samples > 100, "{res:?}");
+        assert!(res.unicast_mean > 5.0 && res.unicast_mean < 50.0, "{res:?}");
+        assert!(res.bcast_samples > 0);
+        assert!(res.throughput > 0.0);
+    }
+
+    #[test]
+    fn overload_is_flagged_saturated() {
+        let mut net = QuarcNetwork::new(NocConfig::quarc(16));
+        let mut wl = Synthetic::new(16, SyntheticConfig::paper(0.5, 16, 0.1, 2));
+        let spec = RunSpec { warmup: 200, measure: 2_000, drain: 2_000, ..Default::default() };
+        let res = run(&mut net, &mut wl, &spec);
+        assert!(res.saturated, "{res:?}");
+    }
+
+    #[test]
+    fn csv_row_shape() {
+        let mut net = QuarcNetwork::new(NocConfig::quarc(8));
+        let mut wl = Synthetic::new(8, SyntheticConfig::paper(0.01, 4, 0.0, 3));
+        let res = run(&mut net, &mut wl, &RunSpec::quick());
+        let header_cols = RunResult::csv_header().split(',').count();
+        let row_cols = res.csv_row().split(',').count();
+        assert_eq!(header_cols, row_cols);
+    }
+}

@@ -1,0 +1,42 @@
+//! # quarc-sim
+//!
+//! The flit-level wormhole simulator for the Quarc NoC reproduction — the
+//! Rust counterpart of the OMNeT++ discrete-event simulator the paper used
+//! for §3.2 ("we have developed a discrete event simulator operating at flit
+//! level").
+//!
+//! Two complete switch/network models are provided:
+//!
+//! * [`quarc_net::QuarcNetwork`] — the paper's contribution: all-port router,
+//!   doubled cross links, clone-based true broadcast;
+//! * [`spider_net::SpidergonNetwork`] — the baseline: one-port router, single
+//!   cross link, broadcast by store-and-forward unicast chains;
+//!
+//! plus a 2D mesh ([`mesh_net`]) used for validation and for the paper's
+//! stated "next objective" comparison. All models share the same building
+//! blocks ([`buffer`], [`link`], [`arbiter`]), the same measurement engine
+//! ([`metrics`]) and the same run protocol ([`driver`], [`sweep`]), so a
+//! latency difference between the two networks can only come from the
+//! architectural differences the paper claims matter.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod arbiter;
+pub mod buffer;
+pub mod driver;
+pub mod link;
+pub mod mesh_net;
+pub mod metrics;
+pub mod packets;
+pub mod quarc_net;
+pub mod spider_net;
+pub mod sweep;
+pub mod torus_net;
+
+pub use arbiter::ArbPolicy;
+pub use driver::{run, NocSim, RunResult, RunSpec};
+pub use metrics::Metrics;
+pub use quarc_net::QuarcNetwork;
+pub use spider_net::SpidergonNetwork;
+pub use sweep::{build_network, curve_csv, geometric_rates, latency_curve, CurvePoint, CurveSpec};

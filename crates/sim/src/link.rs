@@ -1,0 +1,135 @@
+//! Physical links: single-flit-per-cycle pipelines.
+//!
+//! A link carries at most one flit per cycle (the two VCs multiplex the same
+//! wires, §2.7) and delivers it `latency` cycles later. The occupancy query
+//! lets the sender account for flits that are in flight but not yet buffered
+//! downstream, which keeps the credit arithmetic exact for any latency.
+
+use quarc_core::flit::Flit;
+use quarc_core::ids::VcId;
+use std::collections::VecDeque;
+
+/// A flit in flight, tagged with the VC it will occupy downstream.
+#[derive(Debug, Clone, Copy)]
+pub struct TaggedFlit {
+    /// The flit.
+    pub flit: Flit,
+    /// Downstream VC lane.
+    pub vc: VcId,
+}
+
+/// A unidirectional link with fixed latency ≥ 1.
+#[derive(Debug, Clone)]
+pub struct Link {
+    slots: VecDeque<Option<TaggedFlit>>,
+}
+
+impl Link {
+    /// A link delivering after `latency` cycles.
+    pub fn new(latency: u64) -> Self {
+        assert!(latency >= 1);
+        Link { slots: (0..latency).map(|_| None).collect() }
+    }
+
+    /// Advance one cycle: the oldest slot arrives (if occupied) and a fresh
+    /// empty slot opens at the tail. Call once per cycle *before* `send`.
+    pub fn step(&mut self) -> Option<TaggedFlit> {
+        let arrived = self.slots.pop_front().expect("latency >= 1");
+        self.slots.push_back(None);
+        arrived
+    }
+
+    /// Place a flit into the newest slot. Panics if the slot is already in
+    /// use (more than one send per cycle is a simulator bug).
+    pub fn send(&mut self, tf: TaggedFlit) {
+        let tail = self.slots.back_mut().expect("latency >= 1");
+        assert!(tail.is_none(), "link already carries a flit this cycle");
+        *tail = Some(tf);
+    }
+
+    /// Number of in-flight flits destined for VC `vc` downstream.
+    pub fn in_flight(&self, vc: VcId) -> usize {
+        self.slots.iter().flatten().filter(|tf| tf.vc == vc).count()
+    }
+
+    /// Whether the link is completely empty.
+    pub fn is_empty(&self) -> bool {
+        self.slots.iter().all(Option::is_none)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quarc_core::flit::{FlitKind, PacketMeta, TrafficClass};
+    use quarc_core::ids::{MessageId, NodeId, PacketId};
+    use quarc_core::ring::RingDir;
+
+    fn tf(seq: u32, vc: VcId) -> TaggedFlit {
+        TaggedFlit {
+            flit: Flit {
+                meta: PacketMeta {
+                    message: MessageId(0),
+                    packet: PacketId(0),
+                    class: TrafficClass::Unicast,
+                    src: NodeId(0),
+                    dst: NodeId(1),
+                    bitstring: 0,
+                    dir: RingDir::Cw,
+                    len: 4,
+                    created_at: 0,
+                },
+                seq,
+                kind: FlitKind::Body,
+                payload: 0,
+            },
+            vc,
+        }
+    }
+
+    #[test]
+    fn latency_one_delivers_next_cycle() {
+        let mut l = Link::new(1);
+        assert!(l.step().is_none());
+        l.send(tf(1, VcId::VC0));
+        assert_eq!(l.in_flight(VcId::VC0), 1);
+        assert_eq!(l.in_flight(VcId::VC1), 0);
+        let arrived = l.step().unwrap();
+        assert_eq!(arrived.flit.seq, 1);
+        assert!(l.is_empty());
+    }
+
+    #[test]
+    fn latency_three_delays_three_cycles() {
+        let mut l = Link::new(3);
+        l.step();
+        l.send(tf(9, VcId::VC1));
+        assert!(l.step().is_none());
+        assert!(l.step().is_none());
+        assert_eq!(l.step().unwrap().flit.seq, 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "already carries")]
+    fn double_send_panics() {
+        let mut l = Link::new(1);
+        l.step();
+        l.send(tf(1, VcId::VC0));
+        l.send(tf(2, VcId::VC1));
+    }
+
+    #[test]
+    fn pipelining_back_to_back() {
+        let mut l = Link::new(2);
+        let mut received = Vec::new();
+        for cycle in 0..10u32 {
+            if let Some(a) = l.step() {
+                received.push(a.flit.seq);
+            }
+            if cycle < 5 {
+                l.send(tf(cycle, VcId::VC0));
+            }
+        }
+        assert_eq!(received, vec![0, 1, 2, 3, 4]);
+    }
+}

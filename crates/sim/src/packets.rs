@@ -1,0 +1,320 @@
+//! Message → packet expansion: the transmit half of the transceiver.
+//!
+//! The write controller of the paper's transceiver "divides the packet into a
+//! number of flits" and "adds the flit type" (§2.4); the quadrant calculator
+//! decides the injection port. For collectives the transceiver emits one
+//! packet per branch — four tagged streams for a Quarc broadcast (§2.5.2),
+//! three chain seeds for a Spidergon broadcast (§2.2 / ref. [9]).
+
+use quarc_core::flit::{Flit, FlitKind, PacketMeta, TrafficClass};
+use quarc_core::ids::{MessageId, PacketId};
+use quarc_core::quadrant::{broadcast_branches, multicast_branches, quadrant_of, Quadrant};
+use quarc_core::ring::{Ring, RingDir};
+use quarc_core::routing::spidergon_broadcast_seeds;
+use quarc_engine::Cycle;
+use quarc_workloads::MessageRequest;
+
+/// Serialise a packet's metadata into its flit stream (header … tail).
+pub fn packetize(meta: PacketMeta) -> Vec<Flit> {
+    assert!(meta.len >= 2, "a packet needs header and tail flits (paper §2.6)");
+    (0..meta.len)
+        .map(|seq| {
+            let kind = if seq == 0 {
+                FlitKind::Header
+            } else if seq + 1 == meta.len {
+                FlitKind::Tail
+            } else {
+                FlitKind::Body
+            };
+            Flit { meta, seq, kind, payload: seq }
+        })
+        .collect()
+}
+
+/// Allocates monotonically increasing message/packet identifiers.
+#[derive(Debug, Default)]
+pub struct IdAlloc {
+    next_message: u64,
+    next_packet: u64,
+}
+
+impl IdAlloc {
+    /// Fresh allocator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A new message id.
+    pub fn message(&mut self) -> MessageId {
+        let id = MessageId(self.next_message);
+        self.next_message += 1;
+        id
+    }
+
+    /// A new packet id.
+    pub fn packet(&mut self) -> PacketId {
+        let id = PacketId(self.next_packet);
+        self.next_packet += 1;
+        id
+    }
+}
+
+/// One packet ready for injection at a Quarc node: the quadrant queue it
+/// enters and its flits.
+#[derive(Debug)]
+pub struct QuarcInjection {
+    /// Which of the four local ingress queues receives the packet.
+    pub quadrant: Quadrant,
+    /// The flit stream.
+    pub flits: Vec<Flit>,
+}
+
+/// Expand a message into Quarc packets. Returns the packets and the number
+/// of expected receivers (for completion tracking).
+pub fn quarc_expand(
+    ring: &Ring,
+    req: &MessageRequest,
+    message: MessageId,
+    ids: &mut IdAlloc,
+    now: Cycle,
+) -> (Vec<QuarcInjection>, usize) {
+    let base = PacketMeta {
+        message,
+        packet: PacketId(0), // overwritten per packet
+        class: req.class,
+        src: req.src,
+        dst: req.src, // overwritten
+        bitstring: 0,
+        dir: RingDir::Cw,
+        len: req.len as u32,
+        created_at: now,
+    };
+    match req.class {
+        TrafficClass::Unicast => {
+            let dst = req.dst.expect("unicast carries dst");
+            let meta = PacketMeta { packet: ids.packet(), dst, ..base };
+            (
+                vec![QuarcInjection {
+                    quadrant: quadrant_of(ring, req.src, dst),
+                    flits: packetize(meta),
+                }],
+                1,
+            )
+        }
+        TrafficClass::Broadcast => {
+            let injections = broadcast_branches(ring, req.src)
+                .into_iter()
+                .map(|b| QuarcInjection {
+                    quadrant: b.quadrant,
+                    flits: packetize(PacketMeta { packet: ids.packet(), dst: b.dst, ..base }),
+                })
+                .collect();
+            (injections, ring.len() - 1)
+        }
+        TrafficClass::Multicast => {
+            let branches = multicast_branches(ring, req.src, &req.targets);
+            let receivers = branches.iter().map(|b| b.deliveries.len()).sum();
+            let injections = branches
+                .into_iter()
+                .map(|b| QuarcInjection {
+                    quadrant: b.quadrant,
+                    flits: packetize(PacketMeta {
+                        packet: ids.packet(),
+                        dst: b.dst,
+                        bitstring: b.bitstring,
+                        ..base
+                    }),
+                })
+                .collect();
+            (injections, receivers)
+        }
+        other => panic!("applications do not inject {other} packets directly"),
+    }
+}
+
+/// Expand a message into Spidergon packets (all enter the single local
+/// queue). Broadcast becomes the three chain seeds; multicast becomes one
+/// unicast per target (the paper gives Spidergon no native multicast).
+pub fn spidergon_expand(
+    ring: &Ring,
+    req: &MessageRequest,
+    message: MessageId,
+    ids: &mut IdAlloc,
+    now: Cycle,
+) -> (Vec<Vec<Flit>>, usize) {
+    let base = PacketMeta {
+        message,
+        packet: PacketId(0),
+        class: req.class,
+        src: req.src,
+        dst: req.src,
+        bitstring: 0,
+        dir: RingDir::Cw,
+        len: req.len as u32,
+        created_at: now,
+    };
+    match req.class {
+        TrafficClass::Unicast => {
+            let dst = req.dst.expect("unicast carries dst");
+            let meta = PacketMeta { packet: ids.packet(), dst, ..base };
+            (vec![packetize(meta)], 1)
+        }
+        TrafficClass::Broadcast => {
+            let packets = spidergon_broadcast_seeds(ring, req.src)
+                .into_iter()
+                .map(|seed| {
+                    packetize(PacketMeta {
+                        packet: ids.packet(),
+                        class: seed.class,
+                        dst: seed.dst,
+                        bitstring: seed.remaining,
+                        dir: seed.dir,
+                        ..base
+                    })
+                })
+                .collect();
+            (packets, ring.len() - 1)
+        }
+        TrafficClass::Multicast => {
+            let targets: Vec<_> = req.targets.iter().filter(|&&t| t != req.src).collect();
+            let packets = targets
+                .iter()
+                .map(|&&dst| {
+                    packetize(PacketMeta {
+                        packet: ids.packet(),
+                        class: TrafficClass::Unicast,
+                        dst,
+                        ..base
+                    })
+                })
+                .collect();
+            let count = targets.len();
+            (packets, count)
+        }
+        other => panic!("applications do not inject {other} packets directly"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quarc_core::ids::NodeId;
+
+    #[test]
+    fn packetize_shapes_header_body_tail() {
+        let meta = PacketMeta {
+            message: MessageId(1),
+            packet: PacketId(2),
+            class: TrafficClass::Unicast,
+            src: NodeId(0),
+            dst: NodeId(3),
+            bitstring: 0,
+            dir: RingDir::Cw,
+            len: 5,
+            created_at: 7,
+        };
+        let flits = packetize(meta);
+        assert_eq!(flits.len(), 5);
+        assert_eq!(flits[0].kind, FlitKind::Header);
+        assert!(flits[1..4].iter().all(|f| f.kind == FlitKind::Body));
+        assert_eq!(flits[4].kind, FlitKind::Tail);
+        assert!(flits.iter().enumerate().all(|(i, f)| f.seq == i as u32));
+    }
+
+    #[test]
+    fn two_flit_packet_has_no_body() {
+        let meta = PacketMeta {
+            message: MessageId(0),
+            packet: PacketId(0),
+            class: TrafficClass::Unicast,
+            src: NodeId(0),
+            dst: NodeId(1),
+            bitstring: 0,
+            dir: RingDir::Cw,
+            len: 2,
+            created_at: 0,
+        };
+        let flits = packetize(meta);
+        assert_eq!(flits[0].kind, FlitKind::Header);
+        assert_eq!(flits[1].kind, FlitKind::Tail);
+    }
+
+    #[test]
+    fn quarc_unicast_single_packet() {
+        let ring = Ring::new(16);
+        let mut ids = IdAlloc::new();
+        let req = MessageRequest::unicast(NodeId(0), NodeId(3), 8);
+        let (inj, receivers) = quarc_expand(&ring, &req, MessageId(9), &mut ids, 100);
+        assert_eq!(inj.len(), 1);
+        assert_eq!(receivers, 1);
+        assert_eq!(inj[0].quadrant, Quadrant::Right);
+        assert_eq!(inj[0].flits.len(), 8);
+        assert_eq!(inj[0].flits[0].meta.created_at, 100);
+        assert_eq!(inj[0].flits[0].meta.message, MessageId(9));
+    }
+
+    #[test]
+    fn quarc_broadcast_four_packets_distinct_quadrants() {
+        let ring = Ring::new(16);
+        let mut ids = IdAlloc::new();
+        let req = MessageRequest::broadcast(NodeId(0), 4);
+        let (inj, receivers) = quarc_expand(&ring, &req, MessageId(0), &mut ids, 0);
+        assert_eq!(inj.len(), 4);
+        assert_eq!(receivers, 15);
+        let quads: std::collections::HashSet<_> = inj.iter().map(|i| i.quadrant).collect();
+        assert_eq!(quads.len(), 4);
+        // Distinct packet ids, same message id.
+        let pkts: std::collections::HashSet<_> =
+            inj.iter().map(|i| i.flits[0].meta.packet).collect();
+        assert_eq!(pkts.len(), 4);
+    }
+
+    #[test]
+    fn quarc_multicast_counts_targets() {
+        let ring = Ring::new(16);
+        let mut ids = IdAlloc::new();
+        let req = MessageRequest::multicast(NodeId(0), vec![NodeId(2), NodeId(9)], 4);
+        let (inj, receivers) = quarc_expand(&ring, &req, MessageId(0), &mut ids, 0);
+        assert_eq!(receivers, 2);
+        assert_eq!(inj.len(), 2); // right-rim + cross-right branches
+    }
+
+    #[test]
+    fn spidergon_broadcast_three_seeds() {
+        let ring = Ring::new(16);
+        let mut ids = IdAlloc::new();
+        let req = MessageRequest::broadcast(NodeId(0), 4);
+        let (pkts, receivers) = spidergon_expand(&ring, &req, MessageId(0), &mut ids, 0);
+        assert_eq!(pkts.len(), 3);
+        assert_eq!(receivers, 15);
+        let classes: Vec<_> = pkts.iter().map(|p| p[0].meta.class).collect();
+        assert_eq!(
+            classes.iter().filter(|c| **c == TrafficClass::ChainRim).count(),
+            2
+        );
+        assert_eq!(
+            classes.iter().filter(|c| **c == TrafficClass::ChainCross).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn spidergon_multicast_becomes_unicasts() {
+        let ring = Ring::new(16);
+        let mut ids = IdAlloc::new();
+        let req = MessageRequest::multicast(NodeId(0), vec![NodeId(1), NodeId(5)], 4);
+        let (pkts, receivers) = spidergon_expand(&ring, &req, MessageId(0), &mut ids, 0);
+        assert_eq!(pkts.len(), 2);
+        assert_eq!(receivers, 2);
+        assert!(pkts.iter().all(|p| p[0].meta.class == TrafficClass::Unicast));
+    }
+
+    #[test]
+    fn id_alloc_is_monotonic() {
+        let mut ids = IdAlloc::new();
+        assert_eq!(ids.message(), MessageId(0));
+        assert_eq!(ids.message(), MessageId(1));
+        assert_eq!(ids.packet(), PacketId(0));
+        assert_eq!(ids.packet(), PacketId(1));
+    }
+}

@@ -1,0 +1,619 @@
+//! The flit-level Spidergon network model — the paper's baseline.
+//!
+//! Implements the STMicroelectronics architecture as the paper describes it
+//! (§2.1) and as the comparison requires (§2.2, §3.2):
+//!
+//! * **one-port router** — a single local injection queue, so "messages may
+//!   block on an occupied injection channel even when their required network
+//!   channels are free", and a single arbitrated ejection port;
+//! * **single cross link** per node pair, shared by both route directions'
+//!   quadrants — the structural bottleneck the Quarc doubles away;
+//! * **across-first deterministic routing** with two dateline VCs per link
+//!   (deadlock-free, same as Quarc);
+//! * **broadcast by unicast** (ref. [9]): replication chains that are fully
+//!   absorbed, header-rewritten and *re-injected through the single local
+//!   port* at every hop — the N−1 store-and-forward traversals that make
+//!   Spidergon broadcast an order of magnitude slower.
+
+use crate::arbiter::RoundRobin;
+use crate::buffer::VcFifo;
+use crate::driver::NocSim;
+use crate::link::{Link, TaggedFlit};
+use crate::metrics::Metrics;
+use crate::packets::{packetize, spidergon_expand, IdAlloc};
+use quarc_core::config::NocConfig;
+use quarc_core::flit::{Flit, PacketMeta};
+use quarc_core::ids::{NodeId, VcId};
+use quarc_core::ring::RingDir;
+use quarc_core::routing::{chain_continuations, spidergon_route, RouteAction};
+use quarc_core::topology::{SpiIn, SpiOut, SpidergonTopology, TopologyKind};
+use quarc_core::vc::{vc_after_rim_hop, vc_for_cross_hop, INJECTION_VC};
+use quarc_engine::{Clock, Cycle, EventQueue};
+use quarc_workloads::Workload;
+use std::collections::VecDeque;
+
+/// Network output ports in index order (matches `SpiOut::index()` 0..3).
+const NET_OUT: [SpiOut; 3] = [SpiOut::RimCw, SpiOut::RimCcw, SpiOut::Cross];
+/// Index of the ejection "output" in arbitration tables.
+const EJECT: usize = 3;
+
+/// A flit source within one router.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Src {
+    /// Network input `port` (0..3), VC lane `vc`.
+    Net {
+        /// Input port index.
+        port: usize,
+        /// VC lane index.
+        vc: usize,
+    },
+    /// The single local ingress queue.
+    Local,
+}
+
+/// Per-hop plan for the packet at the head of a lane.
+#[derive(Debug, Clone, Copy)]
+struct HopPlan {
+    /// `0..3` = forward on that link; [`EJECT`] = deliver locally.
+    out: usize,
+    /// Outgoing VC (meaningless for ejection).
+    out_vc: VcId,
+}
+
+/// One input port's request for this cycle.
+#[derive(Debug, Clone, Copy)]
+struct PortReq {
+    src: Src,
+    plan: HopPlan,
+    is_header: bool,
+    is_tail: bool,
+}
+
+/// Planned flit movement.
+#[derive(Debug, Clone, Copy)]
+struct Transfer {
+    node: usize,
+    req: PortReq,
+}
+
+/// Per-node state.
+#[derive(Debug)]
+struct NodeState {
+    /// The single local injection queue (one-port router).
+    inject_q: VecDeque<Flit>,
+    /// Plan of the packet currently streaming from the local queue.
+    inject_plan: Option<HopPlan>,
+    /// Input buffers `[net port][vc]`.
+    in_buf: Vec<Vec<VcFifo>>,
+    /// Route state per `[net port][vc]`, set by the header.
+    in_route: Vec<Vec<Option<HopPlan>>>,
+    /// Wormhole ownership per `[net out][vc]`.
+    out_owner: Vec<Vec<Option<Src>>>,
+    /// Ejection-port ownership (single channel to the PE).
+    eject_owner: Option<Src>,
+    /// VC arbiter per network input port.
+    rr_in_vc: [RoundRobin; 3],
+    /// Grant arbiter per output port (3 links + eject).
+    rr_out: [RoundRobin; 4],
+}
+
+impl NodeState {
+    fn new(vcs: usize, depth: usize) -> Self {
+        NodeState {
+            inject_q: VecDeque::new(),
+            inject_plan: None,
+            in_buf: (0..3).map(|_| (0..vcs).map(|_| VcFifo::new(depth)).collect()).collect(),
+            in_route: (0..3).map(|_| vec![None; vcs]).collect(),
+            out_owner: (0..3).map(|_| vec![None; vcs]).collect(),
+            eject_owner: None,
+            rr_in_vc: Default::default(),
+            rr_out: Default::default(),
+        }
+    }
+}
+
+/// The flit-level Spidergon network simulator.
+#[derive(Debug)]
+pub struct SpidergonNetwork {
+    topo: SpidergonTopology,
+    cfg: NocConfig,
+    clock: Clock,
+    nodes: Vec<NodeState>,
+    /// Directed links indexed by `node * 3 + out`.
+    links: Vec<Link>,
+    ids: IdAlloc,
+    metrics: Metrics,
+    /// Chain packets awaiting re-injection: `(node, flits)` due at a cycle.
+    /// One cycle of header-rewrite latency per replication hop.
+    pending: EventQueue<(usize, Vec<Flit>)>,
+    transfers: Vec<Transfer>,
+}
+
+impl SpidergonNetwork {
+    /// Build a network from a validated configuration.
+    pub fn new(cfg: NocConfig) -> Self {
+        assert_eq!(cfg.kind, TopologyKind::Spidergon, "config is not a Spidergon network");
+        cfg.validate().expect("invalid configuration");
+        let topo = SpidergonTopology::new(cfg.n);
+        let nodes = (0..cfg.n).map(|_| NodeState::new(cfg.vcs, cfg.buffer_depth)).collect();
+        let links = (0..cfg.n * 3).map(|_| Link::new(cfg.link_latency)).collect();
+        SpidergonNetwork {
+            topo,
+            cfg,
+            clock: Clock::new(),
+            nodes,
+            links,
+            ids: IdAlloc::new(),
+            metrics: Metrics::new(),
+            pending: EventQueue::new(),
+            transfers: Vec::new(),
+        }
+    }
+
+    /// The configuration this network was built with.
+    pub fn config(&self) -> &NocConfig {
+        &self.cfg
+    }
+
+    /// Resolve the route of a header at `node` into a hop plan.
+    fn plan_header(&self, node: usize, meta: &PacketMeta, cur_vc: VcId) -> HopPlan {
+        match spidergon_route(self.topo.ring(), NodeId::new(node), meta.dst) {
+            RouteAction::Deliver => HopPlan { out: EJECT, out_vc: INJECTION_VC },
+            RouteAction::Forward(out) => {
+                let out_vc = match out {
+                    SpiOut::RimCw => {
+                        vc_after_rim_hop(self.topo.ring(), NodeId::new(node), RingDir::Cw, cur_vc)
+                    }
+                    SpiOut::RimCcw => {
+                        vc_after_rim_hop(self.topo.ring(), NodeId::new(node), RingDir::Ccw, cur_vc)
+                    }
+                    SpiOut::Cross => vc_for_cross_hop(),
+                    SpiOut::Eject => unreachable!(),
+                };
+                HopPlan { out: out.index(), out_vc }
+            }
+            RouteAction::DeliverAndForward(_) => {
+                unreachable!("Spidergon switches cannot clone (§2.2)")
+            }
+        }
+    }
+
+    /// Free downstream space for `(node, out, vc)`, minus in-flight flits.
+    fn downstream_free(&self, node: usize, out: usize, vc: VcId) -> usize {
+        let (to, tin) = self
+            .topo
+            .link_target(NodeId::new(node), NET_OUT[out])
+            .expect("network output");
+        let buffered = &self.nodes[to.index()].in_buf[tin.index()][vc.index()];
+        buffered.free().saturating_sub(self.links[node * 3 + out].in_flight(vc))
+    }
+
+    /// Wormhole ownership check for link outputs and the ejection port.
+    fn ownership_allows(&self, node: usize, plan: HopPlan, src: Src, is_header: bool) -> bool {
+        let owner = if plan.out == EJECT {
+            self.nodes[node].eject_owner
+        } else {
+            self.nodes[node].out_owner[plan.out][plan.out_vc.index()]
+        };
+        match owner {
+            Some(o) => o == src && !is_header,
+            None => is_header,
+        }
+    }
+
+    /// Whether the resources of `plan` are available to `src` this cycle.
+    fn feasible(&self, node: usize, plan: HopPlan, src: Src, is_header: bool) -> bool {
+        if !self.ownership_allows(node, plan, src, is_header) {
+            return false;
+        }
+        plan.out == EJECT || self.downstream_free(node, plan.out, plan.out_vc) > 0
+    }
+
+    /// Request of network input port `p` at `node`.
+    fn gather_net_port(&mut self, node: usize, p: usize) -> Option<PortReq> {
+        let vcs = self.cfg.vcs;
+        let mut feasible: Vec<Option<PortReq>> = vec![None; vcs];
+        for vc in 0..vcs {
+            let Some(head) = self.nodes[node].in_buf[p][vc].front().copied() else {
+                continue;
+            };
+            let plan = match self.nodes[node].in_route[p][vc] {
+                Some(plan) => {
+                    debug_assert!(!head.is_header());
+                    plan
+                }
+                None => {
+                    assert!(head.is_header(), "wormhole violated on {p}/{vc}");
+                    self.plan_header(node, &head.meta, VcId(vc as u8))
+                }
+            };
+            let src = Src::Net { port: p, vc };
+            if self.feasible(node, plan, src, head.is_header()) {
+                feasible[vc] = Some(PortReq {
+                    src,
+                    plan,
+                    is_header: head.is_header(),
+                    is_tail: head.is_tail(),
+                });
+            }
+        }
+        let pick = self.nodes[node].rr_in_vc[p].pick(vcs, |vc| feasible[vc].is_some())?;
+        feasible[pick]
+    }
+
+    /// Request of the single local queue at `node`.
+    fn gather_local_port(&self, node: usize) -> Option<PortReq> {
+        let head = self.nodes[node].inject_q.front()?;
+        let plan = match self.nodes[node].inject_plan {
+            Some(plan) => {
+                debug_assert!(!head.is_header());
+                plan
+            }
+            None => {
+                assert!(head.is_header(), "local queue must start with a header");
+                debug_assert_ne!(head.meta.dst, NodeId::new(node), "self-message injected");
+                self.plan_header(node, &head.meta, INJECTION_VC)
+            }
+        };
+        let src = Src::Local;
+        self.feasible(node, plan, src, head.is_header()).then_some(PortReq {
+            src,
+            plan,
+            is_header: head.is_header(),
+            is_tail: head.is_tail(),
+        })
+    }
+
+    /// Read-only arbitration over one router.
+    fn gather_node(&mut self, node: usize, transfers: &mut Vec<Transfer>) {
+        // Phase 1: VC arbiter per input port.
+        let mut reqs: [Option<PortReq>; 4] = [None; 4];
+        for p in 0..3 {
+            reqs[p] = self.gather_net_port(node, p);
+        }
+        reqs[3] = self.gather_local_port(node);
+
+        // Phase 2: per-output grant over the topology's feeder lists.
+        for o in 0..4 {
+            let feeders: &[SpiIn] = if o == EJECT {
+                SpidergonTopology::feeders(SpiOut::Eject)
+            } else {
+                SpidergonTopology::feeders(NET_OUT[o])
+            };
+            let winner = self.nodes[node].rr_out[o].pick(feeders.len(), |k| {
+                let slot = feeders[k].index();
+                matches!(reqs[slot], Some(r) if r.plan.out == o)
+            });
+            if let Some(k) = winner {
+                let slot = feeders[k].index();
+                let req = reqs[slot].take().expect("winner exists");
+                transfers.push(Transfer { node, req });
+            }
+        }
+    }
+
+    /// Apply one planned transfer.
+    fn commit(&mut self, t: Transfer) {
+        let now = self.clock.now();
+        let node = t.node;
+        let flit = match t.req.src {
+            Src::Net { port, vc } => {
+                let flit = self.nodes[node].in_buf[port][vc].pop().expect("planned flit");
+                if t.req.is_header {
+                    self.nodes[node].in_route[port][vc] = Some(t.req.plan);
+                }
+                if t.req.is_tail {
+                    self.nodes[node].in_route[port][vc] = None;
+                }
+                flit
+            }
+            Src::Local => {
+                let flit = self.nodes[node].inject_q.pop_front().expect("planned flit");
+                if t.req.is_header {
+                    self.nodes[node].inject_plan = Some(t.req.plan);
+                }
+                if t.req.is_tail {
+                    self.nodes[node].inject_plan = None;
+                }
+                flit
+            }
+        };
+
+        if t.req.plan.out == EJECT {
+            if t.req.is_header {
+                self.nodes[node].eject_owner = Some(t.req.src);
+            }
+            if t.req.is_tail {
+                self.nodes[node].eject_owner = None;
+            }
+            self.metrics.record_flit_delivery(now, NodeId::new(node), &flit);
+            // Broadcast-by-unicast: the tail of a chain packet triggers the
+            // replication logic, which rewrites the header and re-injects
+            // through the single local port one cycle later (§2.2).
+            if t.req.is_tail && flit.meta.class.is_chain() {
+                for seed in chain_continuations(self.topo.ring(), NodeId::new(node), &flit.meta) {
+                    let meta = PacketMeta {
+                        packet: self.ids.packet(),
+                        class: seed.class,
+                        dst: seed.dst,
+                        bitstring: seed.remaining,
+                        dir: seed.dir,
+                        ..flit.meta
+                    };
+                    self.pending.push(now + 1, (node, packetize(meta)));
+                }
+            }
+        } else {
+            let o = t.req.plan.out;
+            let vc = t.req.plan.out_vc;
+            if t.req.is_header {
+                self.nodes[node].out_owner[o][vc.index()] = Some(t.req.src);
+            }
+            if t.req.is_tail {
+                self.nodes[node].out_owner[o][vc.index()] = None;
+            }
+            self.links[node * 3 + o].send(TaggedFlit { flit, vc });
+        }
+    }
+
+    /// Total flits queued at source transceivers.
+    pub fn backlog(&self) -> usize {
+        self.nodes.iter().map(|n| n.inject_q.len()).sum()
+    }
+}
+
+impl NocSim for SpidergonNetwork {
+    fn step(&mut self, workload: &mut dyn Workload) {
+        let now = self.clock.now();
+
+        // (a) Link arrivals.
+        for node in 0..self.cfg.n {
+            for o in 0..3 {
+                if let Some(tf) = self.links[node * 3 + o].step() {
+                    let (to, tin) = self
+                        .topo
+                        .link_target(NodeId::new(node), NET_OUT[o])
+                        .expect("network output");
+                    self.nodes[to.index()].in_buf[tin.index()][tf.vc.index()].push(tf.flit);
+                }
+            }
+        }
+
+        // (b) Re-injections from the replication logic, then new messages.
+        for (node, flits) in self.pending.drain_due(now) {
+            self.nodes[node].inject_q.extend(flits);
+        }
+        for node in 0..self.cfg.n {
+            for req in workload.poll(NodeId::new(node), now) {
+                debug_assert_eq!(req.src, NodeId::new(node));
+                let message = self.ids.message();
+                let (packets, expected) =
+                    spidergon_expand(self.topo.ring(), &req, message, &mut self.ids, now);
+                self.metrics.record_created(message, req.class, now, expected);
+                for flits in packets {
+                    self.nodes[node].inject_q.extend(flits);
+                }
+            }
+        }
+
+        // (c) Arbitration, (d) commit.
+        let mut transfers = std::mem::take(&mut self.transfers);
+        transfers.clear();
+        for node in 0..self.cfg.n {
+            self.gather_node(node, &mut transfers);
+        }
+        for t in transfers.drain(..) {
+            self.commit(t);
+        }
+        self.transfers = transfers;
+
+        self.clock.tick();
+    }
+
+    fn now(&self) -> Cycle {
+        self.clock.now()
+    }
+
+    fn num_nodes(&self) -> usize {
+        self.cfg.n
+    }
+
+    fn kind(&self) -> TopologyKind {
+        TopologyKind::Spidergon
+    }
+
+    fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    fn metrics_mut(&mut self) -> &mut Metrics {
+        &mut self.metrics
+    }
+
+    fn source_backlog(&self) -> usize {
+        self.backlog()
+    }
+
+    fn quiesced(&self) -> bool {
+        self.metrics.in_flight() == 0
+            && self.backlog() == 0
+            && self.pending.is_empty()
+            && self.links.iter().all(Link::is_empty)
+            && self
+                .nodes
+                .iter()
+                .all(|n| n.in_buf.iter().all(|port| port.iter().all(VcFifo::is_empty)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quarc_core::flit::TrafficClass;
+    use quarc_core::routing::spidergon_hops;
+    use quarc_workloads::{MessageRequest, TraceRecord, TraceWorkload};
+
+    fn run_until_quiet(net: &mut SpidergonNetwork, wl: &mut dyn Workload, cap: u64) {
+        for _ in 0..cap {
+            net.step(wl);
+            if net.quiesced() {
+                return;
+            }
+        }
+        panic!("network did not quiesce within {cap} cycles");
+    }
+
+    fn one_shot(n: usize, records: Vec<TraceRecord>) -> (SpidergonNetwork, TraceWorkload) {
+        (SpidergonNetwork::new(NocConfig::spidergon(n)), TraceWorkload::new(n, records))
+    }
+
+    #[test]
+    fn single_unicast_ideal_latency() {
+        let (mut net, mut wl) = one_shot(
+            16,
+            vec![TraceRecord {
+                cycle: 0,
+                request: MessageRequest::unicast(NodeId(0), NodeId(3), 8),
+            }],
+        );
+        run_until_quiet(&mut net, &mut wl, 200);
+        let d = spidergon_hops(&SpidergonTopology::new(16).ring().clone(), NodeId(0), NodeId(3));
+        let got = net.metrics().unicast_latency().mean();
+        let ideal = d as f64 + 7.0 + 1.0;
+        assert!((got - ideal).abs() <= 1.0, "latency {got} vs {ideal}");
+    }
+
+    #[test]
+    fn cross_route_unicast_arrives() {
+        let (mut net, mut wl) = one_shot(
+            16,
+            vec![TraceRecord {
+                cycle: 0,
+                request: MessageRequest::unicast(NodeId(0), NodeId(7), 4),
+            }],
+        );
+        run_until_quiet(&mut net, &mut wl, 200);
+        assert_eq!(net.metrics().completed(TrafficClass::Unicast), 1);
+    }
+
+    #[test]
+    fn broadcast_reaches_all_nodes() {
+        for n in [8usize, 16, 32] {
+            let (mut net, mut wl) = one_shot(
+                n,
+                vec![TraceRecord { cycle: 0, request: MessageRequest::broadcast(NodeId(1), 4) }],
+            );
+            run_until_quiet(&mut net, &mut wl, 20_000);
+            let m = net.metrics();
+            assert_eq!(m.completed(TrafficClass::Broadcast), 1, "n={n}");
+        }
+    }
+
+    #[test]
+    fn broadcast_is_store_and_forward_slow() {
+        // The chain re-serialises M flits at every hop: completion must cost
+        // on the order of (n/2)·M cycles, far beyond the Quarc's n/4 + M.
+        let n = 16;
+        let m_len = 8u64;
+        let (mut net, mut wl) = one_shot(
+            n,
+            vec![TraceRecord {
+                cycle: 0,
+                request: MessageRequest::broadcast(NodeId(0), m_len as usize),
+            }],
+        );
+        run_until_quiet(&mut net, &mut wl, 20_000);
+        let got = net.metrics().broadcast_completion_latency().mean();
+        // Longest chain: cross (1 + M−1) then (n/4 − 1) rim hops, each costing
+        // a full store-and-forward of ~M cycles plus the rewrite cycle.
+        let floor = (n as u64 / 4 - 1) as f64 * m_len as f64;
+        assert!(got > floor, "completion {got} ≤ floor {floor}: chains not store-and-forward?");
+    }
+
+    #[test]
+    fn quarc_broadcast_beats_spidergon_by_a_lot() {
+        use crate::quarc_net::QuarcNetwork;
+        let n = 16;
+        let record =
+            vec![TraceRecord { cycle: 0, request: MessageRequest::broadcast(NodeId(0), 8) }];
+        let mut q = QuarcNetwork::new(NocConfig::quarc(n));
+        let mut wq = TraceWorkload::new(n, record.clone());
+        for _ in 0..5_000 {
+            q.step(&mut wq);
+            if q.quiesced() {
+                break;
+            }
+        }
+        let (mut s, mut ws) = one_shot(n, record);
+        run_until_quiet(&mut s, &mut ws, 20_000);
+        let quarc = q.metrics().broadcast_completion_latency().mean();
+        let spider = s.metrics().broadcast_completion_latency().mean();
+        assert!(
+            spider > 4.0 * quarc,
+            "expected order-of-magnitude gap: quarc {quarc} vs spidergon {spider}"
+        );
+    }
+
+    #[test]
+    fn sustained_load_drains_clean() {
+        use quarc_workloads::{Synthetic, SyntheticConfig};
+        let mut net = SpidergonNetwork::new(NocConfig::spidergon(16));
+        let mut wl = Synthetic::new(16, SyntheticConfig::paper(0.01, 8, 0.05, 7));
+        for _ in 0..5_000 {
+            net.step(&mut wl);
+        }
+        let mut none = TraceWorkload::new(16, vec![]);
+        for _ in 0..20_000 {
+            net.step(&mut none);
+            if net.quiesced() {
+                break;
+            }
+        }
+        assert!(net.quiesced(), "failed to drain (possible deadlock)");
+        let m = net.metrics();
+        assert_eq!(m.created(TrafficClass::Unicast), m.completed(TrafficClass::Unicast));
+        assert_eq!(m.created(TrafficClass::Broadcast), m.completed(TrafficClass::Broadcast));
+    }
+
+    #[test]
+    fn heavy_load_does_not_deadlock() {
+        use quarc_workloads::{Synthetic, SyntheticConfig};
+        let mut net = SpidergonNetwork::new(NocConfig::spidergon(16).with_buffer_depth(2));
+        let mut wl = Synthetic::new(16, SyntheticConfig::paper(0.8, 8, 0.1, 3));
+        for _ in 0..3_000 {
+            net.step(&mut wl);
+        }
+        let before = net.metrics().flits_delivered();
+        for _ in 0..1_000 {
+            net.step(&mut wl);
+        }
+        assert!(net.metrics().flits_delivered() > before, "deadlock under overload");
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        use quarc_workloads::{Synthetic, SyntheticConfig};
+        let run = || {
+            let mut net = SpidergonNetwork::new(NocConfig::spidergon(16));
+            let mut wl = Synthetic::new(16, SyntheticConfig::paper(0.03, 8, 0.1, 42));
+            for _ in 0..3_000 {
+                net.step(&mut wl);
+            }
+            (net.metrics().flits_delivered(), net.metrics().unicast_latency().mean())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn multicast_as_unicasts_completes() {
+        let (mut net, mut wl) = one_shot(
+            16,
+            vec![TraceRecord {
+                cycle: 0,
+                request: MessageRequest::multicast(NodeId(0), vec![NodeId(3), NodeId(9)], 4),
+            }],
+        );
+        run_until_quiet(&mut net, &mut wl, 1_000);
+        assert_eq!(net.metrics().completed(TrafficClass::Multicast), 1);
+    }
+}

@@ -1,0 +1,131 @@
+//! Load sweeps: the latency-vs-injection-rate curves of Figs. 9–11.
+
+use crate::driver::{run, NocSim, RunResult, RunSpec};
+use crate::quarc_net::QuarcNetwork;
+use crate::spider_net::SpidergonNetwork;
+use quarc_core::config::NocConfig;
+use quarc_core::topology::TopologyKind;
+use quarc_workloads::{Synthetic, SyntheticConfig};
+
+/// Instantiate the simulator matching a configuration.
+pub fn build_network(cfg: NocConfig) -> Box<dyn NocSim> {
+    match cfg.kind {
+        TopologyKind::Quarc => Box::new(QuarcNetwork::new(cfg)),
+        TopologyKind::Spidergon => Box::new(SpidergonNetwork::new(cfg)),
+        TopologyKind::Mesh => {
+            unimplemented!("mesh latency simulation is provided by quarc_sim::mesh_net")
+        }
+    }
+}
+
+/// Parameters of one latency-vs-load curve.
+#[derive(Debug, Clone, Copy)]
+pub struct CurveSpec {
+    /// Network configuration.
+    pub noc: NocConfig,
+    /// Message length in flits (the paper's `M`).
+    pub msg_len: usize,
+    /// Broadcast fraction (the paper's `β`).
+    pub beta: f64,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+/// One measured curve point.
+#[derive(Debug, Clone)]
+pub struct CurvePoint {
+    /// Offered load (messages/node/cycle).
+    pub rate: f64,
+    /// The full run summary.
+    pub result: RunResult,
+}
+
+/// Measure the curve at each offered rate, stopping early once two
+/// consecutive points saturate (the curve has gone vertical, as in the
+/// paper's plots).
+pub fn latency_curve(spec: &CurveSpec, rates: &[f64], run_spec: &RunSpec) -> Vec<CurvePoint> {
+    let mut points = Vec::with_capacity(rates.len());
+    let mut saturated_streak = 0;
+    for &rate in rates {
+        let mut net = build_network(spec.noc);
+        let mut wl = Synthetic::new(
+            spec.noc.n,
+            SyntheticConfig::paper(rate, spec.msg_len, spec.beta, spec.seed),
+        );
+        let result = run(net.as_mut(), &mut wl, run_spec);
+        let is_sat = result.saturated;
+        points.push(CurvePoint { rate, result });
+        saturated_streak = if is_sat { saturated_streak + 1 } else { 0 };
+        if saturated_streak >= 2 {
+            break;
+        }
+    }
+    points
+}
+
+/// Render a curve as CSV (one row per point, run columns from
+/// [`RunResult::csv_row`] plus the sweep parameters).
+pub fn curve_csv(spec: &CurveSpec, points: &[CurvePoint]) -> String {
+    let mut out = String::new();
+    out.push_str("msg_len,beta,");
+    out.push_str(RunResult::csv_header());
+    out.push('\n');
+    for p in points {
+        out.push_str(&format!("{},{},{}\n", spec.msg_len, spec.beta, p.result.csv_row()));
+    }
+    out
+}
+
+/// Geometrically spaced rates between `lo` and `hi` (inclusive), the usual
+/// x-axis for latency/load plots.
+pub fn geometric_rates(lo: f64, hi: f64, steps: usize) -> Vec<f64> {
+    assert!(lo > 0.0 && hi > lo && steps >= 2);
+    let ratio = (hi / lo).powf(1.0 / (steps - 1) as f64);
+    (0..steps).map(|i| lo * ratio.powi(i as i32)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometric_rates_span_bounds() {
+        let r = geometric_rates(0.001, 0.1, 5);
+        assert_eq!(r.len(), 5);
+        assert!((r[0] - 0.001).abs() < 1e-9);
+        assert!((r[4] - 0.1).abs() < 1e-6);
+        assert!(r.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn curve_stops_after_saturation() {
+        let spec = CurveSpec {
+            noc: NocConfig::quarc(8),
+            msg_len: 8,
+            beta: 0.0,
+            seed: 1,
+        };
+        let run_spec = RunSpec { warmup: 200, measure: 1_500, drain: 1_500, ..Default::default() };
+        // Include absurd rates; the sweep must cut off after two saturated
+        // points rather than simulating them all.
+        let rates = [0.005, 0.4, 0.5, 0.6, 0.7, 0.8];
+        let points = latency_curve(&spec, &rates, &run_spec);
+        assert!(points.len() >= 2 && points.len() < rates.len(), "{}", points.len());
+        assert!(!points[0].result.saturated);
+    }
+
+    #[test]
+    fn csv_has_row_per_point() {
+        let spec = CurveSpec { noc: NocConfig::quarc(8), msg_len: 4, beta: 0.0, seed: 2 };
+        let run_spec = RunSpec { warmup: 100, measure: 800, drain: 800, ..Default::default() };
+        let points = latency_curve(&spec, &[0.005, 0.01], &run_spec);
+        let csv = curve_csv(&spec, &points);
+        assert_eq!(csv.lines().count(), 1 + points.len());
+    }
+
+    #[test]
+    fn build_network_matches_kind() {
+        assert_eq!(build_network(NocConfig::quarc(8)).kind(), TopologyKind::Quarc);
+        assert_eq!(build_network(NocConfig::spidergon(8)).kind(), TopologyKind::Spidergon);
+    }
+}

@@ -1,0 +1,487 @@
+//! A 2D-torus wormhole network — the second half of the paper's "next
+//! objective" comparison (§4), alongside the mesh.
+//!
+//! Structure matches [`crate::mesh_net`] (one local injection queue, single
+//! arbitrated ejection port, credit flow control) except that every link
+//! wraps and therefore every row/column is a ring: packets carry the
+//! per-dimension dateline VC class computed by
+//! [`quarc_core::torus::TorusTopology::next_vc`], the same discipline that
+//! keeps the Quarc rims deadlock-free.
+
+use crate::arbiter::RoundRobin;
+use crate::buffer::VcFifo;
+use crate::driver::NocSim;
+use crate::link::{Link, TaggedFlit};
+use crate::metrics::Metrics;
+use crate::packets::{packetize, IdAlloc};
+use quarc_core::config::NocConfig;
+use quarc_core::flit::{Flit, PacketMeta, TrafficClass};
+use quarc_core::ids::{NodeId, VcId};
+use quarc_core::ring::RingDir;
+use quarc_core::topology::TopologyKind;
+use quarc_core::torus::{TorusOut, TorusTopology};
+use quarc_core::vc::INJECTION_VC;
+use quarc_engine::{Clock, Cycle};
+use quarc_workloads::Workload;
+use std::collections::VecDeque;
+
+/// Network ports in index order (matches `TorusOut::index()` 0..4).
+const NET_OUT: [TorusOut; 4] =
+    [TorusOut::XPlus, TorusOut::XMinus, TorusOut::YPlus, TorusOut::YMinus];
+/// Ejection pseudo-output index.
+const EJECT: usize = 4;
+
+/// The input port a flit sent via `out` arrives on (the opposite side).
+fn arrival_port(out: TorusOut) -> usize {
+    match out {
+        TorusOut::XPlus => TorusOut::XMinus.index(),
+        TorusOut::XMinus => TorusOut::XPlus.index(),
+        TorusOut::YPlus => TorusOut::YMinus.index(),
+        TorusOut::YMinus => TorusOut::YPlus.index(),
+        TorusOut::Eject => unreachable!(),
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Src {
+    Net { port: usize, vc: usize },
+    Local,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct HopPlan {
+    /// `0..4` = link, [`EJECT`] = deliver.
+    out: usize,
+    out_vc: VcId,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct PortReq {
+    src: Src,
+    plan: HopPlan,
+    is_header: bool,
+    is_tail: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Transfer {
+    node: usize,
+    req: PortReq,
+}
+
+#[derive(Debug)]
+struct NodeState {
+    inject_q: VecDeque<Flit>,
+    inject_plan: Option<HopPlan>,
+    in_buf: Vec<Vec<VcFifo>>,
+    in_route: Vec<Vec<Option<HopPlan>>>,
+    out_owner: Vec<Vec<Option<Src>>>,
+    eject_owner: Option<Src>,
+    rr_in_vc: [RoundRobin; 4],
+    rr_out: [RoundRobin; 5],
+}
+
+impl NodeState {
+    fn new(vcs: usize, depth: usize) -> Self {
+        NodeState {
+            inject_q: VecDeque::new(),
+            inject_plan: None,
+            in_buf: (0..4).map(|_| (0..vcs).map(|_| VcFifo::new(depth)).collect()).collect(),
+            in_route: (0..4).map(|_| vec![None; vcs]).collect(),
+            out_owner: (0..4).map(|_| vec![None; vcs]).collect(),
+            eject_owner: None,
+            rr_in_vc: Default::default(),
+            rr_out: Default::default(),
+        }
+    }
+}
+
+/// The flit-level torus network simulator.
+#[derive(Debug)]
+pub struct TorusNetwork {
+    topo: TorusTopology,
+    cfg: NocConfig,
+    clock: Clock,
+    nodes: Vec<NodeState>,
+    /// `node * 4 + out` (all links exist — the torus wraps).
+    links: Vec<Link>,
+    ids: IdAlloc,
+    metrics: Metrics,
+    transfers: Vec<Transfer>,
+}
+
+impl TorusNetwork {
+    /// Build a near-square torus of at least `cfg.n` nodes. The `Mesh`
+    /// topology kind is reused in the config (the torus is its wrapped
+    /// sibling); 2 VCs are required for the dateline scheme.
+    pub fn new(cfg: NocConfig) -> Self {
+        assert!(cfg.vcs >= 2, "torus rings need ≥ 2 VCs for the dateline scheme");
+        assert_eq!(cfg.kind, TopologyKind::Mesh, "reuse the mesh config kind for tori");
+        cfg.validate().expect("invalid configuration");
+        let topo = TorusTopology::square(cfg.n);
+        let n = topo.num_nodes();
+        TorusNetwork {
+            topo,
+            cfg,
+            clock: Clock::new(),
+            nodes: (0..n).map(|_| NodeState::new(cfg.vcs, cfg.buffer_depth)).collect(),
+            links: (0..n * 4).map(|_| Link::new(cfg.link_latency)).collect(),
+            ids: IdAlloc::new(),
+            metrics: Metrics::new(),
+            transfers: Vec::new(),
+        }
+    }
+
+    /// The torus dimensions chosen for this node count.
+    pub fn topology(&self) -> &TorusTopology {
+        &self.topo
+    }
+
+    fn plan_header(&self, node: usize, meta: &PacketMeta, cur_vc: VcId) -> HopPlan {
+        let cur = NodeId::new(node);
+        match self.topo.route(cur, meta.dst) {
+            TorusOut::Eject => HopPlan { out: EJECT, out_vc: INJECTION_VC },
+            out => {
+                // A packet turning into y (or injecting) starts fresh on that
+                // dimension's dateline class; continuing in-dimension carries
+                // its lane class forward.
+                let out_vc = self.topo.next_vc(cur, out, cur_vc);
+                HopPlan { out: out.index(), out_vc }
+            }
+        }
+    }
+
+    /// The VC class a flit arriving on `port`/`vc` holds for its *next* hop
+    /// decision: staying in dimension keeps the lane class; turning resets
+    /// (handled inside `plan_header` via `cur_vc = VC0` when the next hop is
+    /// in the other dimension).
+    fn arrival_class(&self, node: usize, port: usize, vc: usize, dst: NodeId) -> VcId {
+        let cur = NodeId::new(node);
+        let next = self.topo.route(cur, dst);
+        let same_dim = matches!(
+            (port, next),
+            (0 | 1, TorusOut::XPlus | TorusOut::XMinus) | (2 | 3, TorusOut::YPlus | TorusOut::YMinus)
+        );
+        if same_dim {
+            VcId(vc as u8)
+        } else {
+            INJECTION_VC
+        }
+    }
+
+    fn downstream_free(&self, node: usize, out: usize, vc: VcId) -> usize {
+        let to = self
+            .topo
+            .link_target(NodeId::new(node), NET_OUT[out])
+            .expect("torus links always exist");
+        let buffered = &self.nodes[to.index()].in_buf[arrival_port(NET_OUT[out])][vc.index()];
+        buffered.free().saturating_sub(self.links[node * 4 + out].in_flight(vc))
+    }
+
+    fn feasible(&self, node: usize, plan: HopPlan, src: Src, is_header: bool) -> bool {
+        let owner = if plan.out == EJECT {
+            self.nodes[node].eject_owner
+        } else {
+            self.nodes[node].out_owner[plan.out][plan.out_vc.index()]
+        };
+        let own_ok = match owner {
+            Some(o) => o == src && !is_header,
+            None => is_header,
+        };
+        own_ok && (plan.out == EJECT || self.downstream_free(node, plan.out, plan.out_vc) > 0)
+    }
+
+    fn gather_net_port(&mut self, node: usize, p: usize) -> Option<PortReq> {
+        let vcs = self.cfg.vcs;
+        let mut feasible: Vec<Option<PortReq>> = vec![None; vcs];
+        for vc in 0..vcs {
+            let Some(head) = self.nodes[node].in_buf[p][vc].front().copied() else {
+                continue;
+            };
+            let plan = match self.nodes[node].in_route[p][vc] {
+                Some(plan) => plan,
+                None => {
+                    assert!(head.is_header(), "wormhole violated");
+                    let class = self.arrival_class(node, p, vc, head.meta.dst);
+                    self.plan_header(node, &head.meta, class)
+                }
+            };
+            let src = Src::Net { port: p, vc };
+            if self.feasible(node, plan, src, head.is_header()) {
+                feasible[vc] = Some(PortReq {
+                    src,
+                    plan,
+                    is_header: head.is_header(),
+                    is_tail: head.is_tail(),
+                });
+            }
+        }
+        let pick = self.nodes[node].rr_in_vc[p].pick(vcs, |vc| feasible[vc].is_some())?;
+        feasible[pick]
+    }
+
+    fn gather_local(&self, node: usize) -> Option<PortReq> {
+        let head = self.nodes[node].inject_q.front()?;
+        let plan = match self.nodes[node].inject_plan {
+            Some(plan) => plan,
+            None => {
+                assert!(head.is_header(), "local queue must start with a header");
+                self.plan_header(node, &head.meta, INJECTION_VC)
+            }
+        };
+        self.feasible(node, plan, Src::Local, head.is_header()).then_some(PortReq {
+            src: Src::Local,
+            plan,
+            is_header: head.is_header(),
+            is_tail: head.is_tail(),
+        })
+    }
+
+    fn gather_node(&mut self, node: usize, transfers: &mut Vec<Transfer>) {
+        let mut reqs: [Option<PortReq>; 5] = [None; 5];
+        for p in 0..4 {
+            reqs[p] = self.gather_net_port(node, p);
+        }
+        reqs[4] = self.gather_local(node);
+        for o in 0..5 {
+            let winner = self.nodes[node].rr_out[o]
+                .pick(5, |slot| matches!(reqs[slot], Some(r) if r.plan.out == o));
+            if let Some(slot) = winner {
+                let req = reqs[slot].take().expect("winner exists");
+                transfers.push(Transfer { node, req });
+            }
+        }
+    }
+
+    fn commit(&mut self, t: Transfer) {
+        let now = self.clock.now();
+        let node = t.node;
+        let flit = match t.req.src {
+            Src::Net { port, vc } => {
+                let flit = self.nodes[node].in_buf[port][vc].pop().expect("planned flit");
+                if t.req.is_header {
+                    self.nodes[node].in_route[port][vc] = Some(t.req.plan);
+                }
+                if t.req.is_tail {
+                    self.nodes[node].in_route[port][vc] = None;
+                }
+                flit
+            }
+            Src::Local => {
+                let flit = self.nodes[node].inject_q.pop_front().expect("planned flit");
+                if t.req.is_header {
+                    self.nodes[node].inject_plan = Some(t.req.plan);
+                }
+                if t.req.is_tail {
+                    self.nodes[node].inject_plan = None;
+                }
+                flit
+            }
+        };
+        if t.req.plan.out == EJECT {
+            if t.req.is_header {
+                self.nodes[node].eject_owner = Some(t.req.src);
+            }
+            if t.req.is_tail {
+                self.nodes[node].eject_owner = None;
+            }
+            self.metrics.record_flit_delivery(now, NodeId::new(node), &flit);
+        } else {
+            let o = t.req.plan.out;
+            let vc = t.req.plan.out_vc;
+            if t.req.is_header {
+                self.nodes[node].out_owner[o][vc.index()] = Some(t.req.src);
+            }
+            if t.req.is_tail {
+                self.nodes[node].out_owner[o][vc.index()] = None;
+            }
+            self.links[node * 4 + o].send(TaggedFlit { flit, vc });
+        }
+    }
+
+    /// Total flits queued at sources.
+    pub fn backlog(&self) -> usize {
+        self.nodes.iter().map(|n| n.inject_q.len()).sum()
+    }
+}
+
+impl NocSim for TorusNetwork {
+    fn step(&mut self, workload: &mut dyn Workload) {
+        let now = self.clock.now();
+        let n = self.topo.num_nodes();
+        for node in 0..n {
+            for o in 0..4 {
+                if let Some(tf) = self.links[node * 4 + o].step() {
+                    let to = self
+                        .topo
+                        .link_target(NodeId::new(node), NET_OUT[o])
+                        .expect("torus link");
+                    self.nodes[to.index()].in_buf[arrival_port(NET_OUT[o])][tf.vc.index()]
+                        .push(tf.flit);
+                }
+            }
+        }
+        for node in 0..n {
+            for req in workload.poll(NodeId::new(node), now) {
+                assert_eq!(
+                    req.class,
+                    TrafficClass::Unicast,
+                    "the torus model carries unicast traffic only (comparison role)"
+                );
+                let message = self.ids.message();
+                let dst = req.dst.expect("unicast");
+                let meta = PacketMeta {
+                    message,
+                    packet: self.ids.packet(),
+                    class: TrafficClass::Unicast,
+                    src: req.src,
+                    dst,
+                    bitstring: 0,
+                    dir: RingDir::Cw,
+                    len: req.len as u32,
+                    created_at: now,
+                };
+                self.metrics.record_created(message, TrafficClass::Unicast, now, 1);
+                self.nodes[node].inject_q.extend(packetize(meta));
+            }
+        }
+        let mut transfers = std::mem::take(&mut self.transfers);
+        transfers.clear();
+        for node in 0..n {
+            self.gather_node(node, &mut transfers);
+        }
+        for t in transfers.drain(..) {
+            self.commit(t);
+        }
+        self.transfers = transfers;
+        self.clock.tick();
+    }
+
+    fn now(&self) -> Cycle {
+        self.clock.now()
+    }
+
+    fn num_nodes(&self) -> usize {
+        self.topo.num_nodes()
+    }
+
+    fn kind(&self) -> TopologyKind {
+        TopologyKind::Mesh
+    }
+
+    fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    fn metrics_mut(&mut self) -> &mut Metrics {
+        &mut self.metrics
+    }
+
+    fn source_backlog(&self) -> usize {
+        self.backlog()
+    }
+
+    fn quiesced(&self) -> bool {
+        self.metrics.in_flight() == 0
+            && self.backlog() == 0
+            && self.links.iter().all(Link::is_empty)
+            && self
+                .nodes
+                .iter()
+                .all(|n| n.in_buf.iter().all(|port| port.iter().all(VcFifo::is_empty)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quarc_workloads::{MessageRequest, TraceRecord, TraceWorkload};
+
+    #[test]
+    fn wraparound_route_is_short() {
+        // 0 → 3 on a 4×4 torus: one x− wrap hop instead of three x+ hops.
+        let mut net = TorusNetwork::new(NocConfig::mesh(16));
+        let mut wl = TraceWorkload::new(
+            16,
+            vec![TraceRecord {
+                cycle: 0,
+                request: MessageRequest::unicast(NodeId(0), NodeId(3), 8),
+            }],
+        );
+        for _ in 0..100 {
+            net.step(&mut wl);
+            if net.quiesced() {
+                break;
+            }
+        }
+        assert!(net.quiesced());
+        let got = net.metrics().unicast_latency().mean();
+        let ideal = 1.0 + 7.0 + 1.0; // 1 hop + (M−1) serialisation + injection
+        assert!((got - ideal).abs() <= 1.0, "latency {got} vs {ideal}");
+    }
+
+    #[test]
+    fn all_pairs_deliver() {
+        let mut records = Vec::new();
+        for s in 0..16u16 {
+            for t in 0..16u16 {
+                if s != t {
+                    records.push(TraceRecord {
+                        cycle: (s as u64) * 50,
+                        request: MessageRequest::unicast(NodeId(s), NodeId(t), 4),
+                    });
+                }
+            }
+        }
+        let count = records.len() as u64;
+        let mut net = TorusNetwork::new(NocConfig::mesh(16));
+        let mut wl = TraceWorkload::new(16, records);
+        for _ in 0..10_000 {
+            net.step(&mut wl);
+            if net.quiesced() && wl.remaining() == 0 {
+                break;
+            }
+        }
+        assert!(net.quiesced(), "torus failed to drain");
+        assert_eq!(net.metrics().completed(TrafficClass::Unicast), count);
+    }
+
+    #[test]
+    fn sustained_load_no_deadlock() {
+        use quarc_workloads::{Synthetic, SyntheticConfig};
+        let mut net = TorusNetwork::new(NocConfig::mesh(16).with_buffer_depth(2));
+        let mut wl = Synthetic::new(16, SyntheticConfig::paper(0.1, 8, 0.0, 5));
+        for _ in 0..5_000 {
+            net.step(&mut wl);
+        }
+        let before = net.metrics().flits_delivered();
+        for _ in 0..2_000 {
+            net.step(&mut wl);
+        }
+        assert!(net.metrics().flits_delivered() > before, "deadlock on the torus");
+    }
+
+    #[test]
+    fn torus_beats_mesh_on_mean_latency() {
+        use crate::mesh_net::MeshNetwork;
+        use quarc_workloads::{Synthetic, SyntheticConfig};
+        let spec = crate::driver::RunSpec {
+            warmup: 1_000,
+            measure: 8_000,
+            drain: 12_000,
+            ..Default::default()
+        };
+        let mut torus = TorusNetwork::new(NocConfig::mesh(16));
+        let mut wl = Synthetic::new(16, SyntheticConfig::paper(0.02, 8, 0.0, 6));
+        let rt = crate::driver::run(&mut torus, &mut wl, &spec);
+        let mut mesh = MeshNetwork::new(NocConfig::mesh(16));
+        let mut wl = Synthetic::new(16, SyntheticConfig::paper(0.02, 8, 0.0, 6));
+        let rm = crate::driver::run(&mut mesh, &mut wl, &spec);
+        assert!(
+            rt.unicast_mean < rm.unicast_mean,
+            "torus {:.1} should beat mesh {:.1} (shorter mean distance)",
+            rt.unicast_mean,
+            rm.unicast_mean
+        );
+    }
+}

@@ -1,0 +1,214 @@
+//! A synthetic MPSoC cache-coherence workload.
+//!
+//! The paper motivates the Quarc with cache synchronisation: "Broadcast
+//! traffic in NoCs is particularly important in MPSoC as it is the key
+//! mechanism for keeping caches in sync" (§1). This workload models a
+//! write-invalidate protocol over a NoC without a directory:
+//!
+//! * each core issues memory requests as a Bernoulli process;
+//! * a **write hit on a shared line** broadcasts an *invalidate* to every
+//!   other core (the Quarc's true broadcast vs Spidergon's chain is exactly
+//!   this message);
+//! * a **read miss** unicasts a *fetch* to the line's home node, and the home
+//!   node later unicasts the cache-line *data* back (modelled open-loop with
+//!   a fixed memory service delay, since the workload layer does not observe
+//!   network completions).
+//!
+//! Line-granular MESI bookkeeping is deliberately not modelled — the point of
+//! the workload is the *traffic shape* (a β-like broadcast share coupled to
+//! write behaviour, bursty request/response unicasts), not protocol
+//! verification.
+
+use crate::request::{MessageRequest, Workload};
+use quarc_core::ids::NodeId;
+use quarc_engine::{Cycle, DetRng, EventQueue};
+
+/// Parameters of the coherence workload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoherenceConfig {
+    /// Memory requests per core per cycle.
+    pub request_rate: f64,
+    /// Fraction of requests that are writes.
+    pub write_frac: f64,
+    /// Fraction of writes that hit a *shared* line (and must invalidate).
+    pub shared_frac: f64,
+    /// Fraction of reads that miss locally (and must fetch from home).
+    pub miss_frac: f64,
+    /// Number of distinct cache lines (homes are `line % n`).
+    pub lines: usize,
+    /// Cycles the home node takes to produce a data response.
+    pub memory_delay: u64,
+    /// Control-message length in flits (invalidate / fetch).
+    pub ctrl_len: usize,
+    /// Data-message length in flits (cache line transfer).
+    pub data_len: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for CoherenceConfig {
+    fn default() -> Self {
+        CoherenceConfig {
+            request_rate: 0.02,
+            write_frac: 0.3,
+            shared_frac: 0.2,
+            miss_frac: 0.1,
+            lines: 1024,
+            memory_delay: 20,
+            ctrl_len: 2,
+            data_len: 16,
+            seed: 0xC0DE,
+        }
+    }
+}
+
+/// The coherence traffic generator.
+#[derive(Debug)]
+pub struct Coherence {
+    cfg: CoherenceConfig,
+    n: usize,
+    rngs: Vec<DetRng>,
+    next_arrival: Vec<Cycle>,
+    /// Pending data responses per home node: (due cycle, requester).
+    responses: Vec<EventQueue<NodeId>>,
+}
+
+impl Coherence {
+    /// Build for an `n`-node network.
+    pub fn new(n: usize, cfg: CoherenceConfig) -> Self {
+        assert!(n >= 2);
+        assert!(cfg.lines >= 1);
+        assert!(cfg.ctrl_len >= 2 && cfg.data_len >= 2);
+        let master = DetRng::new(cfg.seed);
+        let mut rngs = Vec::with_capacity(n);
+        let mut next_arrival = Vec::with_capacity(n);
+        for i in 0..n {
+            let mut rng = master.fork(i as u64);
+            next_arrival.push(if cfg.request_rate > 0.0 {
+                rng.geometric_gap(cfg.request_rate)
+            } else {
+                Cycle::MAX
+            });
+            rngs.push(rng);
+        }
+        Coherence {
+            cfg,
+            n,
+            rngs,
+            next_arrival,
+            responses: (0..n).map(|_| EventQueue::new()).collect(),
+        }
+    }
+
+    /// The home node of a cache line.
+    fn home_of(&self, line: usize) -> NodeId {
+        NodeId::new(line % self.n)
+    }
+}
+
+impl Workload for Coherence {
+    fn poll(&mut self, node: NodeId, now: Cycle) -> Vec<MessageRequest> {
+        let i = node.index();
+        let mut out = Vec::new();
+
+        // First, serve any data responses this node owes as home.
+        for requester in self.responses[i].drain_due(now) {
+            if requester != node {
+                out.push(MessageRequest::unicast(node, requester, self.cfg.data_len));
+            }
+        }
+
+        if now < self.next_arrival[i] {
+            return out;
+        }
+        let rng = &mut self.rngs[i];
+        self.next_arrival[i] = now + rng.geometric_gap(self.cfg.request_rate);
+
+        if rng.chance(self.cfg.write_frac) {
+            // Write: shared lines require a network-wide invalidate.
+            if rng.chance(self.cfg.shared_frac) {
+                out.push(MessageRequest::broadcast(node, self.cfg.ctrl_len));
+            }
+        } else if rng.chance(self.cfg.miss_frac) {
+            // Read miss: fetch from the line's home, which responds later.
+            let line = rng.below(self.cfg.lines);
+            let home = self.home_of(line);
+            if home != node {
+                out.push(MessageRequest::unicast(node, home, self.cfg.ctrl_len));
+                self.responses[home.index()].push(now + self.cfg.memory_delay, node);
+            }
+        }
+        out
+    }
+
+    fn nominal_rate(&self) -> Option<f64> {
+        Some(self.cfg.request_rate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quarc_core::flit::TrafficClass;
+
+    fn run(n: usize, cfg: CoherenceConfig, cycles: u64) -> Vec<MessageRequest> {
+        let mut w = Coherence::new(n, cfg);
+        let mut out = Vec::new();
+        for now in 0..cycles {
+            for node in 0..n {
+                out.extend(w.poll(NodeId::new(node), now));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn generates_mixed_traffic() {
+        let cfg = CoherenceConfig { request_rate: 0.1, ..Default::default() };
+        let msgs = run(16, cfg, 10_000);
+        let bc = msgs.iter().filter(|m| m.class == TrafficClass::Broadcast).count();
+        let uc = msgs.iter().filter(|m| m.class == TrafficClass::Unicast).count();
+        assert!(bc > 0, "no invalidations generated");
+        assert!(uc > 0, "no fetch/data traffic generated");
+        // Invalidate fraction ≈ write_frac * shared_frac = 6% of requests.
+        let frac = bc as f64 / (bc + uc) as f64;
+        assert!(frac < 0.5, "broadcasts dominate unexpectedly: {frac}");
+    }
+
+    #[test]
+    fn responses_follow_requests() {
+        let cfg = CoherenceConfig {
+            request_rate: 0.2,
+            write_frac: 0.0,
+            miss_frac: 1.0,
+            memory_delay: 5,
+            ..Default::default()
+        };
+        let msgs = run(8, cfg, 4_000);
+        // Every fetch (ctrl_len) eventually triggers a data response
+        // (data_len). Because the run is long, counts must be within the
+        // trailing window of each other.
+        let fetches = msgs.iter().filter(|m| m.len == cfg.ctrl_len).count();
+        let data = msgs.iter().filter(|m| m.len == cfg.data_len).count();
+        assert!(fetches > 100);
+        assert!(data > 0);
+        assert!(data <= fetches);
+        assert!(fetches - data < 32, "fetch {fetches} vs data {data}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let cfg = CoherenceConfig { request_rate: 0.1, ..Default::default() };
+        assert_eq!(run(8, cfg, 1000), run(8, cfg, 1000));
+    }
+
+    #[test]
+    fn never_sends_to_self() {
+        let cfg = CoherenceConfig { request_rate: 0.3, miss_frac: 1.0, ..Default::default() };
+        for m in run(4, cfg, 2000) {
+            if let Some(dst) = m.dst {
+                assert_ne!(dst, m.src);
+            }
+        }
+    }
+}

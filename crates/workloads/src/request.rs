@@ -1,0 +1,71 @@
+//! The interface between traffic generation and the network: a
+//! [`MessageRequest`] describes one application-level send; a [`Workload`]
+//! produces them cycle by cycle.
+
+use quarc_core::flit::TrafficClass;
+use quarc_core::ids::NodeId;
+use quarc_engine::Cycle;
+
+/// One application-level message a PE wants to send.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MessageRequest {
+    /// Sending node.
+    pub src: NodeId,
+    /// Unicast, broadcast or multicast.
+    pub class: TrafficClass,
+    /// Destination (unicast only).
+    pub dst: Option<NodeId>,
+    /// Target set (multicast only).
+    pub targets: Vec<NodeId>,
+    /// Message length in flits (header + bodies + tail), ≥ 2.
+    pub len: usize,
+}
+
+impl MessageRequest {
+    /// A unicast request.
+    pub fn unicast(src: NodeId, dst: NodeId, len: usize) -> Self {
+        debug_assert_ne!(src, dst);
+        MessageRequest { src, class: TrafficClass::Unicast, dst: Some(dst), targets: Vec::new(), len }
+    }
+
+    /// A broadcast request.
+    pub fn broadcast(src: NodeId, len: usize) -> Self {
+        MessageRequest { src, class: TrafficClass::Broadcast, dst: None, targets: Vec::new(), len }
+    }
+
+    /// A multicast request to an explicit target set.
+    pub fn multicast(src: NodeId, targets: Vec<NodeId>, len: usize) -> Self {
+        MessageRequest { src, class: TrafficClass::Multicast, dst: None, targets, len }
+    }
+}
+
+/// A source of traffic. The network driver polls every node once per cycle;
+/// implementations must be deterministic functions of their seed and the
+/// polling sequence.
+pub trait Workload {
+    /// Messages created by `node` at cycle `now` (usually zero or one).
+    fn poll(&mut self, node: NodeId, now: Cycle) -> Vec<MessageRequest>;
+
+    /// Offered load in messages per node per cycle, if the workload knows it
+    /// (used for reporting sweep axes; trace replays may not know).
+    fn nominal_rate(&self) -> Option<f64> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_fill_fields() {
+        let u = MessageRequest::unicast(NodeId(1), NodeId(2), 8);
+        assert_eq!(u.class, TrafficClass::Unicast);
+        assert_eq!(u.dst, Some(NodeId(2)));
+        let b = MessageRequest::broadcast(NodeId(1), 16);
+        assert_eq!(b.class, TrafficClass::Broadcast);
+        assert_eq!(b.dst, None);
+        let m = MessageRequest::multicast(NodeId(0), vec![NodeId(1), NodeId(2)], 4);
+        assert_eq!(m.targets.len(), 2);
+    }
+}

@@ -1,0 +1,176 @@
+//! The paper's synthetic workload: per-node Bernoulli injection with uniform
+//! destinations, a fixed message length `M` and a broadcast fraction `β`.
+//!
+//! The axes of Figs. 9–11 are exactly this generator's parameters: the
+//! horizontal axis is `rate` (messages per node per cycle), the curves are
+//! parameterised by `M` (8/16/32 flits), `N` and `β` (0/5/10%).
+
+use crate::patterns::Pattern;
+use crate::request::{MessageRequest, Workload};
+use quarc_core::ids::NodeId;
+use quarc_engine::{Cycle, DetRng};
+
+/// Configuration of the synthetic generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SyntheticConfig {
+    /// Offered load: messages per node per cycle (Bernoulli per-cycle
+    /// probability; arrivals are generated via geometric gaps).
+    pub rate: f64,
+    /// Message length in flits (header + bodies + tail).
+    pub msg_len: usize,
+    /// Fraction of messages that are broadcasts (the paper's `β`).
+    pub broadcast_frac: f64,
+    /// Destination pattern for the unicast share.
+    pub pattern: Pattern,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl SyntheticConfig {
+    /// The paper's default shape: uniform unicasts, given `rate`, `M`, `β`.
+    pub fn paper(rate: f64, msg_len: usize, broadcast_frac: f64, seed: u64) -> Self {
+        SyntheticConfig { rate, msg_len, broadcast_frac, pattern: Pattern::Uniform, seed }
+    }
+}
+
+/// Per-node generator state.
+#[derive(Debug)]
+struct NodeState {
+    rng: DetRng,
+    next_arrival: Cycle,
+}
+
+/// The synthetic workload generator.
+#[derive(Debug)]
+pub struct Synthetic {
+    cfg: SyntheticConfig,
+    n: usize,
+    nodes: Vec<NodeState>,
+}
+
+impl Synthetic {
+    /// Build a generator for an `n`-node network.
+    pub fn new(n: usize, cfg: SyntheticConfig) -> Self {
+        assert!(n >= 2, "need at least two nodes for traffic");
+        assert!(cfg.msg_len >= 2, "a packet is at least header + tail");
+        assert!((0.0..=1.0).contains(&cfg.broadcast_frac));
+        let master = DetRng::new(cfg.seed);
+        let nodes = (0..n)
+            .map(|i| {
+                let mut rng = master.fork(i as u64);
+                // First arrival: sample a gap so that sources are desynchronised.
+                let next_arrival = if cfg.rate > 0.0 { rng.geometric_gap(cfg.rate) } else { Cycle::MAX };
+                NodeState { rng, next_arrival }
+            })
+            .collect();
+        Synthetic { cfg, n, nodes }
+    }
+
+    /// The generator's configuration.
+    pub fn config(&self) -> &SyntheticConfig {
+        &self.cfg
+    }
+}
+
+impl Workload for Synthetic {
+    fn poll(&mut self, node: NodeId, now: Cycle) -> Vec<MessageRequest> {
+        let st = &mut self.nodes[node.index()];
+        if now < st.next_arrival {
+            return Vec::new();
+        }
+        // Bernoulli arrivals: at most one message per node per cycle.
+        st.next_arrival = now + st.rng.geometric_gap(self.cfg.rate);
+        let req = if st.rng.chance(self.cfg.broadcast_frac) {
+            MessageRequest::broadcast(node, self.cfg.msg_len)
+        } else {
+            let dst = self.cfg.pattern.pick(&mut st.rng, node, self.n);
+            MessageRequest::unicast(node, dst, self.cfg.msg_len)
+        };
+        vec![req]
+    }
+
+    fn nominal_rate(&self) -> Option<f64> {
+        Some(self.cfg.rate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quarc_core::flit::TrafficClass;
+
+    fn run(n: usize, cfg: SyntheticConfig, cycles: u64) -> Vec<MessageRequest> {
+        let mut w = Synthetic::new(n, cfg);
+        let mut out = Vec::new();
+        for now in 0..cycles {
+            for node in 0..n {
+                out.extend(w.poll(NodeId::new(node), now));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn rate_is_respected() {
+        let cfg = SyntheticConfig::paper(0.02, 8, 0.0, 7);
+        let msgs = run(16, cfg, 20_000);
+        let per_node_per_cycle = msgs.len() as f64 / (16.0 * 20_000.0);
+        assert!(
+            (per_node_per_cycle - 0.02).abs() < 0.002,
+            "measured rate {per_node_per_cycle}"
+        );
+    }
+
+    #[test]
+    fn beta_fraction_of_broadcasts() {
+        let cfg = SyntheticConfig::paper(0.05, 8, 0.10, 11);
+        let msgs = run(16, cfg, 20_000);
+        let bc = msgs.iter().filter(|m| m.class == TrafficClass::Broadcast).count();
+        let frac = bc as f64 / msgs.len() as f64;
+        assert!((0.08..0.12).contains(&frac), "beta {frac}");
+    }
+
+    #[test]
+    fn zero_rate_generates_nothing() {
+        let cfg = SyntheticConfig::paper(0.0, 8, 0.0, 1);
+        assert!(run(8, cfg, 1000).is_empty());
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let cfg = SyntheticConfig::paper(0.1, 16, 0.05, 99);
+        let a = run(16, cfg, 500);
+        let b = run(16, cfg, 500);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = run(16, SyntheticConfig::paper(0.1, 16, 0.05, 1), 500);
+        let b = run(16, SyntheticConfig::paper(0.1, 16, 0.05, 2), 500);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn messages_have_requested_length() {
+        let cfg = SyntheticConfig::paper(0.1, 32, 0.5, 3);
+        for m in run(8, cfg, 200) {
+            assert_eq!(m.len, 32);
+        }
+    }
+
+    #[test]
+    fn nominal_rate_reported() {
+        let w = Synthetic::new(8, SyntheticConfig::paper(0.07, 8, 0.0, 1));
+        assert_eq!(w.nominal_rate(), Some(0.07));
+    }
+
+    #[test]
+    fn rate_one_saturates_every_cycle() {
+        let cfg = SyntheticConfig::paper(1.0, 2, 0.0, 5);
+        let msgs = run(4, cfg, 100);
+        // One message per node per cycle (after each node's first arrival at
+        // cycle 1).
+        assert_eq!(msgs.len(), 4 * 99);
+    }
+}

@@ -1,0 +1,69 @@
+//! The paper's motivating scenario: cache synchronisation in an MPSoC.
+//!
+//! Cores issue memory requests; writes to shared lines broadcast
+//! invalidations ("Broadcasts are a key mechanism to maintain cache
+//! coherency in MPSoCs", §2.2). The same coherence workload runs on a Quarc
+//! and on a Spidergon of equal size, and the invalidation latencies are
+//! compared.
+//!
+//! ```text
+//! cargo run --example cache_coherence --release
+//! ```
+
+use quarc::core::config::NocConfig;
+use quarc::core::flit::TrafficClass;
+use quarc::sim::driver::{run, NocSim, RunSpec};
+use quarc::sim::{QuarcNetwork, SpidergonNetwork};
+use quarc::workloads::{Coherence, CoherenceConfig};
+
+fn main() {
+    let n = 16;
+    let cfg = CoherenceConfig {
+        request_rate: 0.05, // memory requests per core per cycle
+        write_frac: 0.3,
+        shared_frac: 0.25,
+        miss_frac: 0.15,
+        ..Default::default()
+    };
+    let spec = RunSpec { warmup: 2_000, measure: 20_000, drain: 30_000, ..Default::default() };
+
+    println!("MPSoC write-invalidate workload, {n} cores");
+    println!(
+        "({}% writes, {}% of writes hit shared lines -> broadcast invalidations)\n",
+        cfg.write_frac * 100.0,
+        cfg.shared_frac * 100.0
+    );
+
+    let mut quarc = QuarcNetwork::new(NocConfig::quarc(n));
+    let mut wl = Coherence::new(n, cfg);
+    let rq = run(&mut quarc, &mut wl, &spec);
+
+    let mut spider = SpidergonNetwork::new(NocConfig::spidergon(n));
+    let mut wl = Coherence::new(n, cfg);
+    let rs = run(&mut spider, &mut wl, &spec);
+
+    println!("metric                             Quarc     Spidergon");
+    println!(
+        "invalidation completion (cycles) {:>9.1} {:>12.1}",
+        rq.bcast_completion_mean, rs.bcast_completion_mean
+    );
+    println!(
+        "invalidation per-core reception  {:>9.1} {:>12.1}",
+        rq.bcast_reception_mean, rs.bcast_reception_mean
+    );
+    println!("fetch/data unicast latency       {:>9.1} {:>12.1}", rq.unicast_mean, rs.unicast_mean);
+    println!(
+        "invalidations measured           {:>9} {:>12}",
+        rq.bcast_samples, rs.bcast_samples
+    );
+    println!(
+        "\ninvalidation speedup (completion): {:.1}x",
+        rs.bcast_completion_mean / rq.bcast_completion_mean
+    );
+
+    // Shape check from the paper: the invalidation (broadcast) path is the
+    // one that collapses on Spidergon.
+    assert!(rs.bcast_completion_mean > 2.0 * rq.bcast_completion_mean);
+    let _ = (quarc.metrics().completed(TrafficClass::Broadcast),
+             spider.metrics().completed(TrafficClass::Broadcast));
+}

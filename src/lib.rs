@@ -1,0 +1,25 @@
+//! # quarc
+//!
+//! Facade crate for the Quarc Network-on-Chip reproduction (Moadeli, Maji,
+//! Vanderbauwhede, IPDPS 2009). Re-exports every layer of the stack under one
+//! roof; see the individual crates for details:
+//!
+//! * [`core`] — topologies, flit format, routing, VC discipline;
+//! * [`engine`] — simulation kernel (clock, events, RNG, statistics);
+//! * [`workloads`] — traffic generation;
+//! * [`sim`] — the flit-level wormhole simulator;
+//! * [`rtl`] — the signal-level switch/transceiver hardware model;
+//! * [`area`] — the Virtex-II Pro area model (Table 1 / Fig. 12);
+//! * [`analytical`] — M/G/1 latency models used for validation.
+
+#![warn(missing_docs)]
+
+pub use quarc_analytical as analytical;
+pub use quarc_area as area;
+pub use quarc_core as core;
+pub use quarc_engine as engine;
+pub use quarc_rtl as rtl;
+pub use quarc_sim as sim;
+pub use quarc_workloads as workloads;
+
+pub use quarc_core::prelude;
