@@ -20,9 +20,8 @@ pub use beta::{
     spidergon_saturation_with_beta,
 };
 pub use latency::{
-    mesh_unicast_latency, quarc_broadcast_zero_load, quarc_saturation_rate,
-    quarc_unicast_latency, spidergon_broadcast_zero_load, spidergon_saturation_rate,
-    spidergon_unicast_latency,
+    mesh_unicast_latency, quarc_broadcast_zero_load, quarc_saturation_rate, quarc_unicast_latency,
+    spidergon_broadcast_zero_load, spidergon_saturation_rate, spidergon_unicast_latency,
 };
 pub use linkload::{mesh_loads, quarc_loads, spidergon_loads, LinkLoads};
 pub use mg1::mg1_wait;

@@ -132,10 +132,7 @@ mod tests {
         let loads = quarc_loads(16);
         let cw0 = loads.count(ring_link_id(NodeId(0), RingLinkKind::RimCw));
         for node in 0..16u16 {
-            assert_eq!(
-                loads.count(ring_link_id(NodeId(node), RingLinkKind::RimCw)),
-                cw0
-            );
+            assert_eq!(loads.count(ring_link_id(NodeId(node), RingLinkKind::RimCw)), cw0);
         }
         let xr = loads.count(ring_link_id(NodeId(0), RingLinkKind::CrossRight));
         let xl = loads.count(ring_link_id(NodeId(0), RingLinkKind::CrossLeft));
@@ -191,8 +188,7 @@ mod tests {
         let hops: usize = ring
             .nodes()
             .flat_map(|s| {
-                ring.nodes()
-                    .map(move |t| quarc_core::quadrant::unicast_hops(&ring, s, t))
+                ring.nodes().map(move |t| quarc_core::quadrant::unicast_hops(&ring, s, t))
             })
             .sum();
         assert_eq!(total, hops);

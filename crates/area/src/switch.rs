@@ -53,17 +53,11 @@ impl fmt::Display for AreaBreakdown {
 /// Σ over outputs of (feeders − 1): the 2:1 mux stages the crossbar needs,
 /// taken from the topology's static feeder tables.
 fn quarc_extra_inputs() -> usize {
-    QuarcOut::ALL
-        .iter()
-        .map(|&o| QuarcTopology::feeders(o).len().saturating_sub(1))
-        .sum()
+    QuarcOut::ALL.iter().map(|&o| QuarcTopology::feeders(o).len().saturating_sub(1)).sum()
 }
 
 fn spidergon_extra_inputs() -> usize {
-    SpiOut::ALL
-        .iter()
-        .map(|&o| SpidergonTopology::feeders(o).len().saturating_sub(1))
-        .sum()
+    SpiOut::ALL.iter().map(|&o| SpidergonTopology::feeders(o).len().saturating_sub(1)).sum()
 }
 
 /// Area of one Quarc switch (Table 1's rows at `width = 32`).
@@ -79,16 +73,10 @@ pub fn quarc_switch(p: &SwitchParams) -> AreaBreakdown {
         modules: vec![
             ModuleArea { name: "Input Buffers", slices: input_buffers_slices(p, 4) },
             ModuleArea { name: "Write Controller", slices: write_controller_slices(p) },
-            ModuleArea {
-                name: "Crossbar & Mux",
-                slices: crossbar_slices(p, quarc_extra_inputs()),
-            },
+            ModuleArea { name: "Crossbar & Mux", slices: crossbar_slices(p, quarc_extra_inputs()) },
             ModuleArea { name: "VC Arbiter", slices: vc_arbiter_slices(p, 4) },
             ModuleArea { name: "Flow Control Unit (FCU)", slices: fcu_slices(p) },
-            ModuleArea {
-                name: "Output Port Controller (OPC)",
-                slices: 4.0 * opc_slices_each(p),
-            },
+            ModuleArea { name: "Output Port Controller (OPC)", slices: 4.0 * opc_slices_each(p) },
         ],
     }
 }
@@ -113,10 +101,7 @@ pub fn spidergon_switch(p: &SwitchParams) -> AreaBreakdown {
             },
             ModuleArea { name: "VC Arbiter", slices: vc_arbiter_slices(p, 4) },
             ModuleArea { name: "Flow Control Unit (FCU)", slices: fcu_slices(p) },
-            ModuleArea {
-                name: "Output Port Controller (OPC)",
-                slices: 4.0 * opc_slices_each(p),
-            },
+            ModuleArea { name: "Output Port Controller (OPC)", slices: 4.0 * opc_slices_each(p) },
             ModuleArea { name: "Routing Logic", slices: routing_logic_slices(p, 4) },
             ModuleArea { name: "Header Rewrite Unit", slices: rewrite_unit_slices(p) },
         ],

@@ -2,52 +2,45 @@
 //! input-buffer depth, link latency and the broadcast mechanism itself
 //! (Quarc true broadcast vs Spidergon chains on otherwise-identical rings).
 //!
+//! The grid sections (buffer depth, link latency, β) run as campaign
+//! presets — in parallel, with replication confidence intervals. The
+//! arbitration-policy section stays a direct run: `ArbPolicy` is a
+//! constructor argument the campaign grid deliberately does not expose.
+//!
 //! ```text
 //! cargo run -p quarc-bench --bin ablation --release
 //! ```
 
+use quarc_bench::presets;
+use quarc_campaign::{run_campaign, CampaignOptions, CampaignSpec};
 use quarc_core::config::NocConfig;
-use quarc_sim::{run, ArbPolicy, QuarcNetwork, RunSpec, SpidergonNetwork};
+use quarc_sim::{run, ArbPolicy, QuarcNetwork, RunSpec};
 use quarc_workloads::{Synthetic, SyntheticConfig};
 
+fn run_preset(title: &str, spec: &CampaignSpec) {
+    let report = run_campaign(spec, &CampaignOptions { quiet: true, ..Default::default() })
+        .expect("ablation campaign");
+    println!("# {title}");
+    print!("{}", report.csv());
+    println!("#");
+}
+
 fn main() {
-    let spec = RunSpec { warmup: 2_000, measure: 15_000, drain: 20_000, ..Default::default() };
-    let (n, m, beta, rate) = (16usize, 16usize, 0.05, 0.02);
+    run_preset(
+        "Ablation: buffer depth (n=16, M=16, beta=5%, rate=0.02)",
+        &presets::ablation_buffer(),
+    );
+    run_preset("Ablation: link latency (quarc, depth=4)", &presets::ablation_link());
+    run_preset(
+        "Ablation: broadcast mechanism at growing beta (rate 0.008 — below the \
+         Quarc knee throughout, so the degradation is attributable to beta alone)",
+        &presets::ablation_beta(),
+    );
 
-    println!("# Ablation: buffer depth (n={n}, M={m}, beta={beta}, rate={rate})");
-    println!("topology,buffer_depth,unicast_mean,bcast_completion_mean,throughput,saturated");
-    for depth in [2usize, 4, 8, 16] {
-        let mut net = QuarcNetwork::new(NocConfig::quarc(n).with_buffer_depth(depth));
-        let mut wl = Synthetic::new(n, SyntheticConfig::paper(rate, m, beta, 21));
-        let r = run(&mut net, &mut wl, &spec);
-        println!(
-            "quarc,{depth},{:.2},{:.2},{:.5},{}",
-            r.unicast_mean, r.bcast_completion_mean, r.throughput, r.saturated
-        );
-        let mut net = SpidergonNetwork::new(NocConfig::spidergon(n).with_buffer_depth(depth));
-        let mut wl = Synthetic::new(n, SyntheticConfig::paper(rate, m, beta, 21));
-        let r = run(&mut net, &mut wl, &spec);
-        println!(
-            "spidergon,{depth},{:.2},{:.2},{:.5},{}",
-            r.unicast_mean, r.bcast_completion_mean, r.throughput, r.saturated
-        );
-    }
-
-    println!("#");
-    println!("# Ablation: link latency (depth=4)");
-    println!("topology,link_latency,unicast_mean,bcast_completion_mean,saturated");
-    for lat in [1u64, 2, 4] {
-        let mut cfg = NocConfig::quarc(n);
-        cfg.link_latency = lat;
-        let mut net = QuarcNetwork::new(cfg);
-        let mut wl = Synthetic::new(n, SyntheticConfig::paper(rate, m, beta, 22));
-        let r = run(&mut net, &mut wl, &spec);
-        println!("quarc,{lat},{:.2},{:.2},{}", r.unicast_mean, r.bcast_completion_mean, r.saturated);
-    }
-
-    println!("#");
     println!("# Ablation: output-arbitration policy (round-robin vs fixed priority)");
     println!("policy,unicast_mean,unicast_p95,bcast_completion_mean,saturated");
+    let spec = RunSpec { warmup: 2_000, measure: 15_000, drain: 20_000, ..Default::default() };
+    let (n, m, beta, rate) = (16usize, 16usize, 0.05, 0.02);
     for policy in [ArbPolicy::RoundRobin, ArbPolicy::FixedPriority] {
         let mut net = QuarcNetwork::with_arb_policy(NocConfig::quarc(n), policy);
         let mut wl = Synthetic::new(n, SyntheticConfig::paper(rate, m, beta, 24));
@@ -58,28 +51,6 @@ fn main() {
             r.unicast_p95.map_or_else(|| "-".into(), |p| p.to_string()),
             r.bcast_completion_mean,
             r.saturated
-        );
-    }
-
-    println!("#");
-    println!("# Ablation: broadcast mechanism at growing beta (rate 0.008 — below the");
-    println!("# Quarc knee throughout, so the degradation is attributable to beta alone)");
-    println!("topology,beta,unicast_mean,bcast_completion_mean,saturated");
-    let beta_rate = 0.008;
-    for beta in [0.0, 0.02, 0.05, 0.10, 0.20] {
-        let mut net = QuarcNetwork::new(NocConfig::quarc(n));
-        let mut wl = Synthetic::new(n, SyntheticConfig::paper(beta_rate, m, beta, 23));
-        let r = run(&mut net, &mut wl, &spec);
-        println!(
-            "quarc,{beta},{:.2},{:.2},{}",
-            r.unicast_mean, r.bcast_completion_mean, r.saturated
-        );
-        let mut net = SpidergonNetwork::new(NocConfig::spidergon(n));
-        let mut wl = Synthetic::new(n, SyntheticConfig::paper(beta_rate, m, beta, 23));
-        let r = run(&mut net, &mut wl, &spec);
-        println!(
-            "spidergon,{beta},{:.2},{:.2},{}",
-            r.unicast_mean, r.bcast_completion_mean, r.saturated
         );
     }
 }

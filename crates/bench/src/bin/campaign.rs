@@ -1,0 +1,324 @@
+//! The campaign CLI: run whole experiment grids — the paper's Figs. 9–11 in
+//! one command — in parallel, with replication confidence intervals, an
+//! on-disk result cache and JSON/CSV artifacts.
+//!
+//! ```text
+//! # the paper's full figure grid, all cores, cached under ./campaign-out
+//! cargo run --release -p quarc-bench --bin campaign -- --preset paper
+//!
+//! # a custom grid
+//! cargo run --release -p quarc-bench --bin campaign -- \
+//!     --topologies quarc,spidergon --sizes 16,32 --msg-lens 16 \
+//!     --betas 0,0.05 --rates geom:0.002:0.05:8 --replications 3
+//!
+//! # adaptive saturation search instead of a fixed rate grid
+//! cargo run --release -p quarc-bench --bin campaign -- \
+//!     --topologies quarc,spidergon --sizes 64 --rates sat:0.05:24
+//! ```
+
+use quarc_bench::presets;
+use quarc_campaign::{run_campaign, CampaignOptions, CampaignSpec, PointOutcomeKind, RateAxis};
+use quarc_core::topology::TopologyKind;
+use quarc_sim::RunSpec;
+use std::path::PathBuf;
+use std::process::exit;
+
+const USAGE: &str = "\
+campaign — parallel, deterministic experiment campaigns for the Quarc NoC
+
+USAGE:
+    campaign [--preset NAME | AXIS FLAGS...] [OPTIONS]
+
+PRESETS (repeatable; `paper` = fig9 + fig10 + fig11):
+    --preset NAME             one of: fig9, fig10, fig11, ablation-buffer,
+                              ablation-link, ablation-beta, frontier, paper
+
+AXIS FLAGS (build a custom grid; ignored when --preset is given):
+    --name NAME               campaign/artifact name        [default: custom]
+    --topologies LIST         quarc,spidergon,mesh          [default: quarc,spidergon]
+    --sizes LIST              node counts                   [default: 16]
+    --msg-lens LIST           message lengths M in flits    [default: 16]
+    --betas LIST              broadcast fractions           [default: 0.05]
+    --buffer-depths LIST      flits per VC lane             [default: 4]
+    --link-latencies LIST     cycles per link               [default: 1]
+    --rates SPEC              rate axis:
+                                list:R1,R2,...              explicit rates
+                                geom:LO:HI:STEPS            geometric sweep
+                                auto:SPAN:LODIV:STEPS       geometric sweep anchored
+                                                            to the analytic bound
+                                sat:RELTOL:MAXPROBES        adaptive saturation search
+                              [default: auto:1.1:40:10]
+    --replications K          seeds merged per point        [default: 2]
+    --seed S                  master seed                   [default: 2009]
+    --warmup C / --measure C / --drain C
+                              run protocol                  [default: 2000/20000/30000]
+    --quick                   short protocol (500/4000/8000) for smoke runs
+
+OPTIONS:
+    --workers N               worker threads (0 = all cores) [default: 0]
+    --out DIR                 artifact directory             [default: campaign-out]
+    --cache DIR               result-cache directory         [default: <out>/cache]
+    --no-cache                disable the result cache
+    --force                   re-simulate even on cache hits (results cannot change)
+    --quiet                   no per-point progress on stderr
+    --help                    this text
+
+Results are a pure function of the grid definition: worker count, caching
+and scheduling cannot change a single number (see quarc-campaign docs).
+";
+
+fn usage_error(msg: &str) -> ! {
+    eprintln!("campaign: {msg}\n\n{USAGE}");
+    exit(2)
+}
+
+fn parse_list<T: std::str::FromStr>(flag: &str, value: &str) -> Vec<T> {
+    value
+        .split(',')
+        .filter(|s| !s.is_empty())
+        .map(|s| {
+            s.trim().parse().unwrap_or_else(|_| usage_error(&format!("bad value {s:?} in {flag}")))
+        })
+        .collect()
+}
+
+fn parse_topologies(value: &str) -> Vec<TopologyKind> {
+    value
+        .split(',')
+        .filter(|s| !s.is_empty())
+        .map(|s| match s.trim() {
+            "quarc" => TopologyKind::Quarc,
+            "spidergon" => TopologyKind::Spidergon,
+            "mesh" => TopologyKind::Mesh,
+            other => usage_error(&format!("unknown topology {other:?}")),
+        })
+        .collect()
+}
+
+fn parse_rates(value: &str) -> RateAxis {
+    let parts: Vec<&str> = value.split(':').collect();
+    fn num(value: &str, s: &str) -> f64 {
+        s.parse().unwrap_or_else(|_| usage_error(&format!("bad --rates spec {value:?}")))
+    }
+    fn int(value: &str, s: &str) -> usize {
+        s.parse().unwrap_or_else(|_| usage_error(&format!("bad --rates spec {value:?}")))
+    }
+    match parts.as_slice() {
+        ["list", rates] => RateAxis::Explicit(parse_list("--rates", rates)),
+        ["geom", lo, hi, steps] => {
+            RateAxis::Geometric { lo: num(value, lo), hi: num(value, hi), steps: int(value, steps) }
+        }
+        ["auto", span, lo_div, steps] => RateAxis::AutoGeometric {
+            span: num(value, span),
+            lo_div: num(value, lo_div),
+            steps: int(value, steps),
+        },
+        ["sat", rel_tol, max_probes] => RateAxis::Saturation {
+            rel_tol: num(value, rel_tol),
+            max_probes: int(value, max_probes) as u32,
+        },
+        _ => usage_error(&format!("bad --rates spec {value:?}")),
+    }
+}
+
+struct Cli {
+    specs: Vec<CampaignSpec>,
+    opts: CampaignOptions,
+    out_dir: PathBuf,
+    no_cache: bool,
+    cache_dir: Option<PathBuf>,
+}
+
+fn parse_cli() -> Cli {
+    let mut presets_requested: Vec<String> = Vec::new();
+    let mut custom = CampaignSpec::new("custom");
+    custom.msg_lens = vec![16];
+    let mut custom_touched = false;
+    let mut opts = CampaignOptions::default();
+    let mut out_dir = PathBuf::from("campaign-out");
+    let mut cache_dir: Option<PathBuf> = None;
+    let mut no_cache = false;
+    let mut quick = false;
+    let mut run_overrides: Vec<(&'static str, u64)> = Vec::new();
+
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        if flag == "--help" || flag == "-h" {
+            println!("{USAGE}");
+            exit(0);
+        }
+        if flag == "--quick" {
+            quick = true;
+            continue;
+        }
+        if flag == "--force" {
+            opts.force = true;
+            continue;
+        }
+        if flag == "--quiet" {
+            opts.quiet = true;
+            continue;
+        }
+        if flag == "--no-cache" {
+            no_cache = true;
+            continue;
+        }
+        let Some(value) = it.next() else {
+            usage_error(&format!("flag {flag} needs a value"));
+        };
+        match flag.as_str() {
+            "--preset" => presets_requested.push(value),
+            "--name" => {
+                custom.name = value;
+                custom_touched = true;
+            }
+            "--topologies" => {
+                custom.topologies = parse_topologies(&value);
+                custom_touched = true;
+            }
+            "--sizes" => {
+                custom.sizes = parse_list("--sizes", &value);
+                custom_touched = true;
+            }
+            "--msg-lens" => {
+                custom.msg_lens = parse_list("--msg-lens", &value);
+                custom_touched = true;
+            }
+            "--betas" => {
+                custom.betas = parse_list("--betas", &value);
+                custom_touched = true;
+            }
+            "--buffer-depths" => {
+                custom.buffer_depths = parse_list("--buffer-depths", &value);
+                custom_touched = true;
+            }
+            "--link-latencies" => {
+                custom.link_latencies = parse_list("--link-latencies", &value);
+                custom_touched = true;
+            }
+            "--rates" => {
+                custom.rates = parse_rates(&value);
+                custom_touched = true;
+            }
+            "--replications" => {
+                custom.replications =
+                    value.parse().unwrap_or_else(|_| usage_error("bad --replications"));
+                custom_touched = true;
+            }
+            "--seed" => {
+                custom.base_seed = value.parse().unwrap_or_else(|_| usage_error("bad --seed"));
+                custom_touched = true;
+            }
+            "--warmup" | "--measure" | "--drain" => {
+                let cycles = value.parse().unwrap_or_else(|_| usage_error(&format!("bad {flag}")));
+                run_overrides.push((
+                    match flag.as_str() {
+                        "--warmup" => "warmup",
+                        "--measure" => "measure",
+                        _ => "drain",
+                    },
+                    cycles,
+                ));
+            }
+            "--workers" => {
+                opts.workers = value.parse().unwrap_or_else(|_| usage_error("bad --workers"));
+            }
+            "--out" => out_dir = PathBuf::from(value),
+            "--cache" => cache_dir = Some(PathBuf::from(value)),
+            other => usage_error(&format!("unknown flag {other}")),
+        }
+    }
+
+    let mut specs: Vec<CampaignSpec> = Vec::new();
+    if presets_requested.is_empty() {
+        specs.push(custom);
+    } else {
+        if custom_touched {
+            usage_error("--preset cannot be combined with custom axis flags");
+        }
+        for name in &presets_requested {
+            if name == "paper" {
+                specs.extend(presets::paper());
+            } else {
+                match presets::by_name(name) {
+                    Some(spec) => specs.push(spec),
+                    None => usage_error(&format!(
+                        "unknown preset {name:?} (expected one of {})",
+                        presets::PRESET_NAMES.join(", ")
+                    )),
+                }
+            }
+        }
+    }
+
+    for spec in &mut specs {
+        if quick {
+            spec.run = RunSpec::quick();
+        }
+        for &(field, cycles) in &run_overrides {
+            match field {
+                "warmup" => spec.run.warmup = cycles,
+                "measure" => spec.run.measure = cycles,
+                _ => spec.run.drain = cycles,
+            }
+        }
+    }
+
+    Cli { specs, opts, out_dir, no_cache, cache_dir }
+}
+
+fn main() {
+    let cli = parse_cli();
+    let cache_dir = if cli.no_cache {
+        None
+    } else {
+        Some(cli.cache_dir.clone().unwrap_or_else(|| cli.out_dir.join("cache")))
+    };
+
+    let mut grand_executed = 0;
+    let mut grand_cached = 0;
+    for spec in &cli.specs {
+        let opts = CampaignOptions {
+            cache_dir: cache_dir.clone(),
+            out_dir: Some(cli.out_dir.clone()),
+            ..cli.opts.clone()
+        };
+        let report = match run_campaign(spec, &opts) {
+            Ok(report) => report,
+            Err(e) => {
+                eprintln!("campaign {:?}: {e}", spec.name);
+                exit(1);
+            }
+        };
+        grand_executed += report.executed;
+        grand_cached += report.from_cache;
+
+        println!(
+            "# campaign {}: {} points ({} simulated, {} from cache) on {} workers in {:.1}s",
+            spec.name,
+            report.results.len(),
+            report.executed,
+            report.from_cache,
+            report.workers,
+            report.wall.as_secs_f64(),
+        );
+        for s in &report.skipped {
+            println!("#   skipped: {s}");
+        }
+        for path in &report.artifacts {
+            println!("#   wrote {}", path.display());
+        }
+        // Per-curve knee summary for quick reading.
+        for r in &report.results {
+            if let PointOutcomeKind::Saturation(s) = &r.outcome {
+                println!(
+                    "#   {:<36} sustains {:.5}{}",
+                    r.label,
+                    s.sustained,
+                    s.collapsed.map_or_else(String::new, |c| format!(", collapses by {c:.5}")),
+                );
+            }
+        }
+    }
+    println!("# total: {grand_executed} points simulated, {grand_cached} served from cache");
+}

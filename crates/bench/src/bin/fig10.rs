@@ -1,25 +1,21 @@
 //! Regenerates **Fig. 10**: average latency vs message rate for M = 16,
 //! β = 10%, network size N ∈ {16, 32, 64}, Quarc vs Spidergon.
 //!
+//! A thin wrapper over the `fig10` campaign preset: points run in parallel
+//! with replication confidence intervals, and the CSV goes to stdout (use
+//! the `campaign` binary for caching and JSON artifacts).
+//!
 //! ```text
 //! cargo run -p quarc-bench --bin fig10 --release
 //! ```
 
-use quarc_bench::figures::{print_figure, rates, run_figure, FigureCurve};
-use quarc_core::topology::TopologyKind;
-use quarc_sim::RunSpec;
+use quarc_bench::presets;
+use quarc_campaign::{run_campaign, CampaignOptions};
 
 fn main() {
-    let m = 16;
-    let beta = 0.10;
-    let mut curves = Vec::new();
-    for n in [16usize, 32, 64] {
-        let hi = quarc_analytical::quarc_saturation_rate(n, m) * 1.1;
-        let r = rates(hi / 40.0, hi, 10);
-        for kind in [TopologyKind::Quarc, TopologyKind::Spidergon] {
-            curves.push(FigureCurve::new(kind, n, m, beta, r.clone(), 70 + n as u64));
-        }
-    }
-    let results = run_figure(curves, &RunSpec::default());
-    print_figure("Fig. 10: M=16, beta=10%, N in {16,32,64}", &results);
+    let spec = presets::fig10();
+    let report = run_campaign(&spec, &CampaignOptions { quiet: true, ..Default::default() })
+        .expect("fig10 campaign");
+    println!("# Fig. 10: M=16, beta=10%, N in {{16,32,64}} ({} workers)", report.workers);
+    print!("{}", report.csv());
 }

@@ -1,32 +1,21 @@
 //! Regenerates **Fig. 11**: average latency vs message rate for N = 64,
 //! M = 16, broadcast rate β ∈ {0%, 5%, 10%}, Quarc vs Spidergon.
 //!
+//! A thin wrapper over the `fig11` campaign preset: points run in parallel
+//! with replication confidence intervals, and the CSV goes to stdout (use
+//! the `campaign` binary for caching and JSON artifacts).
+//!
 //! ```text
 //! cargo run -p quarc-bench --bin fig11 --release
 //! ```
 
-use quarc_bench::figures::{print_figure, rates, run_figure, FigureCurve};
-use quarc_core::topology::TopologyKind;
-use quarc_sim::RunSpec;
+use quarc_bench::presets;
+use quarc_campaign::{run_campaign, CampaignOptions};
 
 fn main() {
-    let n = 64;
-    let m = 16;
-    let hi = quarc_analytical::quarc_saturation_rate(n, m) * 1.1;
-    let r = rates(hi / 40.0, hi, 10);
-    let mut curves = Vec::new();
-    for beta in [0.0, 0.05, 0.10] {
-        for kind in [TopologyKind::Quarc, TopologyKind::Spidergon] {
-            curves.push(FigureCurve::new(
-                kind,
-                n,
-                m,
-                beta,
-                r.clone(),
-                50 + (beta * 100.0) as u64,
-            ));
-        }
-    }
-    let results = run_figure(curves, &RunSpec::default());
-    print_figure("Fig. 11: N=64, M=16, beta in {0,5,10}%", &results);
+    let spec = presets::fig11();
+    let report = run_campaign(&spec, &CampaignOptions { quiet: true, ..Default::default() })
+        .expect("fig11 campaign");
+    println!("# Fig. 11: N=64, M=16, beta in {{0,5,10}}% ({} workers)", report.workers);
+    print!("{}", report.csv());
 }

@@ -1,26 +1,21 @@
 //! Regenerates **Fig. 9**: average latency vs message rate for N = 16,
 //! β = 5%, message length M ∈ {8, 16, 32}, Quarc vs Spidergon.
 //!
+//! A thin wrapper over the `fig9` campaign preset: points run in parallel
+//! with replication confidence intervals, and the CSV goes to stdout (use
+//! the `campaign` binary for caching and JSON artifacts).
+//!
 //! ```text
 //! cargo run -p quarc-bench --bin fig9 --release
 //! ```
 
-use quarc_bench::figures::{print_figure, rates, run_figure, FigureCurve};
-use quarc_core::topology::TopologyKind;
-use quarc_sim::RunSpec;
+use quarc_bench::presets;
+use quarc_campaign::{run_campaign, CampaignOptions};
 
 fn main() {
-    let n = 16;
-    let beta = 0.05;
-    let mut curves = Vec::new();
-    for m in [8usize, 16, 32] {
-        // Sweep up to just past the analytic link-saturation bound.
-        let hi = quarc_analytical::quarc_saturation_rate(n, m) * 1.1;
-        let r = rates(hi / 40.0, hi, 10);
-        for kind in [TopologyKind::Quarc, TopologyKind::Spidergon] {
-            curves.push(FigureCurve::new(kind, n, m, beta, r.clone(), 90 + m as u64));
-        }
-    }
-    let results = run_figure(curves, &RunSpec::default());
-    print_figure("Fig. 9: N=16, beta=5%, M in {8,16,32}", &results);
+    let spec = presets::fig9();
+    let report = run_campaign(&spec, &CampaignOptions { quiet: true, ..Default::default() })
+        .expect("fig9 campaign");
+    println!("# Fig. 9: N=16, beta=5%, M in {{8,16,32}} ({} workers)", report.workers);
+    print!("{}", report.csv());
 }

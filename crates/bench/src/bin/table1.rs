@@ -12,14 +12,13 @@ use quarc_area::{
 fn main() {
     let p = SwitchParams::with_width(32);
 
-    println!("# Table 1: module-wise cost analysis of a 32-bit Quarc switch (Virtex-II Pro slices)");
+    println!(
+        "# Table 1: module-wise cost analysis of a 32-bit Quarc switch (Virtex-II Pro slices)"
+    );
     println!("design,module,slices");
-    for b in [
-        quarc_switch(&p),
-        spidergon_switch(&p),
-        quarc_transceiver(&p),
-        spidergon_transceiver(&p),
-    ] {
+    for b in
+        [quarc_switch(&p), spidergon_switch(&p), quarc_transceiver(&p), spidergon_transceiver(&p)]
+    {
         for m in &b.modules {
             println!("{},{},{:.0}", b.design, m.name, m.slices);
         }

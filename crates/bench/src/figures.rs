@@ -75,13 +75,13 @@ impl FigureResult {
 pub fn run_figure(curves: Vec<FigureCurve>, run_spec: &RunSpec) -> Vec<FigureResult> {
     let mut results: Vec<Option<FigureResult>> = Vec::new();
     results.resize_with(curves.len(), || None);
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for (i, curve) in curves.iter().enumerate() {
             let rs = *run_spec;
             handles.push((
                 i,
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let points = latency_curve(&curve.spec, &curve.rates, &rs);
                     FigureResult { label: curve.label.clone(), spec: curve.spec, points }
                 }),
@@ -90,8 +90,7 @@ pub fn run_figure(curves: Vec<FigureCurve>, run_spec: &RunSpec) -> Vec<FigureRes
         for (i, h) in handles {
             results[i] = Some(h.join().expect("curve thread panicked"));
         }
-    })
-    .expect("scope");
+    });
     results.into_iter().map(|r| r.expect("filled")).collect()
 }
 
@@ -123,7 +122,8 @@ pub fn print_figure(title: &str, results: &[FigureResult]) {
             r.label,
             r.base_unicast_latency().unwrap_or(f64::NAN),
             r.base_broadcast_latency().unwrap_or(f64::NAN),
-            r.sustainable_rate().map_or_else(|| "saturated everywhere".into(), |v| format!("{v:.4}")),
+            r.sustainable_rate()
+                .map_or_else(|| "saturated everywhere".into(), |v| format!("{v:.4}")),
         );
     }
 }
@@ -154,14 +154,8 @@ mod tests {
 
     #[test]
     fn sustainable_rate_reflects_saturation() {
-        let curves = vec![FigureCurve::new(
-            TopologyKind::Quarc,
-            8,
-            8,
-            0.0,
-            vec![0.005, 0.6, 0.7],
-            2,
-        )];
+        let curves =
+            vec![FigureCurve::new(TopologyKind::Quarc, 8, 8, 0.0, vec![0.005, 0.6, 0.7], 2)];
         let rs = RunSpec { warmup: 100, measure: 1_000, drain: 1_000, ..Default::default() };
         let results = run_figure(curves, &rs);
         let sus = results[0].sustainable_rate().unwrap();

@@ -10,5 +10,6 @@
 #![warn(rust_2018_idioms)]
 
 pub mod figures;
+pub mod presets;
 
 pub use figures::{run_figure, FigureCurve, FigureResult};

@@ -1,0 +1,158 @@
+//! Named campaign presets reproducing the paper's evaluation grids.
+//!
+//! Each preset is one [`CampaignSpec`]; the `campaign` binary (and the
+//! `fig9`/`fig10`/`fig11`/`ablation` binaries, which are thin wrappers over
+//! these) runs them through `quarc_campaign::run_campaign`. Base seeds are
+//! arbitrary but fixed so every invocation reproduces the same numbers.
+
+use quarc_campaign::{CampaignSpec, RateAxis};
+use quarc_core::topology::TopologyKind;
+
+/// The rate axis the paper's figures use: ten geometric steps up to 1.1× the
+/// analytic Quarc saturation bound for each curve's `(n, M)`.
+fn figure_rates() -> RateAxis {
+    RateAxis::AutoGeometric { span: 1.1, lo_div: 40.0, steps: 10 }
+}
+
+/// **Fig. 9**: latency vs rate, N = 16, β = 5%, M ∈ {8, 16, 32}.
+pub fn fig9() -> CampaignSpec {
+    let mut spec = CampaignSpec::new("fig9");
+    spec.topologies = vec![TopologyKind::Quarc, TopologyKind::Spidergon];
+    spec.sizes = vec![16];
+    spec.msg_lens = vec![8, 16, 32];
+    spec.betas = vec![0.05];
+    spec.rates = figure_rates();
+    spec.base_seed = 9;
+    spec
+}
+
+/// **Fig. 10**: latency vs rate, M = 16, β = 10%, N ∈ {16, 32, 64}.
+pub fn fig10() -> CampaignSpec {
+    let mut spec = CampaignSpec::new("fig10");
+    spec.topologies = vec![TopologyKind::Quarc, TopologyKind::Spidergon];
+    spec.sizes = vec![16, 32, 64];
+    spec.msg_lens = vec![16];
+    spec.betas = vec![0.10];
+    spec.rates = figure_rates();
+    spec.base_seed = 10;
+    spec
+}
+
+/// **Fig. 11**: latency vs rate, N = 64, M = 16, β ∈ {0%, 5%, 10%}.
+pub fn fig11() -> CampaignSpec {
+    let mut spec = CampaignSpec::new("fig11");
+    spec.topologies = vec![TopologyKind::Quarc, TopologyKind::Spidergon];
+    spec.sizes = vec![64];
+    spec.msg_lens = vec![16];
+    spec.betas = vec![0.0, 0.05, 0.10];
+    spec.rates = figure_rates();
+    spec.base_seed = 11;
+    spec
+}
+
+/// Ablation: input-buffer depth at a fixed operating point.
+pub fn ablation_buffer() -> CampaignSpec {
+    let mut spec = CampaignSpec::new("ablation-buffer");
+    spec.topologies = vec![TopologyKind::Quarc, TopologyKind::Spidergon];
+    spec.sizes = vec![16];
+    spec.msg_lens = vec![16];
+    spec.betas = vec![0.05];
+    spec.buffer_depths = vec![2, 4, 8, 16];
+    spec.rates = RateAxis::Explicit(vec![0.02]);
+    spec.base_seed = 21;
+    spec
+}
+
+/// Ablation: link latency (Quarc only, depth 4).
+pub fn ablation_link() -> CampaignSpec {
+    let mut spec = CampaignSpec::new("ablation-link");
+    spec.topologies = vec![TopologyKind::Quarc];
+    spec.sizes = vec![16];
+    spec.msg_lens = vec![16];
+    spec.betas = vec![0.05];
+    spec.link_latencies = vec![1, 2, 4];
+    spec.rates = RateAxis::Explicit(vec![0.02]);
+    spec.base_seed = 22;
+    spec
+}
+
+/// Ablation: broadcast mechanism at growing β, below the Quarc knee so the
+/// degradation is attributable to β alone.
+pub fn ablation_beta() -> CampaignSpec {
+    let mut spec = CampaignSpec::new("ablation-beta");
+    spec.topologies = vec![TopologyKind::Quarc, TopologyKind::Spidergon];
+    spec.sizes = vec![16];
+    spec.msg_lens = vec![16];
+    spec.betas = vec![0.0, 0.02, 0.05, 0.10, 0.20];
+    spec.rates = RateAxis::Explicit(vec![0.008]);
+    spec.base_seed = 23;
+    spec
+}
+
+/// Adaptive saturation frontier across sizes: where each topology's knee
+/// sits, found by bisection instead of a fixed sweep.
+pub fn frontier() -> CampaignSpec {
+    let mut spec = CampaignSpec::new("frontier");
+    spec.topologies = vec![TopologyKind::Quarc, TopologyKind::Spidergon];
+    spec.sizes = vec![16, 32, 64];
+    spec.msg_lens = vec![16];
+    spec.betas = vec![0.05];
+    spec.rates = RateAxis::Saturation { rel_tol: 0.05, max_probes: 24 };
+    spec.replications = 1;
+    spec.base_seed = 31;
+    spec
+}
+
+/// Look a preset up by name.
+pub fn by_name(name: &str) -> Option<CampaignSpec> {
+    match name {
+        "fig9" => Some(fig9()),
+        "fig10" => Some(fig10()),
+        "fig11" => Some(fig11()),
+        "ablation-buffer" => Some(ablation_buffer()),
+        "ablation-link" => Some(ablation_link()),
+        "ablation-beta" => Some(ablation_beta()),
+        "frontier" => Some(frontier()),
+        _ => None,
+    }
+}
+
+/// The presets `--preset paper` runs: the full Fig. 9–11 grid.
+pub fn paper() -> Vec<CampaignSpec> {
+    vec![fig9(), fig10(), fig11()]
+}
+
+/// Every preset name, for `--help` and error messages.
+pub const PRESET_NAMES: &[&str] = &[
+    "fig9",
+    "fig10",
+    "fig11",
+    "ablation-buffer",
+    "ablation-link",
+    "ablation-beta",
+    "frontier",
+    "paper",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_preset_expands() {
+        for name in PRESET_NAMES.iter().filter(|&&n| n != "paper") {
+            let spec = by_name(name).unwrap();
+            let exp = spec.expand().unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert!(!exp.points.is_empty(), "{name}");
+        }
+        assert!(by_name("nope").is_none());
+    }
+
+    #[test]
+    fn paper_grid_matches_figure_shapes() {
+        // Fig. 9: 2 topologies × 3 M × 10 rates; Fig. 10: 2 × 3 N × 10;
+        // Fig. 11: 2 × 3 β × 10.
+        let sizes: Vec<usize> = paper().iter().map(|s| s.expand().unwrap().points.len()).collect();
+        assert_eq!(sizes, vec![60, 60, 60]);
+    }
+}

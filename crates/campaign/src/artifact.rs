@@ -1,0 +1,152 @@
+//! Artifact rendering: the `<name>.json` and `<name>.csv` files a campaign
+//! leaves behind.
+//!
+//! Both artifacts are pure functions of the campaign spec and its results —
+//! no timestamps, hostnames or timing — so re-running a campaign (from cache
+//! or from scratch, serial or parallel) reproduces them byte for byte.
+
+use crate::json::Json;
+use crate::result::PointResult;
+use crate::spec::{CampaignSpec, RateAxis};
+use quarc_core::topology::TopologyKind;
+use std::io;
+use std::path::{Path, PathBuf};
+
+fn rate_axis_json(rates: &RateAxis) -> Json {
+    match rates {
+        RateAxis::Explicit(rs) => Json::obj(vec![
+            ("kind", Json::Str("explicit".into())),
+            ("rates", Json::Arr(rs.iter().map(|&r| Json::Num(r)).collect())),
+        ]),
+        RateAxis::Geometric { lo, hi, steps } => Json::obj(vec![
+            ("kind", Json::Str("geometric".into())),
+            ("lo", Json::Num(*lo)),
+            ("hi", Json::Num(*hi)),
+            ("steps", Json::UInt(*steps as u64)),
+        ]),
+        RateAxis::AutoGeometric { span, lo_div, steps } => Json::obj(vec![
+            ("kind", Json::Str("auto-geometric".into())),
+            ("span", Json::Num(*span)),
+            ("lo_div", Json::Num(*lo_div)),
+            ("steps", Json::UInt(*steps as u64)),
+        ]),
+        RateAxis::Saturation { rel_tol, max_probes } => Json::obj(vec![
+            ("kind", Json::Str("saturation".into())),
+            ("rel_tol", Json::Num(*rel_tol)),
+            ("max_probes", Json::UInt(*max_probes as u64)),
+        ]),
+    }
+}
+
+fn spec_json(spec: &CampaignSpec) -> Json {
+    Json::obj(vec![
+        (
+            "topologies",
+            Json::Arr(
+                spec.topologies.iter().map(|t: &TopologyKind| Json::Str(t.to_string())).collect(),
+            ),
+        ),
+        ("sizes", Json::Arr(spec.sizes.iter().map(|&n| Json::UInt(n as u64)).collect())),
+        ("msg_lens", Json::Arr(spec.msg_lens.iter().map(|&m| Json::UInt(m as u64)).collect())),
+        ("betas", Json::Arr(spec.betas.iter().map(|&b| Json::Num(b)).collect())),
+        (
+            "buffer_depths",
+            Json::Arr(spec.buffer_depths.iter().map(|&d| Json::UInt(d as u64)).collect()),
+        ),
+        ("link_latencies", Json::Arr(spec.link_latencies.iter().map(|&l| Json::UInt(l)).collect())),
+        ("rates", rate_axis_json(&spec.rates)),
+        ("replications", Json::UInt(spec.replications as u64)),
+        ("base_seed", Json::UInt(spec.base_seed)),
+        (
+            "run",
+            Json::obj(vec![
+                ("warmup", Json::UInt(spec.run.warmup)),
+                ("measure", Json::UInt(spec.run.measure)),
+                ("drain", Json::UInt(spec.run.drain)),
+                ("latency_cap", Json::Num(spec.run.latency_cap)),
+                ("backlog_cap", Json::Num(spec.run.backlog_cap)),
+            ]),
+        ),
+    ])
+}
+
+/// The full campaign document.
+pub fn campaign_json(spec: &CampaignSpec, results: &[PointResult], skipped: &[String]) -> Json {
+    Json::obj(vec![
+        ("campaign", Json::Str(spec.name.clone())),
+        ("format", Json::Str("quarc-campaign v1".into())),
+        ("spec", spec_json(spec)),
+        ("skipped", Json::Arr(skipped.iter().map(|s| Json::Str(s.clone())).collect())),
+        ("points", Json::Arr(results.iter().map(PointResult::to_json).collect())),
+    ])
+}
+
+/// The flat CSV table (one row per point).
+pub fn campaign_csv(results: &[PointResult]) -> String {
+    let mut out = String::with_capacity(64 * (results.len() + 1));
+    out.push_str(PointResult::csv_header());
+    out.push('\n');
+    for r in results {
+        out.push_str(&r.csv_row());
+    }
+    out
+}
+
+/// Write both artifacts into `dir` as `<name>.json` / `<name>.csv`; returns
+/// the written paths.
+pub fn write_artifacts(
+    dir: &Path,
+    spec: &CampaignSpec,
+    results: &[PointResult],
+    skipped: &[String],
+) -> io::Result<Vec<PathBuf>> {
+    std::fs::create_dir_all(dir)?;
+    let json_path = dir.join(format!("{}.json", spec.name));
+    let csv_path = dir.join(format!("{}.csv", spec.name));
+    std::fs::write(&json_path, campaign_json(spec, results, skipped).to_pretty())?;
+    std::fs::write(&csv_path, campaign_csv(results))?;
+    Ok(vec![json_path, csv_path])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::RateAxis;
+
+    #[test]
+    fn document_shape_is_stable() {
+        let mut spec = CampaignSpec::new("shape");
+        spec.rates = RateAxis::Explicit(vec![0.01]);
+        let doc = campaign_json(&spec, &[], &["dropped".into()]);
+        let text = doc.to_pretty();
+        let parsed = Json::parse(&text).unwrap();
+        assert_eq!(parsed.get("campaign").and_then(Json::as_str), Some("shape"));
+        assert_eq!(
+            parsed.get("spec").and_then(|s| s.get("replications")).and_then(Json::as_u64),
+            Some(2)
+        );
+        assert_eq!(parsed.get("skipped").and_then(Json::as_arr).map(<[Json]>::len), Some(1));
+        assert_eq!(parsed.get("points").and_then(Json::as_arr).map(<[Json]>::len), Some(0));
+        // Byte-determinism of the rendering itself.
+        assert_eq!(text, campaign_json(&spec, &[], &["dropped".into()]).to_pretty());
+    }
+
+    #[test]
+    fn every_rate_axis_serialises() {
+        for rates in [
+            RateAxis::Explicit(vec![0.01, 0.02]),
+            RateAxis::Geometric { lo: 0.001, hi: 0.1, steps: 5 },
+            RateAxis::AutoGeometric { span: 1.1, lo_div: 40.0, steps: 10 },
+            RateAxis::Saturation { rel_tol: 0.05, max_probes: 20 },
+        ] {
+            let json = rate_axis_json(&rates);
+            assert!(json.get("kind").is_some());
+            Json::parse(&json.to_compact()).unwrap();
+        }
+    }
+
+    #[test]
+    fn csv_has_header_plus_rows() {
+        assert_eq!(campaign_csv(&[]).lines().count(), 1);
+    }
+}

@@ -1,0 +1,147 @@
+//! The on-disk result cache.
+//!
+//! Every point's outcome is stored in `<dir>/<hash16>.json`, keyed by the
+//! FNV-1a hash of the point's canonical content key. The full key is echoed
+//! inside the entry and verified on load, so a (vanishingly unlikely) hash
+//! collision or a stale file from an incompatible format version degrades to
+//! a cache miss, never to wrong numbers. Re-running a campaign therefore
+//! simulates only points it has never seen.
+
+use crate::json::Json;
+use crate::result::PointOutcomeKind;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// A directory of cached point outcomes.
+#[derive(Debug, Clone)]
+pub struct ResultCache {
+    dir: PathBuf,
+}
+
+impl ResultCache {
+    /// Open (creating if needed) a cache directory.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<ResultCache> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(ResultCache { dir })
+    }
+
+    /// The cache directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn path_for(&self, hash: u64) -> PathBuf {
+        self.dir.join(format!("{hash:016x}.json"))
+    }
+
+    /// Look up the outcome for `(hash, content_key)`. Any malformed entry or
+    /// key mismatch is treated as a miss.
+    pub fn load(&self, hash: u64, content_key: &str) -> Option<PointOutcomeKind> {
+        let text = std::fs::read_to_string(self.path_for(hash)).ok()?;
+        let entry = Json::parse(&text).ok()?;
+        if entry.get("key")?.as_str()? != content_key {
+            return None;
+        }
+        PointOutcomeKind::from_json(entry.get("outcome")?)
+    }
+
+    /// Store an outcome. Writes via a temp file + rename so a crashed or
+    /// concurrent campaign never leaves a torn entry.
+    pub fn store(
+        &self,
+        hash: u64,
+        content_key: &str,
+        outcome: &PointOutcomeKind,
+    ) -> io::Result<()> {
+        let entry = Json::obj(vec![
+            ("key", Json::Str(content_key.to_string())),
+            ("outcome", outcome.to_json()),
+        ]);
+        let final_path = self.path_for(hash);
+        let tmp_path = self.dir.join(format!(".{hash:016x}.{}.tmp", std::process::id()));
+        std::fs::write(&tmp_path, entry.to_pretty())?;
+        std::fs::rename(&tmp_path, &final_path)
+    }
+
+    /// Number of entries currently on disk (diagnostics).
+    pub fn len(&self) -> usize {
+        std::fs::read_dir(&self.dir)
+            .map(|entries| {
+                entries
+                    .filter_map(Result::ok)
+                    .filter(|e| e.path().extension().is_some_and(|x| x == "json"))
+                    .count()
+            })
+            .unwrap_or(0)
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::replicate::{MeanCi, MergedRun};
+
+    fn unique_dir(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("quarc-campaign-cache-{tag}-{}", std::process::id()))
+    }
+
+    fn sample_outcome() -> PointOutcomeKind {
+        let ci = MeanCi { mean: 10.0, ci95: 0.5, n: 2 };
+        PointOutcomeKind::Rate {
+            rate: 0.01,
+            merged: MergedRun {
+                reps: 2,
+                unicast_mean: ci,
+                bcast_reception_mean: ci,
+                bcast_completion_mean: ci,
+                throughput: ci,
+                unicast_p95: None,
+                bcast_completion_p95: None,
+                unicast_samples: 10,
+                bcast_samples: 0,
+                saturated_reps: 0,
+                saturated: false,
+            },
+        }
+    }
+
+    #[test]
+    fn store_then_load_roundtrips() {
+        let dir = unique_dir("roundtrip");
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = ResultCache::open(&dir).unwrap();
+        assert!(cache.is_empty());
+        let outcome = sample_outcome();
+        cache.store(42, "key-a", &outcome).unwrap();
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.load(42, "key-a"), Some(outcome));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn key_mismatch_is_a_miss() {
+        let dir = unique_dir("mismatch");
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = ResultCache::open(&dir).unwrap();
+        cache.store(7, "the-real-key", &sample_outcome()).unwrap();
+        assert_eq!(cache.load(7, "a-colliding-key"), None);
+        assert_eq!(cache.load(8, "the-real-key"), None);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_entry_is_a_miss() {
+        let dir = unique_dir("corrupt");
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = ResultCache::open(&dir).unwrap();
+        std::fs::write(dir.join(format!("{:016x}.json", 9u64)), "{ not json").unwrap();
+        assert_eq!(cache.load(9, "k"), None);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

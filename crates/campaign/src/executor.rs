@@ -1,0 +1,137 @@
+//! A work-stealing thread-pool executor over plain `std` threads.
+//!
+//! Campaign points vary wildly in cost — a saturated 64-node point simulates
+//! an order of magnitude slower than an idle 16-node one — so static
+//! sharding alone leaves workers idle. Each worker owns a deque seeded
+//! round-robin; it pops its own work from the front and, when empty, steals
+//! from the *back* of the longest victim deque (classic Arora-Blumofe-Plaxton
+//! shape, coarse Mutex deques instead of lock-free CAS — point execution
+//! dominates by orders of magnitude, so queue contention is irrelevant).
+//!
+//! Determinism: `f` receives the item and its index and must be a pure
+//! function of them; results land in a slot vector by index, so the output
+//! is independent of worker count, stealing order and timing.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// Run `f` over every item on `workers` threads; results in item order.
+///
+/// Panics in `f` are propagated (the scope joins all workers first).
+pub fn run_work_stealing<T, R, F>(items: &[T], workers: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    assert!(workers >= 1, "need at least one worker");
+    let workers = workers.min(items.len()).max(1);
+
+    // Round-robin initial shards: worker w owns items w, w+W, w+2W, …
+    let deques: Vec<Mutex<VecDeque<usize>>> =
+        (0..workers).map(|w| Mutex::new((w..items.len()).step_by(workers).collect())).collect();
+    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let deques = &deques;
+            let slots = &slots;
+            let f = &f;
+            scope.spawn(move || loop {
+                // Own work first (front: preserves shard locality) …
+                let next = deques[w].lock().expect("deque poisoned").pop_front();
+                let idx = match next {
+                    Some(idx) => idx,
+                    // … then steal from the back of the fullest victim.
+                    None => match steal(deques, w) {
+                        Some(idx) => idx,
+                        None => return,
+                    },
+                };
+                let result = f(idx, &items[idx]);
+                *slots[idx].lock().expect("slot poisoned") = Some(result);
+            });
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("slot poisoned").expect("every item was executed"))
+        .collect()
+}
+
+fn steal(deques: &[Mutex<VecDeque<usize>>], thief: usize) -> Option<usize> {
+    // Pick the victim with the most queued work (snapshot; racy but only
+    // affects efficiency, never correctness).
+    let mut best: Option<(usize, usize)> = None;
+    for (v, deque) in deques.iter().enumerate() {
+        if v == thief {
+            continue;
+        }
+        let len = deque.lock().expect("deque poisoned").len();
+        if len > 0 && best.map_or(true, |(_, blen)| len > blen) {
+            best = Some((v, len));
+        }
+    }
+    let (victim, _) = best?;
+    deques[victim].lock().expect("deque poisoned").pop_back()
+}
+
+/// The default worker count: the machine's available parallelism.
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn results_are_in_item_order() {
+        let items: Vec<usize> = (0..97).collect();
+        let results = run_work_stealing(&items, 8, |idx, &item| {
+            assert_eq!(idx, item);
+            item * 3
+        });
+        assert_eq!(results, (0..97).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn every_item_runs_exactly_once() {
+        let counts: Vec<AtomicUsize> = (0..50).map(|_| AtomicUsize::new(0)).collect();
+        run_work_stealing(&(0..50).collect::<Vec<_>>(), 4, |idx, _| {
+            counts[idx].fetch_add(1, Ordering::SeqCst);
+        });
+        assert!(counts.iter().all(|c| c.load(Ordering::SeqCst) == 1));
+    }
+
+    #[test]
+    fn uneven_work_is_stolen() {
+        // One pathological item 100× the cost of the rest: with 4 workers
+        // the other shards must drain via stealing long before it finishes.
+        let items: Vec<u64> = (0..40).map(|i| if i == 0 { 2_000_000 } else { 20_000 }).collect();
+        let results = run_work_stealing(&items, 4, |_, &spins| {
+            let mut acc = 0u64;
+            for i in 0..spins {
+                acc = acc.wrapping_add(i).rotate_left(7);
+            }
+            std::hint::black_box(acc);
+            spins
+        });
+        assert_eq!(results, items);
+    }
+
+    #[test]
+    fn single_worker_and_oversubscription_work() {
+        let items = vec![1, 2, 3];
+        assert_eq!(run_work_stealing(&items, 1, |_, &x| x), items);
+        assert_eq!(run_work_stealing(&items, 64, |_, &x| x), items);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let results: Vec<u32> = run_work_stealing(&[] as &[u32], 4, |_, &x| x);
+        assert!(results.is_empty());
+    }
+}

@@ -1,0 +1,34 @@
+//! Stable content hashing for cache keys and RNG substream selection.
+//!
+//! `std::hash` is deliberately not used: `DefaultHasher` is documented as
+//! unstable across releases, and a cache key must survive toolchain bumps.
+//! FNV-1a is tiny, stable forever, and 64 bits is ample for the few thousand
+//! points a campaign expands to.
+
+/// 64-bit FNV-1a over `bytes`.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Published FNV-1a test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn distinct_keys_differ() {
+        assert_ne!(fnv1a64(b"quarc n=16"), fnv1a64(b"quarc n=32"));
+    }
+}

@@ -1,0 +1,53 @@
+//! # quarc-campaign
+//!
+//! Parallel, deterministic, resumable experiment campaigns over the Quarc
+//! NoC simulator — the paper's whole Figs. 9–11 / Table 1 evaluation grid
+//! (topology × size × `M` × `β` × injection rate × replications) as one
+//! declarative object instead of a pile of hand-rolled loops.
+//!
+//! The pipeline:
+//!
+//! 1. a [`spec::CampaignSpec`] expands its parameter grid into
+//!    [`spec::CampaignPoint`]s (`expand`);
+//! 2. a work-stealing thread pool ([`executor`]) shards points across cores;
+//! 3. each point runs its replications with seeds forked from the point's
+//!    *content hash* ([`replicate`]), merging `OnlineStats` /
+//!    `LatencyHistogram` across seeds into means + 95% confidence intervals;
+//! 4. saturation-axis campaigns bisect the rate axis ([`saturation`])
+//!    instead of walking a fixed grid;
+//! 5. outcomes land in a content-addressed on-disk cache ([`cache`]) and in
+//!    JSON/CSV artifacts ([`artifact`]), both rendered with the in-tree
+//!    [`json`] module.
+//!
+//! **Determinism contract.** Results are a pure function of the spec. Worker
+//! count, scheduling order, cache state and `--force` can change how long a
+//! campaign takes, never what it measures — `tests/determinism.rs` asserts
+//! byte-identical artifacts between 1-worker and N-worker runs. The
+//! ingredients: per-point seeds derive from content hashes (not grid
+//! position or timing), every simulation is `quarc_sim::run_point` (a pure
+//! function), and results are collected by point id, not completion order.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod artifact;
+pub mod cache;
+pub mod executor;
+pub mod hash;
+pub mod json;
+pub mod replicate;
+pub mod result;
+pub mod runner;
+pub mod saturation;
+pub mod spec;
+
+pub use cache::ResultCache;
+pub use executor::{default_workers, run_work_stealing};
+pub use json::Json;
+pub use replicate::{replication_seed, run_replicated, MeanCi, MergedRun};
+pub use result::{PointOutcomeKind, PointResult};
+pub use runner::{execute_point, run_campaign, CampaignError, CampaignOptions, CampaignReport};
+pub use saturation::{find_saturation, Probe, SaturationResult};
+pub use spec::{
+    CampaignPoint, CampaignSpec, CurveParams, Expansion, PointWork, RateAxis, SpecError,
+};

@@ -1,0 +1,251 @@
+//! Replication: running one point under several independent seeds and
+//! merging the outcomes into means with confidence intervals.
+//!
+//! Across-replication spread uses [`OnlineStats`] (one sample per
+//! replication per metric); within-replication latency *distributions* are
+//! pooled with [`LatencyHistogram::merge`], so percentile estimates use every
+//! sample from every seed. Replication seeds are drawn from per-point
+//! [`DetRng::fork`] substreams keyed by the point's content hash — a pure
+//! function of the point's parameters, which is what keeps a multi-threaded
+//! campaign bit-identical to a serial one.
+
+use crate::json::Json;
+use quarc_engine::stats::{LatencyHistogram, OnlineStats};
+use quarc_engine::DetRng;
+use quarc_sim::{run_point, PointSpec, RunSpec};
+
+/// Two-sided 95% Student-t quantiles for ν = n − 1 degrees of freedom
+/// (ν ≥ 30 uses the normal 1.96).
+fn t95(df: u32) -> f64 {
+    const TABLE: [f64; 30] = [
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+        2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+        2.052, 2.048, 2.045, 2.042,
+    ];
+    if df == 0 {
+        f64::NAN
+    } else if df <= 30 {
+        TABLE[(df - 1) as usize]
+    } else {
+        1.96
+    }
+}
+
+/// A mean over replications with a 95% confidence half-width.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MeanCi {
+    /// Across-replication mean.
+    pub mean: f64,
+    /// 95% confidence half-width (0 for a single replication).
+    pub ci95: f64,
+    /// Number of replications that contributed.
+    pub n: u32,
+}
+
+impl MeanCi {
+    fn from_stats(stats: &OnlineStats) -> MeanCi {
+        let n = stats.count() as u32;
+        let ci95 = if n >= 2 { t95(n - 1) * stats.std_dev() / (n as f64).sqrt() } else { 0.0 };
+        MeanCi { mean: stats.mean(), ci95, n }
+    }
+
+    /// JSON form: `{"mean": …, "ci95": …, "n": …}`.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("mean", Json::Num(self.mean)),
+            ("ci95", Json::Num(self.ci95)),
+            ("n", Json::UInt(self.n as u64)),
+        ])
+    }
+
+    /// Parse the JSON form.
+    pub fn from_json(v: &Json) -> Option<MeanCi> {
+        Some(MeanCi {
+            mean: v.get("mean")?.as_f64()?,
+            ci95: v.get("ci95")?.as_f64()?,
+            n: v.get("n")?.as_u64()? as u32,
+        })
+    }
+}
+
+/// The merged outcome of all replications of one fixed-rate point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MergedRun {
+    /// Replications executed.
+    pub reps: u32,
+    /// Mean unicast latency (cycles).
+    pub unicast_mean: MeanCi,
+    /// Mean broadcast reception latency.
+    pub bcast_reception_mean: MeanCi,
+    /// Mean broadcast completion latency.
+    pub bcast_completion_mean: MeanCi,
+    /// Delivered flits per node per cycle.
+    pub throughput: MeanCi,
+    /// 95th-percentile unicast latency from the pooled histogram.
+    pub unicast_p95: Option<u64>,
+    /// 95th-percentile broadcast completion latency from the pooled histogram.
+    pub bcast_completion_p95: Option<u64>,
+    /// Pooled unicast sample count.
+    pub unicast_samples: u64,
+    /// Pooled broadcast-completion sample count.
+    pub bcast_samples: u64,
+    /// How many replications hit a saturation criterion.
+    pub saturated_reps: u32,
+    /// Majority verdict.
+    pub saturated: bool,
+}
+
+impl MergedRun {
+    /// JSON form (stable field order).
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("reps", Json::UInt(self.reps as u64)),
+            ("unicast_mean", self.unicast_mean.to_json()),
+            ("bcast_reception_mean", self.bcast_reception_mean.to_json()),
+            ("bcast_completion_mean", self.bcast_completion_mean.to_json()),
+            ("throughput", self.throughput.to_json()),
+            ("unicast_p95", self.unicast_p95.map_or(Json::Null, Json::UInt)),
+            ("bcast_completion_p95", self.bcast_completion_p95.map_or(Json::Null, Json::UInt)),
+            ("unicast_samples", Json::UInt(self.unicast_samples)),
+            ("bcast_samples", Json::UInt(self.bcast_samples)),
+            ("saturated_reps", Json::UInt(self.saturated_reps as u64)),
+            ("saturated", Json::Bool(self.saturated)),
+        ])
+    }
+
+    /// Parse the JSON form.
+    pub fn from_json(v: &Json) -> Option<MergedRun> {
+        Some(MergedRun {
+            reps: v.get("reps")?.as_u64()? as u32,
+            unicast_mean: MeanCi::from_json(v.get("unicast_mean")?)?,
+            bcast_reception_mean: MeanCi::from_json(v.get("bcast_reception_mean")?)?,
+            bcast_completion_mean: MeanCi::from_json(v.get("bcast_completion_mean")?)?,
+            throughput: MeanCi::from_json(v.get("throughput")?)?,
+            unicast_p95: match v.get("unicast_p95")? {
+                Json::Null => None,
+                other => Some(other.as_u64()?),
+            },
+            bcast_completion_p95: match v.get("bcast_completion_p95")? {
+                Json::Null => None,
+                other => Some(other.as_u64()?),
+            },
+            unicast_samples: v.get("unicast_samples")?.as_u64()?,
+            bcast_samples: v.get("bcast_samples")?.as_u64()?,
+            saturated_reps: v.get("saturated_reps")?.as_u64()? as u32,
+            saturated: v.get("saturated")?.as_bool()?,
+        })
+    }
+}
+
+/// The workload seed for replication `rep` of the point whose content hash
+/// is `point_stream`, under master seed `base_seed`.
+///
+/// Pure function of its arguments: campaign-level determinism rests here.
+pub fn replication_seed(base_seed: u64, point_stream: u64, rep: u32) -> u64 {
+    DetRng::new(base_seed).fork(point_stream).fork(rep as u64).next_u64()
+}
+
+/// Run `reps` independent replications of `template` (its `seed` field is
+/// overwritten per replication) and merge.
+pub fn run_replicated(
+    template: &PointSpec,
+    run_spec: &RunSpec,
+    base_seed: u64,
+    point_stream: u64,
+    reps: u32,
+) -> MergedRun {
+    assert!(reps >= 1);
+    let mut unicast = OnlineStats::new();
+    let mut reception = OnlineStats::new();
+    let mut completion = OnlineStats::new();
+    let mut throughput = OnlineStats::new();
+    let mut pooled_unicast = LatencyHistogram::new();
+    let mut pooled_bcast = LatencyHistogram::new();
+    let mut bcast_samples = 0;
+    let mut saturated_reps = 0;
+    for rep in 0..reps {
+        let mut point = *template;
+        point.seed = replication_seed(base_seed, point_stream, rep);
+        let outcome = run_point(&point, run_spec);
+        let r = &outcome.result;
+        unicast.push(r.unicast_mean);
+        reception.push(r.bcast_reception_mean);
+        completion.push(r.bcast_completion_mean);
+        throughput.push(r.throughput);
+        pooled_unicast.merge(&outcome.unicast_hist);
+        pooled_bcast.merge(&outcome.bcast_completion_hist);
+        bcast_samples += r.bcast_samples;
+        saturated_reps += u32::from(r.saturated);
+    }
+    MergedRun {
+        reps,
+        unicast_mean: MeanCi::from_stats(&unicast),
+        bcast_reception_mean: MeanCi::from_stats(&reception),
+        bcast_completion_mean: MeanCi::from_stats(&completion),
+        throughput: MeanCi::from_stats(&throughput),
+        unicast_p95: pooled_unicast.percentile(95.0),
+        bcast_completion_p95: pooled_bcast.percentile(95.0),
+        unicast_samples: pooled_unicast.count(),
+        bcast_samples,
+        saturated_reps,
+        saturated: saturated_reps * 2 > reps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quarc_core::config::NocConfig;
+
+    fn template() -> PointSpec {
+        PointSpec { noc: NocConfig::quarc(8), msg_len: 4, beta: 0.05, seed: 0, rate: 0.01 }
+    }
+
+    fn quick() -> RunSpec {
+        RunSpec { warmup: 200, measure: 1_500, drain: 3_000, ..Default::default() }
+    }
+
+    #[test]
+    fn replication_seeds_are_stable_and_distinct() {
+        let a = replication_seed(1, 99, 0);
+        assert_eq!(a, replication_seed(1, 99, 0));
+        assert_ne!(a, replication_seed(1, 99, 1));
+        assert_ne!(a, replication_seed(1, 98, 0));
+        assert_ne!(a, replication_seed(2, 99, 0));
+    }
+
+    #[test]
+    fn merge_pools_samples_and_bounds_ci() {
+        let merged = run_replicated(&template(), &quick(), 7, 11, 3);
+        assert_eq!(merged.reps, 3);
+        assert_eq!(merged.unicast_mean.n, 3);
+        assert!(merged.unicast_mean.mean > 0.0);
+        assert!(merged.unicast_mean.ci95 >= 0.0);
+        assert!(merged.unicast_samples > 100);
+        assert!(merged.unicast_p95.is_some());
+        assert!(!merged.saturated);
+    }
+
+    #[test]
+    fn single_replication_has_zero_ci() {
+        let merged = run_replicated(&template(), &quick(), 7, 11, 1);
+        assert_eq!(merged.unicast_mean.ci95, 0.0);
+        assert_eq!(merged.unicast_mean.n, 1);
+    }
+
+    #[test]
+    fn merged_run_json_roundtrip() {
+        let merged = run_replicated(&template(), &quick(), 7, 11, 2);
+        let json = merged.to_json();
+        let back = MergedRun::from_json(&Json::parse(&json.to_pretty()).unwrap()).unwrap();
+        assert_eq!(back, merged);
+    }
+
+    #[test]
+    fn t_table_shape() {
+        assert!((t95(1) - 12.706).abs() < 1e-9);
+        assert!(t95(2) < t95(1));
+        assert!((t95(100) - 1.96).abs() < 1e-9);
+        assert!(t95(0).is_nan());
+    }
+}

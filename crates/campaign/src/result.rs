@@ -1,0 +1,248 @@
+//! Campaign results: per-point outcomes and their JSON forms.
+
+use crate::json::Json;
+use crate::replicate::MergedRun;
+use crate::saturation::{Probe, SaturationResult};
+use crate::spec::{CampaignPoint, PointWork};
+
+/// What one executed point produced.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PointOutcomeKind {
+    /// A fixed-rate point: the rate plus replication-merged statistics.
+    Rate {
+        /// Offered load (messages/node/cycle).
+        rate: f64,
+        /// Replication-merged statistics.
+        merged: MergedRun,
+    },
+    /// A saturation-search point.
+    Saturation(SaturationResult),
+}
+
+impl PointOutcomeKind {
+    /// JSON form (stable field order).
+    pub fn to_json(&self) -> Json {
+        match self {
+            PointOutcomeKind::Rate { rate, merged } => Json::obj(vec![
+                ("kind", Json::Str("rate".into())),
+                ("rate", Json::Num(*rate)),
+                ("merged", merged.to_json()),
+            ]),
+            PointOutcomeKind::Saturation(s) => Json::obj(vec![
+                ("kind", Json::Str("saturation".into())),
+                ("sustained", Json::Num(s.sustained)),
+                ("collapsed", s.collapsed.map_or(Json::Null, Json::Num)),
+                (
+                    "probes",
+                    Json::Arr(
+                        s.probes
+                            .iter()
+                            .map(|p| {
+                                Json::obj(vec![
+                                    ("rate", Json::Num(p.rate)),
+                                    ("saturated", Json::Bool(p.saturated)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
+        }
+    }
+
+    /// Parse the JSON form.
+    pub fn from_json(v: &Json) -> Option<PointOutcomeKind> {
+        match v.get("kind")?.as_str()? {
+            "rate" => Some(PointOutcomeKind::Rate {
+                rate: v.get("rate")?.as_f64()?,
+                merged: MergedRun::from_json(v.get("merged")?)?,
+            }),
+            "saturation" => {
+                let probes = v
+                    .get("probes")?
+                    .as_arr()?
+                    .iter()
+                    .map(|p| {
+                        Some(Probe {
+                            rate: p.get("rate")?.as_f64()?,
+                            saturated: p.get("saturated")?.as_bool()?,
+                        })
+                    })
+                    .collect::<Option<Vec<_>>>()?;
+                Some(PointOutcomeKind::Saturation(SaturationResult {
+                    sustained: v.get("sustained")?.as_f64()?,
+                    collapsed: match v.get("collapsed")? {
+                        Json::Null => None,
+                        other => Some(other.as_f64()?),
+                    },
+                    probes,
+                }))
+            }
+            _ => None,
+        }
+    }
+}
+
+/// One point's full record in the campaign artifact.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PointResult {
+    /// Expansion-order id (artifact ordering).
+    pub id: usize,
+    /// Human-readable curve label.
+    pub label: String,
+    /// The expanded point (grid coordinates + work).
+    pub point: CampaignPoint,
+    /// Content hash (cache key / RNG substream).
+    pub content_hash: u64,
+    /// Whether this record was served from the result cache.
+    pub from_cache: bool,
+    /// The measured outcome.
+    pub outcome: PointOutcomeKind,
+}
+
+impl PointResult {
+    /// JSON form for the campaign artifact.
+    ///
+    /// Deliberately excludes `from_cache` (and any timing): the artifact's
+    /// bytes are a pure function of the campaign spec, so cached and
+    /// freshly-simulated runs — and runs with different worker counts —
+    /// produce identical files.
+    pub fn to_json(&self) -> Json {
+        let c = &self.point.curve;
+        Json::obj(vec![
+            ("id", Json::UInt(self.id as u64)),
+            ("label", Json::Str(self.label.clone())),
+            ("topology", Json::Str(c.topology.to_string())),
+            ("n", Json::UInt(c.n as u64)),
+            ("msg_len", Json::UInt(c.msg_len as u64)),
+            ("beta", Json::Num(c.beta)),
+            ("buffer_depth", Json::UInt(c.buffer_depth as u64)),
+            ("link_latency", Json::UInt(c.link_latency)),
+            ("content_hash", Json::Str(format!("{:016x}", self.content_hash))),
+            ("outcome", self.outcome.to_json()),
+        ])
+    }
+
+    /// One CSV row per rate outcome (saturation points summarise the
+    /// search). Matches [`csv_header`].
+    pub fn csv_row(&self) -> String {
+        let c = &self.point.curve;
+        let prefix = format!(
+            "{},{},{},{},{},{},{}",
+            self.id, c.topology, c.n, c.msg_len, c.beta, c.buffer_depth, c.link_latency
+        );
+        match &self.outcome {
+            PointOutcomeKind::Rate { rate, merged } => format!(
+                "{prefix},rate,{rate},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+                merged.reps,
+                merged.unicast_mean.mean,
+                merged.unicast_mean.ci95,
+                merged.unicast_p95.map_or_else(|| "-".into(), |p| p.to_string()),
+                merged.unicast_samples,
+                merged.bcast_reception_mean.mean,
+                merged.bcast_completion_mean.mean,
+                merged.bcast_completion_mean.ci95,
+                merged.bcast_completion_p95.map_or_else(|| "-".into(), |p| p.to_string()),
+                merged.bcast_samples,
+                merged.throughput.mean,
+                merged.saturated,
+            ),
+            PointOutcomeKind::Saturation(s) => format!(
+                "{prefix},saturation,{},-,-,-,-,-,-,-,-,-,-,{},{}\n",
+                s.sustained,
+                s.probes.len(),
+                s.collapsed.map_or_else(|| "-".into(), |v| v.to_string()),
+            ),
+        }
+    }
+
+    /// The CSV header matching [`Self::csv_row`].
+    pub fn csv_header() -> &'static str {
+        "id,topology,n,msg_len,beta,buffer_depth,link_latency,kind,rate,reps,\
+         unicast_mean,unicast_ci95,unicast_p95,unicast_samples,bcast_reception_mean,\
+         bcast_completion_mean,bcast_completion_ci95,bcast_completion_p95,bcast_samples,\
+         throughput,saturated"
+    }
+
+    /// The display label for a point.
+    pub fn label_for(point: &CampaignPoint) -> String {
+        match point.work {
+            PointWork::Rate(rate) => format!("{}-r{rate:.5}", point.curve),
+            PointWork::Saturation { .. } => format!("{}-sat", point.curve),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::replicate::MeanCi;
+
+    fn merged() -> MergedRun {
+        MergedRun {
+            reps: 2,
+            unicast_mean: MeanCi { mean: 20.5, ci95: 1.25, n: 2 },
+            bcast_reception_mean: MeanCi { mean: 30.0, ci95: 0.5, n: 2 },
+            bcast_completion_mean: MeanCi { mean: 45.0, ci95: 2.0, n: 2 },
+            throughput: MeanCi { mean: 0.08, ci95: 0.001, n: 2 },
+            unicast_p95: Some(63),
+            bcast_completion_p95: Some(127),
+            unicast_samples: 1234,
+            bcast_samples: 56,
+            saturated_reps: 0,
+            saturated: false,
+        }
+    }
+
+    #[test]
+    fn rate_outcome_roundtrips() {
+        let outcome = PointOutcomeKind::Rate { rate: 0.0125, merged: merged() };
+        let text = outcome.to_json().to_pretty();
+        assert_eq!(PointOutcomeKind::from_json(&Json::parse(&text).unwrap()).unwrap(), outcome);
+    }
+
+    #[test]
+    fn saturation_outcome_roundtrips() {
+        let outcome = PointOutcomeKind::Saturation(SaturationResult {
+            sustained: 0.021,
+            collapsed: None,
+            probes: vec![
+                Probe { rate: 0.01, saturated: false },
+                Probe { rate: 0.04, saturated: true },
+            ],
+        });
+        let text = outcome.to_json().to_compact();
+        assert_eq!(PointOutcomeKind::from_json(&Json::parse(&text).unwrap()).unwrap(), outcome);
+    }
+
+    #[test]
+    fn csv_row_matches_header_width() {
+        use crate::spec::{CampaignSpec, RateAxis};
+        let mut spec = CampaignSpec::new("csv");
+        spec.rates = RateAxis::Explicit(vec![0.01]);
+        let point = spec.expand().unwrap().points[0];
+        let result = PointResult {
+            id: 0,
+            label: PointResult::label_for(&point),
+            point,
+            content_hash: 7,
+            from_cache: false,
+            outcome: PointOutcomeKind::Rate { rate: 0.01, merged: merged() },
+        };
+        let header_cols = PointResult::csv_header().split(',').count();
+        let row = result.csv_row();
+        assert_eq!(row.trim_end().split(',').count(), header_cols);
+
+        let sat = PointResult {
+            outcome: PointOutcomeKind::Saturation(SaturationResult {
+                sustained: 0.02,
+                collapsed: Some(0.022),
+                probes: vec![],
+            }),
+            ..result
+        };
+        // Saturation rows reuse the last two columns for probe count and
+        // collapse rate, keeping the column count identical.
+        assert_eq!(sat.csv_row().trim_end().split(',').count(), header_cols);
+    }
+}

@@ -1,0 +1,354 @@
+//! Campaign orchestration: expand → consult cache → execute in parallel →
+//! persist → render artifacts.
+
+use crate::artifact;
+use crate::cache::ResultCache;
+use crate::executor::{default_workers, run_work_stealing};
+use crate::replicate::{replication_seed, run_replicated};
+use crate::result::{PointOutcomeKind, PointResult};
+use crate::saturation::find_saturation;
+use crate::spec::{CampaignPoint, CampaignSpec, PointWork, SpecError};
+use quarc_sim::{run_point, PointSpec};
+use std::fmt;
+use std::io;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+/// Execution options orthogonal to the experiment definition. None of them
+/// may change any measured number — only where results come from, where they
+/// go, and how many threads produce them.
+#[derive(Debug, Clone, Default)]
+pub struct CampaignOptions {
+    /// Worker threads; `0` means the machine's available parallelism.
+    pub workers: usize,
+    /// Result-cache directory (no caching when `None`).
+    pub cache_dir: Option<PathBuf>,
+    /// Artifact output directory (no files written when `None`).
+    pub out_dir: Option<PathBuf>,
+    /// Ignore cache *reads* (entries are still written back).
+    pub force: bool,
+    /// Suppress per-point progress on stderr.
+    pub quiet: bool,
+}
+
+/// What a campaign run produced.
+#[derive(Debug)]
+pub struct CampaignReport {
+    /// Per-point results in expansion order.
+    pub results: Vec<PointResult>,
+    /// Grid combinations dropped at expansion (e.g. mesh × β > 0).
+    pub skipped: Vec<String>,
+    /// Points actually simulated this run.
+    pub executed: usize,
+    /// Points served from the result cache.
+    pub from_cache: usize,
+    /// Worker threads used.
+    pub workers: usize,
+    /// Artifact files written (empty without an output directory).
+    pub artifacts: Vec<PathBuf>,
+    /// Wall-clock duration of the execution phase.
+    pub wall: Duration,
+}
+
+impl CampaignReport {
+    /// The JSON artifact document (pure function of spec + results).
+    pub fn to_json(&self, spec: &CampaignSpec) -> crate::json::Json {
+        artifact::campaign_json(spec, &self.results, &self.skipped)
+    }
+
+    /// The CSV artifact table.
+    pub fn csv(&self) -> String {
+        artifact::campaign_csv(&self.results)
+    }
+}
+
+/// A campaign failure.
+#[derive(Debug)]
+pub enum CampaignError {
+    /// The spec failed validation/expansion.
+    Spec(SpecError),
+    /// Cache or artifact I/O failed.
+    Io(io::Error),
+}
+
+impl fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CampaignError::Spec(e) => write!(f, "{e}"),
+            CampaignError::Io(e) => write!(f, "campaign I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {}
+
+impl From<SpecError> for CampaignError {
+    fn from(e: SpecError) -> Self {
+        CampaignError::Spec(e)
+    }
+}
+
+impl From<io::Error> for CampaignError {
+    fn from(e: io::Error) -> Self {
+        CampaignError::Io(e)
+    }
+}
+
+/// Simulate one point (no cache involvement). Pure function of
+/// `(point, spec)` — see the determinism notes on [`run_campaign`].
+pub fn execute_point(point: &CampaignPoint, spec: &CampaignSpec) -> PointOutcomeKind {
+    let stream = point.content_hash(spec);
+    let noc = point.curve.noc();
+    match point.work {
+        PointWork::Rate(rate) => {
+            let template = PointSpec {
+                noc,
+                msg_len: point.curve.msg_len,
+                beta: point.curve.beta,
+                seed: 0, // overwritten per replication
+                rate,
+            };
+            let merged =
+                run_replicated(&template, &spec.run, spec.base_seed, stream, spec.replications);
+            PointOutcomeKind::Rate { rate, merged }
+        }
+        PointWork::Saturation { lo, hi, rel_tol, max_probes } => {
+            // Common random numbers across probes: one seed (replication 0)
+            // for the whole search keeps the frontier estimate monotone.
+            let seed = replication_seed(spec.base_seed, stream, 0);
+            let result = find_saturation(
+                |rate| {
+                    let probe = PointSpec {
+                        noc,
+                        msg_len: point.curve.msg_len,
+                        beta: point.curve.beta,
+                        seed,
+                        rate,
+                    };
+                    run_point(&probe, &spec.run).result.saturated
+                },
+                lo,
+                hi,
+                rel_tol,
+                max_probes,
+            );
+            PointOutcomeKind::Saturation(result)
+        }
+    }
+}
+
+/// Run a campaign: expand the grid, serve known points from the cache,
+/// shard the rest across a work-stealing pool, persist new outcomes, write
+/// artifacts.
+///
+/// Determinism guarantee: `results` (and therefore both artifacts) are a
+/// pure function of `spec`. Worker count, stealing order, cache hits and
+/// `force` can change only `executed`/`from_cache`/`wall` — never a number.
+/// The per-point tests and `tests/determinism.rs` hold this to bit-equality.
+pub fn run_campaign(
+    spec: &CampaignSpec,
+    opts: &CampaignOptions,
+) -> Result<CampaignReport, CampaignError> {
+    let expansion = spec.expand()?;
+    let cache = match &opts.cache_dir {
+        Some(dir) => Some(ResultCache::open(dir)?),
+        None => None,
+    };
+    let workers = if opts.workers == 0 { default_workers() } else { opts.workers };
+
+    let total = expansion.points.len();
+    let done = AtomicUsize::new(0);
+    let executed = AtomicUsize::new(0);
+    let hits = AtomicUsize::new(0);
+    let start = Instant::now();
+
+    let results = run_work_stealing(&expansion.points, workers, |_, point| {
+        let key = point.content_key(spec);
+        let hash = point.content_hash(spec);
+        let cached =
+            if opts.force { None } else { cache.as_ref().and_then(|c| c.load(hash, &key)) };
+        let (outcome, from_cache) = match cached {
+            Some(outcome) => {
+                hits.fetch_add(1, Ordering::Relaxed);
+                (outcome, true)
+            }
+            None => {
+                let outcome = execute_point(point, spec);
+                executed.fetch_add(1, Ordering::Relaxed);
+                if let Some(c) = &cache {
+                    if let Err(e) = c.store(hash, &key, &outcome) {
+                        if !opts.quiet {
+                            eprintln!("campaign: failed to cache {key}: {e}");
+                        }
+                    }
+                }
+                (outcome, false)
+            }
+        };
+        let label = PointResult::label_for(point);
+        if !opts.quiet {
+            let n = done.fetch_add(1, Ordering::Relaxed) + 1;
+            let how = if from_cache { "cache" } else { "ran" };
+            eprintln!("campaign [{n:>4}/{total}] {label:<40} ({how})");
+        }
+        PointResult { id: point.id, label, point: *point, content_hash: hash, from_cache, outcome }
+    });
+    let wall = start.elapsed();
+
+    let mut report = CampaignReport {
+        results,
+        skipped: expansion.skipped,
+        executed: executed.into_inner(),
+        from_cache: hits.into_inner(),
+        workers,
+        artifacts: Vec::new(),
+        wall,
+    };
+    if let Some(dir) = &opts.out_dir {
+        report.artifacts = artifact::write_artifacts(dir, spec, &report.results, &report.skipped)?;
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::RateAxis;
+    use quarc_sim::RunSpec;
+
+    fn tiny_spec(name: &str) -> CampaignSpec {
+        let mut spec = CampaignSpec::new(name);
+        spec.sizes = vec![8];
+        spec.msg_lens = vec![4];
+        spec.betas = vec![0.0];
+        spec.rates = RateAxis::Explicit(vec![0.005, 0.01]);
+        spec.replications = 2;
+        spec.run = RunSpec { warmup: 100, measure: 800, drain: 1_600, ..Default::default() };
+        spec
+    }
+
+    fn unique_dir(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("quarc-campaign-runner-{tag}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn campaign_runs_and_reports() {
+        let spec = tiny_spec("runner-basic");
+        let report =
+            run_campaign(&spec, &CampaignOptions { workers: 2, quiet: true, ..Default::default() })
+                .unwrap();
+        assert_eq!(report.results.len(), 4); // 2 topologies × 2 rates
+        assert_eq!(report.executed, 4);
+        assert_eq!(report.from_cache, 0);
+        for (i, r) in report.results.iter().enumerate() {
+            assert_eq!(r.id, i);
+            match &r.outcome {
+                PointOutcomeKind::Rate { merged, .. } => {
+                    assert_eq!(merged.reps, 2);
+                    assert!(merged.unicast_mean.mean > 0.0);
+                }
+                other => panic!("unexpected outcome {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn second_run_is_fully_cached_and_identical() {
+        let dir = unique_dir("cached");
+        let _ = std::fs::remove_dir_all(&dir);
+        let spec = tiny_spec("runner-cache");
+        let opts = CampaignOptions {
+            workers: 2,
+            cache_dir: Some(dir.clone()),
+            quiet: true,
+            ..Default::default()
+        };
+        let first = run_campaign(&spec, &opts).unwrap();
+        assert_eq!(first.executed, 4);
+        let second = run_campaign(&spec, &opts).unwrap();
+        assert_eq!(second.executed, 0);
+        assert_eq!(second.from_cache, 4);
+        assert_eq!(
+            first.to_json(&spec).to_pretty(),
+            second.to_json(&spec).to_pretty(),
+            "cached artifact must be byte-identical to the simulated one"
+        );
+        // force re-simulates but numbers cannot move.
+        let forced = run_campaign(&spec, &CampaignOptions { force: true, ..opts.clone() }).unwrap();
+        assert_eq!(forced.executed, 4);
+        assert_eq!(first.to_json(&spec).to_pretty(), forced.to_json(&spec).to_pretty());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn spec_change_invalidates_only_affected_points() {
+        let dir = unique_dir("invalidate");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut spec = tiny_spec("runner-grow");
+        let opts = CampaignOptions {
+            workers: 2,
+            cache_dir: Some(dir.clone()),
+            quiet: true,
+            ..Default::default()
+        };
+        run_campaign(&spec, &opts).unwrap();
+        // Add one rate: old points hit, new points run.
+        if let RateAxis::Explicit(rates) = &mut spec.rates {
+            rates.push(0.02);
+        }
+        let grown = run_campaign(&spec, &opts).unwrap();
+        assert_eq!(grown.from_cache, 4);
+        assert_eq!(grown.executed, 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn saturation_campaign_finds_a_frontier() {
+        let mut spec = tiny_spec("runner-sat");
+        spec.topologies = vec![quarc_core::topology::TopologyKind::Quarc];
+        spec.rates = RateAxis::Saturation { rel_tol: 0.25, max_probes: 12 };
+        let report =
+            run_campaign(&spec, &CampaignOptions { workers: 2, quiet: true, ..Default::default() })
+                .unwrap();
+        assert_eq!(report.results.len(), 1);
+        match &report.results[0].outcome {
+            PointOutcomeKind::Saturation(s) => {
+                assert!(s.sustained > 0.0, "{s:?}");
+                assert!(s.collapsed.is_some(), "{s:?}");
+                assert!((s.probes.len() as u32) <= 12);
+            }
+            other => panic!("unexpected outcome {other:?}"),
+        }
+    }
+
+    #[test]
+    fn artifacts_are_written() {
+        let dir = unique_dir("artifacts");
+        let _ = std::fs::remove_dir_all(&dir);
+        let spec = tiny_spec("runner-artifacts");
+        let report = run_campaign(
+            &spec,
+            &CampaignOptions {
+                workers: 1,
+                out_dir: Some(dir.clone()),
+                quiet: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(report.artifacts.len(), 2);
+        let json_text = std::fs::read_to_string(&report.artifacts[0]).unwrap();
+        let parsed = crate::json::Json::parse(&json_text).unwrap();
+        assert_eq!(
+            parsed
+                .get("points")
+                .and_then(crate::json::Json::as_arr)
+                .map(<[crate::json::Json]>::len),
+            Some(4)
+        );
+        let csv_text = std::fs::read_to_string(&report.artifacts[1]).unwrap();
+        assert_eq!(csv_text.lines().count(), 1 + 4);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,554 @@
+//! Declarative campaign specifications and their expansion into work points.
+//!
+//! A [`CampaignSpec`] names a full experiment grid — the cartesian product of
+//! topology × node count × message length `M` × broadcast fraction `β` ×
+//! buffer depth × link latency, crossed with a rate axis — exactly the shape
+//! of the paper's Figs. 9–11 evaluation. [`CampaignSpec::expand`] flattens
+//! the grid into [`CampaignPoint`]s, the unit the executor shards across
+//! worker threads.
+//!
+//! Every point carries a canonical *content key*; its FNV-1a hash is both the
+//! on-disk cache key and the RNG substream selector, so a point's identity —
+//! and therefore its random stream and its cached result — depends only on
+//! its own parameters, never on grid position, worker count or execution
+//! order.
+
+use crate::hash::fnv1a64;
+use quarc_core::config::NocConfig;
+use quarc_core::topology::TopologyKind;
+use quarc_sim::RunSpec;
+use std::fmt;
+
+/// How the injection-rate axis of the grid is generated.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RateAxis {
+    /// Visit exactly these rates (messages/node/cycle).
+    Explicit(Vec<f64>),
+    /// `steps` geometrically spaced rates in `[lo, hi]`.
+    Geometric {
+        /// Lowest rate.
+        lo: f64,
+        /// Highest rate.
+        hi: f64,
+        /// Number of points (≥ 2).
+        steps: usize,
+    },
+    /// Per-curve geometric axis anchored to the analytic Quarc saturation
+    /// bound for that curve's `(n, M)`: `hi = bound × span`, `lo = hi /
+    /// lo_div`. This is how the paper's figure binaries pick their sweeps.
+    AutoGeometric {
+        /// Multiple of the analytic bound used as the top rate.
+        span: f64,
+        /// `hi / lo` ratio.
+        lo_div: f64,
+        /// Number of points (≥ 2).
+        steps: usize,
+    },
+    /// Adaptive saturation search: instead of walking a fixed grid, bisect
+    /// the injection-rate axis for the saturation frontier, bracketed by the
+    /// analytic bound. One point per curve.
+    Saturation {
+        /// Stop when the bracket width is below `rel_tol × frontier`.
+        rel_tol: f64,
+        /// Hard cap on simulated probes per curve.
+        max_probes: u32,
+    },
+}
+
+/// A declarative experiment campaign: the full grid plus run protocol.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignSpec {
+    /// Campaign name (artifact file stem).
+    pub name: String,
+    /// Topology axis.
+    pub topologies: Vec<TopologyKind>,
+    /// Node-count axis.
+    pub sizes: Vec<usize>,
+    /// Message-length axis (the paper's `M`).
+    pub msg_lens: Vec<usize>,
+    /// Broadcast-fraction axis (the paper's `β`).
+    pub betas: Vec<f64>,
+    /// Input-buffer-depth axis (flits per VC lane).
+    pub buffer_depths: Vec<usize>,
+    /// Link-latency axis (cycles).
+    pub link_latencies: Vec<u64>,
+    /// The injection-rate axis.
+    pub rates: RateAxis,
+    /// Independent replications per point (distinct workload seeds).
+    pub replications: u32,
+    /// Master seed; every replication seed is forked from this.
+    pub base_seed: u64,
+    /// Warmup/measure/drain protocol for every run.
+    pub run: RunSpec,
+}
+
+impl CampaignSpec {
+    /// A campaign with the paper's default axes: one value per axis, the
+    /// default run protocol, two replications.
+    pub fn new(name: impl Into<String>) -> Self {
+        CampaignSpec {
+            name: name.into(),
+            topologies: vec![TopologyKind::Quarc, TopologyKind::Spidergon],
+            sizes: vec![16],
+            msg_lens: vec![16],
+            betas: vec![0.05],
+            buffer_depths: vec![4],
+            link_latencies: vec![1],
+            rates: RateAxis::AutoGeometric { span: 1.1, lo_div: 40.0, steps: 10 },
+            replications: 2,
+            base_seed: 2009, // the paper's year; any constant works
+            run: RunSpec::default(),
+        }
+    }
+
+    /// Expand the grid into executable points. Mesh × `β > 0` combinations
+    /// are dropped (the mesh model is unicast-only) and reported in
+    /// [`Expansion::skipped`]; invalid node counts and empty axes are errors.
+    pub fn expand(&self) -> Result<Expansion, SpecError> {
+        if self.name.is_empty() || !self.name.chars().all(valid_name_char) {
+            return Err(SpecError::new("name must be non-empty and use only [a-zA-Z0-9._-]"));
+        }
+        for (axis, empty) in [
+            ("topologies", self.topologies.is_empty()),
+            ("sizes", self.sizes.is_empty()),
+            ("msg_lens", self.msg_lens.is_empty()),
+            ("betas", self.betas.is_empty()),
+            ("buffer_depths", self.buffer_depths.is_empty()),
+            ("link_latencies", self.link_latencies.is_empty()),
+        ] {
+            if empty {
+                return Err(SpecError::new_owned(format!("axis {axis} is empty")));
+            }
+        }
+        if self.replications == 0 {
+            return Err(SpecError::new("replications must be at least 1"));
+        }
+        match &self.rates {
+            RateAxis::Explicit(rates) => {
+                if rates.is_empty() || rates.iter().any(|r| !(*r > 0.0)) {
+                    return Err(SpecError::new("explicit rates must be positive"));
+                }
+            }
+            RateAxis::Geometric { lo, hi, steps } => {
+                if !(*lo > 0.0 && hi > lo && *steps >= 2) {
+                    return Err(SpecError::new("geometric axis needs 0 < lo < hi, steps >= 2"));
+                }
+            }
+            RateAxis::AutoGeometric { span, lo_div, steps } => {
+                if !(*span > 0.0 && *lo_div > 1.0 && *steps >= 2) {
+                    return Err(SpecError::new(
+                        "auto-geometric axis needs span > 0, lo_div > 1, steps >= 2",
+                    ));
+                }
+            }
+            RateAxis::Saturation { rel_tol, max_probes } => {
+                if !(*rel_tol > 0.0 && *rel_tol < 1.0 && *max_probes >= 4) {
+                    return Err(SpecError::new(
+                        "saturation axis needs 0 < rel_tol < 1, max_probes >= 4",
+                    ));
+                }
+            }
+        }
+
+        let mut points = Vec::new();
+        let mut skipped = Vec::new();
+        for &topology in &self.topologies {
+            for &n in &self.sizes {
+                for &msg_len in &self.msg_lens {
+                    if msg_len < 2 {
+                        return Err(SpecError::new("msg_len must be at least 2 flits"));
+                    }
+                    for &beta in &self.betas {
+                        if !(0.0..=1.0).contains(&beta) {
+                            return Err(SpecError::new("beta must be in [0, 1]"));
+                        }
+                        if topology == TopologyKind::Mesh && beta > 0.0 {
+                            skipped.push(format!(
+                                "mesh-n{n}-m{msg_len}-b{}: the mesh model is unicast-only",
+                                beta_pct(beta)
+                            ));
+                            continue;
+                        }
+                        for &buffer_depth in &self.buffer_depths {
+                            for &link_latency in &self.link_latencies {
+                                let curve = CurveParams {
+                                    topology,
+                                    n,
+                                    msg_len,
+                                    beta,
+                                    buffer_depth,
+                                    link_latency,
+                                };
+                                curve
+                                    .noc()
+                                    .validate()
+                                    .map_err(|e| SpecError::new_owned(format!("{curve}: {e}")))?;
+                                self.push_curve_points(curve, &mut points);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        if points.is_empty() {
+            return Err(SpecError::new("the grid expanded to zero points"));
+        }
+        Ok(Expansion { points, skipped })
+    }
+
+    fn push_curve_points(&self, curve: CurveParams, points: &mut Vec<CampaignPoint>) {
+        let bound = quarc_analytical::quarc_saturation_rate(curve.n, curve.msg_len);
+        match &self.rates {
+            RateAxis::Explicit(rates) => {
+                for &rate in rates {
+                    points.push(self.point(curve, PointWork::Rate(rate), points.len()));
+                }
+            }
+            RateAxis::Geometric { lo, hi, steps } => {
+                for rate in quarc_sim::geometric_rates(*lo, *hi, *steps) {
+                    points.push(self.point(curve, PointWork::Rate(rate), points.len()));
+                }
+            }
+            RateAxis::AutoGeometric { span, lo_div, steps } => {
+                let hi = bound * span;
+                for rate in quarc_sim::geometric_rates(hi / lo_div, hi, *steps) {
+                    points.push(self.point(curve, PointWork::Rate(rate), points.len()));
+                }
+            }
+            RateAxis::Saturation { rel_tol, max_probes } => {
+                let work = PointWork::Saturation {
+                    lo: bound * 0.02,
+                    hi: bound * 2.0,
+                    rel_tol: *rel_tol,
+                    max_probes: *max_probes,
+                };
+                points.push(self.point(curve, work, points.len()));
+            }
+        }
+    }
+
+    fn point(&self, curve: CurveParams, work: PointWork, id: usize) -> CampaignPoint {
+        CampaignPoint { id, curve, work }
+    }
+}
+
+fn valid_name_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-')
+}
+
+fn beta_pct(beta: f64) -> u32 {
+    (beta * 100.0).round() as u32
+}
+
+/// The non-rate coordinates of a grid point (one latency curve).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CurveParams {
+    /// Topology family.
+    pub topology: TopologyKind,
+    /// Node count.
+    pub n: usize,
+    /// Message length in flits.
+    pub msg_len: usize,
+    /// Broadcast fraction.
+    pub beta: f64,
+    /// Input buffer depth (flits per VC lane).
+    pub buffer_depth: usize,
+    /// Link latency (cycles).
+    pub link_latency: u64,
+}
+
+impl CurveParams {
+    /// The network configuration for this curve.
+    pub fn noc(&self) -> NocConfig {
+        let mut cfg = match self.topology {
+            TopologyKind::Quarc => NocConfig::quarc(self.n),
+            TopologyKind::Spidergon => NocConfig::spidergon(self.n),
+            TopologyKind::Mesh => {
+                let mut cfg = NocConfig::mesh(self.n);
+                // XY on a mesh needs no dateline VC.
+                cfg.vcs = 1;
+                cfg
+            }
+        };
+        cfg.buffer_depth = self.buffer_depth;
+        cfg.link_latency = self.link_latency;
+        cfg
+    }
+}
+
+impl fmt::Display for CurveParams {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}-n{}-m{}-b{}-d{}-l{}",
+            self.topology,
+            self.n,
+            self.msg_len,
+            beta_pct(self.beta),
+            self.buffer_depth,
+            self.link_latency
+        )
+    }
+}
+
+/// What a point simulates along the rate axis.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PointWork {
+    /// One fixed-rate run (times `replications`).
+    Rate(f64),
+    /// Bisect `[lo, hi]` for the saturation frontier.
+    Saturation {
+        /// Bracket low end (must be comfortably unsaturated).
+        lo: f64,
+        /// Bracket high end (expected saturated; grown if not).
+        hi: f64,
+        /// Relative bracket-width stop.
+        rel_tol: f64,
+        /// Probe budget.
+        max_probes: u32,
+    },
+}
+
+/// One executable unit of a campaign.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CampaignPoint {
+    /// Position in expansion order; fixes output ordering only (never
+    /// seeding or caching).
+    pub id: usize,
+    /// Grid coordinates.
+    pub curve: CurveParams,
+    /// Rate-axis work.
+    pub work: PointWork,
+}
+
+impl CampaignPoint {
+    /// The canonical content key: every parameter that influences this
+    /// point's numbers, in a fixed textual form. Bump `v1` when any
+    /// result-affecting behaviour changes (RNG algorithm, run protocol,
+    /// merge rules) — it invalidates every existing cache entry.
+    pub fn content_key(&self, spec: &CampaignSpec) -> String {
+        let c = &self.curve;
+        let work = match self.work {
+            PointWork::Rate(rate) => format!("rate={rate}"),
+            PointWork::Saturation { lo, hi, rel_tol, max_probes } => {
+                format!("sat lo={lo} hi={hi} tol={rel_tol} probes={max_probes}")
+            }
+        };
+        // Saturation searches probe with replication 0's seed only, so
+        // `spec.replications` cannot affect their outcome — pin the key's
+        // reps component to 1 for them, or changing --replications would
+        // spuriously invalidate every cached frontier point.
+        let effective_reps = match self.work {
+            PointWork::Rate(_) => spec.replications,
+            PointWork::Saturation { .. } => 1,
+        };
+        format!(
+            "quarc-campaign v1|{}|n={} m={} beta={} depth={} link={}|{}|reps={} seed={}|run w={} m={} d={} lat={} bk={}",
+            c.topology,
+            c.n,
+            c.msg_len,
+            c.beta,
+            c.buffer_depth,
+            c.link_latency,
+            work,
+            effective_reps,
+            spec.base_seed,
+            spec.run.warmup,
+            spec.run.measure,
+            spec.run.drain,
+            spec.run.latency_cap,
+            spec.run.backlog_cap,
+        )
+    }
+
+    /// FNV-1a hash of the content key: the cache key and RNG substream id.
+    pub fn content_hash(&self, spec: &CampaignSpec) -> u64 {
+        fnv1a64(self.content_key(spec).as_bytes())
+    }
+}
+
+/// The result of expanding a grid.
+#[derive(Debug, Clone)]
+pub struct Expansion {
+    /// Executable points, in deterministic grid order.
+    pub points: Vec<CampaignPoint>,
+    /// Human-readable descriptions of dropped combinations.
+    pub skipped: Vec<String>,
+}
+
+/// A malformed campaign specification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecError(String);
+
+impl SpecError {
+    fn new(msg: &str) -> Self {
+        SpecError(msg.to_string())
+    }
+
+    fn new_owned(msg: String) -> Self {
+        SpecError(msg)
+    }
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid campaign spec: {}", self.0)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> CampaignSpec {
+        let mut spec = CampaignSpec::new("unit");
+        spec.sizes = vec![8, 16];
+        spec.msg_lens = vec![4];
+        spec.betas = vec![0.0];
+        spec.rates = RateAxis::Explicit(vec![0.005, 0.01]);
+        spec
+    }
+
+    #[test]
+    fn grid_expands_to_product() {
+        let exp = small().expand().unwrap();
+        // 2 topologies × 2 sizes × 1 M × 1 β × 1 depth × 1 link × 2 rates.
+        assert_eq!(exp.points.len(), 8);
+        assert!(exp.skipped.is_empty());
+        for (i, p) in exp.points.iter().enumerate() {
+            assert_eq!(p.id, i);
+        }
+    }
+
+    #[test]
+    fn mesh_beta_combinations_are_skipped_not_fatal() {
+        let mut spec = small();
+        spec.topologies = vec![TopologyKind::Quarc, TopologyKind::Mesh];
+        spec.betas = vec![0.0, 0.1];
+        let exp = spec.expand().unwrap();
+        // Quarc: 2 sizes × 2 betas × 2 rates = 8; Mesh: 2 sizes × 1 beta × 2.
+        assert_eq!(exp.points.len(), 12);
+        assert_eq!(exp.skipped.len(), 2);
+        assert!(exp.skipped[0].contains("unicast-only"));
+    }
+
+    #[test]
+    fn mesh_points_get_single_vc_configs() {
+        let mut spec = small();
+        spec.topologies = vec![TopologyKind::Mesh];
+        let exp = spec.expand().unwrap();
+        assert!(exp.points.iter().all(|p| p.curve.noc().vcs == 1));
+    }
+
+    #[test]
+    fn content_hash_ignores_grid_position() {
+        let spec_a = small();
+        let mut spec_b = small();
+        // Reversing an axis permutes ids but must not change any hash.
+        spec_b.sizes.reverse();
+        let a = spec_a.expand().unwrap();
+        let b = spec_b.expand().unwrap();
+        let mut ha: Vec<u64> = a.points.iter().map(|p| p.content_hash(&spec_a)).collect();
+        let mut hb: Vec<u64> = b.points.iter().map(|p| p.content_hash(&spec_b)).collect();
+        assert_ne!(ha, hb, "order should differ before sorting");
+        ha.sort_unstable();
+        hb.sort_unstable();
+        assert_eq!(ha, hb);
+    }
+
+    #[test]
+    fn content_hash_depends_on_run_protocol_and_seed() {
+        let spec = small();
+        let exp = spec.expand().unwrap();
+        let h0 = exp.points[0].content_hash(&spec);
+        let mut longer = spec.clone();
+        longer.run.measure += 1;
+        assert_ne!(h0, exp.points[0].content_hash(&longer));
+        let mut reseeded = spec.clone();
+        reseeded.base_seed += 1;
+        assert_ne!(h0, exp.points[0].content_hash(&reseeded));
+    }
+
+    #[test]
+    fn bad_specs_are_rejected() {
+        let mut bad = small();
+        bad.sizes = vec![];
+        assert!(bad.expand().is_err());
+
+        let mut bad = small();
+        bad.replications = 0;
+        assert!(bad.expand().is_err());
+
+        let mut bad = small();
+        bad.rates = RateAxis::Explicit(vec![]);
+        assert!(bad.expand().is_err());
+
+        let mut bad = small();
+        bad.rates = RateAxis::Geometric { lo: 0.1, hi: 0.05, steps: 4 };
+        assert!(bad.expand().is_err());
+
+        let mut bad = small();
+        bad.name = "has space".into();
+        assert!(bad.expand().is_err());
+
+        let mut bad = small();
+        bad.sizes = vec![18]; // not a legal quarc/spidergon-with-quarc size
+        assert!(bad.expand().is_err());
+
+        let mut bad = small();
+        bad.betas = vec![1.5];
+        assert!(bad.expand().is_err());
+    }
+
+    #[test]
+    fn saturation_keys_ignore_replications() {
+        // Searches probe with replication 0 only; changing --replications
+        // must not invalidate cached frontier points (but must invalidate
+        // fixed-rate points, whose merge really does depend on it).
+        let mut sat = small();
+        sat.rates = RateAxis::Saturation { rel_tol: 0.1, max_probes: 16 };
+        let exp = sat.expand().unwrap();
+        let mut more_reps = sat.clone();
+        more_reps.replications += 3;
+        for p in &exp.points {
+            assert_eq!(p.content_hash(&sat), p.content_hash(&more_reps));
+        }
+
+        let grid = small();
+        let mut grid_more = grid.clone();
+        grid_more.replications += 3;
+        let gp = grid.expand().unwrap().points[0];
+        assert_ne!(gp.content_hash(&grid), gp.content_hash(&grid_more));
+    }
+
+    #[test]
+    fn saturation_axis_yields_one_point_per_curve() {
+        let mut spec = small();
+        spec.rates = RateAxis::Saturation { rel_tol: 0.1, max_probes: 16 };
+        let exp = spec.expand().unwrap();
+        assert_eq!(exp.points.len(), 4); // 2 topologies × 2 sizes
+        for p in &exp.points {
+            match p.work {
+                PointWork::Saturation { lo, hi, .. } => assert!(0.0 < lo && lo < hi),
+                PointWork::Rate(_) => panic!("expected saturation work"),
+            }
+        }
+    }
+
+    #[test]
+    fn auto_geometric_tracks_the_analytic_bound() {
+        let mut spec = small();
+        spec.rates = RateAxis::AutoGeometric { span: 1.1, lo_div: 40.0, steps: 5 };
+        let exp = spec.expand().unwrap();
+        assert_eq!(exp.points.len(), 2 * 2 * 5);
+        for p in &exp.points {
+            let bound = quarc_analytical::quarc_saturation_rate(p.curve.n, p.curve.msg_len);
+            match p.work {
+                PointWork::Rate(r) => assert!(r <= bound * 1.1 + 1e-12 && r > 0.0),
+                _ => panic!("expected rate work"),
+            }
+        }
+    }
+}

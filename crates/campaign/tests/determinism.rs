@@ -1,0 +1,82 @@
+//! The campaign determinism guarantee, held to bit-equality: a campaign run
+//! on N workers produces byte-identical artifacts to the same campaign run
+//! on one worker — across multiple topologies and replications, for both
+//! fixed-grid and adaptive-saturation rate axes.
+
+use quarc_campaign::{run_campaign, CampaignOptions, CampaignSpec, RateAxis};
+use quarc_core::topology::TopologyKind;
+use quarc_sim::RunSpec;
+
+fn quick_run() -> RunSpec {
+    RunSpec { warmup: 150, measure: 1_200, drain: 2_400, ..Default::default() }
+}
+
+fn opts(workers: usize) -> CampaignOptions {
+    CampaignOptions { workers, quiet: true, ..Default::default() }
+}
+
+/// Render both artifacts for a run; this is exactly what lands on disk.
+fn artifacts(spec: &CampaignSpec, workers: usize) -> (String, String) {
+    let report = run_campaign(spec, &opts(workers)).expect("campaign runs");
+    assert!(report.results.len() > 1);
+    (report.to_json(spec).to_pretty(), report.csv())
+}
+
+#[test]
+fn parallel_grid_campaign_is_bit_identical_to_serial() {
+    let mut spec = CampaignSpec::new("determinism-grid");
+    // ≥ 2 topologies and ≥ 2 replications, as the guarantee is stated.
+    spec.topologies = vec![TopologyKind::Quarc, TopologyKind::Spidergon];
+    spec.sizes = vec![8, 16];
+    spec.msg_lens = vec![4];
+    spec.betas = vec![0.0, 0.05];
+    spec.rates = RateAxis::Explicit(vec![0.004, 0.008, 0.012]);
+    spec.replications = 2;
+    spec.run = quick_run();
+
+    let (json_serial, csv_serial) = artifacts(&spec, 1);
+    for workers in [2, 4, 8] {
+        let (json_par, csv_par) = artifacts(&spec, workers);
+        assert_eq!(json_serial, json_par, "JSON artifact diverged at {workers} workers");
+        assert_eq!(csv_serial, csv_par, "CSV artifact diverged at {workers} workers");
+    }
+    // 2 topologies × 2 sizes × 2 betas × 3 rates = 24 points measured twice
+    // each; sanity-check the scale so a silent expansion bug can't pass.
+    assert_eq!(csv_serial.lines().count(), 1 + 24);
+}
+
+#[test]
+fn parallel_saturation_campaign_is_bit_identical_to_serial() {
+    let mut spec = CampaignSpec::new("determinism-sat");
+    spec.topologies = vec![TopologyKind::Quarc, TopologyKind::Spidergon];
+    spec.sizes = vec![8];
+    spec.msg_lens = vec![4];
+    spec.betas = vec![0.0];
+    spec.rates = RateAxis::Saturation { rel_tol: 0.3, max_probes: 8 };
+    spec.replications = 2;
+    spec.run = quick_run();
+
+    let (json_serial, csv_serial) = artifacts(&spec, 1);
+    let (json_par, csv_par) = artifacts(&spec, 4);
+    assert_eq!(json_serial, json_par);
+    assert_eq!(csv_serial, csv_par);
+}
+
+#[test]
+fn mesh_points_participate_in_parallel_campaigns() {
+    // The third topology family (build_network's mesh arm used to panic):
+    // a grid mixing all three families must run and stay deterministic.
+    let mut spec = CampaignSpec::new("determinism-mesh");
+    spec.topologies = vec![TopologyKind::Quarc, TopologyKind::Spidergon, TopologyKind::Mesh];
+    spec.sizes = vec![16];
+    spec.msg_lens = vec![4];
+    spec.betas = vec![0.0];
+    spec.rates = RateAxis::Explicit(vec![0.005, 0.01]);
+    spec.replications = 2;
+    spec.run = quick_run();
+
+    let (json_serial, _) = artifacts(&spec, 1);
+    let (json_par, _) = artifacts(&spec, 3);
+    assert_eq!(json_serial, json_par);
+    assert!(json_serial.contains("\"topology\": \"mesh\""));
+}

@@ -145,13 +145,7 @@ impl NocConfig {
 
 impl Default for NocConfig {
     fn default() -> Self {
-        NocConfig {
-            kind: TopologyKind::Quarc,
-            n: 16,
-            vcs: 2,
-            buffer_depth: 4,
-            link_latency: 1,
-        }
+        NocConfig { kind: TopologyKind::Quarc, n: 16, vcs: 2, buffer_depth: 4, link_latency: 1 }
     }
 }
 

@@ -59,8 +59,8 @@ pub mod prelude {
         spidergon_hops, spidergon_route, ChainSeed, RouteAction,
     };
     pub use crate::topology::{
-        MeshOut, MeshTopology, QuarcIn, QuarcOut, QuarcTopology, SpiIn, SpiOut,
-        SpidergonTopology, TopologyKind,
+        MeshOut, MeshTopology, QuarcIn, QuarcOut, QuarcTopology, SpiIn, SpiOut, SpidergonTopology,
+        TopologyKind,
     };
     pub use crate::torus::{TorusOut, TorusTopology};
     pub use crate::vc::{vc_after_rim_hop, vc_for_cross_hop, INJECTION_VC};

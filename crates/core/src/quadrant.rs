@@ -49,12 +49,8 @@ pub enum Quadrant {
 
 impl Quadrant {
     /// All four quadrants, in the order the transceiver scans its queues.
-    pub const ALL: [Quadrant; 4] = [
-        Quadrant::Right,
-        Quadrant::CrossRight,
-        Quadrant::CrossLeft,
-        Quadrant::Left,
-    ];
+    pub const ALL: [Quadrant; 4] =
+        [Quadrant::Right, Quadrant::CrossRight, Quadrant::CrossLeft, Quadrant::Left];
 
     /// Stable index for per-quadrant arrays.
     #[inline]
@@ -204,10 +200,8 @@ pub fn broadcast_branches(ring: &Ring, src: NodeId) -> Vec<Branch> {
     });
 
     // Cross-left: transit the antipode, then CCW from d = 2q − 1 down to q + 1.
-    let deliveries: Vec<NodeId> = ((q + 1)..2 * q)
-        .rev()
-        .map(|d| ring.step_n(src, RingDir::Cw, d))
-        .collect();
+    let deliveries: Vec<NodeId> =
+        ((q + 1)..2 * q).rev().map(|d| ring.step_n(src, RingDir::Cw, d)).collect();
     if let Some(&dst) = deliveries.last() {
         branches.push(Branch {
             quadrant: Quadrant::CrossLeft,
@@ -262,10 +256,7 @@ pub fn unicast_path_via(ring: &Ring, src: NodeId, quad: Quadrant, dst: NodeId) -
 /// where every node is a target (see `multicast_covers_broadcast` test).
 pub fn multicast_branches(ring: &Ring, src: NodeId, targets: &[NodeId]) -> Vec<Branch> {
     assert!(ring.len() % 4 == 0, "Quarc requires n ≡ 0 (mod 4)");
-    assert!(
-        ring.quarter() <= 16,
-        "bitstring field is 16 bits; n ≤ 64 (paper §2.6)"
-    );
+    assert!(ring.quarter() <= 16, "bitstring field is 16 bits; n ≤ 64 (paper §2.6)");
     let mut by_quadrant: [Vec<NodeId>; 4] = Default::default();
     for &t in targets {
         if t != src {
@@ -280,10 +271,8 @@ pub fn multicast_branches(ring: &Ring, src: NodeId, targets: &[NodeId]) -> Vec<B
             continue;
         }
         // Furthest target = the one needing the most hops within this quadrant.
-        let dst = *quad_targets
-            .iter()
-            .max_by_key(|&&t| unicast_hops(ring, src, t))
-            .expect("non-empty");
+        let dst =
+            *quad_targets.iter().max_by_key(|&&t| unicast_hops(ring, src, t)).expect("non-empty");
         let walk = unicast_path_via(ring, src, quad, dst);
         let mut bitstring = 0u16;
         let mut deliveries = Vec::with_capacity(quad_targets.len());
@@ -409,11 +398,7 @@ mod tests {
         for shift in 0..16usize {
             for d in 1..16usize {
                 let a = quadrant_of(&ring, NodeId(0), NodeId::new(d));
-                let b = quadrant_of(
-                    &ring,
-                    NodeId::new(shift),
-                    NodeId::new((shift + d) % 16),
-                );
+                let b = quadrant_of(&ring, NodeId::new(shift), NodeId::new((shift + d) % 16));
                 assert_eq!(a, b, "shift {shift} d {d}");
             }
         }

@@ -68,7 +68,12 @@ pub fn quarc_injection_out(quad: Quadrant) -> QuarcOut {
 /// Matches the paper's §2.3.2/§2.5: rim and cross-right inputs may deliver or
 /// continue in the *same* direction; the cross-left input is transit-only;
 /// local ingress ports go straight to their quadrant's link.
-pub fn quarc_route(ring: &Ring, node: NodeId, input: QuarcIn, meta: &PacketMeta) -> RouteAction<QuarcOut> {
+pub fn quarc_route(
+    ring: &Ring,
+    node: NodeId,
+    input: QuarcIn,
+    meta: &PacketMeta,
+) -> RouteAction<QuarcOut> {
     let continue_out = match input {
         QuarcIn::Local(q) => return RouteAction::Forward(quarc_injection_out(q)),
         QuarcIn::RimCw => QuarcOut::RimCw,

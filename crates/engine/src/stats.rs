@@ -83,8 +83,8 @@ impl OnlineStats {
         let total = self.count + other.count;
         let delta = other.mean - self.mean;
         self.mean += delta * other.count as f64 / total as f64;
-        self.m2 += other.m2
-            + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
+        self.m2 +=
+            other.m2 + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
         self.count = total;
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
@@ -216,12 +216,8 @@ impl BatchMeans {
             return None;
         }
         let mean = self.mean().expect("non-empty");
-        let var = self
-            .batch_means
-            .iter()
-            .map(|m| (m - mean) * (m - mean))
-            .sum::<f64>()
-            / (k - 1) as f64;
+        let var =
+            self.batch_means.iter().map(|m| (m - mean) * (m - mean)).sum::<f64>() / (k - 1) as f64;
         Some((var / k as f64).sqrt())
     }
 

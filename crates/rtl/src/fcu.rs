@@ -135,15 +135,11 @@ mod tests {
         let sel = OutSel { deliver: true, forward: Some(1) };
         let h = fcu.comb(Some(1), Some(header_word()), |_| sel).unwrap();
         fcu.commit(&h);
-        let b = fcu
-            .comb(Some(1), Some(body_word()), |_| panic!("body must not re-route"))
-            .unwrap();
+        let b = fcu.comb(Some(1), Some(body_word()), |_| panic!("body must not re-route")).unwrap();
         assert_eq!(b.sel, sel);
         fcu.commit(&b);
         assert_eq!(fcu.entry(1), Some(sel));
-        let t = fcu
-            .comb(Some(1), Some(tail_word()), |_| panic!("tail must not re-route"))
-            .unwrap();
+        let t = fcu.comb(Some(1), Some(tail_word()), |_| panic!("tail must not re-route")).unwrap();
         assert!(t.is_tail);
         fcu.commit(&t);
         assert_eq!(fcu.entry(1), None);

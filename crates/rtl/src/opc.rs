@@ -89,11 +89,10 @@ impl Opc {
                     // Allocate an available channel, honouring any dateline
                     // constraint.
                     let candidate = match r.required_vc {
-                        Some(vc) => {
-                            (self.vc_owner[vc].is_none() && rev.vc_ready(vc)).then_some(vc)
+                        Some(vc) => (self.vc_owner[vc].is_none() && rev.vc_ready(vc)).then_some(vc),
+                        None => {
+                            (0..NUM_VCS).find(|&vc| self.vc_owner[vc].is_none() && rev.vc_ready(vc))
                         }
-                        None => (0..NUM_VCS)
-                            .find(|&vc| self.vc_owner[vc].is_none() && rev.vc_ready(vc)),
                     };
                     if let Some(vc) = candidate {
                         return Some(OpcGrant { req: idx, vc });

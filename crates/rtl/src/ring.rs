@@ -281,8 +281,7 @@ mod tests {
             assert!(ring.inject(NodeId(0), quad, &frame));
         }
         ring.run_until_idle(400);
-        let receivers: HashSet<NodeId> =
-            ring.received_frames().iter().map(|f| f.node).collect();
+        let receivers: HashSet<NodeId> = ring.received_frames().iter().map(|f| f.node).collect();
         assert_eq!(receivers, targets.iter().copied().collect());
     }
 
@@ -299,8 +298,7 @@ mod tests {
         let frames = ring.received_frames();
         assert_eq!(frames.len(), n * (n - 1));
         // Each (src, receiver) pair exactly once.
-        let pairs: HashSet<(NodeId, NodeId)> =
-            frames.iter().map(|f| (f.src, f.node)).collect();
+        let pairs: HashSet<(NodeId, NodeId)> = frames.iter().map(|f| (f.src, f.node)).collect();
         assert_eq!(pairs.len(), n * (n - 1));
     }
 
@@ -315,12 +313,7 @@ mod tests {
             ring.inject(NodeId(0), quad, &frame);
         }
         ring.run_until_idle(500);
-        let last = ring
-            .received_frames()
-            .iter()
-            .map(|f| f.completed_at)
-            .max()
-            .unwrap();
+        let last = ring.received_frames().iter().map(|f| f.completed_at).max().unwrap();
         let pipeline_bound = (n as u64 / 4) + m as u64 + 8; // slack for handshake stages
         assert!(
             last <= pipeline_bound,

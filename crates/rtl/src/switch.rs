@@ -102,9 +102,7 @@ fn route_word(ring: &Ring, node: NodeId, port: usize, word: u64) -> OutSel {
     match quarc_route(ring, node, NET_IN[port], &meta) {
         RouteAction::Deliver => OutSel { deliver: true, forward: None },
         RouteAction::Forward(out) => OutSel { deliver: false, forward: Some(out.index()) },
-        RouteAction::DeliverAndForward(out) => {
-            OutSel { deliver: true, forward: Some(out.index()) }
-        }
+        RouteAction::DeliverAndForward(out) => OutSel { deliver: true, forward: Some(out.index()) },
     }
 }
 
@@ -263,8 +261,7 @@ impl QuarcSwitchRtl {
                     Feeder::Net(p) => actions[p].as_ref().and_then(|r| {
                         // Rim inputs carry their dateline class in the lane
                         // index; cross inputs reset to the injection class.
-                        let in_class =
-                            if p < 2 { VcId(r.lane as u8) } else { INJECTION_VC };
+                        let in_class = if p < 2 { VcId(r.lane as u8) } else { INJECTION_VC };
                         (r.sel.forward == Some(o)).then_some(OpcReq {
                             lane: r.lane,
                             is_header: r.is_header,
@@ -325,8 +322,7 @@ impl QuarcSwitchRtl {
                 }
                 Feeder::Local(q) => {
                     let w = self.local_q[q].head().expect("grant implies a word");
-                    out_fwd[o] =
-                        LlFwd::beat(w, opc_req.is_header, opc_req.is_tail, grant.vc as u8);
+                    out_fwd[o] = LlFwd::beat(w, opc_req.is_header, opc_req.is_tail, grant.vc as u8);
                     pop_local[q] = true;
                 }
             }

@@ -145,10 +145,10 @@ mod tests {
         // SOF/EOF bracket must be honoured independently.
         let mut wc = WriteController::new();
         let beats = [
-            LlFwd::beat(10, true, false, 0),  // frame A SOF (vc0)
-            LlFwd::beat(20, true, false, 1),  // frame B SOF (vc1)
-            LlFwd::beat(11, false, true, 0),  // frame A EOF
-            LlFwd::beat(21, false, true, 1),  // frame B EOF
+            LlFwd::beat(10, true, false, 0), // frame A SOF (vc0)
+            LlFwd::beat(20, true, false, 1), // frame B SOF (vc1)
+            LlFwd::beat(11, false, true, 0), // frame A EOF
+            LlFwd::beat(21, false, true, 1), // frame B EOF
         ];
         for b in beats {
             assert!(wc.comb(&b).write_enable, "word {:#x} dropped", b.data);

@@ -61,9 +61,7 @@ pub fn unicast_frames(ring: &Ring, src: NodeId, dst: NodeId, len: usize) -> Vec<
 pub fn broadcast_frames(ring: &Ring, src: NodeId, len: usize) -> Vec<(usize, Vec<u64>)> {
     broadcast_branches(ring, src)
         .into_iter()
-        .map(|b| {
-            (b.quadrant.index(), build_frame(TrafficClass::Broadcast, src, b.dst, 0, len))
-        })
+        .map(|b| (b.quadrant.index(), build_frame(TrafficClass::Broadcast, src, b.dst, 0, len)))
         .collect()
 }
 
@@ -77,10 +75,7 @@ pub fn multicast_frames(
     multicast_branches(ring, src, targets)
         .into_iter()
         .map(|b| {
-            (
-                b.quadrant.index(),
-                build_frame(TrafficClass::Multicast, src, b.dst, b.bitstring, len),
-            )
+            (b.quadrant.index(), build_frame(TrafficClass::Multicast, src, b.dst, b.bitstring, len))
         })
         .collect()
 }
@@ -112,8 +107,7 @@ mod tests {
         let ring = Ring::new(16);
         let frames = broadcast_frames(&ring, NodeId(0), 4);
         assert_eq!(frames.len(), 4);
-        let quads: std::collections::HashSet<usize> =
-            frames.iter().map(|(q, _)| *q).collect();
+        let quads: std::collections::HashSet<usize> = frames.iter().map(|(q, _)| *q).collect();
         assert_eq!(quads.len(), 4, "one frame per quadrant");
         // Destinations per Fig. 6.
         let mut dsts: Vec<u16> = frames

@@ -29,7 +29,7 @@ pub trait NocSim {
 }
 
 /// Parameters of one measured run.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RunSpec {
     /// Cycles simulated before measurement starts.
     pub warmup: Cycle,

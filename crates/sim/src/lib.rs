@@ -39,4 +39,7 @@ pub use driver::{run, NocSim, RunResult, RunSpec};
 pub use metrics::Metrics;
 pub use quarc_net::QuarcNetwork;
 pub use spider_net::SpidergonNetwork;
-pub use sweep::{build_network, curve_csv, geometric_rates, latency_curve, CurvePoint, CurveSpec};
+pub use sweep::{
+    build_network, curve_csv, geometric_rates, latency_curve, run_point, CurvePoint, CurveSpec,
+    PointOutcome, PointSpec,
+};

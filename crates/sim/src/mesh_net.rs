@@ -119,8 +119,7 @@ impl MeshNetwork {
         let links = (0..n * 4)
             .map(|i| {
                 let (node, o) = (i / 4, i % 4);
-                topo.link_target(NodeId::new(node), NET_OUT[o])
-                    .map(|_| Link::new(cfg.link_latency))
+                topo.link_target(NodeId::new(node), NET_OUT[o]).map(|_| Link::new(cfg.link_latency))
             })
             .collect();
         MeshNetwork {
@@ -223,9 +222,8 @@ impl MeshNetwork {
         reqs[4] = self.gather_local(node);
         for o in 0..5 {
             // All five sources are arbitration candidates at every output.
-            let winner = self.nodes[node].rr_out[o].pick(5, |slot| {
-                matches!(reqs[slot], Some(r) if r.plan.out == o)
-            });
+            let winner = self.nodes[node].rr_out[o]
+                .pick(5, |slot| matches!(reqs[slot], Some(r) if r.plan.out == o));
             if let Some(slot) = winner {
                 let req = reqs[slot].take().expect("winner exists");
                 transfers.push(Transfer { node, req });
@@ -295,10 +293,8 @@ impl NocSim for MeshNetwork {
             for o in 0..4 {
                 let arrived = self.links[node * 4 + o].as_mut().and_then(Link::step);
                 if let Some(tf) = arrived {
-                    let to = self
-                        .topo
-                        .link_target(NodeId::new(node), NET_OUT[o])
-                        .expect("link exists");
+                    let to =
+                        self.topo.link_target(NodeId::new(node), NET_OUT[o]).expect("link exists");
                     self.nodes[to.index()].in_buf[arrival_port(NET_OUT[o])][tf.vc.index()]
                         .push(tf.flit);
                 }

@@ -89,10 +89,9 @@ impl Metrics {
         expected: usize,
     ) {
         *self.created.entry(class).or_default() += 1;
-        let prev = self.messages.insert(
-            message,
-            MessageTrack { class, created_at, expected, received: 0 },
-        );
+        let prev = self
+            .messages
+            .insert(message, MessageTrack { class, created_at, expected, received: 0 });
         assert!(prev.is_none(), "message id reused");
     }
 
@@ -120,10 +119,8 @@ impl Metrics {
             assert_eq!(flit.meta.dst, node, "unicast delivered to the wrong node");
         }
 
-        let track = self
-            .messages
-            .get_mut(&flit.meta.message)
-            .expect("delivery for unregistered message");
+        let track =
+            self.messages.get_mut(&flit.meta.message).expect("delivery for unregistered message");
         track.received += 1;
         assert!(
             track.received <= track.expected,
@@ -306,7 +303,11 @@ mod tests {
         let mut m = Metrics::new();
         let pm = meta(0, 0, TrafficClass::Unicast, 1, 4);
         m.record_created(pm.message, pm.class, 0, 1);
-        m.record_flit_delivery(5, NodeId(1), &Flit { meta: pm, seq: 1, kind: FlitKind::Body, payload: 0 });
+        m.record_flit_delivery(
+            5,
+            NodeId(1),
+            &Flit { meta: pm, seq: 1, kind: FlitKind::Body, payload: 0 },
+        );
     }
 
     #[test]

@@ -288,14 +288,8 @@ mod tests {
         assert_eq!(pkts.len(), 3);
         assert_eq!(receivers, 15);
         let classes: Vec<_> = pkts.iter().map(|p| p[0].meta.class).collect();
-        assert_eq!(
-            classes.iter().filter(|c| **c == TrafficClass::ChainRim).count(),
-            2
-        );
-        assert_eq!(
-            classes.iter().filter(|c| **c == TrafficClass::ChainCross).count(),
-            1
-        );
+        assert_eq!(classes.iter().filter(|c| **c == TrafficClass::ChainRim).count(), 2);
+        assert_eq!(classes.iter().filter(|c| **c == TrafficClass::ChainCross).count(), 1);
     }
 
     #[test]

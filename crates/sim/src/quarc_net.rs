@@ -172,8 +172,7 @@ impl QuarcNetwork {
         assert_eq!(cfg.kind, TopologyKind::Quarc, "config is not a Quarc network");
         cfg.validate().expect("invalid configuration");
         let topo = QuarcTopology::new(cfg.n);
-        let nodes =
-            (0..cfg.n).map(|_| NodeState::new(cfg.vcs, cfg.buffer_depth, policy)).collect();
+        let nodes = (0..cfg.n).map(|_| NodeState::new(cfg.vcs, cfg.buffer_depth, policy)).collect();
         let links = (0..cfg.n * 4).map(|_| Link::new(cfg.link_latency)).collect();
         QuarcNetwork {
             topo,
@@ -234,10 +233,8 @@ impl QuarcNetwork {
                 return 0;
             }
         }
-        let (to, tin) = self
-            .topo
-            .link_target(NodeId::new(node), NET_OUT[out])
-            .expect("network output");
+        let (to, tin) =
+            self.topo.link_target(NodeId::new(node), NET_OUT[out]).expect("network output");
         let buffered = &self.nodes[to.index()].in_buf[tin.index()][vc.index()];
         buffered.free().saturating_sub(self.links[lid].in_flight(vc))
     }
@@ -272,7 +269,14 @@ impl QuarcNetwork {
     }
 
     /// Whether `src` may move a flit to `(out, vc)` under wormhole ownership.
-    fn ownership_allows(&self, node: usize, out: usize, vc: VcId, src: Src, is_header: bool) -> bool {
+    fn ownership_allows(
+        &self,
+        node: usize,
+        out: usize,
+        vc: VcId,
+        src: Src,
+        is_header: bool,
+    ) -> bool {
         match self.nodes[node].out_owner[out][vc.index()] {
             Some(owner) => owner == src && !is_header,
             None => is_header,
@@ -588,10 +592,7 @@ mod tests {
         let d = unicast_hops(&QuarcTopology::new(16).ring().clone(), NodeId(0), NodeId(3)) as f64;
         let ideal = d + 7.0 + 1.0;
         let got = m.unicast_latency().mean();
-        assert!(
-            (got - ideal).abs() <= 1.0,
-            "latency {got} vs ideal {ideal} (d = {d})"
-        );
+        assert!((got - ideal).abs() <= 1.0, "latency {got} vs ideal {ideal} (d = {d})");
     }
 
     #[test]
@@ -697,14 +698,8 @@ mod tests {
         }
         assert!(net.quiesced(), "network failed to drain (possible deadlock)");
         let m = net.metrics();
-        assert_eq!(
-            m.created(TrafficClass::Unicast),
-            m.completed(TrafficClass::Unicast)
-        );
-        assert_eq!(
-            m.created(TrafficClass::Broadcast),
-            m.completed(TrafficClass::Broadcast)
-        );
+        assert_eq!(m.created(TrafficClass::Unicast), m.completed(TrafficClass::Unicast));
+        assert_eq!(m.created(TrafficClass::Broadcast), m.completed(TrafficClass::Broadcast));
         assert!(m.created(TrafficClass::Unicast) > 500);
     }
 

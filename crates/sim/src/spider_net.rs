@@ -180,10 +180,8 @@ impl SpidergonNetwork {
 
     /// Free downstream space for `(node, out, vc)`, minus in-flight flits.
     fn downstream_free(&self, node: usize, out: usize, vc: VcId) -> usize {
-        let (to, tin) = self
-            .topo
-            .link_target(NodeId::new(node), NET_OUT[out])
-            .expect("network output");
+        let (to, tin) =
+            self.topo.link_target(NodeId::new(node), NET_OUT[out]).expect("network output");
         let buffered = &self.nodes[to.index()].in_buf[tin.index()][vc.index()];
         buffered.free().saturating_sub(self.links[node * 3 + out].in_flight(vc))
     }

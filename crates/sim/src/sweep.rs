@@ -1,20 +1,31 @@
 //! Load sweeps: the latency-vs-injection-rate curves of Figs. 9–11.
+//!
+//! The unit of work is [`run_point`] — one fully-specified `(network,
+//! workload, rate)` simulation. [`latency_curve`] walks a rate axis serially
+//! with early saturation cut-off; `quarc-campaign` shards the same points
+//! across worker threads, so any change to how a point is built or seeded
+//! must keep `run_point` a pure function of its arguments.
 
 use crate::driver::{run, NocSim, RunResult, RunSpec};
+use crate::mesh_net::MeshNetwork;
 use crate::quarc_net::QuarcNetwork;
 use crate::spider_net::SpidergonNetwork;
 use quarc_core::config::NocConfig;
 use quarc_core::topology::TopologyKind;
+use quarc_engine::stats::LatencyHistogram;
 use quarc_workloads::{Synthetic, SyntheticConfig};
 
 /// Instantiate the simulator matching a configuration.
-pub fn build_network(cfg: NocConfig) -> Box<dyn NocSim> {
+///
+/// The box is `Send` so whole simulations can be handed to worker threads
+/// (none of the network models hold thread-local state). Note the mesh model
+/// rounds `cfg.n` up to a near-square node count — size the workload from
+/// [`NocSim::num_nodes`], not from `cfg.n`.
+pub fn build_network(cfg: NocConfig) -> Box<dyn NocSim + Send> {
     match cfg.kind {
         TopologyKind::Quarc => Box::new(QuarcNetwork::new(cfg)),
         TopologyKind::Spidergon => Box::new(SpidergonNetwork::new(cfg)),
-        TopologyKind::Mesh => {
-            unimplemented!("mesh latency simulation is provided by quarc_sim::mesh_net")
-        }
+        TopologyKind::Mesh => Box::new(MeshNetwork::new(cfg)),
     }
 }
 
@@ -29,6 +40,66 @@ pub struct CurveSpec {
     pub beta: f64,
     /// Workload seed.
     pub seed: u64,
+}
+
+/// One fully-specified simulation point: a [`CurveSpec`] pinned to a rate.
+#[derive(Debug, Clone, Copy)]
+pub struct PointSpec {
+    /// Network configuration.
+    pub noc: NocConfig,
+    /// Message length in flits (the paper's `M`).
+    pub msg_len: usize,
+    /// Broadcast fraction (the paper's `β`).
+    pub beta: f64,
+    /// Workload seed.
+    pub seed: u64,
+    /// Offered load (messages/node/cycle).
+    pub rate: f64,
+}
+
+impl CurveSpec {
+    /// This curve's point at `rate`.
+    pub fn at_rate(&self, rate: f64) -> PointSpec {
+        PointSpec { noc: self.noc, msg_len: self.msg_len, beta: self.beta, seed: self.seed, rate }
+    }
+}
+
+/// The outcome of one point: the run summary plus the measured latency
+/// distributions, so replicated runs can pool histograms across seeds.
+#[derive(Debug, Clone)]
+pub struct PointOutcome {
+    /// The run summary (what a figure plots).
+    pub result: RunResult,
+    /// Unicast latency distribution over the measurement window.
+    pub unicast_hist: LatencyHistogram,
+    /// Broadcast completion latency distribution.
+    pub bcast_completion_hist: LatencyHistogram,
+}
+
+/// Simulate one point: build the network, run the warmup/measure/drain
+/// protocol, and return the summary plus latency distributions.
+///
+/// This is a pure function of `(point, run_spec)` — it seeds the workload
+/// only from `point.seed` — which is what lets `quarc-campaign` run points on
+/// any thread in any order and still produce bit-identical results.
+///
+/// The mesh model carries unicast traffic only; a mesh point with
+/// `beta > 0` panics (upstream layers filter these combinations out).
+pub fn run_point(point: &PointSpec, run_spec: &RunSpec) -> PointOutcome {
+    let mut net = build_network(point.noc);
+    // The mesh rounds n up to a near-square; ask the network, not the config.
+    let n = net.num_nodes();
+    let mut wl = Synthetic::new(
+        n,
+        SyntheticConfig::paper(point.rate, point.msg_len, point.beta, point.seed),
+    );
+    let result = run(net.as_mut(), &mut wl, run_spec);
+    let m = net.metrics();
+    PointOutcome {
+        result,
+        unicast_hist: m.unicast_histogram().clone(),
+        bcast_completion_hist: m.broadcast_completion_histogram().clone(),
+    }
 }
 
 /// One measured curve point.
@@ -47,14 +118,9 @@ pub fn latency_curve(spec: &CurveSpec, rates: &[f64], run_spec: &RunSpec) -> Vec
     let mut points = Vec::with_capacity(rates.len());
     let mut saturated_streak = 0;
     for &rate in rates {
-        let mut net = build_network(spec.noc);
-        let mut wl = Synthetic::new(
-            spec.noc.n,
-            SyntheticConfig::paper(rate, spec.msg_len, spec.beta, spec.seed),
-        );
-        let result = run(net.as_mut(), &mut wl, run_spec);
-        let is_sat = result.saturated;
-        points.push(CurvePoint { rate, result });
+        let outcome = run_point(&spec.at_rate(rate), run_spec);
+        let is_sat = outcome.result.saturated;
+        points.push(CurvePoint { rate, result: outcome.result });
         saturated_streak = if is_sat { saturated_streak + 1 } else { 0 };
         if saturated_streak >= 2 {
             break;
@@ -99,12 +165,7 @@ mod tests {
 
     #[test]
     fn curve_stops_after_saturation() {
-        let spec = CurveSpec {
-            noc: NocConfig::quarc(8),
-            msg_len: 8,
-            beta: 0.0,
-            seed: 1,
-        };
+        let spec = CurveSpec { noc: NocConfig::quarc(8), msg_len: 8, beta: 0.0, seed: 1 };
         let run_spec = RunSpec { warmup: 200, measure: 1_500, drain: 1_500, ..Default::default() };
         // Include absurd rates; the sweep must cut off after two saturated
         // points rather than simulating them all.
@@ -127,5 +188,34 @@ mod tests {
     fn build_network_matches_kind() {
         assert_eq!(build_network(NocConfig::quarc(8)).kind(), TopologyKind::Quarc);
         assert_eq!(build_network(NocConfig::spidergon(8)).kind(), TopologyKind::Spidergon);
+        assert_eq!(build_network(NocConfig::mesh(16)).kind(), TopologyKind::Mesh);
+    }
+
+    #[test]
+    fn mesh_point_runs_unicast_traffic() {
+        // The mesh arm used to be unimplemented!(); a mesh grid point must
+        // now run end to end (β = 0: the model is unicast-only).
+        let mut cfg = NocConfig::mesh(16);
+        cfg.vcs = 1;
+        let point = PointSpec { noc: cfg, msg_len: 8, beta: 0.0, seed: 5, rate: 0.01 };
+        let run_spec = RunSpec { warmup: 200, measure: 2_000, drain: 4_000, ..Default::default() };
+        let out = run_point(&point, &run_spec);
+        assert_eq!(out.result.kind, TopologyKind::Mesh);
+        assert!(!out.result.saturated, "{:?}", out.result);
+        assert!(out.result.unicast_samples > 50);
+        assert_eq!(out.unicast_hist.count(), out.result.unicast_samples);
+    }
+
+    #[test]
+    fn run_point_is_deterministic() {
+        let point =
+            PointSpec { noc: NocConfig::quarc(8), msg_len: 8, beta: 0.05, seed: 42, rate: 0.01 };
+        let run_spec = RunSpec::quick();
+        let a = run_point(&point, &run_spec);
+        let b = run_point(&point, &run_spec);
+        assert_eq!(a.result.unicast_mean, b.result.unicast_mean);
+        assert_eq!(a.result.throughput, b.result.throughput);
+        assert_eq!(a.unicast_hist.count(), b.unicast_hist.count());
+        assert_eq!(a.unicast_hist.percentile(95.0), b.unicast_hist.percentile(95.0));
     }
 }

@@ -160,7 +160,8 @@ impl TorusNetwork {
         let next = self.topo.route(cur, dst);
         let same_dim = matches!(
             (port, next),
-            (0 | 1, TorusOut::XPlus | TorusOut::XMinus) | (2 | 3, TorusOut::YPlus | TorusOut::YMinus)
+            (0 | 1, TorusOut::XPlus | TorusOut::XMinus)
+                | (2 | 3, TorusOut::YPlus | TorusOut::YMinus)
         );
         if same_dim {
             VcId(vc as u8)
@@ -312,10 +313,8 @@ impl NocSim for TorusNetwork {
         for node in 0..n {
             for o in 0..4 {
                 if let Some(tf) = self.links[node * 4 + o].step() {
-                    let to = self
-                        .topo
-                        .link_target(NodeId::new(node), NET_OUT[o])
-                        .expect("torus link");
+                    let to =
+                        self.topo.link_target(NodeId::new(node), NET_OUT[o]).expect("torus link");
                     self.nodes[to.index()].in_buf[arrival_port(NET_OUT[o])][tf.vc.index()]
                         .push(tf.flit);
                 }

@@ -55,12 +55,14 @@ fn expected_flits(n: usize, records: &[TraceRecord]) -> usize {
             let receivers = match r.request.class {
                 TrafficClass::Unicast => 1,
                 TrafficClass::Broadcast => n - 1,
-                TrafficClass::Multicast => {
-                    quarc_core::quadrant::multicast_branches(&ring, r.request.src, &r.request.targets)
-                        .iter()
-                        .map(|b| b.deliveries.len())
-                        .sum()
-                }
+                TrafficClass::Multicast => quarc_core::quadrant::multicast_branches(
+                    &ring,
+                    r.request.src,
+                    &r.request.targets,
+                )
+                .iter()
+                .map(|b| b.deliveries.len())
+                .sum(),
                 _ => unreachable!(),
             };
             receivers * r.request.len

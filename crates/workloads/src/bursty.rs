@@ -193,8 +193,8 @@ mod tests {
             counts[(*t / window) as usize] += 1.0;
         }
         let mean = counts.iter().sum::<f64>() / counts.len() as f64;
-        let var = counts.iter().map(|c| (c - mean) * (c - mean)).sum::<f64>()
-            / (counts.len() - 1) as f64;
+        let var =
+            counts.iter().map(|c| (c - mean) * (c - mean)).sum::<f64>() / (counts.len() - 1) as f64;
         let dispersion = var / mean;
         assert!(dispersion > 2.0, "index of dispersion {dispersion:.2} not bursty");
     }

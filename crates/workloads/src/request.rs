@@ -25,7 +25,13 @@ impl MessageRequest {
     /// A unicast request.
     pub fn unicast(src: NodeId, dst: NodeId, len: usize) -> Self {
         debug_assert_ne!(src, dst);
-        MessageRequest { src, class: TrafficClass::Unicast, dst: Some(dst), targets: Vec::new(), len }
+        MessageRequest {
+            src,
+            class: TrafficClass::Unicast,
+            dst: Some(dst),
+            targets: Vec::new(),
+            len,
+        }
     }
 
     /// A broadcast request.

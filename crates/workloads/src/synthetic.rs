@@ -59,7 +59,8 @@ impl Synthetic {
             .map(|i| {
                 let mut rng = master.fork(i as u64);
                 // First arrival: sample a gap so that sources are desynchronised.
-                let next_arrival = if cfg.rate > 0.0 { rng.geometric_gap(cfg.rate) } else { Cycle::MAX };
+                let next_arrival =
+                    if cfg.rate > 0.0 { rng.geometric_gap(cfg.rate) } else { Cycle::MAX };
                 NodeState { rng, next_arrival }
             })
             .collect();
@@ -115,10 +116,7 @@ mod tests {
         let cfg = SyntheticConfig::paper(0.02, 8, 0.0, 7);
         let msgs = run(16, cfg, 20_000);
         let per_node_per_cycle = msgs.len() as f64 / (16.0 * 20_000.0);
-        assert!(
-            (per_node_per_cycle - 0.02).abs() < 0.002,
-            "measured rate {per_node_per_cycle}"
-        );
+        assert!((per_node_per_cycle - 0.02).abs() < 0.002, "measured rate {per_node_per_cycle}");
     }
 
     #[test]

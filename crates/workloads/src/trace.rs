@@ -39,8 +39,7 @@ impl fmt::Display for TraceRecord {
             TrafficClass::Unicast => write!(f, "{}", r.dst.expect("unicast has dst").index()),
             TrafficClass::Broadcast => write!(f, "-"),
             _ => {
-                let parts: Vec<String> =
-                    r.targets.iter().map(|t| t.index().to_string()).collect();
+                let parts: Vec<String> = r.targets.iter().map(|t| t.index().to_string()).collect();
                 write!(f, "{}", parts.join(","))
             }
         }
@@ -231,8 +230,7 @@ mod tests {
             },
         ];
         let text: String = records.iter().map(|r| format!("{r}\n")).collect();
-        let parsed: Vec<TraceRecord> =
-            text.lines().map(|l| l.parse().unwrap()).collect();
+        let parsed: Vec<TraceRecord> = text.lines().map(|l| l.parse().unwrap()).collect();
         assert_eq!(parsed, records);
     }
 
@@ -252,8 +250,10 @@ mod tests {
     #[test]
     fn late_poll_catches_up() {
         // If the driver polls at a later cycle, earlier records still fire.
-        let records =
-            vec![TraceRecord { cycle: 5, request: MessageRequest::unicast(NodeId(0), NodeId(1), 2) }];
+        let records = vec![TraceRecord {
+            cycle: 5,
+            request: MessageRequest::unicast(NodeId(0), NodeId(1), 2),
+        }];
         let mut tw = TraceWorkload::new(2, records);
         assert!(tw.poll(NodeId(0), 4).is_empty());
         assert_eq!(tw.poll(NodeId(0), 10).len(), 1);

@@ -52,10 +52,7 @@ fn main() {
         rq.bcast_reception_mean, rs.bcast_reception_mean
     );
     println!("fetch/data unicast latency       {:>9.1} {:>12.1}", rq.unicast_mean, rs.unicast_mean);
-    println!(
-        "invalidations measured           {:>9} {:>12}",
-        rq.bcast_samples, rs.bcast_samples
-    );
+    println!("invalidations measured           {:>9} {:>12}", rq.bcast_samples, rs.bcast_samples);
     println!(
         "\ninvalidation speedup (completion): {:.1}x",
         rs.bcast_completion_mean / rq.bcast_completion_mean
@@ -64,6 +61,8 @@ fn main() {
     // Shape check from the paper: the invalidation (broadcast) path is the
     // one that collapses on Spidergon.
     assert!(rs.bcast_completion_mean > 2.0 * rq.bcast_completion_mean);
-    let _ = (quarc.metrics().completed(TrafficClass::Broadcast),
-             spider.metrics().completed(TrafficClass::Broadcast));
+    let _ = (
+        quarc.metrics().completed(TrafficClass::Broadcast),
+        spider.metrics().completed(TrafficClass::Broadcast),
+    );
 }

@@ -30,8 +30,12 @@ fn main() {
     let mut sw = QuarcSwitchRtl::new(NodeId(1), 16);
     let frame = build_frame(TrafficClass::Broadcast, NodeId(0), NodeId(4), 0, 4);
 
-    println!("cycle | in: sof_n eof_n src_rdy_n vc | out(rim-cw): sof_n eof_n valid vc | delivered");
-    println!("------+------------------------------+-----------------------------------+----------");
+    println!(
+        "cycle | in: sof_n eof_n src_rdy_n vc | out(rim-cw): sof_n eof_n valid vc | delivered"
+    );
+    println!(
+        "------+------------------------------+-----------------------------------+----------"
+    );
 
     for cycle in 0..10 {
         let fwd0 = if cycle < 4 {

@@ -17,7 +17,10 @@ fn main() {
     let run_spec = RunSpec { warmup: 1_000, measure: 8_000, drain: 12_000, ..Default::default() };
 
     println!("latency vs offered load: N={n}, M={msg_len}, beta={}%\n", beta * 100.0);
-    println!("{:<11} {:>12} {:>14} {:>16} {:>10}", "rate", "quarc uni", "spidergon uni", "quarc bcast", "spi bcast");
+    println!(
+        "{:<11} {:>12} {:>14} {:>16} {:>10}",
+        "rate", "quarc uni", "spidergon uni", "quarc bcast", "spi bcast"
+    );
 
     let quarc = latency_curve(
         &CurveSpec { noc: NocConfig::quarc(n), msg_len, beta, seed: 42 },
@@ -56,5 +59,7 @@ fn main() {
         sustain(&quarc),
         sustain(&spider)
     );
-    println!("(the Quarc sustains a higher load and keeps broadcast latency flat — Fig. 11's story)");
+    println!(
+        "(the Quarc sustains a higher load and keeps broadcast latency flat — Fig. 11's story)"
+    );
 }

@@ -60,11 +60,7 @@ fn mesh_simulator_matches_model_at_low_load() {
     let res = run(&mut net, &mut wl, &spec());
     let model = ana::mesh_unicast_latency(&MeshTopology::square(n), m, rate).expect("stable");
     let rel = (res.unicast_mean - model).abs() / model;
-    assert!(
-        rel < 0.15,
-        "mesh: sim {:.2} vs model {model:.2} (rel {rel:.3})",
-        res.unicast_mean
-    );
+    assert!(rel < 0.15, "mesh: sim {:.2} vs model {model:.2} (rel {rel:.3})", res.unicast_mean);
 }
 
 #[test]
@@ -85,10 +81,7 @@ fn zero_load_broadcast_formulas_match_simulator() {
         }
         let sim = net.metrics().broadcast_completion_latency().mean();
         let model = ana::quarc_broadcast_zero_load(n, m);
-        assert!(
-            (sim - model).abs() <= 2.0,
-            "quarc n={n} m={m}: sim {sim} vs formula {model}"
-        );
+        assert!((sim - model).abs() <= 2.0, "quarc n={n} m={m}: sim {sim} vs formula {model}");
 
         // Spidergon: the chain formula is an approximation of the re-inject
         // pipeline; allow 20%.

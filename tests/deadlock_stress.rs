@@ -19,10 +19,7 @@ fn stress(net: &mut dyn NocSim, wl: &mut Synthetic, load_cycles: u64, drain_cycl
             net.step(wl);
         }
         let d = net.metrics().flits_delivered();
-        assert!(
-            d > last_delivered,
-            "no delivery progress in chunk {chunk} (n={n}) — deadlock"
-        );
+        assert!(d > last_delivered, "no delivery progress in chunk {chunk} (n={n}) — deadlock");
         last_delivered = d;
     }
     let mut silence = TraceWorkload::new(n, vec![]);

@@ -1,0 +1,206 @@
+//! A minimal, dependency-free stand-in for the `criterion` crate.
+//!
+//! The build container has no crates.io access, so this shim keeps the
+//! repository's Criterion benches compiling and runnable offline. It performs
+//! a short warm-up, times a fixed number of iterations with
+//! [`std::time::Instant`], and prints a mean time per iteration — no
+//! statistics, outlier analysis or HTML reports. Swap the real crate back in
+//! when a registry is available.
+
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// How measured iterations are derived (honoured loosely by the shim).
+const MEASURE_ITERS: u32 = 20;
+const WARMUP_ITERS: u32 = 3;
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Batch sizing hint for `iter_batched` (ignored by the shim).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration input.
+    SmallInput,
+    /// Large per-iteration input.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// The per-benchmark timing driver handed to `bench_function` closures.
+pub struct Bencher {
+    iters: u32,
+    /// Mean nanoseconds per iteration of the last `iter*` call.
+    last_ns: f64,
+}
+
+impl Bencher {
+    fn new(iters: u32) -> Self {
+        Bencher { iters, last_ns: f64::NAN }
+    }
+
+    /// Time `routine` over the shim's fixed iteration count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..WARMUP_ITERS {
+            black_box(routine());
+        }
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.last_ns = start.elapsed().as_nanos() as f64 / self.iters as f64;
+    }
+
+    /// Time `routine` with a fresh `setup()` input per iteration; only the
+    /// routine is timed.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total_ns = 0u128;
+        for _ in 0..WARMUP_ITERS {
+            black_box(routine(setup()));
+        }
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total_ns += start.elapsed().as_nanos();
+        }
+        self.last_ns = total_ns as f64 / self.iters as f64;
+    }
+}
+
+fn report(group: Option<&str>, name: &str, b: &Bencher, throughput: Option<Throughput>) {
+    let label = match group {
+        Some(g) => format!("{g}/{name}"),
+        None => name.to_string(),
+    };
+    let per_iter = b.last_ns;
+    let extra = match throughput {
+        Some(Throughput::Elements(k)) if per_iter > 0.0 => {
+            format!("  ({:.0} elem/s)", k as f64 / (per_iter / 1e9))
+        }
+        Some(Throughput::Bytes(k)) if per_iter > 0.0 => {
+            format!("  ({:.0} B/s)", k as f64 / (per_iter / 1e9))
+        }
+        _ => String::new(),
+    };
+    println!("bench {label:<48} {:>14.0} ns/iter{extra}", per_iter);
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    throughput: Option<Throughput>,
+    iters: u32,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the sample count (mapped to the shim's iteration count).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.iters = (n as u32).max(1);
+        self
+    }
+
+    /// Annotate throughput for subsequent benches in this group.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(self.iters);
+        f(&mut b);
+        report(Some(&self.name), &name.into(), &b, self.throughput);
+        self
+    }
+
+    /// End the group (no-op in the shim).
+    pub fn finish(self) {}
+}
+
+/// The top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Run one standalone benchmark.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(MEASURE_ITERS);
+        f(&mut b);
+        report(None, &name.into(), &b, None);
+        self
+    }
+
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            iters: MEASURE_ITERS,
+            _criterion: self,
+        }
+    }
+}
+
+/// Collect benchmark functions into a callable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let mut g = c.benchmark_group("grouped");
+        g.sample_size(5);
+        g.throughput(Throughput::Elements(100));
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+        g.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn group_runs() {
+        benches();
+    }
+}
