@@ -1,0 +1,225 @@
+//! `perf` — the steady-state simulator-throughput harness.
+//!
+//! Every figure in the paper is produced by stepping the flit-level
+//! simulators millions of cycles, so cycles/second of [`NocSim::step`] is the
+//! system's dominant cost. This harness measures it the same way every time
+//! so the number can be tracked across PRs:
+//!
+//! * a grid of (topology × network size × offered load) points,
+//! * each point: build network + the paper's synthetic workload, warm up,
+//!   then time a fixed number of simulated cycles with a wall clock,
+//! * report **cycles/s** (simulator speed) and **Mflit-hops/s** (useful work:
+//!   millions of link traversals per second, derived from
+//!   [`NocSim::flit_hops`] deltas),
+//! * write everything to `BENCH_sim.json` (deterministic field order; only
+//!   the timings vary run to run).
+//!
+//! ```text
+//! perf [--quick] [--out PATH] [--validate PATH]
+//! ```
+//!
+//! `--quick` runs a reduced grid with fewer cycles (CI smoke); `--validate`
+//! parses an existing artifact and checks its shape instead of running,
+//! exiting non-zero on malformed output.
+
+use quarc_campaign::Json;
+use quarc_core::config::NocConfig;
+use quarc_core::topology::TopologyKind;
+use quarc_sim::build_network;
+use quarc_workloads::{Synthetic, SyntheticConfig};
+use std::time::Instant;
+
+/// One cell of the measurement grid.
+struct GridPoint {
+    topology: TopologyKind,
+    n: usize,
+    /// Offered load, messages/node/cycle (the paper's rate axis).
+    rate: f64,
+    /// Broadcast fraction β.
+    beta: f64,
+    /// Short label for the load regime ("low" / "sat").
+    regime: &'static str,
+}
+
+/// Fixed workload shape for all points (paper defaults: M = 8 flits).
+const MSG_LEN: usize = 8;
+const SEED: u64 = 0xBE7C;
+
+fn grid(quick: bool) -> Vec<GridPoint> {
+    let mut points = Vec::new();
+    let sizes: &[usize] = if quick { &[16] } else { &[16, 32, 64] };
+    for &n in sizes {
+        for (rate, regime) in [(0.02, "low"), (0.10, "sat")] {
+            points.push(GridPoint { topology: TopologyKind::Quarc, n, rate, beta: 0.05, regime });
+            points.push(GridPoint {
+                topology: TopologyKind::Spidergon,
+                n,
+                rate,
+                beta: 0.05,
+                regime,
+            });
+            // The mesh model is unicast-only (validation role): β = 0.
+            points.push(GridPoint { topology: TopologyKind::Mesh, n, rate, beta: 0.0, regime });
+        }
+    }
+    points
+}
+
+/// Measurement of one point.
+struct Measured {
+    warmup: u64,
+    cycles: u64,
+    wall_s: f64,
+    cycles_per_sec: f64,
+    mflit_hops_per_sec: f64,
+    flit_hops: u64,
+    flits_delivered: u64,
+}
+
+fn measure(p: &GridPoint, warmup: u64, cycles: u64) -> Measured {
+    let mut net = build_network(NocConfig { kind: p.topology, n: p.n, ..Default::default() });
+    let n = net.num_nodes();
+    let mut wl = Synthetic::new(n, SyntheticConfig::paper(p.rate, MSG_LEN, p.beta, SEED));
+    for _ in 0..warmup {
+        net.step(&mut wl);
+    }
+    let hops0 = net.flit_hops();
+    let delivered0 = net.metrics().flits_delivered();
+    let t0 = Instant::now();
+    for _ in 0..cycles {
+        net.step(&mut wl);
+    }
+    let wall_s = t0.elapsed().as_secs_f64().max(1e-9);
+    let flit_hops = net.flit_hops() - hops0;
+    Measured {
+        warmup,
+        cycles,
+        wall_s,
+        cycles_per_sec: cycles as f64 / wall_s,
+        mflit_hops_per_sec: flit_hops as f64 / wall_s / 1e6,
+        flit_hops,
+        flits_delivered: net.metrics().flits_delivered() - delivered0,
+    }
+}
+
+fn point_json(p: &GridPoint, m: &Measured) -> Json {
+    Json::obj(vec![
+        ("topology", Json::Str(p.topology.to_string())),
+        ("n", Json::UInt(p.n as u64)),
+        ("rate", Json::Num(p.rate)),
+        ("beta", Json::Num(p.beta)),
+        ("msg_len", Json::UInt(MSG_LEN as u64)),
+        ("regime", Json::Str(p.regime.to_string())),
+        ("warmup_cycles", Json::UInt(m.warmup)),
+        ("measured_cycles", Json::UInt(m.cycles)),
+        ("wall_s", Json::Num(m.wall_s)),
+        ("cycles_per_sec", Json::Num(m.cycles_per_sec)),
+        ("mflit_hops_per_sec", Json::Num(m.mflit_hops_per_sec)),
+        ("flit_hops", Json::UInt(m.flit_hops)),
+        ("flits_delivered", Json::UInt(m.flits_delivered)),
+    ])
+}
+
+/// Check the artifact shape the CI smoke job relies on. Returns a
+/// description of the first problem found.
+fn validate(text: &str) -> Result<usize, String> {
+    let doc = Json::parse(text).map_err(|e| format!("not valid JSON: {e:?}"))?;
+    if doc.get("bench").and_then(Json::as_str) != Some("sim_hotpath") {
+        return Err("missing or wrong `bench` tag".into());
+    }
+    let points = doc
+        .get("points")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| "missing `points` array".to_string())?;
+    if points.is_empty() {
+        return Err("`points` is empty".into());
+    }
+    for (i, p) in points.iter().enumerate() {
+        for key in ["topology", "n", "rate", "cycles_per_sec", "mflit_hops_per_sec"] {
+            if p.get(key).is_none() {
+                return Err(format!("point {i} lacks `{key}`"));
+            }
+        }
+        let speed = p.get("cycles_per_sec").and_then(Json::as_f64).unwrap_or(-1.0);
+        if !(speed.is_finite() && speed > 0.0) {
+            return Err(format!("point {i} has non-positive cycles_per_sec"));
+        }
+    }
+    if doc.get("headline").and_then(|h| h.get("mflit_hops_per_sec")).is_none() {
+        return Err("missing `headline.mflit_hops_per_sec`".into());
+    }
+    Ok(points.len())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut out = String::from("BENCH_sim.json");
+    let mut validate_path: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--out" => out = it.next().expect("--out needs a path").clone(),
+            "--validate" => {
+                validate_path = Some(it.next().expect("--validate needs a path").clone())
+            }
+            other => {
+                eprintln!("unknown argument {other}\nusage: perf [--quick] [--out PATH] [--validate PATH]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    if let Some(path) = validate_path {
+        let text =
+            std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+        match validate(&text) {
+            Ok(n) => println!("# {path}: OK ({n} points)"),
+            Err(why) => {
+                eprintln!("{path}: MALFORMED: {why}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    let (warmup, cycles) = if quick { (500, 4_000) } else { (1_000, 20_000) };
+    let points = grid(quick);
+    let mut rows = Vec::with_capacity(points.len());
+    let mut headline: Option<Json> = None;
+    println!("# perf: {} points, {} measured cycles each", points.len(), cycles);
+    println!("topology,n,rate,regime,cycles_per_sec,mflit_hops_per_sec");
+    for p in &points {
+        let m = measure(p, warmup, cycles);
+        println!(
+            "{},{},{:.3},{},{:.0},{:.3}",
+            p.topology, p.n, p.rate, p.regime, m.cycles_per_sec, m.mflit_hops_per_sec
+        );
+        // The headline number PRs are judged on: the largest Quarc network
+        // near saturation (the dominant cost of the paper-grid campaign).
+        let is_headline = p.topology == TopologyKind::Quarc
+            && p.regime == "sat"
+            && p.n == if quick { 16 } else { 64 };
+        if is_headline {
+            headline = Some(Json::obj(vec![
+                ("name", Json::Str(format!("quarc_n{}_sat", p.n))),
+                ("cycles_per_sec", Json::Num(m.cycles_per_sec)),
+                ("mflit_hops_per_sec", Json::Num(m.mflit_hops_per_sec)),
+            ]));
+        }
+        rows.push(point_json(p, &m));
+    }
+
+    let doc = Json::obj(vec![
+        ("bench", Json::Str("sim_hotpath".into())),
+        ("unit", Json::Str("Mflit-hops/s".into())),
+        ("msg_len", Json::UInt(MSG_LEN as u64)),
+        ("seed", Json::UInt(SEED)),
+        ("quick", Json::Bool(quick)),
+        ("points", Json::Arr(rows)),
+        ("headline", headline.expect("grid always contains the headline point")),
+    ]);
+    std::fs::write(&out, doc.to_pretty()).unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
+    println!("# wrote {out}");
+}

@@ -4,6 +4,11 @@
 use crate::topology::TopologyKind;
 use std::fmt;
 
+/// Upper bound on virtual channels per physical link, enforced by
+/// [`NocConfig::validate`]. Lets the simulators use fixed-size per-VC scratch
+/// arrays on the stack instead of per-cycle heap allocation.
+pub const MAX_VCS: usize = 4;
+
 /// Errors raised when validating a [`NocConfig`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ConfigError {
@@ -115,7 +120,7 @@ impl NocConfig {
                 requirement: "34-bit flits carry 6-bit addresses (n ≤ 64, paper §2.6)",
             });
         }
-        if self.vcs < 1 || self.vcs > 4 {
+        if self.vcs < 1 || self.vcs > MAX_VCS {
             return Err(ConfigError::BadParameter {
                 name: "vcs",
                 requirement: "1 ≤ vcs ≤ 4 (paper hardware uses 2)",

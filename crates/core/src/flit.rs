@@ -9,10 +9,14 @@
 //! The paper does not pin down every field boundary, so this module fixes a
 //! concrete layout (documented on [`wire`]) and property-tests that encoding
 //! and decoding round-trip. The RTL model (`quarc-rtl`) moves these encoded
-//! words over LocalLink; the behavioural simulator moves [`Flit`] structs that
-//! additionally carry bookkeeping ([`PacketMeta`]) used only for statistics
-//! and invariant checking, never for routing decisions that the hardware could
-//! not make.
+//! words over LocalLink; the behavioural simulator moves [`Flit`] structs —
+//! small `Copy` handles of a [`PacketRef`] into a per-network [`PacketTable`]
+//! holding the interned per-packet bookkeeping ([`PacketMeta`]), which is
+//! used only for statistics and invariant checking, never for routing
+//! decisions that the hardware could not make. Interning keeps the simulator
+//! hot path allocation-free: a flit is 16 bytes moved by value, and the
+//! ~56-byte metadata is written once at injection instead of being cloned on
+//! every hop, link slot and buffer push.
 
 use crate::ids::{MessageId, NodeId, PacketId};
 use crate::ring::RingDir;
@@ -109,6 +113,21 @@ impl TrafficClass {
         }
     }
 
+    /// Number of traffic classes (for fixed-size per-class counter arrays).
+    pub const COUNT: usize = 5;
+
+    /// Dense index in `0..COUNT` (for fixed-size per-class counter arrays).
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            TrafficClass::Unicast => 0,
+            TrafficClass::Multicast => 1,
+            TrafficClass::Broadcast => 2,
+            TrafficClass::ChainRim => 3,
+            TrafficClass::ChainCross => 4,
+        }
+    }
+
     /// True for the two Spidergon replication classes.
     #[inline]
     pub fn is_chain(self) -> bool {
@@ -135,13 +154,12 @@ impl fmt::Display for TrafficClass {
     }
 }
 
-/// Per-packet bookkeeping carried (by value) on every flit of the behavioural
-/// simulator.
+/// Per-packet bookkeeping, interned once per packet in a [`PacketTable`] and
+/// referenced from every flit through its [`PacketRef`].
 ///
 /// Only the fields that appear in the wire format (`class`, `src`, `dst`,
 /// `bitstring`, `dir`) may influence routing; the rest exists so the ejection
-/// side can compute latencies and the test suite can assert conservation
-/// without a global side table.
+/// side can compute latencies and the test suite can assert conservation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct PacketMeta {
     /// The application-level message this packet belongs to.
@@ -165,11 +183,110 @@ pub struct PacketMeta {
     pub created_at: u64,
 }
 
-/// One flit of a wormhole packet.
+/// Handle of one interned packet in a [`PacketTable`].
+///
+/// Slots are recycled once a packet has fully left the network, so a
+/// `PacketRef` is only meaningful against the table of the network that
+/// issued it and only while that packet is in flight. It is deliberately a
+/// bare `u32`: the steady-state simulation loop indexes the table with it on
+/// every routing decision and delivery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PacketRef(pub u32);
+
+impl PacketRef {
+    /// The slot index, for direct table addressing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for PacketRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// The per-network intern table of in-flight [`PacketMeta`] records.
+///
+/// `insert` hands out a [`PacketRef`]; `release` returns the slot to a free
+/// list once the packet's tail has been absorbed everywhere. After warmup the
+/// slot vector stops growing and the table performs **zero allocations**:
+/// recycling pops and pushes within existing capacity. Lookups are a bounds-
+/// checked array index.
+#[derive(Debug, Default, Clone)]
+pub struct PacketTable {
+    slots: Vec<PacketMeta>,
+    free: Vec<u32>,
+    live: usize,
+}
+
+impl PacketTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern `meta`, returning the packet's handle.
+    #[inline]
+    pub fn insert(&mut self, meta: PacketMeta) -> PacketRef {
+        match self.free.pop() {
+            Some(slot) => {
+                self.slots[slot as usize] = meta;
+                self.live += 1;
+                PacketRef(slot)
+            }
+            None => {
+                let slot = u32::try_from(self.slots.len()).expect("packet table overflow");
+                self.slots.push(meta);
+                self.live += 1;
+                PacketRef(slot)
+            }
+        }
+    }
+
+    /// The interned metadata of `packet`.
+    #[inline]
+    pub fn meta(&self, packet: PacketRef) -> &PacketMeta {
+        &self.slots[packet.index()]
+    }
+
+    /// Mutable access (the routers' per-hop multicast-bitstring shift).
+    #[inline]
+    pub fn meta_mut(&mut self, packet: PacketRef) -> &mut PacketMeta {
+        &mut self.slots[packet.index()]
+    }
+
+    /// Return `packet`'s slot to the free list. The caller must guarantee no
+    /// flit holding this ref remains anywhere in the network — in the
+    /// simulators that point is the absorption of the tail flit at the last
+    /// node of the packet's path.
+    #[inline]
+    pub fn release(&mut self, packet: PacketRef) {
+        debug_assert!(!self.free.contains(&packet.0), "double release of packet slot {packet}");
+        self.free.push(packet.0);
+        self.live -= 1;
+    }
+
+    /// Number of packets currently interned.
+    #[inline]
+    pub fn live(&self) -> usize {
+        self.live
+    }
+
+    /// High-water mark of simultaneously live packets (slot count).
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+}
+
+/// One flit of a wormhole packet: a 16-byte `Copy` value. Everything
+/// per-packet lives in the [`PacketTable`]; the flit itself carries only its
+/// packet handle and its position within the worm.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Flit {
-    /// Packet bookkeeping (see [`PacketMeta`] for what routing may read).
-    pub meta: PacketMeta,
+    /// Handle of the interned [`PacketMeta`] (see [`PacketTable`]).
+    pub packet: PacketRef,
     /// Index of this flit within its packet (`0 == header`).
     pub seq: u32,
     /// Header / body / tail.
@@ -194,11 +311,7 @@ impl Flit {
 
 impl fmt::Display for Flit {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{}[{}/{} {} {}→{}]",
-            self.kind, self.seq, self.meta.len, self.meta.class, self.meta.src, self.meta.dst
-        )
+        write!(f, "{}[{} {}]", self.kind, self.seq, self.packet)
     }
 }
 
@@ -247,27 +360,27 @@ pub mod wire {
         Tail(u32),
     }
 
-    /// Encode a behavioural [`Flit`] into its 34-bit wire word.
+    /// Encode one flit of packet `meta` into its 34-bit wire word. Body and
+    /// tail flits carry `payload`; headers carry the addressing fields.
     ///
     /// Panics (debug) if an address does not fit in 6 bits.
-    pub fn encode(flit: &Flit) -> u64 {
-        match flit.kind {
+    pub fn encode(meta: &PacketMeta, kind: FlitKind, payload: u32) -> u64 {
+        match kind {
             FlitKind::Header => {
-                let m = &flit.meta;
-                debug_assert!(m.src.index() < MAX_NODES && m.dst.index() < MAX_NODES);
-                let dir_bit = match m.dir {
+                debug_assert!(meta.src.index() < MAX_NODES && meta.dst.index() < MAX_NODES);
+                let dir_bit = match meta.dir {
                     RingDir::Cw => 0u64,
                     RingDir::Ccw => 1u64,
                 };
-                (m.class.wire_bits() << 31)
+                (meta.class.wire_bits() << 31)
                     | (dir_bit << 30)
-                    | ((m.bitstring as u64) << 14)
-                    | ((m.src.index() as u64) << 8)
-                    | ((m.dst.index() as u64) << 2)
+                    | ((meta.bitstring as u64) << 14)
+                    | ((meta.src.index() as u64) << 8)
+                    | ((meta.dst.index() as u64) << 2)
                     | FlitKind::Header.wire_bits()
             }
-            FlitKind::Body => ((flit.payload as u64) << 2) | FlitKind::Body.wire_bits(),
-            FlitKind::Tail => ((flit.payload as u64) << 2) | FlitKind::Tail.wire_bits(),
+            FlitKind::Body => ((payload as u64) << 2) | FlitKind::Body.wire_bits(),
+            FlitKind::Tail => ((payload as u64) << 2) | FlitKind::Tail.wire_bits(),
         }
     }
 
@@ -316,8 +429,7 @@ mod tests {
     #[test]
     fn header_roundtrip() {
         let m = meta(TrafficClass::Broadcast, 0, 11, 0xBEEF, RingDir::Ccw);
-        let f = Flit { meta: m, seq: 0, kind: FlitKind::Header, payload: 0 };
-        let w = encode(&f);
+        let w = encode(&m, FlitKind::Header, 0);
         assert!(w <= FLIT_MASK);
         match decode(w).unwrap() {
             WireFlit::Header { class, dir, bitstring, src, dst } => {
@@ -335,8 +447,7 @@ mod tests {
     fn body_and_tail_roundtrip() {
         let m = meta(TrafficClass::Unicast, 1, 2, 0, RingDir::Cw);
         for (kind, want) in [(FlitKind::Body, 0xDEADBEEFu32), (FlitKind::Tail, 0x12345678)] {
-            let f = Flit { meta: m, seq: 1, kind, payload: want };
-            match (kind, decode(encode(&f)).unwrap()) {
+            match (kind, decode(encode(&m, kind, want)).unwrap()) {
                 (FlitKind::Body, WireFlit::Body(p)) => assert_eq!(p, want),
                 (FlitKind::Tail, WireFlit::Tail(p)) => assert_eq!(p, want),
                 other => panic!("mismatch: {other:?}"),
@@ -347,10 +458,8 @@ mod tests {
     #[test]
     fn flit_word_is_34_bits() {
         let m = meta(TrafficClass::Multicast, 63, 63, 0xFFFF, RingDir::Ccw);
-        let f = Flit { meta: m, seq: 0, kind: FlitKind::Header, payload: 0 };
-        assert!(encode(&f) <= FLIT_MASK);
-        let body = Flit { meta: m, seq: 1, kind: FlitKind::Tail, payload: u32::MAX };
-        assert!(encode(&body) <= FLIT_MASK);
+        assert!(encode(&m, FlitKind::Header, 0) <= FLIT_MASK);
+        assert!(encode(&m, FlitKind::Tail, u32::MAX) <= FLIT_MASK);
     }
 
     #[test]
@@ -396,8 +505,60 @@ mod tests {
 
     #[test]
     fn display_formats() {
-        let m = meta(TrafficClass::Unicast, 3, 9, 0, RingDir::Cw);
-        let f = Flit { meta: m, seq: 0, kind: FlitKind::Header, payload: 0 };
-        assert_eq!(f.to_string(), "H[0/8 unicast n3→n9]");
+        let f = Flit { packet: PacketRef(5), seq: 0, kind: FlitKind::Header, payload: 0 };
+        assert_eq!(f.to_string(), "H[0 #5]");
+    }
+
+    #[test]
+    fn class_indices_are_dense_and_unique() {
+        let all = [
+            TrafficClass::Unicast,
+            TrafficClass::Multicast,
+            TrafficClass::Broadcast,
+            TrafficClass::ChainRim,
+            TrafficClass::ChainCross,
+        ];
+        let mut seen = [false; TrafficClass::COUNT];
+        for c in all {
+            assert!(c.index() < TrafficClass::COUNT);
+            assert!(!seen[c.index()], "duplicate index for {c}");
+            seen[c.index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn packet_table_recycles_slots() {
+        let mut t = PacketTable::new();
+        let a = t.insert(meta(TrafficClass::Unicast, 0, 1, 0, RingDir::Cw));
+        let b = t.insert(meta(TrafficClass::Unicast, 2, 3, 0, RingDir::Cw));
+        assert_eq!(t.live(), 2);
+        assert_eq!(t.meta(a).src, NodeId(0));
+        assert_eq!(t.meta(b).src, NodeId(2));
+        t.release(a);
+        assert_eq!(t.live(), 1);
+        // The freed slot is reused; capacity does not grow.
+        let c = t.insert(meta(TrafficClass::Broadcast, 4, 5, 0, RingDir::Ccw));
+        assert_eq!(c, a);
+        assert_eq!(t.capacity(), 2);
+        assert_eq!(t.meta(c).class, TrafficClass::Broadcast);
+    }
+
+    #[test]
+    fn packet_table_meta_mut_edits_in_place() {
+        let mut t = PacketTable::new();
+        let r = t.insert(meta(TrafficClass::Multicast, 0, 4, 0b101, RingDir::Cw));
+        t.meta_mut(r).bitstring >>= 1;
+        assert_eq!(t.meta(r).bitstring, 0b10);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "double release")]
+    fn packet_table_double_release_panics() {
+        let mut t = PacketTable::new();
+        let r = t.insert(meta(TrafficClass::Unicast, 0, 1, 0, RingDir::Cw));
+        t.release(r);
+        t.release(r);
     }
 }

@@ -46,17 +46,17 @@ pub mod vc;
 
 /// Convenient re-exports of the types used by nearly every downstream module.
 pub mod prelude {
-    pub use crate::config::{ConfigError, NocConfig};
-    pub use crate::flit::{Flit, FlitKind, PacketMeta, TrafficClass};
+    pub use crate::config::{ConfigError, NocConfig, MAX_VCS};
+    pub use crate::flit::{Flit, FlitKind, PacketMeta, PacketRef, PacketTable, TrafficClass};
     pub use crate::ids::{MessageId, NodeId, PacketId, VcId};
     pub use crate::quadrant::{
-        broadcast_branches, multicast_branches, quadrant_of, unicast_hops, unicast_path, Branch,
-        Quadrant,
+        broadcast_branch_heads, broadcast_branches, multicast_branches, quadrant_of, unicast_hops,
+        unicast_path, Branch, Quadrant,
     };
     pub use crate::ring::{Ring, RingDir};
     pub use crate::routing::{
         chain_continuations, quarc_injection_out, quarc_route, spidergon_broadcast_seeds,
-        spidergon_hops, spidergon_route, ChainSeed, RouteAction,
+        spidergon_hops, spidergon_route, ChainSeed, ChainSeeds, RouteAction,
     };
     pub use crate::topology::{
         MeshOut, MeshTopology, QuarcIn, QuarcOut, QuarcTopology, SpiIn, SpiOut, SpidergonTopology,

@@ -225,6 +225,24 @@ pub fn broadcast_branches(ring: &Ring, src: NodeId) -> Vec<Branch> {
     branches
 }
 
+/// The `(quadrant, header destination)` of each broadcast stream, in the
+/// emission order of [`broadcast_branches`] (Right, CrossRight, CrossLeft,
+/// Left; cross-left is `None` when its quadrant is empty, i.e. `n = 4`).
+///
+/// This is the allocation-free subset of [`broadcast_branches`] the
+/// simulator's injection path needs: routers re-derive the deliveries hop by
+/// hop, so only the header destinations ever reach the network.
+pub fn broadcast_branch_heads(ring: &Ring, src: NodeId) -> [Option<(Quadrant, NodeId)>; 4] {
+    assert!(ring.len() % 4 == 0, "Quarc requires n ≡ 0 (mod 4)");
+    let q = ring.quarter();
+    [
+        Some((Quadrant::Right, ring.step_n(src, RingDir::Cw, q))),
+        Some((Quadrant::CrossRight, ring.step_n(src, RingDir::Cw, 3 * q - 1))),
+        (q > 1).then(|| (Quadrant::CrossLeft, ring.step_n(src, RingDir::Cw, q + 1))),
+        Some((Quadrant::Left, ring.step_n(src, RingDir::Ccw, q))),
+    ]
+}
+
 /// The node walk of a branch, excluding `src`, including the branch `dst`.
 pub fn branch_path(ring: &Ring, src: NodeId, branch: &Branch) -> Vec<NodeId> {
     unicast_path_via(ring, src, branch.quadrant, branch.dst)
@@ -324,6 +342,20 @@ mod tests {
         let branches = broadcast_branches(&r16(), NodeId(0));
         let dsts: HashSet<u16> = branches.iter().map(|b| b.dst.0).collect();
         assert_eq!(dsts, HashSet::from([4, 5, 11, 12]));
+    }
+
+    #[test]
+    fn branch_heads_agree_with_full_branches() {
+        for n in [4usize, 8, 16, 32, 64] {
+            let ring = Ring::new(n);
+            for src in ring.nodes() {
+                let full: Vec<(Quadrant, NodeId)> =
+                    broadcast_branches(&ring, src).iter().map(|b| (b.quadrant, b.dst)).collect();
+                let heads: Vec<(Quadrant, NodeId)> =
+                    broadcast_branch_heads(&ring, src).into_iter().flatten().collect();
+                assert_eq!(heads, full, "n={n} src={src}");
+            }
+        }
     }
 
     #[test]

@@ -199,6 +199,54 @@ pub struct ChainSeed {
     pub remaining: u16,
 }
 
+/// A fixed-capacity list of [`ChainSeed`]s (at most three: the broadcast
+/// plan's two rim chains plus the cross seed). Replication runs inside the
+/// simulator's per-cycle loop, so the plan must not heap-allocate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ChainSeeds {
+    seeds: [Option<ChainSeed>; 3],
+    len: usize,
+}
+
+impl ChainSeeds {
+    fn push(&mut self, seed: ChainSeed) {
+        self.seeds[self.len] = Some(seed);
+        self.len += 1;
+    }
+
+    /// The seeds as a slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[Option<ChainSeed>] {
+        &self.seeds[..self.len]
+    }
+
+    /// Number of seeds.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the plan is empty (chain terminated).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Iterate over the seeds.
+    pub fn iter(&self) -> impl Iterator<Item = &ChainSeed> + '_ {
+        self.seeds[..self.len].iter().map(|s| s.as_ref().expect("dense prefix"))
+    }
+}
+
+impl IntoIterator for ChainSeeds {
+    type Item = ChainSeed;
+    type IntoIter = std::iter::Flatten<std::array::IntoIter<Option<ChainSeed>, 3>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.seeds.into_iter().flatten()
+    }
+}
+
 /// The packets a Spidergon source injects to broadcast (ref. [9]'s N−1-hop
 /// algorithm): one rim chain per direction covering `q` nodes each, plus a
 /// cross seed whose receiver spawns two more rim chains covering `q − 1`
@@ -206,71 +254,67 @@ pub struct ChainSeed {
 ///
 /// Requires `n ≡ 0 (mod 4)` (the configuration used in all of the paper's
 /// broadcast experiments).
-pub fn spidergon_broadcast_seeds(ring: &Ring, src: NodeId) -> Vec<ChainSeed> {
+pub fn spidergon_broadcast_seeds(ring: &Ring, src: NodeId) -> ChainSeeds {
     assert!(ring.len() % 4 == 0, "broadcast plan requires n ≡ 0 (mod 4)");
     let q = ring.quarter() as u16;
-    vec![
-        ChainSeed {
-            class: TrafficClass::ChainRim,
-            dst: ring.cw(src),
-            dir: RingDir::Cw,
-            remaining: q - 1,
-        },
-        ChainSeed {
-            class: TrafficClass::ChainRim,
-            dst: ring.ccw(src),
-            dir: RingDir::Ccw,
-            remaining: q - 1,
-        },
-        ChainSeed {
-            class: TrafficClass::ChainCross,
-            dst: ring.antipode(src),
-            dir: RingDir::Cw,
-            remaining: q - 1,
-        },
-    ]
+    let mut seeds = ChainSeeds::default();
+    seeds.push(ChainSeed {
+        class: TrafficClass::ChainRim,
+        dst: ring.cw(src),
+        dir: RingDir::Cw,
+        remaining: q - 1,
+    });
+    seeds.push(ChainSeed {
+        class: TrafficClass::ChainRim,
+        dst: ring.ccw(src),
+        dir: RingDir::Ccw,
+        remaining: q - 1,
+    });
+    seeds.push(ChainSeed {
+        class: TrafficClass::ChainCross,
+        dst: ring.antipode(src),
+        dir: RingDir::Cw,
+        remaining: q - 1,
+    });
+    seeds
 }
 
 /// The packets a Spidergon *transceiver* re-injects when a chain packet is
 /// delivered to it (the switch-side replication logic the paper describes in
 /// §2.2: "The NoC switches must contain the logic to create the required
 /// packets on receipt of a broadcast-by-unicast packet").
-pub fn chain_continuations(ring: &Ring, node: NodeId, meta: &PacketMeta) -> Vec<ChainSeed> {
+pub fn chain_continuations(ring: &Ring, node: NodeId, meta: &PacketMeta) -> ChainSeeds {
+    let mut seeds = ChainSeeds::default();
     match meta.class {
         TrafficClass::ChainRim => {
-            if meta.bitstring == 0 {
-                Vec::new()
-            } else {
-                vec![ChainSeed {
+            if meta.bitstring > 0 {
+                seeds.push(ChainSeed {
                     class: TrafficClass::ChainRim,
                     dst: ring.step(node, meta.dir),
                     dir: meta.dir,
                     remaining: meta.bitstring - 1,
-                }]
+                });
             }
         }
         TrafficClass::ChainCross => {
-            if meta.bitstring == 0 {
-                Vec::new()
-            } else {
-                vec![
-                    ChainSeed {
-                        class: TrafficClass::ChainRim,
-                        dst: ring.cw(node),
-                        dir: RingDir::Cw,
-                        remaining: meta.bitstring - 1,
-                    },
-                    ChainSeed {
-                        class: TrafficClass::ChainRim,
-                        dst: ring.ccw(node),
-                        dir: RingDir::Ccw,
-                        remaining: meta.bitstring - 1,
-                    },
-                ]
+            if meta.bitstring > 0 {
+                seeds.push(ChainSeed {
+                    class: TrafficClass::ChainRim,
+                    dst: ring.cw(node),
+                    dir: RingDir::Cw,
+                    remaining: meta.bitstring - 1,
+                });
+                seeds.push(ChainSeed {
+                    class: TrafficClass::ChainRim,
+                    dst: ring.ccw(node),
+                    dir: RingDir::Ccw,
+                    remaining: meta.bitstring - 1,
+                });
             }
         }
-        _ => Vec::new(),
+        _ => {}
     }
+    seeds
 }
 
 #[cfg(test)]
@@ -466,7 +510,8 @@ mod tests {
             let src = NodeId(2 % n as u16);
             let mut covered = HashSet::new();
             let mut total_hops = 0usize;
-            let mut queue: Vec<ChainSeed> = spidergon_broadcast_seeds(&ring, src);
+            let mut queue: Vec<ChainSeed> =
+                spidergon_broadcast_seeds(&ring, src).into_iter().collect();
             while let Some(seed) = queue.pop() {
                 total_hops += spidergon_hops(&ring, seed_prev(&ring, &seed), seed.dst).max(1);
                 assert!(covered.insert(seed.dst), "n={n}: {} covered twice", seed.dst);

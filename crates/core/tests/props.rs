@@ -50,8 +50,7 @@ proptest! {
             len: 2,
             created_at: 0,
         };
-        let flit = Flit { meta, seq: 0, kind: FlitKind::Header, payload: 0 };
-        match decode(encode(&flit)).expect("valid encoding") {
+        match decode(encode(&meta, FlitKind::Header, 0)).expect("valid encoding") {
             WireFlit::Header { class: c, dir: d, bitstring: b, src: s, dst: t } => {
                 prop_assert_eq!(c, class);
                 prop_assert_eq!(d, dir);
@@ -78,8 +77,7 @@ proptest! {
             created_at: 0,
         };
         let kind = if tail { FlitKind::Tail } else { FlitKind::Body };
-        let flit = Flit { meta, seq: 1, kind, payload };
-        let decoded = decode(encode(&flit)).expect("valid encoding");
+        let decoded = decode(encode(&meta, kind, payload)).expect("valid encoding");
         match (tail, decoded) {
             (true, WireFlit::Tail(p)) | (false, WireFlit::Body(p)) => prop_assert_eq!(p, payload),
             other => prop_assert!(false, "decoded {:?}", other.1),
@@ -165,7 +163,8 @@ proptest! {
         let ring = Ring::new(n);
         let src = NodeId::new(src_raw % n);
         let mut covered = HashSet::new();
-        let mut queue = spidergon_broadcast_seeds(&ring, src);
+        let mut queue: Vec<ChainSeed> =
+            spidergon_broadcast_seeds(&ring, src).into_iter().collect();
         while let Some(seed) = queue.pop() {
             prop_assert!(covered.insert(seed.dst), "{} twice", seed.dst);
             let meta = PacketMeta {

@@ -21,7 +21,7 @@ use crate::signals::{LlFwd, LlRev, NUM_VCS};
 use crate::vc_arbiter::VcArbiter;
 use crate::write_ctrl::WriteController;
 use quarc_core::flit::wire::{decode, encode, WireFlit};
-use quarc_core::flit::{Flit, FlitKind, PacketMeta, TrafficClass};
+use quarc_core::flit::{FlitKind, PacketMeta, TrafficClass};
 use quarc_core::ids::{MessageId, NodeId, PacketId, VcId};
 use quarc_core::ring::{Ring, RingDir};
 use quarc_core::routing::{quarc_route, RouteAction};
@@ -136,7 +136,7 @@ pub fn advance_header_word(word: u64) -> u64 {
                 len: 2,
                 created_at: 0,
             };
-            encode(&Flit { meta, seq: 0, kind: FlitKind::Header, payload: 0 })
+            encode(&meta, FlitKind::Header, 0)
         }
         _ => word,
     }

@@ -9,7 +9,7 @@
 //! and the destination address."
 
 use quarc_core::flit::wire::encode;
-use quarc_core::flit::{Flit, FlitKind, PacketMeta, TrafficClass};
+use quarc_core::flit::{FlitKind, PacketMeta, TrafficClass};
 use quarc_core::ids::{MessageId, NodeId, PacketId};
 use quarc_core::quadrant::{broadcast_branches, multicast_branches, quadrant_of};
 use quarc_core::ring::{Ring, RingDir};
@@ -45,7 +45,7 @@ pub fn build_frame(
             } else {
                 FlitKind::Body
             };
-            encode(&Flit { meta, seq: seq as u32, kind, payload: seq as u32 })
+            encode(&meta, kind, seq as u32)
         })
         .collect()
 }

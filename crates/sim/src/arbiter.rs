@@ -21,9 +21,13 @@ pub enum ArbPolicy {
 }
 
 /// A round-robin pointer over `len` candidates.
+///
+/// Two bytes: arbiters are replicated per port per node, and the arbitration
+/// pass touches all of them every cycle — the whole router state should stay
+/// cache-resident. Candidate domains are tiny (≤ 8).
 #[derive(Debug, Clone, Default)]
 pub struct RoundRobin {
-    next: usize,
+    next: u8,
     policy: ArbPolicy,
 }
 
@@ -47,10 +51,10 @@ impl RoundRobin {
             return None;
         }
         for i in 0..len {
-            let k = (self.next + i) % len;
+            let k = (self.next as usize + i) % len;
             if eligible(k) {
                 if self.policy == ArbPolicy::RoundRobin {
-                    self.next = (k + 1) % len;
+                    self.next = ((k + 1) % len) as u8;
                 }
                 return Some(k);
             }

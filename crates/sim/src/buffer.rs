@@ -5,121 +5,152 @@
 //! simulator (a [`Flit`] is a flit); depth is enforced here, and the `full`
 //! signal of the hardware becomes the credit check in the upstream router's
 //! arbitration.
+//!
+//! All lanes of one router live in a single [`LaneBufs`] allocation — one
+//! flit ring plus one `(head, len)` word per lane — so the arbitration pass,
+//! which inspects the head of every lane of every router every cycle, walks
+//! contiguous memory instead of chasing one heap `VecDeque` per lane.
 
-use quarc_core::flit::Flit;
-use std::collections::VecDeque;
+use quarc_core::flit::{Flit, FlitKind, PacketRef};
 
-/// One VC lane of an input port: a bounded flit FIFO.
+/// The input VC lanes of one router: bounded flit FIFOs in one contiguous
+/// block, indexed by a dense lane id (the networks use `port * vcs + vc`).
 #[derive(Debug, Clone)]
-pub struct VcFifo {
-    q: VecDeque<Flit>,
-    cap: usize,
+pub struct LaneBufs {
+    /// Ring storage, `depth` slots per lane.
+    flits: Box<[Flit]>,
+    /// `(head, len)` per lane.
+    state: Box<[(u16, u16)]>,
+    depth: usize,
 }
 
-impl VcFifo {
-    /// A FIFO holding at most `cap` flits.
-    pub fn new(cap: usize) -> Self {
-        assert!(cap >= 1);
-        VcFifo { q: VecDeque::with_capacity(cap), cap }
+impl LaneBufs {
+    /// Buffers for `lanes` lanes of `depth` flits each.
+    pub fn new(lanes: usize, depth: usize) -> Self {
+        assert!(depth >= 1 && depth <= u16::MAX as usize);
+        let empty = Flit { packet: PacketRef(0), seq: 0, kind: FlitKind::Body, payload: 0 };
+        LaneBufs {
+            flits: vec![empty; lanes * depth].into_boxed_slice(),
+            state: vec![(0u16, 0u16); lanes].into_boxed_slice(),
+            depth,
+        }
     }
 
-    /// Append a flit. Panics if full — the upstream credit check must make
-    /// this impossible, so violating it is a simulator bug, not back-pressure.
-    pub fn push(&mut self, flit: Flit) {
-        assert!(self.q.len() < self.cap, "VC buffer overflow: credit accounting broken");
-        self.q.push_back(flit);
-    }
-
-    /// The flit at the head, if any.
+    /// Append a flit to `lane`. Panics if full — the upstream credit check
+    /// must make this impossible, so violating it is a simulator bug, not
+    /// back-pressure.
     #[inline]
-    pub fn front(&self) -> Option<&Flit> {
-        self.q.front()
+    pub fn push(&mut self, lane: usize, flit: Flit) {
+        let (head, len) = self.state[lane];
+        assert!((len as usize) < self.depth, "VC buffer overflow: credit accounting broken");
+        let slot = lane * self.depth + (head as usize + len as usize) % self.depth;
+        self.flits[slot] = flit;
+        self.state[lane].1 = len + 1;
     }
 
-    /// Remove and return the head flit.
+    /// The flit at the head of `lane`, if any.
     #[inline]
-    pub fn pop(&mut self) -> Option<Flit> {
-        self.q.pop_front()
+    pub fn front(&self, lane: usize) -> Option<&Flit> {
+        let (head, len) = self.state[lane];
+        (len > 0).then(|| &self.flits[lane * self.depth + head as usize])
     }
 
-    /// Number of buffered flits.
+    /// Remove and return the head flit of `lane`.
     #[inline]
-    pub fn len(&self) -> usize {
-        self.q.len()
+    pub fn pop(&mut self, lane: usize) -> Option<Flit> {
+        let (head, len) = self.state[lane];
+        if len == 0 {
+            return None;
+        }
+        let flit = self.flits[lane * self.depth + head as usize];
+        self.state[lane] = (((head as usize + 1) % self.depth) as u16, len - 1);
+        Some(flit)
     }
 
-    /// Whether the lane is empty (the `empty` signal of §2.3.1).
+    /// Number of buffered flits in `lane`.
     #[inline]
-    pub fn is_empty(&self) -> bool {
-        self.q.is_empty()
+    pub fn len(&self, lane: usize) -> usize {
+        self.state[lane].1 as usize
     }
 
-    /// Free slots (the complement of the `full`/`ch_status_n` signal).
+    /// Whether `lane` is empty (the `empty` signal of §2.3.1).
     #[inline]
-    pub fn free(&self) -> usize {
-        self.cap - self.q.len()
+    pub fn is_empty(&self, lane: usize) -> bool {
+        self.state[lane].1 == 0
     }
 
-    /// Buffer capacity in flits.
+    /// Free slots of `lane` (the complement of `full`/`ch_status_n`).
     #[inline]
-    pub fn capacity(&self) -> usize {
-        self.cap
+    pub fn free(&self, lane: usize) -> usize {
+        self.depth - self.len(lane)
+    }
+
+    /// Buffer capacity per lane, in flits.
+    #[inline]
+    pub fn depth(&self) -> usize {
+        self.depth
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use quarc_core::flit::{FlitKind, PacketMeta, TrafficClass};
-    use quarc_core::ids::{MessageId, NodeId, PacketId};
-    use quarc_core::ring::RingDir;
 
     fn flit(seq: u32) -> Flit {
-        Flit {
-            meta: PacketMeta {
-                message: MessageId(0),
-                packet: PacketId(0),
-                class: TrafficClass::Unicast,
-                src: NodeId(0),
-                dst: NodeId(1),
-                bitstring: 0,
-                dir: RingDir::Cw,
-                len: 4,
-                created_at: 0,
-            },
-            seq,
-            kind: FlitKind::Body,
-            payload: seq,
-        }
+        Flit { packet: PacketRef(0), seq, kind: FlitKind::Body, payload: seq }
     }
 
     #[test]
-    fn fifo_order() {
-        let mut f = VcFifo::new(4);
+    fn fifo_order_per_lane() {
+        let mut b = LaneBufs::new(2, 4);
         for i in 0..4 {
-            f.push(flit(i));
+            b.push(0, flit(i));
         }
-        assert_eq!(f.len(), 4);
-        assert_eq!(f.free(), 0);
+        b.push(1, flit(99));
+        assert_eq!(b.len(0), 4);
+        assert_eq!(b.free(0), 0);
         for i in 0..4 {
-            assert_eq!(f.pop().unwrap().seq, i);
+            assert_eq!(b.pop(0).unwrap().seq, i);
         }
-        assert!(f.is_empty());
+        assert!(b.is_empty(0));
+        assert_eq!(b.pop(1).unwrap().seq, 99);
+    }
+
+    #[test]
+    fn ring_wraps_across_push_pop_interleaving() {
+        let mut b = LaneBufs::new(1, 3);
+        for round in 0..10u32 {
+            b.push(0, flit(round));
+            assert_eq!(b.pop(0).unwrap().seq, round);
+        }
+        assert!(b.is_empty(0));
     }
 
     #[test]
     #[should_panic(expected = "overflow")]
     fn overflow_panics() {
-        let mut f = VcFifo::new(1);
-        f.push(flit(0));
-        f.push(flit(1));
+        let mut b = LaneBufs::new(1, 1);
+        b.push(0, flit(0));
+        b.push(0, flit(1));
     }
 
     #[test]
     fn front_does_not_consume() {
-        let mut f = VcFifo::new(2);
-        f.push(flit(7));
-        assert_eq!(f.front().unwrap().seq, 7);
-        assert_eq!(f.len(), 1);
+        let mut b = LaneBufs::new(1, 2);
+        b.push(0, flit(7));
+        assert_eq!(b.front(0).unwrap().seq, 7);
+        assert_eq!(b.len(0), 1);
+        assert!(b.front(1 - 1).is_some());
+    }
+
+    #[test]
+    fn lanes_are_independent() {
+        let mut b = LaneBufs::new(3, 2);
+        b.push(0, flit(1));
+        b.push(2, flit(2));
+        assert!(b.is_empty(1));
+        assert_eq!(b.front(0).unwrap().seq, 1);
+        assert_eq!(b.front(2).unwrap().seq, 2);
+        assert_eq!(b.pop(1), None);
     }
 }

@@ -24,6 +24,10 @@ pub trait NocSim {
     fn metrics_mut(&mut self) -> &mut Metrics;
     /// Flits queued at source transceivers.
     fn source_backlog(&self) -> usize;
+    /// Total link traversals (flit-hops) since construction. One flit moving
+    /// over one physical link for one cycle counts once; the perf harness
+    /// divides deltas of this by wall time to get Mflit-hops/s.
+    fn flit_hops(&self) -> u64;
     /// Whether no traffic is anywhere in the system.
     fn quiesced(&self) -> bool;
 }
@@ -125,12 +129,12 @@ impl RunResult {
 struct Silence;
 
 impl Workload for Silence {
-    fn poll(
+    fn poll_into(
         &mut self,
         _node: quarc_core::ids::NodeId,
         _now: Cycle,
-    ) -> Vec<quarc_workloads::MessageRequest> {
-        Vec::new()
+        _out: &mut Vec<quarc_workloads::MessageRequest>,
+    ) {
     }
 }
 

@@ -18,6 +18,46 @@
 //! ([`metrics`]) and the same run protocol ([`driver`], [`sweep`]), so a
 //! latency difference between the two networks can only come from the
 //! architectural differences the paper claims matter.
+//!
+//! ## The hot path: packet table + zero-alloc invariant
+//!
+//! Every figure is produced by stepping these simulators millions of cycles,
+//! so `NocSim::step` is the repository's dominant cost. The steady-state
+//! cycle loop is engineered to perform **zero heap allocations** and only
+//! O(1) bookkeeping per flit event:
+//!
+//! * **Interned packet metadata** — each network owns a
+//!   [`quarc_core::flit::PacketTable`]; a `Flit` is a 16-byte `Copy` handle
+//!   (packet ref + seq + kind + payload). Metadata is written once at
+//!   injection, the slot is recycled when the tail is absorbed at the last
+//!   node of its path.
+//! * **Scratch reuse** — workload polling ([`quarc_workloads::Workload::poll_into`]),
+//!   the arbitration transfer list, and per-port VC scans all use buffers
+//!   that live across cycles (fixed arrays where the bound is static,
+//!   `MAX_VCS`).
+//! * **Counter-maintained queries** — link occupancy ([`link::Link`]),
+//!   sender-side credits (exact mirrors of downstream free space), source
+//!   backlog and buffered-flit totals are all updated at the event and read
+//!   in O(1); `quiesced()` is four counter compares, not a network walk.
+//! * **Event-driven arbitration skip** — a router that produced no grant can
+//!   only become grantable through a tracked event (arrival, injection,
+//!   commit, credit return), so quiescent routers are skipped exactly.
+//!
+//! The refactor is held to **bit-identical** behaviour by
+//! `tests/equivalence.rs`: fixed-seed Synthetic/Bursty/Trace runs on all four
+//! networks against goldens generated before it, with latency means compared
+//! as exact `f64` bit patterns.
+//!
+//! Throughput is tracked by the `perf` harness in `quarc-bench`:
+//!
+//! ```text
+//! cargo run --release -p quarc-bench --bin perf            # writes BENCH_sim.json
+//! cargo run --release -p quarc-bench --bin perf -- --quick # CI smoke grid
+//! ```
+//!
+//! It reports cycles/s and Mflit-hops/s per (topology × size × load) point;
+//! `headline` is the largest Quarc network near saturation. CI runs the quick
+//! grid and validates the artifact shape on every push.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]

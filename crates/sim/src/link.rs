@@ -4,10 +4,14 @@
 //! wires, §2.7) and delivers it `latency` cycles later. The occupancy query
 //! lets the sender account for flits that are in flight but not yet buffered
 //! downstream, which keeps the credit arithmetic exact for any latency.
+//!
+//! Occupancy is tracked by per-VC counters maintained in `send`/`step`, so
+//! the credit check [`Link::in_flight`] — issued for every head flit of every
+//! lane, every cycle — is O(1) instead of a scan over all latency slots.
 
+use quarc_core::config::MAX_VCS;
 use quarc_core::flit::Flit;
 use quarc_core::ids::VcId;
-use std::collections::VecDeque;
 
 /// A flit in flight, tagged with the VC it will occupy downstream.
 #[derive(Debug, Clone, Copy)]
@@ -19,70 +23,86 @@ pub struct TaggedFlit {
 }
 
 /// A unidirectional link with fixed latency ≥ 1.
+///
+/// The pipeline is a fixed ring buffer: `head` is the slot that arrives
+/// next, and a send lands `latency − 1` slots behind it. Rotating an empty
+/// pipeline is the identity, so `step` on an idle link is a single branch —
+/// the common case, since every network steps all `O(n)` links every cycle.
 #[derive(Debug, Clone)]
 pub struct Link {
-    slots: VecDeque<Option<TaggedFlit>>,
+    slots: Box<[Option<TaggedFlit>]>,
+    /// Index of the slot that arrives on the next `step`.
+    head: usize,
+    /// In-flight flits per downstream VC (counter-maintained; invariantly
+    /// equals the matching scan over `slots`).
+    per_vc: [u32; MAX_VCS],
+    /// Total occupied slots.
+    occupied: u32,
 }
 
 impl Link {
     /// A link delivering after `latency` cycles.
     pub fn new(latency: u64) -> Self {
         assert!(latency >= 1);
-        Link { slots: (0..latency).map(|_| None).collect() }
+        Link {
+            slots: (0..latency).map(|_| None).collect(),
+            head: 0,
+            per_vc: [0; MAX_VCS],
+            occupied: 0,
+        }
     }
 
     /// Advance one cycle: the oldest slot arrives (if occupied) and a fresh
     /// empty slot opens at the tail. Call once per cycle *before* `send`.
+    #[inline]
     pub fn step(&mut self) -> Option<TaggedFlit> {
-        let arrived = self.slots.pop_front().expect("latency >= 1");
-        self.slots.push_back(None);
+        if self.occupied == 0 {
+            // All slots are empty; skipping the rotation preserves every
+            // relative position.
+            return None;
+        }
+        let arrived = self.slots[self.head].take();
+        self.head = (self.head + 1) % self.slots.len();
+        if let Some(tf) = &arrived {
+            self.per_vc[tf.vc.index()] -= 1;
+            self.occupied -= 1;
+        }
         arrived
     }
 
     /// Place a flit into the newest slot. Panics if the slot is already in
     /// use (more than one send per cycle is a simulator bug).
+    #[inline]
     pub fn send(&mut self, tf: TaggedFlit) {
-        let tail = self.slots.back_mut().expect("latency >= 1");
+        let latency = self.slots.len();
+        let tail = &mut self.slots[(self.head + latency - 1) % latency];
         assert!(tail.is_none(), "link already carries a flit this cycle");
+        self.per_vc[tf.vc.index()] += 1;
+        self.occupied += 1;
         *tail = Some(tf);
     }
 
-    /// Number of in-flight flits destined for VC `vc` downstream.
+    /// Number of in-flight flits destined for VC `vc` downstream. O(1).
+    #[inline]
     pub fn in_flight(&self, vc: VcId) -> usize {
-        self.slots.iter().flatten().filter(|tf| tf.vc == vc).count()
+        self.per_vc[vc.index()] as usize
     }
 
-    /// Whether the link is completely empty.
+    /// Whether the link is completely empty. O(1).
+    #[inline]
     pub fn is_empty(&self) -> bool {
-        self.slots.iter().all(Option::is_none)
+        self.occupied == 0
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use quarc_core::flit::{FlitKind, PacketMeta, TrafficClass};
-    use quarc_core::ids::{MessageId, NodeId, PacketId};
-    use quarc_core::ring::RingDir;
+    use quarc_core::flit::{FlitKind, PacketRef};
 
     fn tf(seq: u32, vc: VcId) -> TaggedFlit {
         TaggedFlit {
-            flit: Flit {
-                meta: PacketMeta {
-                    message: MessageId(0),
-                    packet: PacketId(0),
-                    class: TrafficClass::Unicast,
-                    src: NodeId(0),
-                    dst: NodeId(1),
-                    bitstring: 0,
-                    dir: RingDir::Cw,
-                    len: 4,
-                    created_at: 0,
-                },
-                seq,
-                kind: FlitKind::Body,
-                payload: 0,
-            },
+            flit: Flit { packet: PacketRef(0), seq, kind: FlitKind::Body, payload: 0 },
             vc,
         }
     }
@@ -116,6 +136,23 @@ mod tests {
         l.step();
         l.send(tf(1, VcId::VC0));
         l.send(tf(2, VcId::VC1));
+    }
+
+    #[test]
+    fn counters_match_slot_scan_under_mixed_traffic() {
+        // The O(1) counters must agree with a slot scan at every cycle.
+        let mut l = Link::new(3);
+        for cycle in 0..20u32 {
+            l.step();
+            if cycle % 3 != 2 {
+                l.send(tf(cycle, if cycle % 2 == 0 { VcId::VC0 } else { VcId::VC1 }));
+            }
+            for vc in [VcId::VC0, VcId::VC1] {
+                let scanned = l.slots.iter().flatten().filter(|t| t.vc == vc).count();
+                assert_eq!(l.in_flight(vc), scanned, "cycle {cycle} {vc}");
+            }
+            assert_eq!(l.is_empty(), l.slots.iter().all(Option::is_none));
+        }
     }
 
     #[test]

@@ -10,19 +10,19 @@
 //! are apples-to-apples.
 
 use crate::arbiter::RoundRobin;
-use crate::buffer::VcFifo;
+use crate::buffer::LaneBufs;
 use crate::driver::NocSim;
 use crate::link::{Link, TaggedFlit};
 use crate::metrics::Metrics;
-use crate::packets::{packetize, IdAlloc};
-use quarc_core::config::NocConfig;
-use quarc_core::flit::{Flit, PacketMeta, TrafficClass};
+use crate::packets::{push_packet, IdAlloc};
+use quarc_core::config::{NocConfig, MAX_VCS};
+use quarc_core::flit::{Flit, PacketMeta, PacketTable, TrafficClass};
 use quarc_core::ids::NodeId;
 use quarc_core::ring::RingDir;
 use quarc_core::topology::{MeshOut, MeshTopology, TopologyKind};
 use quarc_core::vc::INJECTION_VC;
 use quarc_engine::{Clock, Cycle};
-use quarc_workloads::Workload;
+use quarc_workloads::{MessageRequest, Workload};
 use std::collections::VecDeque;
 
 /// Direction outputs in index order (matches `MeshOut::index()` 0..4).
@@ -71,9 +71,10 @@ struct Transfer {
 struct NodeState {
     inject_q: VecDeque<Flit>,
     inject_plan: Option<HopPlan>,
-    in_buf: Vec<Vec<VcFifo>>,
-    in_route: Vec<Vec<Option<HopPlan>>>,
-    out_owner: Vec<Option<Src>>,
+    /// Input buffers, flat over `port * vcs + vc`.
+    in_buf: LaneBufs,
+    in_route: [[Option<HopPlan>; MAX_VCS]; 4],
+    out_owner: [Option<Src>; 4],
     eject_owner: Option<Src>,
     rr_in_vc: [RoundRobin; 4],
     rr_out: [RoundRobin; 5],
@@ -84,9 +85,9 @@ impl NodeState {
         NodeState {
             inject_q: VecDeque::new(),
             inject_plan: None,
-            in_buf: (0..4).map(|_| (0..vcs).map(|_| VcFifo::new(depth)).collect()).collect(),
-            in_route: (0..4).map(|_| vec![None; vcs]).collect(),
-            out_owner: vec![None; 4],
+            in_buf: LaneBufs::new(4 * vcs, depth),
+            in_route: [[None; MAX_VCS]; 4],
+            out_owner: [None; 4],
             eject_owner: None,
             rr_in_vc: Default::default(),
             rr_out: Default::default(),
@@ -105,7 +106,26 @@ pub struct MeshNetwork {
     links: Vec<Option<Link>>,
     ids: IdAlloc,
     metrics: Metrics,
+    /// Interned metadata of every in-flight packet (see [`PacketTable`]).
+    packets: PacketTable,
     transfers: Vec<Transfer>,
+    /// Scratch for workload polling, reused across every poll of the run.
+    poll_buf: Vec<MessageRequest>,
+    /// Total link traversals (observability; the perf harness reads deltas).
+    flit_hops: u64,
+    /// Precomputed `(downstream node, arrival port)` per `node * 4 + out`
+    /// (`None` at mesh edges).
+    targets: Vec<Option<(u32, u8)>>,
+    /// Sender-side credits per `node * 4 + out` (XY routing runs entirely on
+    /// VC0, so one counter per link mirrors downstream free minus in-flight).
+    credits: Vec<u32>,
+    /// Link id feeding input `node * 4 + in_port` (`u32::MAX` at edges,
+    /// which never receive).
+    feeder: Vec<u32>,
+    /// O(1) counter twins for `backlog()` / `quiesced()`.
+    inject_backlog: usize,
+    buffered_flits: u64,
+    link_occupancy: u64,
 }
 
 impl MeshNetwork {
@@ -122,6 +142,18 @@ impl MeshNetwork {
                 topo.link_target(NodeId::new(node), NET_OUT[o]).map(|_| Link::new(cfg.link_latency))
             })
             .collect();
+        let targets: Vec<Option<(u32, u8)>> = (0..n * 4)
+            .map(|i| {
+                topo.link_target(NodeId::new(i / 4), NET_OUT[i % 4])
+                    .map(|to| (to.index() as u32, arrival_port(NET_OUT[i % 4]) as u8))
+            })
+            .collect();
+        let mut feeder = vec![u32::MAX; n * 4];
+        for (lid, t) in targets.iter().enumerate() {
+            if let Some((to, tin)) = t {
+                feeder[*to as usize * 4 + *tin as usize] = lid as u32;
+            }
+        }
         MeshNetwork {
             topo,
             cfg,
@@ -130,7 +162,16 @@ impl MeshNetwork {
             links,
             ids: IdAlloc::new(),
             metrics: Metrics::new(),
+            packets: PacketTable::new(),
             transfers: Vec::new(),
+            poll_buf: Vec::new(),
+            flit_hops: 0,
+            credits: vec![cfg.buffer_depth as u32; n * 4],
+            feeder,
+            targets,
+            inject_backlog: 0,
+            buffered_flits: 0,
+            link_occupancy: 0,
         }
     }
 
@@ -147,13 +188,9 @@ impl MeshNetwork {
     }
 
     fn downstream_free(&self, node: usize, out: usize) -> usize {
-        let to = self
-            .topo
-            .link_target(NodeId::new(node), NET_OUT[out])
-            .expect("route never leaves the mesh");
-        let link = self.links[node * 4 + out].as_ref().expect("link exists");
-        let buffered = &self.nodes[to.index()].in_buf[arrival_port(NET_OUT[out])][0];
-        buffered.free().saturating_sub(link.in_flight(INJECTION_VC))
+        // One read of the sender-side credit counter (routes never leave the
+        // mesh, so the link always exists here).
+        self.credits[node * 4 + out] as usize
     }
 
     fn feasible(&self, node: usize, plan: HopPlan, src: Src, is_header: bool) -> bool {
@@ -171,16 +208,17 @@ impl MeshNetwork {
 
     fn gather_net_port(&mut self, node: usize, p: usize) -> Option<PortReq> {
         let vcs = self.cfg.vcs;
-        let mut feasible: Vec<Option<PortReq>> = vec![None; vcs];
+        // Fixed-size scratch: runs 4·n times per cycle, must not allocate.
+        let mut feasible: [Option<PortReq>; MAX_VCS] = [None; MAX_VCS];
         for vc in 0..vcs {
-            let Some(head) = self.nodes[node].in_buf[p][vc].front().copied() else {
+            let Some(head) = self.nodes[node].in_buf.front(p * vcs + vc).copied() else {
                 continue;
             };
             let plan = match self.nodes[node].in_route[p][vc] {
                 Some(plan) => plan,
                 None => {
                     assert!(head.is_header(), "wormhole violated");
-                    self.plan_header(node, &head.meta)
+                    self.plan_header(node, self.packets.meta(head.packet))
                 }
             };
             let src = Src::Net { port: p, vc };
@@ -203,7 +241,7 @@ impl MeshNetwork {
             Some(plan) => plan,
             None => {
                 assert!(head.is_header(), "local queue must start with a header");
-                self.plan_header(node, &head.meta)
+                self.plan_header(node, self.packets.meta(head.packet))
             }
         };
         self.feasible(node, plan, Src::Local, head.is_header()).then_some(PortReq {
@@ -236,7 +274,11 @@ impl MeshNetwork {
         let node = t.node;
         let flit = match t.req.src {
             Src::Net { port, vc } => {
-                let flit = self.nodes[node].in_buf[port][vc].pop().expect("planned flit");
+                let vcs = self.cfg.vcs;
+                let flit = self.nodes[node].in_buf.pop(port * vcs + vc).expect("planned flit");
+                self.buffered_flits -= 1;
+                // The freed slot becomes a credit at the upstream sender.
+                self.credits[self.feeder[node * 4 + port] as usize] += 1;
                 if t.req.is_header {
                     self.nodes[node].in_route[port][vc] = Some(t.req.plan);
                 }
@@ -247,6 +289,7 @@ impl MeshNetwork {
             }
             Src::Local => {
                 let flit = self.nodes[node].inject_q.pop_front().expect("planned flit");
+                self.inject_backlog -= 1;
                 if t.req.is_header {
                     self.nodes[node].inject_plan = Some(t.req.plan);
                 }
@@ -263,7 +306,19 @@ impl MeshNetwork {
             if t.req.is_tail {
                 self.nodes[node].eject_owner = None;
             }
-            self.metrics.record_flit_delivery(now, NodeId::new(node), &flit);
+            // The single arbitrated ejection port is the delivery site: it
+            // streams one packet at a time (eject_owner pins it).
+            self.metrics.record_flit_delivery(
+                now,
+                NodeId::new(node),
+                node,
+                &flit,
+                self.packets.meta(flit.packet),
+            );
+            if t.req.is_tail {
+                // The packet has fully left the network: retire it.
+                self.packets.release(flit.packet);
+            }
         } else {
             let o = t.req.plan.out;
             if t.req.is_header {
@@ -272,6 +327,9 @@ impl MeshNetwork {
             if t.req.is_tail {
                 self.nodes[node].out_owner[o] = None;
             }
+            self.flit_hops += 1;
+            self.link_occupancy += 1;
+            self.credits[node * 4 + o] -= 1;
             self.links[node * 4 + o]
                 .as_mut()
                 .expect("route stays on the mesh")
@@ -279,9 +337,9 @@ impl MeshNetwork {
         }
     }
 
-    /// Total flits queued at sources.
+    /// Total flits queued at sources. O(1).
     pub fn backlog(&self) -> usize {
-        self.nodes.iter().map(|n| n.inject_q.len()).sum()
+        self.inject_backlog
     }
 }
 
@@ -289,27 +347,31 @@ impl NocSim for MeshNetwork {
     fn step(&mut self, workload: &mut dyn Workload) {
         let now = self.clock.now();
         let n = self.topo.num_nodes();
-        for node in 0..n {
-            for o in 0..4 {
-                let arrived = self.links[node * 4 + o].as_mut().and_then(Link::step);
-                if let Some(tf) = arrived {
-                    let to =
-                        self.topo.link_target(NodeId::new(node), NET_OUT[o]).expect("link exists");
-                    self.nodes[to.index()].in_buf[arrival_port(NET_OUT[o])][tf.vc.index()]
-                        .push(tf.flit);
-                }
+        let vcs = self.cfg.vcs;
+        for lid in 0..n * 4 {
+            let arrived = self.links[lid].as_mut().and_then(Link::step);
+            if let Some(tf) = arrived {
+                let (to, tin) = self.targets[lid].expect("link exists");
+                self.nodes[to as usize].in_buf.push(tin as usize * vcs + tf.vc.index(), tf.flit);
+                self.link_occupancy -= 1;
+                self.buffered_flits += 1;
             }
         }
+        let mut reqs = std::mem::take(&mut self.poll_buf);
         for node in 0..n {
-            for req in workload.poll(NodeId::new(node), now) {
+            reqs.clear();
+            workload.poll_into(NodeId::new(node), now, &mut reqs);
+            for req in reqs.drain(..) {
                 assert_eq!(
                     req.class,
                     TrafficClass::Unicast,
                     "the mesh model carries unicast traffic only (validation role)"
                 );
-                let message = self.ids.message();
+                let message = self.metrics.create_message(TrafficClass::Unicast, now);
+                self.metrics.set_expected(message, 1);
                 let dst = req.dst.expect("unicast");
-                let meta = PacketMeta {
+                let len = req.len as u32;
+                let pref = self.packets.insert(PacketMeta {
                     message,
                     packet: self.ids.packet(),
                     class: TrafficClass::Unicast,
@@ -317,13 +379,13 @@ impl NocSim for MeshNetwork {
                     dst,
                     bitstring: 0,
                     dir: RingDir::Cw,
-                    len: req.len as u32,
+                    len,
                     created_at: now,
-                };
-                self.metrics.record_created(message, TrafficClass::Unicast, now, 1);
-                self.nodes[node].inject_q.extend(packetize(meta));
+                });
+                self.inject_backlog += push_packet(&mut self.nodes[node].inject_q, pref, len);
             }
         }
+        self.poll_buf = reqs;
         let mut transfers = std::mem::take(&mut self.transfers);
         transfers.clear();
         for node in 0..n {
@@ -360,14 +422,16 @@ impl NocSim for MeshNetwork {
         self.backlog()
     }
 
+    fn flit_hops(&self) -> u64 {
+        self.flit_hops
+    }
+
     fn quiesced(&self) -> bool {
+        // Counters only — O(1) per call (drain loops poll this every cycle).
         self.metrics.in_flight() == 0
-            && self.backlog() == 0
-            && self.links.iter().flatten().all(Link::is_empty)
-            && self
-                .nodes
-                .iter()
-                .all(|n| n.in_buf.iter().all(|port| port.iter().all(VcFifo::is_empty)))
+            && self.inject_backlog == 0
+            && self.link_occupancy == 0
+            && self.buffered_flits == 0
     }
 }
 

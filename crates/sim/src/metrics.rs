@@ -13,37 +13,63 @@
 //! receives the same packet twice, unicasts arrive at their addressee, and a
 //! broadcast reaches every node exactly once.
 
-use quarc_core::flit::{Flit, FlitKind, TrafficClass};
-use quarc_core::ids::{MessageId, NodeId, PacketId};
+use quarc_core::flit::{Flit, FlitKind, PacketMeta, TrafficClass};
+use quarc_core::ids::{MessageId, NodeId};
 use quarc_engine::stats::{LatencyHistogram, OnlineStats};
 use quarc_engine::Cycle;
-use std::collections::HashMap;
 
-/// Per-in-flight-message completion tracking.
-#[derive(Debug)]
+/// Per-in-flight-message completion tracking (one slab slot per live
+/// message; kept small so the slab stays cache-friendly at saturation).
+#[derive(Debug, Clone, Copy)]
 struct MessageTrack {
     class: TrafficClass,
+    live: bool,
+    /// Incremented each time the slot is reused; the matching value is
+    /// carried in the high half of the issued [`MessageId`], so a delivery
+    /// for a completed message can never be attributed to the slot's next
+    /// occupant.
+    generation: u32,
     created_at: Cycle,
-    expected: usize,
-    received: usize,
+    expected: u32,
+    received: u32,
+}
+
+/// Split a slab-issued [`MessageId`] into `(slot, generation)`.
+#[inline]
+fn slot_of(message: MessageId) -> (usize, u32) {
+    ((message.0 & 0xFFFF_FFFF) as usize, (message.0 >> 32) as u32)
 }
 
 /// Simulation measurements and delivery invariants.
+///
+/// Hot-path notes: `record_flit_delivery` runs for every delivered flit, so
+/// nothing on its path hashes. Message tracks live in a slot-recycling slab
+/// directly indexed by the [`MessageId`]s this struct allocates
+/// ([`Metrics::create_message`]). The per-flit in-order check is a plain
+/// counter per *delivery site* — the wormhole lane (or ejection port) a
+/// packet's flits reach the PE through. A lane delivers one packet at a time
+/// (route state pins it from header to tail), so the site counter tracks
+/// exactly the old per-`(packet, node)` sequence; a packet that reached the
+/// same node twice would still trip the over-delivery check on its message.
 #[derive(Debug)]
 pub struct Metrics {
     measure_from: Cycle,
-    /// Expected next flit seq per (packet, receiving node).
-    flit_progress: HashMap<(PacketId, NodeId), u32>,
-    /// In-flight message completion state.
-    messages: HashMap<MessageId, MessageTrack>,
+    /// Expected next flit seq per delivery site (grown on first use).
+    site_progress: Vec<u32>,
+    /// Message tracks, indexed by `MessageId`; completed slots are recycled.
+    tracks: Vec<MessageTrack>,
+    /// Recyclable slots of `tracks`.
+    free_tracks: Vec<u32>,
+    /// Live (created, not yet fully delivered) messages.
+    in_flight: usize,
     unicast: OnlineStats,
     unicast_hist: LatencyHistogram,
     bcast_reception: OnlineStats,
     bcast_completion: OnlineStats,
     bcast_completion_hist: LatencyHistogram,
     mcast_completion: OnlineStats,
-    created: HashMap<TrafficClass, u64>,
-    completed: HashMap<TrafficClass, u64>,
+    created: [u64; TrafficClass::COUNT],
+    completed: [u64; TrafficClass::COUNT],
     flits_delivered: u64,
     messages_completed_total: u64,
 }
@@ -59,16 +85,18 @@ impl Metrics {
     pub fn new() -> Self {
         Metrics {
             measure_from: 0,
-            flit_progress: HashMap::new(),
-            messages: HashMap::new(),
+            site_progress: Vec::new(),
+            tracks: Vec::new(),
+            free_tracks: Vec::new(),
+            in_flight: 0,
             unicast: OnlineStats::new(),
             unicast_hist: LatencyHistogram::new(),
             bcast_reception: OnlineStats::new(),
             bcast_completion: OnlineStats::new(),
             bcast_completion_hist: LatencyHistogram::new(),
             mcast_completion: OnlineStats::new(),
-            created: HashMap::new(),
-            completed: HashMap::new(),
+            created: [0; TrafficClass::COUNT],
+            completed: [0; TrafficClass::COUNT],
             flits_delivered: 0,
             messages_completed_total: 0,
         }
@@ -80,52 +108,99 @@ impl Metrics {
         self.measure_from = cycle;
     }
 
-    /// Register a created message with its expected receiver count.
-    pub fn record_created(
-        &mut self,
-        message: MessageId,
-        class: TrafficClass,
-        created_at: Cycle,
-        expected: usize,
-    ) {
-        *self.created.entry(class).or_default() += 1;
-        let prev = self
-            .messages
-            .insert(message, MessageTrack { class, created_at, expected, received: 0 });
-        assert!(prev.is_none(), "message id reused");
+    /// Register a created message, allocating its id: a slab slot (low half)
+    /// tagged with the slot's generation (high half). Slots of completed
+    /// messages are recycled, and the generation tag keeps stale ids
+    /// detectable. The expected receiver count is known only after branch
+    /// expansion — set it with [`Metrics::set_expected`] before the first
+    /// delivery.
+    pub fn create_message(&mut self, class: TrafficClass, created_at: Cycle) -> MessageId {
+        self.created[class.index()] += 1;
+        self.in_flight += 1;
+        match self.free_tracks.pop() {
+            Some(slot) => {
+                let track = &mut self.tracks[slot as usize];
+                debug_assert!(!track.live, "slot freed while live");
+                let generation = track.generation + 1;
+                *track = MessageTrack {
+                    class,
+                    live: true,
+                    generation,
+                    created_at,
+                    expected: 0,
+                    received: 0,
+                };
+                MessageId((generation as u64) << 32 | slot as u64)
+            }
+            None => {
+                self.tracks.push(MessageTrack {
+                    class,
+                    live: true,
+                    generation: 0,
+                    created_at,
+                    expected: 0,
+                    received: 0,
+                });
+                MessageId(self.tracks.len() as u64 - 1)
+            }
+        }
     }
 
-    /// Record the delivery of one flit at `node`. Enforces in-order,
-    /// exactly-once flit delivery per (packet, node); on a tail flit,
-    /// advances message completion and records latency samples.
-    pub fn record_flit_delivery(&mut self, now: Cycle, node: NodeId, flit: &Flit) {
+    /// Set the receiver count a created message must reach to complete.
+    pub fn set_expected(&mut self, message: MessageId, expected: usize) {
+        let (slot, generation) = slot_of(message);
+        let track = &mut self.tracks[slot];
+        debug_assert!(
+            track.live && track.generation == generation && track.received == 0,
+            "expected set too late"
+        );
+        track.expected = u32::try_from(expected).expect("receiver count fits u32");
+    }
+
+    /// Record the delivery of one flit at `node` through delivery site
+    /// `site` (a caller-assigned dense index of the wormhole lane or
+    /// ejection port the flit reached the PE through); `meta` is the
+    /// interned metadata of `flit.packet`. Enforces in-order, exactly-once
+    /// flit delivery; on a tail flit, advances message completion and
+    /// records latency samples.
+    pub fn record_flit_delivery(
+        &mut self,
+        now: Cycle,
+        node: NodeId,
+        site: usize,
+        flit: &Flit,
+        meta: &PacketMeta,
+    ) {
         self.flits_delivered += 1;
-        let key = (flit.meta.packet, node);
-        let expected_seq = self.flit_progress.entry(key).or_insert(0);
+        if site >= self.site_progress.len() {
+            self.site_progress.resize(site + 1, 0);
+        }
+        let expected_seq = &mut self.site_progress[site];
         assert_eq!(
             *expected_seq, flit.seq,
             "out-of-order flit at {node}: packet {} seq {} (expected {})",
-            flit.meta.packet, flit.seq, expected_seq
+            meta.packet, flit.seq, expected_seq
         );
         *expected_seq += 1;
         if flit.kind != FlitKind::Tail {
             return;
         }
-        // Tail: the packet is fully received at this node.
-        assert_eq!(*expected_seq, flit.meta.len, "tail arrived before all flits");
-        self.flit_progress.remove(&key);
+        // Tail: the packet is fully received at this site.
+        assert_eq!(*expected_seq, meta.len, "tail arrived before all flits");
+        self.site_progress[site] = 0;
 
-        if flit.meta.class == TrafficClass::Unicast {
-            assert_eq!(flit.meta.dst, node, "unicast delivered to the wrong node");
+        if meta.class == TrafficClass::Unicast {
+            assert_eq!(meta.dst, node, "unicast delivered to the wrong node");
         }
 
-        let track =
-            self.messages.get_mut(&flit.meta.message).expect("delivery for unregistered message");
+        let (slot, generation) = slot_of(meta.message);
+        let track = &mut self.tracks[slot];
+        assert!(track.live && track.generation == generation, "delivery for unregistered message");
         track.received += 1;
         assert!(
             track.received <= track.expected,
             "message {} over-delivered ({} > {})",
-            flit.meta.message,
+            meta.message,
             track.received,
             track.expected
         );
@@ -143,8 +218,10 @@ impl Metrics {
         if track.received == track.expected {
             let class = track.class;
             let created_at = track.created_at;
-            self.messages.remove(&flit.meta.message);
-            *self.completed.entry(class).or_default() += 1;
+            track.live = false;
+            self.free_tracks.push(slot as u32);
+            self.in_flight -= 1;
+            self.completed[class.index()] += 1;
             self.messages_completed_total += 1;
             if created_at >= self.measure_from {
                 let lat = now.saturating_sub(created_at);
@@ -203,12 +280,12 @@ impl Metrics {
 
     /// Messages created of a class.
     pub fn created(&self, class: TrafficClass) -> u64 {
-        self.created.get(&class).copied().unwrap_or(0)
+        self.created[class.index()]
     }
 
     /// Messages fully completed of a class.
     pub fn completed(&self, class: TrafficClass) -> u64 {
-        self.completed.get(&class).copied().unwrap_or(0)
+        self.completed[class.index()]
     }
 
     /// Total messages fully completed.
@@ -218,19 +295,26 @@ impl Metrics {
 
     /// Messages still in flight (created but not fully delivered).
     pub fn in_flight(&self) -> usize {
-        self.messages.len()
+        self.in_flight
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use quarc_core::flit::PacketMeta;
+    use quarc_core::flit::PacketRef;
+    use quarc_core::ids::PacketId;
     use quarc_core::ring::RingDir;
 
-    fn meta(message: u64, packet: u64, class: TrafficClass, dst: u16, len: u32) -> PacketMeta {
+    fn meta(
+        message: MessageId,
+        packet: u64,
+        class: TrafficClass,
+        dst: u16,
+        len: u32,
+    ) -> PacketMeta {
         PacketMeta {
-            message: MessageId(message),
+            message,
             packet: PacketId(packet),
             class,
             src: NodeId(0),
@@ -242,6 +326,19 @@ mod tests {
         }
     }
 
+    /// Register a message the way the networks do: allocate, then set the
+    /// receiver count after expansion.
+    fn created(
+        m: &mut Metrics,
+        class: TrafficClass,
+        created_at: Cycle,
+        expected: usize,
+    ) -> MessageId {
+        let id = m.create_message(class, created_at);
+        m.set_expected(id, expected);
+        id
+    }
+
     fn deliver_packet(m: &mut Metrics, now: Cycle, node: NodeId, pm: PacketMeta) {
         for seq in 0..pm.len {
             let kind = if seq == 0 {
@@ -251,15 +348,18 @@ mod tests {
             } else {
                 FlitKind::Body
             };
-            m.record_flit_delivery(now, node, &Flit { meta: pm, seq, kind, payload: 0 });
+            let flit = Flit { packet: PacketRef(0), seq, kind, payload: 0 };
+            // One delivery site per node is enough for these tests (matches
+            // the single-eject-port networks).
+            m.record_flit_delivery(now, node, node.index(), &flit, &pm);
         }
     }
 
     #[test]
     fn unicast_latency_measured_from_creation() {
         let mut m = Metrics::new();
-        let pm = meta(0, 0, TrafficClass::Unicast, 3, 4);
-        m.record_created(pm.message, pm.class, pm.created_at, 1);
+        let id = created(&mut m, TrafficClass::Unicast, 10, 1);
+        let pm = meta(id, 0, TrafficClass::Unicast, 3, 4);
         deliver_packet(&mut m, 30, NodeId(3), pm);
         assert_eq!(m.unicast_latency().count(), 1);
         assert_eq!(m.unicast_latency().mean(), 20.0);
@@ -272,9 +372,8 @@ mod tests {
     fn warmup_messages_excluded_from_latency() {
         let mut m = Metrics::new();
         m.begin_measurement(100);
-        let pm = meta(0, 0, TrafficClass::Unicast, 3, 2);
-        m.record_created(pm.message, pm.class, pm.created_at, 1); // created at 10 < 100
-        deliver_packet(&mut m, 120, NodeId(3), pm);
+        let id = created(&mut m, TrafficClass::Unicast, 10, 1); // created at 10 < 100
+        deliver_packet(&mut m, 120, NodeId(3), meta(id, 0, TrafficClass::Unicast, 3, 2));
         assert_eq!(m.unicast_latency().count(), 0);
         assert_eq!(m.completed(TrafficClass::Unicast), 1); // still counted as completed
     }
@@ -282,31 +381,46 @@ mod tests {
     #[test]
     fn broadcast_completion_needs_all_receivers() {
         let mut m = Metrics::new();
-        let pm0 = meta(5, 1, TrafficClass::Broadcast, 2, 2);
-        m.record_created(pm0.message, pm0.class, pm0.created_at, 3);
-        deliver_packet(&mut m, 20, NodeId(1), pm0);
+        let id = created(&mut m, TrafficClass::Broadcast, 10, 3);
+        deliver_packet(&mut m, 20, NodeId(1), meta(id, 1, TrafficClass::Broadcast, 2, 2));
         assert_eq!(m.broadcast_reception_latency().count(), 1);
         assert_eq!(m.broadcast_completion_latency().count(), 0);
         // Different branch packets of the same message.
-        let pm1 = meta(5, 2, TrafficClass::Broadcast, 2, 2);
-        deliver_packet(&mut m, 25, NodeId(2), pm1);
-        let pm2 = meta(5, 3, TrafficClass::Broadcast, 3, 2);
-        deliver_packet(&mut m, 40, NodeId(3), pm2);
+        deliver_packet(&mut m, 25, NodeId(2), meta(id, 2, TrafficClass::Broadcast, 2, 2));
+        deliver_packet(&mut m, 40, NodeId(3), meta(id, 3, TrafficClass::Broadcast, 3, 2));
         assert_eq!(m.broadcast_completion_latency().count(), 1);
         assert_eq!(m.broadcast_completion_latency().mean(), 30.0);
         assert_eq!(m.broadcast_reception_latency().count(), 3);
     }
 
     #[test]
+    fn message_slots_are_recycled_with_fresh_generation() {
+        let mut m = Metrics::new();
+        let a = created(&mut m, TrafficClass::Unicast, 10, 1);
+        deliver_packet(&mut m, 30, NodeId(3), meta(a, 0, TrafficClass::Unicast, 3, 2));
+        // The completed slot is reused under a new generation tag; counters
+        // keep accumulating.
+        let b = created(&mut m, TrafficClass::Unicast, 40, 1);
+        assert_eq!(slot_of(a).0, slot_of(b).0, "completed slot must be recycled");
+        assert_ne!(a, b, "recycled slot must carry a fresh generation");
+        deliver_packet(&mut m, 50, NodeId(4), meta(b, 1, TrafficClass::Unicast, 4, 2));
+        assert_eq!(m.completed(TrafficClass::Unicast), 2);
+        assert_eq!(m.in_flight(), 0);
+        assert_eq!(m.unicast_latency().count(), 2);
+    }
+
+    #[test]
     #[should_panic(expected = "out-of-order")]
     fn out_of_order_flit_panics() {
         let mut m = Metrics::new();
-        let pm = meta(0, 0, TrafficClass::Unicast, 1, 4);
-        m.record_created(pm.message, pm.class, 0, 1);
+        let id = created(&mut m, TrafficClass::Unicast, 0, 1);
+        let pm = meta(id, 0, TrafficClass::Unicast, 1, 4);
         m.record_flit_delivery(
             5,
             NodeId(1),
-            &Flit { meta: pm, seq: 1, kind: FlitKind::Body, payload: 0 },
+            1,
+            &Flit { packet: PacketRef(0), seq: 1, kind: FlitKind::Body, payload: 0 },
+            &pm,
         );
     }
 
@@ -314,23 +428,32 @@ mod tests {
     #[should_panic(expected = "wrong node")]
     fn misdelivered_unicast_panics() {
         let mut m = Metrics::new();
-        let pm = meta(0, 0, TrafficClass::Unicast, 5, 2);
-        m.record_created(pm.message, pm.class, 0, 1);
-        deliver_packet(&mut m, 9, NodeId(4), pm);
+        let id = created(&mut m, TrafficClass::Unicast, 0, 1);
+        deliver_packet(&mut m, 9, NodeId(4), meta(id, 0, TrafficClass::Unicast, 5, 2));
     }
 
     #[test]
     #[should_panic(expected = "unregistered message")]
     fn duplicate_delivery_panics() {
-        // A second delivery after completion hits the "unregistered" check
-        // (the tracker is removed once `expected` receptions arrive, so any
-        // extra copy is a protocol violation either way).
+        // A second delivery after completion hits the dead-slot check.
         let mut m = Metrics::new();
-        let pm = meta(0, 0, TrafficClass::Unicast, 1, 2);
-        m.record_created(pm.message, pm.class, 0, 1);
-        deliver_packet(&mut m, 9, NodeId(1), pm);
-        let pm2 = meta(0, 1, TrafficClass::Unicast, 1, 2);
-        deliver_packet(&mut m, 12, NodeId(1), pm2);
+        let id = created(&mut m, TrafficClass::Unicast, 0, 1);
+        deliver_packet(&mut m, 9, NodeId(1), meta(id, 0, TrafficClass::Unicast, 1, 2));
+        deliver_packet(&mut m, 12, NodeId(1), meta(id, 1, TrafficClass::Unicast, 1, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "unregistered message")]
+    fn stale_id_after_slot_recycling_panics() {
+        // Even once the slot is live again for a *different* message, a
+        // delivery carrying the old id trips the generation check instead of
+        // being attributed to the new occupant.
+        let mut m = Metrics::new();
+        let old = created(&mut m, TrafficClass::Unicast, 0, 1);
+        deliver_packet(&mut m, 9, NodeId(1), meta(old, 0, TrafficClass::Unicast, 1, 2));
+        let fresh = created(&mut m, TrafficClass::Unicast, 10, 1);
+        assert_eq!(slot_of(old).0, slot_of(fresh).0);
+        deliver_packet(&mut m, 12, NodeId(1), meta(old, 1, TrafficClass::Unicast, 1, 2));
     }
 
     #[test]
@@ -339,11 +462,11 @@ mod tests {
         // packets carry chain classes; completion is driven by the track's
         // class, receptions by reaching expected count.
         let mut m = Metrics::new();
-        m.record_created(MessageId(1), TrafficClass::Broadcast, 0, 2);
-        let mut pm = meta(1, 0, TrafficClass::ChainRim, 1, 2);
+        let id = created(&mut m, TrafficClass::Broadcast, 0, 2);
+        let mut pm = meta(id, 0, TrafficClass::ChainRim, 1, 2);
         pm.created_at = 0;
         deliver_packet(&mut m, 8, NodeId(1), pm);
-        let mut pm2 = meta(1, 1, TrafficClass::ChainRim, 2, 2);
+        let mut pm2 = meta(id, 1, TrafficClass::ChainRim, 2, 2);
         pm2.created_at = 0;
         deliver_packet(&mut m, 14, NodeId(2), pm2);
         assert_eq!(m.broadcast_completion_latency().count(), 1);

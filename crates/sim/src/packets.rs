@@ -5,36 +5,50 @@
 //! decides the injection port. For collectives the transceiver emits one
 //! packet per branch — four tagged streams for a Quarc broadcast (§2.5.2),
 //! three chain seeds for a Spidergon broadcast (§2.2 / ref. [9]).
+//!
+//! Expansion runs inside the per-cycle simulation loop, so it is written to
+//! be allocation-free in steady state: each packet's [`PacketMeta`] is
+//! interned once in the network's [`PacketTable`] and the 16-byte flit
+//! handles are serialised **directly into the destination injection queue**
+//! ([`push_packet`]) — no intermediate `Vec<Flit>` per packet, no
+//! per-injection container. (The one exception is multicast, whose
+//! branch planner builds per-quadrant target partitions; multicast messages
+//! exist only in explicit traces, never in the paper's synthetic loads.)
 
-use quarc_core::flit::{Flit, FlitKind, PacketMeta, TrafficClass};
+use quarc_core::flit::{Flit, FlitKind, PacketMeta, PacketRef, PacketTable, TrafficClass};
 use quarc_core::ids::{MessageId, PacketId};
-use quarc_core::quadrant::{broadcast_branches, multicast_branches, quadrant_of, Quadrant};
+use quarc_core::quadrant::{broadcast_branch_heads, multicast_branches, quadrant_of};
 use quarc_core::ring::{Ring, RingDir};
 use quarc_core::routing::spidergon_broadcast_seeds;
 use quarc_engine::Cycle;
 use quarc_workloads::MessageRequest;
+use std::collections::VecDeque;
 
-/// Serialise a packet's metadata into its flit stream (header … tail).
-pub fn packetize(meta: PacketMeta) -> Vec<Flit> {
-    assert!(meta.len >= 2, "a packet needs header and tail flits (paper §2.6)");
-    (0..meta.len)
-        .map(|seq| {
-            let kind = if seq == 0 {
-                FlitKind::Header
-            } else if seq + 1 == meta.len {
-                FlitKind::Tail
-            } else {
-                FlitKind::Body
-            };
-            Flit { meta, seq, kind, payload: seq }
-        })
-        .collect()
+/// Serialise packet `packet` (whose interned meta says it has `len` flits)
+/// onto the back of `queue`: header, bodies, tail. Returns the flit count.
+///
+/// Bodies/tails carry their sequence number as payload, as the original
+/// transceiver model did.
+pub fn push_packet(queue: &mut VecDeque<Flit>, packet: PacketRef, len: u32) -> usize {
+    assert!(len >= 2, "a packet needs header and tail flits (paper §2.6)");
+    for seq in 0..len {
+        let kind = if seq == 0 {
+            FlitKind::Header
+        } else if seq + 1 == len {
+            FlitKind::Tail
+        } else {
+            FlitKind::Body
+        };
+        queue.push_back(Flit { packet, seq, kind, payload: seq });
+    }
+    len as usize
 }
 
-/// Allocates monotonically increasing message/packet identifiers.
+/// Allocates monotonically increasing packet identifiers. (Message ids are
+/// *not* monotonic: they come from `Metrics`' slot-recycling slab, tagged
+/// with a generation — see `quarc_sim::metrics`.)
 #[derive(Debug, Default)]
 pub struct IdAlloc {
-    next_message: u64,
     next_packet: u64,
 }
 
@@ -42,13 +56,6 @@ impl IdAlloc {
     /// Fresh allocator.
     pub fn new() -> Self {
         Self::default()
-    }
-
-    /// A new message id.
-    pub fn message(&mut self) -> MessageId {
-        let id = MessageId(self.next_message);
-        self.next_message += 1;
-        id
     }
 
     /// A new packet id.
@@ -59,25 +66,18 @@ impl IdAlloc {
     }
 }
 
-/// One packet ready for injection at a Quarc node: the quadrant queue it
-/// enters and its flits.
-#[derive(Debug)]
-pub struct QuarcInjection {
-    /// Which of the four local ingress queues receives the packet.
-    pub quadrant: Quadrant,
-    /// The flit stream.
-    pub flits: Vec<Flit>,
-}
-
-/// Expand a message into Quarc packets. Returns the packets and the number
-/// of expected receivers (for completion tracking).
-pub fn quarc_expand(
+/// Expand a message into Quarc packets, interning each packet's metadata in
+/// `table` and serialising its flits straight into the matching quadrant
+/// queue. Returns `(expected receivers, flits enqueued)`.
+pub fn quarc_expand_into(
     ring: &Ring,
     req: &MessageRequest,
     message: MessageId,
     ids: &mut IdAlloc,
     now: Cycle,
-) -> (Vec<QuarcInjection>, usize) {
+    table: &mut PacketTable,
+    queues: &mut [VecDeque<Flit>; 4],
+) -> (usize, usize) {
     let base = PacketMeta {
         message,
         packet: PacketId(0), // overwritten per packet
@@ -89,59 +89,54 @@ pub fn quarc_expand(
         len: req.len as u32,
         created_at: now,
     };
+    let len = base.len;
+    let mut flits = 0usize;
     match req.class {
         TrafficClass::Unicast => {
             let dst = req.dst.expect("unicast carries dst");
-            let meta = PacketMeta { packet: ids.packet(), dst, ..base };
-            (
-                vec![QuarcInjection {
-                    quadrant: quadrant_of(ring, req.src, dst),
-                    flits: packetize(meta),
-                }],
-                1,
-            )
+            let pref = table.insert(PacketMeta { packet: ids.packet(), dst, ..base });
+            flits += push_packet(&mut queues[quadrant_of(ring, req.src, dst).index()], pref, len);
+            (1, flits)
         }
         TrafficClass::Broadcast => {
-            let injections = broadcast_branches(ring, req.src)
-                .into_iter()
-                .map(|b| QuarcInjection {
-                    quadrant: b.quadrant,
-                    flits: packetize(PacketMeta { packet: ids.packet(), dst: b.dst, ..base }),
-                })
-                .collect();
-            (injections, ring.len() - 1)
+            for head in broadcast_branch_heads(ring, req.src).into_iter().flatten() {
+                let (quadrant, dst) = head;
+                let pref = table.insert(PacketMeta { packet: ids.packet(), dst, ..base });
+                flits += push_packet(&mut queues[quadrant.index()], pref, len);
+            }
+            (ring.len() - 1, flits)
         }
         TrafficClass::Multicast => {
             let branches = multicast_branches(ring, req.src, &req.targets);
             let receivers = branches.iter().map(|b| b.deliveries.len()).sum();
-            let injections = branches
-                .into_iter()
-                .map(|b| QuarcInjection {
-                    quadrant: b.quadrant,
-                    flits: packetize(PacketMeta {
-                        packet: ids.packet(),
-                        dst: b.dst,
-                        bitstring: b.bitstring,
-                        ..base
-                    }),
-                })
-                .collect();
-            (injections, receivers)
+            for b in branches {
+                let pref = table.insert(PacketMeta {
+                    packet: ids.packet(),
+                    dst: b.dst,
+                    bitstring: b.bitstring,
+                    ..base
+                });
+                flits += push_packet(&mut queues[b.quadrant.index()], pref, len);
+            }
+            (receivers, flits)
         }
         other => panic!("applications do not inject {other} packets directly"),
     }
 }
 
-/// Expand a message into Spidergon packets (all enter the single local
-/// queue). Broadcast becomes the three chain seeds; multicast becomes one
-/// unicast per target (the paper gives Spidergon no native multicast).
-pub fn spidergon_expand(
+/// Expand a message into Spidergon packets, all serialised into the single
+/// local queue (one-port router). Broadcast becomes the three chain seeds;
+/// multicast becomes one unicast per target (the paper gives Spidergon no
+/// native multicast). Returns `(expected receivers, flits enqueued)`.
+pub fn spidergon_expand_into(
     ring: &Ring,
     req: &MessageRequest,
     message: MessageId,
     ids: &mut IdAlloc,
     now: Cycle,
-) -> (Vec<Vec<Flit>>, usize) {
+    table: &mut PacketTable,
+    queue: &mut VecDeque<Flit>,
+) -> (usize, usize) {
     let base = PacketMeta {
         message,
         packet: PacketId(0),
@@ -153,43 +148,42 @@ pub fn spidergon_expand(
         len: req.len as u32,
         created_at: now,
     };
+    let len = base.len;
+    let mut flits = 0usize;
     match req.class {
         TrafficClass::Unicast => {
             let dst = req.dst.expect("unicast carries dst");
-            let meta = PacketMeta { packet: ids.packet(), dst, ..base };
-            (vec![packetize(meta)], 1)
+            let pref = table.insert(PacketMeta { packet: ids.packet(), dst, ..base });
+            flits += push_packet(queue, pref, len);
+            (1, flits)
         }
         TrafficClass::Broadcast => {
-            let packets = spidergon_broadcast_seeds(ring, req.src)
-                .into_iter()
-                .map(|seed| {
-                    packetize(PacketMeta {
-                        packet: ids.packet(),
-                        class: seed.class,
-                        dst: seed.dst,
-                        bitstring: seed.remaining,
-                        dir: seed.dir,
-                        ..base
-                    })
-                })
-                .collect();
-            (packets, ring.len() - 1)
+            for seed in spidergon_broadcast_seeds(ring, req.src) {
+                let pref = table.insert(PacketMeta {
+                    packet: ids.packet(),
+                    class: seed.class,
+                    dst: seed.dst,
+                    bitstring: seed.remaining,
+                    dir: seed.dir,
+                    ..base
+                });
+                flits += push_packet(queue, pref, len);
+            }
+            (ring.len() - 1, flits)
         }
         TrafficClass::Multicast => {
-            let targets: Vec<_> = req.targets.iter().filter(|&&t| t != req.src).collect();
-            let packets = targets
-                .iter()
-                .map(|&&dst| {
-                    packetize(PacketMeta {
-                        packet: ids.packet(),
-                        class: TrafficClass::Unicast,
-                        dst,
-                        ..base
-                    })
-                })
-                .collect();
-            let count = targets.len();
-            (packets, count)
+            let mut count = 0;
+            for &dst in req.targets.iter().filter(|&&t| t != req.src) {
+                let pref = table.insert(PacketMeta {
+                    packet: ids.packet(),
+                    class: TrafficClass::Unicast,
+                    dst,
+                    ..base
+                });
+                flits += push_packet(queue, pref, len);
+                count += 1;
+            }
+            (count, flits)
         }
         other => panic!("applications do not inject {other} packets directly"),
     }
@@ -199,10 +193,10 @@ pub fn spidergon_expand(
 mod tests {
     use super::*;
     use quarc_core::ids::NodeId;
+    use quarc_core::quadrant::Quadrant;
 
-    #[test]
-    fn packetize_shapes_header_body_tail() {
-        let meta = PacketMeta {
+    fn meta(len: u32) -> PacketMeta {
+        PacketMeta {
             message: MessageId(1),
             packet: PacketId(2),
             class: TrafficClass::Unicast,
@@ -210,104 +204,124 @@ mod tests {
             dst: NodeId(3),
             bitstring: 0,
             dir: RingDir::Cw,
-            len: 5,
+            len,
             created_at: 7,
-        };
-        let flits = packetize(meta);
+        }
+    }
+
+    #[test]
+    fn push_packet_shapes_header_body_tail() {
+        let mut table = PacketTable::new();
+        let pref = table.insert(meta(5));
+        let mut q = VecDeque::new();
+        assert_eq!(push_packet(&mut q, pref, 5), 5);
+        let flits: Vec<Flit> = q.into_iter().collect();
         assert_eq!(flits.len(), 5);
         assert_eq!(flits[0].kind, FlitKind::Header);
         assert!(flits[1..4].iter().all(|f| f.kind == FlitKind::Body));
         assert_eq!(flits[4].kind, FlitKind::Tail);
         assert!(flits.iter().enumerate().all(|(i, f)| f.seq == i as u32));
+        assert!(flits.iter().all(|f| f.packet == pref));
     }
 
     #[test]
     fn two_flit_packet_has_no_body() {
-        let meta = PacketMeta {
-            message: MessageId(0),
-            packet: PacketId(0),
-            class: TrafficClass::Unicast,
-            src: NodeId(0),
-            dst: NodeId(1),
-            bitstring: 0,
-            dir: RingDir::Cw,
-            len: 2,
-            created_at: 0,
-        };
-        let flits = packetize(meta);
-        assert_eq!(flits[0].kind, FlitKind::Header);
-        assert_eq!(flits[1].kind, FlitKind::Tail);
+        let mut table = PacketTable::new();
+        let pref = table.insert(meta(2));
+        let mut q = VecDeque::new();
+        push_packet(&mut q, pref, 2);
+        assert_eq!(q[0].kind, FlitKind::Header);
+        assert_eq!(q[1].kind, FlitKind::Tail);
+    }
+
+    fn expand_quarc(
+        n: usize,
+        req: &MessageRequest,
+    ) -> (PacketTable, [VecDeque<Flit>; 4], usize, usize) {
+        let ring = Ring::new(n);
+        let mut ids = IdAlloc::new();
+        let mut table = PacketTable::new();
+        let mut queues: [VecDeque<Flit>; 4] = Default::default();
+        let (receivers, flits) =
+            quarc_expand_into(&ring, req, MessageId(9), &mut ids, 100, &mut table, &mut queues);
+        (table, queues, receivers, flits)
     }
 
     #[test]
     fn quarc_unicast_single_packet() {
-        let ring = Ring::new(16);
-        let mut ids = IdAlloc::new();
         let req = MessageRequest::unicast(NodeId(0), NodeId(3), 8);
-        let (inj, receivers) = quarc_expand(&ring, &req, MessageId(9), &mut ids, 100);
-        assert_eq!(inj.len(), 1);
+        let (table, queues, receivers, flits) = expand_quarc(16, &req);
         assert_eq!(receivers, 1);
-        assert_eq!(inj[0].quadrant, Quadrant::Right);
-        assert_eq!(inj[0].flits.len(), 8);
-        assert_eq!(inj[0].flits[0].meta.created_at, 100);
-        assert_eq!(inj[0].flits[0].meta.message, MessageId(9));
+        assert_eq!(flits, 8);
+        assert_eq!(queues[Quadrant::Right.index()].len(), 8);
+        let head = queues[Quadrant::Right.index()][0];
+        assert_eq!(table.meta(head.packet).created_at, 100);
+        assert_eq!(table.meta(head.packet).message, MessageId(9));
+        assert_eq!(table.live(), 1);
     }
 
     #[test]
     fn quarc_broadcast_four_packets_distinct_quadrants() {
-        let ring = Ring::new(16);
-        let mut ids = IdAlloc::new();
         let req = MessageRequest::broadcast(NodeId(0), 4);
-        let (inj, receivers) = quarc_expand(&ring, &req, MessageId(0), &mut ids, 0);
-        assert_eq!(inj.len(), 4);
+        let (table, queues, receivers, flits) = expand_quarc(16, &req);
         assert_eq!(receivers, 15);
-        let quads: std::collections::HashSet<_> = inj.iter().map(|i| i.quadrant).collect();
-        assert_eq!(quads.len(), 4);
+        assert_eq!(flits, 16);
+        assert!(queues.iter().all(|q| q.len() == 4), "one packet per quadrant");
         // Distinct packet ids, same message id.
         let pkts: std::collections::HashSet<_> =
-            inj.iter().map(|i| i.flits[0].meta.packet).collect();
+            queues.iter().map(|q| table.meta(q[0].packet).packet).collect();
         assert_eq!(pkts.len(), 4);
+        assert!(queues.iter().all(|q| table.meta(q[0].packet).message == MessageId(9)));
     }
 
     #[test]
     fn quarc_multicast_counts_targets() {
-        let ring = Ring::new(16);
-        let mut ids = IdAlloc::new();
         let req = MessageRequest::multicast(NodeId(0), vec![NodeId(2), NodeId(9)], 4);
-        let (inj, receivers) = quarc_expand(&ring, &req, MessageId(0), &mut ids, 0);
+        let (_, queues, receivers, flits) = expand_quarc(16, &req);
         assert_eq!(receivers, 2);
-        assert_eq!(inj.len(), 2); // right-rim + cross-right branches
+        assert_eq!(flits, 8); // right-rim + cross-right branches
+        assert_eq!(queues.iter().filter(|q| !q.is_empty()).count(), 2);
+    }
+
+    fn expand_spider(
+        n: usize,
+        req: &MessageRequest,
+    ) -> (PacketTable, VecDeque<Flit>, usize, usize) {
+        let ring = Ring::new(n);
+        let mut ids = IdAlloc::new();
+        let mut table = PacketTable::new();
+        let mut queue = VecDeque::new();
+        let (receivers, flits) =
+            spidergon_expand_into(&ring, req, MessageId(0), &mut ids, 0, &mut table, &mut queue);
+        (table, queue, receivers, flits)
     }
 
     #[test]
     fn spidergon_broadcast_three_seeds() {
-        let ring = Ring::new(16);
-        let mut ids = IdAlloc::new();
         let req = MessageRequest::broadcast(NodeId(0), 4);
-        let (pkts, receivers) = spidergon_expand(&ring, &req, MessageId(0), &mut ids, 0);
-        assert_eq!(pkts.len(), 3);
+        let (table, queue, receivers, flits) = expand_spider(16, &req);
         assert_eq!(receivers, 15);
-        let classes: Vec<_> = pkts.iter().map(|p| p[0].meta.class).collect();
+        assert_eq!(flits, 12);
+        let classes: Vec<TrafficClass> =
+            queue.iter().filter(|f| f.is_header()).map(|f| table.meta(f.packet).class).collect();
         assert_eq!(classes.iter().filter(|c| **c == TrafficClass::ChainRim).count(), 2);
         assert_eq!(classes.iter().filter(|c| **c == TrafficClass::ChainCross).count(), 1);
     }
 
     #[test]
     fn spidergon_multicast_becomes_unicasts() {
-        let ring = Ring::new(16);
-        let mut ids = IdAlloc::new();
         let req = MessageRequest::multicast(NodeId(0), vec![NodeId(1), NodeId(5)], 4);
-        let (pkts, receivers) = spidergon_expand(&ring, &req, MessageId(0), &mut ids, 0);
-        assert_eq!(pkts.len(), 2);
+        let (table, queue, receivers, _) = expand_spider(16, &req);
         assert_eq!(receivers, 2);
-        assert!(pkts.iter().all(|p| p[0].meta.class == TrafficClass::Unicast));
+        assert!(queue
+            .iter()
+            .filter(|f| f.is_header())
+            .all(|f| table.meta(f.packet).class == TrafficClass::Unicast));
     }
 
     #[test]
     fn id_alloc_is_monotonic() {
         let mut ids = IdAlloc::new();
-        assert_eq!(ids.message(), MessageId(0));
-        assert_eq!(ids.message(), MessageId(1));
         assert_eq!(ids.packet(), PacketId(0));
         assert_eq!(ids.packet(), PacketId(1));
     }

@@ -24,20 +24,20 @@
 //! grants one requester (the OPC master FSM, §2.3.3).
 
 use crate::arbiter::{ArbPolicy, RoundRobin};
-use crate::buffer::VcFifo;
+use crate::buffer::LaneBufs;
 use crate::driver::NocSim;
 use crate::link::{Link, TaggedFlit};
 use crate::metrics::Metrics;
-use crate::packets::{quarc_expand, IdAlloc};
-use quarc_core::config::NocConfig;
-use quarc_core::flit::Flit;
+use crate::packets::{quarc_expand_into, IdAlloc};
+use quarc_core::config::{NocConfig, MAX_VCS};
+use quarc_core::flit::{Flit, PacketTable};
 use quarc_core::ids::{NodeId, VcId};
 use quarc_core::ring::RingDir;
 use quarc_core::routing::{advance_header, quarc_injection_out, quarc_route, RouteAction};
 use quarc_core::topology::{QuarcIn, QuarcOut, QuarcTopology, TopologyKind};
 use quarc_core::vc::{vc_after_rim_hop, vc_for_cross_hop, INJECTION_VC};
 use quarc_engine::{Clock, Cycle};
-use quarc_workloads::Workload;
+use quarc_workloads::{MessageRequest, Workload};
 use std::collections::VecDeque;
 
 /// Network input ports in index order (matches `QuarcIn::index()` 0..4).
@@ -48,30 +48,33 @@ const NET_OUT: [QuarcOut; 4] =
     [QuarcOut::RimCw, QuarcOut::RimCcw, QuarcOut::CrossRight, QuarcOut::CrossLeft];
 
 /// A flit source within one router: a network input VC lane or a local
-/// quadrant queue.
+/// quadrant queue. Byte-sized fields: ownership words are replicated per
+/// output lane per node and scanned every cycle, so the whole router state
+/// must stay cache-resident.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Src {
     /// Network input `port` (0..4), VC lane `vc`.
     Net {
         /// Input port index.
-        port: usize,
+        port: u8,
         /// VC lane index.
-        vc: usize,
+        vc: u8,
     },
     /// Local ingress queue of quadrant `quad` (0..4).
     Local {
         /// Quadrant index.
-        quad: usize,
+        quad: u8,
     },
 }
 
-/// The resolved per-hop plan for the packet currently at the head of a lane.
+/// The resolved per-hop plan for the packet currently at the head of a lane
+/// (4 bytes; cached per lane for the whole worm).
 #[derive(Debug, Clone, Copy)]
 struct HopPlan {
     /// Local PE takes a copy.
     deliver: bool,
     /// Continue on this network output (None = pure absorption).
-    out: Option<usize>,
+    out: Option<u8>,
     /// VC on the outgoing link.
     out_vc: VcId,
 }
@@ -93,6 +96,10 @@ struct Transfer {
 }
 
 /// Per-node state: transceiver TX queues plus the router.
+///
+/// Per-lane state is stored flat (`port * vcs + vc` for buffers, fixed
+/// `[port][MAX_VCS]` arrays for route/ownership words) so the arbitration
+/// loops do no nested-`Vec` pointer chasing.
 #[derive(Debug)]
 struct NodeState {
     /// Per-quadrant injection queues (flit-serialised packets). Unbounded:
@@ -100,12 +107,12 @@ struct NodeState {
     inject_q: [VecDeque<Flit>; 4],
     /// Outgoing VC of the packet currently streaming from each local port.
     inject_vc: [Option<VcId>; 4],
-    /// Input buffers `[net port][vc]`.
-    in_buf: Vec<Vec<VcFifo>>,
+    /// Input buffers, flat over `port * vcs + vc`.
+    in_buf: LaneBufs,
     /// Ingress-mux state per `[net port][vc]`, set by the header.
-    in_route: Vec<Vec<Option<HopPlan>>>,
+    in_route: [[Option<HopPlan>; MAX_VCS]; 4],
     /// Wormhole ownership per `[net out][vc]`.
-    out_owner: Vec<Vec<Option<Src>>>,
+    out_owner: [[Option<Src>; MAX_VCS]; 4],
     /// VC arbiter per network input port.
     rr_in_vc: [RoundRobin; 4],
     /// OPC grant arbiter per network output port.
@@ -117,9 +124,9 @@ impl NodeState {
         NodeState {
             inject_q: Default::default(),
             inject_vc: [None; 4],
-            in_buf: (0..4).map(|_| (0..vcs).map(|_| VcFifo::new(depth)).collect()).collect(),
-            in_route: (0..4).map(|_| vec![None; vcs]).collect(),
-            out_owner: (0..4).map(|_| vec![None; vcs]).collect(),
+            in_buf: LaneBufs::new(4 * vcs, depth),
+            in_route: [[None; MAX_VCS]; 4],
+            out_owner: [[None; MAX_VCS]; 4],
             rr_in_vc: Default::default(),
             rr_out: [
                 RoundRobin::with_policy(policy),
@@ -151,12 +158,46 @@ pub struct QuarcNetwork {
     links: Vec<Link>,
     ids: IdAlloc,
     metrics: Metrics,
+    /// Interned metadata of every in-flight packet (see [`PacketTable`]).
+    packets: PacketTable,
     /// Scratch reused across cycles to avoid per-cycle allocation.
     transfers: Vec<Transfer>,
+    /// Scratch for workload polling, reused across every poll of the run.
+    poll_buf: Vec<MessageRequest>,
     /// Flits carried per link since construction (observability).
     link_flits: Vec<u64>,
     /// Scheduled transient stalls per link (failure injection).
     stalls: Vec<Option<LinkStall>>,
+    /// Precomputed `link_target` per `node * 4 + out`: the downstream node
+    /// and input-port index.
+    targets: Vec<(u32, u8)>,
+    /// Sender-side credit counters per `(node * 4 + out) * vcs + vc`: an
+    /// exact mirror of `depth − buffered_downstream − in_flight_on_link`,
+    /// decremented on send and returned when the downstream router pops the
+    /// flit. Turns the per-lane credit check into one local array read.
+    credits: Vec<u32>,
+    /// Link id feeding network input `node * 4 + in_port` (inverse of
+    /// `targets`), for returning credits on buffer pops.
+    feeder: Vec<u32>,
+    /// Per-node wakeup flags for the arbitration pass. A node whose router
+    /// produced no grant last cycle can only become grantable through a
+    /// tracked event — a link arrival, an injection, a commit at the node, or
+    /// a credit returned to it — each of which re-sets its flag. Skipping a
+    /// quiescent node is exactly behaviour-preserving: with no feasible
+    /// request, `gather_node` would move nothing and advance no arbiter.
+    active: Vec<bool>,
+    /// Nodes with a scheduled link stall re-arbitrate every cycle: stall
+    /// windows open and close with time, which the event tracking above does
+    /// not see.
+    always_active: Vec<bool>,
+    /// Flits queued in source (quadrant) injection queues — counter twin of
+    /// walking every `inject_q`, kept so `backlog()` is O(1).
+    inject_backlog: usize,
+    /// Flits buffered in network input VC lanes (counter twin of walking
+    /// every `in_buf`), for O(1) `quiesced()`.
+    buffered_flits: u64,
+    /// Flits in flight on links, for O(1) `quiesced()`.
+    link_occupancy: u64,
 }
 
 impl QuarcNetwork {
@@ -174,6 +215,18 @@ impl QuarcNetwork {
         let topo = QuarcTopology::new(cfg.n);
         let nodes = (0..cfg.n).map(|_| NodeState::new(cfg.vcs, cfg.buffer_depth, policy)).collect();
         let links = (0..cfg.n * 4).map(|_| Link::new(cfg.link_latency)).collect();
+        let targets: Vec<(u32, u8)> = (0..cfg.n * 4)
+            .map(|i| {
+                let (to, tin) =
+                    topo.link_target(NodeId::new(i / 4), NET_OUT[i % 4]).expect("network output");
+                (to.index() as u32, tin.index() as u8)
+            })
+            .collect();
+        let mut feeder = vec![u32::MAX; cfg.n * 4];
+        for (lid, &(to, tin)) in targets.iter().enumerate() {
+            feeder[to as usize * 4 + tin as usize] = lid as u32;
+        }
+        assert!(feeder.iter().all(|&f| f != u32::MAX), "every input port has a feeder");
         QuarcNetwork {
             topo,
             cfg,
@@ -182,9 +235,19 @@ impl QuarcNetwork {
             links,
             ids: IdAlloc::new(),
             metrics: Metrics::new(),
+            packets: PacketTable::new(),
             transfers: Vec::new(),
+            poll_buf: Vec::new(),
             link_flits: vec![0; cfg.n * 4],
             stalls: vec![None; cfg.n * 4],
+            credits: vec![cfg.buffer_depth as u32; cfg.n * 4 * cfg.vcs],
+            feeder,
+            targets,
+            active: vec![true; cfg.n],
+            always_active: vec![false; cfg.n],
+            inject_backlog: 0,
+            buffered_flits: 0,
+            link_occupancy: 0,
         }
     }
 
@@ -224,7 +287,7 @@ impl QuarcNetwork {
 
     /// Free space (in flits) on the far side of `(node, out)` for `vc`,
     /// accounting for flits still in flight on the link and for injected
-    /// transient stalls.
+    /// transient stalls. One read of the sender-side credit counter.
     fn downstream_free(&self, node: usize, out: usize, vc: VcId) -> usize {
         let lid = node * 4 + out;
         if let Some(s) = self.stalls[lid] {
@@ -233,10 +296,7 @@ impl QuarcNetwork {
                 return 0;
             }
         }
-        let (to, tin) =
-            self.topo.link_target(NodeId::new(node), NET_OUT[out]).expect("network output");
-        let buffered = &self.nodes[to.index()].in_buf[tin.index()][vc.index()];
-        buffered.free().saturating_sub(self.links[lid].in_flight(vc))
+        self.credits[lid * self.cfg.vcs + vc.index()] as usize
     }
 
     /// Schedule a transient fault on the link leaving `node` through `out`:
@@ -247,6 +307,9 @@ impl QuarcNetwork {
         assert!(out != QuarcOut::Eject, "eject is not a link");
         assert!(from < until);
         self.stalls[node.index() * 4 + out.index()] = Some(LinkStall { from, until });
+        // Stall windows change feasibility purely with time; keep this
+        // node's router re-arbitrating unconditionally.
+        self.always_active[node.index()] = true;
     }
 
     /// Flits carried so far by the link leaving `node` through `out`.
@@ -287,10 +350,11 @@ impl QuarcNetwork {
     /// Read-only; the VC arbiter pointer is advanced optimistically.
     fn gather_net_port(&mut self, node: usize, p: usize) -> Option<PortReq> {
         let vcs = self.cfg.vcs;
-        // Collect feasibility per VC lane first (immutably).
-        let mut feasible: Vec<Option<PortReq>> = vec![None; vcs];
+        // Collect feasibility per VC lane first (immutably). Fixed-size
+        // scratch: this runs 4·n times per cycle and must not allocate.
+        let mut feasible: [Option<PortReq>; MAX_VCS] = [None; MAX_VCS];
         for vc in 0..vcs {
-            let Some(head) = self.nodes[node].in_buf[p][vc].front().copied() else {
+            let Some(head) = self.nodes[node].in_buf.front(p * vcs + vc).copied() else {
                 continue;
             };
             let plan = match self.nodes[node].in_route[p][vc] {
@@ -303,36 +367,40 @@ impl QuarcNetwork {
                         head.is_header(),
                         "wormhole violated: non-header {head} without route state"
                     );
-                    let action =
-                        quarc_route(self.topo.ring(), NodeId::new(node), NET_IN[p], &head.meta);
+                    let action = quarc_route(
+                        self.topo.ring(),
+                        NodeId::new(node),
+                        NET_IN[p],
+                        self.packets.meta(head.packet),
+                    );
                     match action {
                         RouteAction::Deliver => {
                             HopPlan { deliver: true, out: None, out_vc: INJECTION_VC }
                         }
                         RouteAction::Forward(out) => HopPlan {
                             deliver: false,
-                            out: Some(out.index()),
+                            out: Some(out.index() as u8),
                             out_vc: self.forward_vc(node, out, VcId(vc as u8)),
                         },
                         RouteAction::DeliverAndForward(out) => HopPlan {
                             deliver: true,
-                            out: Some(out.index()),
+                            out: Some(out.index() as u8),
                             out_vc: self.forward_vc(node, out, VcId(vc as u8)),
                         },
                     }
                 }
             };
+            let src = Src::Net { port: p as u8, vc: vc as u8 };
             let ok = match plan.out {
                 None => true, // pure absorption: the all-port PE always sinks
                 Some(o) => {
-                    let src = Src::Net { port: p, vc };
-                    self.ownership_allows(node, o, plan.out_vc, src, head.is_header())
-                        && self.downstream_free(node, o, plan.out_vc) > 0
+                    self.ownership_allows(node, o as usize, plan.out_vc, src, head.is_header())
+                        && self.downstream_free(node, o as usize, plan.out_vc) > 0
                 }
             };
             if ok {
                 feasible[vc] = Some(PortReq {
-                    src: Src::Net { port: p, vc },
+                    src,
                     plan,
                     is_header: head.is_header(),
                     is_tail: head.is_tail(),
@@ -358,12 +426,12 @@ impl QuarcNetwork {
             }
         };
         let o = out.index();
-        let src = Src::Local { quad };
+        let src = Src::Local { quad: quad as u8 };
         let ok = self.ownership_allows(node, o, out_vc, src, head.is_header())
             && self.downstream_free(node, o, out_vc) > 0;
         ok.then_some(PortReq {
             src,
-            plan: HopPlan { deliver: false, out: Some(o), out_vc },
+            plan: HopPlan { deliver: false, out: Some(o as u8), out_vc },
             is_header: head.is_header(),
             is_tail: head.is_tail(),
         })
@@ -390,7 +458,7 @@ impl QuarcNetwork {
                     QuarcIn::Local(q) => 4 + q.index(),
                     other => other.index(),
                 };
-                matches!(reqs[slot], Some(r) if r.plan.out == Some(o))
+                matches!(reqs[slot], Some(r) if r.plan.out == Some(o as u8))
             });
             if let Some(k) = winner {
                 let slot = match feeders[k] {
@@ -415,10 +483,20 @@ impl QuarcNetwork {
     fn commit(&mut self, t: Transfer) {
         let now = self.clock.now();
         let node = t.node;
+        // Any commit mutates this router's lane/ownership/credit state.
+        self.active[node] = true;
         // Pop the flit from its source and update per-packet lane state.
         let flit = match t.req.src {
             Src::Net { port, vc } => {
-                let flit = self.nodes[node].in_buf[port][vc].pop().expect("planned flit");
+                let (port, vc) = (port as usize, vc as usize);
+                let vcs = self.cfg.vcs;
+                let flit = self.nodes[node].in_buf.pop(port * vcs + vc).expect("planned flit");
+                self.buffered_flits -= 1;
+                // The freed slot becomes a credit at the upstream sender,
+                // which may unblock its router.
+                let feeder = self.feeder[node * 4 + port] as usize;
+                self.credits[feeder * vcs + vc] += 1;
+                self.active[feeder / 4] = true;
                 if t.req.is_header {
                     self.nodes[node].in_route[port][vc] = Some(t.req.plan);
                 }
@@ -428,7 +506,9 @@ impl QuarcNetwork {
                 flit
             }
             Src::Local { quad } => {
+                let quad = quad as usize;
                 let flit = self.nodes[node].inject_q[quad].pop_front().expect("planned flit");
+                self.inject_backlog -= 1;
                 if t.req.is_header {
                     self.nodes[node].inject_vc[quad] = Some(t.req.plan.out_vc);
                 }
@@ -439,13 +519,25 @@ impl QuarcNetwork {
             }
         };
 
-        // Local copy (absorption or ingress-mux clone).
+        // Local copy (absorption or ingress-mux clone). The delivery site is
+        // the input lane: only network lanes ever deliver (local plans are
+        // forward-only), and a lane streams one packet at a time.
         if t.req.plan.deliver {
-            self.metrics.record_flit_delivery(now, NodeId::new(node), &flit);
+            let Src::Net { port, vc } = t.req.src else {
+                unreachable!("local injection queues never deliver")
+            };
+            let site = (node * 4 + port as usize) * MAX_VCS + vc as usize;
+            self.metrics.record_flit_delivery(
+                now,
+                NodeId::new(node),
+                site,
+                &flit,
+                self.packets.meta(flit.packet),
+            );
         }
 
         // Forwarding.
-        if let Some(o) = t.req.plan.out {
+        if let Some(o) = t.req.plan.out.map(usize::from) {
             let vc = t.req.plan.out_vc;
             if t.req.is_header {
                 self.nodes[node].out_owner[o][vc.index()] = Some(t.req.src);
@@ -453,19 +545,32 @@ impl QuarcNetwork {
             if t.req.is_tail {
                 self.nodes[node].out_owner[o][vc.index()] = None;
             }
-            let mut f = flit;
             // Routers (not sources) shift multicast bitstrings hop by hop.
-            if f.is_header() && matches!(t.req.src, Src::Net { .. }) {
-                advance_header(&mut f.meta);
+            // Only headers are routed, so shifting the interned meta in place
+            // is equivalent to the old per-flit copy-and-shift.
+            if flit.is_header() && matches!(t.req.src, Src::Net { .. }) {
+                advance_header(self.packets.meta_mut(flit.packet));
             }
             self.link_flits[node * 4 + o] += 1;
-            self.links[node * 4 + o].send(TaggedFlit { flit: f, vc });
+            self.link_occupancy += 1;
+            self.credits[(node * 4 + o) * self.cfg.vcs + vc.index()] -= 1;
+            self.links[node * 4 + o].send(TaggedFlit { flit, vc });
+        } else if t.req.is_tail {
+            // Pure absorption of the tail: wormhole in-order delivery means
+            // no flit of this packet exists anywhere any more — retire it.
+            self.packets.release(flit.packet);
         }
     }
 
-    /// Total flits queued at source transceivers (injection backlog).
+    /// Total flits queued at source transceivers (injection backlog). O(1).
     pub fn backlog(&self) -> usize {
-        self.nodes.iter().map(|n| n.inject_q.iter().map(VecDeque::len).sum::<usize>()).sum()
+        self.inject_backlog
+    }
+
+    /// Packets currently interned (in flight end to end). Observability for
+    /// tests of the packet-table recycling.
+    pub fn live_packets(&self) -> usize {
+        self.packets.live()
     }
 }
 
@@ -474,36 +579,51 @@ impl NocSim for QuarcNetwork {
         let now = self.clock.now();
 
         // (a) Link arrivals from last cycle.
-        for node in 0..self.cfg.n {
-            for o in 0..4 {
-                if let Some(tf) = self.links[node * 4 + o].step() {
-                    let (to, tin) = self
-                        .topo
-                        .link_target(NodeId::new(node), NET_OUT[o])
-                        .expect("network output");
-                    self.nodes[to.index()].in_buf[tin.index()][tf.vc.index()].push(tf.flit);
-                }
+        let vcs = self.cfg.vcs;
+        for lid in 0..self.cfg.n * 4 {
+            if let Some(tf) = self.links[lid].step() {
+                let (to, tin) = self.targets[lid];
+                self.nodes[to as usize].in_buf.push(tin as usize * vcs + tf.vc.index(), tf.flit);
+                self.link_occupancy -= 1;
+                self.buffered_flits += 1;
+                self.active[to as usize] = true;
             }
         }
 
-        // (b) New messages from the workload.
+        // (b) New messages from the workload (scratch buffer reused across
+        // the whole run — no per-cycle allocation).
+        let mut reqs = std::mem::take(&mut self.poll_buf);
         for node in 0..self.cfg.n {
-            for req in workload.poll(NodeId::new(node), now) {
+            reqs.clear();
+            workload.poll_into(NodeId::new(node), now, &mut reqs);
+            for req in reqs.drain(..) {
                 debug_assert_eq!(req.src, NodeId::new(node), "workload src mismatch");
-                let message = self.ids.message();
-                let (injections, expected) =
-                    quarc_expand(self.topo.ring(), &req, message, &mut self.ids, now);
-                self.metrics.record_created(message, req.class, now, expected);
-                for inj in injections {
-                    self.nodes[node].inject_q[inj.quadrant.index()].extend(inj.flits);
-                }
+                let message = self.metrics.create_message(req.class, now);
+                let (expected, flits) = quarc_expand_into(
+                    self.topo.ring(),
+                    &req,
+                    message,
+                    &mut self.ids,
+                    now,
+                    &mut self.packets,
+                    &mut self.nodes[node].inject_q,
+                );
+                self.inject_backlog += flits;
+                self.active[node] = true;
+                self.metrics.set_expected(message, expected);
             }
         }
+        self.poll_buf = reqs;
 
-        // (c) Read-only arbitration.
+        // (c) Read-only arbitration, skipping routers that cannot have
+        // become grantable since they last produced no grant.
         let mut transfers = std::mem::take(&mut self.transfers);
         transfers.clear();
         for node in 0..self.cfg.n {
+            if !self.active[node] && !self.always_active[node] {
+                continue;
+            }
+            self.active[node] = false;
             self.gather_node(node, &mut transfers);
         }
 
@@ -540,14 +660,17 @@ impl NocSim for QuarcNetwork {
         self.backlog()
     }
 
+    fn flit_hops(&self) -> u64 {
+        self.link_flits.iter().sum()
+    }
+
     fn quiesced(&self) -> bool {
+        // All four terms are counters — drain loops poll this every cycle,
+        // so it must not walk nodes × ports × VCs.
         self.metrics.in_flight() == 0
-            && self.backlog() == 0
-            && self.links.iter().all(Link::is_empty)
-            && self
-                .nodes
-                .iter()
-                .all(|n| n.in_buf.iter().all(|port| port.iter().all(VcFifo::is_empty)))
+            && self.inject_backlog == 0
+            && self.link_occupancy == 0
+            && self.buffered_flits == 0
     }
 }
 

@@ -16,20 +16,20 @@
 //!   Spidergon broadcast an order of magnitude slower.
 
 use crate::arbiter::RoundRobin;
-use crate::buffer::VcFifo;
+use crate::buffer::LaneBufs;
 use crate::driver::NocSim;
 use crate::link::{Link, TaggedFlit};
 use crate::metrics::Metrics;
-use crate::packets::{packetize, spidergon_expand, IdAlloc};
-use quarc_core::config::NocConfig;
-use quarc_core::flit::{Flit, PacketMeta};
+use crate::packets::{push_packet, spidergon_expand_into, IdAlloc};
+use quarc_core::config::{NocConfig, MAX_VCS};
+use quarc_core::flit::{Flit, PacketMeta, PacketRef, PacketTable};
 use quarc_core::ids::{NodeId, VcId};
 use quarc_core::ring::RingDir;
 use quarc_core::routing::{chain_continuations, spidergon_route, RouteAction};
 use quarc_core::topology::{SpiIn, SpiOut, SpidergonTopology, TopologyKind};
 use quarc_core::vc::{vc_after_rim_hop, vc_for_cross_hop, INJECTION_VC};
 use quarc_engine::{Clock, Cycle, EventQueue};
-use quarc_workloads::Workload;
+use quarc_workloads::{MessageRequest, Workload};
 use std::collections::VecDeque;
 
 /// Network output ports in index order (matches `SpiOut::index()` 0..3).
@@ -76,19 +76,20 @@ struct Transfer {
     req: PortReq,
 }
 
-/// Per-node state.
+/// Per-node state. Per-lane state is flat (`port * vcs + vc`) / fixed
+/// arrays, as in `quarc_net` — no nested-`Vec` chasing in the hot loops.
 #[derive(Debug)]
 struct NodeState {
     /// The single local injection queue (one-port router).
     inject_q: VecDeque<Flit>,
     /// Plan of the packet currently streaming from the local queue.
     inject_plan: Option<HopPlan>,
-    /// Input buffers `[net port][vc]`.
-    in_buf: Vec<Vec<VcFifo>>,
+    /// Input buffers, flat over `port * vcs + vc`.
+    in_buf: LaneBufs,
     /// Route state per `[net port][vc]`, set by the header.
-    in_route: Vec<Vec<Option<HopPlan>>>,
+    in_route: [[Option<HopPlan>; MAX_VCS]; 3],
     /// Wormhole ownership per `[net out][vc]`.
-    out_owner: Vec<Vec<Option<Src>>>,
+    out_owner: [[Option<Src>; MAX_VCS]; 3],
     /// Ejection-port ownership (single channel to the PE).
     eject_owner: Option<Src>,
     /// VC arbiter per network input port.
@@ -102,9 +103,9 @@ impl NodeState {
         NodeState {
             inject_q: VecDeque::new(),
             inject_plan: None,
-            in_buf: (0..3).map(|_| (0..vcs).map(|_| VcFifo::new(depth)).collect()).collect(),
-            in_route: (0..3).map(|_| vec![None; vcs]).collect(),
-            out_owner: (0..3).map(|_| vec![None; vcs]).collect(),
+            in_buf: LaneBufs::new(3 * vcs, depth),
+            in_route: [[None; MAX_VCS]; 3],
+            out_owner: [[None; MAX_VCS]; 3],
             eject_owner: None,
             rr_in_vc: Default::default(),
             rr_out: Default::default(),
@@ -123,10 +124,28 @@ pub struct SpidergonNetwork {
     links: Vec<Link>,
     ids: IdAlloc,
     metrics: Metrics,
-    /// Chain packets awaiting re-injection: `(node, flits)` due at a cycle.
-    /// One cycle of header-rewrite latency per replication hop.
-    pending: EventQueue<(usize, Vec<Flit>)>,
+    /// Interned metadata of every in-flight packet (see [`PacketTable`]).
+    packets: PacketTable,
+    /// Chain packets awaiting re-injection (already interned): `(node,
+    /// packet, len)` due at a cycle. One cycle of header-rewrite latency per
+    /// replication hop.
+    pending: EventQueue<(usize, PacketRef, u32)>,
     transfers: Vec<Transfer>,
+    /// Scratch for workload polling, reused across every poll of the run.
+    poll_buf: Vec<MessageRequest>,
+    /// Total link traversals (observability; the perf harness reads deltas).
+    flit_hops: u64,
+    /// Precomputed `link_target` per `node * 3 + out`.
+    targets: Vec<(u32, u8)>,
+    /// Sender-side credits per `(node * 3 + out) * vcs + vc` (exact mirror
+    /// of downstream free space minus in-flight flits, as in `quarc_net`).
+    credits: Vec<u32>,
+    /// Link id feeding input `node * 3 + in_port` (inverse of `targets`).
+    feeder: Vec<u32>,
+    /// O(1) counter twins for `backlog()` / `quiesced()`.
+    inject_backlog: usize,
+    buffered_flits: u64,
+    link_occupancy: u64,
 }
 
 impl SpidergonNetwork {
@@ -137,6 +156,18 @@ impl SpidergonNetwork {
         let topo = SpidergonTopology::new(cfg.n);
         let nodes = (0..cfg.n).map(|_| NodeState::new(cfg.vcs, cfg.buffer_depth)).collect();
         let links = (0..cfg.n * 3).map(|_| Link::new(cfg.link_latency)).collect();
+        let targets: Vec<(u32, u8)> = (0..cfg.n * 3)
+            .map(|i| {
+                let (to, tin) =
+                    topo.link_target(NodeId::new(i / 3), NET_OUT[i % 3]).expect("network output");
+                (to.index() as u32, tin.index() as u8)
+            })
+            .collect();
+        let mut feeder = vec![u32::MAX; cfg.n * 3];
+        for (lid, &(to, tin)) in targets.iter().enumerate() {
+            feeder[to as usize * 3 + tin as usize] = lid as u32;
+        }
+        assert!(feeder.iter().all(|&f| f != u32::MAX), "every input port has a feeder");
         SpidergonNetwork {
             topo,
             cfg,
@@ -145,8 +176,17 @@ impl SpidergonNetwork {
             links,
             ids: IdAlloc::new(),
             metrics: Metrics::new(),
+            packets: PacketTable::new(),
             pending: EventQueue::new(),
             transfers: Vec::new(),
+            poll_buf: Vec::new(),
+            flit_hops: 0,
+            credits: vec![cfg.buffer_depth as u32; cfg.n * 3 * cfg.vcs],
+            feeder,
+            targets,
+            inject_backlog: 0,
+            buffered_flits: 0,
+            link_occupancy: 0,
         }
     }
 
@@ -179,11 +219,9 @@ impl SpidergonNetwork {
     }
 
     /// Free downstream space for `(node, out, vc)`, minus in-flight flits.
+    /// One read of the sender-side credit counter.
     fn downstream_free(&self, node: usize, out: usize, vc: VcId) -> usize {
-        let (to, tin) =
-            self.topo.link_target(NodeId::new(node), NET_OUT[out]).expect("network output");
-        let buffered = &self.nodes[to.index()].in_buf[tin.index()][vc.index()];
-        buffered.free().saturating_sub(self.links[node * 3 + out].in_flight(vc))
+        self.credits[(node * 3 + out) * self.cfg.vcs + vc.index()] as usize
     }
 
     /// Wormhole ownership check for link outputs and the ejection port.
@@ -210,9 +248,10 @@ impl SpidergonNetwork {
     /// Request of network input port `p` at `node`.
     fn gather_net_port(&mut self, node: usize, p: usize) -> Option<PortReq> {
         let vcs = self.cfg.vcs;
-        let mut feasible: Vec<Option<PortReq>> = vec![None; vcs];
+        // Fixed-size scratch: runs 3·n times per cycle, must not allocate.
+        let mut feasible: [Option<PortReq>; MAX_VCS] = [None; MAX_VCS];
         for vc in 0..vcs {
-            let Some(head) = self.nodes[node].in_buf[p][vc].front().copied() else {
+            let Some(head) = self.nodes[node].in_buf.front(p * vcs + vc).copied() else {
                 continue;
             };
             let plan = match self.nodes[node].in_route[p][vc] {
@@ -222,7 +261,7 @@ impl SpidergonNetwork {
                 }
                 None => {
                     assert!(head.is_header(), "wormhole violated on {p}/{vc}");
-                    self.plan_header(node, &head.meta, VcId(vc as u8))
+                    self.plan_header(node, self.packets.meta(head.packet), VcId(vc as u8))
                 }
             };
             let src = Src::Net { port: p, vc };
@@ -249,8 +288,9 @@ impl SpidergonNetwork {
             }
             None => {
                 assert!(head.is_header(), "local queue must start with a header");
-                debug_assert_ne!(head.meta.dst, NodeId::new(node), "self-message injected");
-                self.plan_header(node, &head.meta, INJECTION_VC)
+                let meta = self.packets.meta(head.packet);
+                debug_assert_ne!(meta.dst, NodeId::new(node), "self-message injected");
+                self.plan_header(node, meta, INJECTION_VC)
             }
         };
         let src = Src::Local;
@@ -296,7 +336,11 @@ impl SpidergonNetwork {
         let node = t.node;
         let flit = match t.req.src {
             Src::Net { port, vc } => {
-                let flit = self.nodes[node].in_buf[port][vc].pop().expect("planned flit");
+                let vcs = self.cfg.vcs;
+                let flit = self.nodes[node].in_buf.pop(port * vcs + vc).expect("planned flit");
+                self.buffered_flits -= 1;
+                // The freed slot becomes a credit at the upstream sender.
+                self.credits[self.feeder[node * 3 + port] as usize * vcs + vc] += 1;
                 if t.req.is_header {
                     self.nodes[node].in_route[port][vc] = Some(t.req.plan);
                 }
@@ -307,6 +351,7 @@ impl SpidergonNetwork {
             }
             Src::Local => {
                 let flit = self.nodes[node].inject_q.pop_front().expect("planned flit");
+                self.inject_backlog -= 1;
                 if t.req.is_header {
                     self.nodes[node].inject_plan = Some(t.req.plan);
                 }
@@ -324,22 +369,37 @@ impl SpidergonNetwork {
             if t.req.is_tail {
                 self.nodes[node].eject_owner = None;
             }
-            self.metrics.record_flit_delivery(now, NodeId::new(node), &flit);
-            // Broadcast-by-unicast: the tail of a chain packet triggers the
-            // replication logic, which rewrites the header and re-injects
-            // through the single local port one cycle later (§2.2).
-            if t.req.is_tail && flit.meta.class.is_chain() {
-                for seed in chain_continuations(self.topo.ring(), NodeId::new(node), &flit.meta) {
-                    let meta = PacketMeta {
-                        packet: self.ids.packet(),
-                        class: seed.class,
-                        dst: seed.dst,
-                        bitstring: seed.remaining,
-                        dir: seed.dir,
-                        ..flit.meta
-                    };
-                    self.pending.push(now + 1, (node, packetize(meta)));
+            // The single arbitrated ejection port is the delivery site: it
+            // streams one packet at a time (eject_owner pins it).
+            self.metrics.record_flit_delivery(
+                now,
+                NodeId::new(node),
+                node,
+                &flit,
+                self.packets.meta(flit.packet),
+            );
+            if t.req.is_tail {
+                let meta = *self.packets.meta(flit.packet);
+                // Broadcast-by-unicast: the tail of a chain packet triggers
+                // the replication logic, which rewrites the header and
+                // re-injects through the single local port one cycle later
+                // (§2.2). The continuations are fresh packets, interned now
+                // and serialised at their due cycle.
+                if meta.class.is_chain() {
+                    for seed in chain_continuations(self.topo.ring(), NodeId::new(node), &meta) {
+                        let pref = self.packets.insert(PacketMeta {
+                            packet: self.ids.packet(),
+                            class: seed.class,
+                            dst: seed.dst,
+                            bitstring: seed.remaining,
+                            dir: seed.dir,
+                            ..meta
+                        });
+                        self.pending.push(now + 1, (node, pref, meta.len));
+                    }
                 }
+                // The ejected packet has fully left the network: retire it.
+                self.packets.release(flit.packet);
             }
         } else {
             let o = t.req.plan.out;
@@ -350,13 +410,21 @@ impl SpidergonNetwork {
             if t.req.is_tail {
                 self.nodes[node].out_owner[o][vc.index()] = None;
             }
+            self.flit_hops += 1;
+            self.link_occupancy += 1;
+            self.credits[(node * 3 + o) * self.cfg.vcs + vc.index()] -= 1;
             self.links[node * 3 + o].send(TaggedFlit { flit, vc });
         }
     }
 
-    /// Total flits queued at source transceivers.
+    /// Total flits queued at source transceivers. O(1).
     pub fn backlog(&self) -> usize {
-        self.nodes.iter().map(|n| n.inject_q.len()).sum()
+        self.inject_backlog
+    }
+
+    /// Packets currently interned (in flight or awaiting re-injection).
+    pub fn live_packets(&self) -> usize {
+        self.packets.live()
     }
 }
 
@@ -365,34 +433,41 @@ impl NocSim for SpidergonNetwork {
         let now = self.clock.now();
 
         // (a) Link arrivals.
-        for node in 0..self.cfg.n {
-            for o in 0..3 {
-                if let Some(tf) = self.links[node * 3 + o].step() {
-                    let (to, tin) = self
-                        .topo
-                        .link_target(NodeId::new(node), NET_OUT[o])
-                        .expect("network output");
-                    self.nodes[to.index()].in_buf[tin.index()][tf.vc.index()].push(tf.flit);
-                }
+        let vcs = self.cfg.vcs;
+        for lid in 0..self.cfg.n * 3 {
+            if let Some(tf) = self.links[lid].step() {
+                let (to, tin) = self.targets[lid];
+                self.nodes[to as usize].in_buf.push(tin as usize * vcs + tf.vc.index(), tf.flit);
+                self.link_occupancy -= 1;
+                self.buffered_flits += 1;
             }
         }
 
         // (b) Re-injections from the replication logic, then new messages.
-        for (node, flits) in self.pending.drain_due(now) {
-            self.nodes[node].inject_q.extend(flits);
+        while let Some((_, (node, pref, len))) = self.pending.pop_due(now) {
+            self.inject_backlog += push_packet(&mut self.nodes[node].inject_q, pref, len);
         }
+        let mut reqs = std::mem::take(&mut self.poll_buf);
         for node in 0..self.cfg.n {
-            for req in workload.poll(NodeId::new(node), now) {
+            reqs.clear();
+            workload.poll_into(NodeId::new(node), now, &mut reqs);
+            for req in reqs.drain(..) {
                 debug_assert_eq!(req.src, NodeId::new(node));
-                let message = self.ids.message();
-                let (packets, expected) =
-                    spidergon_expand(self.topo.ring(), &req, message, &mut self.ids, now);
-                self.metrics.record_created(message, req.class, now, expected);
-                for flits in packets {
-                    self.nodes[node].inject_q.extend(flits);
-                }
+                let message = self.metrics.create_message(req.class, now);
+                let (expected, flits) = spidergon_expand_into(
+                    self.topo.ring(),
+                    &req,
+                    message,
+                    &mut self.ids,
+                    now,
+                    &mut self.packets,
+                    &mut self.nodes[node].inject_q,
+                );
+                self.inject_backlog += flits;
+                self.metrics.set_expected(message, expected);
             }
         }
+        self.poll_buf = reqs;
 
         // (c) Arbitration, (d) commit.
         let mut transfers = std::mem::take(&mut self.transfers);
@@ -432,15 +507,17 @@ impl NocSim for SpidergonNetwork {
         self.backlog()
     }
 
+    fn flit_hops(&self) -> u64 {
+        self.flit_hops
+    }
+
     fn quiesced(&self) -> bool {
+        // Counters only — O(1) per call (drain loops poll this every cycle).
         self.metrics.in_flight() == 0
-            && self.backlog() == 0
+            && self.inject_backlog == 0
             && self.pending.is_empty()
-            && self.links.iter().all(Link::is_empty)
-            && self
-                .nodes
-                .iter()
-                .all(|n| n.in_buf.iter().all(|port| port.iter().all(VcFifo::is_empty)))
+            && self.link_occupancy == 0
+            && self.buffered_flits == 0
     }
 }
 

@@ -9,20 +9,20 @@
 //! keeps the Quarc rims deadlock-free.
 
 use crate::arbiter::RoundRobin;
-use crate::buffer::VcFifo;
+use crate::buffer::LaneBufs;
 use crate::driver::NocSim;
 use crate::link::{Link, TaggedFlit};
 use crate::metrics::Metrics;
-use crate::packets::{packetize, IdAlloc};
-use quarc_core::config::NocConfig;
-use quarc_core::flit::{Flit, PacketMeta, TrafficClass};
+use crate::packets::{push_packet, IdAlloc};
+use quarc_core::config::{NocConfig, MAX_VCS};
+use quarc_core::flit::{Flit, PacketMeta, PacketTable, TrafficClass};
 use quarc_core::ids::{NodeId, VcId};
 use quarc_core::ring::RingDir;
 use quarc_core::topology::TopologyKind;
 use quarc_core::torus::{TorusOut, TorusTopology};
 use quarc_core::vc::INJECTION_VC;
 use quarc_engine::{Clock, Cycle};
-use quarc_workloads::Workload;
+use quarc_workloads::{MessageRequest, Workload};
 use std::collections::VecDeque;
 
 /// Network ports in index order (matches `TorusOut::index()` 0..4).
@@ -73,9 +73,10 @@ struct Transfer {
 struct NodeState {
     inject_q: VecDeque<Flit>,
     inject_plan: Option<HopPlan>,
-    in_buf: Vec<Vec<VcFifo>>,
-    in_route: Vec<Vec<Option<HopPlan>>>,
-    out_owner: Vec<Vec<Option<Src>>>,
+    /// Input buffers, flat over `port * vcs + vc`.
+    in_buf: LaneBufs,
+    in_route: [[Option<HopPlan>; MAX_VCS]; 4],
+    out_owner: [[Option<Src>; MAX_VCS]; 4],
     eject_owner: Option<Src>,
     rr_in_vc: [RoundRobin; 4],
     rr_out: [RoundRobin; 5],
@@ -86,9 +87,9 @@ impl NodeState {
         NodeState {
             inject_q: VecDeque::new(),
             inject_plan: None,
-            in_buf: (0..4).map(|_| (0..vcs).map(|_| VcFifo::new(depth)).collect()).collect(),
-            in_route: (0..4).map(|_| vec![None; vcs]).collect(),
-            out_owner: (0..4).map(|_| vec![None; vcs]).collect(),
+            in_buf: LaneBufs::new(4 * vcs, depth),
+            in_route: [[None; MAX_VCS]; 4],
+            out_owner: [[None; MAX_VCS]; 4],
             eject_owner: None,
             rr_in_vc: Default::default(),
             rr_out: Default::default(),
@@ -107,7 +108,24 @@ pub struct TorusNetwork {
     links: Vec<Link>,
     ids: IdAlloc,
     metrics: Metrics,
+    /// Interned metadata of every in-flight packet (see [`PacketTable`]).
+    packets: PacketTable,
     transfers: Vec<Transfer>,
+    /// Scratch for workload polling, reused across every poll of the run.
+    poll_buf: Vec<MessageRequest>,
+    /// Total link traversals (observability; the perf harness reads deltas).
+    flit_hops: u64,
+    /// Precomputed `(downstream node, arrival port)` per `node * 4 + out`.
+    targets: Vec<(u32, u8)>,
+    /// Sender-side credits per `(node * 4 + out) * vcs + vc` (exact mirror
+    /// of downstream free space minus in-flight flits, as in `quarc_net`).
+    credits: Vec<u32>,
+    /// Link id feeding input `node * 4 + in_port` (inverse of `targets`).
+    feeder: Vec<u32>,
+    /// O(1) counter twins for `backlog()` / `quiesced()`.
+    inject_backlog: usize,
+    buffered_flits: u64,
+    link_occupancy: u64,
 }
 
 impl TorusNetwork {
@@ -120,6 +138,17 @@ impl TorusNetwork {
         cfg.validate().expect("invalid configuration");
         let topo = TorusTopology::square(cfg.n);
         let n = topo.num_nodes();
+        let targets: Vec<(u32, u8)> = (0..n * 4)
+            .map(|i| {
+                let to = topo.link_target(NodeId::new(i / 4), NET_OUT[i % 4]).expect("torus link");
+                (to.index() as u32, arrival_port(NET_OUT[i % 4]) as u8)
+            })
+            .collect();
+        let mut feeder = vec![u32::MAX; n * 4];
+        for (lid, &(to, tin)) in targets.iter().enumerate() {
+            feeder[to as usize * 4 + tin as usize] = lid as u32;
+        }
+        assert!(feeder.iter().all(|&f| f != u32::MAX), "every input port has a feeder");
         TorusNetwork {
             topo,
             cfg,
@@ -128,7 +157,16 @@ impl TorusNetwork {
             links: (0..n * 4).map(|_| Link::new(cfg.link_latency)).collect(),
             ids: IdAlloc::new(),
             metrics: Metrics::new(),
+            packets: PacketTable::new(),
             transfers: Vec::new(),
+            poll_buf: Vec::new(),
+            flit_hops: 0,
+            credits: vec![cfg.buffer_depth as u32; n * 4 * cfg.vcs],
+            feeder,
+            targets,
+            inject_backlog: 0,
+            buffered_flits: 0,
+            link_occupancy: 0,
         }
     }
 
@@ -171,12 +209,8 @@ impl TorusNetwork {
     }
 
     fn downstream_free(&self, node: usize, out: usize, vc: VcId) -> usize {
-        let to = self
-            .topo
-            .link_target(NodeId::new(node), NET_OUT[out])
-            .expect("torus links always exist");
-        let buffered = &self.nodes[to.index()].in_buf[arrival_port(NET_OUT[out])][vc.index()];
-        buffered.free().saturating_sub(self.links[node * 4 + out].in_flight(vc))
+        // One read of the sender-side credit counter.
+        self.credits[(node * 4 + out) * self.cfg.vcs + vc.index()] as usize
     }
 
     fn feasible(&self, node: usize, plan: HopPlan, src: Src, is_header: bool) -> bool {
@@ -194,17 +228,19 @@ impl TorusNetwork {
 
     fn gather_net_port(&mut self, node: usize, p: usize) -> Option<PortReq> {
         let vcs = self.cfg.vcs;
-        let mut feasible: Vec<Option<PortReq>> = vec![None; vcs];
+        // Fixed-size scratch: runs 4·n times per cycle, must not allocate.
+        let mut feasible: [Option<PortReq>; MAX_VCS] = [None; MAX_VCS];
         for vc in 0..vcs {
-            let Some(head) = self.nodes[node].in_buf[p][vc].front().copied() else {
+            let Some(head) = self.nodes[node].in_buf.front(p * vcs + vc).copied() else {
                 continue;
             };
             let plan = match self.nodes[node].in_route[p][vc] {
                 Some(plan) => plan,
                 None => {
                     assert!(head.is_header(), "wormhole violated");
-                    let class = self.arrival_class(node, p, vc, head.meta.dst);
-                    self.plan_header(node, &head.meta, class)
+                    let meta = self.packets.meta(head.packet);
+                    let class = self.arrival_class(node, p, vc, meta.dst);
+                    self.plan_header(node, meta, class)
                 }
             };
             let src = Src::Net { port: p, vc };
@@ -227,7 +263,7 @@ impl TorusNetwork {
             Some(plan) => plan,
             None => {
                 assert!(head.is_header(), "local queue must start with a header");
-                self.plan_header(node, &head.meta, INJECTION_VC)
+                self.plan_header(node, self.packets.meta(head.packet), INJECTION_VC)
             }
         };
         self.feasible(node, plan, Src::Local, head.is_header()).then_some(PortReq {
@@ -259,7 +295,11 @@ impl TorusNetwork {
         let node = t.node;
         let flit = match t.req.src {
             Src::Net { port, vc } => {
-                let flit = self.nodes[node].in_buf[port][vc].pop().expect("planned flit");
+                let vcs = self.cfg.vcs;
+                let flit = self.nodes[node].in_buf.pop(port * vcs + vc).expect("planned flit");
+                self.buffered_flits -= 1;
+                // The freed slot becomes a credit at the upstream sender.
+                self.credits[self.feeder[node * 4 + port] as usize * vcs + vc] += 1;
                 if t.req.is_header {
                     self.nodes[node].in_route[port][vc] = Some(t.req.plan);
                 }
@@ -270,6 +310,7 @@ impl TorusNetwork {
             }
             Src::Local => {
                 let flit = self.nodes[node].inject_q.pop_front().expect("planned flit");
+                self.inject_backlog -= 1;
                 if t.req.is_header {
                     self.nodes[node].inject_plan = Some(t.req.plan);
                 }
@@ -286,7 +327,19 @@ impl TorusNetwork {
             if t.req.is_tail {
                 self.nodes[node].eject_owner = None;
             }
-            self.metrics.record_flit_delivery(now, NodeId::new(node), &flit);
+            // The single arbitrated ejection port is the delivery site: it
+            // streams one packet at a time (eject_owner pins it).
+            self.metrics.record_flit_delivery(
+                now,
+                NodeId::new(node),
+                node,
+                &flit,
+                self.packets.meta(flit.packet),
+            );
+            if t.req.is_tail {
+                // The packet has fully left the network: retire it.
+                self.packets.release(flit.packet);
+            }
         } else {
             let o = t.req.plan.out;
             let vc = t.req.plan.out_vc;
@@ -296,13 +349,16 @@ impl TorusNetwork {
             if t.req.is_tail {
                 self.nodes[node].out_owner[o][vc.index()] = None;
             }
+            self.flit_hops += 1;
+            self.link_occupancy += 1;
+            self.credits[(node * 4 + o) * self.cfg.vcs + vc.index()] -= 1;
             self.links[node * 4 + o].send(TaggedFlit { flit, vc });
         }
     }
 
-    /// Total flits queued at sources.
+    /// Total flits queued at sources. O(1).
     pub fn backlog(&self) -> usize {
-        self.nodes.iter().map(|n| n.inject_q.len()).sum()
+        self.inject_backlog
     }
 }
 
@@ -310,26 +366,30 @@ impl NocSim for TorusNetwork {
     fn step(&mut self, workload: &mut dyn Workload) {
         let now = self.clock.now();
         let n = self.topo.num_nodes();
-        for node in 0..n {
-            for o in 0..4 {
-                if let Some(tf) = self.links[node * 4 + o].step() {
-                    let to =
-                        self.topo.link_target(NodeId::new(node), NET_OUT[o]).expect("torus link");
-                    self.nodes[to.index()].in_buf[arrival_port(NET_OUT[o])][tf.vc.index()]
-                        .push(tf.flit);
-                }
+        let vcs = self.cfg.vcs;
+        for lid in 0..n * 4 {
+            if let Some(tf) = self.links[lid].step() {
+                let (to, tin) = self.targets[lid];
+                self.nodes[to as usize].in_buf.push(tin as usize * vcs + tf.vc.index(), tf.flit);
+                self.link_occupancy -= 1;
+                self.buffered_flits += 1;
             }
         }
+        let mut reqs = std::mem::take(&mut self.poll_buf);
         for node in 0..n {
-            for req in workload.poll(NodeId::new(node), now) {
+            reqs.clear();
+            workload.poll_into(NodeId::new(node), now, &mut reqs);
+            for req in reqs.drain(..) {
                 assert_eq!(
                     req.class,
                     TrafficClass::Unicast,
                     "the torus model carries unicast traffic only (comparison role)"
                 );
-                let message = self.ids.message();
+                let message = self.metrics.create_message(TrafficClass::Unicast, now);
+                self.metrics.set_expected(message, 1);
                 let dst = req.dst.expect("unicast");
-                let meta = PacketMeta {
+                let len = req.len as u32;
+                let pref = self.packets.insert(PacketMeta {
                     message,
                     packet: self.ids.packet(),
                     class: TrafficClass::Unicast,
@@ -337,13 +397,13 @@ impl NocSim for TorusNetwork {
                     dst,
                     bitstring: 0,
                     dir: RingDir::Cw,
-                    len: req.len as u32,
+                    len,
                     created_at: now,
-                };
-                self.metrics.record_created(message, TrafficClass::Unicast, now, 1);
-                self.nodes[node].inject_q.extend(packetize(meta));
+                });
+                self.inject_backlog += push_packet(&mut self.nodes[node].inject_q, pref, len);
             }
         }
+        self.poll_buf = reqs;
         let mut transfers = std::mem::take(&mut self.transfers);
         transfers.clear();
         for node in 0..n {
@@ -380,14 +440,16 @@ impl NocSim for TorusNetwork {
         self.backlog()
     }
 
+    fn flit_hops(&self) -> u64 {
+        self.flit_hops
+    }
+
     fn quiesced(&self) -> bool {
+        // Counters only — O(1) per call (drain loops poll this every cycle).
         self.metrics.in_flight() == 0
-            && self.backlog() == 0
-            && self.links.iter().all(Link::is_empty)
-            && self
-                .nodes
-                .iter()
-                .all(|n| n.in_buf.iter().all(|port| port.iter().all(VcFifo::is_empty)))
+            && self.inject_backlog == 0
+            && self.link_occupancy == 0
+            && self.buffered_flits == 0
     }
 }
 

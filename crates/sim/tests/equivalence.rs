@@ -1,0 +1,215 @@
+//! Behavioural equivalence goldens for the simulation hot path.
+//!
+//! The zero-allocation refactor (packet-meta interning, scratch-buffer
+//! workload polling, O(1) credits/quiescence) must be **bit-identical** to
+//! the original per-flit-clone implementation. These tests pin that down:
+//! fixed-seed Synthetic, Bursty and Trace workloads run on all four network
+//! models, and the resulting metric tuples — flit counts, per-class
+//! created/completed counts, and latency means rendered as exact `f64` bit
+//! patterns — are compared byte-for-byte against goldens generated *before*
+//! the refactor.
+//!
+//! Regenerate (only when an intentional behaviour change is made) with:
+//!
+//! ```text
+//! UPDATE_GOLDENS=1 cargo test -p quarc-sim --test equivalence
+//! ```
+
+use quarc_core::config::NocConfig;
+use quarc_core::flit::TrafficClass;
+use quarc_core::ids::NodeId;
+use quarc_sim::mesh_net::MeshNetwork;
+use quarc_sim::torus_net::TorusNetwork;
+use quarc_sim::{NocSim, QuarcNetwork, SpidergonNetwork};
+use quarc_workloads::{
+    Bursty, BurstyConfig, MessageRequest, Synthetic, SyntheticConfig, TraceRecord, TraceWorkload,
+    Workload,
+};
+
+const GOLDEN: &str = include_str!("goldens/metrics_equivalence.txt");
+
+/// One scenario line: run `cycles` of injection, then drain up to `drain`
+/// cycles, and render every metric the figures consume.
+fn run_scenario(name: &str, net: &mut dyn NocSim, wl: &mut dyn Workload, cycles: u64) -> String {
+    for _ in 0..cycles {
+        net.step(wl);
+    }
+    let mut silence = TraceWorkload::new(net.num_nodes(), vec![]);
+    for _ in 0..40_000u64 {
+        if net.quiesced() {
+            break;
+        }
+        net.step(&mut silence);
+    }
+    let m = net.metrics();
+    let classes = [
+        ("u", TrafficClass::Unicast),
+        ("b", TrafficClass::Broadcast),
+        ("m", TrafficClass::Multicast),
+    ];
+    let mut line = format!(
+        "{name} quiesced={} now={} flits={} total_done={}",
+        net.quiesced(),
+        net.now(),
+        m.flits_delivered(),
+        m.completed_total()
+    );
+    for (tag, c) in classes {
+        line.push_str(&format!(" {tag}={}:{}", m.created(c), m.completed(c)));
+    }
+    // Exact f64 bit patterns: any arithmetic drift, sample reordering or
+    // missing sample changes these.
+    line.push_str(&format!(
+        " uc_mean={:016x} uc_n={} br_mean={:016x} bc_mean={:016x} bc_n={} mc_mean={:016x}",
+        m.unicast_latency().mean().to_bits(),
+        m.unicast_latency().count(),
+        m.broadcast_reception_latency().mean().to_bits(),
+        m.broadcast_completion_latency().mean().to_bits(),
+        m.broadcast_completion_latency().count(),
+        m.multicast_completion_latency().mean().to_bits(),
+    ));
+    line.push_str(&format!(
+        " uc_p95={:?} uc_min={:?} uc_max={:?}",
+        m.unicast_histogram().percentile(95.0),
+        m.unicast_latency().min().map(f64::to_bits),
+        m.unicast_latency().max().map(f64::to_bits),
+    ));
+    line.push('\n');
+    line
+}
+
+/// A deterministic mixed-class trace exercising unicast, broadcast and (on
+/// the ring topologies) multicast paths, with deliberate same-cycle bursts.
+fn mixed_trace(n: usize, collectives: bool) -> Vec<TraceRecord> {
+    let mut records = Vec::new();
+    for i in 0..n {
+        let src = NodeId::new(i);
+        let dst = NodeId::new((i + n / 2 + 1) % n);
+        records.push(TraceRecord {
+            cycle: (i as u64 / 4) * 3,
+            request: MessageRequest::unicast(src, dst, 2 + (i % 7)),
+        });
+    }
+    if collectives {
+        for i in 0..n / 4 {
+            let src = NodeId::new((5 * i + 2) % n);
+            records.push(TraceRecord {
+                cycle: 10 + i as u64,
+                request: MessageRequest::broadcast(src, 4),
+            });
+            let targets = vec![
+                NodeId::new((i + 1) % n),
+                NodeId::new((i + 3) % n),
+                NodeId::new((i + n - 2) % n),
+            ];
+            let msrc = NodeId::new(i);
+            let targets: Vec<NodeId> = targets.into_iter().filter(|t| *t != msrc).collect();
+            records.push(TraceRecord {
+                cycle: 20 + 2 * i as u64,
+                request: MessageRequest::multicast(msrc, targets, 5),
+            });
+        }
+    }
+    let mut per_node: Vec<Vec<TraceRecord>> = (0..n).map(|_| Vec::new()).collect();
+    for r in records {
+        per_node[r.request.src.index()].push(r);
+    }
+    let mut sorted = Vec::new();
+    for mut q in per_node {
+        q.sort_by_key(|r| r.cycle);
+        sorted.extend(q);
+    }
+    sorted
+}
+
+fn scenarios() -> String {
+    let mut out = String::new();
+
+    // Synthetic (the paper's Bernoulli workload) on every topology.
+    for (name, mk, beta) in [
+        ("quarc/synthetic", 0u8, 0.1),
+        ("spidergon/synthetic", 1, 0.1),
+        ("mesh/synthetic", 2, 0.0),
+        ("torus/synthetic", 3, 0.0),
+    ] {
+        let mut net: Box<dyn NocSim> = match mk {
+            0 => Box::new(QuarcNetwork::new(NocConfig::quarc(16))),
+            1 => Box::new(SpidergonNetwork::new(NocConfig::spidergon(16))),
+            2 => Box::new(MeshNetwork::new(NocConfig::mesh(16))),
+            _ => Box::new(TorusNetwork::new(NocConfig::mesh(16))),
+        };
+        let n = net.num_nodes();
+        let mut wl = Synthetic::new(n, SyntheticConfig::paper(0.03, 8, beta, 0xA5A5));
+        out.push_str(&run_scenario(name, net.as_mut(), &mut wl, 3_000));
+    }
+
+    // Bursty on/off traffic (stresses same-cycle multi-message polling).
+    for (name, mk, bfrac) in [
+        ("quarc/bursty", 0u8, 0.08),
+        ("spidergon/bursty", 1, 0.08),
+        ("mesh/bursty", 2, 0.0),
+        ("torus/bursty", 3, 0.0),
+    ] {
+        let mut net: Box<dyn NocSim> = match mk {
+            0 => Box::new(QuarcNetwork::new(NocConfig::quarc(16))),
+            1 => Box::new(SpidergonNetwork::new(NocConfig::spidergon(16))),
+            2 => Box::new(MeshNetwork::new(NocConfig::mesh(16))),
+            _ => Box::new(TorusNetwork::new(NocConfig::mesh(16))),
+        };
+        let n = net.num_nodes();
+        let cfg = BurstyConfig {
+            peak_rate: 0.25,
+            mean_on: 30.0,
+            mean_off: 90.0,
+            broadcast_frac: bfrac,
+            short_len: 2,
+            long_len: 12,
+            long_frac: 0.4,
+            seed: 0xBEEF,
+            ..Default::default()
+        };
+        let mut wl = Bursty::new(n, cfg);
+        out.push_str(&run_scenario(name, net.as_mut(), &mut wl, 3_000));
+    }
+
+    // Fixed traces (exact replay, multicast included on the ring models).
+    for (name, mk) in
+        [("quarc/trace", 0u8), ("spidergon/trace", 1), ("mesh/trace", 2), ("torus/trace", 3)]
+    {
+        let mut net: Box<dyn NocSim> = match mk {
+            0 => Box::new(QuarcNetwork::new(NocConfig::quarc(16))),
+            1 => Box::new(SpidergonNetwork::new(NocConfig::spidergon(16))),
+            2 => Box::new(MeshNetwork::new(NocConfig::mesh(16))),
+            _ => Box::new(TorusNetwork::new(NocConfig::mesh(16))),
+        };
+        let n = net.num_nodes();
+        let mut wl = TraceWorkload::new(n, mixed_trace(n, mk < 2));
+        out.push_str(&run_scenario(name, net.as_mut(), &mut wl, 400));
+    }
+
+    // Larger Quarc near saturation: deep wormhole contention, VC arbitration
+    // and credit stalls all active.
+    {
+        let mut net = QuarcNetwork::new(NocConfig::quarc(32).with_buffer_depth(2));
+        let mut wl = Synthetic::new(32, SyntheticConfig::paper(0.09, 8, 0.05, 0x5EED));
+        out.push_str(&run_scenario("quarc/near-sat", &mut net, &mut wl, 4_000));
+    }
+
+    out
+}
+
+#[test]
+fn metrics_are_bit_identical_to_goldens() {
+    let got = scenarios();
+    if std::env::var_os("UPDATE_GOLDENS").is_some() {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/goldens/metrics_equivalence.txt");
+        std::fs::write(path, &got).expect("write goldens");
+        eprintln!("goldens updated at {path}");
+        return;
+    }
+    assert_eq!(
+        got, GOLDEN,
+        "simulation output diverged from the pre-refactor goldens; \
+         if the change is intentional, regenerate with UPDATE_GOLDENS=1"
+    );
+}

@@ -106,7 +106,7 @@ impl Bursty {
 }
 
 impl Workload for Bursty {
-    fn poll(&mut self, node: NodeId, now: Cycle) -> Vec<MessageRequest> {
+    fn poll_into(&mut self, node: NodeId, now: Cycle, out: &mut Vec<MessageRequest>) {
         let cfg = self.cfg;
         let st = &mut self.nodes[node.index()];
         // Advance the on/off modulation.
@@ -120,7 +120,7 @@ impl Workload for Bursty {
             }
         }
         if !st.on || now < st.next_arrival {
-            return Vec::new();
+            return;
         }
         st.next_arrival = now + st.rng.geometric_gap(cfg.peak_rate);
         let len = if st.rng.chance(cfg.long_frac) { cfg.long_len } else { cfg.short_len };
@@ -130,7 +130,7 @@ impl Workload for Bursty {
             let dst = cfg.pattern.pick(&mut st.rng, node, self.n);
             MessageRequest::unicast(node, dst, len)
         };
-        vec![req]
+        out.push(req);
     }
 
     fn nominal_rate(&self) -> Option<f64> {

@@ -107,19 +107,19 @@ impl Coherence {
 }
 
 impl Workload for Coherence {
-    fn poll(&mut self, node: NodeId, now: Cycle) -> Vec<MessageRequest> {
+    fn poll_into(&mut self, node: NodeId, now: Cycle, out: &mut Vec<MessageRequest>) {
         let i = node.index();
-        let mut out = Vec::new();
 
-        // First, serve any data responses this node owes as home.
-        for requester in self.responses[i].drain_due(now) {
+        // First, serve any data responses this node owes as home
+        // (`pop_due` rather than `drain_due`: no intermediate Vec).
+        while let Some((_, requester)) = self.responses[i].pop_due(now) {
             if requester != node {
                 out.push(MessageRequest::unicast(node, requester, self.cfg.data_len));
             }
         }
 
         if now < self.next_arrival[i] {
-            return out;
+            return;
         }
         let rng = &mut self.rngs[i];
         self.next_arrival[i] = now + rng.geometric_gap(self.cfg.request_rate);
@@ -138,7 +138,6 @@ impl Workload for Coherence {
                 self.responses[home.index()].push(now + self.cfg.memory_delay, node);
             }
         }
-        out
     }
 
     fn nominal_rate(&self) -> Option<f64> {

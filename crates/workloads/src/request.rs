@@ -49,13 +49,30 @@ impl MessageRequest {
 /// implementations must be deterministic functions of their seed and the
 /// polling sequence.
 pub trait Workload {
-    /// Messages created by `node` at cycle `now` (usually zero or one).
-    fn poll(&mut self, node: NodeId, now: Cycle) -> Vec<MessageRequest>;
+    /// Append the messages created by `node` at cycle `now` (usually zero or
+    /// one) to `out`.
+    ///
+    /// The driver owns `out` and reuses it across every poll of a run, so
+    /// after warmup the per-cycle polling loop performs no heap allocation.
+    /// Implementations must only push — never clear or drain — and must not
+    /// read what earlier polls left behind (the driver clears between nodes).
+    fn poll_into(&mut self, node: NodeId, now: Cycle, out: &mut Vec<MessageRequest>);
 
     /// Offered load in messages per node per cycle, if the workload knows it
     /// (used for reporting sweep axes; trace replays may not know).
     fn nominal_rate(&self) -> Option<f64> {
         None
+    }
+
+    /// Convenience wrapper collecting one poll into a fresh `Vec` (tests and
+    /// trace capture; the simulation loop uses [`Workload::poll_into`]).
+    fn poll(&mut self, node: NodeId, now: Cycle) -> Vec<MessageRequest>
+    where
+        Self: Sized,
+    {
+        let mut out = Vec::new();
+        self.poll_into(node, now, &mut out);
+        out
     }
 }
 

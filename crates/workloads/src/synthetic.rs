@@ -74,10 +74,10 @@ impl Synthetic {
 }
 
 impl Workload for Synthetic {
-    fn poll(&mut self, node: NodeId, now: Cycle) -> Vec<MessageRequest> {
+    fn poll_into(&mut self, node: NodeId, now: Cycle, out: &mut Vec<MessageRequest>) {
         let st = &mut self.nodes[node.index()];
         if now < st.next_arrival {
-            return Vec::new();
+            return;
         }
         // Bernoulli arrivals: at most one message per node per cycle.
         st.next_arrival = now + st.rng.geometric_gap(self.cfg.rate);
@@ -87,7 +87,7 @@ impl Workload for Synthetic {
             let dst = self.cfg.pattern.pick(&mut st.rng, node, self.n);
             MessageRequest::unicast(node, dst, self.cfg.msg_len)
         };
-        vec![req]
+        out.push(req);
     }
 
     fn nominal_rate(&self) -> Option<f64> {

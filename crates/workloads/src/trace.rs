@@ -125,12 +125,12 @@ impl<W: Workload> Recorder<W> {
 }
 
 impl<W: Workload> Workload for Recorder<W> {
-    fn poll(&mut self, node: NodeId, now: Cycle) -> Vec<MessageRequest> {
-        let msgs = self.inner.poll(node, now);
-        for m in &msgs {
+    fn poll_into(&mut self, node: NodeId, now: Cycle, out: &mut Vec<MessageRequest>) {
+        let before = out.len();
+        self.inner.poll_into(node, now, out);
+        for m in &out[before..] {
             self.trace.push(TraceRecord { cycle: now, request: m.clone() });
         }
-        msgs
     }
 
     fn nominal_rate(&self) -> Option<f64> {
@@ -179,13 +179,11 @@ impl TraceWorkload {
 }
 
 impl Workload for TraceWorkload {
-    fn poll(&mut self, node: NodeId, now: Cycle) -> Vec<MessageRequest> {
+    fn poll_into(&mut self, node: NodeId, now: Cycle, out: &mut Vec<MessageRequest>) {
         let q = &mut self.queues[node.index()];
-        let mut out = Vec::new();
         while q.front().is_some_and(|r| r.cycle <= now) {
             out.push(q.pop_front().expect("peeked").request);
         }
-        out
     }
 }
 
