@@ -44,7 +44,7 @@ fn bench_points(c: &mut Criterion) {
     g.bench_function("mini_curve_quarc", |b| {
         b.iter(|| {
             let spec = CurveSpec { noc: NocConfig::quarc(16), msg_len: 8, beta: 0.05, seed: 3 };
-            quarc_sim::latency_curve(&spec, &[0.005, 0.02], &quick_spec()).len()
+            quarc_sim::latency_curve(&spec, &[0.005, 0.02], &quick_spec()).unwrap().len()
         })
     });
 

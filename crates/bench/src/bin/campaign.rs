@@ -18,6 +18,7 @@
 
 use quarc_bench::presets;
 use quarc_campaign::{run_campaign, CampaignOptions, CampaignSpec, PointOutcomeKind, RateAxis};
+use quarc_core::config::ArbPolicy;
 use quarc_core::topology::TopologyKind;
 use quarc_sim::RunSpec;
 use std::path::PathBuf;
@@ -31,16 +32,18 @@ USAGE:
 
 PRESETS (repeatable; `paper` = fig9 + fig10 + fig11):
     --preset NAME             one of: fig9, fig10, fig11, ablation-buffer,
-                              ablation-link, ablation-beta, frontier, paper
+                              ablation-link, ablation-beta, ablation-arb,
+                              frontier, paper
 
 AXIS FLAGS (build a custom grid; ignored when --preset is given):
     --name NAME               campaign/artifact name        [default: custom]
-    --topologies LIST         quarc,spidergon,mesh          [default: quarc,spidergon]
+    --topologies LIST         quarc,spidergon,mesh,torus    [default: quarc,spidergon]
     --sizes LIST              node counts                   [default: 16]
     --msg-lens LIST           message lengths M in flits    [default: 16]
     --betas LIST              broadcast fractions           [default: 0.05]
     --buffer-depths LIST      flits per VC lane             [default: 4]
     --link-latencies LIST     cycles per link               [default: 1]
+    --arbs LIST               rr,fp (output arbitration)    [default: rr]
     --rates SPEC              rate axis:
                                 list:R1,R2,...              explicit rates
                                 geom:LO:HI:STEPS            geometric sweep
@@ -90,7 +93,20 @@ fn parse_topologies(value: &str) -> Vec<TopologyKind> {
             "quarc" => TopologyKind::Quarc,
             "spidergon" => TopologyKind::Spidergon,
             "mesh" => TopologyKind::Mesh,
+            "torus" => TopologyKind::Torus,
             other => usage_error(&format!("unknown topology {other:?}")),
+        })
+        .collect()
+}
+
+fn parse_arbs(value: &str) -> Vec<ArbPolicy> {
+    value
+        .split(',')
+        .filter(|s| !s.is_empty())
+        .map(|s| match s.trim() {
+            "rr" | "round-robin" => ArbPolicy::RoundRobin,
+            "fp" | "fixed-priority" => ArbPolicy::FixedPriority,
+            other => usage_error(&format!("unknown arbitration policy {other:?}")),
         })
         .collect()
 }
@@ -194,6 +210,10 @@ fn parse_cli() -> Cli {
             }
             "--link-latencies" => {
                 custom.link_latencies = parse_list("--link-latencies", &value);
+                custom_touched = true;
+            }
+            "--arbs" => {
+                custom.arbs = parse_arbs(&value);
                 custom_touched = true;
             }
             "--rates" => {

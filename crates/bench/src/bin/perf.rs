@@ -50,16 +50,17 @@ fn grid(quick: bool) -> Vec<GridPoint> {
     let sizes: &[usize] = if quick { &[16] } else { &[16, 32, 64] };
     for &n in sizes {
         for (rate, regime) in [(0.02, "low"), (0.10, "sat")] {
-            points.push(GridPoint { topology: TopologyKind::Quarc, n, rate, beta: 0.05, regime });
-            points.push(GridPoint {
-                topology: TopologyKind::Spidergon,
-                n,
-                rate,
-                beta: 0.05,
-                regime,
-            });
-            // The mesh model is unicast-only (validation role): β = 0.
-            points.push(GridPoint { topology: TopologyKind::Mesh, n, rate, beta: 0.0, regime });
+            // Every topology family carries the full traffic mix (mesh and
+            // torus via the dimension-ordered multicast tree), so the perf
+            // grid runs the same β = 5% workload on all four.
+            for topology in [
+                TopologyKind::Quarc,
+                TopologyKind::Spidergon,
+                TopologyKind::Mesh,
+                TopologyKind::Torus,
+            ] {
+                points.push(GridPoint { topology, n, rate, beta: 0.05, regime });
+            }
         }
     }
     points

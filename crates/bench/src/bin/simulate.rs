@@ -128,14 +128,12 @@ fn main() {
         "mesh" => {
             let mut cfg = NocConfig::mesh(a.nodes).with_buffer_depth(a.buffer_depth);
             cfg.vcs = 1;
-            assert!(a.beta == 0.0, "the mesh model carries unicast traffic only");
             let mut net = MeshNetwork::new(cfg);
             let mut wl = Synthetic::new(net.num_nodes(), wl_cfg);
             run(&mut net, &mut wl, &spec)
         }
         "torus" => {
-            let cfg = NocConfig::mesh(a.nodes).with_buffer_depth(a.buffer_depth);
-            assert!(a.beta == 0.0, "the torus model carries unicast traffic only");
+            let cfg = NocConfig::torus(a.nodes).with_buffer_depth(a.buffer_depth);
             let mut net = TorusNetwork::new(cfg);
             let mut wl = Synthetic::new(net.num_nodes(), wl_cfg);
             run(&mut net, &mut wl, &spec)

@@ -34,6 +34,7 @@ impl FigureCurve {
             TopologyKind::Quarc => NocConfig::quarc(n),
             TopologyKind::Spidergon => NocConfig::spidergon(n),
             TopologyKind::Mesh => NocConfig::mesh(n),
+            TopologyKind::Torus => NocConfig::torus(n),
         };
         FigureCurve {
             label: format!("{kind}-n{n}-m{msg_len}-b{}", (beta * 100.0).round() as u32),
@@ -82,7 +83,10 @@ pub fn run_figure(curves: Vec<FigureCurve>, run_spec: &RunSpec) -> Vec<FigureRes
             handles.push((
                 i,
                 scope.spawn(move || {
-                    let points = latency_curve(&curve.spec, &curve.rates, &rs);
+                    // Figure curves are built from the validated constructors
+                    // above, so a config error here is a programming error.
+                    let points = latency_curve(&curve.spec, &curve.rates, &rs)
+                        .expect("figure curves use validated configurations");
                     FigureResult { label: curve.label.clone(), spec: curve.spec, points }
                 }),
             ));

@@ -6,7 +6,15 @@
 //! arbitrary but fixed so every invocation reproduces the same numbers.
 
 use quarc_campaign::{CampaignSpec, RateAxis};
+use quarc_core::config::ArbPolicy;
 use quarc_core::topology::TopologyKind;
+
+/// The topology axis of the figure presets: the paper's two ring networks
+/// plus the §4 "next objective" grids. Every family carries every traffic
+/// class, so all four run the full β axis of each figure.
+fn figure_topologies() -> Vec<TopologyKind> {
+    vec![TopologyKind::Quarc, TopologyKind::Spidergon, TopologyKind::Mesh, TopologyKind::Torus]
+}
 
 /// The rate axis the paper's figures use: ten geometric steps up to 1.1× the
 /// analytic Quarc saturation bound for each curve's `(n, M)`.
@@ -17,7 +25,7 @@ fn figure_rates() -> RateAxis {
 /// **Fig. 9**: latency vs rate, N = 16, β = 5%, M ∈ {8, 16, 32}.
 pub fn fig9() -> CampaignSpec {
     let mut spec = CampaignSpec::new("fig9");
-    spec.topologies = vec![TopologyKind::Quarc, TopologyKind::Spidergon];
+    spec.topologies = figure_topologies();
     spec.sizes = vec![16];
     spec.msg_lens = vec![8, 16, 32];
     spec.betas = vec![0.05];
@@ -29,7 +37,7 @@ pub fn fig9() -> CampaignSpec {
 /// **Fig. 10**: latency vs rate, M = 16, β = 10%, N ∈ {16, 32, 64}.
 pub fn fig10() -> CampaignSpec {
     let mut spec = CampaignSpec::new("fig10");
-    spec.topologies = vec![TopologyKind::Quarc, TopologyKind::Spidergon];
+    spec.topologies = figure_topologies();
     spec.sizes = vec![16, 32, 64];
     spec.msg_lens = vec![16];
     spec.betas = vec![0.10];
@@ -41,7 +49,7 @@ pub fn fig10() -> CampaignSpec {
 /// **Fig. 11**: latency vs rate, N = 64, M = 16, β ∈ {0%, 5%, 10%}.
 pub fn fig11() -> CampaignSpec {
     let mut spec = CampaignSpec::new("fig11");
-    spec.topologies = vec![TopologyKind::Quarc, TopologyKind::Spidergon];
+    spec.topologies = figure_topologies();
     spec.sizes = vec![64];
     spec.msg_lens = vec![16];
     spec.betas = vec![0.0, 0.05, 0.10];
@@ -89,6 +97,21 @@ pub fn ablation_beta() -> CampaignSpec {
     spec
 }
 
+/// Ablation: output-arbitration policy (Quarc only) — round-robin vs fixed
+/// priority at a fixed operating point, as a campaign axis so the results
+/// ride the content-hashed cache like every other grid.
+pub fn ablation_arb() -> CampaignSpec {
+    let mut spec = CampaignSpec::new("ablation-arb");
+    spec.topologies = vec![TopologyKind::Quarc];
+    spec.sizes = vec![16];
+    spec.msg_lens = vec![16];
+    spec.betas = vec![0.05];
+    spec.arbs = vec![ArbPolicy::RoundRobin, ArbPolicy::FixedPriority];
+    spec.rates = RateAxis::Explicit(vec![0.008, 0.02]);
+    spec.base_seed = 24;
+    spec
+}
+
 /// Adaptive saturation frontier across sizes: where each topology's knee
 /// sits, found by bisection instead of a fixed sweep.
 pub fn frontier() -> CampaignSpec {
@@ -112,6 +135,7 @@ pub fn by_name(name: &str) -> Option<CampaignSpec> {
         "ablation-buffer" => Some(ablation_buffer()),
         "ablation-link" => Some(ablation_link()),
         "ablation-beta" => Some(ablation_beta()),
+        "ablation-arb" => Some(ablation_arb()),
         "frontier" => Some(frontier()),
         _ => None,
     }
@@ -130,6 +154,7 @@ pub const PRESET_NAMES: &[&str] = &[
     "ablation-buffer",
     "ablation-link",
     "ablation-beta",
+    "ablation-arb",
     "frontier",
     "paper",
 ];
@@ -150,9 +175,21 @@ mod tests {
 
     #[test]
     fn paper_grid_matches_figure_shapes() {
-        // Fig. 9: 2 topologies × 3 M × 10 rates; Fig. 10: 2 × 3 N × 10;
-        // Fig. 11: 2 × 3 β × 10.
-        let sizes: Vec<usize> = paper().iter().map(|s| s.expand().unwrap().points.len()).collect();
-        assert_eq!(sizes, vec![60, 60, 60]);
+        // All four topologies on every figure since the mesh/torus multicast
+        // tree landed. Fig. 9: 4 topologies × 3 M × 10 rates; Fig. 10:
+        // 4 × 3 N × 10; Fig. 11: 4 × 3 β × 10 — and nothing skipped.
+        let expansions: Vec<_> = paper().iter().map(|s| s.expand().unwrap()).collect();
+        let sizes: Vec<usize> = expansions.iter().map(|e| e.points.len()).collect();
+        assert_eq!(sizes, vec![120, 120, 120]);
+        assert!(expansions.iter().all(|e| e.skipped.is_empty()));
+    }
+
+    #[test]
+    fn arb_ablation_sweeps_both_policies() {
+        let exp = ablation_arb().expand().unwrap();
+        assert_eq!(exp.points.len(), 2 * 2); // 2 policies × 2 rates
+        let policies: std::collections::HashSet<_> =
+            exp.points.iter().map(|p| p.curve.arb).collect();
+        assert_eq!(policies.len(), 2);
     }
 }

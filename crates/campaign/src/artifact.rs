@@ -54,6 +54,7 @@ fn spec_json(spec: &CampaignSpec) -> Json {
             Json::Arr(spec.buffer_depths.iter().map(|&d| Json::UInt(d as u64)).collect()),
         ),
         ("link_latencies", Json::Arr(spec.link_latencies.iter().map(|&l| Json::UInt(l)).collect())),
+        ("arbs", Json::Arr(spec.arbs.iter().map(|a| Json::Str(a.to_string())).collect())),
         ("rates", rate_axis_json(&spec.rates)),
         ("replications", Json::UInt(spec.replications as u64)),
         ("base_seed", Json::UInt(spec.base_seed)),

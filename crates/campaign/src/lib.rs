@@ -2,8 +2,11 @@
 //!
 //! Parallel, deterministic, resumable experiment campaigns over the Quarc
 //! NoC simulator — the paper's whole Figs. 9–11 / Table 1 evaluation grid
-//! (topology × size × `M` × `β` × injection rate × replications) as one
-//! declarative object instead of a pile of hand-rolled loops.
+//! (topology × size × `M` × `β` × buffer depth × link latency × arbitration
+//! policy × injection rate × replications) as one declarative object instead
+//! of a pile of hand-rolled loops. All four topology families — Quarc,
+//! Spidergon, mesh, torus — are grid axes, and every one carries every
+//! traffic class, so expansion is always the exact cartesian product.
 //!
 //! The pipeline:
 //!

@@ -166,7 +166,9 @@ pub fn run_replicated(
     for rep in 0..reps {
         let mut point = *template;
         point.seed = replication_seed(base_seed, point_stream, rep);
-        let outcome = run_point(&point, run_spec);
+        // Campaign points are validated at expansion, so a config error here
+        // is a programming error, not an input error.
+        let outcome = run_point(&point, run_spec).expect("expansion validated this configuration");
         let r = &outcome.result;
         unicast.push(r.unicast_mean);
         reception.push(r.bcast_reception_mean);

@@ -118,6 +118,7 @@ impl PointResult {
             ("beta", Json::Num(c.beta)),
             ("buffer_depth", Json::UInt(c.buffer_depth as u64)),
             ("link_latency", Json::UInt(c.link_latency)),
+            ("arb", Json::Str(c.arb.to_string())),
             ("content_hash", Json::Str(format!("{:016x}", self.content_hash))),
             ("outcome", self.outcome.to_json()),
         ])
@@ -128,8 +129,8 @@ impl PointResult {
     pub fn csv_row(&self) -> String {
         let c = &self.point.curve;
         let prefix = format!(
-            "{},{},{},{},{},{},{}",
-            self.id, c.topology, c.n, c.msg_len, c.beta, c.buffer_depth, c.link_latency
+            "{},{},{},{},{},{},{},{}",
+            self.id, c.topology, c.n, c.msg_len, c.beta, c.buffer_depth, c.link_latency, c.arb
         );
         match &self.outcome {
             PointOutcomeKind::Rate { rate, merged } => format!(
@@ -158,7 +159,7 @@ impl PointResult {
 
     /// The CSV header matching [`Self::csv_row`].
     pub fn csv_header() -> &'static str {
-        "id,topology,n,msg_len,beta,buffer_depth,link_latency,kind,rate,reps,\
+        "id,topology,n,msg_len,beta,buffer_depth,link_latency,arb,kind,rate,reps,\
          unicast_mean,unicast_ci95,unicast_p95,unicast_samples,bcast_reception_mean,\
          bcast_completion_mean,bcast_completion_ci95,bcast_completion_p95,bcast_samples,\
          throughput,saturated"

@@ -126,7 +126,10 @@ pub fn execute_point(point: &CampaignPoint, spec: &CampaignSpec) -> PointOutcome
                         seed,
                         rate,
                     };
-                    run_point(&probe, &spec.run).result.saturated
+                    run_point(&probe, &spec.run)
+                        .expect("expansion validated this configuration")
+                        .result
+                        .saturated
                 },
                 lo,
                 hi,

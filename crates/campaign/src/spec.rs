@@ -2,10 +2,11 @@
 //!
 //! A [`CampaignSpec`] names a full experiment grid — the cartesian product of
 //! topology × node count × message length `M` × broadcast fraction `β` ×
-//! buffer depth × link latency, crossed with a rate axis — exactly the shape
-//! of the paper's Figs. 9–11 evaluation. [`CampaignSpec::expand`] flattens
-//! the grid into [`CampaignPoint`]s, the unit the executor shards across
-//! worker threads.
+//! buffer depth × link latency × arbitration policy, crossed with a rate
+//! axis — exactly the shape of the paper's Figs. 9–11 evaluation plus the §4
+//! mesh/torus comparison. [`CampaignSpec::expand`] flattens the grid into
+//! [`CampaignPoint`]s, the unit the executor shards across worker threads;
+//! the expansion is always the exact product (nothing is silently dropped).
 //!
 //! Every point carries a canonical *content key*; its FNV-1a hash is both the
 //! on-disk cache key and the RNG substream selector, so a point's identity —
@@ -14,7 +15,7 @@
 //! order.
 
 use crate::hash::fnv1a64;
-use quarc_core::config::NocConfig;
+use quarc_core::config::{ArbPolicy, NocConfig};
 use quarc_core::topology::TopologyKind;
 use quarc_sim::RunSpec;
 use std::fmt;
@@ -72,6 +73,10 @@ pub struct CampaignSpec {
     pub buffer_depths: Vec<usize>,
     /// Link-latency axis (cycles).
     pub link_latencies: Vec<u64>,
+    /// Output-arbitration-policy axis (the DESIGN.md §6 ablation; consulted
+    /// by the Quarc model only, but part of every point's identity so the
+    /// cache can never serve a round-robin result for a fixed-priority run).
+    pub arbs: Vec<ArbPolicy>,
     /// The injection-rate axis.
     pub rates: RateAxis,
     /// Independent replications per point (distinct workload seeds).
@@ -94,6 +99,7 @@ impl CampaignSpec {
             betas: vec![0.05],
             buffer_depths: vec![4],
             link_latencies: vec![1],
+            arbs: vec![ArbPolicy::RoundRobin],
             rates: RateAxis::AutoGeometric { span: 1.1, lo_div: 40.0, steps: 10 },
             replications: 2,
             base_seed: 2009, // the paper's year; any constant works
@@ -101,9 +107,14 @@ impl CampaignSpec {
         }
     }
 
-    /// Expand the grid into executable points. Mesh × `β > 0` combinations
-    /// are dropped (the mesh model is unicast-only) and reported in
-    /// [`Expansion::skipped`]; invalid node counts and empty axes are errors.
+    /// Expand the grid into executable points.
+    ///
+    /// Every topology carries every traffic class, so the expansion is the
+    /// exact cartesian product of the axes — nothing is dropped. Invalid
+    /// node counts and empty axes are errors. Should a future axis introduce
+    /// a genuinely unsupported combination, it must be reported through
+    /// [`Expansion::skipped`] (which the artifact records) — never silently
+    /// removed from the grid.
     pub fn expand(&self) -> Result<Expansion, SpecError> {
         if self.name.is_empty() || !self.name.chars().all(valid_name_char) {
             return Err(SpecError::new("name must be non-empty and use only [a-zA-Z0-9._-]"));
@@ -115,6 +126,7 @@ impl CampaignSpec {
             ("betas", self.betas.is_empty()),
             ("buffer_depths", self.buffer_depths.is_empty()),
             ("link_latencies", self.link_latencies.is_empty()),
+            ("arbs", self.arbs.is_empty()),
         ] {
             if empty {
                 return Err(SpecError::new_owned(format!("axis {axis} is empty")));
@@ -151,7 +163,7 @@ impl CampaignSpec {
         }
 
         let mut points = Vec::new();
-        let mut skipped = Vec::new();
+        let skipped = Vec::new();
         for &topology in &self.topologies {
             for &n in &self.sizes {
                 for &msg_len in &self.msg_lens {
@@ -162,28 +174,23 @@ impl CampaignSpec {
                         if !(0.0..=1.0).contains(&beta) {
                             return Err(SpecError::new("beta must be in [0, 1]"));
                         }
-                        if topology == TopologyKind::Mesh && beta > 0.0 {
-                            skipped.push(format!(
-                                "mesh-n{n}-m{msg_len}-b{}: the mesh model is unicast-only",
-                                beta_pct(beta)
-                            ));
-                            continue;
-                        }
                         for &buffer_depth in &self.buffer_depths {
                             for &link_latency in &self.link_latencies {
-                                let curve = CurveParams {
-                                    topology,
-                                    n,
-                                    msg_len,
-                                    beta,
-                                    buffer_depth,
-                                    link_latency,
-                                };
-                                curve
-                                    .noc()
-                                    .validate()
-                                    .map_err(|e| SpecError::new_owned(format!("{curve}: {e}")))?;
-                                self.push_curve_points(curve, &mut points);
+                                for &arb in &self.arbs {
+                                    let curve = CurveParams {
+                                        topology,
+                                        n,
+                                        msg_len,
+                                        beta,
+                                        buffer_depth,
+                                        link_latency,
+                                        arb,
+                                    };
+                                    curve.noc().validate().map_err(|e| {
+                                        SpecError::new_owned(format!("{curve}: {e}"))
+                                    })?;
+                                    self.push_curve_points(curve, &mut points);
+                                }
                             }
                         }
                     }
@@ -255,6 +262,8 @@ pub struct CurveParams {
     pub buffer_depth: usize,
     /// Link latency (cycles).
     pub link_latency: u64,
+    /// Output-arbitration policy.
+    pub arb: ArbPolicy,
 }
 
 impl CurveParams {
@@ -269,9 +278,11 @@ impl CurveParams {
                 cfg.vcs = 1;
                 cfg
             }
+            TopologyKind::Torus => NocConfig::torus(self.n),
         };
         cfg.buffer_depth = self.buffer_depth;
         cfg.link_latency = self.link_latency;
+        cfg.arb = self.arb;
         cfg
     }
 }
@@ -280,13 +291,14 @@ impl fmt::Display for CurveParams {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{}-n{}-m{}-b{}-d{}-l{}",
+            "{}-n{}-m{}-b{}-d{}-l{}-a{}",
             self.topology,
             self.n,
             self.msg_len,
             beta_pct(self.beta),
             self.buffer_depth,
-            self.link_latency
+            self.link_latency,
+            self.arb
         )
     }
 }
@@ -323,9 +335,10 @@ pub struct CampaignPoint {
 
 impl CampaignPoint {
     /// The canonical content key: every parameter that influences this
-    /// point's numbers, in a fixed textual form. Bump `v1` when any
-    /// result-affecting behaviour changes (RNG algorithm, run protocol,
-    /// merge rules) — it invalidates every existing cache entry.
+    /// point's numbers, in a fixed textual form. Bump the version token when
+    /// any result-affecting behaviour changes (RNG algorithm, run protocol,
+    /// merge rules) — it invalidates every existing cache entry. `v2` added
+    /// the topology (torus) and arbitration-policy axes to every key.
     pub fn content_key(&self, spec: &CampaignSpec) -> String {
         let c = &self.curve;
         let work = match self.work {
@@ -343,13 +356,14 @@ impl CampaignPoint {
             PointWork::Saturation { .. } => 1,
         };
         format!(
-            "quarc-campaign v1|{}|n={} m={} beta={} depth={} link={}|{}|reps={} seed={}|run w={} m={} d={} lat={} bk={}",
+            "quarc-campaign v2|{}|n={} m={} beta={} depth={} link={} arb={}|{}|reps={} seed={}|run w={} m={} d={} lat={} bk={}",
             c.topology,
             c.n,
             c.msg_len,
             c.beta,
             c.buffer_depth,
             c.link_latency,
+            c.arb,
             work,
             effective_reps,
             spec.base_seed,
@@ -372,7 +386,10 @@ impl CampaignPoint {
 pub struct Expansion {
     /// Executable points, in deterministic grid order.
     pub points: Vec<CampaignPoint>,
-    /// Human-readable descriptions of dropped combinations.
+    /// Human-readable descriptions of dropped combinations. Always recorded
+    /// in the campaign artifact so a shrunken grid leaves a trace; currently
+    /// always empty — every topology supports every traffic class, so the
+    /// expansion is the exact cartesian product of the axes.
     pub skipped: Vec<String>,
 }
 
@@ -423,15 +440,31 @@ mod tests {
     }
 
     #[test]
-    fn mesh_beta_combinations_are_skipped_not_fatal() {
+    fn expansion_is_the_exact_grid_product_for_every_topology() {
+        // Regression for the silent mesh × β > 0 point drop: the expansion
+        // must equal the axis product — no combination may vanish without a
+        // trace — and the only sanctioned escape hatch is `skipped`, which
+        // the artifact records and which must stay empty today.
         let mut spec = small();
-        spec.topologies = vec![TopologyKind::Quarc, TopologyKind::Mesh];
-        spec.betas = vec![0.0, 0.1];
+        spec.topologies = vec![
+            TopologyKind::Quarc,
+            TopologyKind::Spidergon,
+            TopologyKind::Mesh,
+            TopologyKind::Torus,
+        ];
+        spec.betas = vec![0.0, 0.05, 0.1];
+        spec.arbs = vec![ArbPolicy::RoundRobin, ArbPolicy::FixedPriority];
         let exp = spec.expand().unwrap();
-        // Quarc: 2 sizes × 2 betas × 2 rates = 8; Mesh: 2 sizes × 1 beta × 2.
-        assert_eq!(exp.points.len(), 12);
-        assert_eq!(exp.skipped.len(), 2);
-        assert!(exp.skipped[0].contains("unicast-only"));
+        let product = spec.topologies.len()
+            * spec.sizes.len()
+            * spec.msg_lens.len()
+            * spec.betas.len()
+            * spec.buffer_depths.len()
+            * spec.link_latencies.len()
+            * spec.arbs.len()
+            * 2; // explicit rates
+        assert_eq!(exp.points.len(), product);
+        assert!(exp.skipped.is_empty(), "{:?}", exp.skipped);
     }
 
     #[test]
@@ -440,6 +473,58 @@ mod tests {
         spec.topologies = vec![TopologyKind::Mesh];
         let exp = spec.expand().unwrap();
         assert!(exp.points.iter().all(|p| p.curve.noc().vcs == 1));
+    }
+
+    #[test]
+    fn torus_points_get_dateline_vc_configs() {
+        let mut spec = small();
+        spec.topologies = vec![TopologyKind::Torus];
+        spec.betas = vec![0.05]; // collectives are first-class on the torus
+        let exp = spec.expand().unwrap();
+        assert!(exp.skipped.is_empty());
+        for p in &exp.points {
+            let noc = p.curve.noc();
+            assert_eq!(noc.kind, TopologyKind::Torus);
+            assert!(noc.vcs >= 2, "wrap rings need the dateline pair");
+            noc.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn content_hash_separates_topologies_and_arb_policies() {
+        // Stale cache hits are silent wrong results: any two points that can
+        // produce different numbers must have different keys. Topology and
+        // arbitration policy are the two axes this PR added.
+        let mut spec = small();
+        spec.sizes = vec![16];
+        let mut torus = spec.clone();
+        torus.topologies = vec![TopologyKind::Torus];
+        let mut mesh = spec.clone();
+        mesh.topologies = vec![TopologyKind::Mesh];
+        let ht = torus.expand().unwrap().points[0].content_hash(&torus);
+        let hm = mesh.expand().unwrap().points[0].content_hash(&mesh);
+        assert_ne!(ht, hm, "mesh and torus points must never share a cache entry");
+
+        let mut rr = spec.clone();
+        rr.topologies = vec![TopologyKind::Quarc];
+        let mut fp = rr.clone();
+        fp.arbs = vec![ArbPolicy::FixedPriority];
+        let hr = rr.expand().unwrap().points[0].content_hash(&rr);
+        let hf = fp.expand().unwrap().points[0].content_hash(&fp);
+        assert_ne!(hr, hf, "arbitration policy must be part of the cache key");
+    }
+
+    #[test]
+    fn every_config_field_reaches_the_content_key() {
+        // The key must echo each behaviour-affecting curve coordinate
+        // verbatim (an audit that a future field cannot silently miss it).
+        let spec = small();
+        let p = spec.expand().unwrap().points[0];
+        let key = p.content_key(&spec);
+        for needle in ["quarc", "n=8", "m=4", "beta=0", "depth=4", "link=1", "arb=rr", "seed=2009"]
+        {
+            assert!(key.contains(needle), "key {key:?} lacks {needle:?}");
+        }
     }
 
     #[test]
@@ -499,6 +584,10 @@ mod tests {
 
         let mut bad = small();
         bad.betas = vec![1.5];
+        assert!(bad.expand().is_err());
+
+        let mut bad = small();
+        bad.arbs = vec![];
         assert!(bad.expand().is_err());
     }
 

@@ -63,20 +63,32 @@ fn parallel_saturation_campaign_is_bit_identical_to_serial() {
 }
 
 #[test]
-fn mesh_points_participate_in_parallel_campaigns() {
-    // The third topology family (build_network's mesh arm used to panic):
-    // a grid mixing all three families must run and stay deterministic.
-    let mut spec = CampaignSpec::new("determinism-mesh");
-    spec.topologies = vec![TopologyKind::Quarc, TopologyKind::Spidergon, TopologyKind::Mesh];
+fn all_four_topologies_with_broadcast_are_bit_identical_at_any_worker_count() {
+    // The §4 comparison grid: every topology family × β ∈ {0, 0.05} expands
+    // to the full product (the old expander silently dropped mesh × β > 0)
+    // and stays bit-identical across worker counts.
+    let mut spec = CampaignSpec::new("determinism-all-topologies");
+    spec.topologies =
+        vec![TopologyKind::Quarc, TopologyKind::Spidergon, TopologyKind::Mesh, TopologyKind::Torus];
     spec.sizes = vec![16];
     spec.msg_lens = vec![4];
-    spec.betas = vec![0.0];
+    spec.betas = vec![0.0, 0.05];
     spec.rates = RateAxis::Explicit(vec![0.005, 0.01]);
     spec.replications = 2;
     spec.run = quick_run();
 
-    let (json_serial, _) = artifacts(&spec, 1);
-    let (json_par, _) = artifacts(&spec, 3);
-    assert_eq!(json_serial, json_par);
-    assert!(json_serial.contains("\"topology\": \"mesh\""));
+    let expansion = spec.expand().expect("valid spec");
+    assert_eq!(expansion.points.len(), 4 * 2 * 2, "zero silently dropped points");
+    assert!(expansion.skipped.is_empty());
+
+    let (json_serial, csv_serial) = artifacts(&spec, 1);
+    for workers in [3, 8] {
+        let (json_par, csv_par) = artifacts(&spec, workers);
+        assert_eq!(json_serial, json_par, "JSON artifact diverged at {workers} workers");
+        assert_eq!(csv_serial, csv_par, "CSV artifact diverged at {workers} workers");
+    }
+    for topo in ["\"topology\": \"mesh\"", "\"topology\": \"torus\""] {
+        assert!(json_serial.contains(topo), "artifact lacks {topo}");
+    }
+    assert_eq!(csv_serial.lines().count(), 1 + 16);
 }

@@ -9,6 +9,31 @@ use std::fmt;
 /// arrays on the stack instead of per-cycle heap allocation.
 pub const MAX_VCS: usize = 4;
 
+/// Output-arbitration policy (the DESIGN.md §6 ablation knob). Lives in the
+/// configuration so experiment grids can sweep it and cache keys can include
+/// it; only the Quarc model's OPC grant arbiters consult it today.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ArbPolicy {
+    /// Rotate the grant pointer past each winner (the paper's timer-based
+    /// "equal opportunity" behaviour under sustained load). Default.
+    #[default]
+    RoundRobin,
+    /// Always grant the lowest-index eligible candidate. Cheaper logic, but
+    /// biased: low-index feeders (through traffic, in our tables) can starve
+    /// local injection under contention.
+    FixedPriority,
+}
+
+impl fmt::Display for ArbPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ArbPolicy::RoundRobin => "rr",
+            ArbPolicy::FixedPriority => "fp",
+        };
+        write!(f, "{s}")
+    }
+}
+
 /// Errors raised when validating a [`NocConfig`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ConfigError {
@@ -62,6 +87,9 @@ pub struct NocConfig {
     pub buffer_depth: usize,
     /// Link traversal latency in cycles.
     pub link_latency: u64,
+    /// Output-arbitration policy (consulted by the Quarc model's OPC grant
+    /// arbiters; the other models always round-robin).
+    pub arb: ArbPolicy,
 }
 
 impl NocConfig {
@@ -80,9 +108,21 @@ impl NocConfig {
         NocConfig { kind: TopologyKind::Mesh, n, ..Default::default() }
     }
 
+    /// A near-square torus of at least `n` nodes with paper defaults (the
+    /// default 2 VCs are the per-dimension dateline minimum).
+    pub fn torus(n: usize) -> Self {
+        NocConfig { kind: TopologyKind::Torus, n, ..Default::default() }
+    }
+
     /// Override the buffer depth.
     pub fn with_buffer_depth(mut self, depth: usize) -> Self {
         self.buffer_depth = depth;
+        self
+    }
+
+    /// Override the output-arbitration policy.
+    pub fn with_arb(mut self, arb: ArbPolicy) -> Self {
+        self.arb = arb;
         self
     }
 
@@ -113,6 +153,14 @@ impl NocConfig {
                     });
                 }
             }
+            TopologyKind::Torus => {
+                if self.n < 4 {
+                    return Err(ConfigError::BadNodeCount {
+                        n: self.n,
+                        requirement: "torus requires n ≥ 4 (both dimensions must wrap)",
+                    });
+                }
+            }
         }
         if self.n > crate::flit::wire::MAX_NODES {
             return Err(ConfigError::BadNodeCount {
@@ -129,7 +177,8 @@ impl NocConfig {
         if self.kind != TopologyKind::Mesh && self.vcs < 2 {
             return Err(ConfigError::BadParameter {
                 name: "vcs",
-                requirement: "ring topologies need ≥ 2 VCs for the dateline scheme",
+                requirement: "ring and torus topologies need ≥ 2 VCs for the dateline scheme \
+                              (XY on a mesh is the only single-VC-safe discipline)",
             });
         }
         if self.buffer_depth < 1 {
@@ -150,7 +199,14 @@ impl NocConfig {
 
 impl Default for NocConfig {
     fn default() -> Self {
-        NocConfig { kind: TopologyKind::Quarc, n: 16, vcs: 2, buffer_depth: 4, link_latency: 1 }
+        NocConfig {
+            kind: TopologyKind::Quarc,
+            n: 16,
+            vcs: 2,
+            buffer_depth: 4,
+            link_latency: 1,
+            arb: ArbPolicy::RoundRobin,
+        }
     }
 }
 
@@ -158,8 +214,8 @@ impl fmt::Display for NocConfig {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} n={} vcs={} buf={} link={}",
-            self.kind, self.n, self.vcs, self.buffer_depth, self.link_latency
+            "{} n={} vcs={} buf={} link={} arb={}",
+            self.kind, self.n, self.vcs, self.buffer_depth, self.link_latency, self.arb
         )
     }
 }
@@ -217,5 +273,27 @@ mod tests {
     fn error_display() {
         let e = NocConfig::quarc(18).validate().unwrap_err();
         assert!(e.to_string().contains("18"));
+    }
+
+    #[test]
+    fn torus_validates_like_a_ring() {
+        assert!(NocConfig::torus(16).validate().is_ok());
+        assert!(NocConfig::torus(17).validate().is_ok(), "near-square rounding covers any n ≥ 4");
+        assert!(NocConfig::torus(3).validate().is_err());
+        // The wrap rings need the dateline pair, exactly like the rim rings.
+        let mut t = NocConfig::torus(16);
+        t.vcs = 1;
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn arb_policy_is_part_of_the_config() {
+        let c = NocConfig::quarc(16);
+        assert_eq!(c.arb, ArbPolicy::RoundRobin);
+        let f = c.with_arb(ArbPolicy::FixedPriority);
+        assert_eq!(f.arb, ArbPolicy::FixedPriority);
+        assert!(f.validate().is_ok());
+        assert_ne!(c, f, "configs differing only in arbitration must not compare equal");
+        assert!(f.to_string().contains("arb=fp"));
     }
 }

@@ -46,7 +46,7 @@ pub mod vc;
 
 /// Convenient re-exports of the types used by nearly every downstream module.
 pub mod prelude {
-    pub use crate::config::{ConfigError, NocConfig, MAX_VCS};
+    pub use crate::config::{ArbPolicy, ConfigError, NocConfig, MAX_VCS};
     pub use crate::flit::{Flit, FlitKind, PacketMeta, PacketRef, PacketTable, TrafficClass};
     pub use crate::ids::{MessageId, NodeId, PacketId, VcId};
     pub use crate::quadrant::{
@@ -59,8 +59,8 @@ pub mod prelude {
         spidergon_hops, spidergon_route, ChainSeed, ChainSeeds, RouteAction,
     };
     pub use crate::topology::{
-        MeshOut, MeshTopology, QuarcIn, QuarcOut, QuarcTopology, SpiIn, SpiOut, SpidergonTopology,
-        TopologyKind,
+        GridBranch, MeshOut, MeshTopology, QuarcIn, QuarcOut, QuarcTopology, SpiIn, SpiOut,
+        SpidergonTopology, TopologyKind,
     };
     pub use crate::torus::{TorusOut, TorusTopology};
     pub use crate::vc::{vc_after_rim_hop, vc_for_cross_hop, INJECTION_VC};

@@ -26,6 +26,10 @@ pub enum TopologyKind {
     Spidergon,
     /// 2D mesh with XY routing (validation / extension).
     Mesh,
+    /// 2D torus: the mesh with wrap links, dimension-ordered routing and
+    /// per-dimension dateline VCs (see [`crate::torus`]) — the second half of
+    /// the paper's §4 "next objective" comparison.
+    Torus,
 }
 
 impl fmt::Display for TopologyKind {
@@ -34,6 +38,7 @@ impl fmt::Display for TopologyKind {
             TopologyKind::Quarc => "quarc",
             TopologyKind::Spidergon => "spidergon",
             TopologyKind::Mesh => "mesh",
+            TopologyKind::Torus => "torus",
         };
         write!(f, "{s}")
     }
@@ -544,6 +549,94 @@ impl MeshTopology {
     pub fn diameter(&self) -> usize {
         (self.cols - 1) + (self.rows - 1)
     }
+
+    /// Plan the dimension-ordered multicast tree for `targets` — the grid
+    /// counterpart of [`crate::quadrant::multicast_branches`], shared by the
+    /// mesh and (with wrap arithmetic) the torus.
+    ///
+    /// Targets are partitioned by destination column and y direction; each
+    /// non-empty group becomes one source-routed branch whose path is the XY
+    /// route to the group's furthest target, branching out of the x run at
+    /// the turn node. The header [`GridBranch::bitstring`] marks which nodes
+    /// along that path take a copy (bit `i` = the node after `i + 1` hops —
+    /// exactly the semantics the routers shift per hop). Targets equal to
+    /// `src` are ignored; duplicates set the same bit once. Broadcast is the
+    /// all-targets special case. `out` is cleared and refilled, so a reused
+    /// buffer makes steady-state expansion allocation-free.
+    pub fn multicast_branches_into(
+        &self,
+        src: NodeId,
+        targets: impl IntoIterator<Item = NodeId>,
+        out: &mut Vec<GridBranch>,
+    ) {
+        out.clear();
+        assert!(
+            self.cols <= GRID_MC_MAX_SIDE && self.diameter() <= 16,
+            "multicast bitstrings are 16 bits; the path may not exceed 16 hops (n ≤ 64)"
+        );
+        let (sx, sy) = self.coords(src);
+        let mut acc = [[None::<GridBranchAcc>; 2]; GRID_MC_MAX_SIDE];
+        for t in targets {
+            if t == src {
+                continue;
+            }
+            let (tx, ty) = self.coords(t);
+            let dist_x = sx.abs_diff(tx);
+            // `dy == 0` targets sit on the x run and ride the "up" branch.
+            let (down, dy) = if ty >= sy { (0, ty - sy) } else { (1, sy - ty) };
+            acc[tx][down].get_or_insert_with(GridBranchAcc::default).add(dist_x + dy, dy);
+        }
+        for (tx, pair) in acc.iter().enumerate() {
+            for (down, a) in pair.iter().enumerate() {
+                if let Some(a) = a {
+                    let ry = if down == 0 { sy + a.max_dy } else { sy - a.max_dy };
+                    out.push(GridBranch { dst: self.node_at(tx, ry), bitstring: a.bits });
+                }
+            }
+        }
+    }
+}
+
+/// Upper bound on mesh/torus side length in the multicast planner's scratch
+/// (16-bit bitstrings cap paths at 16 hops anyway). Shared with the torus
+/// planner in [`crate::torus`].
+pub(crate) const GRID_MC_MAX_SIDE: usize = 16;
+
+/// Per-`(column, y-direction)` accumulator of the grid multicast planners
+/// (mesh here, torus in [`crate::torus`] — same algorithm, different wrap
+/// arithmetic).
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct GridBranchAcc {
+    pub(crate) bits: u16,
+    pub(crate) max_dy: usize,
+}
+
+impl GridBranchAcc {
+    /// Record a target `hops` hops along the branch path, `dy` of them in y.
+    pub(crate) fn add(&mut self, hops: usize, dy: usize) {
+        debug_assert!(hops >= 1, "src is never a target");
+        self.bits |= 1 << (hops - 1);
+        self.max_dy = self.max_dy.max(dy);
+    }
+}
+
+/// One source-routed branch of a mesh/torus multicast tree (see
+/// [`MeshTopology::multicast_branches_into`]). The flat `Copy` shape keeps
+/// the planner's output buffer reusable in the simulators' injection path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GridBranch {
+    /// Header destination: the last node of the branch (always a target).
+    pub dst: NodeId,
+    /// Bit `i` ⇒ the node reached after `i + 1` hops takes a copy. The
+    /// terminal `dst` bit is always set.
+    pub bitstring: u16,
+}
+
+impl GridBranch {
+    /// Receivers this branch delivers to.
+    pub fn receivers(&self) -> usize {
+        self.bitstring.count_ones() as usize
+    }
 }
 
 #[cfg(test)]
@@ -727,5 +820,92 @@ mod tests {
         assert_eq!(TopologyKind::Quarc.to_string(), "quarc");
         assert_eq!(TopologyKind::Spidergon.to_string(), "spidergon");
         assert_eq!(TopologyKind::Mesh.to_string(), "mesh");
+        assert_eq!(TopologyKind::Torus.to_string(), "torus");
+    }
+
+    /// Decode a planned branch back into its delivery set by walking the XY
+    /// route the router will take (the oracle for the planner tests).
+    fn mesh_branch_deliveries(m: &MeshTopology, src: NodeId, b: &GridBranch) -> Vec<NodeId> {
+        let mut deliveries = Vec::new();
+        let mut cur = src;
+        let mut bits = b.bitstring;
+        while cur != b.dst {
+            cur = match m.route(cur, b.dst) {
+                MeshOut::Eject => unreachable!("walk ends at dst"),
+                port => m.link_target(cur, port).expect("XY stays on the mesh"),
+            };
+            if bits & 1 == 1 {
+                deliveries.push(cur);
+            }
+            bits >>= 1;
+        }
+        assert_eq!(bits, 0, "bits past the branch terminal");
+        deliveries
+    }
+
+    #[test]
+    fn mesh_multicast_branches_cover_targets_exactly_once() {
+        let m = MeshTopology::new(4, 4);
+        let src = NodeId(5); // (1, 1)
+        let targets = vec![NodeId(0), NodeId(3), NodeId(7), NodeId(12), NodeId(15), NodeId(6)];
+        let mut branches = Vec::new();
+        m.multicast_branches_into(src, targets.iter().copied(), &mut branches);
+        let mut delivered: Vec<NodeId> =
+            branches.iter().flat_map(|b| mesh_branch_deliveries(&m, src, b)).collect();
+        delivered.sort();
+        let mut want = targets.clone();
+        want.sort();
+        assert_eq!(delivered, want);
+        assert_eq!(
+            branches.iter().map(GridBranch::receivers).sum::<usize>(),
+            targets.len(),
+            "receiver count must equal the distinct target count"
+        );
+    }
+
+    #[test]
+    fn mesh_broadcast_branches_cover_every_node_exactly_once() {
+        for (c, r) in [(4usize, 4usize), (3, 5), (8, 8)] {
+            let m = MeshTopology::new(c, r);
+            for s in 0..m.num_nodes() {
+                let src = NodeId::new(s);
+                let mut branches = Vec::new();
+                m.multicast_branches_into(src, (0..m.num_nodes()).map(NodeId::new), &mut branches);
+                let mut seen = std::collections::HashSet::new();
+                for b in &branches {
+                    for d in mesh_branch_deliveries(&m, src, b) {
+                        assert!(seen.insert(d), "{c}x{r} src={src}: {d} covered twice");
+                        assert_ne!(d, src);
+                    }
+                }
+                assert_eq!(seen.len(), m.num_nodes() - 1, "{c}x{r} src={src}");
+            }
+        }
+    }
+
+    #[test]
+    fn mesh_multicast_ignores_source_and_duplicates() {
+        let m = MeshTopology::new(4, 4);
+        let src = NodeId(0);
+        let mut branches = Vec::new();
+        m.multicast_branches_into(
+            src,
+            [src, NodeId(2), NodeId(2), NodeId(9)].into_iter(),
+            &mut branches,
+        );
+        assert_eq!(branches.iter().map(GridBranch::receivers).sum::<usize>(), 2);
+    }
+
+    #[test]
+    fn mesh_turn_row_target_rides_the_up_branch() {
+        // Source (0,0), targets (2,0) and (2,3): one branch through the turn
+        // node (2,0), which takes its copy on the x run.
+        let m = MeshTopology::new(4, 4);
+        let mut branches = Vec::new();
+        m.multicast_branches_into(NodeId(0), [NodeId(2), NodeId(14)].into_iter(), &mut branches);
+        assert_eq!(branches.len(), 1);
+        assert_eq!(branches[0].dst, NodeId(14));
+        // Hops 2 (node 2, bit 1) and 5 (node 14, bit 4).
+        assert_eq!(branches[0].bitstring, 0b10010);
     }
 }

@@ -14,6 +14,7 @@
 
 use crate::ids::{NodeId, VcId};
 use crate::ring::{Ring, RingDir};
+use crate::topology::{GridBranch, GridBranchAcc, GRID_MC_MAX_SIDE};
 use crate::vc::{vc_after_rim_hop, ChannelDepGraph, INJECTION_VC};
 use std::fmt;
 
@@ -227,6 +228,51 @@ impl TorusTopology {
         }
     }
 
+    /// Plan the dimension-ordered multicast tree for `targets` — the torus
+    /// analogue of [`crate::topology::MeshTopology::multicast_branches_into`],
+    /// with each dimension taking the shorter way around its ring.
+    ///
+    /// Targets are grouped by destination column and (shortest-way) y
+    /// direction; each group becomes one source-routed branch whose path is
+    /// this topology's [`Self::route`] walk to the group's furthest target,
+    /// branching out of the x run at the turn node. Bit `i` of the branch
+    /// bitstring marks the node after `i + 1` hops, the same per-hop shift
+    /// semantics the routers apply. `out` is cleared and refilled so a reused
+    /// buffer keeps steady-state expansion allocation-free.
+    pub fn multicast_branches_into(
+        &self,
+        src: NodeId,
+        targets: impl IntoIterator<Item = NodeId>,
+        out: &mut Vec<GridBranch>,
+    ) {
+        out.clear();
+        assert!(
+            self.cols <= GRID_MC_MAX_SIDE && self.diameter() <= 16,
+            "multicast bitstrings are 16 bits; the path may not exceed 16 hops (n ≤ 64)"
+        );
+        let (sx, sy) = self.coords(src);
+        let mut acc = [[None::<GridBranchAcc>; 2]; GRID_MC_MAX_SIDE];
+        for t in targets {
+            if t == src {
+                continue;
+            }
+            let (tx, ty) = self.coords(t);
+            let dist_x = Self::signed_offset(sx, tx, self.cols).unsigned_abs();
+            let oy = Self::signed_offset(sy, ty, self.rows);
+            // `oy == 0` targets sit on the x run and ride the `y+` branch.
+            let (minus, dy) = if oy >= 0 { (0, oy as usize) } else { (1, oy.unsigned_abs()) };
+            acc[tx][minus].get_or_insert_with(GridBranchAcc::default).add(dist_x + dy, dy);
+        }
+        for (tx, pair) in acc.iter().enumerate() {
+            for (minus, a) in pair.iter().enumerate() {
+                if let Some(a) = a {
+                    let ry = if minus == 0 { sy + a.max_dy } else { sy + self.rows - a.max_dy };
+                    out.push(GridBranch { dst: self.node_at(tx, ry), bitstring: a.bits });
+                }
+            }
+        }
+    }
+
     /// Build the full channel dependency graph of all unicast routes and
     /// check it for cycles (used by tests; exposed for the explorer
     /// example).
@@ -325,5 +371,75 @@ mod tests {
     fn square_builder_covers_n() {
         assert!(TorusTopology::square(16).num_nodes() >= 16);
         assert!(TorusTopology::square(17).num_nodes() >= 17);
+    }
+
+    /// Decode a branch bitstring by walking the route the router will take.
+    fn branch_deliveries(
+        t: &TorusTopology,
+        src: NodeId,
+        b: &crate::topology::GridBranch,
+    ) -> Vec<NodeId> {
+        let mut deliveries = Vec::new();
+        let mut cur = src;
+        let mut bits = b.bitstring;
+        while cur != b.dst {
+            let port = t.route(cur, b.dst);
+            assert_ne!(port, TorusOut::Eject);
+            cur = t.link_target(cur, port).expect("torus links wrap");
+            if bits & 1 == 1 {
+                deliveries.push(cur);
+            }
+            bits >>= 1;
+        }
+        assert_eq!(bits, 0, "bits past the branch terminal");
+        deliveries
+    }
+
+    #[test]
+    fn torus_broadcast_branches_cover_every_node_exactly_once() {
+        for (c, r) in [(4usize, 4usize), (5, 3), (8, 8)] {
+            let t = TorusTopology::new(c, r);
+            for s in 0..t.num_nodes() {
+                let src = NodeId::new(s);
+                let mut branches = Vec::new();
+                t.multicast_branches_into(src, (0..t.num_nodes()).map(NodeId::new), &mut branches);
+                let mut seen = std::collections::HashSet::new();
+                for b in &branches {
+                    for d in branch_deliveries(&t, src, b) {
+                        assert!(seen.insert(d), "{c}x{r} src={src}: {d} covered twice");
+                        assert_ne!(d, src);
+                    }
+                }
+                assert_eq!(seen.len(), t.num_nodes() - 1, "{c}x{r} src={src}");
+            }
+        }
+    }
+
+    #[test]
+    fn torus_multicast_uses_wrap_shortcuts() {
+        // Source (0,0) on 4×4; target (3,3) is one x− and one y− wrap hop
+        // away: a 2-hop branch, not the mesh's 6-hop one.
+        let t = TorusTopology::new(4, 4);
+        let mut branches = Vec::new();
+        t.multicast_branches_into(NodeId(0), [NodeId(15)].into_iter(), &mut branches);
+        assert_eq!(branches.len(), 1);
+        assert_eq!(branches[0].dst, NodeId(15));
+        assert_eq!(branches[0].bitstring, 0b10);
+        assert_eq!(branch_deliveries(&t, NodeId(0), &branches[0]), vec![NodeId(15)]);
+    }
+
+    #[test]
+    fn torus_multicast_covers_explicit_targets() {
+        let t = TorusTopology::new(4, 4);
+        let src = NodeId(5);
+        let targets = vec![NodeId(0), NodeId(2), NodeId(7), NodeId(8), NodeId(13), NodeId(15)];
+        let mut branches = Vec::new();
+        t.multicast_branches_into(src, targets.iter().copied(), &mut branches);
+        let mut delivered: Vec<NodeId> =
+            branches.iter().flat_map(|b| branch_deliveries(&t, src, b)).collect();
+        delivered.sort();
+        let mut want = targets.clone();
+        want.sort();
+        assert_eq!(delivered, want);
     }
 }

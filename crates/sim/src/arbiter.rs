@@ -7,18 +7,7 @@
 //! pointers, which is what the timer-based multiplexing converges to under
 //! sustained load.
 
-/// Arbitration policy (the DESIGN.md §6 ablation knob).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum ArbPolicy {
-    /// Rotate the grant pointer past each winner (the paper's timer-based
-    /// "equal opportunity" behaviour under sustained load). Default.
-    #[default]
-    RoundRobin,
-    /// Always grant the lowest-index eligible candidate. Cheaper logic, but
-    /// biased: low-index feeders (through traffic, in our tables) can starve
-    /// local injection under contention.
-    FixedPriority,
-}
+pub use quarc_core::config::ArbPolicy;
 
 /// A round-robin pointer over `len` candidates.
 ///

@@ -12,12 +12,16 @@
 //! * [`spider_net::SpidergonNetwork`] — the baseline: one-port router, single
 //!   cross link, broadcast by store-and-forward unicast chains;
 //!
-//! plus a 2D mesh ([`mesh_net`]) used for validation and for the paper's
-//! stated "next objective" comparison. All models share the same building
-//! blocks ([`buffer`], [`link`], [`arbiter`]), the same measurement engine
-//! ([`metrics`]) and the same run protocol ([`driver`], [`sweep`]), so a
-//! latency difference between the two networks can only come from the
-//! architectural differences the paper claims matter.
+//! plus the paper's stated "next objective" comparison grids: a 2D mesh
+//! ([`mesh_net`], XY routing, single VC) and a 2D torus ([`torus_net`],
+//! wrap links with per-dimension dateline VCs). All four are first-class
+//! [`quarc_core::topology::TopologyKind`]s, carry every traffic class
+//! (mesh/torus collectives ride a dimension-ordered multicast tree planned
+//! at the source), and share the same building blocks ([`buffer`], [`link`],
+//! [`arbiter`]), the same measurement engine ([`metrics`]) and the same run
+//! protocol ([`driver`], [`sweep`]) — so a latency difference between
+//! networks can only come from the architectural differences the paper
+//! claims matter.
 //!
 //! ## The hot path: packet table + zero-alloc invariant
 //!
@@ -76,10 +80,12 @@ pub mod torus_net;
 
 pub use arbiter::ArbPolicy;
 pub use driver::{run, NocSim, RunResult, RunSpec};
+pub use mesh_net::MeshNetwork;
 pub use metrics::Metrics;
 pub use quarc_net::QuarcNetwork;
 pub use spider_net::SpidergonNetwork;
 pub use sweep::{
     build_network, curve_csv, geometric_rates, latency_curve, run_point, CurvePoint, CurveSpec,
-    PointOutcome, PointSpec,
+    PointError, PointOutcome, PointSpec,
 };
+pub use torus_net::TorusNetwork;

@@ -20,6 +20,7 @@ use quarc_core::ids::{MessageId, PacketId};
 use quarc_core::quadrant::{broadcast_branch_heads, multicast_branches, quadrant_of};
 use quarc_core::ring::{Ring, RingDir};
 use quarc_core::routing::spidergon_broadcast_seeds;
+use quarc_core::topology::GridBranch;
 use quarc_engine::Cycle;
 use quarc_workloads::MessageRequest;
 use std::collections::VecDeque;
@@ -184,6 +185,63 @@ pub fn spidergon_expand_into(
                 count += 1;
             }
             (count, flits)
+        }
+        other => panic!("applications do not inject {other} packets directly"),
+    }
+}
+
+/// Expand a message into mesh/torus packets, given the pre-planned
+/// dimension-ordered tree `branches` (from
+/// [`quarc_core::topology::MeshTopology::multicast_branches_into`] or its
+/// torus twin; ignored for unicast). Every branch becomes one path-based
+/// `Multicast` packet serialised into the single local queue. Returns
+/// `(expected receivers, flits enqueued)`.
+pub fn grid_expand_into(
+    req: &MessageRequest,
+    branches: &[GridBranch],
+    message: MessageId,
+    ids: &mut IdAlloc,
+    now: Cycle,
+    table: &mut PacketTable,
+    queue: &mut VecDeque<Flit>,
+) -> (usize, usize) {
+    let base = PacketMeta {
+        message,
+        packet: PacketId(0), // overwritten per packet
+        class: req.class,
+        src: req.src,
+        dst: req.src, // overwritten
+        bitstring: 0,
+        dir: RingDir::Cw,
+        len: req.len as u32,
+        created_at: now,
+    };
+    let len = base.len;
+    let mut flits = 0usize;
+    match req.class {
+        TrafficClass::Unicast => {
+            let dst = req.dst.expect("unicast carries dst");
+            let pref = table.insert(PacketMeta { packet: ids.packet(), dst, ..base });
+            flits += push_packet(queue, pref, len);
+            (1, flits)
+        }
+        TrafficClass::Broadcast | TrafficClass::Multicast => {
+            // Broadcast is multicast-to-all on the grid; either way every
+            // packet is a path-based multicast with an explicit bitstring
+            // (the message keeps its own class for the metrics).
+            let mut receivers = 0usize;
+            for b in branches {
+                receivers += b.receivers();
+                let pref = table.insert(PacketMeta {
+                    packet: ids.packet(),
+                    class: TrafficClass::Multicast,
+                    dst: b.dst,
+                    bitstring: b.bitstring,
+                    ..base
+                });
+                flits += push_packet(queue, pref, len);
+            }
+            (receivers, flits)
         }
         other => panic!("applications do not inject {other} packets directly"),
     }

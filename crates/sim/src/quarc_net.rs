@@ -201,17 +201,24 @@ pub struct QuarcNetwork {
 }
 
 impl QuarcNetwork {
-    /// Build a network from a validated configuration (round-robin output
-    /// arbitration, the paper's behaviour).
+    /// Build a network from a validated configuration. The output-arbitration
+    /// policy comes from [`NocConfig::arb`] (round-robin by default, the
+    /// paper's behaviour); it is part of the config so experiment grids can
+    /// sweep it and cache keys can include it.
     pub fn new(cfg: NocConfig) -> Self {
-        Self::with_arb_policy(cfg, ArbPolicy::RoundRobin)
-    }
-
-    /// Build with an explicit output-arbitration policy (the DESIGN.md §6
-    /// ablation; fixed priority favours through traffic over injection).
-    pub fn with_arb_policy(cfg: NocConfig, policy: ArbPolicy) -> Self {
+        let policy = cfg.arb;
         assert_eq!(cfg.kind, TopologyKind::Quarc, "config is not a Quarc network");
         cfg.validate().expect("invalid configuration");
+        Self::build(cfg, policy)
+    }
+
+    /// Build with an explicit output-arbitration policy (equivalent to
+    /// setting [`NocConfig::arb`] before [`QuarcNetwork::new`]).
+    pub fn with_arb_policy(cfg: NocConfig, policy: ArbPolicy) -> Self {
+        Self::new(cfg.with_arb(policy))
+    }
+
+    fn build(cfg: NocConfig, policy: ArbPolicy) -> Self {
         let topo = QuarcTopology::new(cfg.n);
         let nodes = (0..cfg.n).map(|_| NodeState::new(cfg.vcs, cfg.buffer_depth, policy)).collect();
         let links = (0..cfg.n * 4).map(|_| Link::new(cfg.link_latency)).collect();

@@ -10,22 +10,53 @@ use crate::driver::{run, NocSim, RunResult, RunSpec};
 use crate::mesh_net::MeshNetwork;
 use crate::quarc_net::QuarcNetwork;
 use crate::spider_net::SpidergonNetwork;
-use quarc_core::config::NocConfig;
+use crate::torus_net::TorusNetwork;
+use quarc_core::config::{ConfigError, NocConfig};
 use quarc_core::topology::TopologyKind;
 use quarc_engine::stats::LatencyHistogram;
 use quarc_workloads::{Synthetic, SyntheticConfig};
+use std::fmt;
 
 /// Instantiate the simulator matching a configuration.
 ///
 /// The box is `Send` so whole simulations can be handed to worker threads
-/// (none of the network models hold thread-local state). Note the mesh model
-/// rounds `cfg.n` up to a near-square node count — size the workload from
-/// [`NocSim::num_nodes`], not from `cfg.n`.
+/// (none of the network models hold thread-local state). Note the mesh and
+/// torus models round `cfg.n` up to a near-square node count — size the
+/// workload from [`NocSim::num_nodes`], not from `cfg.n`.
 pub fn build_network(cfg: NocConfig) -> Box<dyn NocSim + Send> {
     match cfg.kind {
         TopologyKind::Quarc => Box::new(QuarcNetwork::new(cfg)),
         TopologyKind::Spidergon => Box::new(SpidergonNetwork::new(cfg)),
         TopologyKind::Mesh => Box::new(MeshNetwork::new(cfg)),
+        TopologyKind::Torus => Box::new(TorusNetwork::new(cfg)),
+    }
+}
+
+/// Why a sweep point could not be simulated.
+///
+/// There are no "unsupported" parameter combinations any more — every
+/// topology carries every traffic class — so the only way to reject a point
+/// is a structurally invalid network configuration, surfaced as a typed
+/// error instead of a downstream panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PointError {
+    /// The point's [`NocConfig`] failed validation.
+    Config(ConfigError),
+}
+
+impl fmt::Display for PointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PointError::Config(e) => write!(f, "invalid point configuration: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PointError {}
+
+impl From<ConfigError> for PointError {
+    fn from(e: ConfigError) -> Self {
+        PointError::Config(e)
     }
 }
 
@@ -83,11 +114,15 @@ pub struct PointOutcome {
 /// only from `point.seed` — which is what lets `quarc-campaign` run points on
 /// any thread in any order and still produce bit-identical results.
 ///
-/// The mesh model carries unicast traffic only; a mesh point with
-/// `beta > 0` panics (upstream layers filter these combinations out).
-pub fn run_point(point: &PointSpec, run_spec: &RunSpec) -> PointOutcome {
+/// Every topology (Quarc, Spidergon, mesh, torus) carries every traffic
+/// class, so any `beta ∈ [0, 1]` is simulable; the only failure mode is a
+/// structurally invalid configuration, returned as [`PointError`] instead of
+/// panicking inside a network constructor.
+pub fn run_point(point: &PointSpec, run_spec: &RunSpec) -> Result<PointOutcome, PointError> {
+    point.noc.validate()?;
     let mut net = build_network(point.noc);
-    // The mesh rounds n up to a near-square; ask the network, not the config.
+    // Grid topologies round n up to a near-square; ask the network, not the
+    // config.
     let n = net.num_nodes();
     let mut wl = Synthetic::new(
         n,
@@ -95,11 +130,11 @@ pub fn run_point(point: &PointSpec, run_spec: &RunSpec) -> PointOutcome {
     );
     let result = run(net.as_mut(), &mut wl, run_spec);
     let m = net.metrics();
-    PointOutcome {
+    Ok(PointOutcome {
         result,
         unicast_hist: m.unicast_histogram().clone(),
         bcast_completion_hist: m.broadcast_completion_histogram().clone(),
-    }
+    })
 }
 
 /// One measured curve point.
@@ -114,11 +149,15 @@ pub struct CurvePoint {
 /// Measure the curve at each offered rate, stopping early once two
 /// consecutive points saturate (the curve has gone vertical, as in the
 /// paper's plots).
-pub fn latency_curve(spec: &CurveSpec, rates: &[f64], run_spec: &RunSpec) -> Vec<CurvePoint> {
+pub fn latency_curve(
+    spec: &CurveSpec,
+    rates: &[f64],
+    run_spec: &RunSpec,
+) -> Result<Vec<CurvePoint>, PointError> {
     let mut points = Vec::with_capacity(rates.len());
     let mut saturated_streak = 0;
     for &rate in rates {
-        let outcome = run_point(&spec.at_rate(rate), run_spec);
+        let outcome = run_point(&spec.at_rate(rate), run_spec)?;
         let is_sat = outcome.result.saturated;
         points.push(CurvePoint { rate, result: outcome.result });
         saturated_streak = if is_sat { saturated_streak + 1 } else { 0 };
@@ -126,7 +165,7 @@ pub fn latency_curve(spec: &CurveSpec, rates: &[f64], run_spec: &RunSpec) -> Vec
             break;
         }
     }
-    points
+    Ok(points)
 }
 
 /// Render a curve as CSV (one row per point, run columns from
@@ -170,7 +209,7 @@ mod tests {
         // Include absurd rates; the sweep must cut off after two saturated
         // points rather than simulating them all.
         let rates = [0.005, 0.4, 0.5, 0.6, 0.7, 0.8];
-        let points = latency_curve(&spec, &rates, &run_spec);
+        let points = latency_curve(&spec, &rates, &run_spec).unwrap();
         assert!(points.len() >= 2 && points.len() < rates.len(), "{}", points.len());
         assert!(!points[0].result.saturated);
     }
@@ -179,7 +218,7 @@ mod tests {
     fn csv_has_row_per_point() {
         let spec = CurveSpec { noc: NocConfig::quarc(8), msg_len: 4, beta: 0.0, seed: 2 };
         let run_spec = RunSpec { warmup: 100, measure: 800, drain: 800, ..Default::default() };
-        let points = latency_curve(&spec, &[0.005, 0.01], &run_spec);
+        let points = latency_curve(&spec, &[0.005, 0.01], &run_spec).unwrap();
         let csv = curve_csv(&spec, &points);
         assert_eq!(csv.lines().count(), 1 + points.len());
     }
@@ -189,21 +228,45 @@ mod tests {
         assert_eq!(build_network(NocConfig::quarc(8)).kind(), TopologyKind::Quarc);
         assert_eq!(build_network(NocConfig::spidergon(8)).kind(), TopologyKind::Spidergon);
         assert_eq!(build_network(NocConfig::mesh(16)).kind(), TopologyKind::Mesh);
+        assert_eq!(build_network(NocConfig::torus(16)).kind(), TopologyKind::Torus);
     }
 
     #[test]
-    fn mesh_point_runs_unicast_traffic() {
-        // The mesh arm used to be unimplemented!(); a mesh grid point must
-        // now run end to end (β = 0: the model is unicast-only).
+    fn mesh_point_runs_broadcast_traffic() {
+        // Mesh × β > 0 used to be filtered upstream (and panicked if a point
+        // slipped through); the multicast tree makes it an ordinary point.
         let mut cfg = NocConfig::mesh(16);
         cfg.vcs = 1;
-        let point = PointSpec { noc: cfg, msg_len: 8, beta: 0.0, seed: 5, rate: 0.01 };
+        let point = PointSpec { noc: cfg, msg_len: 8, beta: 0.05, seed: 5, rate: 0.01 };
         let run_spec = RunSpec { warmup: 200, measure: 2_000, drain: 4_000, ..Default::default() };
-        let out = run_point(&point, &run_spec);
+        let out = run_point(&point, &run_spec).unwrap();
         assert_eq!(out.result.kind, TopologyKind::Mesh);
         assert!(!out.result.saturated, "{:?}", out.result);
         assert!(out.result.unicast_samples > 50);
+        assert!(out.result.bcast_samples > 0, "{:?}", out.result);
         assert_eq!(out.unicast_hist.count(), out.result.unicast_samples);
+    }
+
+    #[test]
+    fn torus_point_runs_end_to_end() {
+        let point =
+            PointSpec { noc: NocConfig::torus(16), msg_len: 8, beta: 0.05, seed: 5, rate: 0.01 };
+        let run_spec = RunSpec { warmup: 200, measure: 2_000, drain: 4_000, ..Default::default() };
+        let out = run_point(&point, &run_spec).unwrap();
+        assert_eq!(out.result.kind, TopologyKind::Torus);
+        assert!(!out.result.saturated, "{:?}", out.result);
+        assert!(out.result.unicast_samples > 50);
+        assert!(out.result.bcast_samples > 0, "{:?}", out.result);
+    }
+
+    #[test]
+    fn invalid_config_is_a_typed_error_not_a_panic() {
+        let point =
+            PointSpec { noc: NocConfig::quarc(18), msg_len: 8, beta: 0.0, seed: 1, rate: 0.01 };
+        match run_point(&point, &RunSpec::quick()) {
+            Err(PointError::Config(e)) => assert!(e.to_string().contains("18")),
+            other => panic!("expected a config error, got {other:?}"),
+        }
     }
 
     #[test]
@@ -211,8 +274,8 @@ mod tests {
         let point =
             PointSpec { noc: NocConfig::quarc(8), msg_len: 8, beta: 0.05, seed: 42, rate: 0.01 };
         let run_spec = RunSpec::quick();
-        let a = run_point(&point, &run_spec);
-        let b = run_point(&point, &run_spec);
+        let a = run_point(&point, &run_spec).unwrap();
+        let b = run_point(&point, &run_spec).unwrap();
         assert_eq!(a.result.unicast_mean, b.result.unicast_mean);
         assert_eq!(a.result.throughput, b.result.throughput);
         assert_eq!(a.unicast_hist.count(), b.unicast_hist.count());

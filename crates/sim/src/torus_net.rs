@@ -7,18 +7,31 @@
 //! per-dimension dateline VC class computed by
 //! [`quarc_core::torus::TorusTopology::next_vc`], the same discipline that
 //! keeps the Quarc rims deadlock-free.
+//!
+//! ## Collectives: the dimension-ordered multicast tree
+//!
+//! Broadcast and multicast use the same source-planned tree as the mesh
+//! ([`TorusTopology::multicast_branches_into`]): the target set is
+//! partitioned by destination column and shortest-way y direction, each
+//! group becomes one path-based `Multicast` packet whose bitstring marks the
+//! copy-taking nodes along the ordinary dimension-ordered route (branching
+//! out of the x run at the turn node), and marked transit nodes
+//! absorb-and-forward at the ingress multiplexer exactly as Quarc routers
+//! clone (§2.5.3 semantics, bit 0 shifted per hop). Branch paths are
+//! unicast routes, so the dateline VC argument for deadlock freedom carries
+//! over unchanged.
 
 use crate::arbiter::RoundRobin;
 use crate::buffer::LaneBufs;
 use crate::driver::NocSim;
 use crate::link::{Link, TaggedFlit};
-use crate::metrics::Metrics;
-use crate::packets::{push_packet, IdAlloc};
+use crate::metrics::{grid_eject_site, grid_lane_site, Metrics};
+use crate::packets::{grid_expand_into, IdAlloc};
 use quarc_core::config::{NocConfig, MAX_VCS};
 use quarc_core::flit::{Flit, PacketMeta, PacketTable, TrafficClass};
 use quarc_core::ids::{NodeId, VcId};
-use quarc_core::ring::RingDir;
-use quarc_core::topology::TopologyKind;
+use quarc_core::routing::advance_header;
+use quarc_core::topology::{GridBranch, TopologyKind};
 use quarc_core::torus::{TorusOut, TorusTopology};
 use quarc_core::vc::INJECTION_VC;
 use quarc_engine::{Clock, Cycle};
@@ -50,7 +63,10 @@ enum Src {
 
 #[derive(Debug, Clone, Copy)]
 struct HopPlan {
-    /// `0..4` = link, [`EJECT`] = deliver.
+    /// Local PE takes a copy at the ingress multiplexer (marked multicast
+    /// node in transit; the branch terminal delivers via [`EJECT`] instead).
+    deliver: bool,
+    /// `0..4` = link, [`EJECT`] = deliver-and-stop.
     out: usize,
     out_vc: VcId,
 }
@@ -113,6 +129,8 @@ pub struct TorusNetwork {
     transfers: Vec<Transfer>,
     /// Scratch for workload polling, reused across every poll of the run.
     poll_buf: Vec<MessageRequest>,
+    /// Scratch for the multicast branch planner, reused across messages.
+    branch_buf: Vec<GridBranch>,
     /// Total link traversals (observability; the perf harness reads deltas).
     flit_hops: u64,
     /// Precomputed `(downstream node, arrival port)` per `node * 4 + out`.
@@ -129,12 +147,11 @@ pub struct TorusNetwork {
 }
 
 impl TorusNetwork {
-    /// Build a near-square torus of at least `cfg.n` nodes. The `Mesh`
-    /// topology kind is reused in the config (the torus is its wrapped
-    /// sibling); 2 VCs are required for the dateline scheme.
+    /// Build a near-square torus of at least `cfg.n` nodes (use
+    /// [`NocConfig::torus`]; validation enforces the 2-VC dateline minimum).
     pub fn new(cfg: NocConfig) -> Self {
         assert!(cfg.vcs >= 2, "torus rings need ≥ 2 VCs for the dateline scheme");
-        assert_eq!(cfg.kind, TopologyKind::Mesh, "reuse the mesh config kind for tori");
+        assert_eq!(cfg.kind, TopologyKind::Torus, "config is not a torus network");
         cfg.validate().expect("invalid configuration");
         let topo = TorusTopology::square(cfg.n);
         let n = topo.num_nodes();
@@ -160,6 +177,7 @@ impl TorusNetwork {
             packets: PacketTable::new(),
             transfers: Vec::new(),
             poll_buf: Vec::new(),
+            branch_buf: Vec::new(),
             flit_hops: 0,
             credits: vec![cfg.buffer_depth as u32; n * 4 * cfg.vcs],
             feeder,
@@ -175,16 +193,26 @@ impl TorusNetwork {
         &self.topo
     }
 
-    fn plan_header(&self, node: usize, meta: &PacketMeta, cur_vc: VcId) -> HopPlan {
+    /// Resolve the per-hop plan for a header at `node`. `from_net` marks
+    /// headers arriving on a network input: only those may clone (bit 0 of a
+    /// freshly injected multicast header refers to the node one hop out, not
+    /// to the source itself).
+    fn plan_header(&self, node: usize, meta: &PacketMeta, cur_vc: VcId, from_net: bool) -> HopPlan {
         let cur = NodeId::new(node);
         match self.topo.route(cur, meta.dst) {
-            TorusOut::Eject => HopPlan { out: EJECT, out_vc: INJECTION_VC },
+            TorusOut::Eject => HopPlan { deliver: false, out: EJECT, out_vc: INJECTION_VC },
             out => {
                 // A packet turning into y (or injecting) starts fresh on that
                 // dimension's dateline class; continuing in-dimension carries
                 // its lane class forward.
                 let out_vc = self.topo.next_vc(cur, out, cur_vc);
-                HopPlan { out: out.index(), out_vc }
+                HopPlan {
+                    deliver: from_net
+                        && meta.class == TrafficClass::Multicast
+                        && meta.bitstring & 1 == 1,
+                    out: out.index(),
+                    out_vc,
+                }
             }
         }
     }
@@ -240,7 +268,7 @@ impl TorusNetwork {
                     assert!(head.is_header(), "wormhole violated");
                     let meta = self.packets.meta(head.packet);
                     let class = self.arrival_class(node, p, vc, meta.dst);
-                    self.plan_header(node, meta, class)
+                    self.plan_header(node, meta, class, true)
                 }
             };
             let src = Src::Net { port: p, vc };
@@ -263,7 +291,7 @@ impl TorusNetwork {
             Some(plan) => plan,
             None => {
                 assert!(head.is_header(), "local queue must start with a header");
-                self.plan_header(node, self.packets.meta(head.packet), INJECTION_VC)
+                self.plan_header(node, self.packets.meta(head.packet), INJECTION_VC, false)
             }
         };
         self.feasible(node, plan, Src::Local, head.is_header()).then_some(PortReq {
@@ -332,7 +360,7 @@ impl TorusNetwork {
             self.metrics.record_flit_delivery(
                 now,
                 NodeId::new(node),
-                node,
+                grid_eject_site(node),
                 &flit,
                 self.packets.meta(flit.packet),
             );
@@ -341,6 +369,21 @@ impl TorusNetwork {
                 self.packets.release(flit.packet);
             }
         } else {
+            // Ingress-mux multicast copy: the marked node absorbs while the
+            // flit moves on (the input lane is the delivery site — it streams
+            // one packet at a time, pinned by `in_route`).
+            if t.req.plan.deliver {
+                let Src::Net { port, vc } = t.req.src else {
+                    unreachable!("local injections never clone")
+                };
+                self.metrics.record_flit_delivery(
+                    now,
+                    NodeId::new(node),
+                    grid_lane_site(node, port, vc),
+                    &flit,
+                    self.packets.meta(flit.packet),
+                );
+            }
             let o = t.req.plan.out;
             let vc = t.req.plan.out_vc;
             if t.req.is_header {
@@ -348,6 +391,11 @@ impl TorusNetwork {
             }
             if t.req.is_tail {
                 self.nodes[node].out_owner[o][vc.index()] = None;
+            }
+            // Routers shift multicast bitstrings as they forward headers, so
+            // bit 0 always answers "does the next node take a copy?".
+            if flit.is_header() && matches!(t.req.src, Src::Net { .. }) {
+                advance_header(self.packets.meta_mut(flit.packet));
             }
             self.flit_hops += 1;
             self.link_occupancy += 1;
@@ -376,34 +424,43 @@ impl NocSim for TorusNetwork {
             }
         }
         let mut reqs = std::mem::take(&mut self.poll_buf);
+        let mut branches = std::mem::take(&mut self.branch_buf);
         for node in 0..n {
             reqs.clear();
             workload.poll_into(NodeId::new(node), now, &mut reqs);
             for req in reqs.drain(..) {
-                assert_eq!(
-                    req.class,
-                    TrafficClass::Unicast,
-                    "the torus model carries unicast traffic only (comparison role)"
-                );
-                let message = self.metrics.create_message(TrafficClass::Unicast, now);
-                self.metrics.set_expected(message, 1);
-                let dst = req.dst.expect("unicast");
-                let len = req.len as u32;
-                let pref = self.packets.insert(PacketMeta {
+                // Collectives expand into the dimension-ordered tree: one
+                // path-based multicast packet per (column, y direction).
+                match req.class {
+                    TrafficClass::Unicast => branches.clear(),
+                    TrafficClass::Broadcast => self.topo.multicast_branches_into(
+                        req.src,
+                        (0..n).map(NodeId::new),
+                        &mut branches,
+                    ),
+                    TrafficClass::Multicast => self.topo.multicast_branches_into(
+                        req.src,
+                        req.targets.iter().copied(),
+                        &mut branches,
+                    ),
+                    other => panic!("applications do not inject {other} packets directly"),
+                }
+                let message = self.metrics.create_message(req.class, now);
+                let (expected, flits) = grid_expand_into(
+                    &req,
+                    &branches,
                     message,
-                    packet: self.ids.packet(),
-                    class: TrafficClass::Unicast,
-                    src: req.src,
-                    dst,
-                    bitstring: 0,
-                    dir: RingDir::Cw,
-                    len,
-                    created_at: now,
-                });
-                self.inject_backlog += push_packet(&mut self.nodes[node].inject_q, pref, len);
+                    &mut self.ids,
+                    now,
+                    &mut self.packets,
+                    &mut self.nodes[node].inject_q,
+                );
+                self.metrics.set_expected(message, expected);
+                self.inject_backlog += flits;
             }
         }
         self.poll_buf = reqs;
+        self.branch_buf = branches;
         let mut transfers = std::mem::take(&mut self.transfers);
         transfers.clear();
         for node in 0..n {
@@ -425,7 +482,7 @@ impl NocSim for TorusNetwork {
     }
 
     fn kind(&self) -> TopologyKind {
-        TopologyKind::Mesh
+        TopologyKind::Torus
     }
 
     fn metrics(&self) -> &Metrics {
@@ -461,7 +518,7 @@ mod tests {
     #[test]
     fn wraparound_route_is_short() {
         // 0 → 3 on a 4×4 torus: one x− wrap hop instead of three x+ hops.
-        let mut net = TorusNetwork::new(NocConfig::mesh(16));
+        let mut net = TorusNetwork::new(NocConfig::torus(16));
         let mut wl = TraceWorkload::new(
             16,
             vec![TraceRecord {
@@ -495,7 +552,7 @@ mod tests {
             }
         }
         let count = records.len() as u64;
-        let mut net = TorusNetwork::new(NocConfig::mesh(16));
+        let mut net = TorusNetwork::new(NocConfig::torus(16));
         let mut wl = TraceWorkload::new(16, records);
         for _ in 0..10_000 {
             net.step(&mut wl);
@@ -510,7 +567,7 @@ mod tests {
     #[test]
     fn sustained_load_no_deadlock() {
         use quarc_workloads::{Synthetic, SyntheticConfig};
-        let mut net = TorusNetwork::new(NocConfig::mesh(16).with_buffer_depth(2));
+        let mut net = TorusNetwork::new(NocConfig::torus(16).with_buffer_depth(2));
         let mut wl = Synthetic::new(16, SyntheticConfig::paper(0.1, 8, 0.0, 5));
         for _ in 0..5_000 {
             net.step(&mut wl);
@@ -523,6 +580,76 @@ mod tests {
     }
 
     #[test]
+    fn broadcast_reaches_all_nodes_exactly_once() {
+        for n in [9usize, 16] {
+            let mut net = TorusNetwork::new(NocConfig::torus(n));
+            let mut wl = TraceWorkload::new(
+                n,
+                vec![TraceRecord { cycle: 0, request: MessageRequest::broadcast(NodeId(2), 4) }],
+            );
+            for _ in 0..1_000 {
+                net.step(&mut wl);
+                if net.quiesced() {
+                    break;
+                }
+            }
+            assert!(net.quiesced(), "n={n}");
+            let m = net.metrics();
+            assert_eq!(m.completed(TrafficClass::Broadcast), 1, "n={n}");
+            assert_eq!(m.flits_delivered() as usize, (n - 1) * 4, "n={n}");
+        }
+    }
+
+    #[test]
+    fn multicast_uses_wrap_links_and_delivers_exactly_once() {
+        // Targets on the far side of both datelines: the tree must take the
+        // wrap shortcuts and still deliver one copy each, in order (metrics
+        // enforce both).
+        let mut net = TorusNetwork::new(NocConfig::torus(16));
+        let targets = vec![NodeId(3), NodeId(12), NodeId(15), NodeId(10)];
+        let mut wl = TraceWorkload::new(
+            16,
+            vec![TraceRecord {
+                cycle: 0,
+                request: MessageRequest::multicast(NodeId(0), targets.clone(), 5),
+            }],
+        );
+        for _ in 0..500 {
+            net.step(&mut wl);
+            if net.quiesced() {
+                break;
+            }
+        }
+        assert!(net.quiesced());
+        let m = net.metrics();
+        assert_eq!(m.completed(TrafficClass::Multicast), 1);
+        assert_eq!(m.flits_delivered(), 4 * 5);
+    }
+
+    #[test]
+    fn sustained_broadcast_load_drains_on_wrap_rings() {
+        use quarc_workloads::{Synthetic, SyntheticConfig};
+        // β > 0 with tight buffers: the dateline VCs must keep the wrap
+        // rings deadlock-free even with multicast clones in the mix.
+        let mut net = TorusNetwork::new(NocConfig::torus(16).with_buffer_depth(2));
+        let mut wl = Synthetic::new(16, SyntheticConfig::paper(0.02, 8, 0.1, 11));
+        for _ in 0..4_000 {
+            net.step(&mut wl);
+        }
+        let mut none = TraceWorkload::new(16, vec![]);
+        for _ in 0..20_000 {
+            net.step(&mut none);
+            if net.quiesced() {
+                break;
+            }
+        }
+        assert!(net.quiesced(), "torus failed to drain under β > 0");
+        let m = net.metrics();
+        assert_eq!(m.created(TrafficClass::Broadcast), m.completed(TrafficClass::Broadcast));
+        assert!(m.created(TrafficClass::Broadcast) > 10);
+    }
+
+    #[test]
     fn torus_beats_mesh_on_mean_latency() {
         use crate::mesh_net::MeshNetwork;
         use quarc_workloads::{Synthetic, SyntheticConfig};
@@ -532,7 +659,7 @@ mod tests {
             drain: 12_000,
             ..Default::default()
         };
-        let mut torus = TorusNetwork::new(NocConfig::mesh(16));
+        let mut torus = TorusNetwork::new(NocConfig::torus(16));
         let mut wl = Synthetic::new(16, SyntheticConfig::paper(0.02, 8, 0.0, 6));
         let rt = crate::driver::run(&mut torus, &mut wl, &spec);
         let mut mesh = MeshNetwork::new(NocConfig::mesh(16));

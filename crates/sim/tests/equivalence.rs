@@ -9,6 +9,11 @@
 //! patterns — are compared byte-for-byte against goldens generated *before*
 //! the refactor.
 //!
+//! Since the torus/mesh multicast tree landed, the mesh and torus scenarios
+//! run with β > 0 and collective traces (goldens regenerated at that change,
+//! with the quarc/spidergon lines verified byte-identical across it); the
+//! torus additionally pins the `TopologyKind::Torus` config path.
+//!
 //! Regenerate (only when an intentional behaviour change is made) with:
 //!
 //! ```text
@@ -125,18 +130,19 @@ fn mixed_trace(n: usize, collectives: bool) -> Vec<TraceRecord> {
 fn scenarios() -> String {
     let mut out = String::new();
 
-    // Synthetic (the paper's Bernoulli workload) on every topology.
+    // Synthetic (the paper's Bernoulli workload) on every topology — β > 0
+    // everywhere now that mesh/torus carry collectives.
     for (name, mk, beta) in [
         ("quarc/synthetic", 0u8, 0.1),
         ("spidergon/synthetic", 1, 0.1),
-        ("mesh/synthetic", 2, 0.0),
-        ("torus/synthetic", 3, 0.0),
+        ("mesh/synthetic", 2, 0.1),
+        ("torus/synthetic", 3, 0.1),
     ] {
         let mut net: Box<dyn NocSim> = match mk {
             0 => Box::new(QuarcNetwork::new(NocConfig::quarc(16))),
             1 => Box::new(SpidergonNetwork::new(NocConfig::spidergon(16))),
             2 => Box::new(MeshNetwork::new(NocConfig::mesh(16))),
-            _ => Box::new(TorusNetwork::new(NocConfig::mesh(16))),
+            _ => Box::new(TorusNetwork::new(NocConfig::torus(16))),
         };
         let n = net.num_nodes();
         let mut wl = Synthetic::new(n, SyntheticConfig::paper(0.03, 8, beta, 0xA5A5));
@@ -147,14 +153,14 @@ fn scenarios() -> String {
     for (name, mk, bfrac) in [
         ("quarc/bursty", 0u8, 0.08),
         ("spidergon/bursty", 1, 0.08),
-        ("mesh/bursty", 2, 0.0),
-        ("torus/bursty", 3, 0.0),
+        ("mesh/bursty", 2, 0.08),
+        ("torus/bursty", 3, 0.08),
     ] {
         let mut net: Box<dyn NocSim> = match mk {
             0 => Box::new(QuarcNetwork::new(NocConfig::quarc(16))),
             1 => Box::new(SpidergonNetwork::new(NocConfig::spidergon(16))),
             2 => Box::new(MeshNetwork::new(NocConfig::mesh(16))),
-            _ => Box::new(TorusNetwork::new(NocConfig::mesh(16))),
+            _ => Box::new(TorusNetwork::new(NocConfig::torus(16))),
         };
         let n = net.num_nodes();
         let cfg = BurstyConfig {
@@ -172,7 +178,7 @@ fn scenarios() -> String {
         out.push_str(&run_scenario(name, net.as_mut(), &mut wl, 3_000));
     }
 
-    // Fixed traces (exact replay, multicast included on the ring models).
+    // Fixed traces (exact replay; multicast and broadcast on every model).
     for (name, mk) in
         [("quarc/trace", 0u8), ("spidergon/trace", 1), ("mesh/trace", 2), ("torus/trace", 3)]
     {
@@ -180,10 +186,10 @@ fn scenarios() -> String {
             0 => Box::new(QuarcNetwork::new(NocConfig::quarc(16))),
             1 => Box::new(SpidergonNetwork::new(NocConfig::spidergon(16))),
             2 => Box::new(MeshNetwork::new(NocConfig::mesh(16))),
-            _ => Box::new(TorusNetwork::new(NocConfig::mesh(16))),
+            _ => Box::new(TorusNetwork::new(NocConfig::torus(16))),
         };
         let n = net.num_nodes();
-        let mut wl = TraceWorkload::new(n, mixed_trace(n, mk < 2));
+        let mut wl = TraceWorkload::new(n, mixed_trace(n, true));
         out.push_str(&run_scenario(name, net.as_mut(), &mut wl, 400));
     }
 

@@ -1,16 +1,19 @@
 //! Property-based tests over the full behavioural simulator: for *any*
-//! random mix of unicasts, broadcasts and multicasts on any legal network,
-//! traffic is conserved (every message completes, exactly the right number
-//! of flits reaches PEs) and the run is a pure function of its seed.
+//! random mix of unicasts, broadcasts and multicasts on any legal network —
+//! ring or grid — traffic is conserved (every message completes, exactly the
+//! right number of flits reaches PEs) and the run is a pure function of its
+//! seed.
 
 use proptest::prelude::*;
 use quarc_core::config::NocConfig;
 use quarc_core::flit::TrafficClass;
 use quarc_core::ids::NodeId;
 use quarc_core::ring::Ring;
+use quarc_core::topology::{GridBranch, MeshTopology};
+use quarc_core::torus::TorusTopology;
 use quarc_engine::DetRng;
 use quarc_sim::driver::NocSim;
-use quarc_sim::{QuarcNetwork, SpidergonNetwork};
+use quarc_sim::{MeshNetwork, QuarcNetwork, SpidergonNetwork, TorusNetwork};
 use quarc_workloads::{MessageRequest, TraceRecord, TraceWorkload};
 
 /// Deterministically generate a random message mix from a seed.
@@ -68,6 +71,48 @@ fn expected_flits(n: usize, records: &[TraceRecord]) -> usize {
             receivers * r.request.len
         })
         .sum()
+}
+
+/// Expected flit deliveries on a mesh/torus (branch planner as the oracle —
+/// `GridBranch::receivers` counts the distinct bitstring positions).
+fn expected_grid_flits(
+    n: usize,
+    records: &[TraceRecord],
+    plan: impl Fn(NodeId, &[NodeId], &mut Vec<GridBranch>),
+) -> usize {
+    let mut branches = Vec::new();
+    let all: Vec<NodeId> = (0..n).map(NodeId::new).collect();
+    records
+        .iter()
+        .map(|r| {
+            let receivers = match r.request.class {
+                TrafficClass::Unicast => 1,
+                TrafficClass::Broadcast => {
+                    plan(r.request.src, &all, &mut branches);
+                    branches.iter().map(GridBranch::receivers).sum()
+                }
+                TrafficClass::Multicast => {
+                    plan(r.request.src, &r.request.targets, &mut branches);
+                    branches.iter().map(GridBranch::receivers).sum()
+                }
+                _ => unreachable!(),
+            };
+            receivers * r.request.len
+        })
+        .sum()
+}
+
+fn run_to_quiescence(net: &mut dyn NocSim, records: Vec<TraceRecord>) -> (u64, u64) {
+    let n = net.num_nodes();
+    let mut wl = TraceWorkload::new(n, records);
+    for _ in 0..300_000 {
+        net.step(&mut wl);
+        if net.quiesced() && wl.remaining() == 0 {
+            break;
+        }
+    }
+    assert!(net.quiesced(), "network failed to drain");
+    (net.metrics().flits_delivered(), net.metrics().completed_total())
 }
 
 fn run_quarc(n: usize, records: Vec<TraceRecord>) -> (u64, u64) {
@@ -133,5 +178,45 @@ proptest! {
         let a = run_quarc(16, records.clone());
         let b = run_quarc(16, records);
         prop_assert_eq!(a, b);
+    }
+
+    /// Mesh conservation under the dimension-ordered multicast tree: every
+    /// collective reaches exactly its receivers (sizes where the near-square
+    /// rounding is exact, so node indices and coordinates agree).
+    #[test]
+    fn mesh_conserves_random_traffic(
+        n in prop_oneof![Just(9usize), Just(16)],
+        count in 5usize..30,
+        seed in any::<u64>(),
+    ) {
+        let records = random_records(n, count, seed);
+        let topo = MeshTopology::square(n);
+        let want_flits =
+            expected_grid_flits(n, &records, |s, t, out| topo.multicast_branches_into(s, t.iter().copied(), out)) as u64;
+        let want_msgs = records.len() as u64;
+        let mut net = MeshNetwork::new(NocConfig::mesh(n));
+        let (flits, msgs) = run_to_quiescence(&mut net, records);
+        prop_assert_eq!(flits, want_flits);
+        prop_assert_eq!(msgs, want_msgs);
+    }
+
+    /// Torus conservation, plus the dateline property: random collective
+    /// traffic on wrap rings with minimal buffering must drain (a VC-cycle
+    /// deadlock would hang the run, not just miscount).
+    #[test]
+    fn torus_conserves_random_traffic_on_wrap_rings(
+        n in prop_oneof![Just(9usize), Just(16)],
+        count in 5usize..30,
+        seed in any::<u64>(),
+    ) {
+        let records = random_records(n, count, seed);
+        let topo = TorusTopology::square(n);
+        let want_flits =
+            expected_grid_flits(n, &records, |s, t, out| topo.multicast_branches_into(s, t.iter().copied(), out)) as u64;
+        let want_msgs = records.len() as u64;
+        let mut net = TorusNetwork::new(NocConfig::torus(n).with_buffer_depth(1));
+        let (flits, msgs) = run_to_quiescence(&mut net, records);
+        prop_assert_eq!(flits, want_flits);
+        prop_assert_eq!(msgs, want_msgs);
     }
 }

@@ -39,7 +39,7 @@ fn main() {
             let mut mesh = MeshNetwork::new(cfg);
             let (lat, sat) = measure(&mut mesh, n, rate, m);
             row += &format!(" {:>10}", if sat { "SAT".into() } else { format!("{lat:.1}") });
-            let mut torus = TorusNetwork::new(NocConfig::mesh(n));
+            let mut torus = TorusNetwork::new(NocConfig::torus(n));
             let (lat, sat) = measure(&mut torus, n, rate, m);
             row += &format!(" {:>10}", if sat { "SAT".into() } else { format!("{lat:.1}") });
             println!("{row}");

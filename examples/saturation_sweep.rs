@@ -26,12 +26,14 @@ fn main() {
         &CurveSpec { noc: NocConfig::quarc(n), msg_len, beta, seed: 42 },
         &rates,
         &run_spec,
-    );
+    )
+    .expect("valid configuration");
     let spider = latency_curve(
         &CurveSpec { noc: NocConfig::spidergon(n), msg_len, beta, seed: 42 },
         &rates,
         &run_spec,
-    );
+    )
+    .expect("valid configuration");
 
     for (i, rate) in rates.iter().enumerate() {
         let q = quarc.get(i);
