@@ -17,7 +17,9 @@
 //! ```
 
 use quarc_bench::presets;
-use quarc_campaign::{run_campaign, CampaignOptions, CampaignSpec, PointOutcomeKind, RateAxis};
+use quarc_campaign::{
+    run_campaign, CampaignOptions, CampaignSpec, CiTarget, Convergence, PointOutcomeKind, RateAxis,
+};
 use quarc_core::config::ArbPolicy;
 use quarc_core::topology::TopologyKind;
 use quarc_sim::RunSpec;
@@ -52,6 +54,13 @@ AXIS FLAGS (build a custom grid; ignored when --preset is given):
                                 sat:RELTOL:MAXPROBES        adaptive saturation search
                               [default: auto:1.1:40:10]
     --replications K          seeds merged per point        [default: 2]
+                              (the starting count under --converge)
+    --converge SPEC           convergence control: grow replications until
+                              every metric's 95% CI half-width meets the
+                              target, then stop:
+                                rel:R                       half-width <= R x mean
+                                abs:W                       half-width <= W
+    --max-reps N              replication cap under --converge [default: 64]
     --seed S                  master seed                   [default: 2009]
     --warmup C / --measure C / --drain C
                               run protocol                  [default: 2000/20000/30000]
@@ -59,6 +68,8 @@ AXIS FLAGS (build a custom grid; ignored when --preset is given):
 
 OPTIONS:
     --workers N               worker threads (0 = all cores) [default: 0]
+    --batch-reps K            replications simulated per convergence batch
+                              (execution knob; cannot change results) [default: 4]
     --out DIR                 artifact directory             [default: campaign-out]
     --cache DIR               result-cache directory         [default: <out>/cache]
     --no-cache                disable the result cache
@@ -66,8 +77,11 @@ OPTIONS:
     --quiet                   no per-point progress on stderr
     --help                    this text
 
-Results are a pure function of the grid definition: worker count, caching
-and scheduling cannot change a single number (see quarc-campaign docs).
+Results are a pure function of the grid definition: worker count, caching,
+batch size and scheduling cannot change a single number (see quarc-campaign
+docs). Cached replication series are upgradeable: a later run that needs
+more replications (higher --replications, or --converge with a still-too-
+wide CI) resumes the stored series and simulates only the missing tail.
 ";
 
 fn usage_error(msg: &str) -> ! {
@@ -109,6 +123,17 @@ fn parse_arbs(value: &str) -> Vec<ArbPolicy> {
             other => usage_error(&format!("unknown arbitration policy {other:?}")),
         })
         .collect()
+}
+
+fn parse_converge(value: &str) -> CiTarget {
+    fn bad(value: &str) -> ! {
+        usage_error(&format!("bad --converge spec {value:?} (want rel:R or abs:W)"))
+    }
+    match value.split_once(':') {
+        Some(("rel", r)) => CiTarget::Rel(r.parse().unwrap_or_else(|_| bad(value))),
+        Some(("abs", w)) => CiTarget::Abs(w.parse().unwrap_or_else(|_| bad(value))),
+        _ => bad(value),
+    }
 }
 
 fn parse_rates(value: &str) -> RateAxis {
@@ -156,6 +181,8 @@ fn parse_cli() -> Cli {
     let mut no_cache = false;
     let mut quick = false;
     let mut run_overrides: Vec<(&'static str, u64)> = Vec::new();
+    let mut converge_target: Option<CiTarget> = None;
+    let mut max_reps: Option<u32> = None;
 
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -225,6 +252,17 @@ fn parse_cli() -> Cli {
                     value.parse().unwrap_or_else(|_| usage_error("bad --replications"));
                 custom_touched = true;
             }
+            "--converge" => {
+                converge_target = Some(parse_converge(&value));
+                custom_touched = true;
+            }
+            "--max-reps" => {
+                max_reps = Some(value.parse().unwrap_or_else(|_| usage_error("bad --max-reps")));
+                custom_touched = true;
+            }
+            "--batch-reps" => {
+                opts.batch_reps = value.parse().unwrap_or_else(|_| usage_error("bad --batch-reps"));
+            }
             "--seed" => {
                 custom.base_seed = value.parse().unwrap_or_else(|_| usage_error("bad --seed"));
                 custom_touched = true;
@@ -247,6 +285,14 @@ fn parse_cli() -> Cli {
             "--cache" => cache_dir = Some(PathBuf::from(value)),
             other => usage_error(&format!("unknown flag {other}")),
         }
+    }
+
+    match (converge_target, max_reps) {
+        (Some(target), max) => {
+            custom.convergence = Some(Convergence { target, max_reps: max.unwrap_or(64) });
+        }
+        (None, Some(_)) => usage_error("--max-reps requires --converge"),
+        (None, None) => {}
     }
 
     let mut specs: Vec<CampaignSpec> = Vec::new();
@@ -314,11 +360,13 @@ fn main() {
         grand_cached += report.from_cache;
 
         println!(
-            "# campaign {}: {} points ({} simulated, {} from cache) on {} workers in {:.1}s",
+            "# campaign {}: {} points ({} simulated, {} from cache; {} reps run, {} cached reps reused) on {} workers in {:.1}s",
             spec.name,
             report.results.len(),
             report.executed,
             report.from_cache,
+            report.reps_simulated,
+            report.reps_cached,
             report.workers,
             report.wall.as_secs_f64(),
         );
@@ -327,6 +375,24 @@ fn main() {
         }
         for path in &report.artifacts {
             println!("#   wrote {}", path.display());
+        }
+        // Convergence summary: how many points proved their CIs tight.
+        if spec.convergence.is_some() {
+            let (mut converged, mut capped) = (0usize, 0usize);
+            for r in &report.results {
+                if let PointOutcomeKind::Rate { merged, .. } = &r.outcome {
+                    if merged.converged {
+                        converged += 1;
+                    } else {
+                        capped += 1;
+                        println!(
+                            "#   NOT CONVERGED {:<36} n={} unicast ci95={:.3}",
+                            r.label, merged.reps, merged.unicast_mean.ci95
+                        );
+                    }
+                }
+            }
+            println!("#   converged: {converged}, capped: {capped}");
         }
         // Per-curve knee summary for quick reading.
         for r in &report.results {

@@ -16,11 +16,24 @@
 //!
 //! ```text
 //! perf [--quick] [--out PATH] [--validate PATH]
+//! perf --gate NEW BASELINE [--min-ratio R]
 //! ```
 //!
 //! `--quick` runs a reduced grid with fewer cycles (CI smoke); `--validate`
 //! parses an existing artifact and checks its shape instead of running,
 //! exiting non-zero on malformed output.
+//!
+//! `--gate` is the CI perf-regression check: compare a freshly measured
+//! artifact (`NEW`, typically a `--quick` run) against a committed baseline
+//! (`BASELINE`, typically the full-grid `BENCH_sim.json` tracked in the
+//! repo), print the headline and per-point deltas (markdown, suitable for a
+//! job summary), and exit non-zero if the headline throughput fell below
+//! `min-ratio` × baseline. The default floor of 0.5× is deliberately
+//! generous: CI machines are noisy and differ from the machine that wrote
+//! the baseline, so the gate only catches real collapses while the printed
+//! trajectory makes slow drift visible per push. The headline is matched by
+//! its grid coordinates, so a quick run (headline `quarc_n16_sat`) gates
+//! against the same (topology, n, rate) cell of a full baseline.
 
 use quarc_campaign::Json;
 use quarc_core::config::NocConfig;
@@ -152,11 +165,94 @@ fn validate(text: &str) -> Result<usize, String> {
     Ok(points.len())
 }
 
+/// The grid coordinates that identify a measured point across artifacts —
+/// including the workload mix (β, M), so cells measured under different
+/// traffic are never compared as if they were the same experiment.
+fn point_coords(p: &Json) -> Option<(String, u64, String, String, String, u64)> {
+    Some((
+        p.get("topology")?.as_str()?.to_string(),
+        p.get("n")?.as_u64()?,
+        // Rates and betas compare textually: both sides were written by the
+        // same shortest-round-trip formatter.
+        format!("{}", p.get("rate")?.as_f64()?),
+        p.get("regime")?.as_str()?.to_string(),
+        format!("{}", p.get("beta")?.as_f64()?),
+        p.get("msg_len")?.as_u64()?,
+    ))
+}
+
+/// Compare a fresh artifact against the committed baseline. Returns the
+/// markdown report and whether the gate passed.
+fn gate(new_text: &str, base_text: &str, min_ratio: f64) -> Result<(String, bool), String> {
+    let new = Json::parse(new_text).map_err(|e| format!("NEW is not valid JSON: {e:?}"))?;
+    let base = Json::parse(base_text).map_err(|e| format!("BASELINE is not valid JSON: {e:?}"))?;
+    let new_points = new.get("points").and_then(Json::as_arr).ok_or("NEW lacks `points`")?;
+    let base_points = base.get("points").and_then(Json::as_arr).ok_or("BASELINE lacks `points`")?;
+
+    let headline = new.get("headline").ok_or("NEW lacks `headline`")?;
+    let headline_name =
+        headline.get("name").and_then(Json::as_str).ok_or("NEW headline lacks `name`")?;
+    let headline_speed = headline
+        .get("cycles_per_sec")
+        .and_then(Json::as_f64)
+        .ok_or("NEW headline lacks `cycles_per_sec`")?;
+    // The headline's grid cell in NEW (quick and full grids pick different
+    // headline sizes, so match by coordinates, not by name).
+    let headline_coords = new_points
+        .iter()
+        .find(|p| {
+            p.get("cycles_per_sec").and_then(Json::as_f64) == Some(headline_speed)
+                && p.get("regime").and_then(Json::as_str) == Some("sat")
+        })
+        .and_then(point_coords)
+        .ok_or("NEW headline does not match any of its own points")?;
+    let baseline_speed = base_points
+        .iter()
+        .find(|p| point_coords(p).as_ref() == Some(&headline_coords))
+        .and_then(|p| p.get("cycles_per_sec").and_then(Json::as_f64))
+        .ok_or_else(|| format!("BASELINE has no point at the headline cell {headline_coords:?}"))?;
+
+    let ratio = headline_speed / baseline_speed;
+    let pass = ratio >= min_ratio;
+    let mut report = String::new();
+    report.push_str("### Simulator perf gate\n\n");
+    report.push_str(&format!(
+        "headline `{headline_name}`: **{headline_speed:.0} cycles/s** vs baseline {baseline_speed:.0} → **{ratio:.2}×** (floor {min_ratio}×): {}\n\n",
+        if pass { "PASS" } else { "FAIL" },
+    ));
+    report.push_str("| topology | n | rate | regime | new cycles/s | baseline | ratio |\n");
+    report.push_str("|---|---|---|---|---|---|---|\n");
+    for p in new_points {
+        let Some(coords) = point_coords(p) else { continue };
+        let Some(new_speed) = p.get("cycles_per_sec").and_then(Json::as_f64) else { continue };
+        let base_speed = base_points
+            .iter()
+            .find(|b| point_coords(b).as_ref() == Some(&coords))
+            .and_then(|b| b.get("cycles_per_sec").and_then(Json::as_f64));
+        let (topo, n, rate, regime, ..) = coords;
+        match base_speed {
+            Some(b) => report.push_str(&format!(
+                "| {topo} | {n} | {rate} | {regime} | {new_speed:.0} | {b:.0} | {:.2}× |\n",
+                new_speed / b
+            )),
+            None => report.push_str(&format!(
+                "| {topo} | {n} | {rate} | {regime} | {new_speed:.0} | — | — |\n"
+            )),
+        }
+    }
+    Ok((report, pass))
+}
+
+const USAGE: &str =
+    "usage: perf [--quick] [--out PATH] [--validate PATH] | perf --gate NEW BASELINE [--min-ratio R]";
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut quick = false;
     let mut out = String::from("BENCH_sim.json");
     let mut validate_path: Option<String> = None;
+    let mut gate_paths: Option<(String, String)> = None;
+    let mut min_ratio = 0.5;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -165,11 +261,45 @@ fn main() {
             "--validate" => {
                 validate_path = Some(it.next().expect("--validate needs a path").clone())
             }
+            "--gate" => {
+                let new = it.next().expect("--gate needs NEW and BASELINE paths").clone();
+                let base = it.next().expect("--gate needs NEW and BASELINE paths").clone();
+                gate_paths = Some((new, base));
+            }
+            "--min-ratio" => {
+                min_ratio = it
+                    .next()
+                    .expect("--min-ratio needs a value")
+                    .parse()
+                    .expect("--min-ratio must be a number");
+            }
             other => {
-                eprintln!("unknown argument {other}\nusage: perf [--quick] [--out PATH] [--validate PATH]");
+                eprintln!("unknown argument {other}\n{USAGE}");
                 std::process::exit(2);
             }
         }
+    }
+
+    if let Some((new_path, base_path)) = gate_paths {
+        let read = |path: &str| {
+            std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"))
+        };
+        match gate(&read(&new_path), &read(&base_path), min_ratio) {
+            Ok((report, pass)) => {
+                println!("{report}");
+                if !pass {
+                    eprintln!(
+                        "{new_path}: headline throughput fell below {min_ratio}x the committed baseline {base_path}"
+                    );
+                    std::process::exit(1);
+                }
+            }
+            Err(why) => {
+                eprintln!("perf gate: {why}");
+                std::process::exit(1);
+            }
+        }
+        return;
     }
 
     if let Some(path) = validate_path {

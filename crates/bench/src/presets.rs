@@ -5,7 +5,7 @@
 //! these) runs them through `quarc_campaign::run_campaign`. Base seeds are
 //! arbitrary but fixed so every invocation reproduces the same numbers.
 
-use quarc_campaign::{CampaignSpec, RateAxis};
+use quarc_campaign::{CampaignSpec, CiTarget, Convergence, RateAxis};
 use quarc_core::config::ArbPolicy;
 use quarc_core::topology::TopologyKind;
 
@@ -22,6 +22,15 @@ fn figure_rates() -> RateAxis {
     RateAxis::AutoGeometric { span: 1.1, lo_div: 40.0, steps: 10 }
 }
 
+/// The figure presets' replication protocol: convergence-controlled, every
+/// tracked metric's 95% CI half-width within 5% of its mean (capped at 64
+/// replications — points past the knee saturate and never tighten, which
+/// the artifact reports as `converged: false` rather than burning the cap
+/// on every curve's tail).
+fn figure_convergence() -> Option<Convergence> {
+    Some(Convergence { target: CiTarget::Rel(0.05), max_reps: 64 })
+}
+
 /// **Fig. 9**: latency vs rate, N = 16, β = 5%, M ∈ {8, 16, 32}.
 pub fn fig9() -> CampaignSpec {
     let mut spec = CampaignSpec::new("fig9");
@@ -30,6 +39,7 @@ pub fn fig9() -> CampaignSpec {
     spec.msg_lens = vec![8, 16, 32];
     spec.betas = vec![0.05];
     spec.rates = figure_rates();
+    spec.convergence = figure_convergence();
     spec.base_seed = 9;
     spec
 }
@@ -42,6 +52,7 @@ pub fn fig10() -> CampaignSpec {
     spec.msg_lens = vec![16];
     spec.betas = vec![0.10];
     spec.rates = figure_rates();
+    spec.convergence = figure_convergence();
     spec.base_seed = 10;
     spec
 }
@@ -54,6 +65,7 @@ pub fn fig11() -> CampaignSpec {
     spec.msg_lens = vec![16];
     spec.betas = vec![0.0, 0.05, 0.10];
     spec.rates = figure_rates();
+    spec.convergence = figure_convergence();
     spec.base_seed = 11;
     spec
 }
@@ -182,6 +194,22 @@ mod tests {
         let sizes: Vec<usize> = expansions.iter().map(|e| e.points.len()).collect();
         assert_eq!(sizes, vec![120, 120, 120]);
         assert!(expansions.iter().all(|e| e.skipped.is_empty()));
+    }
+
+    #[test]
+    fn paper_presets_are_convergence_controlled() {
+        // The Fig. 9–11 error bars are the paper's evidence; the presets pin
+        // them to a 5% relative half-width instead of a fixed rep count.
+        for spec in paper() {
+            assert_eq!(
+                spec.convergence,
+                Some(Convergence { target: CiTarget::Rel(0.05), max_reps: 64 }),
+                "{}",
+                spec.name
+            );
+        }
+        // Ablations stay fixed-replication (single-point operating modes).
+        assert_eq!(ablation_arb().convergence, None);
     }
 
     #[test]

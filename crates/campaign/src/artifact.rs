@@ -7,7 +7,7 @@
 
 use crate::json::Json;
 use crate::result::PointResult;
-use crate::spec::{CampaignSpec, RateAxis};
+use crate::spec::{CampaignSpec, CiTarget, RateAxis};
 use quarc_core::topology::TopologyKind;
 use std::io;
 use std::path::{Path, PathBuf};
@@ -57,6 +57,23 @@ fn spec_json(spec: &CampaignSpec) -> Json {
         ("arbs", Json::Arr(spec.arbs.iter().map(|a| Json::Str(a.to_string())).collect())),
         ("rates", rate_axis_json(&spec.rates)),
         ("replications", Json::UInt(spec.replications as u64)),
+        (
+            "convergence",
+            match &spec.convergence {
+                None => Json::Null,
+                Some(conv) => {
+                    let (kind, width) = match conv.target {
+                        CiTarget::Abs(w) => ("abs", w),
+                        CiTarget::Rel(w) => ("rel", w),
+                    };
+                    Json::obj(vec![
+                        ("target", Json::Str(kind.into())),
+                        ("width", Json::Num(width)),
+                        ("max_reps", Json::UInt(conv.max_reps as u64)),
+                    ])
+                }
+            },
+        ),
         ("base_seed", Json::UInt(spec.base_seed)),
         (
             "run",

@@ -1,14 +1,26 @@
 //! The on-disk result cache.
 //!
-//! Every point's outcome is stored in `<dir>/<hash16>.json`, keyed by the
-//! FNV-1a hash of the point's canonical content key. The full key is echoed
-//! inside the entry and verified on load, so a (vanishingly unlikely) hash
-//! collision or a stale file from an incompatible format version degrades to
-//! a cache miss, never to wrong numbers. Re-running a campaign therefore
-//! simulates only points it has never seen.
+//! Every point's work is stored in `<dir>/<hash16>.json`, keyed by the
+//! FNV-1a hash of the point's canonical *merge key* (which deliberately
+//! excludes the replication protocol — see `CampaignPoint::merge_key`). The
+//! full key is echoed inside the entry and verified on load, so a
+//! (vanishingly unlikely) hash collision or a stale file from an
+//! incompatible format version degrades to a cache miss, never to wrong
+//! numbers.
+//!
+//! Fixed-rate points store their **replication series** — one
+//! [`RepOutcome`] per seed, in replication-index order — rather than a
+//! merged summary. That makes entries *upgradeable*: a campaign that needs
+//! more replications (a convergence policy with a still-too-wide CI, or a
+//! larger fixed count) resumes the stored series and simulates only the
+//! missing tail, and one that needs fewer merges a prefix. Either way the
+//! cache can change how much is simulated, never a reported number.
+//! Saturation searches store their result whole, as before.
 
 use crate::json::Json;
+use crate::replicate::RepOutcome;
 use crate::result::PointOutcomeKind;
+use crate::saturation::SaturationResult;
 use std::io;
 use std::path::{Path, PathBuf};
 
@@ -35,33 +47,74 @@ impl ResultCache {
         self.dir.join(format!("{hash:016x}.json"))
     }
 
-    /// Look up the outcome for `(hash, content_key)`. Any malformed entry or
-    /// key mismatch is treated as a miss.
-    pub fn load(&self, hash: u64, content_key: &str) -> Option<PointOutcomeKind> {
+    fn load_entry(&self, hash: u64, merge_key: &str, kind: &str) -> Option<Json> {
         let text = std::fs::read_to_string(self.path_for(hash)).ok()?;
-        let entry = Json::parse(&text).ok()?;
-        if entry.get("key")?.as_str()? != content_key {
+        let mut entry = Json::parse(&text).ok()?;
+        if entry.get("key")?.as_str()? != merge_key || entry.get("kind")?.as_str()? != kind {
             return None;
         }
-        PointOutcomeKind::from_json(entry.get("outcome")?)
+        // Move the payload out instead of cloning it.
+        match &mut entry {
+            Json::Obj(pairs) => {
+                let idx = pairs.iter().position(|(k, _)| k == "payload")?;
+                Some(pairs.swap_remove(idx).1)
+            }
+            _ => None,
+        }
     }
 
-    /// Store an outcome. Writes via a temp file + rename so a crashed or
-    /// concurrent campaign never leaves a torn entry.
-    pub fn store(
-        &self,
-        hash: u64,
-        content_key: &str,
-        outcome: &PointOutcomeKind,
-    ) -> io::Result<()> {
+    fn store_entry(&self, hash: u64, merge_key: &str, kind: &str, payload: Json) -> io::Result<()> {
         let entry = Json::obj(vec![
-            ("key", Json::Str(content_key.to_string())),
-            ("outcome", outcome.to_json()),
+            ("key", Json::Str(merge_key.to_string())),
+            ("kind", Json::Str(kind.to_string())),
+            ("payload", payload),
         ]);
+        // Write via a temp file + rename so a crashed or concurrent
+        // campaign never leaves a torn entry.
         let final_path = self.path_for(hash);
         let tmp_path = self.dir.join(format!(".{hash:016x}.{}.tmp", std::process::id()));
         std::fs::write(&tmp_path, entry.to_pretty())?;
         std::fs::rename(&tmp_path, &final_path)
+    }
+
+    /// Look up the replication series for `(hash, merge_key)`. Any malformed
+    /// entry, key mismatch or entry of the wrong kind is treated as a miss.
+    pub fn load_series(&self, hash: u64, merge_key: &str) -> Option<Vec<RepOutcome>> {
+        let payload = self.load_entry(hash, merge_key, "reps")?;
+        payload.as_arr()?.iter().map(RepOutcome::from_json).collect()
+    }
+
+    /// Store a replication series (replaces any previous entry whole — the
+    /// series only ever grows, so the newest version is always the
+    /// superset).
+    pub fn store_series(
+        &self,
+        hash: u64,
+        merge_key: &str,
+        series: &[RepOutcome],
+    ) -> io::Result<()> {
+        let payload = Json::Arr(series.iter().map(RepOutcome::to_json).collect());
+        self.store_entry(hash, merge_key, "reps", payload)
+    }
+
+    /// Look up a saturation-search result.
+    pub fn load_saturation(&self, hash: u64, merge_key: &str) -> Option<SaturationResult> {
+        let payload = self.load_entry(hash, merge_key, "saturation")?;
+        match PointOutcomeKind::from_json(&payload)? {
+            PointOutcomeKind::Saturation(s) => Some(s),
+            PointOutcomeKind::Rate { .. } => None,
+        }
+    }
+
+    /// Store a saturation-search result.
+    pub fn store_saturation(
+        &self,
+        hash: u64,
+        merge_key: &str,
+        result: &SaturationResult,
+    ) -> io::Result<()> {
+        let payload = PointOutcomeKind::Saturation(result.clone()).to_json();
+        self.store_entry(hash, merge_key, "saturation", payload)
     }
 
     /// Number of entries currently on disk (diagnostics).
@@ -85,42 +138,69 @@ impl ResultCache {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::replicate::{MeanCi, MergedRun};
+    use crate::replicate::extend_series;
+    use crate::saturation::Probe;
+    use quarc_core::config::NocConfig;
+    use quarc_sim::{PointSpec, RunSpec};
 
     fn unique_dir(tag: &str) -> PathBuf {
         std::env::temp_dir().join(format!("quarc-campaign-cache-{tag}-{}", std::process::id()))
     }
 
-    fn sample_outcome() -> PointOutcomeKind {
-        let ci = MeanCi { mean: 10.0, ci95: 0.5, n: 2 };
-        PointOutcomeKind::Rate {
-            rate: 0.01,
-            merged: MergedRun {
-                reps: 2,
-                unicast_mean: ci,
-                bcast_reception_mean: ci,
-                bcast_completion_mean: ci,
-                throughput: ci,
-                unicast_p95: None,
-                bcast_completion_p95: None,
-                unicast_samples: 10,
-                bcast_samples: 0,
-                saturated_reps: 0,
-                saturated: false,
-            },
-        }
+    fn sample_series(reps: u32) -> Vec<RepOutcome> {
+        let template =
+            PointSpec { noc: NocConfig::quarc(8), msg_len: 4, beta: 0.05, seed: 0, rate: 0.01 };
+        let run = RunSpec { warmup: 100, measure: 600, drain: 1_200, ..Default::default() };
+        let mut series = Vec::new();
+        extend_series(&mut series, &template, &run, 7, 11, reps);
+        series
     }
 
     #[test]
-    fn store_then_load_roundtrips() {
+    fn series_store_then_load_roundtrips_bit_exactly() {
         let dir = unique_dir("roundtrip");
         let _ = std::fs::remove_dir_all(&dir);
         let cache = ResultCache::open(&dir).unwrap();
         assert!(cache.is_empty());
-        let outcome = sample_outcome();
-        cache.store(42, "key-a", &outcome).unwrap();
+        let series = sample_series(3);
+        cache.store_series(42, "key-a", &series).unwrap();
         assert_eq!(cache.len(), 1);
-        assert_eq!(cache.load(42, "key-a"), Some(outcome));
+        assert_eq!(cache.load_series(42, "key-a"), Some(series));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn growing_series_replaces_the_entry() {
+        let dir = unique_dir("grow");
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = ResultCache::open(&dir).unwrap();
+        let series = sample_series(4);
+        cache.store_series(42, "key-a", &series[..2]).unwrap();
+        assert_eq!(cache.load_series(42, "key-a").unwrap().len(), 2);
+        // A top-up stores the full series; the old entry is superseded.
+        cache.store_series(42, "key-a", &series).unwrap();
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.load_series(42, "key-a"), Some(series));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn saturation_store_then_load_roundtrips() {
+        let dir = unique_dir("sat");
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = ResultCache::open(&dir).unwrap();
+        let result = SaturationResult {
+            sustained: 0.021,
+            collapsed: Some(0.023),
+            probes: vec![
+                Probe { rate: 0.01, saturated: false },
+                Probe { rate: 0.04, saturated: true },
+            ],
+        };
+        cache.store_saturation(9, "sat-key", &result).unwrap();
+        assert_eq!(cache.load_saturation(9, "sat-key"), Some(result));
+        // A saturation entry never serves a series lookup, and vice versa.
+        assert_eq!(cache.load_series(9, "sat-key"), None);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -129,9 +209,9 @@ mod tests {
         let dir = unique_dir("mismatch");
         let _ = std::fs::remove_dir_all(&dir);
         let cache = ResultCache::open(&dir).unwrap();
-        cache.store(7, "the-real-key", &sample_outcome()).unwrap();
-        assert_eq!(cache.load(7, "a-colliding-key"), None);
-        assert_eq!(cache.load(8, "the-real-key"), None);
+        cache.store_series(7, "the-real-key", &sample_series(1)).unwrap();
+        assert_eq!(cache.load_series(7, "a-colliding-key"), None);
+        assert_eq!(cache.load_series(8, "the-real-key"), None);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -141,7 +221,8 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
         let cache = ResultCache::open(&dir).unwrap();
         std::fs::write(dir.join(format!("{:016x}.json", 9u64)), "{ not json").unwrap();
-        assert_eq!(cache.load(9, "k"), None);
+        assert_eq!(cache.load_series(9, "k"), None);
+        assert_eq!(cache.load_saturation(9, "k"), None);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

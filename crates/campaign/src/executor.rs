@@ -8,21 +8,58 @@
 //! shape, coarse Mutex deques instead of lock-free CAS — point execution
 //! dominates by orders of magnitude, so queue contention is irrelevant).
 //!
-//! Determinism: `f` receives the item and its index and must be a pure
-//! function of them; results land in a slot vector by index, so the output
-//! is independent of worker count, stealing order and timing.
+//! Tasks may be **re-enqueueable**: [`run_work_stealing_tasks`] lets a task
+//! return [`Step::Yield`] to park its state and go back on the queue instead
+//! of running to completion. Convergence-controlled campaign points use this
+//! to execute one replication batch at a time, so a point that needs 40
+//! replications interleaves with the rest of the grid instead of pinning a
+//! worker; idle workers wait for re-enqueued work rather than exiting while
+//! any task is unfinished.
+//!
+//! Determinism: the step function receives the item, its index and its own
+//! state, and must be a pure function of them; results land in a slot vector
+//! by index, so the output is independent of worker count, stealing order
+//! and timing.
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Duration;
 
-/// Run `f` over every item on `workers` threads; results in item order.
+/// What one execution step of a re-enqueueable task produced.
+#[derive(Debug)]
+pub enum Step<S, R> {
+    /// Not finished: park this state and re-enqueue the task.
+    Yield(S),
+    /// Finished with this result.
+    Done(R),
+}
+
+/// Run re-enqueueable tasks over every item on `workers` threads; results in
+/// item order.
 ///
-/// Panics in `f` are propagated (the scope joins all workers first).
-pub fn run_work_stealing<T, R, F>(items: &[T], workers: usize, f: F) -> Vec<R>
+/// Each task starts from `init(idx, item)`; `step(idx, item, state)` is then
+/// called — possibly repeatedly, possibly on different workers — until it
+/// returns [`Step::Done`]. A yielded task goes to the back of the executing
+/// worker's own deque, so its next batch queues behind work the worker
+/// already owns and behind anything a thief grabs first.
+///
+/// Panics in `init`/`step` are propagated: a panicking worker raises a
+/// poison flag on its way out so the idle-wait loops exit instead of
+/// waiting forever for a task that will never finish, and the scope join
+/// then rethrows the panic.
+pub fn run_work_stealing_tasks<T, S, R, I, F>(
+    items: &[T],
+    workers: usize,
+    init: I,
+    step: F,
+) -> Vec<R>
 where
     T: Sync,
+    S: Send,
     R: Send,
-    F: Fn(usize, &T) -> R + Sync,
+    I: Fn(usize, &T) -> S + Sync,
+    F: Fn(usize, &T, S) -> Step<S, R> + Sync,
 {
     assert!(workers >= 1, "need at least one worker");
     let workers = workers.min(items.len()).max(1);
@@ -30,26 +67,76 @@ where
     // Round-robin initial shards: worker w owns items w, w+W, w+2W, …
     let deques: Vec<Mutex<VecDeque<usize>>> =
         (0..workers).map(|w| Mutex::new((w..items.len()).step_by(workers).collect())).collect();
+    let states: Vec<Mutex<Option<S>>> =
+        items.iter().enumerate().map(|(i, item)| Mutex::new(Some(init(i, item)))).collect();
     let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    // Tasks not yet Done. Workers must outlive every *yielding* task, not
+    // just the initial queue — an idle worker waits on this counter instead
+    // of exiting, so a re-enqueued batch can still be stolen.
+    let remaining = AtomicUsize::new(items.len());
+    // Raised when any worker panics: its task will never reach Done, so
+    // idle workers must stop waiting on `remaining` or the scope join (and
+    // therefore the panic propagation) would deadlock.
+    let poisoned = AtomicBool::new(false);
+
+    /// Sets the poison flag if the owning worker unwinds.
+    struct PoisonOnPanic<'a>(&'a AtomicBool);
+    impl Drop for PoisonOnPanic<'_> {
+        fn drop(&mut self) {
+            if std::thread::panicking() {
+                self.0.store(true, Ordering::Release);
+            }
+        }
+    }
 
     std::thread::scope(|scope| {
         for w in 0..workers {
             let deques = &deques;
+            let states = &states;
             let slots = &slots;
-            let f = &f;
-            scope.spawn(move || loop {
-                // Own work first (front: preserves shard locality) …
-                let next = deques[w].lock().expect("deque poisoned").pop_front();
-                let idx = match next {
-                    Some(idx) => idx,
-                    // … then steal from the back of the fullest victim.
-                    None => match steal(deques, w) {
+            let remaining = &remaining;
+            let poisoned = &poisoned;
+            let step = &step;
+            scope.spawn(move || {
+                let _guard = PoisonOnPanic(poisoned);
+                loop {
+                    if remaining.load(Ordering::Acquire) == 0 || poisoned.load(Ordering::Acquire) {
+                        return;
+                    }
+                    // Own work first (front: preserves shard locality) …
+                    let next = deques[w].lock().expect("deque poisoned").pop_front();
+                    let idx = match next {
                         Some(idx) => idx,
-                        None => return,
-                    },
-                };
-                let result = f(idx, &items[idx]);
-                *slots[idx].lock().expect("slot poisoned") = Some(result);
+                        // … then steal from the back of the fullest victim.
+                        None => match steal(deques, w) {
+                            Some(idx) => idx,
+                            None => {
+                                // Nothing queued, but unfinished tasks may
+                                // yield more batches: wait instead of
+                                // exiting. Point execution runs milliseconds
+                                // to minutes, so a sub-millisecond nap costs
+                                // nothing.
+                                std::thread::sleep(Duration::from_micros(200));
+                                continue;
+                            }
+                        },
+                    };
+                    let state = states[idx]
+                        .lock()
+                        .expect("state poisoned")
+                        .take()
+                        .expect("a queued task always has parked state");
+                    match step(idx, &items[idx], state) {
+                        Step::Yield(state) => {
+                            *states[idx].lock().expect("state poisoned") = Some(state);
+                            deques[w].lock().expect("deque poisoned").push_back(idx);
+                        }
+                        Step::Done(result) => {
+                            *slots[idx].lock().expect("slot poisoned") = Some(result);
+                            remaining.fetch_sub(1, Ordering::Release);
+                        }
+                    }
+                }
             });
         }
     });
@@ -58,6 +145,18 @@ where
         .into_iter()
         .map(|slot| slot.into_inner().expect("slot poisoned").expect("every item was executed"))
         .collect()
+}
+
+/// Run `f` over every item on `workers` threads; results in item order.
+///
+/// The single-step special case of [`run_work_stealing_tasks`].
+pub fn run_work_stealing<T, R, F>(items: &[T], workers: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    run_work_stealing_tasks(items, workers, |_, _| (), |idx, item, ()| Step::Done(f(idx, item)))
 }
 
 fn steal(deques: &[Mutex<VecDeque<usize>>], thief: usize) -> Option<usize> {
@@ -69,7 +168,7 @@ fn steal(deques: &[Mutex<VecDeque<usize>>], thief: usize) -> Option<usize> {
             continue;
         }
         let len = deque.lock().expect("deque poisoned").len();
-        if len > 0 && best.map_or(true, |(_, blen)| len > blen) {
+        if len > 0 && best.is_none_or(|(_, blen)| len > blen) {
             best = Some((v, len));
         }
     }
@@ -133,5 +232,72 @@ mod tests {
     fn empty_input_is_fine() {
         let results: Vec<u32> = run_work_stealing(&[] as &[u32], 4, |_, &x| x);
         assert!(results.is_empty());
+    }
+
+    #[test]
+    fn yielding_tasks_run_to_completion() {
+        // Item k yields k times before finishing; the result counts the
+        // steps actually executed. Every worker count must agree.
+        let items: Vec<u32> = (0..23).collect();
+        for workers in [1, 4, 16] {
+            let results = run_work_stealing_tasks(
+                &items,
+                workers,
+                |_, &k| k, // state: yields left
+                |_, &k, left| {
+                    if left == 0 {
+                        Step::Done(k + 1) // k yields + 1 finishing step
+                    } else {
+                        Step::Yield(left - 1)
+                    }
+                },
+            );
+            assert_eq!(results, (0..23).map(|k| k + 1).collect::<Vec<_>>(), "{workers} workers");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "a scoped thread panicked")]
+    fn panicking_task_propagates_instead_of_deadlocking() {
+        // A panicked task never reaches Done, so `remaining` never hits
+        // zero — without the poison flag the other workers would wait for
+        // it forever and the panic would never surface.
+        let items: Vec<u32> = (0..8).collect();
+        run_work_stealing_tasks(
+            &items,
+            4,
+            |_, _| (),
+            |idx, _, ()| {
+                if idx == 3 {
+                    panic!("task 3 exploded");
+                }
+                Step::Done(idx)
+            },
+        );
+    }
+
+    #[test]
+    fn workers_outlive_late_yields() {
+        // One long-running multi-step task and many trivial ones: the
+        // trivial ones drain instantly, then the long task keeps yielding.
+        // Idle workers must wait (not exit) so the tail batches can still be
+        // picked up — the run completing at all under a 4-worker pool with
+        // sleeps between yields exercises exactly that window.
+        let items: Vec<u64> = (0..12).map(|i| u64::from(i == 0) * 6).collect();
+        let results = run_work_stealing_tasks(
+            &items,
+            4,
+            |_, _| 0u64,
+            |_, &yields, done| {
+                if done >= yields {
+                    Step::Done(done)
+                } else {
+                    std::thread::sleep(Duration::from_millis(2));
+                    Step::Yield(done + 1)
+                }
+            },
+        );
+        assert_eq!(results[0], 6);
+        assert!(results[1..].iter().all(|&r| r == 0));
     }
 }

@@ -14,21 +14,33 @@
 //!    [`spec::CampaignPoint`]s (`expand`);
 //! 2. a work-stealing thread pool ([`executor`]) shards points across cores;
 //! 3. each point runs its replications with seeds forked from the point's
-//!    *content hash* ([`replicate`]), merging `OnlineStats` /
-//!    `LatencyHistogram` across seeds into means + 95% confidence intervals;
+//!    *merge hash* ([`replicate`]), merging `OnlineStats` /
+//!    `LatencyHistogram` across seeds into means + 95% confidence intervals
+//!    — either a fixed count, or under **convergence control**
+//!    ([`spec::Convergence`]): replications grow in batches, re-enqueued
+//!    through the pool, until every tracked metric's 95% CI half-width
+//!    meets an absolute or relative target (or a cap);
 //! 4. saturation-axis campaigns bisect the rate axis ([`saturation`])
 //!    instead of walking a fixed grid;
-//! 5. outcomes land in a content-addressed on-disk cache ([`cache`]) and in
-//!    JSON/CSV artifacts ([`artifact`]), both rendered with the in-tree
-//!    [`json`] module.
+//! 5. per-replication outcomes land in a content-addressed on-disk cache
+//!    ([`cache`]) as *upgradeable series* — a later campaign needing more
+//!    replications (higher fixed count or a tighter CI target) resumes the
+//!    stored series and simulates only the missing tail — and merged
+//!    results land in JSON/CSV artifacts ([`artifact`]) recording per point
+//!    the final `n`, every achieved half-width and a `converged` verdict,
+//!    all rendered with the in-tree [`json`] module.
 //!
 //! **Determinism contract.** Results are a pure function of the spec. Worker
-//! count, scheduling order, cache state and `--force` can change how long a
-//! campaign takes, never what it measures — `tests/determinism.rs` asserts
-//! byte-identical artifacts between 1-worker and N-worker runs. The
-//! ingredients: per-point seeds derive from content hashes (not grid
-//! position or timing), every simulation is `quarc_sim::run_point` (a pure
-//! function), and results are collected by point id, not completion order.
+//! count, scheduling order, replication batch size, cache state and
+//! `--force` can change how long a campaign takes, never what it measures —
+//! `tests/determinism.rs` and `tests/convergence.rs` assert byte-identical
+//! artifacts between 1-worker and N-worker runs and across batch schedules.
+//! The ingredients: per-point seeds derive from merge hashes (not grid
+//! position, replication protocol or timing), every simulation is
+//! `quarc_sim::run_point` (a pure function), the convergence stopping rule
+//! picks the smallest satisfying series *prefix* (so over-simulation cannot
+//! leak into results), and results are collected by point id, not
+//! completion order.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -45,12 +57,18 @@ pub mod saturation;
 pub mod spec;
 
 pub use cache::ResultCache;
-pub use executor::{default_workers, run_work_stealing};
+pub use executor::{default_workers, run_work_stealing, run_work_stealing_tasks, Step};
 pub use json::Json;
-pub use replicate::{replication_seed, run_replicated, MeanCi, MergedRun};
+pub use replicate::{
+    decide, extend_series, merge_series, replication_seed, run_replicated, Decision, MeanCi,
+    MergedRun, RepOutcome,
+};
 pub use result::{PointOutcomeKind, PointResult};
-pub use runner::{execute_point, run_campaign, CampaignError, CampaignOptions, CampaignReport};
+pub use runner::{
+    execute_point, run_campaign, CampaignError, CampaignOptions, CampaignReport, DEFAULT_BATCH_REPS,
+};
 pub use saturation::{find_saturation, Probe, SaturationResult};
 pub use spec::{
-    CampaignPoint, CampaignSpec, CurveParams, Expansion, PointWork, RateAxis, SpecError,
+    CampaignPoint, CampaignSpec, CiTarget, Convergence, CurveParams, Expansion, PointWork,
+    RateAxis, ReplicationPolicy, SpecError,
 };

@@ -1,21 +1,33 @@
 //! Replication: running one point under several independent seeds and
-//! merging the outcomes into means with confidence intervals.
+//! merging the outcomes into means with confidence intervals — incrementally.
 //!
-//! Across-replication spread uses [`OnlineStats`] (one sample per
-//! replication per metric); within-replication latency *distributions* are
-//! pooled with [`LatencyHistogram::merge`], so percentile estimates use every
-//! sample from every seed. Replication seeds are drawn from per-point
-//! [`DetRng::fork`] substreams keyed by the point's content hash — a pure
-//! function of the point's parameters, which is what keeps a multi-threaded
-//! campaign bit-identical to a serial one.
+//! The unit of storage is the **replication series**: one [`RepOutcome`] per
+//! seed, in replication-index order. Everything else is a pure function of a
+//! series prefix: [`merge_series`] folds replications `0..n` into a
+//! [`MergedRun`] (across-replication spread via [`OnlineStats`], pooled
+//! latency *distributions* via [`LatencyHistogram::merge`]), and [`decide`]
+//! picks `n` — exactly `replications` for a fixed protocol, or the smallest
+//! prefix meeting a [`CiTarget`] under convergence control. Because the
+//! reported prefix is chosen by scanning from the start, a point that was
+//! over-simulated (a cached series longer than needed, or a batch that
+//! overshot the target) still reports the same `n` — which is what keeps
+//! campaigns bit-identical across batch schedules, worker counts and cache
+//! states.
+//!
+//! Replication seeds are drawn from per-point [`DetRng::fork`] substreams
+//! keyed by the point's *merge hash* — a pure function of the point's
+//! physical parameters (never of the replication protocol), so replication
+//! `i` always runs under the same seed and a stored series can be resumed,
+//! topped up, or truncated to a prefix without invalidating a single run.
 
 use crate::json::Json;
+use crate::spec::{CiTarget, ReplicationPolicy};
 use quarc_engine::stats::{LatencyHistogram, OnlineStats};
 use quarc_engine::DetRng;
 use quarc_sim::{run_point, PointSpec, RunSpec};
 
 /// Two-sided 95% Student-t quantiles for ν = n − 1 degrees of freedom
-/// (ν ≥ 30 uses the normal 1.96).
+/// (ν > 30 uses the normal 1.96).
 fn t95(df: u32) -> f64 {
     const TABLE: [f64; 30] = [
         12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
@@ -49,6 +61,19 @@ impl MeanCi {
         MeanCi { mean: stats.mean(), ci95, n }
     }
 
+    /// Whether this metric's half-width meets `target`.
+    ///
+    /// A relative target compares against the metric's own mean, so a
+    /// metric that is identically zero across replications (broadcast
+    /// latencies at β = 0) is converged by definition — zero half-width
+    /// against a zero mean.
+    pub fn meets(&self, target: CiTarget) -> bool {
+        match target {
+            CiTarget::Abs(w) => self.ci95 <= w,
+            CiTarget::Rel(r) => self.ci95 <= r * self.mean.abs(),
+        }
+    }
+
     /// JSON form: `{"mean": …, "ci95": …, "n": …}`.
     pub fn to_json(&self) -> Json {
         Json::obj(vec![
@@ -68,10 +93,98 @@ impl MeanCi {
     }
 }
 
-/// The merged outcome of all replications of one fixed-rate point.
+/// The outcome of one replication of one fixed-rate point: the per-seed
+/// samples the across-replication statistics are built from, plus the
+/// latency distributions pooled into percentile estimates.
+///
+/// This is what the result cache stores (per point, as an ordered series) —
+/// summaries can always be recomputed from it, for any prefix, bit-exactly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RepOutcome {
+    /// Mean unicast latency of this replication (cycles).
+    pub unicast_mean: f64,
+    /// Mean broadcast reception latency.
+    pub bcast_reception_mean: f64,
+    /// Mean broadcast completion latency.
+    pub bcast_completion_mean: f64,
+    /// Delivered flits per node per cycle.
+    pub throughput: f64,
+    /// Unicast latency distribution over the measurement window.
+    pub unicast_hist: LatencyHistogram,
+    /// Broadcast completion latency distribution.
+    pub bcast_hist: LatencyHistogram,
+    /// Broadcast-completion sample count.
+    pub bcast_samples: u64,
+    /// Whether this replication hit a saturation criterion.
+    pub saturated: bool,
+}
+
+fn hist_json(h: &LatencyHistogram) -> Json {
+    // Sparse bucket encoding: almost all of the 65 buckets are empty.
+    let buckets = h
+        .bucket_counts()
+        .iter()
+        .enumerate()
+        .filter(|(_, &c)| c > 0)
+        .map(|(k, &c)| Json::Arr(vec![Json::UInt(k as u64), Json::UInt(c)]))
+        .collect();
+    Json::obj(vec![
+        ("buckets", Json::Arr(buckets)),
+        // The exact value sum exceeds u64 in principle; a decimal string
+        // round-trips u128 losslessly through the in-tree JSON module.
+        ("total", Json::Str(h.total().to_string())),
+    ])
+}
+
+fn hist_from_json(v: &Json) -> Option<LatencyHistogram> {
+    let mut buckets = [0u64; 65];
+    for pair in v.get("buckets")?.as_arr()? {
+        let pair = pair.as_arr()?;
+        let [k, c] = pair else { return None };
+        let k = k.as_u64()? as usize;
+        if k >= 65 {
+            return None;
+        }
+        buckets[k] = c.as_u64()?;
+    }
+    let total: u128 = v.get("total")?.as_str()?.parse().ok()?;
+    Some(LatencyHistogram::from_parts(buckets, total))
+}
+
+impl RepOutcome {
+    /// JSON form (stable field order).
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("unicast_mean", Json::Num(self.unicast_mean)),
+            ("bcast_reception_mean", Json::Num(self.bcast_reception_mean)),
+            ("bcast_completion_mean", Json::Num(self.bcast_completion_mean)),
+            ("throughput", Json::Num(self.throughput)),
+            ("bcast_samples", Json::UInt(self.bcast_samples)),
+            ("saturated", Json::Bool(self.saturated)),
+            ("unicast_hist", hist_json(&self.unicast_hist)),
+            ("bcast_hist", hist_json(&self.bcast_hist)),
+        ])
+    }
+
+    /// Parse the JSON form.
+    pub fn from_json(v: &Json) -> Option<RepOutcome> {
+        Some(RepOutcome {
+            unicast_mean: v.get("unicast_mean")?.as_f64()?,
+            bcast_reception_mean: v.get("bcast_reception_mean")?.as_f64()?,
+            bcast_completion_mean: v.get("bcast_completion_mean")?.as_f64()?,
+            throughput: v.get("throughput")?.as_f64()?,
+            bcast_samples: v.get("bcast_samples")?.as_u64()?,
+            saturated: v.get("saturated")?.as_bool()?,
+            unicast_hist: hist_from_json(v.get("unicast_hist")?)?,
+            bcast_hist: hist_from_json(v.get("bcast_hist")?)?,
+        })
+    }
+}
+
+/// The merged outcome of a replication-series prefix of one fixed-rate point.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MergedRun {
-    /// Replications executed.
+    /// Replications merged (the reported prefix length `n`).
     pub reps: u32,
     /// Mean unicast latency (cycles).
     pub unicast_mean: MeanCi,
@@ -93,6 +206,10 @@ pub struct MergedRun {
     pub saturated_reps: u32,
     /// Majority verdict.
     pub saturated: bool,
+    /// Whether the replication protocol's CI target was met: the policy's
+    /// half-width target for convergent campaigns (achieved half-widths are
+    /// the `ci95` fields), vacuously `true` for fixed-replication ones.
+    pub converged: bool,
 }
 
 impl MergedRun {
@@ -110,6 +227,7 @@ impl MergedRun {
             ("bcast_samples", Json::UInt(self.bcast_samples)),
             ("saturated_reps", Json::UInt(self.saturated_reps as u64)),
             ("saturated", Json::Bool(self.saturated)),
+            ("converged", Json::Bool(self.converged)),
         ])
     }
 
@@ -133,11 +251,12 @@ impl MergedRun {
             bcast_samples: v.get("bcast_samples")?.as_u64()?,
             saturated_reps: v.get("saturated_reps")?.as_u64()? as u32,
             saturated: v.get("saturated")?.as_bool()?,
+            converged: v.get("converged")?.as_bool()?,
         })
     }
 }
 
-/// The workload seed for replication `rep` of the point whose content hash
+/// The workload seed for replication `rep` of the point whose merge hash
 /// is `point_stream`, under master seed `base_seed`.
 ///
 /// Pure function of its arguments: campaign-level determinism rests here.
@@ -145,16 +264,133 @@ pub fn replication_seed(base_seed: u64, point_stream: u64, rep: u32) -> u64 {
     DetRng::new(base_seed).fork(point_stream).fork(rep as u64).next_u64()
 }
 
-/// Run `reps` independent replications of `template` (its `seed` field is
-/// overwritten per replication) and merge.
-pub fn run_replicated(
+/// Simulate replications `series.len()..upto` of `template` (its `seed`
+/// field is overwritten per replication) and append them to `series`.
+///
+/// Appending is the only mutation a series ever sees, so any interleaving of
+/// cache loads and top-up batches yields the same outcome at every index.
+pub fn extend_series(
+    series: &mut Vec<RepOutcome>,
     template: &PointSpec,
     run_spec: &RunSpec,
     base_seed: u64,
     point_stream: u64,
-    reps: u32,
-) -> MergedRun {
-    assert!(reps >= 1);
+    upto: u32,
+) {
+    for rep in series.len() as u32..upto {
+        let mut point = *template;
+        point.seed = replication_seed(base_seed, point_stream, rep);
+        // Campaign points are validated at expansion, so a config error here
+        // is a programming error, not an input error.
+        let outcome = run_point(&point, run_spec).expect("expansion validated this configuration");
+        let r = &outcome.result;
+        series.push(RepOutcome {
+            unicast_mean: r.unicast_mean,
+            bcast_reception_mean: r.bcast_reception_mean,
+            bcast_completion_mean: r.bcast_completion_mean,
+            throughput: r.throughput,
+            unicast_hist: outcome.unicast_hist,
+            bcast_hist: outcome.bcast_completion_hist,
+            bcast_samples: r.bcast_samples,
+            saturated: r.saturated,
+        });
+    }
+}
+
+/// What [`decide`] concluded about a replication series.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Decision {
+    /// The series is long enough: report the prefix `0..n`.
+    Ready {
+        /// The canonical prefix length to merge and report.
+        n: u32,
+        /// Whether the protocol's CI target was met at `n` (always `true`
+        /// for fixed protocols; `false` only at a convergence cap).
+        converged: bool,
+    },
+    /// More replications are needed; grow the series to `upto` and ask
+    /// again.
+    NeedMore {
+        /// Target series length for the next batch.
+        upto: u32,
+    },
+}
+
+/// Tracked metrics of a series prefix, in a fixed order. Every one of them
+/// must meet the convergence target.
+fn prefix_stats(reps: &[RepOutcome], n: usize) -> [OnlineStats; 4] {
+    let mut stats =
+        [OnlineStats::new(), OnlineStats::new(), OnlineStats::new(), OnlineStats::new()];
+    for rep in &reps[..n] {
+        stats[0].push(rep.unicast_mean);
+        stats[1].push(rep.bcast_reception_mean);
+        stats[2].push(rep.bcast_completion_mean);
+        stats[3].push(rep.throughput);
+    }
+    stats
+}
+
+fn target_met(stats: &[OnlineStats; 4], target: CiTarget) -> bool {
+    stats.iter().all(|s| MeanCi::from_stats(s).meets(target))
+}
+
+/// Apply the replication protocol to a (possibly partial) series: the
+/// **canonical stopping rule**.
+///
+/// For [`ReplicationPolicy::Converge`], the reported prefix is the smallest
+/// `n ∈ [min_reps, max_reps]` whose prefix merge meets the target — found by
+/// scanning from `min_reps` upward, so the answer never depends on how the
+/// series got its length (cache, batch size, worker count). `batch` sizes
+/// only the *next request* when the series is still too short; it is an
+/// execution knob that cannot move a reported number.
+pub fn decide(policy: &ReplicationPolicy, reps: &[RepOutcome], batch: u32) -> Decision {
+    let have = reps.len() as u32;
+    match *policy {
+        ReplicationPolicy::Fixed(n) => {
+            if have >= n {
+                Decision::Ready { n, converged: true }
+            } else {
+                Decision::NeedMore { upto: n }
+            }
+        }
+        ReplicationPolicy::Converge { min_reps, target, max_reps } => {
+            // One replication has no variance estimate; `CampaignSpec`
+            // validation enforces this, the clamp covers direct callers.
+            let min_reps = min_reps.max(2);
+            let scan_to = have.min(max_reps);
+            if scan_to >= min_reps {
+                let mut stats = prefix_stats(reps, min_reps as usize - 1);
+                for n in min_reps..=scan_to {
+                    let rep = &reps[n as usize - 1];
+                    stats[0].push(rep.unicast_mean);
+                    stats[1].push(rep.bcast_reception_mean);
+                    stats[2].push(rep.bcast_completion_mean);
+                    stats[3].push(rep.throughput);
+                    if target_met(&stats, target) {
+                        return Decision::Ready { n, converged: true };
+                    }
+                }
+            }
+            if have >= max_reps {
+                Decision::Ready { n: max_reps, converged: false }
+            } else {
+                // Grow to min_reps first (the earliest possible checkpoint),
+                // then one batch at a time. Never jumping past an unreached
+                // checkpoint keeps warm-started (cached) points on the same
+                // batch trajectory as cold ones once they pass min_reps.
+                let upto =
+                    if have < min_reps { min_reps } else { have.saturating_add(batch.max(1)) };
+                Decision::NeedMore { upto: max_reps.min(upto) }
+            }
+        }
+    }
+}
+
+/// Merge the prefix `0..n` of a replication series into a [`MergedRun`],
+/// folding replications in index order (bit-exact for any series that agrees
+/// on the prefix).
+pub fn merge_series(reps: &[RepOutcome], n: u32, converged: bool) -> MergedRun {
+    assert!(n >= 1 && (n as usize) <= reps.len());
     let mut unicast = OnlineStats::new();
     let mut reception = OnlineStats::new();
     let mut completion = OnlineStats::new();
@@ -163,24 +399,18 @@ pub fn run_replicated(
     let mut pooled_bcast = LatencyHistogram::new();
     let mut bcast_samples = 0;
     let mut saturated_reps = 0;
-    for rep in 0..reps {
-        let mut point = *template;
-        point.seed = replication_seed(base_seed, point_stream, rep);
-        // Campaign points are validated at expansion, so a config error here
-        // is a programming error, not an input error.
-        let outcome = run_point(&point, run_spec).expect("expansion validated this configuration");
-        let r = &outcome.result;
-        unicast.push(r.unicast_mean);
-        reception.push(r.bcast_reception_mean);
-        completion.push(r.bcast_completion_mean);
-        throughput.push(r.throughput);
-        pooled_unicast.merge(&outcome.unicast_hist);
-        pooled_bcast.merge(&outcome.bcast_completion_hist);
-        bcast_samples += r.bcast_samples;
-        saturated_reps += u32::from(r.saturated);
+    for rep in &reps[..n as usize] {
+        unicast.push(rep.unicast_mean);
+        reception.push(rep.bcast_reception_mean);
+        completion.push(rep.bcast_completion_mean);
+        throughput.push(rep.throughput);
+        pooled_unicast.merge(&rep.unicast_hist);
+        pooled_bcast.merge(&rep.bcast_hist);
+        bcast_samples += rep.bcast_samples;
+        saturated_reps += u32::from(rep.saturated);
     }
     MergedRun {
-        reps,
+        reps: n,
         unicast_mean: MeanCi::from_stats(&unicast),
         bcast_reception_mean: MeanCi::from_stats(&reception),
         bcast_completion_mean: MeanCi::from_stats(&completion),
@@ -190,8 +420,26 @@ pub fn run_replicated(
         unicast_samples: pooled_unicast.count(),
         bcast_samples,
         saturated_reps,
-        saturated: saturated_reps * 2 > reps,
+        saturated: saturated_reps * 2 > n,
+        converged,
     }
+}
+
+/// Run `reps` independent replications of `template` (its `seed` field is
+/// overwritten per replication) and merge. The one-shot convenience wrapper
+/// over [`extend_series`] + [`merge_series`]; campaign execution goes
+/// through those directly so it can resume cached series.
+pub fn run_replicated(
+    template: &PointSpec,
+    run_spec: &RunSpec,
+    base_seed: u64,
+    point_stream: u64,
+    reps: u32,
+) -> MergedRun {
+    assert!(reps >= 1);
+    let mut series = Vec::with_capacity(reps as usize);
+    extend_series(&mut series, template, run_spec, base_seed, point_stream, reps);
+    merge_series(&series, reps, true)
 }
 
 #[cfg(test)]
@@ -226,6 +474,7 @@ mod tests {
         assert!(merged.unicast_samples > 100);
         assert!(merged.unicast_p95.is_some());
         assert!(!merged.saturated);
+        assert!(merged.converged);
     }
 
     #[test]
@@ -241,6 +490,145 @@ mod tests {
         let json = merged.to_json();
         let back = MergedRun::from_json(&Json::parse(&json.to_pretty()).unwrap()).unwrap();
         assert_eq!(back, merged);
+    }
+
+    #[test]
+    fn rep_outcome_json_roundtrip_is_bit_exact() {
+        let mut series = Vec::new();
+        extend_series(&mut series, &template(), &quick(), 7, 11, 2);
+        for rep in &series {
+            let text = rep.to_json().to_pretty();
+            let back = RepOutcome::from_json(&Json::parse(&text).unwrap()).unwrap();
+            // Bit-exactness here is what lets a topped-up cached series
+            // merge identically to a never-persisted one.
+            assert_eq!(&back, rep);
+        }
+    }
+
+    #[test]
+    fn extend_series_resumes_identically() {
+        // 1 + 2 + 1 replications in three calls == 4 in one call: batching
+        // cannot move a sample.
+        let mut batched = Vec::new();
+        extend_series(&mut batched, &template(), &quick(), 7, 11, 1);
+        extend_series(&mut batched, &template(), &quick(), 7, 11, 3);
+        extend_series(&mut batched, &template(), &quick(), 7, 11, 4);
+        let mut oneshot = Vec::new();
+        extend_series(&mut oneshot, &template(), &quick(), 7, 11, 4);
+        assert_eq!(batched, oneshot);
+        // And a round-trip through JSON mid-way changes nothing either.
+        let mut resumed: Vec<RepOutcome> = batched[..2]
+            .iter()
+            .map(|r| {
+                RepOutcome::from_json(&Json::parse(&r.to_json().to_pretty()).unwrap()).unwrap()
+            })
+            .collect();
+        extend_series(&mut resumed, &template(), &quick(), 7, 11, 4);
+        assert_eq!(resumed, oneshot);
+    }
+
+    #[test]
+    fn merge_series_prefix_matches_run_replicated() {
+        let mut series = Vec::new();
+        extend_series(&mut series, &template(), &quick(), 7, 11, 5);
+        for n in 1..=5u32 {
+            let direct = run_replicated(&template(), &quick(), 7, 11, n);
+            assert_eq!(merge_series(&series, n, true), direct, "prefix {n}");
+        }
+    }
+
+    fn constant_rep(latency: f64, throughput: f64) -> RepOutcome {
+        RepOutcome {
+            unicast_mean: latency,
+            bcast_reception_mean: 0.0,
+            bcast_completion_mean: 0.0,
+            throughput,
+            unicast_hist: LatencyHistogram::new(),
+            bcast_hist: LatencyHistogram::new(),
+            bcast_samples: 0,
+            saturated: false,
+        }
+    }
+
+    #[test]
+    fn decide_fixed_protocol() {
+        let series = vec![constant_rep(10.0, 0.1); 3];
+        let policy = ReplicationPolicy::Fixed(5);
+        assert_eq!(decide(&policy, &series, 4), Decision::NeedMore { upto: 5 });
+        let series = vec![constant_rep(10.0, 0.1); 8];
+        // An over-long series (cached by a larger campaign) reports the
+        // requested prefix, not everything available.
+        assert_eq!(decide(&policy, &series, 4), Decision::Ready { n: 5, converged: true });
+    }
+
+    #[test]
+    fn decide_converges_at_smallest_satisfying_prefix() {
+        let policy =
+            ReplicationPolicy::Converge { min_reps: 2, target: CiTarget::Rel(0.05), max_reps: 16 };
+        // Identical replications: zero variance, converged at min_reps —
+        // regardless of how many extra replications the series carries.
+        for len in [2usize, 3, 9] {
+            let series = vec![constant_rep(20.0, 0.1); len];
+            assert_eq!(
+                decide(&policy, &series, 4),
+                Decision::Ready { n: 2, converged: true },
+                "series length {len}"
+            );
+        }
+        // High-variance prefix: not converged, ask for one more batch.
+        let series = vec![constant_rep(10.0, 0.1), constant_rep(30.0, 0.1)];
+        assert_eq!(decide(&policy, &series, 4), Decision::NeedMore { upto: 6 });
+        // The batch request never overshoots the cap.
+        assert_eq!(decide(&policy, &series, 100), Decision::NeedMore { upto: 16 });
+    }
+
+    #[test]
+    fn decide_caps_at_max_reps_unconverged() {
+        let policy =
+            ReplicationPolicy::Converge { min_reps: 2, target: CiTarget::Rel(0.001), max_reps: 4 };
+        let noisy: Vec<RepOutcome> =
+            [10.0, 30.0, 12.0, 28.0, 11.0].iter().map(|&l| constant_rep(l, 0.1)).collect();
+        // At (or beyond) the cap with no satisfying prefix: report the cap,
+        // unconverged — and ignore replications past it.
+        assert_eq!(decide(&policy, &noisy[..4], 4), Decision::Ready { n: 4, converged: false });
+        assert_eq!(decide(&policy, &noisy, 4), Decision::Ready { n: 4, converged: false });
+        assert_eq!(decide(&policy, &noisy[..2], 1), Decision::NeedMore { upto: 3 });
+    }
+
+    #[test]
+    fn decide_needs_min_reps_before_judging() {
+        let policy =
+            ReplicationPolicy::Converge { min_reps: 3, target: CiTarget::Rel(0.05), max_reps: 8 };
+        assert_eq!(decide(&policy, &[], 2), Decision::NeedMore { upto: 3 });
+        let series = vec![constant_rep(20.0, 0.1); 1];
+        assert_eq!(decide(&policy, &series, 2), Decision::NeedMore { upto: 3 });
+    }
+
+    #[test]
+    fn decide_clamps_degenerate_min_reps() {
+        // Spec validation forbids min_reps < 2, but `decide` is a public
+        // entry point: a direct caller passing 0 must get the documented
+        // floor of 2, not an index underflow.
+        for min_reps in [0, 1] {
+            let policy =
+                ReplicationPolicy::Converge { min_reps, target: CiTarget::Rel(0.5), max_reps: 8 };
+            assert_eq!(decide(&policy, &[], 4), Decision::NeedMore { upto: 2 });
+            let series = vec![constant_rep(20.0, 0.1); 3];
+            assert_eq!(decide(&policy, &series, 4), Decision::Ready { n: 2, converged: true });
+        }
+    }
+
+    #[test]
+    fn abs_and_rel_targets_gate_on_half_width() {
+        let tight = MeanCi { mean: 100.0, ci95: 0.4, n: 4 };
+        assert!(tight.meets(CiTarget::Abs(0.5)));
+        assert!(!tight.meets(CiTarget::Abs(0.3)));
+        assert!(tight.meets(CiTarget::Rel(0.005)));
+        assert!(!tight.meets(CiTarget::Rel(0.003)));
+        // Zero-mean metrics (broadcast latencies at β = 0) are converged
+        // exactly when their spread is zero too.
+        assert!(MeanCi { mean: 0.0, ci95: 0.0, n: 4 }.meets(CiTarget::Rel(0.05)));
+        assert!(!MeanCi { mean: 0.0, ci95: 0.1, n: 4 }.meets(CiTarget::Rel(0.05)));
     }
 
     #[test]

@@ -134,7 +134,7 @@ impl PointResult {
         );
         match &self.outcome {
             PointOutcomeKind::Rate { rate, merged } => format!(
-                "{prefix},rate,{rate},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+                "{prefix},rate,{rate},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
                 merged.reps,
                 merged.unicast_mean.mean,
                 merged.unicast_mean.ci95,
@@ -147,9 +147,10 @@ impl PointResult {
                 merged.bcast_samples,
                 merged.throughput.mean,
                 merged.saturated,
+                merged.converged,
             ),
             PointOutcomeKind::Saturation(s) => format!(
-                "{prefix},saturation,{},-,-,-,-,-,-,-,-,-,-,{},{}\n",
+                "{prefix},saturation,{},-,-,-,-,-,-,-,-,-,-,{},{},-\n",
                 s.sustained,
                 s.probes.len(),
                 s.collapsed.map_or_else(|| "-".into(), |v| v.to_string()),
@@ -162,7 +163,7 @@ impl PointResult {
         "id,topology,n,msg_len,beta,buffer_depth,link_latency,arb,kind,rate,reps,\
          unicast_mean,unicast_ci95,unicast_p95,unicast_samples,bcast_reception_mean,\
          bcast_completion_mean,bcast_completion_ci95,bcast_completion_p95,bcast_samples,\
-         throughput,saturated"
+         throughput,saturated,converged"
     }
 
     /// The display label for a point.
@@ -192,6 +193,7 @@ mod tests {
             bcast_samples: 56,
             saturated_reps: 0,
             saturated: false,
+            converged: true,
         }
     }
 

@@ -3,8 +3,10 @@
 
 use crate::artifact;
 use crate::cache::ResultCache;
-use crate::executor::{default_workers, run_work_stealing};
-use crate::replicate::{replication_seed, run_replicated};
+use crate::executor::{default_workers, run_work_stealing_tasks, Step};
+use crate::replicate::{
+    decide, extend_series, merge_series, replication_seed, Decision, RepOutcome,
+};
 use crate::result::{PointOutcomeKind, PointResult};
 use crate::saturation::find_saturation;
 use crate::spec::{CampaignPoint, CampaignSpec, PointWork, SpecError};
@@ -14,6 +16,11 @@ use std::io;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
+
+/// How many replications a convergence-controlled point simulates per trip
+/// through the work-stealing pool when the caller leaves
+/// [`CampaignOptions::batch_reps`] at 0.
+pub const DEFAULT_BATCH_REPS: u32 = 4;
 
 /// Execution options orthogonal to the experiment definition. None of them
 /// may change any measured number — only where results come from, where they
@@ -30,6 +37,10 @@ pub struct CampaignOptions {
     pub force: bool,
     /// Suppress per-point progress on stderr.
     pub quiet: bool,
+    /// Replications a convergence-controlled point simulates per trip
+    /// through the pool (`0` = [`DEFAULT_BATCH_REPS`]). An execution knob:
+    /// the canonical stopping rule makes reported numbers independent of it.
+    pub batch_reps: u32,
 }
 
 /// What a campaign run produced.
@@ -37,12 +48,17 @@ pub struct CampaignOptions {
 pub struct CampaignReport {
     /// Per-point results in expansion order.
     pub results: Vec<PointResult>,
-    /// Grid combinations dropped at expansion (e.g. mesh × β > 0).
+    /// Grid combinations dropped at expansion (always recorded; empty today).
     pub skipped: Vec<String>,
-    /// Points actually simulated this run.
+    /// Points that simulated at least one replication (or probe) this run —
+    /// including cached points that only needed a top-up.
     pub executed: usize,
-    /// Points served from the result cache.
+    /// Points served entirely from the result cache.
     pub from_cache: usize,
+    /// Replications simulated this run, across all points.
+    pub reps_simulated: usize,
+    /// Cached replications reused in reported merges this run.
+    pub reps_cached: usize,
     /// Worker threads used.
     pub workers: usize,
     /// Artifact files written (empty without an output directory).
@@ -95,60 +111,197 @@ impl From<io::Error> for CampaignError {
     }
 }
 
-/// Simulate one point (no cache involvement). Pure function of
-/// `(point, spec)` — see the determinism notes on [`run_campaign`].
+/// Simulate one point to completion (no cache involvement). Pure function
+/// of `(point, spec)` — see the determinism notes on [`run_campaign`].
 pub fn execute_point(point: &CampaignPoint, spec: &CampaignSpec) -> PointOutcomeKind {
-    let stream = point.content_hash(spec);
-    let noc = point.curve.noc();
-    match point.work {
-        PointWork::Rate(rate) => {
-            let template = PointSpec {
-                noc,
-                msg_len: point.curve.msg_len,
-                beta: point.curve.beta,
-                seed: 0, // overwritten per replication
-                rate,
-            };
-            let merged =
-                run_replicated(&template, &spec.run, spec.base_seed, stream, spec.replications);
-            PointOutcomeKind::Rate { rate, merged }
-        }
-        PointWork::Saturation { lo, hi, rel_tol, max_probes } => {
-            // Common random numbers across probes: one seed (replication 0)
-            // for the whole search keeps the frontier estimate monotone.
-            let seed = replication_seed(spec.base_seed, stream, 0);
-            let result = find_saturation(
-                |rate| {
-                    let probe = PointSpec {
-                        noc,
-                        msg_len: point.curve.msg_len,
-                        beta: point.curve.beta,
-                        seed,
-                        rate,
-                    };
-                    run_point(&probe, &spec.run)
-                        .expect("expansion validated this configuration")
-                        .result
-                        .saturated
-                },
-                lo,
-                hi,
-                rel_tol,
-                max_probes,
-            );
-            PointOutcomeKind::Saturation(result)
+    let mut task = PointTask::new(*point);
+    let ctx = PointContext {
+        spec,
+        cache: None,
+        force: false,
+        batch: u32::MAX, // no cache to interleave with: run every batch at once
+        quiet: true,
+    };
+    loop {
+        match task.step(&ctx) {
+            Step::Yield(next) => task = next,
+            Step::Done(done) => return done.outcome,
         }
     }
 }
 
-/// Run a campaign: expand the grid, serve known points from the cache,
-/// shard the rest across a work-stealing pool, persist new outcomes, write
+/// Everything a point task needs besides its own state.
+struct PointContext<'a> {
+    spec: &'a CampaignSpec,
+    cache: Option<&'a ResultCache>,
+    force: bool,
+    batch: u32,
+    quiet: bool,
+}
+
+/// The parked state of one point between trips through the pool.
+struct PointTask {
+    point: CampaignPoint,
+    /// Replication series so far (cache prefix + simulated tail).
+    series: Vec<RepOutcome>,
+    /// Whether the cache has been consulted yet (first step only).
+    consulted_cache: bool,
+    /// Replications loaded from the cache.
+    cached_reps: usize,
+    /// Replications simulated by this run.
+    simulated_reps: usize,
+}
+
+/// A completed point plus its execution accounting.
+struct PointDone {
+    outcome: PointOutcomeKind,
+    /// Replications simulated by this run (0 for a full cache hit).
+    simulated_reps: usize,
+    /// Cached replications that entered the reported merge.
+    reps_cached_used: usize,
+    /// Served entirely from the cache.
+    from_cache: bool,
+}
+
+impl PointTask {
+    fn new(point: CampaignPoint) -> PointTask {
+        PointTask {
+            point,
+            series: Vec::new(),
+            consulted_cache: false,
+            cached_reps: 0,
+            simulated_reps: 0,
+        }
+    }
+
+    /// Run one batch of this point. Rate points consult the cache once,
+    /// then alternate `decide` → simulate-batch → persist, yielding between
+    /// batches so convergence top-ups interleave with the rest of the grid.
+    fn step(mut self, ctx: &PointContext<'_>) -> Step<PointTask, PointDone> {
+        let merge_key = self.point.merge_key(ctx.spec);
+        let merge_hash = self.point.merge_hash(ctx.spec);
+        match self.point.work {
+            PointWork::Saturation { lo, hi, rel_tol, max_probes } => {
+                // Searches are a single sequential bisection: no batching.
+                if !ctx.force {
+                    if let Some(hit) =
+                        ctx.cache.and_then(|c| c.load_saturation(merge_hash, &merge_key))
+                    {
+                        return Step::Done(PointDone {
+                            outcome: PointOutcomeKind::Saturation(hit),
+                            simulated_reps: 0,
+                            reps_cached_used: 0,
+                            from_cache: true,
+                        });
+                    }
+                }
+                let noc = self.point.curve.noc();
+                // Common random numbers across probes: one seed (replication
+                // 0) for the whole search keeps the frontier estimate
+                // monotone.
+                let seed = replication_seed(ctx.spec.base_seed, merge_hash, 0);
+                let result = find_saturation(
+                    |rate| {
+                        let probe = PointSpec {
+                            noc,
+                            msg_len: self.point.curve.msg_len,
+                            beta: self.point.curve.beta,
+                            seed,
+                            rate,
+                        };
+                        run_point(&probe, &ctx.spec.run)
+                            .expect("expansion validated this configuration")
+                            .result
+                            .saturated
+                    },
+                    lo,
+                    hi,
+                    rel_tol,
+                    max_probes,
+                );
+                let probes = result.probes.len();
+                if let Some(c) = ctx.cache {
+                    if let Err(e) = c.store_saturation(merge_hash, &merge_key, &result) {
+                        if !ctx.quiet {
+                            eprintln!("campaign: failed to cache {merge_key}: {e}");
+                        }
+                    }
+                }
+                Step::Done(PointDone {
+                    outcome: PointOutcomeKind::Saturation(result),
+                    simulated_reps: probes,
+                    reps_cached_used: 0,
+                    from_cache: false,
+                })
+            }
+            PointWork::Rate(rate) => {
+                if !self.consulted_cache {
+                    self.consulted_cache = true;
+                    if !ctx.force {
+                        if let Some(series) =
+                            ctx.cache.and_then(|c| c.load_series(merge_hash, &merge_key))
+                        {
+                            self.cached_reps = series.len();
+                            self.series = series;
+                        }
+                    }
+                }
+                match decide(&ctx.spec.policy(), &self.series, ctx.batch) {
+                    Decision::Ready { n, converged } => {
+                        let merged = merge_series(&self.series, n, converged);
+                        Step::Done(PointDone {
+                            outcome: PointOutcomeKind::Rate { rate, merged },
+                            simulated_reps: self.simulated_reps,
+                            reps_cached_used: self.cached_reps.min(n as usize),
+                            from_cache: self.simulated_reps == 0 && self.cached_reps > 0,
+                        })
+                    }
+                    Decision::NeedMore { upto } => {
+                        let template = PointSpec {
+                            noc: self.point.curve.noc(),
+                            msg_len: self.point.curve.msg_len,
+                            beta: self.point.curve.beta,
+                            seed: 0, // overwritten per replication
+                            rate,
+                        };
+                        let before = self.series.len();
+                        extend_series(
+                            &mut self.series,
+                            &template,
+                            &ctx.spec.run,
+                            ctx.spec.base_seed,
+                            merge_hash,
+                            upto,
+                        );
+                        self.simulated_reps += self.series.len() - before;
+                        // Persist after every batch: an interrupted campaign
+                        // resumes from its last batch, not from scratch.
+                        if let Some(c) = ctx.cache {
+                            if let Err(e) = c.store_series(merge_hash, &merge_key, &self.series) {
+                                if !ctx.quiet {
+                                    eprintln!("campaign: failed to cache {merge_key}: {e}");
+                                }
+                            }
+                        }
+                        Step::Yield(self)
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Run a campaign: expand the grid, resume known points from the cache,
+/// shard the rest across a work-stealing pool (convergence-controlled
+/// points one replication batch at a time), persist new outcomes, write
 /// artifacts.
 ///
 /// Determinism guarantee: `results` (and therefore both artifacts) are a
-/// pure function of `spec`. Worker count, stealing order, cache hits and
-/// `force` can change only `executed`/`from_cache`/`wall` — never a number.
-/// The per-point tests and `tests/determinism.rs` hold this to bit-equality.
+/// pure function of `spec`. Worker count, stealing order, batch size, cache
+/// hits and `force` can change only the execution accounting
+/// (`executed`/`from_cache`/`reps_*`/`wall`) — never a number. The per-point
+/// tests and `tests/determinism.rs`/`tests/convergence.rs` hold this to
+/// bit-equality.
 pub fn run_campaign(
     spec: &CampaignSpec,
     opts: &CampaignOptions,
@@ -159,44 +312,69 @@ pub fn run_campaign(
         None => None,
     };
     let workers = if opts.workers == 0 { default_workers() } else { opts.workers };
+    let ctx = PointContext {
+        spec,
+        cache: cache.as_ref(),
+        force: opts.force,
+        batch: if opts.batch_reps == 0 { DEFAULT_BATCH_REPS } else { opts.batch_reps },
+        quiet: opts.quiet,
+    };
 
     let total = expansion.points.len();
     let done = AtomicUsize::new(0);
     let executed = AtomicUsize::new(0);
     let hits = AtomicUsize::new(0);
+    let reps_simulated = AtomicUsize::new(0);
+    let reps_cached = AtomicUsize::new(0);
     let start = Instant::now();
 
-    let results = run_work_stealing(&expansion.points, workers, |_, point| {
-        let key = point.content_key(spec);
-        let hash = point.content_hash(spec);
-        let cached =
-            if opts.force { None } else { cache.as_ref().and_then(|c| c.load(hash, &key)) };
-        let (outcome, from_cache) = match cached {
-            Some(outcome) => {
-                hits.fetch_add(1, Ordering::Relaxed);
-                (outcome, true)
-            }
-            None => {
-                let outcome = execute_point(point, spec);
-                executed.fetch_add(1, Ordering::Relaxed);
-                if let Some(c) = &cache {
-                    if let Err(e) = c.store(hash, &key, &outcome) {
-                        if !opts.quiet {
-                            eprintln!("campaign: failed to cache {key}: {e}");
-                        }
-                    }
+    let results = run_work_stealing_tasks(
+        &expansion.points,
+        workers,
+        |_, point| PointTask::new(*point),
+        |_, point, task| match task.step(&ctx) {
+            Step::Yield(task) => Step::Yield(task),
+            Step::Done(out) => {
+                if out.from_cache {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    executed.fetch_add(1, Ordering::Relaxed);
                 }
-                (outcome, false)
+                reps_simulated.fetch_add(out.simulated_reps, Ordering::Relaxed);
+                reps_cached.fetch_add(out.reps_cached_used, Ordering::Relaxed);
+                let label = PointResult::label_for(point);
+                if !opts.quiet {
+                    let n = done.fetch_add(1, Ordering::Relaxed) + 1;
+                    let how = if out.from_cache {
+                        "cache".to_string()
+                    } else if out.reps_cached_used > 0 {
+                        format!("top-up +{}", out.simulated_reps)
+                    } else {
+                        "ran".to_string()
+                    };
+                    let verdict = match &out.outcome {
+                        PointOutcomeKind::Rate { merged, .. } => {
+                            format!(
+                                " n={}{}",
+                                merged.reps,
+                                if merged.converged { "" } else { " !conv" }
+                            )
+                        }
+                        PointOutcomeKind::Saturation(_) => String::new(),
+                    };
+                    eprintln!("campaign [{n:>4}/{total}] {label:<40} ({how}{verdict})");
+                }
+                Step::Done(PointResult {
+                    id: point.id,
+                    label,
+                    point: *point,
+                    content_hash: point.content_hash(spec),
+                    from_cache: out.from_cache,
+                    outcome: out.outcome,
+                })
             }
-        };
-        let label = PointResult::label_for(point);
-        if !opts.quiet {
-            let n = done.fetch_add(1, Ordering::Relaxed) + 1;
-            let how = if from_cache { "cache" } else { "ran" };
-            eprintln!("campaign [{n:>4}/{total}] {label:<40} ({how})");
-        }
-        PointResult { id: point.id, label, point: *point, content_hash: hash, from_cache, outcome }
-    });
+        },
+    );
     let wall = start.elapsed();
 
     let mut report = CampaignReport {
@@ -204,6 +382,8 @@ pub fn run_campaign(
         skipped: expansion.skipped,
         executed: executed.into_inner(),
         from_cache: hits.into_inner(),
+        reps_simulated: reps_simulated.into_inner(),
+        reps_cached: reps_cached.into_inner(),
         workers,
         artifacts: Vec::new(),
         wall,
@@ -217,7 +397,7 @@ pub fn run_campaign(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::spec::RateAxis;
+    use crate::spec::{CiTarget, Convergence, RateAxis};
     use quarc_sim::RunSpec;
 
     fn tiny_spec(name: &str) -> CampaignSpec {
@@ -244,12 +424,15 @@ mod tests {
         assert_eq!(report.results.len(), 4); // 2 topologies × 2 rates
         assert_eq!(report.executed, 4);
         assert_eq!(report.from_cache, 0);
+        assert_eq!(report.reps_simulated, 8);
+        assert_eq!(report.reps_cached, 0);
         for (i, r) in report.results.iter().enumerate() {
             assert_eq!(r.id, i);
             match &r.outcome {
                 PointOutcomeKind::Rate { merged, .. } => {
                     assert_eq!(merged.reps, 2);
                     assert!(merged.unicast_mean.mean > 0.0);
+                    assert!(merged.converged, "fixed protocols are vacuously converged");
                 }
                 other => panic!("unexpected outcome {other:?}"),
             }
@@ -272,6 +455,8 @@ mod tests {
         let second = run_campaign(&spec, &opts).unwrap();
         assert_eq!(second.executed, 0);
         assert_eq!(second.from_cache, 4);
+        assert_eq!(second.reps_simulated, 0);
+        assert_eq!(second.reps_cached, 8);
         assert_eq!(
             first.to_json(&spec).to_pretty(),
             second.to_json(&spec).to_pretty(),
@@ -304,6 +489,70 @@ mod tests {
         assert_eq!(grown.from_cache, 4);
         assert_eq!(grown.executed, 2);
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn replication_growth_tops_up_instead_of_rerunning() {
+        // The v3 upgrade story at the fixed-protocol level: raising
+        // --replications reuses every cached replication and simulates only
+        // the missing tail; lowering it is a pure cache hit on a prefix.
+        let dir = unique_dir("topup");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut spec = tiny_spec("runner-topup");
+        let opts = CampaignOptions {
+            workers: 2,
+            cache_dir: Some(dir.clone()),
+            quiet: true,
+            ..Default::default()
+        };
+        run_campaign(&spec, &opts).unwrap();
+        spec.replications = 5;
+        let grown = run_campaign(&spec, &opts).unwrap();
+        assert_eq!(grown.executed, 4, "every point needed a top-up");
+        assert_eq!(grown.from_cache, 0);
+        assert_eq!(grown.reps_simulated, 4 * 3, "only the 3 missing replications per point");
+        assert_eq!(grown.reps_cached, 4 * 2);
+        // And the topped-up artifact equals a from-scratch 5-replication run.
+        let fresh =
+            run_campaign(&spec, &CampaignOptions { workers: 2, quiet: true, ..Default::default() })
+                .unwrap();
+        assert_eq!(grown.to_json(&spec).to_pretty(), fresh.to_json(&spec).to_pretty());
+
+        spec.replications = 3;
+        let shrunk = run_campaign(&spec, &opts).unwrap();
+        assert_eq!(shrunk.from_cache, 4, "a prefix of a cached series is a pure hit");
+        assert_eq!(shrunk.reps_simulated, 0);
+        assert_eq!(shrunk.reps_cached, 4 * 3);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn convergent_campaign_reports_reached_targets() {
+        let mut spec = tiny_spec("runner-conv");
+        spec.convergence = Some(Convergence { target: CiTarget::Rel(0.25), max_reps: 12 });
+        let report =
+            run_campaign(&spec, &CampaignOptions { workers: 2, quiet: true, ..Default::default() })
+                .unwrap();
+        for r in &report.results {
+            match &r.outcome {
+                PointOutcomeKind::Rate { merged, .. } => {
+                    assert!(merged.reps >= 2 && merged.reps <= 12);
+                    if merged.converged {
+                        for m in [
+                            &merged.unicast_mean,
+                            &merged.bcast_reception_mean,
+                            &merged.bcast_completion_mean,
+                            &merged.throughput,
+                        ] {
+                            assert!(m.meets(CiTarget::Rel(0.25)), "{:?} too wide in {r:?}", m);
+                        }
+                    } else {
+                        assert_eq!(merged.reps, 12, "unconverged points stop at the cap");
+                    }
+                }
+                other => panic!("unexpected outcome {other:?}"),
+            }
+        }
     }
 
     #[test]

@@ -56,6 +56,83 @@ pub enum RateAxis {
     },
 }
 
+/// A 95% confidence-interval half-width target, the unit of the campaign's
+/// convergence control.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CiTarget {
+    /// Converged when every tracked metric's half-width is at most this many
+    /// of its own units (cycles for latencies, flits/node/cycle for
+    /// throughput).
+    Abs(f64),
+    /// Converged when every tracked metric's half-width is at most this
+    /// fraction of the metric's own mean (scale-free; the paper-grid
+    /// default).
+    Rel(f64),
+}
+
+impl fmt::Display for CiTarget {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CiTarget::Abs(v) => write!(f, "abs:{v}"),
+            CiTarget::Rel(v) => write!(f, "rel:{v}"),
+        }
+    }
+}
+
+/// Per-point convergence control: grow replications until every tracked
+/// metric's 95% CI half-width meets `target`, up to `max_reps`.
+///
+/// The stopping rule is *canonical*, not schedule-dependent: the final
+/// replication count is the smallest `n` in `[min_reps, max_reps]` whose
+/// prefix merge (replications `0..n`, in index order) satisfies the target —
+/// a pure function of the per-replication outcomes. Execution batch size,
+/// worker count and cache state decide only how much gets simulated, never
+/// which prefix is reported, which is what keeps convergent campaigns
+/// bit-identical under any batch schedule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Convergence {
+    /// The half-width target every tracked metric must meet.
+    pub target: CiTarget,
+    /// Hard cap on replications; a point still too wide at the cap is
+    /// reported with `converged: false` (saturated points routinely are).
+    pub max_reps: u32,
+}
+
+impl fmt::Display for Convergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "conv={} max={}", self.target, self.max_reps)
+    }
+}
+
+/// How many replications a point merges: the campaign's replication axis
+/// resolved into the rule [`crate::replicate::decide`] executes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ReplicationPolicy {
+    /// Merge exactly this many replications.
+    Fixed(u32),
+    /// Grow from `min_reps` until `target` is met or `max_reps` is reached.
+    Converge {
+        /// Smallest prefix considered (at least 2: one replication has no
+        /// variance estimate).
+        min_reps: u32,
+        /// The half-width target.
+        target: CiTarget,
+        /// Hard replication cap.
+        max_reps: u32,
+    },
+}
+
+impl fmt::Display for ReplicationPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReplicationPolicy::Fixed(reps) => write!(f, "reps={reps}"),
+            ReplicationPolicy::Converge { min_reps, target, max_reps } => {
+                write!(f, "conv={target} min={min_reps} max={max_reps}")
+            }
+        }
+    }
+}
+
 /// A declarative experiment campaign: the full grid plus run protocol.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CampaignSpec {
@@ -79,8 +156,13 @@ pub struct CampaignSpec {
     pub arbs: Vec<ArbPolicy>,
     /// The injection-rate axis.
     pub rates: RateAxis,
-    /// Independent replications per point (distinct workload seeds).
+    /// Independent replications per point (distinct workload seeds). With a
+    /// [`Convergence`] policy this is the *starting* count (clamped to ≥ 2);
+    /// without one it is exact.
     pub replications: u32,
+    /// Optional convergence control: grow replications per point until every
+    /// tracked metric's 95% CI half-width meets the target.
+    pub convergence: Option<Convergence>,
     /// Master seed; every replication seed is forked from this.
     pub base_seed: u64,
     /// Warmup/measure/drain protocol for every run.
@@ -102,6 +184,7 @@ impl CampaignSpec {
             arbs: vec![ArbPolicy::RoundRobin],
             rates: RateAxis::AutoGeometric { span: 1.1, lo_div: 40.0, steps: 10 },
             replications: 2,
+            convergence: None,
             base_seed: 2009, // the paper's year; any constant works
             run: RunSpec::default(),
         }
@@ -135,9 +218,22 @@ impl CampaignSpec {
         if self.replications == 0 {
             return Err(SpecError::new("replications must be at least 1"));
         }
+        if let Some(conv) = &self.convergence {
+            let width = match conv.target {
+                CiTarget::Abs(w) | CiTarget::Rel(w) => w,
+            };
+            if !(width > 0.0 && width.is_finite()) {
+                return Err(SpecError::new("convergence target must be positive and finite"));
+            }
+            if conv.max_reps < self.replications.max(2) {
+                return Err(SpecError::new(
+                    "convergence max_reps must be at least max(replications, 2)",
+                ));
+            }
+        }
         match &self.rates {
             RateAxis::Explicit(rates) => {
-                if rates.is_empty() || rates.iter().any(|r| !(*r > 0.0)) {
+                if rates.is_empty() || rates.iter().any(|r| *r <= 0.0 || r.is_nan()) {
                     return Err(SpecError::new("explicit rates must be positive"));
                 }
             }
@@ -237,6 +333,18 @@ impl CampaignSpec {
     fn point(&self, curve: CurveParams, work: PointWork, id: usize) -> CampaignPoint {
         CampaignPoint { id, curve, work }
     }
+
+    /// The replication rule fixed-rate points execute: `replications` exact
+    /// runs, or — with a [`Convergence`] policy — growth from
+    /// `max(replications, 2)` until the CI target or `max_reps`.
+    pub fn policy(&self) -> ReplicationPolicy {
+        match self.convergence {
+            None => ReplicationPolicy::Fixed(self.replications),
+            Some(Convergence { target, max_reps }) => {
+                ReplicationPolicy::Converge { min_reps: self.replications.max(2), target, max_reps }
+            }
+        }
+    }
 }
 
 fn valid_name_char(c: char) -> bool {
@@ -334,12 +442,21 @@ pub struct CampaignPoint {
 }
 
 impl CampaignPoint {
-    /// The canonical content key: every parameter that influences this
-    /// point's numbers, in a fixed textual form. Bump the version token when
-    /// any result-affecting behaviour changes (RNG algorithm, run protocol,
-    /// merge rules) — it invalidates every existing cache entry. `v2` added
-    /// the topology (torus) and arbitration-policy axes to every key.
-    pub fn content_key(&self, spec: &CampaignSpec) -> String {
+    /// The *merge key*: every parameter that influences an individual
+    /// replication's numbers — but **not** the replication protocol (fixed
+    /// count or convergence policy). Its hash is both the result-cache key
+    /// and the RNG substream selector, so replication `i` of a point runs
+    /// under the same seed no matter how many replications any campaign
+    /// asks for. That invariant is what makes cached replication series
+    /// *upgradeable*: a convergence campaign tops a fixed-`replications`
+    /// entry up from where it stopped, and a smaller fixed request is a
+    /// prefix of a larger cached series — bit-identical either way.
+    ///
+    /// Bump the version token when any result-affecting behaviour changes
+    /// (RNG algorithm, run protocol, merge rules) — it invalidates every
+    /// existing cache entry. `v3` split the replication protocol out of the
+    /// key (it previously re-keyed — and re-seeded — every point).
+    pub fn merge_key(&self, spec: &CampaignSpec) -> String {
         let c = &self.curve;
         let work = match self.work {
             PointWork::Rate(rate) => format!("rate={rate}"),
@@ -347,16 +464,8 @@ impl CampaignPoint {
                 format!("sat lo={lo} hi={hi} tol={rel_tol} probes={max_probes}")
             }
         };
-        // Saturation searches probe with replication 0's seed only, so
-        // `spec.replications` cannot affect their outcome — pin the key's
-        // reps component to 1 for them, or changing --replications would
-        // spuriously invalidate every cached frontier point.
-        let effective_reps = match self.work {
-            PointWork::Rate(_) => spec.replications,
-            PointWork::Saturation { .. } => 1,
-        };
         format!(
-            "quarc-campaign v2|{}|n={} m={} beta={} depth={} link={} arb={}|{}|reps={} seed={}|run w={} m={} d={} lat={} bk={}",
+            "quarc-campaign v3|{}|n={} m={} beta={} depth={} link={} arb={}|{}|seed={}|run w={} m={} d={} lat={} bk={}",
             c.topology,
             c.n,
             c.msg_len,
@@ -365,7 +474,6 @@ impl CampaignPoint {
             c.link_latency,
             c.arb,
             work,
-            effective_reps,
             spec.base_seed,
             spec.run.warmup,
             spec.run.measure,
@@ -375,7 +483,33 @@ impl CampaignPoint {
         )
     }
 
-    /// FNV-1a hash of the content key: the cache key and RNG substream id.
+    /// FNV-1a hash of the merge key: the cache key and RNG substream id.
+    pub fn merge_hash(&self, spec: &CampaignSpec) -> u64 {
+        fnv1a64(self.merge_key(spec).as_bytes())
+    }
+
+    /// The canonical content key: the merge key plus the replication
+    /// protocol — the point's full *result* identity, recorded (hashed) in
+    /// the artifact. Two campaigns that share every axis but differ in
+    /// `replications` or convergence policy share cache entries (via
+    /// [`Self::merge_key`]) yet report distinct content hashes, because
+    /// their merged numbers legitimately differ.
+    ///
+    /// Saturation searches probe with replication 0's seed only, so neither
+    /// `spec.replications` nor the convergence policy can affect their
+    /// outcome — their protocol component stays pinned to `reps=1`, or
+    /// changing `--replications` would spuriously re-key every cached
+    /// frontier point.
+    pub fn content_key(&self, spec: &CampaignSpec) -> String {
+        let protocol = match self.work {
+            PointWork::Rate(_) => spec.policy().to_string(),
+            PointWork::Saturation { .. } => "reps=1".to_string(),
+        };
+        format!("{}|{}", self.merge_key(spec), protocol)
+    }
+
+    /// FNV-1a hash of the content key: the point's result identity in the
+    /// campaign artifact.
     pub fn content_hash(&self, spec: &CampaignSpec) -> u64 {
         fnv1a64(self.content_key(spec).as_bytes())
     }
@@ -610,6 +744,68 @@ mod tests {
         grid_more.replications += 3;
         let gp = grid.expand().unwrap().points[0];
         assert_ne!(gp.content_hash(&grid), gp.content_hash(&grid_more));
+    }
+
+    #[test]
+    fn merge_keys_ignore_the_replication_protocol() {
+        // The merge key (cache key + RNG substream) must be shared by every
+        // replication protocol over the same physical point — that is the
+        // whole upgrade story: a convergence campaign finds (and tops up)
+        // the series a fixed-replications campaign cached, and replication
+        // seeds never move when the protocol changes.
+        let fixed = small();
+        let mut more = fixed.clone();
+        more.replications += 5;
+        let mut conv = fixed.clone();
+        conv.convergence = Some(Convergence { target: CiTarget::Rel(0.05), max_reps: 32 });
+        let p = fixed.expand().unwrap().points[0];
+        assert_eq!(p.merge_key(&fixed), p.merge_key(&more));
+        assert_eq!(p.merge_key(&fixed), p.merge_key(&conv));
+        // …while the content key (the artifact's result identity) reflects
+        // the protocol, because the merged numbers differ.
+        assert_ne!(p.content_hash(&fixed), p.content_hash(&more));
+        assert_ne!(p.content_hash(&fixed), p.content_hash(&conv));
+        assert!(p.content_key(&conv).contains("conv=rel:0.05 min=2 max=32"));
+        assert!(p.content_key(&fixed).starts_with(&p.merge_key(&fixed)));
+    }
+
+    #[test]
+    fn policy_resolves_min_reps_and_fixed_counts() {
+        let mut spec = small();
+        spec.replications = 1;
+        assert_eq!(spec.policy(), ReplicationPolicy::Fixed(1));
+        spec.convergence = Some(Convergence { target: CiTarget::Abs(0.5), max_reps: 16 });
+        // One replication has no variance estimate; convergence needs ≥ 2.
+        assert_eq!(
+            spec.policy(),
+            ReplicationPolicy::Converge { min_reps: 2, target: CiTarget::Abs(0.5), max_reps: 16 }
+        );
+        spec.replications = 4;
+        assert_eq!(
+            spec.policy(),
+            ReplicationPolicy::Converge { min_reps: 4, target: CiTarget::Abs(0.5), max_reps: 16 }
+        );
+    }
+
+    #[test]
+    fn bad_convergence_policies_are_rejected() {
+        let mut bad = small();
+        bad.convergence = Some(Convergence { target: CiTarget::Rel(0.0), max_reps: 16 });
+        assert!(bad.expand().is_err());
+
+        let mut bad = small();
+        bad.convergence = Some(Convergence { target: CiTarget::Abs(-1.0), max_reps: 16 });
+        assert!(bad.expand().is_err());
+
+        // max_reps below the starting count can never be satisfied.
+        let mut bad = small();
+        bad.replications = 8;
+        bad.convergence = Some(Convergence { target: CiTarget::Rel(0.05), max_reps: 4 });
+        assert!(bad.expand().is_err());
+
+        let mut ok = small();
+        ok.convergence = Some(Convergence { target: CiTarget::Rel(0.05), max_reps: 2 });
+        assert!(ok.expand().is_ok(), "max_reps == max(replications, 2) is the floor");
     }
 
     #[test]

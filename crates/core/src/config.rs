@@ -130,7 +130,7 @@ impl NocConfig {
     pub fn validate(&self) -> Result<(), ConfigError> {
         match self.kind {
             TopologyKind::Quarc => {
-                if self.n < 4 || self.n % 4 != 0 {
+                if self.n < 4 || !self.n.is_multiple_of(4) {
                     return Err(ConfigError::BadNodeCount {
                         n: self.n,
                         requirement: "Quarc requires n ≥ 4 and n ≡ 0 (mod 4)",
@@ -138,7 +138,7 @@ impl NocConfig {
                 }
             }
             TopologyKind::Spidergon => {
-                if self.n < 4 || self.n % 2 != 0 {
+                if self.n < 4 || !self.n.is_multiple_of(2) {
                     return Err(ConfigError::BadNodeCount {
                         n: self.n,
                         requirement: "Spidergon requires even n ≥ 4",

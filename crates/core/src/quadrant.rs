@@ -98,7 +98,7 @@ impl fmt::Display for Quadrant {
 /// `src == dst` (a PE never sends a NoC message to itself) or if the ring is
 /// not a multiple of four.
 pub fn quadrant_of(ring: &Ring, src: NodeId, dst: NodeId) -> Quadrant {
-    assert!(ring.len() % 4 == 0, "Quarc requires n ≡ 0 (mod 4)");
+    assert!(ring.len().is_multiple_of(4), "Quarc requires n ≡ 0 (mod 4)");
     assert_ne!(src, dst, "no quadrant for a self-message");
     let d = ring.cw_dist(src, dst);
     let q = ring.quarter();
@@ -174,7 +174,7 @@ pub struct Branch {
 /// Every non-source node appears in exactly one branch's `deliveries` — a
 /// property-tested invariant.
 pub fn broadcast_branches(ring: &Ring, src: NodeId) -> Vec<Branch> {
-    assert!(ring.len() % 4 == 0, "Quarc requires n ≡ 0 (mod 4)");
+    assert!(ring.len().is_multiple_of(4), "Quarc requires n ≡ 0 (mod 4)");
     let q = ring.quarter();
     let mut branches = Vec::with_capacity(4);
 
@@ -233,7 +233,7 @@ pub fn broadcast_branches(ring: &Ring, src: NodeId) -> Vec<Branch> {
 /// simulator's injection path needs: routers re-derive the deliveries hop by
 /// hop, so only the header destinations ever reach the network.
 pub fn broadcast_branch_heads(ring: &Ring, src: NodeId) -> [Option<(Quadrant, NodeId)>; 4] {
-    assert!(ring.len() % 4 == 0, "Quarc requires n ≡ 0 (mod 4)");
+    assert!(ring.len().is_multiple_of(4), "Quarc requires n ≡ 0 (mod 4)");
     let q = ring.quarter();
     [
         Some((Quadrant::Right, ring.step_n(src, RingDir::Cw, q))),
@@ -273,7 +273,7 @@ pub fn unicast_path_via(ring: &Ring, src: NodeId, quad: Quadrant, dst: NodeId) -
 /// target. Targets equal to `src` are ignored. Broadcast is the special case
 /// where every node is a target (see `multicast_covers_broadcast` test).
 pub fn multicast_branches(ring: &Ring, src: NodeId, targets: &[NodeId]) -> Vec<Branch> {
-    assert!(ring.len() % 4 == 0, "Quarc requires n ≡ 0 (mod 4)");
+    assert!(ring.len().is_multiple_of(4), "Quarc requires n ≡ 0 (mod 4)");
     assert!(ring.quarter() <= 16, "bitstring field is 16 bits; n ≤ 64 (paper §2.6)");
     let mut by_quadrant: [Vec<NodeId>; 4] = Default::default();
     for &t in targets {

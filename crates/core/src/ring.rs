@@ -124,7 +124,7 @@ impl Ring {
     /// The node diametrically opposite `a` (requires even `n`).
     #[inline]
     pub fn antipode(&self, a: NodeId) -> NodeId {
-        debug_assert!(self.n % 2 == 0, "antipode requires an even ring");
+        debug_assert!(self.n.is_multiple_of(2), "antipode requires an even ring");
         NodeId::new((a.index() + self.n / 2) % self.n)
     }
 

@@ -255,7 +255,7 @@ impl IntoIterator for ChainSeeds {
 /// Requires `n ≡ 0 (mod 4)` (the configuration used in all of the paper's
 /// broadcast experiments).
 pub fn spidergon_broadcast_seeds(ring: &Ring, src: NodeId) -> ChainSeeds {
-    assert!(ring.len() % 4 == 0, "broadcast plan requires n ≡ 0 (mod 4)");
+    assert!(ring.len().is_multiple_of(4), "broadcast plan requires n ≡ 0 (mod 4)");
     let q = ring.quarter() as u16;
     let mut seeds = ChainSeeds::default();
     seeds.push(ChainSeed {
@@ -286,31 +286,27 @@ pub fn spidergon_broadcast_seeds(ring: &Ring, src: NodeId) -> ChainSeeds {
 pub fn chain_continuations(ring: &Ring, node: NodeId, meta: &PacketMeta) -> ChainSeeds {
     let mut seeds = ChainSeeds::default();
     match meta.class {
-        TrafficClass::ChainRim => {
-            if meta.bitstring > 0 {
-                seeds.push(ChainSeed {
-                    class: TrafficClass::ChainRim,
-                    dst: ring.step(node, meta.dir),
-                    dir: meta.dir,
-                    remaining: meta.bitstring - 1,
-                });
-            }
+        TrafficClass::ChainRim if meta.bitstring > 0 => {
+            seeds.push(ChainSeed {
+                class: TrafficClass::ChainRim,
+                dst: ring.step(node, meta.dir),
+                dir: meta.dir,
+                remaining: meta.bitstring - 1,
+            });
         }
-        TrafficClass::ChainCross => {
-            if meta.bitstring > 0 {
-                seeds.push(ChainSeed {
-                    class: TrafficClass::ChainRim,
-                    dst: ring.cw(node),
-                    dir: RingDir::Cw,
-                    remaining: meta.bitstring - 1,
-                });
-                seeds.push(ChainSeed {
-                    class: TrafficClass::ChainRim,
-                    dst: ring.ccw(node),
-                    dir: RingDir::Ccw,
-                    remaining: meta.bitstring - 1,
-                });
-            }
+        TrafficClass::ChainCross if meta.bitstring > 0 => {
+            seeds.push(ChainSeed {
+                class: TrafficClass::ChainRim,
+                dst: ring.cw(node),
+                dir: RingDir::Cw,
+                remaining: meta.bitstring - 1,
+            });
+            seeds.push(ChainSeed {
+                class: TrafficClass::ChainRim,
+                dst: ring.ccw(node),
+                dir: RingDir::Ccw,
+                remaining: meta.bitstring - 1,
+            });
         }
         _ => {}
     }

@@ -176,7 +176,7 @@ pub struct QuarcTopology {
 impl QuarcTopology {
     /// Build an `n`-node Quarc. Panics unless `n ≥ 4` and `n ≡ 0 (mod 4)`.
     pub fn new(n: usize) -> Self {
-        assert!(n >= 4 && n % 4 == 0, "Quarc requires n ≥ 4 and n ≡ 0 (mod 4), got {n}");
+        assert!(n >= 4 && n.is_multiple_of(4), "Quarc requires n ≥ 4 and n ≡ 0 (mod 4), got {n}");
         QuarcTopology { ring: Ring::new(n) }
     }
 
@@ -352,7 +352,7 @@ impl SpidergonTopology {
     /// (We additionally require `n ≡ 0 (mod 4)` when comparing against Quarc,
     /// but the topology itself only needs even `n`.)
     pub fn new(n: usize) -> Self {
-        assert!(n >= 4 && n % 2 == 0, "Spidergon requires even n ≥ 4, got {n}");
+        assert!(n >= 4 && n.is_multiple_of(2), "Spidergon requires even n ≥ 4, got {n}");
         SpidergonTopology { ring: Ring::new(n) }
     }
 
@@ -888,11 +888,7 @@ mod tests {
         let m = MeshTopology::new(4, 4);
         let src = NodeId(0);
         let mut branches = Vec::new();
-        m.multicast_branches_into(
-            src,
-            [src, NodeId(2), NodeId(2), NodeId(9)].into_iter(),
-            &mut branches,
-        );
+        m.multicast_branches_into(src, [src, NodeId(2), NodeId(2), NodeId(9)], &mut branches);
         assert_eq!(branches.iter().map(GridBranch::receivers).sum::<usize>(), 2);
     }
 
@@ -902,7 +898,7 @@ mod tests {
         // node (2,0), which takes its copy on the x run.
         let m = MeshTopology::new(4, 4);
         let mut branches = Vec::new();
-        m.multicast_branches_into(NodeId(0), [NodeId(2), NodeId(14)].into_iter(), &mut branches);
+        m.multicast_branches_into(NodeId(0), [NodeId(2), NodeId(14)], &mut branches);
         assert_eq!(branches.len(), 1);
         assert_eq!(branches[0].dst, NodeId(14));
         // Hops 2 (node 2, bit 1) and 5 (node 14, bit 4).

@@ -421,7 +421,7 @@ mod tests {
         // away: a 2-hop branch, not the mesh's 6-hop one.
         let t = TorusTopology::new(4, 4);
         let mut branches = Vec::new();
-        t.multicast_branches_into(NodeId(0), [NodeId(15)].into_iter(), &mut branches);
+        t.multicast_branches_into(NodeId(0), [NodeId(15)], &mut branches);
         assert_eq!(branches.len(), 1);
         assert_eq!(branches[0].dst, NodeId(15));
         assert_eq!(branches[0].bitstring, 0b10);

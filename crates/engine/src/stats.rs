@@ -95,7 +95,7 @@ impl OnlineStats {
 /// bucket `k` holds values in `[2^(k−1), 2^k)` (bucket 0 holds only zero).
 /// Gives ≤ 2× relative error on percentile queries at constant memory, which
 /// is ample for latency distribution shape checks.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LatencyHistogram {
     buckets: [u64; 65],
     count: u64,
@@ -150,7 +150,10 @@ impl LatencyHistogram {
         for (k, &c) in self.buckets.iter().enumerate() {
             seen += c;
             if seen >= rank {
-                return Some(if k == 0 { 0 } else { (1u64 << k).saturating_sub(1) });
+                // Bucket k covers [2^(k−1), 2^k): upper bound 2^k − 1,
+                // which for the last bucket (k = 64) is u64::MAX — computed
+                // as a right shift because `1u64 << 64` overflows.
+                return Some(if k == 0 { 0 } else { u64::MAX >> (64 - k) });
             }
         }
         Some(u64::MAX)
@@ -163,6 +166,28 @@ impl LatencyHistogram {
         }
         self.count += other.count;
         self.total += other.total;
+    }
+
+    /// The raw per-bucket counts (bucket `k` holds `[2^(k−1), 2^k)`).
+    ///
+    /// Together with [`Self::total`] this is the histogram's entire state,
+    /// which lets callers persist a histogram and rebuild it exactly with
+    /// [`Self::from_parts`] — the campaign result cache stores per-replication
+    /// histograms this way so topped-up merges stay bit-identical.
+    pub fn bucket_counts(&self) -> &[u64; 65] {
+        &self.buckets
+    }
+
+    /// The exact sum of all recorded values.
+    pub fn total(&self) -> u128 {
+        self.total
+    }
+
+    /// Rebuild a histogram from persisted state. The value count is the sum
+    /// of `buckets`, which is the invariant [`Self::record`] maintains.
+    pub fn from_parts(buckets: [u64; 65], total: u128) -> Self {
+        let count = buckets.iter().sum();
+        LatencyHistogram { buckets, count, total }
     }
 }
 
@@ -363,6 +388,19 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.count(), 2);
         assert!((a.mean() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_roundtrips_through_raw_parts() {
+        let mut h = LatencyHistogram::new();
+        for v in [0u64, 1, 7, 7, 1024, u64::MAX] {
+            h.record(v);
+        }
+        let rebuilt = LatencyHistogram::from_parts(*h.bucket_counts(), h.total());
+        assert_eq!(rebuilt, h);
+        assert_eq!(rebuilt.count(), h.count());
+        assert_eq!(rebuilt.percentile(95.0), h.percentile(95.0));
+        assert_eq!(LatencyHistogram::from_parts([0; 65], 0), LatencyHistogram::new());
     }
 
     #[test]

@@ -113,6 +113,8 @@ impl RingRtl {
     }
 
     /// Advance one clock cycle across the whole ring.
+    // Index loops mirror the hardware port numbering across several arrays.
+    #[allow(clippy::needless_range_loop)]
     pub fn step(&mut self) {
         let n = self.num_nodes();
         // Phase 1 (read-only): assemble every switch's inputs from the link

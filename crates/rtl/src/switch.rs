@@ -159,7 +159,7 @@ pub struct QuarcSwitchRtl {
 impl QuarcSwitchRtl {
     /// A switch for `node` of an `n`-node Quarc.
     pub fn new(node: NodeId, n: usize) -> Self {
-        assert!(n >= 4 && n % 4 == 0);
+        assert!(n >= 4 && n.is_multiple_of(4));
         let feeders = NET_OUT
             .iter()
             .map(|&o| {
@@ -229,6 +229,8 @@ impl QuarcSwitchRtl {
     }
 
     /// Advance one clock cycle.
+    // Index loops mirror the hardware port numbering across several arrays.
+    #[allow(clippy::needless_range_loop)]
     pub fn step(&mut self, input: &SwitchStepIn) -> SwitchStepOut {
         // --- combinational phase (start-of-cycle state) ---
 
@@ -351,6 +353,8 @@ impl QuarcSwitchRtl {
 
 #[cfg(test)]
 mod tests {
+    // `cycle` loops are clocks that outlive the frames they index.
+    #![allow(clippy::needless_range_loop)]
     use super::*;
     use crate::xcvr::build_frame;
 

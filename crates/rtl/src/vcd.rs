@@ -61,7 +61,7 @@ impl VcdWriter {
     /// [`Self::tick`].
     pub fn add_signal(&mut self, name: &str, width: u32) -> SignalId {
         assert!(!self.headers_done, "declare signals before the first tick");
-        assert!(width >= 1 && width <= 64);
+        assert!((1..=64).contains(&width));
         let id = SignalId(self.signals.len());
         let ident = ident_for(self.signals.len());
         self.signals.push(Signal { name: name.to_string(), width, ident, last: None });

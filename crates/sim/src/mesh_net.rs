@@ -239,6 +239,9 @@ impl MeshNetwork {
         own_ok && (plan.out == EJECT || self.downstream_free(node, plan.out) > 0)
     }
 
+    // Index loops couple several per-lane arrays; iterator forms obscure
+    // the coupling in this golden-pinned hot path.
+    #[allow(clippy::needless_range_loop)]
     fn gather_net_port(&mut self, node: usize, p: usize) -> Option<PortReq> {
         let vcs = self.cfg.vcs;
         // Fixed-size scratch: runs 4·n times per cycle, must not allocate.
@@ -285,6 +288,9 @@ impl MeshNetwork {
         })
     }
 
+    // Index loops couple several per-lane arrays; iterator forms obscure
+    // the coupling in this golden-pinned hot path.
+    #[allow(clippy::needless_range_loop)]
     fn gather_node(&mut self, node: usize, transfers: &mut Vec<Transfer>) {
         let mut reqs: [Option<PortReq>; 5] = [None; 5];
         for p in 0..4 {

@@ -230,11 +230,8 @@ impl Metrics {
         let measured = track.created_at >= self.measure_from;
 
         // Per-reception sample for collective classes.
-        if measured {
-            match track.class {
-                TrafficClass::Broadcast => self.bcast_reception.push(latency as f64),
-                _ => {}
-            }
+        if measured && track.class == TrafficClass::Broadcast {
+            self.bcast_reception.push(latency as f64)
         }
 
         if track.received == track.expected {

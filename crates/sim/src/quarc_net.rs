@@ -355,6 +355,9 @@ impl QuarcNetwork {
 
     /// Build the request (if any) of network input port `p` at `node`.
     /// Read-only; the VC arbiter pointer is advanced optimistically.
+    // Index loops couple several per-lane arrays; iterator forms obscure
+    // the coupling in this golden-pinned hot path.
+    #[allow(clippy::needless_range_loop)]
     fn gather_net_port(&mut self, node: usize, p: usize) -> Option<PortReq> {
         let vcs = self.cfg.vcs;
         // Collect feasibility per VC lane first (immutably). Fixed-size
@@ -445,6 +448,9 @@ impl QuarcNetwork {
     }
 
     /// Read-only arbitration over one router; appends winning transfers.
+    // Index loops couple several per-lane arrays; iterator forms obscure
+    // the coupling in this golden-pinned hot path.
+    #[allow(clippy::needless_range_loop)]
     fn gather_node(&mut self, node: usize, transfers: &mut Vec<Transfer>) {
         // Phase 1: each input port (VC arbiter) elects at most one request.
         let mut reqs: [Option<PortReq>; 8] = [None; 8];

@@ -246,6 +246,9 @@ impl SpidergonNetwork {
     }
 
     /// Request of network input port `p` at `node`.
+    // Index loops couple several per-lane arrays; iterator forms obscure
+    // the coupling in this golden-pinned hot path.
+    #[allow(clippy::needless_range_loop)]
     fn gather_net_port(&mut self, node: usize, p: usize) -> Option<PortReq> {
         let vcs = self.cfg.vcs;
         // Fixed-size scratch: runs 3·n times per cycle, must not allocate.
@@ -303,6 +306,9 @@ impl SpidergonNetwork {
     }
 
     /// Read-only arbitration over one router.
+    // Index loops couple several per-lane arrays; iterator forms obscure
+    // the coupling in this golden-pinned hot path.
+    #[allow(clippy::needless_range_loop)]
     fn gather_node(&mut self, node: usize, transfers: &mut Vec<Transfer>) {
         // Phase 1: VC arbiter per input port.
         let mut reqs: [Option<PortReq>; 4] = [None; 4];

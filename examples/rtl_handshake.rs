@@ -37,6 +37,8 @@ fn main() {
         "------+------------------------------+-----------------------------------+----------"
     );
 
+    // `cycle` is a clock that outlives the 4-beat frame, not a frame index.
+    #[allow(clippy::needless_range_loop)]
     for cycle in 0..10 {
         let fwd0 = if cycle < 4 {
             LlFwd::beat(frame[cycle], cycle == 0, cycle == 3, 0)
