@@ -18,7 +18,8 @@
 
 use quarc_bench::presets;
 use quarc_campaign::{
-    run_campaign, CampaignOptions, CampaignSpec, CiTarget, Convergence, PointOutcomeKind, RateAxis,
+    run_campaign, CampaignOptions, CampaignSpec, CiTarget, Converged, Convergence,
+    PointOutcomeKind, RateAxis,
 };
 use quarc_core::config::ArbPolicy;
 use quarc_core::topology::TopologyKind;
@@ -35,7 +36,7 @@ USAGE:
 PRESETS (repeatable; `paper` = fig9 + fig10 + fig11):
     --preset NAME             one of: fig9, fig10, fig11, ablation-buffer,
                               ablation-link, ablation-beta, ablation-arb,
-                              frontier, paper
+                              scale, frontier, paper
 
 AXIS FLAGS (build a custom grid; ignored when --preset is given):
     --name NAME               campaign/artifact name        [default: custom]
@@ -378,21 +379,25 @@ fn main() {
         }
         // Convergence summary: how many points proved their CIs tight.
         if spec.convergence.is_some() {
-            let (mut converged, mut capped) = (0usize, 0usize);
+            let (mut converged, mut capped, mut abandoned) = (0usize, 0usize, 0usize);
             for r in &report.results {
                 if let PointOutcomeKind::Rate { merged, .. } = &r.outcome {
-                    if merged.converged {
-                        converged += 1;
-                    } else {
-                        capped += 1;
-                        println!(
-                            "#   NOT CONVERGED {:<36} n={} unicast ci95={:.3}",
-                            r.label, merged.reps, merged.unicast_mean.ci95
-                        );
+                    match merged.converged {
+                        Converged::Yes => converged += 1,
+                        Converged::AbandonedSaturated => abandoned += 1,
+                        Converged::No => {
+                            capped += 1;
+                            println!(
+                                "#   NOT CONVERGED {:<36} n={} unicast ci95={:.3}",
+                                r.label, merged.reps, merged.unicast_mean.ci95
+                            );
+                        }
                     }
                 }
             }
-            println!("#   converged: {converged}, capped: {capped}");
+            println!(
+                "#   converged: {converged}, capped: {capped}, abandoned saturated: {abandoned}"
+            );
         }
         // Per-curve knee summary for quick reading.
         for r in &report.results {

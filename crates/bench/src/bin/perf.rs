@@ -15,13 +15,22 @@
 //!   the timings vary run to run).
 //!
 //! ```text
-//! perf [--quick] [--out PATH] [--validate PATH]
+//! perf [--quick] [--repeat K] [--out PATH] [--validate PATH]
 //! perf --gate NEW BASELINE [--min-ratio R]
 //! ```
 //!
-//! `--quick` runs a reduced grid with fewer cycles (CI smoke); `--validate`
-//! parses an existing artifact and checks its shape instead of running,
-//! exiting non-zero on malformed output.
+//! `--quick` runs a reduced grid with fewer cycles (CI smoke); `--repeat K`
+//! (default 3) measures every grid cell `K` times and keeps the best — the
+//! documented best-of-3 noise discipline for this class of container, built
+//! into the harness instead of the operator; `--validate` parses an existing
+//! artifact and checks its shape instead of running, exiting non-zero on
+//! malformed output.
+//!
+//! The grid spans three load regimes — `trickle` (rate ≪ saturation, where
+//! active-set scheduling keeps per-cycle cost proportional to live traffic),
+//! `low` and `sat` — and two size classes: the classic 16/32/64 plus the
+//! large-n scaling axis (256 and 1024, trickle only: their saturated runs
+//! measure the workload's backlog arithmetic more than the network).
 //!
 //! `--gate` is the CI perf-regression check: compare a freshly measured
 //! artifact (`NEW`, typically a `--quick` run) against a committed baseline
@@ -33,12 +42,14 @@
 //! the baseline, so the gate only catches real collapses while the printed
 //! trajectory makes slow drift visible per push. The headline is matched by
 //! its grid coordinates, so a quick run (headline `quarc_n16_sat`) gates
-//! against the same (topology, n, rate) cell of a full baseline.
+//! against the same (topology, n, rate) cell of a full baseline. Cells
+//! present on only one side (a grid that grew or shrank between artifacts)
+//! are *warnings*, never failures — adding rows must not break the gate.
 
 use quarc_campaign::Json;
 use quarc_core::config::NocConfig;
 use quarc_core::topology::TopologyKind;
-use quarc_sim::build_network;
+use quarc_sim::{build_any, MonoStep, NocSim};
 use quarc_workloads::{Synthetic, SyntheticConfig};
 use std::time::Instant;
 
@@ -58,20 +69,43 @@ struct GridPoint {
 const MSG_LEN: usize = 8;
 const SEED: u64 = 0xBE7C;
 
+/// The four topology families, in grid order.
+const TOPOLOGIES: [TopologyKind; 4] =
+    [TopologyKind::Quarc, TopologyKind::Spidergon, TopologyKind::Mesh, TopologyKind::Torus];
+
+/// The trickle regime: rate ≪ saturation, the regime most of a Fig. 9–11
+/// campaign's grid points live in and where the active-set scheduling win is
+/// largest.
+const TRICKLE: (f64, &str) = (0.002, "trickle");
+
 fn grid(quick: bool) -> Vec<GridPoint> {
     let mut points = Vec::new();
     let sizes: &[usize] = if quick { &[16] } else { &[16, 32, 64] };
     for &n in sizes {
-        for (rate, regime) in [(0.02, "low"), (0.10, "sat")] {
+        let regimes: &[(f64, &'static str)] = if quick {
+            &[(0.02, "low"), (0.10, "sat")]
+        } else {
+            &[TRICKLE, (0.02, "low"), (0.10, "sat")]
+        };
+        for &(rate, regime) in regimes {
             // Every topology family carries the full traffic mix (mesh and
             // torus via the dimension-ordered multicast tree), so the perf
             // grid runs the same β = 5% workload on all four.
-            for topology in [
-                TopologyKind::Quarc,
-                TopologyKind::Spidergon,
-                TopologyKind::Mesh,
-                TopologyKind::Torus,
-            ] {
+            for topology in TOPOLOGIES {
+                points.push(GridPoint { topology, n, rate, beta: 0.05, regime });
+            }
+        }
+    }
+    // The large-n scaling axis: per-cycle cost must track live traffic, not
+    // n, so trickle-load rows at 256 and 1024 nodes are first-class tracked
+    // cells (quick runs carry one as the CI smoke).
+    if quick {
+        let (rate, regime) = TRICKLE;
+        points.push(GridPoint { topology: TopologyKind::Quarc, n: 256, rate, beta: 0.05, regime });
+    } else {
+        for n in [256usize, 1024] {
+            let (rate, regime) = TRICKLE;
+            for topology in TOPOLOGIES {
                 points.push(GridPoint { topology, n, rate, beta: 0.05, regime });
             }
         }
@@ -90,18 +124,21 @@ struct Measured {
     flits_delivered: u64,
 }
 
-fn measure(p: &GridPoint, warmup: u64, cycles: u64) -> Measured {
-    let mut net = build_network(NocConfig { kind: p.topology, n: p.n, ..Default::default() });
+fn measure_once(p: &GridPoint, warmup: u64, cycles: u64) -> Measured {
+    // The monomorphized road: enum dispatch on the network, static dispatch
+    // into Synthetic — the same inner loop `run_point` (and therefore every
+    // campaign) executes.
+    let mut net = build_any(NocConfig { kind: p.topology, n: p.n, ..Default::default() });
     let n = net.num_nodes();
     let mut wl = Synthetic::new(n, SyntheticConfig::paper(p.rate, MSG_LEN, p.beta, SEED));
     for _ in 0..warmup {
-        net.step(&mut wl);
+        net.step_mono(&mut wl);
     }
     let hops0 = net.flit_hops();
     let delivered0 = net.metrics().flits_delivered();
     let t0 = Instant::now();
     for _ in 0..cycles {
-        net.step(&mut wl);
+        net.step_mono(&mut wl);
     }
     let wall_s = t0.elapsed().as_secs_f64().max(1e-9);
     let flit_hops = net.flit_hops() - hops0;
@@ -114,6 +151,20 @@ fn measure(p: &GridPoint, warmup: u64, cycles: u64) -> Measured {
         flit_hops,
         flits_delivered: net.metrics().flits_delivered() - delivered0,
     }
+}
+
+/// Measure `p` `repeat` times and keep the fastest run: wall-clock noise on
+/// a shared container only ever makes a run *slower*, so best-of-K is the
+/// least-biased estimator of the simulator's actual speed.
+fn measure(p: &GridPoint, warmup: u64, cycles: u64, repeat: u32) -> Measured {
+    let mut best = measure_once(p, warmup, cycles);
+    for _ in 1..repeat.max(1) {
+        let m = measure_once(p, warmup, cycles);
+        if m.cycles_per_sec > best.cycles_per_sec {
+            best = m;
+        }
+    }
+    best
 }
 
 fn point_json(p: &GridPoint, m: &Measured) -> Json {
@@ -222,6 +273,10 @@ fn gate(new_text: &str, base_text: &str, min_ratio: f64) -> Result<(String, bool
     ));
     report.push_str("| topology | n | rate | regime | new cycles/s | baseline | ratio |\n");
     report.push_str("|---|---|---|---|---|---|---|\n");
+    // Grids are allowed to differ between artifacts (new sizes/regimes get
+    // added, quick grids are subsets): one-sided cells are warned about
+    // below, and only the headline ratio can fail the gate.
+    let mut unmatched_new = Vec::new();
     for p in new_points {
         let Some(coords) = point_coords(p) else { continue };
         let Some(new_speed) = p.get("cycles_per_sec").and_then(Json::as_f64) else { continue };
@@ -229,26 +284,50 @@ fn gate(new_text: &str, base_text: &str, min_ratio: f64) -> Result<(String, bool
             .iter()
             .find(|b| point_coords(b).as_ref() == Some(&coords))
             .and_then(|b| b.get("cycles_per_sec").and_then(Json::as_f64));
-        let (topo, n, rate, regime, ..) = coords;
+        let (topo, n, rate, regime, ..) = &coords;
         match base_speed {
             Some(b) => report.push_str(&format!(
                 "| {topo} | {n} | {rate} | {regime} | {new_speed:.0} | {b:.0} | {:.2}× |\n",
                 new_speed / b
             )),
-            None => report.push_str(&format!(
-                "| {topo} | {n} | {rate} | {regime} | {new_speed:.0} | — | — |\n"
-            )),
+            None => {
+                report.push_str(&format!(
+                    "| {topo} | {n} | {rate} | {regime} | {new_speed:.0} | — | — |\n"
+                ));
+                unmatched_new.push(format!("{topo}/n{n}/r{rate}/{regime}"));
+            }
         }
+    }
+    let unmatched_base: Vec<String> = base_points
+        .iter()
+        .filter_map(point_coords)
+        .filter(|c| !new_points.iter().any(|p| point_coords(p).as_ref() == Some(c)))
+        .map(|(topo, n, rate, regime, ..)| format!("{topo}/n{n}/r{rate}/{regime}"))
+        .collect();
+    if !unmatched_new.is_empty() {
+        report.push_str(&format!(
+            "\n⚠ {} NEW cell(s) have no baseline (new grid rows?): {}\n",
+            unmatched_new.len(),
+            unmatched_new.join(", ")
+        ));
+    }
+    if !unmatched_base.is_empty() {
+        report.push_str(&format!(
+            "\n⚠ {} BASELINE cell(s) were not measured by NEW (quick grid / removed rows?): {}\n",
+            unmatched_base.len(),
+            unmatched_base.join(", ")
+        ));
     }
     Ok((report, pass))
 }
 
-const USAGE: &str =
-    "usage: perf [--quick] [--out PATH] [--validate PATH] | perf --gate NEW BASELINE [--min-ratio R]";
+const USAGE: &str = "usage: perf [--quick] [--repeat K] [--out PATH] [--validate PATH] | \
+     perf --gate NEW BASELINE [--min-ratio R]";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut quick = false;
+    let mut repeat: u32 = 3;
     let mut out = String::from("BENCH_sim.json");
     let mut validate_path: Option<String> = None;
     let mut gate_paths: Option<(String, String)> = None;
@@ -257,6 +336,14 @@ fn main() {
     while let Some(a) = it.next() {
         match a.as_str() {
             "--quick" => quick = true,
+            "--repeat" => {
+                repeat = it
+                    .next()
+                    .expect("--repeat needs a count")
+                    .parse()
+                    .expect("--repeat must be a positive integer");
+                assert!(repeat >= 1, "--repeat must be at least 1");
+            }
             "--out" => out = it.next().expect("--out needs a path").clone(),
             "--validate" => {
                 validate_path = Some(it.next().expect("--validate needs a path").clone())
@@ -319,10 +406,10 @@ fn main() {
     let points = grid(quick);
     let mut rows = Vec::with_capacity(points.len());
     let mut headline: Option<Json> = None;
-    println!("# perf: {} points, {} measured cycles each", points.len(), cycles);
+    println!("# perf: {} points, {} measured cycles each, best of {repeat}", points.len(), cycles);
     println!("topology,n,rate,regime,cycles_per_sec,mflit_hops_per_sec");
     for p in &points {
-        let m = measure(p, warmup, cycles);
+        let m = measure(p, warmup, cycles, repeat);
         println!(
             "{},{},{:.3},{},{:.0},{:.3}",
             p.topology, p.n, p.rate, p.regime, m.cycles_per_sec, m.mflit_hops_per_sec

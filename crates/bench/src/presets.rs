@@ -124,6 +124,22 @@ pub fn ablation_arb() -> CampaignSpec {
     spec
 }
 
+/// The large-n scaling grid: all four topologies at n ∈ {256, 1024} under
+/// trickle loads (rate ≪ saturation) — the regime where the simulator's
+/// active-set scheduling makes per-cycle cost track live traffic instead of
+/// n, and the network sizes the paper's §2.6 wider-flit variant unlocks.
+pub fn scale() -> CampaignSpec {
+    let mut spec = CampaignSpec::new("scale");
+    spec.topologies = figure_topologies();
+    spec.sizes = vec![256, 1024];
+    spec.msg_lens = vec![8];
+    spec.betas = vec![0.05];
+    spec.rates = RateAxis::Explicit(vec![0.0005, 0.001, 0.002]);
+    spec.replications = 2;
+    spec.base_seed = 41;
+    spec
+}
+
 /// Adaptive saturation frontier across sizes: where each topology's knee
 /// sits, found by bisection instead of a fixed sweep.
 pub fn frontier() -> CampaignSpec {
@@ -148,6 +164,7 @@ pub fn by_name(name: &str) -> Option<CampaignSpec> {
         "ablation-link" => Some(ablation_link()),
         "ablation-beta" => Some(ablation_beta()),
         "ablation-arb" => Some(ablation_arb()),
+        "scale" => Some(scale()),
         "frontier" => Some(frontier()),
         _ => None,
     }
@@ -167,6 +184,7 @@ pub const PRESET_NAMES: &[&str] = &[
     "ablation-link",
     "ablation-beta",
     "ablation-arb",
+    "scale",
     "frontier",
     "paper",
 ];
@@ -210,6 +228,15 @@ mod tests {
         }
         // Ablations stay fixed-replication (single-point operating modes).
         assert_eq!(ablation_arb().convergence, None);
+    }
+
+    #[test]
+    fn scale_preset_covers_the_large_n_axis() {
+        let exp = scale().expand().unwrap();
+        assert_eq!(exp.points.len(), 4 * 2 * 3); // topologies x sizes x rates
+        assert!(exp.skipped.is_empty());
+        let sizes: std::collections::HashSet<_> = exp.points.iter().map(|p| p.curve.n).collect();
+        assert_eq!(sizes, std::collections::HashSet::from([256, 1024]));
     }
 
     #[test]

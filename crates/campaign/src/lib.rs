@@ -60,8 +60,8 @@ pub use cache::ResultCache;
 pub use executor::{default_workers, run_work_stealing, run_work_stealing_tasks, Step};
 pub use json::Json;
 pub use replicate::{
-    decide, extend_series, merge_series, replication_seed, run_replicated, Decision, MeanCi,
-    MergedRun, RepOutcome,
+    decide, extend_series, merge_series, replication_seed, run_replicated, Converged, Decision,
+    MeanCi, MergedRun, RepOutcome,
 };
 pub use result::{PointOutcomeKind, PointResult};
 pub use runner::{

@@ -43,6 +43,64 @@ fn t95(df: u32) -> f64 {
     }
 }
 
+/// The convergence verdict of a reported replication prefix.
+///
+/// Serialised into artifacts as `true` / `false` /
+/// `"abandoned-saturated"`, so pre-existing artifacts (booleans only) keep
+/// parsing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Converged {
+    /// The protocol's CI target was met at the reported prefix (vacuously
+    /// true for fixed-replication protocols).
+    Yes,
+    /// The convergence cap was hit without meeting the target.
+    No,
+    /// The replication budget was abandoned early because the *saturation
+    /// verdict itself* was already stable: every replication of the
+    /// reported prefix saturated, so further replications would only
+    /// re-measure queueing noise past the knee (their latency CIs never
+    /// tighten). The reported prefix is the smallest all-saturated prefix
+    /// of length ≥ `min_reps` — a pure function of the series, so cache
+    /// state, batch size and worker count cannot move it.
+    AbandonedSaturated,
+}
+
+impl Converged {
+    /// Whether the CI target itself was met.
+    pub fn met_target(self) -> bool {
+        self == Converged::Yes
+    }
+
+    /// JSON form (`true` / `false` / `"abandoned-saturated"`).
+    pub fn to_json(self) -> Json {
+        match self {
+            Converged::Yes => Json::Bool(true),
+            Converged::No => Json::Bool(false),
+            Converged::AbandonedSaturated => Json::Str("abandoned-saturated".into()),
+        }
+    }
+
+    /// Parse the JSON form.
+    pub fn from_json(v: &Json) -> Option<Converged> {
+        match v {
+            Json::Bool(true) => Some(Converged::Yes),
+            Json::Bool(false) => Some(Converged::No),
+            Json::Str(s) if s == "abandoned-saturated" => Some(Converged::AbandonedSaturated),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Converged {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Converged::Yes => write!(f, "true"),
+            Converged::No => write!(f, "false"),
+            Converged::AbandonedSaturated => write!(f, "abandoned-saturated"),
+        }
+    }
+}
+
 /// A mean over replications with a 95% confidence half-width.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MeanCi {
@@ -208,8 +266,10 @@ pub struct MergedRun {
     pub saturated: bool,
     /// Whether the replication protocol's CI target was met: the policy's
     /// half-width target for convergent campaigns (achieved half-widths are
-    /// the `ci95` fields), vacuously `true` for fixed-replication ones.
-    pub converged: bool,
+    /// the `ci95` fields), vacuously met for fixed-replication ones — or
+    /// [`Converged::AbandonedSaturated`] when the saturation early-abandon
+    /// rule stopped the point first.
+    pub converged: Converged,
 }
 
 impl MergedRun {
@@ -227,7 +287,7 @@ impl MergedRun {
             ("bcast_samples", Json::UInt(self.bcast_samples)),
             ("saturated_reps", Json::UInt(self.saturated_reps as u64)),
             ("saturated", Json::Bool(self.saturated)),
-            ("converged", Json::Bool(self.converged)),
+            ("converged", self.converged.to_json()),
         ])
     }
 
@@ -251,7 +311,7 @@ impl MergedRun {
             bcast_samples: v.get("bcast_samples")?.as_u64()?,
             saturated_reps: v.get("saturated_reps")?.as_u64()? as u32,
             saturated: v.get("saturated")?.as_bool()?,
-            converged: v.get("converged")?.as_bool()?,
+            converged: Converged::from_json(v.get("converged")?)?,
         })
     }
 }
@@ -304,9 +364,10 @@ pub enum Decision {
     Ready {
         /// The canonical prefix length to merge and report.
         n: u32,
-        /// Whether the protocol's CI target was met at `n` (always `true`
-        /// for fixed protocols; `false` only at a convergence cap).
-        converged: bool,
+        /// The verdict at `n`: target met (always, for fixed protocols),
+        /// capped without converging, or abandoned on a stable saturation
+        /// verdict.
+        converged: Converged,
     },
     /// More replications are needed; grow the series to `upto` and ask
     /// again.
@@ -348,7 +409,7 @@ pub fn decide(policy: &ReplicationPolicy, reps: &[RepOutcome], batch: u32) -> De
     match *policy {
         ReplicationPolicy::Fixed(n) => {
             if have >= n {
-                Decision::Ready { n, converged: true }
+                Decision::Ready { n, converged: Converged::Yes }
             } else {
                 Decision::NeedMore { upto: n }
             }
@@ -360,19 +421,30 @@ pub fn decide(policy: &ReplicationPolicy, reps: &[RepOutcome], batch: u32) -> De
             let scan_to = have.min(max_reps);
             if scan_to >= min_reps {
                 let mut stats = prefix_stats(reps, min_reps as usize - 1);
+                let mut all_saturated = reps[..min_reps as usize - 1].iter().all(|r| r.saturated);
                 for n in min_reps..=scan_to {
                     let rep = &reps[n as usize - 1];
                     stats[0].push(rep.unicast_mean);
                     stats[1].push(rep.bcast_reception_mean);
                     stats[2].push(rep.bcast_completion_mean);
                     stats[3].push(rep.throughput);
+                    all_saturated = all_saturated && rep.saturated;
                     if target_met(&stats, target) {
-                        return Decision::Ready { n, converged: true };
+                        return Decision::Ready { n, converged: Converged::Yes };
+                    }
+                    // Early abandon (ROADMAP): once the saturation verdict
+                    // is unanimous over a full prefix, the point is past the
+                    // knee and its latency CIs will never tighten — stop
+                    // spending replications on it. Prefix-pure: the answer
+                    // is the smallest all-saturated prefix ≥ min_reps,
+                    // independent of how the series got its length.
+                    if all_saturated {
+                        return Decision::Ready { n, converged: Converged::AbandonedSaturated };
                     }
                 }
             }
             if have >= max_reps {
-                Decision::Ready { n: max_reps, converged: false }
+                Decision::Ready { n: max_reps, converged: Converged::No }
             } else {
                 // Grow to min_reps first (the earliest possible checkpoint),
                 // then one batch at a time. Never jumping past an unreached
@@ -389,7 +461,7 @@ pub fn decide(policy: &ReplicationPolicy, reps: &[RepOutcome], batch: u32) -> De
 /// Merge the prefix `0..n` of a replication series into a [`MergedRun`],
 /// folding replications in index order (bit-exact for any series that agrees
 /// on the prefix).
-pub fn merge_series(reps: &[RepOutcome], n: u32, converged: bool) -> MergedRun {
+pub fn merge_series(reps: &[RepOutcome], n: u32, converged: Converged) -> MergedRun {
     assert!(n >= 1 && (n as usize) <= reps.len());
     let mut unicast = OnlineStats::new();
     let mut reception = OnlineStats::new();
@@ -439,7 +511,7 @@ pub fn run_replicated(
     assert!(reps >= 1);
     let mut series = Vec::with_capacity(reps as usize);
     extend_series(&mut series, template, run_spec, base_seed, point_stream, reps);
-    merge_series(&series, reps, true)
+    merge_series(&series, reps, Converged::Yes)
 }
 
 #[cfg(test)]
@@ -474,7 +546,7 @@ mod tests {
         assert!(merged.unicast_samples > 100);
         assert!(merged.unicast_p95.is_some());
         assert!(!merged.saturated);
-        assert!(merged.converged);
+        assert_eq!(merged.converged, Converged::Yes);
     }
 
     #[test]
@@ -533,7 +605,7 @@ mod tests {
         extend_series(&mut series, &template(), &quick(), 7, 11, 5);
         for n in 1..=5u32 {
             let direct = run_replicated(&template(), &quick(), 7, 11, n);
-            assert_eq!(merge_series(&series, n, true), direct, "prefix {n}");
+            assert_eq!(merge_series(&series, n, Converged::Yes), direct, "prefix {n}");
         }
     }
 
@@ -558,7 +630,10 @@ mod tests {
         let series = vec![constant_rep(10.0, 0.1); 8];
         // An over-long series (cached by a larger campaign) reports the
         // requested prefix, not everything available.
-        assert_eq!(decide(&policy, &series, 4), Decision::Ready { n: 5, converged: true });
+        assert_eq!(
+            decide(&policy, &series, 4),
+            Decision::Ready { n: 5, converged: Converged::Yes }
+        );
     }
 
     #[test]
@@ -571,7 +646,7 @@ mod tests {
             let series = vec![constant_rep(20.0, 0.1); len];
             assert_eq!(
                 decide(&policy, &series, 4),
-                Decision::Ready { n: 2, converged: true },
+                Decision::Ready { n: 2, converged: Converged::Yes },
                 "series length {len}"
             );
         }
@@ -590,9 +665,78 @@ mod tests {
             [10.0, 30.0, 12.0, 28.0, 11.0].iter().map(|&l| constant_rep(l, 0.1)).collect();
         // At (or beyond) the cap with no satisfying prefix: report the cap,
         // unconverged — and ignore replications past it.
-        assert_eq!(decide(&policy, &noisy[..4], 4), Decision::Ready { n: 4, converged: false });
-        assert_eq!(decide(&policy, &noisy, 4), Decision::Ready { n: 4, converged: false });
+        assert_eq!(
+            decide(&policy, &noisy[..4], 4),
+            Decision::Ready { n: 4, converged: Converged::No }
+        );
+        assert_eq!(decide(&policy, &noisy, 4), Decision::Ready { n: 4, converged: Converged::No });
         assert_eq!(decide(&policy, &noisy[..2], 1), Decision::NeedMore { upto: 3 });
+    }
+
+    fn saturated_rep(latency: f64) -> RepOutcome {
+        RepOutcome { saturated: true, ..constant_rep(latency, 0.01) }
+    }
+
+    #[test]
+    fn decide_abandons_stable_saturation_verdicts_early() {
+        // Saturated replications never tighten their latency CIs; once the
+        // verdict is unanimous over a min_reps-long prefix, the point stops
+        // burning budget and says why.
+        let policy =
+            ReplicationPolicy::Converge { min_reps: 2, target: CiTarget::Rel(0.01), max_reps: 32 };
+        let noisy_sat: Vec<RepOutcome> =
+            [900.0, 2500.0, 1700.0].iter().map(|&l| saturated_rep(l)).collect();
+        assert_eq!(
+            decide(&policy, &noisy_sat[..2], 4),
+            Decision::Ready { n: 2, converged: Converged::AbandonedSaturated }
+        );
+        // Prefix-pure: a longer cached series reports the same prefix.
+        assert_eq!(
+            decide(&policy, &noisy_sat, 4),
+            Decision::Ready { n: 2, converged: Converged::AbandonedSaturated }
+        );
+    }
+
+    #[test]
+    fn decide_does_not_abandon_mixed_verdicts() {
+        // A borderline point (some replications saturate, some do not) keeps
+        // the full convergence machinery: the verdict itself is unstable, so
+        // the budget is exactly where it should be spent.
+        let policy =
+            ReplicationPolicy::Converge { min_reps: 2, target: CiTarget::Rel(0.001), max_reps: 4 };
+        let mixed = vec![
+            constant_rep(100.0, 0.05),
+            saturated_rep(2500.0),
+            saturated_rep(2100.0),
+            saturated_rep(2300.0),
+        ];
+        // Replication 0 is unsaturated, so no prefix is ever unanimous and
+        // the point runs to the cap like before.
+        assert_eq!(decide(&policy, &mixed, 4), Decision::Ready { n: 4, converged: Converged::No });
+    }
+
+    #[test]
+    fn ci_convergence_outranks_abandonment_at_the_same_prefix() {
+        // Identical saturated replications meet any relative target with
+        // zero variance; the CI verdict is checked first, so such a series
+        // reports `converged: true`, not an abandonment.
+        let policy =
+            ReplicationPolicy::Converge { min_reps: 2, target: CiTarget::Rel(0.05), max_reps: 8 };
+        let series = vec![saturated_rep(2000.0); 2];
+        assert_eq!(
+            decide(&policy, &series, 4),
+            Decision::Ready { n: 2, converged: Converged::Yes }
+        );
+    }
+
+    #[test]
+    fn converged_json_roundtrips_and_accepts_legacy_booleans() {
+        for c in [Converged::Yes, Converged::No, Converged::AbandonedSaturated] {
+            assert_eq!(Converged::from_json(&c.to_json()), Some(c));
+        }
+        assert_eq!(Converged::from_json(&Json::Bool(true)), Some(Converged::Yes));
+        assert_eq!(Converged::from_json(&Json::Str("nonsense".into())), None);
+        assert_eq!(Converged::AbandonedSaturated.to_string(), "abandoned-saturated");
     }
 
     #[test]
@@ -614,7 +758,10 @@ mod tests {
                 ReplicationPolicy::Converge { min_reps, target: CiTarget::Rel(0.5), max_reps: 8 };
             assert_eq!(decide(&policy, &[], 4), Decision::NeedMore { upto: 2 });
             let series = vec![constant_rep(20.0, 0.1); 3];
-            assert_eq!(decide(&policy, &series, 4), Decision::Ready { n: 2, converged: true });
+            assert_eq!(
+                decide(&policy, &series, 4),
+                Decision::Ready { n: 2, converged: Converged::Yes }
+            );
         }
     }
 

@@ -178,7 +178,7 @@ impl PointResult {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::replicate::MeanCi;
+    use crate::replicate::{Converged, MeanCi};
 
     fn merged() -> MergedRun {
         MergedRun {
@@ -193,7 +193,7 @@ mod tests {
             bcast_samples: 56,
             saturated_reps: 0,
             saturated: false,
-            converged: true,
+            converged: Converged::Yes,
         }
     }
 

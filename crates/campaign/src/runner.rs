@@ -5,7 +5,7 @@ use crate::artifact;
 use crate::cache::ResultCache;
 use crate::executor::{default_workers, run_work_stealing_tasks, Step};
 use crate::replicate::{
-    decide, extend_series, merge_series, replication_seed, Decision, RepOutcome,
+    decide, extend_series, merge_series, replication_seed, Converged, Decision, RepOutcome,
 };
 use crate::result::{PointOutcomeKind, PointResult};
 use crate::saturation::find_saturation;
@@ -357,7 +357,11 @@ pub fn run_campaign(
                             format!(
                                 " n={}{}",
                                 merged.reps,
-                                if merged.converged { "" } else { " !conv" }
+                                match merged.converged {
+                                    Converged::Yes => "",
+                                    Converged::No => " !conv",
+                                    Converged::AbandonedSaturated => " sat-abandoned",
+                                }
                             )
                         }
                         PointOutcomeKind::Saturation(_) => String::new(),
@@ -432,7 +436,11 @@ mod tests {
                 PointOutcomeKind::Rate { merged, .. } => {
                     assert_eq!(merged.reps, 2);
                     assert!(merged.unicast_mean.mean > 0.0);
-                    assert!(merged.converged, "fixed protocols are vacuously converged");
+                    assert_eq!(
+                        merged.converged,
+                        Converged::Yes,
+                        "fixed protocols are vacuously converged"
+                    );
                 }
                 other => panic!("unexpected outcome {other:?}"),
             }
@@ -537,7 +545,7 @@ mod tests {
             match &r.outcome {
                 PointOutcomeKind::Rate { merged, .. } => {
                     assert!(merged.reps >= 2 && merged.reps <= 12);
-                    if merged.converged {
+                    if merged.converged == Converged::Yes {
                         for m in [
                             &merged.unicast_mean,
                             &merged.bcast_reception_mean,
@@ -546,8 +554,13 @@ mod tests {
                         ] {
                             assert!(m.meets(CiTarget::Rel(0.25)), "{:?} too wide in {r:?}", m);
                         }
-                    } else {
+                    } else if merged.converged == Converged::No {
                         assert_eq!(merged.reps, 12, "unconverged points stop at the cap");
+                    } else {
+                        assert!(
+                            merged.saturated,
+                            "early abandon only ever fires on saturated points"
+                        );
                     }
                 }
                 other => panic!("unexpected outcome {other:?}"),

@@ -5,7 +5,8 @@
 //! campaign needs more replications than an earlier one stored.
 
 use quarc_campaign::{
-    run_campaign, CampaignOptions, CampaignSpec, CiTarget, Convergence, PointOutcomeKind, RateAxis,
+    run_campaign, CampaignOptions, CampaignSpec, CiTarget, Converged, Convergence,
+    PointOutcomeKind, RateAxis,
 };
 use quarc_core::topology::TopologyKind;
 use quarc_sim::RunSpec;
@@ -72,9 +73,11 @@ fn convergent_points_report_reached_targets_and_replication_counts() {
         assert!(merged.reps >= 2, "convergence needs a variance estimate");
         assert!(merged.reps <= 24, "the cap is a hard ceiling");
         assert!(
-            merged.converged,
+            merged.converged.met_target(),
             "comfortably unsaturated point failed to converge: {} n={} unicast ci95={}",
-            r.label, merged.reps, merged.unicast_mean.ci95
+            r.label,
+            merged.reps,
+            merged.unicast_mean.ci95
         );
         for m in [
             &merged.unicast_mean,
@@ -171,7 +174,7 @@ fn unconverged_points_stop_at_the_cap_and_say_so() {
     for r in &a.results {
         let PointOutcomeKind::Rate { merged, .. } = &r.outcome else { unreachable!() };
         assert_eq!(merged.reps, 6);
-        assert!(!merged.converged);
+        assert_eq!(merged.converged, Converged::No);
     }
     let b = run_campaign(
         &spec,

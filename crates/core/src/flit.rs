@@ -172,8 +172,12 @@ pub struct PacketMeta {
     pub src: NodeId,
     /// Destination: for collectives, the *last* node of the branch (wire field).
     pub dst: NodeId,
-    /// Multicast bitstring / chain remaining-count (wire field).
-    pub bitstring: u16,
+    /// Multicast bitstring / chain remaining-count (wire field). 128 bits so
+    /// multicast branch paths may span up to 128 hops — wide enough for every
+    /// simulable grid (64×64) and for Quarc quadrants up to n = 512; the
+    /// 34-bit wire format truncates to its 16-bit field, which the RTL model
+    /// (n ≤ 64, spans ≤ 16) never exceeds.
+    pub bitstring: u128,
     /// Rim direction for chain packets (wire field, 1 bit).
     pub dir: RingDir,
     /// Number of flits in this packet (header + bodies + tail).
@@ -368,13 +372,17 @@ pub mod wire {
         match kind {
             FlitKind::Header => {
                 debug_assert!(meta.src.index() < MAX_NODES && meta.dst.index() < MAX_NODES);
+                debug_assert!(
+                    meta.bitstring <= u16::MAX as u128,
+                    "wire headers carry 16-bit bitstrings (n ≤ 64 networks never exceed them)"
+                );
                 let dir_bit = match meta.dir {
                     RingDir::Cw => 0u64,
                     RingDir::Ccw => 1u64,
                 };
                 (meta.class.wire_bits() << 31)
                     | (dir_bit << 30)
-                    | ((meta.bitstring as u64) << 14)
+                    | ((meta.bitstring as u16 as u64) << 14)
                     | ((meta.src.index() as u64) << 8)
                     | ((meta.dst.index() as u64) << 2)
                     | FlitKind::Header.wire_bits()
@@ -412,7 +420,7 @@ mod tests {
     use super::wire::*;
     use super::*;
 
-    fn meta(class: TrafficClass, src: u16, dst: u16, bitstring: u16, dir: RingDir) -> PacketMeta {
+    fn meta(class: TrafficClass, src: u16, dst: u16, bitstring: u128, dir: RingDir) -> PacketMeta {
         PacketMeta {
             message: MessageId(1),
             packet: PacketId(2),

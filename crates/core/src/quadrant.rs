@@ -163,7 +163,7 @@ pub struct Branch {
     pub deliveries: Vec<NodeId>,
     /// Header bitstring (bit `i` ⇒ the node reached after `i + 1` hops takes a
     /// copy). Zero for broadcast, which needs no bitstring.
-    pub bitstring: u16,
+    pub bitstring: u128,
     /// Total hops the stream travels (to `dst`).
     pub hops: usize,
 }
@@ -274,7 +274,11 @@ pub fn unicast_path_via(ring: &Ring, src: NodeId, quad: Quadrant, dst: NodeId) -
 /// where every node is a target (see `multicast_covers_broadcast` test).
 pub fn multicast_branches(ring: &Ring, src: NodeId, targets: &[NodeId]) -> Vec<Branch> {
     assert!(ring.len().is_multiple_of(4), "Quarc requires n ≡ 0 (mod 4)");
-    assert!(ring.quarter() <= 16, "bitstring field is 16 bits; n ≤ 64 (paper §2.6)");
+    assert!(
+        ring.quarter() <= 128,
+        "multicast bitstrings span 128 hops; explicit target sets need n ≤ 512 \
+         (broadcast carries no bitstring and scales to the full sim cap)"
+    );
     let mut by_quadrant: [Vec<NodeId>; 4] = Default::default();
     for &t in targets {
         if t != src {
@@ -292,7 +296,7 @@ pub fn multicast_branches(ring: &Ring, src: NodeId, targets: &[NodeId]) -> Vec<B
         let dst =
             *quad_targets.iter().max_by_key(|&&t| unicast_hops(ring, src, t)).expect("non-empty");
         let walk = unicast_path_via(ring, src, quad, dst);
-        let mut bitstring = 0u16;
+        let mut bitstring = 0u128;
         let mut deliveries = Vec::with_capacity(quad_targets.len());
         for (i, node) in walk.iter().enumerate() {
             if quad_targets.contains(node) {

@@ -291,7 +291,7 @@ pub fn chain_continuations(ring: &Ring, node: NodeId, meta: &PacketMeta) -> Chai
                 class: TrafficClass::ChainRim,
                 dst: ring.step(node, meta.dir),
                 dir: meta.dir,
-                remaining: meta.bitstring - 1,
+                remaining: (meta.bitstring - 1) as u16,
             });
         }
         TrafficClass::ChainCross if meta.bitstring > 0 => {
@@ -299,13 +299,13 @@ pub fn chain_continuations(ring: &Ring, node: NodeId, meta: &PacketMeta) -> Chai
                 class: TrafficClass::ChainRim,
                 dst: ring.cw(node),
                 dir: RingDir::Cw,
-                remaining: meta.bitstring - 1,
+                remaining: (meta.bitstring - 1) as u16,
             });
             seeds.push(ChainSeed {
                 class: TrafficClass::ChainRim,
                 dst: ring.ccw(node),
                 dir: RingDir::Ccw,
-                remaining: meta.bitstring - 1,
+                remaining: (meta.bitstring - 1) as u16,
             });
         }
         _ => {}
@@ -319,7 +319,7 @@ mod tests {
     use crate::ids::{MessageId, PacketId};
     use std::collections::HashSet;
 
-    fn meta(class: TrafficClass, src: u16, dst: u16, bitstring: u16, dir: RingDir) -> PacketMeta {
+    fn meta(class: TrafficClass, src: u16, dst: u16, bitstring: u128, dir: RingDir) -> PacketMeta {
         PacketMeta {
             message: MessageId(0),
             packet: PacketId(0),
@@ -511,7 +511,7 @@ mod tests {
             while let Some(seed) = queue.pop() {
                 total_hops += spidergon_hops(&ring, seed_prev(&ring, &seed), seed.dst).max(1);
                 assert!(covered.insert(seed.dst), "n={n}: {} covered twice", seed.dst);
-                let m = meta(seed.class, src.0, seed.dst.0, seed.remaining, seed.dir);
+                let m = meta(seed.class, src.0, seed.dst.0, seed.remaining as u128, seed.dir);
                 queue.extend(chain_continuations(&ring, seed.dst, &m));
             }
             assert_eq!(covered.len(), n - 1, "n={n}");

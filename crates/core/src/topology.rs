@@ -571,8 +571,8 @@ impl MeshTopology {
     ) {
         out.clear();
         assert!(
-            self.cols <= GRID_MC_MAX_SIDE && self.diameter() <= 16,
-            "multicast bitstrings are 16 bits; the path may not exceed 16 hops (n ≤ 64)"
+            self.cols <= GRID_MC_MAX_SIDE && self.diameter() <= 128,
+            "multicast bitstrings span 128 hops; the path may not exceed them (n ≤ 4096)"
         );
         let (sx, sy) = self.coords(src);
         let mut acc = [[None::<GridBranchAcc>; 2]; GRID_MC_MAX_SIDE];
@@ -598,16 +598,16 @@ impl MeshTopology {
 }
 
 /// Upper bound on mesh/torus side length in the multicast planner's scratch
-/// (16-bit bitstrings cap paths at 16 hops anyway). Shared with the torus
-/// planner in [`crate::torus`].
-pub(crate) const GRID_MC_MAX_SIDE: usize = 16;
+/// (128-bit bitstrings cap paths at 128 hops, i.e. a 64×64 grid). Shared with
+/// the torus planner in [`crate::torus`].
+pub(crate) const GRID_MC_MAX_SIDE: usize = 64;
 
 /// Per-`(column, y-direction)` accumulator of the grid multicast planners
 /// (mesh here, torus in [`crate::torus`] — same algorithm, different wrap
 /// arithmetic).
 #[derive(Debug, Clone, Copy, Default)]
 pub(crate) struct GridBranchAcc {
-    pub(crate) bits: u16,
+    pub(crate) bits: u128,
     pub(crate) max_dy: usize,
 }
 
@@ -629,7 +629,7 @@ pub struct GridBranch {
     pub dst: NodeId,
     /// Bit `i` ⇒ the node reached after `i + 1` hops takes a copy. The
     /// terminal `dst` bit is always set.
-    pub bitstring: u16,
+    pub bitstring: u128,
 }
 
 impl GridBranch {

@@ -247,8 +247,8 @@ impl TorusTopology {
     ) {
         out.clear();
         assert!(
-            self.cols <= GRID_MC_MAX_SIDE && self.diameter() <= 16,
-            "multicast bitstrings are 16 bits; the path may not exceed 16 hops (n ≤ 64)"
+            self.cols <= GRID_MC_MAX_SIDE && self.diameter() <= 128,
+            "multicast bitstrings span 128 hops; the path may not exceed them (n ≤ 4096)"
         );
         let (sx, sy) = self.coords(src);
         let mut acc = [[None::<GridBranchAcc>; 2]; GRID_MC_MAX_SIDE];

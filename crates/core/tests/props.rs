@@ -45,7 +45,7 @@ proptest! {
             class,
             src: NodeId(src),
             dst: NodeId(dst),
-            bitstring,
+            bitstring: bitstring.into(),
             dir,
             len: 2,
             created_at: 0,
@@ -173,7 +173,7 @@ proptest! {
                 class: seed.class,
                 src,
                 dst: seed.dst,
-                bitstring: seed.remaining,
+                bitstring: seed.remaining.into(),
                 dir: seed.dir,
                 len: 2,
                 created_at: 0,

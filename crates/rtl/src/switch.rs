@@ -94,7 +94,7 @@ fn route_word(ring: &Ring, node: NodeId, port: usize, word: u64) -> OutSel {
         class,
         src,
         dst,
-        bitstring,
+        bitstring: bitstring as u128,
         dir,
         len: 2,
         created_at: 0,
@@ -131,7 +131,7 @@ pub fn advance_header_word(word: u64) -> u64 {
                 class: TrafficClass::Multicast,
                 src,
                 dst,
-                bitstring: bitstring >> 1,
+                bitstring: (bitstring >> 1) as u128,
                 dir,
                 len: 2,
                 created_at: 0,

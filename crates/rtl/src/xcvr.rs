@@ -31,7 +31,7 @@ pub fn build_frame(
         class,
         src,
         dst,
-        bitstring,
+        bitstring: bitstring as u128,
         dir: RingDir::Cw,
         len: len as u32,
         created_at: 0,
@@ -75,7 +75,17 @@ pub fn multicast_frames(
     multicast_branches(ring, src, targets)
         .into_iter()
         .map(|b| {
-            (b.quadrant.index(), build_frame(TrafficClass::Multicast, src, b.dst, b.bitstring, len))
+            (
+                b.quadrant.index(),
+                build_frame(
+                    TrafficClass::Multicast,
+                    src,
+                    b.dst,
+                    u16::try_from(b.bitstring)
+                        .expect("RTL networks are n <= 64: spans fit 16 bits"),
+                    len,
+                ),
+            )
         })
         .collect()
 }

@@ -35,20 +35,62 @@ impl RoundRobin {
     /// the pointer past the winner (round-robin) or keeping it at zero
     /// (fixed priority). Returns `None` when nothing is eligible (the
     /// pointer does not move).
-    pub fn pick(&mut self, len: usize, mut eligible: impl FnMut(usize) -> bool) -> Option<usize> {
-        if len == 0 {
-            return None;
-        }
-        for i in 0..len {
-            let k = (self.next as usize + i) % len;
-            if eligible(k) {
-                if self.policy == ArbPolicy::RoundRobin {
-                    self.next = ((k + 1) % len) as u8;
-                }
-                return Some(k);
+    pub fn pick(&mut self, len: usize, eligible: impl FnMut(usize) -> bool) -> Option<usize> {
+        pick_from(&mut self.next, self.policy, len, eligible)
+    }
+}
+
+/// The shared grant rule of [`RoundRobin`] and [`RoundRobinBank`].
+#[inline]
+fn pick_from(
+    next: &mut u8,
+    policy: ArbPolicy,
+    len: usize,
+    mut eligible: impl FnMut(usize) -> bool,
+) -> Option<usize> {
+    if len == 0 {
+        return None;
+    }
+    for i in 0..len {
+        let k = (*next as usize + i) % len;
+        if eligible(k) {
+            if policy == ArbPolicy::RoundRobin {
+                *next = ((k + 1) % len) as u8;
             }
+            return Some(k);
         }
-        None
+    }
+    None
+}
+
+/// Every arbiter pointer of one network in a single contiguous slab — the
+/// structure-of-arrays twin of a per-node `[RoundRobin; ports]` field.
+///
+/// The arbitration pass walks the pointers of every *active* router every
+/// cycle; keeping them in one `Box<[u8]>` (indexed `node * ports + port` by
+/// the owning network) removes the per-node struct padding and keeps the
+/// whole bank cache-resident at any network size.
+#[derive(Debug, Clone)]
+pub struct RoundRobinBank {
+    next: Box<[u8]>,
+    policy: ArbPolicy,
+}
+
+impl RoundRobinBank {
+    /// A bank of `count` arbiters under one policy, all starting at 0.
+    pub fn new(count: usize, policy: ArbPolicy) -> Self {
+        RoundRobinBank { next: vec![0; count].into_boxed_slice(), policy }
+    }
+
+    /// [`RoundRobin::pick`] on the arbiter at `idx`.
+    #[inline(always)]
+    pub fn pick(
+        &mut self,
+        idx: usize,
+        len: usize,
+        eligible: impl FnMut(usize) -> bool,
+    ) -> Option<usize> {
+        pick_from(&mut self.next[idx], self.policy, len, eligible)
     }
 }
 
@@ -87,6 +129,21 @@ mod tests {
             counts[rr.pick(2, |_| true).unwrap()] += 1;
         }
         assert_eq!(counts, [50, 50]);
+    }
+
+    #[test]
+    fn bank_pointers_are_independent_and_match_scalar() {
+        // The bank must behave exactly like an array of scalar arbiters.
+        let mut bank = RoundRobinBank::new(3, ArbPolicy::RoundRobin);
+        let mut scalars = [RoundRobin::new(), RoundRobin::new(), RoundRobin::new()];
+        for round in 0..20usize {
+            for (idx, scalar) in scalars.iter_mut().enumerate() {
+                let mask = (round + idx) % 7;
+                let got = bank.pick(idx, 4, |k| (mask >> (k % 3)) & 1 == 1);
+                let want = scalar.pick(4, |k| (mask >> (k % 3)) & 1 == 1);
+                assert_eq!(got, want, "round {round} idx {idx}");
+            }
+        }
     }
 
     #[test]

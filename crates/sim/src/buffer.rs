@@ -13,14 +13,25 @@
 
 use quarc_core::flit::{Flit, FlitKind, PacketRef};
 
-/// The input VC lanes of one router: bounded flit FIFOs in one contiguous
-/// block, indexed by a dense lane id (the networks use `port * vcs + vc`).
+/// The input VC lanes of a whole network: bounded flit FIFOs in one
+/// contiguous block, indexed by a dense lane id (the networks use
+/// `(node * ports + port) * vcs + vc`).
+///
+/// The head flit of every lane is mirrored into a dense `heads` slab: the
+/// arbitration pass inspects the head of every lane of every *active* router
+/// every cycle, and the mirror turns that inspection into sequential reads
+/// of per-node-contiguous memory instead of chasing each lane's ring
+/// position. Push/pop pay one extra 16-byte copy to maintain it — they run
+/// once per flit movement, while `front` runs once per lane per arbitration
+/// pass.
 #[derive(Debug, Clone)]
 pub struct LaneBufs {
     /// Ring storage, `depth` slots per lane.
     flits: Box<[Flit]>,
     /// `(head, len)` per lane.
     state: Box<[(u16, u16)]>,
+    /// Mirror of each lane's head flit (valid iff the lane is non-empty).
+    heads: Box<[Flit]>,
     depth: usize,
 }
 
@@ -32,6 +43,7 @@ impl LaneBufs {
         LaneBufs {
             flits: vec![empty; lanes * depth].into_boxed_slice(),
             state: vec![(0u16, 0u16); lanes].into_boxed_slice(),
+            heads: vec![empty; lanes].into_boxed_slice(),
             depth,
         }
     }
@@ -45,14 +57,17 @@ impl LaneBufs {
         assert!((len as usize) < self.depth, "VC buffer overflow: credit accounting broken");
         let slot = lane * self.depth + (head as usize + len as usize) % self.depth;
         self.flits[slot] = flit;
+        if len == 0 {
+            self.heads[lane] = flit;
+        }
         self.state[lane].1 = len + 1;
     }
 
     /// The flit at the head of `lane`, if any.
     #[inline]
     pub fn front(&self, lane: usize) -> Option<&Flit> {
-        let (head, len) = self.state[lane];
-        (len > 0).then(|| &self.flits[lane * self.depth + head as usize])
+        let (_, len) = self.state[lane];
+        (len > 0).then(|| &self.heads[lane])
     }
 
     /// Remove and return the head flit of `lane`.
@@ -62,8 +77,12 @@ impl LaneBufs {
         if len == 0 {
             return None;
         }
-        let flit = self.flits[lane * self.depth + head as usize];
-        self.state[lane] = (((head as usize + 1) % self.depth) as u16, len - 1);
+        let flit = self.heads[lane];
+        let next = (head as usize + 1) % self.depth;
+        self.state[lane] = (next as u16, len - 1);
+        if len > 1 {
+            self.heads[lane] = self.flits[lane * self.depth + next];
+        }
         Some(flit)
     }
 

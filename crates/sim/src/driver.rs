@@ -1,8 +1,19 @@
 //! The simulation driver: warmup, measurement, drain and saturation
 //! detection — the protocol behind every latency-vs-load point in the
 //! paper's Figs. 9–11.
+//!
+//! The run protocol is written once, generically, over [`MonoStep`]: called
+//! through [`run_mono`] with an [`AnyNet`] and a concrete workload it
+//! monomorphizes into a fully static inner loop (enum dispatch per cycle, no
+//! virtual calls anywhere on the hot path — `run_point` and the perf harness
+//! take this road); called through [`run`] it degrades gracefully to the old
+//! object-safe facade for callers that only hold `&mut dyn NocSim`.
 
+use crate::mesh_net::MeshNetwork;
 use crate::metrics::Metrics;
+use crate::quarc_net::QuarcNetwork;
+use crate::spider_net::SpidergonNetwork;
+use crate::torus_net::TorusNetwork;
 use quarc_core::flit::TrafficClass;
 use quarc_core::topology::TopologyKind;
 use quarc_engine::Cycle;
@@ -12,6 +23,14 @@ use quarc_workloads::Workload;
 pub trait NocSim {
     /// Advance one cycle, polling `workload` for new messages.
     fn step(&mut self, workload: &mut dyn Workload);
+    /// Tell the network the workload object passed to `step` is about to be
+    /// replaced by a *different* one. The networks schedule polls from
+    /// [`Workload::next_due`] answers, so a swap to a workload with earlier
+    /// due cycles must reset that schedule (every node is re-polled on the
+    /// next step). Swapping to a workload that never produces anything — the
+    /// drain-phase silence — is safe without this call, but [`run`] calls it
+    /// anyway.
+    fn note_workload_change(&mut self);
     /// Current cycle.
     fn now(&self) -> Cycle;
     /// Node count.
@@ -136,34 +155,206 @@ impl Workload for Silence {
         _out: &mut Vec<quarc_workloads::MessageRequest>,
     ) {
     }
+
+    fn next_due(&self, _node: quarc_core::ids::NodeId, _now: Cycle) -> Cycle {
+        Cycle::MAX
+    }
 }
 
-/// Run the warmup/measure/drain protocol and summarise.
-///
-/// Injection runs for `warmup + measure` cycles; only messages created inside
-/// the measurement window contribute latency samples. After measurement the
-/// workload is silenced and the network drains (bounded by `spec.drain`) so
-/// in-flight measured messages still complete. A saturated network will not
-/// drain — the partial statistics plus the `saturated` flag are returned.
-pub fn run(net: &mut dyn NocSim, workload: &mut dyn Workload, spec: &RunSpec) -> RunResult {
+/// The monomorphized stepping interface: a generic twin of [`NocSim::step`]
+/// that lets the run protocol inline the per-cycle loop for a concrete
+/// `(network, workload)` pair instead of paying two virtual dispatches per
+/// cycle (plus one per poll) through `dyn`.
+pub trait MonoStep: NocSim {
+    /// Advance one cycle, polling `workload` for new messages.
+    fn step_mono<W: Workload + ?Sized>(&mut self, workload: &mut W);
+}
+
+impl MonoStep for QuarcNetwork {
+    fn step_mono<W: Workload + ?Sized>(&mut self, workload: &mut W) {
+        self.step_cycle(workload);
+    }
+}
+
+impl MonoStep for SpidergonNetwork {
+    fn step_mono<W: Workload + ?Sized>(&mut self, workload: &mut W) {
+        self.step_cycle(workload);
+    }
+}
+
+impl MonoStep for MeshNetwork {
+    fn step_mono<W: Workload + ?Sized>(&mut self, workload: &mut W) {
+        self.step_cycle(workload);
+    }
+}
+
+impl MonoStep for TorusNetwork {
+    fn step_mono<W: Workload + ?Sized>(&mut self, workload: &mut W) {
+        self.step_cycle(workload);
+    }
+}
+
+/// The four concrete network simulators behind one enum, so the run loop
+/// dispatches with a predictable match instead of a vtable. The `dyn` facade
+/// ([`crate::build_network`], [`run`]) stays at the API boundary for callers
+/// that want type erasure.
+#[derive(Debug)]
+pub enum AnyNet {
+    /// The paper's contribution.
+    Quarc(QuarcNetwork),
+    /// The one-port baseline.
+    Spidergon(SpidergonNetwork),
+    /// The §4 mesh comparison grid.
+    Mesh(MeshNetwork),
+    /// The §4 torus comparison grid.
+    Torus(TorusNetwork),
+}
+
+macro_rules! for_each_net {
+    ($self:ident, $n:ident => $e:expr) => {
+        match $self {
+            AnyNet::Quarc($n) => $e,
+            AnyNet::Spidergon($n) => $e,
+            AnyNet::Mesh($n) => $e,
+            AnyNet::Torus($n) => $e,
+        }
+    };
+}
+
+impl MonoStep for AnyNet {
+    #[inline]
+    fn step_mono<W: Workload + ?Sized>(&mut self, workload: &mut W) {
+        for_each_net!(self, n => n.step_cycle(workload))
+    }
+}
+
+impl NocSim for AnyNet {
+    fn step(&mut self, workload: &mut dyn Workload) {
+        for_each_net!(self, n => n.step_cycle(workload))
+    }
+
+    fn note_workload_change(&mut self) {
+        for_each_net!(self, n => n.note_workload_change())
+    }
+
+    fn now(&self) -> Cycle {
+        for_each_net!(self, n => NocSim::now(n))
+    }
+
+    fn num_nodes(&self) -> usize {
+        for_each_net!(self, n => NocSim::num_nodes(n))
+    }
+
+    fn kind(&self) -> TopologyKind {
+        for_each_net!(self, n => NocSim::kind(n))
+    }
+
+    fn metrics(&self) -> &Metrics {
+        for_each_net!(self, n => NocSim::metrics(n))
+    }
+
+    fn metrics_mut(&mut self) -> &mut Metrics {
+        for_each_net!(self, n => NocSim::metrics_mut(n))
+    }
+
+    fn source_backlog(&self) -> usize {
+        for_each_net!(self, n => NocSim::source_backlog(n))
+    }
+
+    fn flit_hops(&self) -> u64 {
+        for_each_net!(self, n => NocSim::flit_hops(n))
+    }
+
+    fn quiesced(&self) -> bool {
+        for_each_net!(self, n => NocSim::quiesced(n))
+    }
+}
+
+/// Adapter running the generic protocol over a type-erased network (one
+/// virtual `step` per cycle — the pre-refactor behaviour of [`run`]).
+struct DynNet<'a>(&'a mut dyn NocSim);
+
+impl NocSim for DynNet<'_> {
+    fn step(&mut self, workload: &mut dyn Workload) {
+        self.0.step(workload);
+    }
+
+    fn note_workload_change(&mut self) {
+        self.0.note_workload_change();
+    }
+
+    fn now(&self) -> Cycle {
+        self.0.now()
+    }
+
+    fn num_nodes(&self) -> usize {
+        self.0.num_nodes()
+    }
+
+    fn kind(&self) -> TopologyKind {
+        self.0.kind()
+    }
+
+    fn metrics(&self) -> &Metrics {
+        self.0.metrics()
+    }
+
+    fn metrics_mut(&mut self) -> &mut Metrics {
+        self.0.metrics_mut()
+    }
+
+    fn source_backlog(&self) -> usize {
+        self.0.source_backlog()
+    }
+
+    fn flit_hops(&self) -> u64 {
+        self.0.flit_hops()
+    }
+
+    fn quiesced(&self) -> bool {
+        self.0.quiesced()
+    }
+}
+
+impl MonoStep for DynNet<'_> {
+    fn step_mono<W: Workload + ?Sized>(&mut self, workload: &mut W) {
+        // Re-borrow the (possibly unsized) workload through the blanket
+        // `impl Workload for &mut W` so it coerces to `&mut dyn Workload`.
+        let mut wl: &mut W = workload;
+        self.0.step(&mut wl);
+    }
+}
+
+/// The warmup/measure/drain protocol, written once for every dispatch mode.
+fn run_protocol<N: MonoStep, W: Workload + ?Sized>(
+    net: &mut N,
+    workload: &mut W,
+    spec: &RunSpec,
+) -> RunResult {
     let t0 = net.now();
+    // A fresh network schedules every source at cycle 0, so this is a no-op
+    // for the usual one-network-one-run case — but a *reused* network left
+    // its poll schedule parked at the previous drain's silence; reset it so
+    // `workload` is actually consulted.
+    net.note_workload_change();
     for _ in 0..spec.warmup {
-        net.step(workload);
+        net.step_mono(workload);
     }
     net.metrics_mut().begin_measurement(t0 + spec.warmup);
     let flits_before = net.metrics().flits_delivered();
     for _ in 0..spec.measure {
-        net.step(workload);
+        net.step_mono(workload);
     }
     let flits_after = net.metrics().flits_delivered();
     let end_backlog = net.source_backlog();
 
     let mut silence = Silence;
+    net.note_workload_change();
     for _ in 0..spec.drain {
         if net.quiesced() {
             break;
         }
-        net.step(&mut silence);
+        net.step_mono(&mut silence);
     }
 
     let m = net.metrics();
@@ -191,6 +382,32 @@ pub fn run(net: &mut dyn NocSim, workload: &mut dyn Workload, spec: &RunSpec) ->
         saturated,
         end_backlog,
     }
+}
+
+/// Run the warmup/measure/drain protocol and summarise.
+///
+/// Injection runs for `warmup + measure` cycles; only messages created inside
+/// the measurement window contribute latency samples. After measurement the
+/// workload is silenced and the network drains (bounded by `spec.drain`) so
+/// in-flight measured messages still complete. A saturated network will not
+/// drain — the partial statistics plus the `saturated` flag are returned.
+///
+/// This is the type-erased facade (one virtual `step` per cycle); the hot
+/// callers — `run_point`, the perf harness — use [`run_mono`], which
+/// monomorphizes the same protocol.
+pub fn run(net: &mut dyn NocSim, workload: &mut dyn Workload, spec: &RunSpec) -> RunResult {
+    run_protocol(&mut DynNet(net), workload, spec)
+}
+
+/// [`run`], monomorphized: the whole per-cycle loop — enum dispatch over the
+/// network, static dispatch into the workload — compiles to one specialised
+/// body per concrete workload type, with no virtual calls.
+pub fn run_mono<W: Workload + ?Sized>(
+    net: &mut AnyNet,
+    workload: &mut W,
+    spec: &RunSpec,
+) -> RunResult {
+    run_protocol(net, workload, spec)
 }
 
 #[cfg(test)]

@@ -79,13 +79,13 @@ pub mod sweep;
 pub mod torus_net;
 
 pub use arbiter::ArbPolicy;
-pub use driver::{run, NocSim, RunResult, RunSpec};
+pub use driver::{run, run_mono, AnyNet, MonoStep, NocSim, RunResult, RunSpec};
 pub use mesh_net::MeshNetwork;
 pub use metrics::Metrics;
 pub use quarc_net::QuarcNetwork;
 pub use spider_net::SpidergonNetwork;
 pub use sweep::{
-    build_network, curve_csv, geometric_rates, latency_curve, run_point, CurvePoint, CurveSpec,
-    PointError, PointOutcome, PointSpec,
+    build_any, build_network, curve_csv, geometric_rates, latency_curve, run_point, CurvePoint,
+    CurveSpec, PointError, PointOutcome, PointSpec,
 };
 pub use torus_net::TorusNetwork;

@@ -1,17 +1,24 @@
-//! Physical links: single-flit-per-cycle pipelines.
+//! Physical links: single-flit-per-cycle pipelines, stored as one
+//! structure-of-arrays bank per network.
 //!
 //! A link carries at most one flit per cycle (the two VCs multiplex the same
-//! wires, §2.7) and delivers it `latency` cycles later. The occupancy query
-//! lets the sender account for flits that are in flight but not yet buffered
-//! downstream, which keeps the credit arithmetic exact for any latency.
+//! wires, §2.7) and delivers it `latency` cycles later. All links of a
+//! network share one latency, so the whole network's pipelines live in a
+//! single [`LinkBank`]: one contiguous slot slab (`link × latency`) plus one
+//! occupancy counter per link. The slot that arrives at cycle `c` is simply
+//! `c mod latency` — no per-link head pointer, no rotation of idle links —
+//! and a send at cycle `c` lands in the slot just vacated, arriving
+//! `latency` cycles later.
 //!
-//! Occupancy is tracked by per-VC counters maintained in `send`/`step`, so
-//! the credit check [`Link::in_flight`] — issued for every head flit of every
-//! lane, every cycle — is O(1) instead of a scan over all latency slots.
+//! The bank is built for **active-set stepping**: the occupancy counters let
+//! the owning network keep a live-link worklist and touch only links that
+//! actually carry flits. A link whose slots are all empty behaves
+//! identically whether it is stepped or skipped, because its state is
+//! position-independent (every slot `None`).
 
-use quarc_core::config::MAX_VCS;
 use quarc_core::flit::Flit;
 use quarc_core::ids::VcId;
+use quarc_engine::Cycle;
 
 /// A flit in flight, tagged with the VC it will occupy downstream.
 #[derive(Debug, Clone, Copy)]
@@ -22,76 +29,72 @@ pub struct TaggedFlit {
     pub vc: VcId,
 }
 
-/// A unidirectional link with fixed latency ≥ 1.
-///
-/// The pipeline is a fixed ring buffer: `head` is the slot that arrives
-/// next, and a send lands `latency − 1` slots behind it. Rotating an empty
-/// pipeline is the identity, so `step` on an idle link is a single branch —
-/// the common case, since every network steps all `O(n)` links every cycle.
+/// All unidirectional links of one network, with a shared fixed latency ≥ 1.
 #[derive(Debug, Clone)]
-pub struct Link {
+pub struct LinkBank {
+    /// Pipeline slots, `latency` per link (`link * latency + slot`).
     slots: Box<[Option<TaggedFlit>]>,
-    /// Index of the slot that arrives on the next `step`.
-    head: usize,
-    /// In-flight flits per downstream VC (counter-maintained; invariantly
-    /// equals the matching scan over `slots`).
-    per_vc: [u32; MAX_VCS],
-    /// Total occupied slots.
-    occupied: u32,
+    /// Occupied slots per link (counter twin of scanning the slab).
+    occupied: Box<[u32]>,
+    latency: usize,
 }
 
-impl Link {
-    /// A link delivering after `latency` cycles.
-    pub fn new(latency: u64) -> Self {
+impl LinkBank {
+    /// A bank of `links` links delivering after `latency` cycles.
+    pub fn new(links: usize, latency: u64) -> Self {
         assert!(latency >= 1);
-        Link {
-            slots: (0..latency).map(|_| None).collect(),
-            head: 0,
-            per_vc: [0; MAX_VCS],
-            occupied: 0,
+        let latency = latency as usize;
+        LinkBank {
+            slots: vec![None; links * latency].into_boxed_slice(),
+            occupied: vec![0; links].into_boxed_slice(),
+            latency,
         }
     }
 
-    /// Advance one cycle: the oldest slot arrives (if occupied) and a fresh
-    /// empty slot opens at the tail. Call once per cycle *before* `send`.
+    /// The slab index arriving (and being refilled) at cycle `now`. Compute
+    /// once per cycle and pass to [`LinkBank::arrive`] / [`LinkBank::send`].
     #[inline]
-    pub fn step(&mut self) -> Option<TaggedFlit> {
-        if self.occupied == 0 {
-            // All slots are empty; skipping the rotation preserves every
-            // relative position.
-            return None;
+    pub fn slot_index(&self, now: Cycle) -> usize {
+        if self.latency == 1 {
+            0
+        } else {
+            (now % self.latency as u64) as usize
         }
-        let arrived = self.slots[self.head].take();
-        self.head = (self.head + 1) % self.slots.len();
-        if let Some(tf) = &arrived {
-            self.per_vc[tf.vc.index()] -= 1;
-            self.occupied -= 1;
+    }
+
+    /// Take the flit arriving on `link` this cycle, if any. Call at most
+    /// once per link per cycle, before any [`LinkBank::send`] to that link.
+    #[inline]
+    pub fn arrive(&mut self, link: usize, slot_index: usize) -> Option<TaggedFlit> {
+        let taken = self.slots[link * self.latency + slot_index].take();
+        if taken.is_some() {
+            self.occupied[link] -= 1;
         }
-        arrived
+        taken
     }
 
-    /// Place a flit into the newest slot. Panics if the slot is already in
-    /// use (more than one send per cycle is a simulator bug).
+    /// Place a flit onto `link`; it arrives `latency` cycles later. Panics if
+    /// the link already accepted a flit this cycle (a simulator bug — every
+    /// physical link carries one flit per cycle).
     #[inline]
-    pub fn send(&mut self, tf: TaggedFlit) {
-        let latency = self.slots.len();
-        let tail = &mut self.slots[(self.head + latency - 1) % latency];
-        assert!(tail.is_none(), "link already carries a flit this cycle");
-        self.per_vc[tf.vc.index()] += 1;
-        self.occupied += 1;
-        *tail = Some(tf);
+    pub fn send(&mut self, link: usize, slot_index: usize, tf: TaggedFlit) {
+        let slot = &mut self.slots[link * self.latency + slot_index];
+        assert!(slot.is_none(), "link already carries a flit this cycle");
+        self.occupied[link] += 1;
+        *slot = Some(tf);
     }
 
-    /// Number of in-flight flits destined for VC `vc` downstream. O(1).
+    /// Whether `link` is completely empty. O(1).
     #[inline]
-    pub fn in_flight(&self, vc: VcId) -> usize {
-        self.per_vc[vc.index()] as usize
+    pub fn is_empty(&self, link: usize) -> bool {
+        self.occupied[link] == 0
     }
 
-    /// Whether the link is completely empty. O(1).
+    /// Number of links in the bank.
+    #[allow(clippy::len_without_is_empty)] // per-link `is_empty(link)` is the meaningful query
     #[inline]
-    pub fn is_empty(&self) -> bool {
-        self.occupied == 0
+    pub fn len(&self) -> usize {
+        self.occupied.len()
     }
 }
 
@@ -107,66 +110,89 @@ mod tests {
         }
     }
 
+    /// Drive one cycle for `bank`: arrivals on every link, then the sends.
+    fn cycle(bank: &mut LinkBank, now: Cycle, sends: &[(usize, TaggedFlit)]) -> Vec<(usize, u32)> {
+        let idx = bank.slot_index(now);
+        let mut arrived = Vec::new();
+        for link in 0..bank.len() {
+            if let Some(a) = bank.arrive(link, idx) {
+                arrived.push((link, a.flit.seq));
+            }
+        }
+        for (link, t) in sends {
+            bank.send(*link, idx, *t);
+        }
+        arrived
+    }
+
     #[test]
     fn latency_one_delivers_next_cycle() {
-        let mut l = Link::new(1);
-        assert!(l.step().is_none());
-        l.send(tf(1, VcId::VC0));
-        assert_eq!(l.in_flight(VcId::VC0), 1);
-        assert_eq!(l.in_flight(VcId::VC1), 0);
-        let arrived = l.step().unwrap();
-        assert_eq!(arrived.flit.seq, 1);
-        assert!(l.is_empty());
+        let mut b = LinkBank::new(2, 1);
+        assert!(cycle(&mut b, 0, &[(0, tf(1, VcId::VC0))]).is_empty());
+        assert!(!b.is_empty(0));
+        assert!(b.is_empty(1));
+        assert_eq!(cycle(&mut b, 1, &[]), vec![(0, 1)]);
+        assert!(b.is_empty(0));
     }
 
     #[test]
     fn latency_three_delays_three_cycles() {
-        let mut l = Link::new(3);
-        l.step();
-        l.send(tf(9, VcId::VC1));
-        assert!(l.step().is_none());
-        assert!(l.step().is_none());
-        assert_eq!(l.step().unwrap().flit.seq, 9);
+        let mut b = LinkBank::new(1, 3);
+        cycle(&mut b, 0, &[(0, tf(9, VcId::VC1))]);
+        assert!(cycle(&mut b, 1, &[]).is_empty());
+        assert!(cycle(&mut b, 2, &[]).is_empty());
+        assert_eq!(cycle(&mut b, 3, &[]), vec![(0, 9)]);
     }
 
     #[test]
     #[should_panic(expected = "already carries")]
     fn double_send_panics() {
-        let mut l = Link::new(1);
-        l.step();
-        l.send(tf(1, VcId::VC0));
-        l.send(tf(2, VcId::VC1));
+        let mut b = LinkBank::new(1, 1);
+        let idx = b.slot_index(0);
+        b.send(0, idx, tf(1, VcId::VC0));
+        b.send(0, idx, tf(2, VcId::VC1));
     }
 
     #[test]
-    fn counters_match_slot_scan_under_mixed_traffic() {
-        // The O(1) counters must agree with a slot scan at every cycle.
-        let mut l = Link::new(3);
-        for cycle in 0..20u32 {
-            l.step();
-            if cycle % 3 != 2 {
-                l.send(tf(cycle, if cycle % 2 == 0 { VcId::VC0 } else { VcId::VC1 }));
-            }
-            for vc in [VcId::VC0, VcId::VC1] {
-                let scanned = l.slots.iter().flatten().filter(|t| t.vc == vc).count();
-                assert_eq!(l.in_flight(vc), scanned, "cycle {cycle} {vc}");
-            }
-            assert_eq!(l.is_empty(), l.slots.iter().all(Option::is_none));
+    fn occupancy_counter_matches_slot_scan() {
+        let mut b = LinkBank::new(1, 3);
+        for now in 0..20u64 {
+            let sends: Vec<(usize, TaggedFlit)> = if now % 3 != 2 {
+                vec![(0, tf(now as u32, if now % 2 == 0 { VcId::VC0 } else { VcId::VC1 }))]
+            } else {
+                vec![]
+            };
+            cycle(&mut b, now, &sends);
+            let scanned = b.slots.iter().flatten().count() as u32;
+            assert_eq!(b.occupied[0], scanned, "cycle {now}");
+            assert_eq!(b.is_empty(0), scanned == 0);
         }
     }
 
     #[test]
     fn pipelining_back_to_back() {
-        let mut l = Link::new(2);
+        let mut b = LinkBank::new(1, 2);
         let mut received = Vec::new();
-        for cycle in 0..10u32 {
-            if let Some(a) = l.step() {
-                received.push(a.flit.seq);
-            }
-            if cycle < 5 {
-                l.send(tf(cycle, VcId::VC0));
+        for now in 0..10u64 {
+            let sends: Vec<(usize, TaggedFlit)> =
+                if now < 5 { vec![(0, tf(now as u32, VcId::VC0))] } else { vec![] };
+            for (_, seq) in cycle(&mut b, now, &sends) {
+                received.push(seq);
             }
         }
         assert_eq!(received, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn skipped_empty_link_is_position_independent() {
+        // A link left untouched for a while behaves exactly as if it had
+        // been stepped every cycle — the active-set invariant.
+        let mut b = LinkBank::new(1, 3);
+        // Skip cycles 0..7 entirely (empty link, nothing to do).
+        let idx = b.slot_index(7);
+        b.send(0, idx, tf(42, VcId::VC0));
+        assert!(b.arrive(0, b.slot_index(8)).is_none());
+        assert!(b.arrive(0, b.slot_index(9)).is_none());
+        assert_eq!(b.arrive(0, b.slot_index(10)).unwrap().flit.seq, 42);
     }
 }

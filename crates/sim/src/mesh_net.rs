@@ -26,22 +26,28 @@
 //! terminal delivers through the arbitrated ejection port like any unicast.
 //! A broadcast is the all-targets special case (one branch per column and
 //! y direction), so the mesh no longer restricts workloads to β = 0.
+//!
+//! State layout and per-cycle scheduling follow `quarc_net`: network-owned
+//! structure-of-arrays slabs and active-set worklists for links, routers and
+//! sources (see `crates/sim/HOTPATH.md`). Edge positions simply own dead
+//! link slots that are never sent on and therefore never enter the live set.
 
-use crate::arbiter::RoundRobin;
+use crate::arbiter::{ArbPolicy, RoundRobinBank};
 use crate::buffer::LaneBufs;
 use crate::driver::NocSim;
-use crate::link::{Link, TaggedFlit};
+use crate::link::{LinkBank, TaggedFlit};
 use crate::metrics::{grid_eject_site, grid_lane_site, Metrics};
-use crate::packets::{grid_expand_into, IdAlloc};
+use crate::packets::{grid_expand_into, IdAlloc, PacketQueue};
 use quarc_core::config::{NocConfig, MAX_VCS};
-use quarc_core::flit::{Flit, PacketMeta, PacketTable, TrafficClass};
+use quarc_core::flit::{PacketMeta, PacketTable, TrafficClass};
 use quarc_core::ids::NodeId;
 use quarc_core::routing::advance_header;
 use quarc_core::topology::{GridBranch, MeshOut, MeshTopology, TopologyKind};
 use quarc_core::vc::INJECTION_VC;
 use quarc_engine::{Clock, Cycle};
 use quarc_workloads::{MessageRequest, Workload};
-use std::collections::VecDeque;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 /// Direction outputs in index order (matches `MeshOut::index()` 0..4).
 const NET_OUT: [MeshOut; 4] = [MeshOut::East, MeshOut::West, MeshOut::North, MeshOut::South];
@@ -88,43 +94,33 @@ struct Transfer {
     req: PortReq,
 }
 
-#[derive(Debug)]
-struct NodeState {
-    inject_q: VecDeque<Flit>,
-    inject_plan: Option<HopPlan>,
-    /// Input buffers, flat over `port * vcs + vc`.
-    in_buf: LaneBufs,
-    in_route: [[Option<HopPlan>; MAX_VCS]; 4],
-    out_owner: [Option<Src>; 4],
-    eject_owner: Option<Src>,
-    rr_in_vc: [RoundRobin; 4],
-    rr_out: [RoundRobin; 5],
-}
-
-impl NodeState {
-    fn new(vcs: usize, depth: usize) -> Self {
-        NodeState {
-            inject_q: VecDeque::new(),
-            inject_plan: None,
-            in_buf: LaneBufs::new(4 * vcs, depth),
-            in_route: [[None; MAX_VCS]; 4],
-            out_owner: [None; 4],
-            eject_owner: None,
-            rr_in_vc: Default::default(),
-            rr_out: Default::default(),
-        }
-    }
-}
-
-/// The flit-level mesh network simulator.
+/// The flit-level mesh network simulator. Per-router state is
+/// structure-of-arrays (flat `node * ports + port` slabs), stepped over
+/// active-set worklists exactly as in [`crate::quarc_net`].
 #[derive(Debug)]
 pub struct MeshNetwork {
     topo: MeshTopology,
     cfg: NocConfig,
     clock: Clock,
-    nodes: Vec<NodeState>,
-    /// `node * 4 + out`; `None` at mesh edges.
-    links: Vec<Option<Link>>,
+    /// The single local injection queue per node, holding whole packets
+    /// (flits materialise on pop).
+    inject_q: Box<[PacketQueue]>,
+    /// Plan of the packet currently streaming from each local queue.
+    inject_plan: Box<[Option<HopPlan>]>,
+    /// Input buffers, one bank; lane `(node * 4 + port) * vcs + vc`.
+    in_buf: LaneBufs,
+    /// Route state per input lane, set by the header.
+    in_route: Box<[Option<HopPlan>]>,
+    /// Wormhole ownership per output `node * 4 + out` (XY runs on VC0 only).
+    out_owner: Box<[Option<Src>]>,
+    /// Ejection-port ownership per node.
+    eject_owner: Box<[Option<Src>]>,
+    /// VC arbiter per network input port (`node * 4 + port`).
+    rr_in_vc: RoundRobinBank,
+    /// Grant arbiter per output (`node * 5 + out`; 4 links + eject).
+    rr_out: RoundRobinBank,
+    /// `node * 4 + out`; edge positions are dead slots never sent on.
+    links: LinkBank,
     ids: IdAlloc,
     metrics: Metrics,
     /// Interned metadata of every in-flight packet (see [`PacketTable`]).
@@ -145,6 +141,14 @@ pub struct MeshNetwork {
     /// Link id feeding input `node * 4 + in_port` (`u32::MAX` at edges,
     /// which never receive).
     feeder: Vec<u32>,
+    /// Active-set state (see `quarc_net` for the invariants).
+    node_active: Vec<bool>,
+    active_nodes: Vec<u32>,
+    node_worklist: Vec<u32>,
+    link_live: Vec<bool>,
+    live_links: Vec<u32>,
+    poll_heap: BinaryHeap<Reverse<(Cycle, u32)>>,
+    full_scan: bool,
     /// O(1) counter twins for `backlog()` / `quiesced()`.
     inject_backlog: usize,
     buffered_flits: u64,
@@ -158,13 +162,6 @@ impl MeshNetwork {
         cfg.validate().expect("invalid configuration");
         let topo = MeshTopology::square(cfg.n);
         let n = topo.num_nodes();
-        let nodes = (0..n).map(|_| NodeState::new(cfg.vcs, cfg.buffer_depth)).collect();
-        let links = (0..n * 4)
-            .map(|i| {
-                let (node, o) = (i / 4, i % 4);
-                topo.link_target(NodeId::new(node), NET_OUT[o]).map(|_| Link::new(cfg.link_latency))
-            })
-            .collect();
         let targets: Vec<Option<(u32, u8)>> = (0..n * 4)
             .map(|i| {
                 topo.link_target(NodeId::new(i / 4), NET_OUT[i % 4])
@@ -181,8 +178,15 @@ impl MeshNetwork {
             topo,
             cfg,
             clock: Clock::new(),
-            nodes,
-            links,
+            inject_q: (0..n).map(|_| PacketQueue::new()).collect(),
+            inject_plan: vec![None; n].into_boxed_slice(),
+            in_buf: LaneBufs::new(n * 4 * cfg.vcs, cfg.buffer_depth),
+            in_route: vec![None; n * 4 * cfg.vcs].into_boxed_slice(),
+            out_owner: vec![None; n * 4].into_boxed_slice(),
+            eject_owner: vec![None; n].into_boxed_slice(),
+            rr_in_vc: RoundRobinBank::new(n * 4, ArbPolicy::RoundRobin),
+            rr_out: RoundRobinBank::new(n * 5, ArbPolicy::RoundRobin),
+            links: LinkBank::new(n * 4, cfg.link_latency),
             ids: IdAlloc::new(),
             metrics: Metrics::new(),
             packets: PacketTable::new(),
@@ -193,6 +197,13 @@ impl MeshNetwork {
             credits: vec![cfg.buffer_depth as u32; n * 4],
             feeder,
             targets,
+            node_active: vec![true; n],
+            active_nodes: (0..n as u32).collect(),
+            node_worklist: Vec::new(),
+            link_live: vec![false; n * 4],
+            live_links: Vec::new(),
+            poll_heap: (0..n as u32).map(|node| Reverse((0, node))).collect(),
+            full_scan: false,
             inject_backlog: 0,
             buffered_flits: 0,
             link_occupancy: 0,
@@ -202,6 +213,21 @@ impl MeshNetwork {
     /// The mesh dimensions chosen for this node count.
     pub fn topology(&self) -> &MeshTopology {
         &self.topo
+    }
+
+    /// Test oracle: scan everything every cycle (see
+    /// `QuarcNetwork::set_full_scan`). Call before the first `step`.
+    pub fn set_full_scan(&mut self, on: bool) {
+        assert_eq!(self.clock.now(), 0, "full-scan mode is a construction-time choice");
+        self.full_scan = on;
+    }
+
+    #[inline]
+    fn mark_node(&mut self, node: usize) {
+        if !self.node_active[node] {
+            self.node_active[node] = true;
+            self.active_nodes.push(node as u32);
+        }
     }
 
     /// Resolve the per-hop plan for a header at `node`. `from_net` marks
@@ -228,9 +254,9 @@ impl MeshNetwork {
 
     fn feasible(&self, node: usize, plan: HopPlan, src: Src, is_header: bool) -> bool {
         let owner = if plan.out == EJECT {
-            self.nodes[node].eject_owner
+            self.eject_owner[node]
         } else {
-            self.nodes[node].out_owner[plan.out]
+            self.out_owner[node * 4 + plan.out]
         };
         let own_ok = match owner {
             Some(o) => o == src && !is_header,
@@ -244,13 +270,15 @@ impl MeshNetwork {
     #[allow(clippy::needless_range_loop)]
     fn gather_net_port(&mut self, node: usize, p: usize) -> Option<PortReq> {
         let vcs = self.cfg.vcs;
-        // Fixed-size scratch: runs 4·n times per cycle, must not allocate.
+        let base = (node * 4 + p) * vcs;
+        // Fixed-size scratch: runs per active router per cycle, must not
+        // allocate.
         let mut feasible: [Option<PortReq>; MAX_VCS] = [None; MAX_VCS];
         for vc in 0..vcs {
-            let Some(head) = self.nodes[node].in_buf.front(p * vcs + vc).copied() else {
+            let Some(head) = self.in_buf.front(base + vc).copied() else {
                 continue;
             };
-            let plan = match self.nodes[node].in_route[p][vc] {
+            let plan = match self.in_route[base + vc] {
                 Some(plan) => plan,
                 None => {
                     assert!(head.is_header(), "wormhole violated");
@@ -267,13 +295,13 @@ impl MeshNetwork {
                 });
             }
         }
-        let pick = self.nodes[node].rr_in_vc[p].pick(vcs, |vc| feasible[vc].is_some())?;
+        let pick = self.rr_in_vc.pick(node * 4 + p, vcs, |vc| feasible[vc].is_some())?;
         feasible[pick]
     }
 
     fn gather_local(&self, node: usize) -> Option<PortReq> {
-        let head = self.nodes[node].inject_q.front()?;
-        let plan = match self.nodes[node].inject_plan {
+        let head = self.inject_q[node].front()?;
+        let plan = match self.inject_plan[node] {
             Some(plan) => plan,
             None => {
                 assert!(head.is_header(), "local queue must start with a header");
@@ -299,8 +327,11 @@ impl MeshNetwork {
         reqs[4] = self.gather_local(node);
         for o in 0..5 {
             // All five sources are arbitration candidates at every output.
-            let winner = self.nodes[node].rr_out[o]
-                .pick(5, |slot| matches!(reqs[slot], Some(r) if r.plan.out == o));
+            let winner = self.rr_out.pick(
+                node * 5 + o,
+                5,
+                |slot| matches!(reqs[slot], Some(r) if r.plan.out == o),
+            );
             if let Some(slot) = winner {
                 let req = reqs[slot].take().expect("winner exists");
                 transfers.push(Transfer { node, req });
@@ -311,39 +342,44 @@ impl MeshNetwork {
     fn commit(&mut self, t: Transfer) {
         let now = self.clock.now();
         let node = t.node;
+        let vcs = self.cfg.vcs;
+        // Any commit mutates this router's lane/ownership/credit state.
+        self.mark_node(node);
         let flit = match t.req.src {
             Src::Net { port, vc } => {
-                let vcs = self.cfg.vcs;
-                let flit = self.nodes[node].in_buf.pop(port * vcs + vc).expect("planned flit");
+                let lane = (node * 4 + port) * vcs + vc;
+                let flit = self.in_buf.pop(lane).expect("planned flit");
                 self.buffered_flits -= 1;
                 // The freed slot becomes a credit at the upstream sender.
-                self.credits[self.feeder[node * 4 + port] as usize] += 1;
+                let feeder = self.feeder[node * 4 + port] as usize;
+                self.credits[feeder] += 1;
+                self.mark_node(feeder / 4);
                 if t.req.is_header {
-                    self.nodes[node].in_route[port][vc] = Some(t.req.plan);
+                    self.in_route[lane] = Some(t.req.plan);
                 }
                 if t.req.is_tail {
-                    self.nodes[node].in_route[port][vc] = None;
+                    self.in_route[lane] = None;
                 }
                 flit
             }
             Src::Local => {
-                let flit = self.nodes[node].inject_q.pop_front().expect("planned flit");
+                let flit = self.inject_q[node].pop().expect("planned flit");
                 self.inject_backlog -= 1;
                 if t.req.is_header {
-                    self.nodes[node].inject_plan = Some(t.req.plan);
+                    self.inject_plan[node] = Some(t.req.plan);
                 }
                 if t.req.is_tail {
-                    self.nodes[node].inject_plan = None;
+                    self.inject_plan[node] = None;
                 }
                 flit
             }
         };
         if t.req.plan.out == EJECT {
             if t.req.is_header {
-                self.nodes[node].eject_owner = Some(t.req.src);
+                self.eject_owner[node] = Some(t.req.src);
             }
             if t.req.is_tail {
-                self.nodes[node].eject_owner = None;
+                self.eject_owner[node] = None;
             }
             // The single arbitrated ejection port is the delivery site: it
             // streams one packet at a time (eject_owner pins it).
@@ -375,25 +411,168 @@ impl MeshNetwork {
                 );
             }
             let o = t.req.plan.out;
+            let lid = node * 4 + o;
             if t.req.is_header {
-                self.nodes[node].out_owner[o] = Some(t.req.src);
+                self.out_owner[lid] = Some(t.req.src);
             }
             if t.req.is_tail {
-                self.nodes[node].out_owner[o] = None;
+                self.out_owner[lid] = None;
             }
             // Routers shift multicast bitstrings as they forward headers, so
             // bit 0 always answers "does the next node take a copy?".
             if flit.is_header() && matches!(t.req.src, Src::Net { .. }) {
                 advance_header(self.packets.meta_mut(flit.packet));
             }
+            debug_assert!(self.targets[lid].is_some(), "route stays on the mesh");
             self.flit_hops += 1;
             self.link_occupancy += 1;
-            self.credits[node * 4 + o] -= 1;
-            self.links[node * 4 + o]
-                .as_mut()
-                .expect("route stays on the mesh")
-                .send(TaggedFlit { flit, vc: INJECTION_VC });
+            self.credits[lid] -= 1;
+            let idx = self.links.slot_index(now);
+            self.links.send(lid, idx, TaggedFlit { flit, vc: INJECTION_VC });
+            if !self.link_live[lid] {
+                self.link_live[lid] = true;
+                self.live_links.push(lid as u32);
+            }
         }
+    }
+
+    /// Deliver the flit arriving on link `lid` this cycle (if any).
+    #[inline]
+    fn arrive_link(&mut self, lid: usize, slot_index: usize) {
+        if let Some(tf) = self.links.arrive(lid, slot_index) {
+            let (to, tin) = self.targets[lid].expect("link exists");
+            let lane = (to as usize * 4 + tin as usize) * self.cfg.vcs + tf.vc.index();
+            self.in_buf.push(lane, tf.flit);
+            self.link_occupancy -= 1;
+            self.buffered_flits += 1;
+            self.mark_node(to as usize);
+        }
+    }
+
+    /// Poll one source and expand its messages (collectives ride the
+    /// dimension-ordered tree) into the local queue.
+    fn poll_node<W: Workload + ?Sized>(
+        &mut self,
+        workload: &mut W,
+        node: usize,
+        now: Cycle,
+        reqs: &mut Vec<MessageRequest>,
+        branches: &mut Vec<GridBranch>,
+    ) {
+        let n = self.topo.num_nodes();
+        reqs.clear();
+        workload.poll_into(NodeId::new(node), now, reqs);
+        for req in reqs.drain(..) {
+            // Collectives expand into the dimension-ordered tree: one
+            // path-based multicast packet per (column, y direction).
+            match req.class {
+                TrafficClass::Unicast => branches.clear(),
+                TrafficClass::Broadcast => {
+                    self.topo.multicast_branches_into(req.src, (0..n).map(NodeId::new), branches)
+                }
+                TrafficClass::Multicast => self.topo.multicast_branches_into(
+                    req.src,
+                    req.targets.iter().copied(),
+                    branches,
+                ),
+                other => panic!("applications do not inject {other} packets directly"),
+            }
+            let message = self.metrics.create_message(req.class, now);
+            let (expected, flits) = grid_expand_into(
+                &req,
+                branches,
+                message,
+                &mut self.ids,
+                now,
+                &mut self.packets,
+                &mut self.inject_q[node],
+            );
+            self.metrics.set_expected(message, expected);
+            self.inject_backlog += flits;
+            self.mark_node(node);
+        }
+    }
+
+    /// Advance one cycle (monomorphized; see `QuarcNetwork::step_cycle`).
+    pub fn step_cycle<W: Workload + ?Sized>(&mut self, workload: &mut W) {
+        let now = self.clock.now();
+        let n = self.topo.num_nodes();
+
+        // (a) Link arrivals — only links carrying flits.
+        let slot = self.links.slot_index(now);
+        if self.full_scan {
+            for lid in 0..n * 4 {
+                self.arrive_link(lid, slot);
+            }
+            let mut live = std::mem::take(&mut self.live_links);
+            for &lid in &live {
+                self.link_live[lid as usize] = false;
+            }
+            live.clear();
+            self.live_links = live;
+        } else {
+            let mut live = std::mem::take(&mut self.live_links);
+            live.retain(|&lid| {
+                self.arrive_link(lid as usize, slot);
+                let still = !self.links.is_empty(lid as usize);
+                if !still {
+                    self.link_live[lid as usize] = false;
+                }
+                still
+            });
+            self.live_links = live;
+        }
+
+        // (b) New messages from due sources.
+        let mut reqs = std::mem::take(&mut self.poll_buf);
+        let mut branches = std::mem::take(&mut self.branch_buf);
+        if self.full_scan {
+            for node in 0..n {
+                self.poll_node(workload, node, now, &mut reqs, &mut branches);
+            }
+        } else {
+            while self.poll_heap.peek().is_some_and(|&Reverse((due, _))| due <= now) {
+                let Reverse((due, node)) = self.poll_heap.pop().expect("peeked");
+                debug_assert!(due == now, "due cycles never pass unpolled");
+                self.poll_node(workload, node as usize, now, &mut reqs, &mut branches);
+                let next = workload.next_due(NodeId::new(node as usize), now).max(now + 1);
+                self.poll_heap.push(Reverse((next, node)));
+            }
+        }
+        self.poll_buf = reqs;
+        self.branch_buf = branches;
+
+        // (c) Arbitration over the sorted routers-with-work worklist,
+        // (d) commit.
+        let mut transfers = std::mem::take(&mut self.transfers);
+        transfers.clear();
+        if self.full_scan {
+            let mut marks = std::mem::take(&mut self.active_nodes);
+            for &node in &marks {
+                self.node_active[node as usize] = false;
+            }
+            marks.clear();
+            self.active_nodes = marks;
+            for node in 0..n {
+                self.gather_node(node, &mut transfers);
+            }
+        } else {
+            let mut worklist = std::mem::take(&mut self.node_worklist);
+            debug_assert!(worklist.is_empty());
+            std::mem::swap(&mut worklist, &mut self.active_nodes);
+            worklist.sort_unstable();
+            for &node in &worklist {
+                self.node_active[node as usize] = false;
+                self.gather_node(node as usize, &mut transfers);
+            }
+            worklist.clear();
+            self.node_worklist = worklist;
+        }
+        for t in transfers.drain(..) {
+            self.commit(t);
+        }
+        self.transfers = transfers;
+        self.clock.tick();
     }
 
     /// Total flits queued at sources. O(1).
@@ -404,66 +583,15 @@ impl MeshNetwork {
 
 impl NocSim for MeshNetwork {
     fn step(&mut self, workload: &mut dyn Workload) {
+        self.step_cycle(workload);
+    }
+
+    fn note_workload_change(&mut self) {
         let now = self.clock.now();
-        let n = self.topo.num_nodes();
-        let vcs = self.cfg.vcs;
-        for lid in 0..n * 4 {
-            let arrived = self.links[lid].as_mut().and_then(Link::step);
-            if let Some(tf) = arrived {
-                let (to, tin) = self.targets[lid].expect("link exists");
-                self.nodes[to as usize].in_buf.push(tin as usize * vcs + tf.vc.index(), tf.flit);
-                self.link_occupancy -= 1;
-                self.buffered_flits += 1;
-            }
+        self.poll_heap.clear();
+        for node in 0..self.topo.num_nodes() as u32 {
+            self.poll_heap.push(Reverse((now, node)));
         }
-        let mut reqs = std::mem::take(&mut self.poll_buf);
-        let mut branches = std::mem::take(&mut self.branch_buf);
-        for node in 0..n {
-            reqs.clear();
-            workload.poll_into(NodeId::new(node), now, &mut reqs);
-            for req in reqs.drain(..) {
-                // Collectives expand into the dimension-ordered tree: one
-                // path-based multicast packet per (column, y direction).
-                match req.class {
-                    TrafficClass::Unicast => branches.clear(),
-                    TrafficClass::Broadcast => self.topo.multicast_branches_into(
-                        req.src,
-                        (0..n).map(NodeId::new),
-                        &mut branches,
-                    ),
-                    TrafficClass::Multicast => self.topo.multicast_branches_into(
-                        req.src,
-                        req.targets.iter().copied(),
-                        &mut branches,
-                    ),
-                    other => panic!("applications do not inject {other} packets directly"),
-                }
-                let message = self.metrics.create_message(req.class, now);
-                let (expected, flits) = grid_expand_into(
-                    &req,
-                    &branches,
-                    message,
-                    &mut self.ids,
-                    now,
-                    &mut self.packets,
-                    &mut self.nodes[node].inject_q,
-                );
-                self.metrics.set_expected(message, expected);
-                self.inject_backlog += flits;
-            }
-        }
-        self.poll_buf = reqs;
-        self.branch_buf = branches;
-        let mut transfers = std::mem::take(&mut self.transfers);
-        transfers.clear();
-        for node in 0..n {
-            self.gather_node(node, &mut transfers);
-        }
-        for t in transfers.drain(..) {
-            self.commit(t);
-        }
-        self.transfers = transfers;
-        self.clock.tick();
     }
 
     fn now(&self) -> Cycle {
@@ -635,5 +763,25 @@ mod tests {
         let m = net.metrics();
         assert_eq!(m.created(TrafficClass::Broadcast), m.completed(TrafficClass::Broadcast));
         assert!(m.created(TrafficClass::Broadcast) > 10);
+    }
+
+    #[test]
+    fn full_scan_oracle_matches_active_set() {
+        use quarc_workloads::{Synthetic, SyntheticConfig};
+        let run = |full_scan: bool| {
+            let mut net = MeshNetwork::new(NocConfig::mesh(16));
+            net.set_full_scan(full_scan);
+            let mut wl = Synthetic::new(16, SyntheticConfig::paper(0.03, 8, 0.1, 55));
+            for _ in 0..3_000 {
+                net.step(&mut wl);
+            }
+            (
+                net.metrics().flits_delivered(),
+                net.flit_hops(),
+                net.metrics().unicast_latency().mean().to_bits(),
+                net.metrics().broadcast_completion_latency().mean().to_bits(),
+            )
+        };
+        assert_eq!(run(false), run(true));
     }
 }

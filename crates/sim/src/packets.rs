@@ -25,24 +25,85 @@ use quarc_engine::Cycle;
 use quarc_workloads::MessageRequest;
 use std::collections::VecDeque;
 
-/// Serialise packet `packet` (whose interned meta says it has `len` flits)
-/// onto the back of `queue`: header, bodies, tail. Returns the flit count.
+/// The `seq`-th flit of a `len`-flit packet: header, bodies, tail, with the
+/// sequence number as payload (as the original transceiver model emitted).
+#[inline]
+fn nth_flit(packet: PacketRef, seq: u32, len: u32) -> Flit {
+    let kind = if seq == 0 {
+        FlitKind::Header
+    } else if seq + 1 == len {
+        FlitKind::Tail
+    } else {
+        FlitKind::Body
+    };
+    Flit { packet, seq, kind, payload: seq }
+}
+
+/// A source-side injection queue holding whole packets as `(packet, len)`
+/// entries and materialising their flits on demand.
 ///
-/// Bodies/tails carry their sequence number as payload, as the original
-/// transceiver model did.
-pub fn push_packet(queue: &mut VecDeque<Flit>, packet: PacketRef, len: u32) -> usize {
-    assert!(len >= 2, "a packet needs header and tail flits (paper §2.6)");
-    for seq in 0..len {
-        let kind = if seq == 0 {
-            FlitKind::Header
-        } else if seq + 1 == len {
-            FlitKind::Tail
-        } else {
-            FlitKind::Body
-        };
-        queue.push_back(Flit { packet, seq, kind, payload: seq });
+/// A queued flit is a pure function of `(packet, len, seq)` (see
+/// [`nth_flit`]), so there is no reason to serialise `len` 16-byte flits
+/// into a buffer at injection time: a saturated source queue holding a
+/// million flits is a few thousand 8-byte entries instead, and enqueueing a
+/// message costs one push per *packet* rather than one per flit. `front` /
+/// `pop` synthesise exactly the flit stream the eager serialisation
+/// produced, which the equivalence goldens pin down.
+#[derive(Debug, Clone, Default)]
+pub struct PacketQueue {
+    entries: VecDeque<(PacketRef, u32)>,
+    /// Sequence index of the next flit of the head entry.
+    head_seq: u32,
+}
+
+impl PacketQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self::default()
     }
-    len as usize
+
+    /// Enqueue packet `packet` of `len` flits. Returns the flit count.
+    pub fn push_packet(&mut self, packet: PacketRef, len: u32) -> usize {
+        assert!(len >= 2, "a packet needs header and tail flits (paper §2.6)");
+        self.entries.push_back((packet, len));
+        len as usize
+    }
+
+    /// The flit at the head of the queue, if any.
+    #[inline]
+    pub fn front(&self) -> Option<Flit> {
+        self.entries.front().map(|&(packet, len)| nth_flit(packet, self.head_seq, len))
+    }
+
+    /// Remove and return the head flit.
+    #[inline]
+    pub fn pop(&mut self) -> Option<Flit> {
+        let &(packet, len) = self.entries.front()?;
+        let flit = nth_flit(packet, self.head_seq, len);
+        self.head_seq += 1;
+        if self.head_seq == len {
+            self.entries.pop_front();
+            self.head_seq = 0;
+        }
+        Some(flit)
+    }
+
+    /// Whether no flit is queued.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Remaining flits (the head packet counts only its unsent tail-end).
+    pub fn flits(&self) -> usize {
+        self.entries.iter().map(|&(_, len)| len as usize).sum::<usize>() - self.head_seq as usize
+    }
+}
+
+/// Serialise packet `packet` (whose interned meta says it has `len` flits)
+/// onto the back of `queue`. Returns the flit count.
+pub fn push_packet(queue: &mut PacketQueue, packet: PacketRef, len: u32) -> usize {
+    queue.push_packet(packet, len)
 }
 
 /// Allocates monotonically increasing packet identifiers. (Message ids are
@@ -77,7 +138,7 @@ pub fn quarc_expand_into(
     ids: &mut IdAlloc,
     now: Cycle,
     table: &mut PacketTable,
-    queues: &mut [VecDeque<Flit>; 4],
+    queues: &mut [PacketQueue; 4],
 ) -> (usize, usize) {
     let base = PacketMeta {
         message,
@@ -136,7 +197,7 @@ pub fn spidergon_expand_into(
     ids: &mut IdAlloc,
     now: Cycle,
     table: &mut PacketTable,
-    queue: &mut VecDeque<Flit>,
+    queue: &mut PacketQueue,
 ) -> (usize, usize) {
     let base = PacketMeta {
         message,
@@ -164,7 +225,7 @@ pub fn spidergon_expand_into(
                     packet: ids.packet(),
                     class: seed.class,
                     dst: seed.dst,
-                    bitstring: seed.remaining,
+                    bitstring: seed.remaining as u128,
                     dir: seed.dir,
                     ..base
                 });
@@ -203,7 +264,7 @@ pub fn grid_expand_into(
     ids: &mut IdAlloc,
     now: Cycle,
     table: &mut PacketTable,
-    queue: &mut VecDeque<Flit>,
+    queue: &mut PacketQueue,
 ) -> (usize, usize) {
     let base = PacketMeta {
         message,
@@ -267,42 +328,72 @@ mod tests {
         }
     }
 
+    /// Drain a queue into the flit stream it will emit.
+    fn drain(mut q: PacketQueue) -> Vec<Flit> {
+        let mut flits = Vec::new();
+        while let Some(f) = q.pop() {
+            flits.push(f);
+        }
+        flits
+    }
+
     #[test]
     fn push_packet_shapes_header_body_tail() {
         let mut table = PacketTable::new();
         let pref = table.insert(meta(5));
-        let mut q = VecDeque::new();
+        let mut q = PacketQueue::new();
         assert_eq!(push_packet(&mut q, pref, 5), 5);
-        let flits: Vec<Flit> = q.into_iter().collect();
+        assert_eq!(q.flits(), 5);
+        let flits = drain(q);
         assert_eq!(flits.len(), 5);
         assert_eq!(flits[0].kind, FlitKind::Header);
         assert!(flits[1..4].iter().all(|f| f.kind == FlitKind::Body));
         assert_eq!(flits[4].kind, FlitKind::Tail);
         assert!(flits.iter().enumerate().all(|(i, f)| f.seq == i as u32));
         assert!(flits.iter().all(|f| f.packet == pref));
+        assert!(flits.iter().enumerate().all(|(i, f)| f.payload == i as u32));
     }
 
     #[test]
     fn two_flit_packet_has_no_body() {
         let mut table = PacketTable::new();
         let pref = table.insert(meta(2));
-        let mut q = VecDeque::new();
+        let mut q = PacketQueue::new();
         push_packet(&mut q, pref, 2);
-        assert_eq!(q[0].kind, FlitKind::Header);
-        assert_eq!(q[1].kind, FlitKind::Tail);
+        assert_eq!(q.front().unwrap().kind, FlitKind::Header);
+        assert_eq!(q.pop().unwrap().kind, FlitKind::Header);
+        assert_eq!(q.front().unwrap().kind, FlitKind::Tail);
+        assert_eq!(q.pop().unwrap().kind, FlitKind::Tail);
+        assert!(q.is_empty());
     }
 
-    fn expand_quarc(
-        n: usize,
-        req: &MessageRequest,
-    ) -> (PacketTable, [VecDeque<Flit>; 4], usize, usize) {
+    #[test]
+    fn queue_interleaves_packets_in_fifo_order() {
+        // Partially consumed head packet + a queued successor: `flits`
+        // counts the unsent remainder and the streams never interleave.
+        let mut table = PacketTable::new();
+        let a = table.insert(meta(3));
+        let b = table.insert(meta(2));
+        let mut q = PacketQueue::new();
+        push_packet(&mut q, a, 3);
+        push_packet(&mut q, b, 2);
+        assert_eq!(q.flits(), 5);
+        assert_eq!(q.pop().unwrap().packet, a);
+        assert_eq!(q.flits(), 4);
+        let rest = drain(q);
+        assert!(rest[..2].iter().all(|f| f.packet == a));
+        assert!(rest[2..].iter().all(|f| f.packet == b));
+        assert_eq!(rest.last().unwrap().kind, FlitKind::Tail);
+    }
+
+    fn expand_quarc(n: usize, req: &MessageRequest) -> (PacketTable, [Vec<Flit>; 4], usize, usize) {
         let ring = Ring::new(n);
         let mut ids = IdAlloc::new();
         let mut table = PacketTable::new();
-        let mut queues: [VecDeque<Flit>; 4] = Default::default();
+        let mut queues: [PacketQueue; 4] = Default::default();
         let (receivers, flits) =
             quarc_expand_into(&ring, req, MessageId(9), &mut ids, 100, &mut table, &mut queues);
-        (table, queues, receivers, flits)
+        (table, queues.map(drain), receivers, flits)
     }
 
     #[test]
@@ -341,17 +432,14 @@ mod tests {
         assert_eq!(queues.iter().filter(|q| !q.is_empty()).count(), 2);
     }
 
-    fn expand_spider(
-        n: usize,
-        req: &MessageRequest,
-    ) -> (PacketTable, VecDeque<Flit>, usize, usize) {
+    fn expand_spider(n: usize, req: &MessageRequest) -> (PacketTable, Vec<Flit>, usize, usize) {
         let ring = Ring::new(n);
         let mut ids = IdAlloc::new();
         let mut table = PacketTable::new();
-        let mut queue = VecDeque::new();
+        let mut queue = PacketQueue::new();
         let (receivers, flits) =
             spidergon_expand_into(&ring, req, MessageId(0), &mut ids, 0, &mut table, &mut queue);
-        (table, queue, receivers, flits)
+        (table, drain(queue), receivers, flits)
     }
 
     #[test]

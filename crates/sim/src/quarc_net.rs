@@ -22,15 +22,27 @@
 //! port. Router arbitration mirrors the paper's hardware: a per-input VC
 //! arbiter picks the requesting lane (§2.3.2), then a per-output round-robin
 //! grants one requester (the OPC master FSM, §2.3.3).
+//!
+//! ## Active-set scheduling
+//!
+//! Per-cycle cost is proportional to **live traffic**, not to `n` (see
+//! `crates/sim/HOTPATH.md` for the invariants): link arrivals walk a
+//! live-link worklist, arbitration walks a sorted worklist of routers that a
+//! tracked event (arrival, injection, commit, credit return, stall window)
+//! could have made grantable, and workload polling pops a per-node due-cycle
+//! heap fed by [`Workload::next_due`]. Router state is structure-of-arrays:
+//! one network-wide [`LaneBufs`], flat route/ownership slabs, and
+//! [`RoundRobinBank`]/[`LinkBank`] pointer slabs, all indexed by
+//! `node * ports + port`.
 
-use crate::arbiter::{ArbPolicy, RoundRobin};
+use crate::arbiter::{ArbPolicy, RoundRobinBank};
 use crate::buffer::LaneBufs;
 use crate::driver::NocSim;
-use crate::link::{Link, TaggedFlit};
+use crate::link::{LinkBank, TaggedFlit};
 use crate::metrics::Metrics;
-use crate::packets::{quarc_expand_into, IdAlloc};
+use crate::packets::{quarc_expand_into, IdAlloc, PacketQueue};
 use quarc_core::config::{NocConfig, MAX_VCS};
-use quarc_core::flit::{Flit, PacketTable};
+use quarc_core::flit::PacketTable;
 use quarc_core::ids::{NodeId, VcId};
 use quarc_core::ring::RingDir;
 use quarc_core::routing::{advance_header, quarc_injection_out, quarc_route, RouteAction};
@@ -38,7 +50,8 @@ use quarc_core::topology::{QuarcIn, QuarcOut, QuarcTopology, TopologyKind};
 use quarc_core::vc::{vc_after_rim_hop, vc_for_cross_hop, INJECTION_VC};
 use quarc_engine::{Clock, Cycle};
 use quarc_workloads::{MessageRequest, Workload};
-use std::collections::VecDeque;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 /// Network input ports in index order (matches `QuarcIn::index()` 0..4).
 const NET_IN: [QuarcIn; 4] =
@@ -47,10 +60,14 @@ const NET_IN: [QuarcIn; 4] =
 const NET_OUT: [QuarcOut; 4] =
     [QuarcOut::RimCw, QuarcOut::RimCcw, QuarcOut::CrossRight, QuarcOut::CrossLeft];
 
+/// [`QuarcTopology::feeders`] per network output, pre-resolved to the
+/// request-slot indices `gather_node` uses (net inputs 0..4, local quadrant
+/// queues 4..8) — pinned to the topology tables by a test.
+const OUT_FEEDER_SLOTS: [&[usize]; 4] = [&[0, 2, 4], &[1, 3, 7], &[5], &[6]];
+
 /// A flit source within one router: a network input VC lane or a local
 /// quadrant queue. Byte-sized fields: ownership words are replicated per
-/// output lane per node and scanned every cycle, so the whole router state
-/// must stay cache-resident.
+/// output lane per node, so the whole router state must stay cache-resident.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Src {
     /// Network input `port` (0..4), VC lane `vc`.
@@ -95,49 +112,6 @@ struct Transfer {
     req: PortReq,
 }
 
-/// Per-node state: transceiver TX queues plus the router.
-///
-/// Per-lane state is stored flat (`port * vcs + vc` for buffers, fixed
-/// `[port][MAX_VCS]` arrays for route/ownership words) so the arbitration
-/// loops do no nested-`Vec` pointer chasing.
-#[derive(Debug)]
-struct NodeState {
-    /// Per-quadrant injection queues (flit-serialised packets). Unbounded:
-    /// the paper keeps packets in PE RAM and queues only addresses (§3.1).
-    inject_q: [VecDeque<Flit>; 4],
-    /// Outgoing VC of the packet currently streaming from each local port.
-    inject_vc: [Option<VcId>; 4],
-    /// Input buffers, flat over `port * vcs + vc`.
-    in_buf: LaneBufs,
-    /// Ingress-mux state per `[net port][vc]`, set by the header.
-    in_route: [[Option<HopPlan>; MAX_VCS]; 4],
-    /// Wormhole ownership per `[net out][vc]`.
-    out_owner: [[Option<Src>; MAX_VCS]; 4],
-    /// VC arbiter per network input port.
-    rr_in_vc: [RoundRobin; 4],
-    /// OPC grant arbiter per network output port.
-    rr_out: [RoundRobin; 4],
-}
-
-impl NodeState {
-    fn new(vcs: usize, depth: usize, policy: ArbPolicy) -> Self {
-        NodeState {
-            inject_q: Default::default(),
-            inject_vc: [None; 4],
-            in_buf: LaneBufs::new(4 * vcs, depth),
-            in_route: [[None; MAX_VCS]; 4],
-            out_owner: [[None; MAX_VCS]; 4],
-            rr_in_vc: Default::default(),
-            rr_out: [
-                RoundRobin::with_policy(policy),
-                RoundRobin::with_policy(policy),
-                RoundRobin::with_policy(policy),
-                RoundRobin::with_policy(policy),
-            ],
-        }
-    }
-}
-
 /// A scheduled transient link fault: the link refuses all traffic while
 /// `from ≤ now < until` (models a stalled downstream consumer or a link-level
 /// retransmission window; flow control must absorb it without loss).
@@ -148,14 +122,35 @@ struct LinkStall {
 }
 
 /// The flit-level Quarc network simulator.
+///
+/// All per-router state lives in network-owned structure-of-arrays slabs
+/// (flat `node * ports + port` indexing); the "router" is purely a loop
+/// index. See the module docs for the active-set scheduling scheme.
 #[derive(Debug)]
 pub struct QuarcNetwork {
     topo: QuarcTopology,
     cfg: NocConfig,
     clock: Clock,
-    nodes: Vec<NodeState>,
+    /// Per-quadrant injection queues, `node * 4 + quad`, holding whole
+    /// packets (flits materialise on pop). Unbounded: the paper keeps
+    /// packets in PE RAM and queues only addresses (§3.1).
+    inject_q: Box<[PacketQueue]>,
+    /// Outgoing VC of the packet streaming from local port `node * 4 + quad`.
+    inject_vc: Box<[Option<VcId>]>,
+    /// Input buffers, one bank for the whole network; lane
+    /// `(node * 4 + port) * vcs + vc`.
+    in_buf: LaneBufs,
+    /// Ingress-mux state per input lane (same indexing as `in_buf`), set by
+    /// the header.
+    in_route: Box<[Option<HopPlan>]>,
+    /// Wormhole ownership per output lane `(node * 4 + out) * vcs + vc`.
+    out_owner: Box<[Option<Src>]>,
+    /// VC arbiter per network input port (`node * 4 + port`).
+    rr_in_vc: RoundRobinBank,
+    /// OPC grant arbiter per network output port (`node * 4 + out`).
+    rr_out: RoundRobinBank,
     /// Directed links indexed by `node * 4 + out`.
-    links: Vec<Link>,
+    links: LinkBank,
     ids: IdAlloc,
     metrics: Metrics,
     /// Interned metadata of every in-flight packet (see [`PacketTable`]).
@@ -168,6 +163,9 @@ pub struct QuarcNetwork {
     link_flits: Vec<u64>,
     /// Scheduled transient stalls per link (failure injection).
     stalls: Vec<Option<LinkStall>>,
+    /// Whether any stall was ever scheduled — lets the per-lane credit
+    /// check skip the stall-window read entirely in ordinary runs.
+    has_stalls: bool,
     /// Precomputed `link_target` per `node * 4 + out`: the downstream node
     /// and input-port index.
     targets: Vec<(u32, u8)>,
@@ -179,17 +177,37 @@ pub struct QuarcNetwork {
     /// Link id feeding network input `node * 4 + in_port` (inverse of
     /// `targets`), for returning credits on buffer pops.
     feeder: Vec<u32>,
-    /// Per-node wakeup flags for the arbitration pass. A node whose router
+    /// Membership flag of `active_nodes` (one per node). A node whose router
     /// produced no grant last cycle can only become grantable through a
     /// tracked event — a link arrival, an injection, a commit at the node, or
-    /// a credit returned to it — each of which re-sets its flag. Skipping a
+    /// a credit returned to it — each of which re-marks it. Skipping a
     /// quiescent node is exactly behaviour-preserving: with no feasible
     /// request, `gather_node` would move nothing and advance no arbiter.
-    active: Vec<bool>,
+    node_active: Vec<bool>,
+    /// Routers-with-work worklist (unsorted accumulation; sorted into
+    /// canonical ascending order each cycle before arbitration).
+    active_nodes: Vec<u32>,
+    /// Per-cycle scratch the worklist is sorted into.
+    node_worklist: Vec<u32>,
     /// Nodes with a scheduled link stall re-arbitrate every cycle: stall
     /// windows open and close with time, which the event tracking above does
     /// not see.
-    always_active: Vec<bool>,
+    stalled_nodes: Vec<u32>,
+    /// Membership flag of `live_links` (one per link).
+    link_live: Vec<bool>,
+    /// Links-with-flits worklist. Iterated in insertion order, which is
+    /// deterministic and behaviour-neutral: each link feeds a distinct set
+    /// of input lanes, so arrival order across links cannot affect state.
+    live_links: Vec<u32>,
+    /// Sources-with-upcoming-work: min-heap of `(due cycle, node)` fed by
+    /// [`Workload::next_due`]. Nodes pop in ascending node order within a
+    /// cycle (all due entries carry the current cycle), preserving the
+    /// canonical poll order of the old full scan.
+    poll_heap: BinaryHeap<Reverse<(Cycle, u32)>>,
+    /// Test oracle: disable every worklist and scan all links/nodes/sources
+    /// each cycle. Set at construction time only (see
+    /// [`QuarcNetwork::set_full_scan`]).
+    full_scan: bool,
     /// Flits queued in source (quadrant) injection queues — counter twin of
     /// walking every `inject_q`, kept so `backlog()` is O(1).
     inject_backlog: usize,
@@ -220,16 +238,15 @@ impl QuarcNetwork {
 
     fn build(cfg: NocConfig, policy: ArbPolicy) -> Self {
         let topo = QuarcTopology::new(cfg.n);
-        let nodes = (0..cfg.n).map(|_| NodeState::new(cfg.vcs, cfg.buffer_depth, policy)).collect();
-        let links = (0..cfg.n * 4).map(|_| Link::new(cfg.link_latency)).collect();
-        let targets: Vec<(u32, u8)> = (0..cfg.n * 4)
+        let n = cfg.n;
+        let targets: Vec<(u32, u8)> = (0..n * 4)
             .map(|i| {
                 let (to, tin) =
                     topo.link_target(NodeId::new(i / 4), NET_OUT[i % 4]).expect("network output");
                 (to.index() as u32, tin.index() as u8)
             })
             .collect();
-        let mut feeder = vec![u32::MAX; cfg.n * 4];
+        let mut feeder = vec![u32::MAX; n * 4];
         for (lid, &(to, tin)) in targets.iter().enumerate() {
             feeder[to as usize * 4 + tin as usize] = lid as u32;
         }
@@ -238,20 +255,33 @@ impl QuarcNetwork {
             topo,
             cfg,
             clock: Clock::new(),
-            nodes,
-            links,
+            inject_q: (0..n * 4).map(|_| PacketQueue::new()).collect(),
+            inject_vc: vec![None; n * 4].into_boxed_slice(),
+            in_buf: LaneBufs::new(n * 4 * cfg.vcs, cfg.buffer_depth),
+            in_route: vec![None; n * 4 * cfg.vcs].into_boxed_slice(),
+            out_owner: vec![None; n * 4 * cfg.vcs].into_boxed_slice(),
+            rr_in_vc: RoundRobinBank::new(n * 4, ArbPolicy::RoundRobin),
+            rr_out: RoundRobinBank::new(n * 4, policy),
+            links: LinkBank::new(n * 4, cfg.link_latency),
             ids: IdAlloc::new(),
             metrics: Metrics::new(),
             packets: PacketTable::new(),
             transfers: Vec::new(),
             poll_buf: Vec::new(),
-            link_flits: vec![0; cfg.n * 4],
-            stalls: vec![None; cfg.n * 4],
-            credits: vec![cfg.buffer_depth as u32; cfg.n * 4 * cfg.vcs],
+            link_flits: vec![0; n * 4],
+            stalls: vec![None; n * 4],
+            has_stalls: false,
+            credits: vec![cfg.buffer_depth as u32; n * 4 * cfg.vcs],
             feeder,
             targets,
-            active: vec![true; cfg.n],
-            always_active: vec![false; cfg.n],
+            node_active: vec![true; n],
+            active_nodes: (0..n as u32).collect(),
+            node_worklist: Vec::new(),
+            stalled_nodes: Vec::new(),
+            link_live: vec![false; n * 4],
+            live_links: Vec::new(),
+            poll_heap: (0..n as u32).map(|node| Reverse((0, node))).collect(),
+            full_scan: false,
             inject_backlog: 0,
             buffered_flits: 0,
             link_occupancy: 0,
@@ -261,6 +291,23 @@ impl QuarcNetwork {
     /// The configuration this network was built with.
     pub fn config(&self) -> &NocConfig {
         &self.cfg
+    }
+
+    /// Test oracle: disable the active-set worklists and scan every link,
+    /// router and source each cycle (the naive reference the lockstep
+    /// proptests step against). Call before the first `step`.
+    pub fn set_full_scan(&mut self, on: bool) {
+        assert_eq!(self.clock.now(), 0, "full-scan mode is a construction-time choice");
+        self.full_scan = on;
+    }
+
+    /// Mark `node`'s router as possibly grantable next arbitration pass.
+    #[inline]
+    fn mark_node(&mut self, node: usize) {
+        if !self.node_active[node] {
+            self.node_active[node] = true;
+            self.active_nodes.push(node as u32);
+        }
     }
 
     /// The VC used on the first hop out of `node` through `out`.
@@ -297,10 +344,12 @@ impl QuarcNetwork {
     /// transient stalls. One read of the sender-side credit counter.
     fn downstream_free(&self, node: usize, out: usize, vc: VcId) -> usize {
         let lid = node * 4 + out;
-        if let Some(s) = self.stalls[lid] {
-            let now = self.clock.now();
-            if now >= s.from && now < s.until {
-                return 0;
+        if self.has_stalls {
+            if let Some(s) = self.stalls[lid] {
+                let now = self.clock.now();
+                if now >= s.from && now < s.until {
+                    return 0;
+                }
             }
         }
         self.credits[lid * self.cfg.vcs + vc.index()] as usize
@@ -314,9 +363,12 @@ impl QuarcNetwork {
         assert!(out != QuarcOut::Eject, "eject is not a link");
         assert!(from < until);
         self.stalls[node.index() * 4 + out.index()] = Some(LinkStall { from, until });
+        self.has_stalls = true;
         // Stall windows change feasibility purely with time; keep this
         // node's router re-arbitrating unconditionally.
-        self.always_active[node.index()] = true;
+        if !self.stalled_nodes.contains(&(node.index() as u32)) {
+            self.stalled_nodes.push(node.index() as u32);
+        }
     }
 
     /// Flits carried so far by the link leaving `node` through `out`.
@@ -347,7 +399,7 @@ impl QuarcNetwork {
         src: Src,
         is_header: bool,
     ) -> bool {
-        match self.nodes[node].out_owner[out][vc.index()] {
+        match self.out_owner[(node * 4 + out) * self.cfg.vcs + vc.index()] {
             Some(owner) => owner == src && !is_header,
             None => is_header,
         }
@@ -360,14 +412,16 @@ impl QuarcNetwork {
     #[allow(clippy::needless_range_loop)]
     fn gather_net_port(&mut self, node: usize, p: usize) -> Option<PortReq> {
         let vcs = self.cfg.vcs;
+        let base = (node * 4 + p) * vcs;
         // Collect feasibility per VC lane first (immutably). Fixed-size
-        // scratch: this runs 4·n times per cycle and must not allocate.
+        // scratch: this runs per active router per cycle and must not
+        // allocate.
         let mut feasible: [Option<PortReq>; MAX_VCS] = [None; MAX_VCS];
         for vc in 0..vcs {
-            let Some(head) = self.nodes[node].in_buf.front(p * vcs + vc).copied() else {
+            let Some(head) = self.in_buf.front(base + vc).copied() else {
                 continue;
             };
-            let plan = match self.nodes[node].in_route[p][vc] {
+            let plan = match self.in_route[base + vc] {
                 Some(plan) => {
                     debug_assert!(!head.is_header(), "route state present at header");
                     plan
@@ -417,15 +471,15 @@ impl QuarcNetwork {
                 });
             }
         }
-        let pick = self.nodes[node].rr_in_vc[p].pick(vcs, |vc| feasible[vc].is_some())?;
+        let pick = self.rr_in_vc.pick(node * 4 + p, vcs, |vc| feasible[vc].is_some())?;
         feasible[pick]
     }
 
     /// Build the request (if any) of local quadrant queue `quad` at `node`.
     fn gather_local_port(&self, node: usize, quad: usize) -> Option<PortReq> {
-        let head = self.nodes[node].inject_q[quad].front()?;
+        let head = self.inject_q[node * 4 + quad].front()?;
         let out = quarc_injection_out(quarc_core::quadrant::Quadrant::ALL[quad]);
-        let out_vc = match self.nodes[node].inject_vc[quad] {
+        let out_vc = match self.inject_vc[node * 4 + quad] {
             Some(vc) => {
                 debug_assert!(!head.is_header());
                 vc
@@ -462,23 +516,17 @@ impl QuarcNetwork {
         }
 
         // Phase 2: per-output grant (OPC master FSM). Feeder candidate lists
-        // are the topology's static tables, so the arbiter state has a fixed,
+        // are the topology's static tables (pre-resolved to request slots in
+        // [`OUT_FEEDER_SLOTS`]), so the arbiter state has a fixed,
         // hardware-like domain.
-        for (o, out) in NET_OUT.iter().enumerate() {
-            let feeders = QuarcTopology::feeders(*out);
-            let winner = self.nodes[node].rr_out[o].pick(feeders.len(), |k| {
-                let slot = match feeders[k] {
-                    QuarcIn::Local(q) => 4 + q.index(),
-                    other => other.index(),
-                };
-                matches!(reqs[slot], Some(r) if r.plan.out == Some(o as u8))
-            });
+        for (o, feeders) in OUT_FEEDER_SLOTS.iter().enumerate() {
+            let winner = self.rr_out.pick(
+                node * 4 + o,
+                feeders.len(),
+                |k| matches!(reqs[feeders[k]], Some(r) if r.plan.out == Some(o as u8)),
+            );
             if let Some(k) = winner {
-                let slot = match feeders[k] {
-                    QuarcIn::Local(q) => 4 + q.index(),
-                    other => other.index(),
-                };
-                let req = reqs[slot].take().expect("winner exists");
+                let req = reqs[feeders[k]].take().expect("winner exists");
                 transfers.push(Transfer { node, req });
             }
         }
@@ -496,37 +544,38 @@ impl QuarcNetwork {
     fn commit(&mut self, t: Transfer) {
         let now = self.clock.now();
         let node = t.node;
+        let vcs = self.cfg.vcs;
         // Any commit mutates this router's lane/ownership/credit state.
-        self.active[node] = true;
+        self.mark_node(node);
         // Pop the flit from its source and update per-packet lane state.
         let flit = match t.req.src {
             Src::Net { port, vc } => {
                 let (port, vc) = (port as usize, vc as usize);
-                let vcs = self.cfg.vcs;
-                let flit = self.nodes[node].in_buf.pop(port * vcs + vc).expect("planned flit");
+                let lane = (node * 4 + port) * vcs + vc;
+                let flit = self.in_buf.pop(lane).expect("planned flit");
                 self.buffered_flits -= 1;
                 // The freed slot becomes a credit at the upstream sender,
                 // which may unblock its router.
                 let feeder = self.feeder[node * 4 + port] as usize;
                 self.credits[feeder * vcs + vc] += 1;
-                self.active[feeder / 4] = true;
+                self.mark_node(feeder / 4);
                 if t.req.is_header {
-                    self.nodes[node].in_route[port][vc] = Some(t.req.plan);
+                    self.in_route[lane] = Some(t.req.plan);
                 }
                 if t.req.is_tail {
-                    self.nodes[node].in_route[port][vc] = None;
+                    self.in_route[lane] = None;
                 }
                 flit
             }
             Src::Local { quad } => {
-                let quad = quad as usize;
-                let flit = self.nodes[node].inject_q[quad].pop_front().expect("planned flit");
+                let q = node * 4 + quad as usize;
+                let flit = self.inject_q[q].pop().expect("planned flit");
                 self.inject_backlog -= 1;
                 if t.req.is_header {
-                    self.nodes[node].inject_vc[quad] = Some(t.req.plan.out_vc);
+                    self.inject_vc[q] = Some(t.req.plan.out_vc);
                 }
                 if t.req.is_tail {
-                    self.nodes[node].inject_vc[quad] = None;
+                    self.inject_vc[q] = None;
                 }
                 flit
             }
@@ -552,11 +601,12 @@ impl QuarcNetwork {
         // Forwarding.
         if let Some(o) = t.req.plan.out.map(usize::from) {
             let vc = t.req.plan.out_vc;
+            let lid = node * 4 + o;
             if t.req.is_header {
-                self.nodes[node].out_owner[o][vc.index()] = Some(t.req.src);
+                self.out_owner[lid * vcs + vc.index()] = Some(t.req.src);
             }
             if t.req.is_tail {
-                self.nodes[node].out_owner[o][vc.index()] = None;
+                self.out_owner[lid * vcs + vc.index()] = None;
             }
             // Routers (not sources) shift multicast bitstrings hop by hop.
             // Only headers are routed, so shifting the interned meta in place
@@ -564,15 +614,161 @@ impl QuarcNetwork {
             if flit.is_header() && matches!(t.req.src, Src::Net { .. }) {
                 advance_header(self.packets.meta_mut(flit.packet));
             }
-            self.link_flits[node * 4 + o] += 1;
+            self.link_flits[lid] += 1;
             self.link_occupancy += 1;
-            self.credits[(node * 4 + o) * self.cfg.vcs + vc.index()] -= 1;
-            self.links[node * 4 + o].send(TaggedFlit { flit, vc });
+            self.credits[lid * vcs + vc.index()] -= 1;
+            let idx = self.links.slot_index(now);
+            self.links.send(lid, idx, TaggedFlit { flit, vc });
+            if !self.link_live[lid] {
+                self.link_live[lid] = true;
+                self.live_links.push(lid as u32);
+            }
         } else if t.req.is_tail {
             // Pure absorption of the tail: wormhole in-order delivery means
             // no flit of this packet exists anywhere any more — retire it.
             self.packets.release(flit.packet);
         }
+    }
+
+    /// Deliver the flit arriving on link `lid` this cycle (if any) into the
+    /// downstream input lane.
+    #[inline]
+    fn arrive_link(&mut self, lid: usize, slot_index: usize) {
+        if let Some(tf) = self.links.arrive(lid, slot_index) {
+            let (to, tin) = self.targets[lid];
+            let lane = (to as usize * 4 + tin as usize) * self.cfg.vcs + tf.vc.index();
+            self.in_buf.push(lane, tf.flit);
+            self.link_occupancy -= 1;
+            self.buffered_flits += 1;
+            self.mark_node(to as usize);
+        }
+    }
+
+    /// Poll one source and expand whatever it produced into injection
+    /// queues. Returns via side effects; `reqs` is the reusable scratch.
+    fn poll_node<W: Workload + ?Sized>(
+        &mut self,
+        workload: &mut W,
+        node: usize,
+        now: Cycle,
+        reqs: &mut Vec<MessageRequest>,
+    ) {
+        reqs.clear();
+        workload.poll_into(NodeId::new(node), now, reqs);
+        for req in reqs.drain(..) {
+            debug_assert_eq!(req.src, NodeId::new(node), "workload src mismatch");
+            let message = self.metrics.create_message(req.class, now);
+            let queues: &mut [PacketQueue; 4] = (&mut self.inject_q[node * 4..node * 4 + 4])
+                .try_into()
+                .expect("four quadrant queues per node");
+            let (expected, flits) = quarc_expand_into(
+                self.topo.ring(),
+                &req,
+                message,
+                &mut self.ids,
+                now,
+                &mut self.packets,
+                queues,
+            );
+            self.inject_backlog += flits;
+            self.mark_node(node);
+            self.metrics.set_expected(message, expected);
+        }
+    }
+
+    /// Advance one cycle, polling `workload` for new messages. Monomorphized
+    /// per workload type — the enum-dispatched run loop in
+    /// [`crate::driver`] calls this directly; [`NocSim::step`] is the
+    /// object-safe facade.
+    pub fn step_cycle<W: Workload + ?Sized>(&mut self, workload: &mut W) {
+        let now = self.clock.now();
+
+        // (a) Link arrivals from last cycle — only links carrying flits.
+        let slot = self.links.slot_index(now);
+        if self.full_scan {
+            for lid in 0..self.cfg.n * 4 {
+                self.arrive_link(lid, slot);
+            }
+            // Keep the (unused) live set empty so sends cannot grow it
+            // without bound.
+            let mut live = std::mem::take(&mut self.live_links);
+            for &lid in &live {
+                self.link_live[lid as usize] = false;
+            }
+            live.clear();
+            self.live_links = live;
+        } else {
+            let mut live = std::mem::take(&mut self.live_links);
+            live.retain(|&lid| {
+                self.arrive_link(lid as usize, slot);
+                let still = !self.links.is_empty(lid as usize);
+                if !still {
+                    self.link_live[lid as usize] = false;
+                }
+                still
+            });
+            debug_assert!(self.live_links.is_empty(), "no sends happen during arrivals");
+            self.live_links = live;
+        }
+
+        // (b) New messages from due sources (scratch buffer reused across
+        // the whole run — no per-cycle allocation).
+        let mut reqs = std::mem::take(&mut self.poll_buf);
+        if self.full_scan {
+            for node in 0..self.cfg.n {
+                self.poll_node(workload, node, now, &mut reqs);
+            }
+        } else {
+            while self.poll_heap.peek().is_some_and(|&Reverse((due, _))| due <= now) {
+                let Reverse((due, node)) = self.poll_heap.pop().expect("peeked");
+                debug_assert!(due == now, "due cycles never pass unpolled");
+                self.poll_node(workload, node as usize, now, &mut reqs);
+                let next = workload.next_due(NodeId::new(node as usize), now).max(now + 1);
+                self.poll_heap.push(Reverse((next, node)));
+            }
+        }
+        self.poll_buf = reqs;
+
+        // (c) Read-only arbitration over the routers-with-work worklist, in
+        // canonical ascending order (metric accumulation order depends on
+        // it), skipping routers that cannot have become grantable since they
+        // last produced no grant.
+        for i in 0..self.stalled_nodes.len() {
+            let node = self.stalled_nodes[i] as usize;
+            self.mark_node(node);
+        }
+        let mut transfers = std::mem::take(&mut self.transfers);
+        transfers.clear();
+        if self.full_scan {
+            let mut marks = std::mem::take(&mut self.active_nodes);
+            for &node in &marks {
+                self.node_active[node as usize] = false;
+            }
+            marks.clear();
+            self.active_nodes = marks;
+            for node in 0..self.cfg.n {
+                self.gather_node(node, &mut transfers);
+            }
+        } else {
+            let mut worklist = std::mem::take(&mut self.node_worklist);
+            debug_assert!(worklist.is_empty());
+            std::mem::swap(&mut worklist, &mut self.active_nodes);
+            worklist.sort_unstable();
+            for &node in &worklist {
+                self.node_active[node as usize] = false;
+                self.gather_node(node as usize, &mut transfers);
+            }
+            worklist.clear();
+            self.node_worklist = worklist;
+        }
+
+        // (d) Commit.
+        for t in transfers.drain(..) {
+            self.commit(t);
+        }
+        self.transfers = transfers;
+
+        self.clock.tick();
     }
 
     /// Total flits queued at source transceivers (injection backlog). O(1).
@@ -589,64 +785,15 @@ impl QuarcNetwork {
 
 impl NocSim for QuarcNetwork {
     fn step(&mut self, workload: &mut dyn Workload) {
+        self.step_cycle(workload);
+    }
+
+    fn note_workload_change(&mut self) {
         let now = self.clock.now();
-
-        // (a) Link arrivals from last cycle.
-        let vcs = self.cfg.vcs;
-        for lid in 0..self.cfg.n * 4 {
-            if let Some(tf) = self.links[lid].step() {
-                let (to, tin) = self.targets[lid];
-                self.nodes[to as usize].in_buf.push(tin as usize * vcs + tf.vc.index(), tf.flit);
-                self.link_occupancy -= 1;
-                self.buffered_flits += 1;
-                self.active[to as usize] = true;
-            }
+        self.poll_heap.clear();
+        for node in 0..self.cfg.n as u32 {
+            self.poll_heap.push(Reverse((now, node)));
         }
-
-        // (b) New messages from the workload (scratch buffer reused across
-        // the whole run — no per-cycle allocation).
-        let mut reqs = std::mem::take(&mut self.poll_buf);
-        for node in 0..self.cfg.n {
-            reqs.clear();
-            workload.poll_into(NodeId::new(node), now, &mut reqs);
-            for req in reqs.drain(..) {
-                debug_assert_eq!(req.src, NodeId::new(node), "workload src mismatch");
-                let message = self.metrics.create_message(req.class, now);
-                let (expected, flits) = quarc_expand_into(
-                    self.topo.ring(),
-                    &req,
-                    message,
-                    &mut self.ids,
-                    now,
-                    &mut self.packets,
-                    &mut self.nodes[node].inject_q,
-                );
-                self.inject_backlog += flits;
-                self.active[node] = true;
-                self.metrics.set_expected(message, expected);
-            }
-        }
-        self.poll_buf = reqs;
-
-        // (c) Read-only arbitration, skipping routers that cannot have
-        // become grantable since they last produced no grant.
-        let mut transfers = std::mem::take(&mut self.transfers);
-        transfers.clear();
-        for node in 0..self.cfg.n {
-            if !self.active[node] && !self.always_active[node] {
-                continue;
-            }
-            self.active[node] = false;
-            self.gather_node(node, &mut transfers);
-        }
-
-        // (d) Commit.
-        for t in transfers.drain(..) {
-            self.commit(t);
-        }
-        self.transfers = transfers;
-
-        self.clock.tick();
     }
 
     fn now(&self) -> Cycle {
@@ -911,5 +1058,39 @@ mod tests {
         assert!(net.backlog() > 0);
         run_until_quiet(&mut net, &mut wl, 100);
         assert_eq!(net.backlog(), 0);
+    }
+
+    #[test]
+    fn out_feeder_slots_match_topology_tables() {
+        for (o, out) in NET_OUT.iter().enumerate() {
+            let want: Vec<usize> = QuarcTopology::feeders(*out)
+                .iter()
+                .map(|f| match f {
+                    QuarcIn::Local(q) => 4 + q.index(),
+                    other => other.index(),
+                })
+                .collect();
+            assert_eq!(OUT_FEEDER_SLOTS[o], want.as_slice(), "output {out:?}");
+        }
+    }
+
+    #[test]
+    fn full_scan_oracle_matches_active_set() {
+        use quarc_workloads::{Synthetic, SyntheticConfig};
+        let run = |full_scan: bool| {
+            let mut net = QuarcNetwork::new(NocConfig::quarc(16));
+            net.set_full_scan(full_scan);
+            let mut wl = Synthetic::new(16, SyntheticConfig::paper(0.05, 8, 0.1, 77));
+            for _ in 0..3_000 {
+                net.step(&mut wl);
+            }
+            (
+                net.metrics().flits_delivered(),
+                net.flit_hops(),
+                net.metrics().unicast_latency().mean().to_bits(),
+                net.metrics().broadcast_completion_latency().mean().to_bits(),
+            )
+        };
+        assert_eq!(run(false), run(true));
     }
 }

@@ -14,15 +14,20 @@
 //!   absorbed, header-rewritten and *re-injected through the single local
 //!   port* at every hop — the N−1 store-and-forward traversals that make
 //!   Spidergon broadcast an order of magnitude slower.
+//!
+//! State layout and per-cycle scheduling follow `quarc_net`: network-owned
+//! structure-of-arrays slabs, active-set worklists for links/routers/sources
+//! (see `crates/sim/HOTPATH.md`), plus one extra event source — the chain
+//! replication queue, whose re-injections mark their node active.
 
-use crate::arbiter::RoundRobin;
+use crate::arbiter::{ArbPolicy, RoundRobinBank};
 use crate::buffer::LaneBufs;
 use crate::driver::NocSim;
-use crate::link::{Link, TaggedFlit};
+use crate::link::{LinkBank, TaggedFlit};
 use crate::metrics::Metrics;
-use crate::packets::{push_packet, spidergon_expand_into, IdAlloc};
+use crate::packets::{push_packet, spidergon_expand_into, IdAlloc, PacketQueue};
 use quarc_core::config::{NocConfig, MAX_VCS};
-use quarc_core::flit::{Flit, PacketMeta, PacketRef, PacketTable};
+use quarc_core::flit::{PacketMeta, PacketRef, PacketTable};
 use quarc_core::ids::{NodeId, VcId};
 use quarc_core::ring::RingDir;
 use quarc_core::routing::{chain_continuations, spidergon_route, RouteAction};
@@ -30,7 +35,8 @@ use quarc_core::topology::{SpiIn, SpiOut, SpidergonTopology, TopologyKind};
 use quarc_core::vc::{vc_after_rim_hop, vc_for_cross_hop, INJECTION_VC};
 use quarc_engine::{Clock, Cycle, EventQueue};
 use quarc_workloads::{MessageRequest, Workload};
-use std::collections::VecDeque;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 /// Network output ports in index order (matches `SpiOut::index()` 0..3).
 const NET_OUT: [SpiOut; 3] = [SpiOut::RimCw, SpiOut::RimCcw, SpiOut::Cross];
@@ -76,52 +82,33 @@ struct Transfer {
     req: PortReq,
 }
 
-/// Per-node state. Per-lane state is flat (`port * vcs + vc`) / fixed
-/// arrays, as in `quarc_net` — no nested-`Vec` chasing in the hot loops.
-#[derive(Debug)]
-struct NodeState {
-    /// The single local injection queue (one-port router).
-    inject_q: VecDeque<Flit>,
-    /// Plan of the packet currently streaming from the local queue.
-    inject_plan: Option<HopPlan>,
-    /// Input buffers, flat over `port * vcs + vc`.
-    in_buf: LaneBufs,
-    /// Route state per `[net port][vc]`, set by the header.
-    in_route: [[Option<HopPlan>; MAX_VCS]; 3],
-    /// Wormhole ownership per `[net out][vc]`.
-    out_owner: [[Option<Src>; MAX_VCS]; 3],
-    /// Ejection-port ownership (single channel to the PE).
-    eject_owner: Option<Src>,
-    /// VC arbiter per network input port.
-    rr_in_vc: [RoundRobin; 3],
-    /// Grant arbiter per output port (3 links + eject).
-    rr_out: [RoundRobin; 4],
-}
-
-impl NodeState {
-    fn new(vcs: usize, depth: usize) -> Self {
-        NodeState {
-            inject_q: VecDeque::new(),
-            inject_plan: None,
-            in_buf: LaneBufs::new(3 * vcs, depth),
-            in_route: [[None; MAX_VCS]; 3],
-            out_owner: [[None; MAX_VCS]; 3],
-            eject_owner: None,
-            rr_in_vc: Default::default(),
-            rr_out: Default::default(),
-        }
-    }
-}
-
-/// The flit-level Spidergon network simulator.
+/// The flit-level Spidergon network simulator. Per-router state is
+/// structure-of-arrays (flat `node * ports + port` slabs), stepped over
+/// active-set worklists exactly as in [`crate::quarc_net`].
 #[derive(Debug)]
 pub struct SpidergonNetwork {
     topo: SpidergonTopology,
     cfg: NocConfig,
     clock: Clock,
-    nodes: Vec<NodeState>,
+    /// The single local injection queue per node (one-port router),
+    /// holding whole packets (flits materialise on pop).
+    inject_q: Box<[PacketQueue]>,
+    /// Plan of the packet currently streaming from each local queue.
+    inject_plan: Box<[Option<HopPlan>]>,
+    /// Input buffers, one bank; lane `(node * 3 + port) * vcs + vc`.
+    in_buf: LaneBufs,
+    /// Route state per input lane, set by the header.
+    in_route: Box<[Option<HopPlan>]>,
+    /// Wormhole ownership per output lane `(node * 3 + out) * vcs + vc`.
+    out_owner: Box<[Option<Src>]>,
+    /// Ejection-port ownership per node (single channel to the PE).
+    eject_owner: Box<[Option<Src>]>,
+    /// VC arbiter per network input port (`node * 3 + port`).
+    rr_in_vc: RoundRobinBank,
+    /// Grant arbiter per output port (`node * 4 + out`; 3 links + eject).
+    rr_out: RoundRobinBank,
     /// Directed links indexed by `node * 3 + out`.
-    links: Vec<Link>,
+    links: LinkBank,
     ids: IdAlloc,
     metrics: Metrics,
     /// Interned metadata of every in-flight packet (see [`PacketTable`]).
@@ -142,6 +129,14 @@ pub struct SpidergonNetwork {
     credits: Vec<u32>,
     /// Link id feeding input `node * 3 + in_port` (inverse of `targets`).
     feeder: Vec<u32>,
+    /// Active-set state (see `quarc_net` for the invariants).
+    node_active: Vec<bool>,
+    active_nodes: Vec<u32>,
+    node_worklist: Vec<u32>,
+    link_live: Vec<bool>,
+    live_links: Vec<u32>,
+    poll_heap: BinaryHeap<Reverse<(Cycle, u32)>>,
+    full_scan: bool,
     /// O(1) counter twins for `backlog()` / `quiesced()`.
     inject_backlog: usize,
     buffered_flits: u64,
@@ -154,16 +149,15 @@ impl SpidergonNetwork {
         assert_eq!(cfg.kind, TopologyKind::Spidergon, "config is not a Spidergon network");
         cfg.validate().expect("invalid configuration");
         let topo = SpidergonTopology::new(cfg.n);
-        let nodes = (0..cfg.n).map(|_| NodeState::new(cfg.vcs, cfg.buffer_depth)).collect();
-        let links = (0..cfg.n * 3).map(|_| Link::new(cfg.link_latency)).collect();
-        let targets: Vec<(u32, u8)> = (0..cfg.n * 3)
+        let n = cfg.n;
+        let targets: Vec<(u32, u8)> = (0..n * 3)
             .map(|i| {
                 let (to, tin) =
                     topo.link_target(NodeId::new(i / 3), NET_OUT[i % 3]).expect("network output");
                 (to.index() as u32, tin.index() as u8)
             })
             .collect();
-        let mut feeder = vec![u32::MAX; cfg.n * 3];
+        let mut feeder = vec![u32::MAX; n * 3];
         for (lid, &(to, tin)) in targets.iter().enumerate() {
             feeder[to as usize * 3 + tin as usize] = lid as u32;
         }
@@ -172,8 +166,15 @@ impl SpidergonNetwork {
             topo,
             cfg,
             clock: Clock::new(),
-            nodes,
-            links,
+            inject_q: (0..n).map(|_| PacketQueue::new()).collect(),
+            inject_plan: vec![None; n].into_boxed_slice(),
+            in_buf: LaneBufs::new(n * 3 * cfg.vcs, cfg.buffer_depth),
+            in_route: vec![None; n * 3 * cfg.vcs].into_boxed_slice(),
+            out_owner: vec![None; n * 3 * cfg.vcs].into_boxed_slice(),
+            eject_owner: vec![None; n].into_boxed_slice(),
+            rr_in_vc: RoundRobinBank::new(n * 3, ArbPolicy::RoundRobin),
+            rr_out: RoundRobinBank::new(n * 4, ArbPolicy::RoundRobin),
+            links: LinkBank::new(n * 3, cfg.link_latency),
             ids: IdAlloc::new(),
             metrics: Metrics::new(),
             packets: PacketTable::new(),
@@ -181,9 +182,16 @@ impl SpidergonNetwork {
             transfers: Vec::new(),
             poll_buf: Vec::new(),
             flit_hops: 0,
-            credits: vec![cfg.buffer_depth as u32; cfg.n * 3 * cfg.vcs],
+            credits: vec![cfg.buffer_depth as u32; n * 3 * cfg.vcs],
             feeder,
             targets,
+            node_active: vec![true; n],
+            active_nodes: (0..n as u32).collect(),
+            node_worklist: Vec::new(),
+            link_live: vec![false; n * 3],
+            live_links: Vec::new(),
+            poll_heap: (0..n as u32).map(|node| Reverse((0, node))).collect(),
+            full_scan: false,
             inject_backlog: 0,
             buffered_flits: 0,
             link_occupancy: 0,
@@ -193,6 +201,21 @@ impl SpidergonNetwork {
     /// The configuration this network was built with.
     pub fn config(&self) -> &NocConfig {
         &self.cfg
+    }
+
+    /// Test oracle: scan everything every cycle (see
+    /// `QuarcNetwork::set_full_scan`). Call before the first `step`.
+    pub fn set_full_scan(&mut self, on: bool) {
+        assert_eq!(self.clock.now(), 0, "full-scan mode is a construction-time choice");
+        self.full_scan = on;
+    }
+
+    #[inline]
+    fn mark_node(&mut self, node: usize) {
+        if !self.node_active[node] {
+            self.node_active[node] = true;
+            self.active_nodes.push(node as u32);
+        }
     }
 
     /// Resolve the route of a header at `node` into a hop plan.
@@ -227,9 +250,9 @@ impl SpidergonNetwork {
     /// Wormhole ownership check for link outputs and the ejection port.
     fn ownership_allows(&self, node: usize, plan: HopPlan, src: Src, is_header: bool) -> bool {
         let owner = if plan.out == EJECT {
-            self.nodes[node].eject_owner
+            self.eject_owner[node]
         } else {
-            self.nodes[node].out_owner[plan.out][plan.out_vc.index()]
+            self.out_owner[(node * 3 + plan.out) * self.cfg.vcs + plan.out_vc.index()]
         };
         match owner {
             Some(o) => o == src && !is_header,
@@ -251,13 +274,15 @@ impl SpidergonNetwork {
     #[allow(clippy::needless_range_loop)]
     fn gather_net_port(&mut self, node: usize, p: usize) -> Option<PortReq> {
         let vcs = self.cfg.vcs;
-        // Fixed-size scratch: runs 3·n times per cycle, must not allocate.
+        let base = (node * 3 + p) * vcs;
+        // Fixed-size scratch: runs per active router per cycle, must not
+        // allocate.
         let mut feasible: [Option<PortReq>; MAX_VCS] = [None; MAX_VCS];
         for vc in 0..vcs {
-            let Some(head) = self.nodes[node].in_buf.front(p * vcs + vc).copied() else {
+            let Some(head) = self.in_buf.front(base + vc).copied() else {
                 continue;
             };
-            let plan = match self.nodes[node].in_route[p][vc] {
+            let plan = match self.in_route[base + vc] {
                 Some(plan) => {
                     debug_assert!(!head.is_header());
                     plan
@@ -277,14 +302,14 @@ impl SpidergonNetwork {
                 });
             }
         }
-        let pick = self.nodes[node].rr_in_vc[p].pick(vcs, |vc| feasible[vc].is_some())?;
+        let pick = self.rr_in_vc.pick(node * 3 + p, vcs, |vc| feasible[vc].is_some())?;
         feasible[pick]
     }
 
     /// Request of the single local queue at `node`.
     fn gather_local_port(&self, node: usize) -> Option<PortReq> {
-        let head = self.nodes[node].inject_q.front()?;
-        let plan = match self.nodes[node].inject_plan {
+        let head = self.inject_q[node].front()?;
+        let plan = match self.inject_plan[node] {
             Some(plan) => {
                 debug_assert!(!head.is_header());
                 plan
@@ -324,7 +349,7 @@ impl SpidergonNetwork {
             } else {
                 SpidergonTopology::feeders(NET_OUT[o])
             };
-            let winner = self.nodes[node].rr_out[o].pick(feeders.len(), |k| {
+            let winner = self.rr_out.pick(node * 4 + o, feeders.len(), |k| {
                 let slot = feeders[k].index();
                 matches!(reqs[slot], Some(r) if r.plan.out == o)
             });
@@ -340,29 +365,34 @@ impl SpidergonNetwork {
     fn commit(&mut self, t: Transfer) {
         let now = self.clock.now();
         let node = t.node;
+        let vcs = self.cfg.vcs;
+        // Any commit mutates this router's lane/ownership/credit state.
+        self.mark_node(node);
         let flit = match t.req.src {
             Src::Net { port, vc } => {
-                let vcs = self.cfg.vcs;
-                let flit = self.nodes[node].in_buf.pop(port * vcs + vc).expect("planned flit");
+                let lane = (node * 3 + port) * vcs + vc;
+                let flit = self.in_buf.pop(lane).expect("planned flit");
                 self.buffered_flits -= 1;
                 // The freed slot becomes a credit at the upstream sender.
-                self.credits[self.feeder[node * 3 + port] as usize * vcs + vc] += 1;
+                let feeder = self.feeder[node * 3 + port] as usize;
+                self.credits[feeder * vcs + vc] += 1;
+                self.mark_node(feeder / 3);
                 if t.req.is_header {
-                    self.nodes[node].in_route[port][vc] = Some(t.req.plan);
+                    self.in_route[lane] = Some(t.req.plan);
                 }
                 if t.req.is_tail {
-                    self.nodes[node].in_route[port][vc] = None;
+                    self.in_route[lane] = None;
                 }
                 flit
             }
             Src::Local => {
-                let flit = self.nodes[node].inject_q.pop_front().expect("planned flit");
+                let flit = self.inject_q[node].pop().expect("planned flit");
                 self.inject_backlog -= 1;
                 if t.req.is_header {
-                    self.nodes[node].inject_plan = Some(t.req.plan);
+                    self.inject_plan[node] = Some(t.req.plan);
                 }
                 if t.req.is_tail {
-                    self.nodes[node].inject_plan = None;
+                    self.inject_plan[node] = None;
                 }
                 flit
             }
@@ -370,10 +400,10 @@ impl SpidergonNetwork {
 
         if t.req.plan.out == EJECT {
             if t.req.is_header {
-                self.nodes[node].eject_owner = Some(t.req.src);
+                self.eject_owner[node] = Some(t.req.src);
             }
             if t.req.is_tail {
-                self.nodes[node].eject_owner = None;
+                self.eject_owner[node] = None;
             }
             // The single arbitrated ejection port is the delivery site: it
             // streams one packet at a time (eject_owner pins it).
@@ -397,7 +427,7 @@ impl SpidergonNetwork {
                             packet: self.ids.packet(),
                             class: seed.class,
                             dst: seed.dst,
-                            bitstring: seed.remaining,
+                            bitstring: seed.remaining as u128,
                             dir: seed.dir,
                             ..meta
                         });
@@ -410,17 +440,149 @@ impl SpidergonNetwork {
         } else {
             let o = t.req.plan.out;
             let vc = t.req.plan.out_vc;
+            let lid = node * 3 + o;
             if t.req.is_header {
-                self.nodes[node].out_owner[o][vc.index()] = Some(t.req.src);
+                self.out_owner[lid * vcs + vc.index()] = Some(t.req.src);
             }
             if t.req.is_tail {
-                self.nodes[node].out_owner[o][vc.index()] = None;
+                self.out_owner[lid * vcs + vc.index()] = None;
             }
             self.flit_hops += 1;
             self.link_occupancy += 1;
-            self.credits[(node * 3 + o) * self.cfg.vcs + vc.index()] -= 1;
-            self.links[node * 3 + o].send(TaggedFlit { flit, vc });
+            self.credits[lid * vcs + vc.index()] -= 1;
+            let idx = self.links.slot_index(now);
+            self.links.send(lid, idx, TaggedFlit { flit, vc });
+            if !self.link_live[lid] {
+                self.link_live[lid] = true;
+                self.live_links.push(lid as u32);
+            }
         }
+    }
+
+    /// Deliver the flit arriving on link `lid` this cycle (if any).
+    #[inline]
+    fn arrive_link(&mut self, lid: usize, slot_index: usize) {
+        if let Some(tf) = self.links.arrive(lid, slot_index) {
+            let (to, tin) = self.targets[lid];
+            let lane = (to as usize * 3 + tin as usize) * self.cfg.vcs + tf.vc.index();
+            self.in_buf.push(lane, tf.flit);
+            self.link_occupancy -= 1;
+            self.buffered_flits += 1;
+            self.mark_node(to as usize);
+        }
+    }
+
+    /// Poll one source and expand its messages into the local queue.
+    fn poll_node<W: Workload + ?Sized>(
+        &mut self,
+        workload: &mut W,
+        node: usize,
+        now: Cycle,
+        reqs: &mut Vec<MessageRequest>,
+    ) {
+        reqs.clear();
+        workload.poll_into(NodeId::new(node), now, reqs);
+        for req in reqs.drain(..) {
+            debug_assert_eq!(req.src, NodeId::new(node));
+            let message = self.metrics.create_message(req.class, now);
+            let (expected, flits) = spidergon_expand_into(
+                self.topo.ring(),
+                &req,
+                message,
+                &mut self.ids,
+                now,
+                &mut self.packets,
+                &mut self.inject_q[node],
+            );
+            self.inject_backlog += flits;
+            self.mark_node(node);
+            self.metrics.set_expected(message, expected);
+        }
+    }
+
+    /// Advance one cycle (monomorphized; see `QuarcNetwork::step_cycle`).
+    pub fn step_cycle<W: Workload + ?Sized>(&mut self, workload: &mut W) {
+        let now = self.clock.now();
+
+        // (a) Link arrivals — only links carrying flits.
+        let slot = self.links.slot_index(now);
+        if self.full_scan {
+            for lid in 0..self.cfg.n * 3 {
+                self.arrive_link(lid, slot);
+            }
+            let mut live = std::mem::take(&mut self.live_links);
+            for &lid in &live {
+                self.link_live[lid as usize] = false;
+            }
+            live.clear();
+            self.live_links = live;
+        } else {
+            let mut live = std::mem::take(&mut self.live_links);
+            live.retain(|&lid| {
+                self.arrive_link(lid as usize, slot);
+                let still = !self.links.is_empty(lid as usize);
+                if !still {
+                    self.link_live[lid as usize] = false;
+                }
+                still
+            });
+            self.live_links = live;
+        }
+
+        // (b) Re-injections from the replication logic, then new messages
+        // from due sources.
+        while let Some((_, (node, pref, len))) = self.pending.pop_due(now) {
+            self.inject_backlog += push_packet(&mut self.inject_q[node], pref, len);
+            self.mark_node(node);
+        }
+        let mut reqs = std::mem::take(&mut self.poll_buf);
+        if self.full_scan {
+            for node in 0..self.cfg.n {
+                self.poll_node(workload, node, now, &mut reqs);
+            }
+        } else {
+            while self.poll_heap.peek().is_some_and(|&Reverse((due, _))| due <= now) {
+                let Reverse((due, node)) = self.poll_heap.pop().expect("peeked");
+                debug_assert!(due == now, "due cycles never pass unpolled");
+                self.poll_node(workload, node as usize, now, &mut reqs);
+                let next = workload.next_due(NodeId::new(node as usize), now).max(now + 1);
+                self.poll_heap.push(Reverse((next, node)));
+            }
+        }
+        self.poll_buf = reqs;
+
+        // (c) Arbitration over the sorted routers-with-work worklist,
+        // (d) commit.
+        let mut transfers = std::mem::take(&mut self.transfers);
+        transfers.clear();
+        if self.full_scan {
+            let mut marks = std::mem::take(&mut self.active_nodes);
+            for &node in &marks {
+                self.node_active[node as usize] = false;
+            }
+            marks.clear();
+            self.active_nodes = marks;
+            for node in 0..self.cfg.n {
+                self.gather_node(node, &mut transfers);
+            }
+        } else {
+            let mut worklist = std::mem::take(&mut self.node_worklist);
+            debug_assert!(worklist.is_empty());
+            std::mem::swap(&mut worklist, &mut self.active_nodes);
+            worklist.sort_unstable();
+            for &node in &worklist {
+                self.node_active[node as usize] = false;
+                self.gather_node(node as usize, &mut transfers);
+            }
+            worklist.clear();
+            self.node_worklist = worklist;
+        }
+        for t in transfers.drain(..) {
+            self.commit(t);
+        }
+        self.transfers = transfers;
+
+        self.clock.tick();
     }
 
     /// Total flits queued at source transceivers. O(1).
@@ -436,57 +598,15 @@ impl SpidergonNetwork {
 
 impl NocSim for SpidergonNetwork {
     fn step(&mut self, workload: &mut dyn Workload) {
+        self.step_cycle(workload);
+    }
+
+    fn note_workload_change(&mut self) {
         let now = self.clock.now();
-
-        // (a) Link arrivals.
-        let vcs = self.cfg.vcs;
-        for lid in 0..self.cfg.n * 3 {
-            if let Some(tf) = self.links[lid].step() {
-                let (to, tin) = self.targets[lid];
-                self.nodes[to as usize].in_buf.push(tin as usize * vcs + tf.vc.index(), tf.flit);
-                self.link_occupancy -= 1;
-                self.buffered_flits += 1;
-            }
+        self.poll_heap.clear();
+        for node in 0..self.cfg.n as u32 {
+            self.poll_heap.push(Reverse((now, node)));
         }
-
-        // (b) Re-injections from the replication logic, then new messages.
-        while let Some((_, (node, pref, len))) = self.pending.pop_due(now) {
-            self.inject_backlog += push_packet(&mut self.nodes[node].inject_q, pref, len);
-        }
-        let mut reqs = std::mem::take(&mut self.poll_buf);
-        for node in 0..self.cfg.n {
-            reqs.clear();
-            workload.poll_into(NodeId::new(node), now, &mut reqs);
-            for req in reqs.drain(..) {
-                debug_assert_eq!(req.src, NodeId::new(node));
-                let message = self.metrics.create_message(req.class, now);
-                let (expected, flits) = spidergon_expand_into(
-                    self.topo.ring(),
-                    &req,
-                    message,
-                    &mut self.ids,
-                    now,
-                    &mut self.packets,
-                    &mut self.nodes[node].inject_q,
-                );
-                self.inject_backlog += flits;
-                self.metrics.set_expected(message, expected);
-            }
-        }
-        self.poll_buf = reqs;
-
-        // (c) Arbitration, (d) commit.
-        let mut transfers = std::mem::take(&mut self.transfers);
-        transfers.clear();
-        for node in 0..self.cfg.n {
-            self.gather_node(node, &mut transfers);
-        }
-        for t in transfers.drain(..) {
-            self.commit(t);
-        }
-        self.transfers = transfers;
-
-        self.clock.tick();
     }
 
     fn now(&self) -> Cycle {
@@ -696,5 +816,25 @@ mod tests {
         );
         run_until_quiet(&mut net, &mut wl, 1_000);
         assert_eq!(net.metrics().completed(TrafficClass::Multicast), 1);
+    }
+
+    #[test]
+    fn full_scan_oracle_matches_active_set() {
+        use quarc_workloads::{Synthetic, SyntheticConfig};
+        let run = |full_scan: bool| {
+            let mut net = SpidergonNetwork::new(NocConfig::spidergon(16));
+            net.set_full_scan(full_scan);
+            let mut wl = Synthetic::new(16, SyntheticConfig::paper(0.02, 8, 0.05, 99));
+            for _ in 0..3_000 {
+                net.step(&mut wl);
+            }
+            (
+                net.metrics().flits_delivered(),
+                net.flit_hops(),
+                net.metrics().unicast_latency().mean().to_bits(),
+                net.metrics().broadcast_completion_latency().mean().to_bits(),
+            )
+        };
+        assert_eq!(run(false), run(true));
     }
 }

@@ -6,7 +6,7 @@
 //! across worker threads, so any change to how a point is built or seeded
 //! must keep `run_point` a pure function of its arguments.
 
-use crate::driver::{run, NocSim, RunResult, RunSpec};
+use crate::driver::{run_mono, AnyNet, NocSim, RunResult, RunSpec};
 use crate::mesh_net::MeshNetwork;
 use crate::quarc_net::QuarcNetwork;
 use crate::spider_net::SpidergonNetwork;
@@ -17,19 +17,29 @@ use quarc_engine::stats::LatencyHistogram;
 use quarc_workloads::{Synthetic, SyntheticConfig};
 use std::fmt;
 
-/// Instantiate the simulator matching a configuration.
+/// Instantiate the simulator matching a configuration, enum-dispatched.
+///
+/// This is the form the hot callers want: [`run_mono`] over an [`AnyNet`]
+/// monomorphizes the whole per-cycle loop. Note the mesh and torus models
+/// round `cfg.n` up to a near-square node count — size the workload from
+/// [`NocSim::num_nodes`], not from `cfg.n`.
+pub fn build_any(cfg: NocConfig) -> AnyNet {
+    match cfg.kind {
+        TopologyKind::Quarc => AnyNet::Quarc(QuarcNetwork::new(cfg)),
+        TopologyKind::Spidergon => AnyNet::Spidergon(SpidergonNetwork::new(cfg)),
+        TopologyKind::Mesh => AnyNet::Mesh(MeshNetwork::new(cfg)),
+        TopologyKind::Torus => AnyNet::Torus(TorusNetwork::new(cfg)),
+    }
+}
+
+/// Instantiate the simulator matching a configuration, type-erased.
 ///
 /// The box is `Send` so whole simulations can be handed to worker threads
-/// (none of the network models hold thread-local state). Note the mesh and
-/// torus models round `cfg.n` up to a near-square node count — size the
-/// workload from [`NocSim::num_nodes`], not from `cfg.n`.
+/// (none of the network models hold thread-local state). Kept as the API
+/// boundary for callers that want `dyn NocSim`; the run protocol itself goes
+/// through [`build_any`] + [`run_mono`].
 pub fn build_network(cfg: NocConfig) -> Box<dyn NocSim + Send> {
-    match cfg.kind {
-        TopologyKind::Quarc => Box::new(QuarcNetwork::new(cfg)),
-        TopologyKind::Spidergon => Box::new(SpidergonNetwork::new(cfg)),
-        TopologyKind::Mesh => Box::new(MeshNetwork::new(cfg)),
-        TopologyKind::Torus => Box::new(TorusNetwork::new(cfg)),
-    }
+    Box::new(build_any(cfg))
 }
 
 /// Why a sweep point could not be simulated.
@@ -120,7 +130,7 @@ pub struct PointOutcome {
 /// panicking inside a network constructor.
 pub fn run_point(point: &PointSpec, run_spec: &RunSpec) -> Result<PointOutcome, PointError> {
     point.noc.validate()?;
-    let mut net = build_network(point.noc);
+    let mut net = build_any(point.noc);
     // Grid topologies round n up to a near-square; ask the network, not the
     // config.
     let n = net.num_nodes();
@@ -128,7 +138,9 @@ pub fn run_point(point: &PointSpec, run_spec: &RunSpec) -> Result<PointOutcome, 
         n,
         SyntheticConfig::paper(point.rate, point.msg_len, point.beta, point.seed),
     );
-    let result = run(net.as_mut(), &mut wl, run_spec);
+    // Fully monomorphized inner loop: enum dispatch on the network, static
+    // dispatch into the Synthetic workload.
+    let result = run_mono(&mut net, &mut wl, run_spec);
     let m = net.metrics();
     Ok(PointOutcome {
         result,

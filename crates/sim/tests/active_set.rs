@@ -1,0 +1,235 @@
+//! Active-set correctness: every network's worklist-scheduled hot path must
+//! be **bit-identical** to a naive full scan.
+//!
+//! Each topology is stepped in lockstep with a full-scan twin (the
+//! `set_full_scan(true)` oracle re-arbitrates every router, steps every link
+//! and polls every source each cycle) over random workloads; the running
+//! metric fingerprints must agree at every checkpoint, through drain, at
+//! minimal buffer depth, and at large n. This pins the scheduling
+//! invariants of `crates/sim/HOTPATH.md` — a node or link the active set
+//! skips must be one the full scan would have found idle.
+
+use proptest::prelude::*;
+use quarc_core::config::NocConfig;
+use quarc_core::ids::NodeId;
+use quarc_engine::DetRng;
+use quarc_sim::driver::NocSim;
+use quarc_sim::{MeshNetwork, QuarcNetwork, SpidergonNetwork, TorusNetwork};
+use quarc_workloads::{
+    MessageRequest, Synthetic, SyntheticConfig, TraceRecord, TraceWorkload, Workload,
+};
+
+/// Everything the figures consume, as exact bits.
+fn fingerprint(net: &dyn NocSim) -> (u64, u64, u64, usize, u64, u64, u64, usize, bool) {
+    let m = net.metrics();
+    (
+        net.now(),
+        m.flits_delivered(),
+        m.completed_total(),
+        m.in_flight(),
+        net.flit_hops(),
+        m.unicast_latency().mean().to_bits(),
+        m.broadcast_completion_latency().mean().to_bits(),
+        net.source_backlog(),
+        net.quiesced(),
+    )
+}
+
+/// Step `active` (worklists) and `oracle` (full scan) in lockstep under
+/// identically-seeded workloads, checking the fingerprints at every
+/// checkpoint, then drain both and compare the final state.
+fn lockstep(
+    active: &mut dyn NocSim,
+    oracle: &mut dyn NocSim,
+    wl_a: &mut dyn Workload,
+    wl_o: &mut dyn Workload,
+    cycles: u64,
+    label: &str,
+) {
+    for c in 0..cycles {
+        active.step(wl_a);
+        oracle.step(wl_o);
+        if c % 64 == 0 {
+            assert_eq!(fingerprint(active), fingerprint(oracle), "{label}: diverged at cycle {c}");
+        }
+    }
+    let n = active.num_nodes();
+    let mut silence_a = TraceWorkload::new(n, vec![]);
+    let mut silence_o = TraceWorkload::new(n, vec![]);
+    for _ in 0..200_000u64 {
+        if active.quiesced() && oracle.quiesced() {
+            break;
+        }
+        active.step(&mut silence_a);
+        oracle.step(&mut silence_o);
+    }
+    assert!(active.quiesced() && oracle.quiesced(), "{label}: failed to drain");
+    assert_eq!(fingerprint(active), fingerprint(oracle), "{label}: diverged after drain");
+}
+
+/// A random mixed-class trace (unicast/broadcast/multicast) for lockstep
+/// runs — same shape as the conservation proptests.
+fn random_records(n: usize, count: usize, seed: u64) -> Vec<TraceRecord> {
+    let mut rng = DetRng::new(seed);
+    let mut records = Vec::with_capacity(count);
+    let mut cycle = 0u64;
+    for _ in 0..count {
+        cycle += rng.below(25) as u64;
+        let src = NodeId::new(rng.below(n));
+        let len = 2 + rng.below(8);
+        let request = match rng.below(5) {
+            0 => MessageRequest::broadcast(src, len),
+            1 => {
+                let k = 1 + rng.below(n / 2);
+                let mut targets = Vec::new();
+                for _ in 0..k {
+                    let t = NodeId::new(rng.below_excluding(n, src.index()));
+                    if !targets.contains(&t) {
+                        targets.push(t);
+                    }
+                }
+                MessageRequest::multicast(src, targets, len)
+            }
+            _ => {
+                MessageRequest::unicast(src, NodeId::new(rng.below_excluding(n, src.index())), len)
+            }
+        };
+        records.push(TraceRecord { cycle, request });
+    }
+    records
+}
+
+/// Build the four (active, oracle) pairs behind one closure so each topology
+/// test stays a one-liner.
+macro_rules! lockstep_pair {
+    ($ty:ident, $cfg:expr) => {{
+        let cfg = $cfg;
+        let active = $ty::new(cfg);
+        let mut oracle = $ty::new(cfg);
+        oracle.set_full_scan(true);
+        (active, oracle)
+    }};
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Quarc: Bernoulli traffic with collectives, through drain.
+    #[test]
+    fn quarc_active_set_matches_full_scan(
+        seed in any::<u64>(),
+        rate in prop_oneof![Just(0.01f64), Just(0.08)],
+        depth in prop_oneof![Just(1usize), Just(4)],
+    ) {
+        let (mut a, mut o) = lockstep_pair!(QuarcNetwork, NocConfig::quarc(16).with_buffer_depth(depth));
+        let cfg = SyntheticConfig::paper(rate, 6, 0.1, seed);
+        let (mut wa, mut wo) = (Synthetic::new(16, cfg), Synthetic::new(16, cfg));
+        lockstep(&mut a, &mut o, &mut wa, &mut wo, 1_200, "quarc/synthetic");
+    }
+
+    /// Spidergon: replication chains are an extra event source the worklists
+    /// must track.
+    #[test]
+    fn spidergon_active_set_matches_full_scan(
+        seed in any::<u64>(),
+        depth in prop_oneof![Just(1usize), Just(4)],
+    ) {
+        let (mut a, mut o) =
+            lockstep_pair!(SpidergonNetwork, NocConfig::spidergon(16).with_buffer_depth(depth));
+        let cfg = SyntheticConfig::paper(0.01, 6, 0.05, seed);
+        let (mut wa, mut wo) = (Synthetic::new(16, cfg), Synthetic::new(16, cfg));
+        lockstep(&mut a, &mut o, &mut wa, &mut wo, 1_200, "spidergon/synthetic");
+    }
+
+    /// Mesh: multicast-tree traces at minimal buffering.
+    #[test]
+    fn mesh_active_set_matches_full_scan(
+        seed in any::<u64>(),
+        depth in prop_oneof![Just(1usize), Just(4)],
+    ) {
+        let (mut a, mut o) = lockstep_pair!(MeshNetwork, NocConfig::mesh(16).with_buffer_depth(depth));
+        let records = random_records(16, 25, seed);
+        let (mut wa, mut wo) =
+            (TraceWorkload::new(16, records.clone()), TraceWorkload::new(16, records));
+        lockstep(&mut a, &mut o, &mut wa, &mut wo, 800, "mesh/trace");
+    }
+
+    /// Torus: wrap rings + dateline VCs at buffer_depth 1, the tightest
+    /// credit regime the dateline scheme supports.
+    #[test]
+    fn torus_active_set_matches_full_scan(
+        seed in any::<u64>(),
+    ) {
+        let (mut a, mut o) = lockstep_pair!(TorusNetwork, NocConfig::torus(16).with_buffer_depth(1));
+        let records = random_records(16, 25, seed);
+        let (mut wa, mut wo) =
+            (TraceWorkload::new(16, records.clone()), TraceWorkload::new(16, records));
+        lockstep(&mut a, &mut o, &mut wa, &mut wo, 800, "torus/trace");
+    }
+}
+
+/// Random mixed-class traces on the Quarc at buffer_depth 1 (head-of-line
+/// wormhole pressure everywhere), through drain.
+#[test]
+fn quarc_trace_lockstep_at_depth_one() {
+    for seed in [3u64, 17, 99] {
+        let (mut a, mut o) =
+            lockstep_pair!(QuarcNetwork, NocConfig::quarc(16).with_buffer_depth(1));
+        let records = random_records(16, 30, seed);
+        let (mut wa, mut wo) =
+            (TraceWorkload::new(16, records.clone()), TraceWorkload::new(16, records));
+        lockstep(&mut a, &mut o, &mut wa, &mut wo, 900, "quarc/trace-depth1");
+    }
+}
+
+/// Coherence has cross-node coupling (a read miss at A schedules a data
+/// response at its home node), so it must decline the `next_due` skip and
+/// still match the full scan exactly — including the memory-delay timing of
+/// every response.
+#[test]
+fn coherence_workload_matches_full_scan() {
+    use quarc_workloads::{Coherence, CoherenceConfig};
+    for seed in [5u64, 21] {
+        let (mut a, mut o) = lockstep_pair!(QuarcNetwork, NocConfig::quarc(16));
+        let cfg =
+            CoherenceConfig { request_rate: 0.05, memory_delay: 13, seed, ..Default::default() };
+        let (mut wa, mut wo) = (Coherence::new(16, cfg), Coherence::new(16, cfg));
+        lockstep(&mut a, &mut o, &mut wa, &mut wo, 1_500, "quarc/coherence");
+    }
+}
+
+/// Running the driver protocol twice on the same network must consult the
+/// second workload: the drain phase parks the poll schedule on silence, and
+/// `run` has to reset it.
+#[test]
+fn reused_network_polls_the_next_runs_workload() {
+    use quarc_sim::driver::{run, RunSpec};
+    let mut net = QuarcNetwork::new(NocConfig::quarc(16));
+    let spec = RunSpec { warmup: 100, measure: 1_000, drain: 2_000, ..Default::default() };
+    let mut wl = Synthetic::new(16, SyntheticConfig::paper(0.01, 4, 0.0, 1));
+    let first = run(&mut net, &mut wl, &spec);
+    assert!(first.unicast_samples > 0, "{first:?}");
+    let mut wl2 = Synthetic::new(16, SyntheticConfig::paper(0.01, 4, 0.0, 2));
+    let second = run(&mut net, &mut wl2, &spec);
+    assert!(second.unicast_samples > 0, "second run generated no traffic: {second:?}");
+}
+
+/// Large-n: the active set must stay bit-deterministic (run-to-run) and
+/// bit-identical to the oracle at n = 256.
+#[test]
+fn n256_active_set_is_deterministic_and_matches_oracle() {
+    let run = |full_scan: bool| {
+        let mut net = QuarcNetwork::new(NocConfig::quarc(256));
+        net.set_full_scan(full_scan);
+        let mut wl = Synthetic::new(256, SyntheticConfig::paper(0.002, 8, 0.05, 0xCAFE));
+        for _ in 0..1_500 {
+            net.step(&mut wl);
+        }
+        fingerprint(&net)
+    };
+    let a = run(false);
+    let b = run(false);
+    assert_eq!(a, b, "n=256 run is not deterministic");
+    let oracle = run(true);
+    assert_eq!(a, oracle, "n=256 active set diverged from the full scan");
+}

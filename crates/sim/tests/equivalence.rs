@@ -32,6 +32,7 @@ use quarc_workloads::{
 };
 
 const GOLDEN: &str = include_str!("goldens/metrics_equivalence.txt");
+const GOLDEN_LARGE: &str = include_str!("goldens/metrics_equivalence_large.txt");
 
 /// One scenario line: run `cycles` of injection, then drain up to `drain`
 /// cycles, and render every metric the figures consume.
@@ -204,6 +205,33 @@ fn scenarios() -> String {
     out
 }
 
+/// Large-n scenarios (the active-set scaling axis), pinned in a *separate*
+/// golden file so growing the covered size range never rewrites a byte of
+/// the original scenarios — CI regenerates both files and asserts the
+/// working tree is clean.
+fn large_scenarios() -> String {
+    let mut out = String::new();
+    for (name, mk, n, rate, cycles) in [
+        ("quarc/n256-trickle", 0u8, 256usize, 0.002, 2_500u64),
+        ("spidergon/n256-trickle", 1, 256, 0.002, 2_000),
+        ("mesh/n256-trickle", 2, 256, 0.002, 2_000),
+        ("torus/n256-trickle", 3, 256, 0.002, 2_000),
+        ("quarc/n1024-trickle", 0, 1024, 0.002, 1_200),
+    ] {
+        let mut net: Box<dyn NocSim> = match mk {
+            0 => Box::new(QuarcNetwork::new(NocConfig::quarc(n))),
+            1 => Box::new(SpidergonNetwork::new(NocConfig::spidergon(n))),
+            2 => Box::new(MeshNetwork::new(NocConfig::mesh(n))),
+            _ => Box::new(TorusNetwork::new(NocConfig::torus(n))),
+        };
+        let nodes = net.num_nodes();
+        let beta = if mk == 1 { 0.02 } else { 0.05 };
+        let mut wl = Synthetic::new(nodes, SyntheticConfig::paper(rate, 8, beta, 0xA5A5));
+        out.push_str(&run_scenario(name, net.as_mut(), &mut wl, cycles));
+    }
+    out
+}
+
 #[test]
 fn metrics_are_bit_identical_to_goldens() {
     let got = scenarios();
@@ -216,6 +244,23 @@ fn metrics_are_bit_identical_to_goldens() {
     assert_eq!(
         got, GOLDEN,
         "simulation output diverged from the pre-refactor goldens; \
+         if the change is intentional, regenerate with UPDATE_GOLDENS=1"
+    );
+}
+
+#[test]
+fn large_n_metrics_are_bit_identical_to_goldens() {
+    let got = large_scenarios();
+    if std::env::var_os("UPDATE_GOLDENS").is_some() {
+        let path =
+            concat!(env!("CARGO_MANIFEST_DIR"), "/tests/goldens/metrics_equivalence_large.txt");
+        std::fs::write(path, &got).expect("write goldens");
+        eprintln!("large-n goldens updated at {path}");
+        return;
+    }
+    assert_eq!(
+        got, GOLDEN_LARGE,
+        "large-n simulation output diverged from its goldens; \
          if the change is intentional, regenerate with UPDATE_GOLDENS=1"
     );
 }

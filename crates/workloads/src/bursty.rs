@@ -136,6 +136,18 @@ impl Workload for Bursty {
     fn nominal_rate(&self) -> Option<f64> {
         Some(self.cfg.mean_rate())
     }
+
+    fn next_due(&self, node: NodeId, _now: Cycle) -> Cycle {
+        // Until the dwell boundary an off node does nothing, and an on node
+        // does nothing before its next arrival; polls in between return
+        // without touching the RNG, so skipping them is exact.
+        let st = &self.nodes[node.index()];
+        if st.on {
+            st.dwell_until.min(st.next_arrival)
+        } else {
+            st.dwell_until
+        }
+    }
 }
 
 #[cfg(test)]

@@ -143,6 +143,13 @@ impl Workload for Coherence {
     fn nominal_rate(&self) -> Option<f64> {
         Some(self.cfg.request_rate)
     }
+
+    // Deliberately no `next_due` override: polling node A can schedule a
+    // data response at another node's home queue, so a per-node lower bound
+    // answered *now* can be invalidated by a later poll of a different node
+    // — exactly what the skip contract forbids. The default ("poll me every
+    // cycle") is the only exact answer for a workload with cross-node
+    // coupling; the active-set lockstep test pins this.
 }
 
 #[cfg(test)]

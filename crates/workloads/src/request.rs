@@ -45,9 +45,9 @@ impl MessageRequest {
     }
 }
 
-/// A source of traffic. The network driver polls every node once per cycle;
-/// implementations must be deterministic functions of their seed and the
-/// polling sequence.
+/// A source of traffic. The network driver polls each node when it is *due*
+/// (see [`Workload::next_due`]); implementations must be deterministic
+/// functions of their seed and the polling sequence.
 pub trait Workload {
     /// Append the messages created by `node` at cycle `now` (usually zero or
     /// one) to `out`.
@@ -57,6 +57,27 @@ pub trait Workload {
     /// Implementations must only push — never clear or drain — and must not
     /// read what earlier polls left behind (the driver clears between nodes).
     fn poll_into(&mut self, node: NodeId, now: Cycle, out: &mut Vec<MessageRequest>);
+
+    /// A lower bound on the next cycle at which polling `node` could do
+    /// anything — produce a message *or* mutate generator state. The network
+    /// simulators skip polls strictly before this cycle (their active-set
+    /// scheduling makes the per-cycle polling cost proportional to the
+    /// number of *due* sources, not to `n`), so the contract is strict: for
+    /// every cycle `c` with `now <= c < next_due(node, now)`, `poll_into(node,
+    /// c, ..)` must be a pure no-op. Returning `now` (the default) is always
+    /// safe and means "poll me every cycle".
+    ///
+    /// Implementations whose per-node schedule is self-contained
+    /// ([`crate::Synthetic`], [`crate::Bursty`], [`crate::TraceWorkload`])
+    /// answer exactly; the skip is then bit-identical to polling every
+    /// cycle, which the equivalence goldens and the active-set lockstep
+    /// proptests pin down. A workload where polling one node can create
+    /// *earlier* work at another (e.g. [`crate::Coherence`]'s home-node
+    /// responses) must keep the default: the bound it returns now could be
+    /// invalidated later.
+    fn next_due(&self, _node: NodeId, now: Cycle) -> Cycle {
+        now
+    }
 
     /// Offered load in messages per node per cycle, if the workload knows it
     /// (used for reporting sweep axes; trace replays may not know).
@@ -73,6 +94,23 @@ pub trait Workload {
         let mut out = Vec::new();
         self.poll_into(node, now, &mut out);
         out
+    }
+}
+
+/// Mutable references forward the whole contract, letting generic drivers
+/// re-borrow a possibly-unsized workload (e.g. `&mut dyn Workload`) as a
+/// sized one.
+impl<W: Workload + ?Sized> Workload for &mut W {
+    fn poll_into(&mut self, node: NodeId, now: Cycle, out: &mut Vec<MessageRequest>) {
+        (**self).poll_into(node, now, out);
+    }
+
+    fn nominal_rate(&self) -> Option<f64> {
+        (**self).nominal_rate()
+    }
+
+    fn next_due(&self, node: NodeId, now: Cycle) -> Cycle {
+        (**self).next_due(node, now)
     }
 }
 

@@ -45,6 +45,10 @@ struct NodeState {
 pub struct Synthetic {
     cfg: SyntheticConfig,
     n: usize,
+    /// Cached `ln(1 − rate)` — the constant denominator of every geometric
+    /// gap draw (the gap itself stays bit-identical to
+    /// [`DetRng::geometric_gap`], which recomputes it per draw).
+    ln_one_minus_rate: f64,
     nodes: Vec<NodeState>,
 }
 
@@ -64,7 +68,7 @@ impl Synthetic {
                 NodeState { rng, next_arrival }
             })
             .collect();
-        Synthetic { cfg, n, nodes }
+        Synthetic { cfg, n, ln_one_minus_rate: (1.0 - cfg.rate).ln(), nodes }
     }
 
     /// The generator's configuration.
@@ -73,14 +77,27 @@ impl Synthetic {
     }
 }
 
+/// [`DetRng::geometric_gap`] with the constant denominator hoisted out of
+/// the per-arrival path. Bit-identical: same draw, same arithmetic.
+#[inline]
+fn gap_with(rng: &mut DetRng, rate: f64, ln_one_minus_rate: f64) -> Cycle {
+    if rate >= 1.0 {
+        return 1;
+    }
+    let u: f64 = rng.unit();
+    let gap = (1.0 - u).ln() / ln_one_minus_rate;
+    (gap.ceil() as u64).max(1)
+}
+
 impl Workload for Synthetic {
     fn poll_into(&mut self, node: NodeId, now: Cycle, out: &mut Vec<MessageRequest>) {
+        let (rate, ln1mr) = (self.cfg.rate, self.ln_one_minus_rate);
         let st = &mut self.nodes[node.index()];
         if now < st.next_arrival {
             return;
         }
         // Bernoulli arrivals: at most one message per node per cycle.
-        st.next_arrival = now + st.rng.geometric_gap(self.cfg.rate);
+        st.next_arrival = now + gap_with(&mut st.rng, rate, ln1mr);
         let req = if st.rng.chance(self.cfg.broadcast_frac) {
             MessageRequest::broadcast(node, self.cfg.msg_len)
         } else {
@@ -92,6 +109,12 @@ impl Workload for Synthetic {
 
     fn nominal_rate(&self) -> Option<f64> {
         Some(self.cfg.rate)
+    }
+
+    fn next_due(&self, node: NodeId, _now: Cycle) -> Cycle {
+        // Polls before the scheduled arrival return without touching the
+        // RNG, so skipping them is exact.
+        self.nodes[node.index()].next_arrival
     }
 }
 

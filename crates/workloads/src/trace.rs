@@ -136,6 +136,10 @@ impl<W: Workload> Workload for Recorder<W> {
     fn nominal_rate(&self) -> Option<f64> {
         self.inner.nominal_rate()
     }
+
+    fn next_due(&self, node: NodeId, now: Cycle) -> Cycle {
+        self.inner.next_due(node, now)
+    }
 }
 
 /// Replays a trace cycle-accurately. Records must be grouped per node in
@@ -184,6 +188,11 @@ impl Workload for TraceWorkload {
         while q.front().is_some_and(|r| r.cycle <= now) {
             out.push(q.pop_front().expect("peeked").request);
         }
+    }
+
+    fn next_due(&self, node: NodeId, _now: Cycle) -> Cycle {
+        // Replay is exact: nothing happens before the next record's cycle.
+        self.queues[node.index()].front().map_or(Cycle::MAX, |r| r.cycle)
     }
 }
 
