@@ -371,6 +371,32 @@ fn main() {
             report.workers,
             report.wall.as_secs_f64(),
         );
+        // Execution telemetry: cache traffic and pool utilization. The same
+        // numbers land in <name>.telemetry.json (never in the pure
+        // campaign artifacts).
+        let topups = report.topups();
+        println!(
+            "#   cache: {} hit(s), {} miss(es), {} top-up(s)",
+            report.from_cache,
+            report.executed - topups,
+            topups,
+        );
+        for (w, s) in report.worker_stats.iter().enumerate() {
+            println!(
+                "#   worker {w}: {:>3.0}% busy, {} step(s), {} stolen",
+                s.busy_fraction() * 100.0,
+                s.steps,
+                s.steals,
+            );
+        }
+        if let Some(slowest) = report.point_telemetry.iter().max_by(|a, b| a.wall.cmp(&b.wall)) {
+            println!(
+                "#   slowest point: {} ({:.2}s, {} rep(s) simulated)",
+                slowest.label,
+                slowest.wall.as_secs_f64(),
+                slowest.simulated_reps,
+            );
+        }
         for s in &report.skipped {
             println!("#   skipped: {s}");
         }

@@ -15,7 +15,7 @@
 //!   the timings vary run to run).
 //!
 //! ```text
-//! perf [--quick] [--repeat K] [--out PATH] [--validate PATH]
+//! perf [--quick] [--repeat K] [--phases] [--out PATH] [--validate PATH]
 //! perf --gate NEW BASELINE [--min-ratio R]
 //! ```
 //!
@@ -25,6 +25,17 @@
 //! into the harness instead of the operator; `--validate` parses an existing
 //! artifact and checks its shape instead of running, exiting non-zero on
 //! malformed output.
+//!
+//! `--phases` adds a per-cell phase breakdown: after the timed (probe-off)
+//! passes, every cell gets one extra pass with the [`SimProbe`] phase
+//! profiler at full cadence, and the arrivals/polls/gather/commit split is
+//! printed and written into the point's `phases` object. The timed
+//! `cycles_per_sec` rows are never measured with probes on.
+//!
+//! Every artifact carries a `meta` block — host CPU model, core count, git
+//! commit, and whether probes were enabled during measurement — so a
+//! baseline records the machine and instrumentation state it was written
+//! under.
 //!
 //! The grid spans three load regimes — `trickle` (rate ≪ saturation, where
 //! active-set scheduling keeps per-cycle cost proportional to live traffic),
@@ -49,7 +60,7 @@
 use quarc_campaign::Json;
 use quarc_core::config::NocConfig;
 use quarc_core::topology::TopologyKind;
-use quarc_sim::{build_any, MonoStep, NocSim};
+use quarc_sim::{build_any, MonoStep, NocSim, Phase, ProbeConfig};
 use quarc_workloads::{Synthetic, SyntheticConfig};
 use std::time::Instant;
 
@@ -167,8 +178,8 @@ fn measure(p: &GridPoint, warmup: u64, cycles: u64, repeat: u32) -> Measured {
     best
 }
 
-fn point_json(p: &GridPoint, m: &Measured) -> Json {
-    Json::obj(vec![
+fn point_json(p: &GridPoint, m: &Measured, phases: Option<Json>) -> Json {
+    let mut fields = vec![
         ("topology", Json::Str(p.topology.to_string())),
         ("n", Json::UInt(p.n as u64)),
         ("rate", Json::Num(p.rate)),
@@ -182,6 +193,76 @@ fn point_json(p: &GridPoint, m: &Measured) -> Json {
         ("mflit_hops_per_sec", Json::Num(m.mflit_hops_per_sec)),
         ("flit_hops", Json::UInt(m.flit_hops)),
         ("flits_delivered", Json::UInt(m.flits_delivered)),
+    ];
+    if let Some(ph) = phases {
+        fields.push(("phases", ph));
+    }
+    Json::obj(fields)
+}
+
+/// One extra pass over the cell with the phase profiler at full cadence.
+/// Runs on a fresh network so the timed rows stay probe-free; returns the
+/// per-phase breakdown as JSON and prints a one-line summary.
+fn profile_point(p: &GridPoint, warmup: u64, cycles: u64) -> Json {
+    let mut net = build_any(NocConfig { kind: p.topology, n: p.n, ..Default::default() });
+    let n = net.num_nodes();
+    let mut wl = Synthetic::new(n, SyntheticConfig::paper(p.rate, MSG_LEN, p.beta, SEED));
+    for _ in 0..warmup {
+        net.step_mono(&mut wl);
+    }
+    net.probe_mut().configure(ProbeConfig { profile_every: 1, ..ProbeConfig::off() });
+    for _ in 0..cycles {
+        net.step_mono(&mut wl);
+    }
+    let probe = net.probe();
+    let profiled = probe.profiled_cycles().max(1) as f64;
+    let total_ns: u64 = Phase::ALL.iter().map(|&ph| probe.phase_nanos(ph)).sum();
+    let mut fields = Vec::with_capacity(Phase::ALL.len());
+    let mut line = String::new();
+    for ph in Phase::ALL {
+        let ns = probe.phase_nanos(ph);
+        let share = ns as f64 / total_ns.max(1) as f64;
+        let items = probe.phase_items(ph) as f64 / profiled;
+        line.push_str(&format!("{} {:.0}% ({items:.2} items/cyc)  ", ph.name(), share * 100.0));
+        fields.push((
+            ph.name(),
+            Json::obj(vec![
+                ("ns", Json::UInt(ns)),
+                ("items", Json::UInt(probe.phase_items(ph))),
+                ("ns_per_cycle", Json::Num(ns as f64 / profiled)),
+                ("share", Json::Num(share)),
+            ]),
+        ));
+    }
+    println!("#   phases {},{},{:.3},{}: {}", p.topology, p.n, p.rate, p.regime, line.trim_end());
+    Json::obj(fields)
+}
+
+/// The `meta` block: what machine and instrumentation state the artifact was
+/// measured under. Best-effort on every field — a missing `/proc/cpuinfo` or
+/// absent git binary degrades to `"unknown"`, never a failure.
+fn host_meta(probes: &str) -> Json {
+    let cpu_model = std::fs::read_to_string("/proc/cpuinfo")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("model name"))
+                .and_then(|l| l.split(':').nth(1).map(|v| v.trim().to_string()))
+        })
+        .unwrap_or_else(|| "unknown".into());
+    let cores = std::thread::available_parallelism().map(|c| c.get() as u64).unwrap_or(0);
+    let git_commit = std::process::Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .unwrap_or_else(|| "unknown".into());
+    Json::obj(vec![
+        ("cpu_model", Json::Str(cpu_model)),
+        ("cores", Json::UInt(cores)),
+        ("git_commit", Json::Str(git_commit)),
+        ("probes", Json::Str(probes.into())),
     ])
 }
 
@@ -271,6 +352,23 @@ fn gate(new_text: &str, base_text: &str, min_ratio: f64) -> Result<(String, bool
         "headline `{headline_name}`: **{headline_speed:.0} cycles/s** vs baseline {baseline_speed:.0} → **{ratio:.2}×** (floor {min_ratio}×): {}\n\n",
         if pass { "PASS" } else { "FAIL" },
     ));
+    // When both artifacts record their instrumentation state, the headline
+    // ratio doubles as the probes-disabled overhead bound: a NEW measured
+    // with probes compiled but off against a pre-probe (or probe-off)
+    // baseline shows exactly what the dormant instrumentation costs.
+    let probe_state = |doc: &Json| {
+        doc.get("meta")
+            .and_then(|m| m.get("probes"))
+            .and_then(Json::as_str)
+            .unwrap_or("unrecorded")
+            .to_string()
+    };
+    report.push_str(&format!(
+        "probes: NEW measured with probes `{}`, BASELINE with `{}` — at these settings the \
+         headline ratio above is the probes-disabled overhead bound.\n\n",
+        probe_state(&new),
+        probe_state(&base),
+    ));
     report.push_str("| topology | n | rate | regime | new cycles/s | baseline | ratio |\n");
     report.push_str("|---|---|---|---|---|---|---|\n");
     // Grids are allowed to differ between artifacts (new sizes/regimes get
@@ -321,13 +419,15 @@ fn gate(new_text: &str, base_text: &str, min_ratio: f64) -> Result<(String, bool
     Ok((report, pass))
 }
 
-const USAGE: &str = "usage: perf [--quick] [--repeat K] [--out PATH] [--validate PATH] | \
+const USAGE: &str =
+    "usage: perf [--quick] [--repeat K] [--phases] [--out PATH] [--validate PATH] | \
      perf --gate NEW BASELINE [--min-ratio R]";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut quick = false;
     let mut repeat: u32 = 3;
+    let mut phases = false;
     let mut out = String::from("BENCH_sim.json");
     let mut validate_path: Option<String> = None;
     let mut gate_paths: Option<(String, String)> = None;
@@ -336,6 +436,7 @@ fn main() {
     while let Some(a) = it.next() {
         match a.as_str() {
             "--quick" => quick = true,
+            "--phases" => phases = true,
             "--repeat" => {
                 repeat = it
                     .next()
@@ -426,7 +527,8 @@ fn main() {
                 ("mflit_hops_per_sec", Json::Num(m.mflit_hops_per_sec)),
             ]));
         }
-        rows.push(point_json(p, &m));
+        let phase_breakdown = phases.then(|| profile_point(p, warmup, cycles));
+        rows.push(point_json(p, &m, phase_breakdown));
     }
 
     let doc = Json::obj(vec![
@@ -435,6 +537,7 @@ fn main() {
         ("msg_len", Json::UInt(MSG_LEN as u64)),
         ("seed", Json::UInt(SEED)),
         ("quick", Json::Bool(quick)),
+        ("meta", host_meta(if phases { "profiled" } else { "disabled" })),
         ("points", Json::Arr(rows)),
         ("headline", headline.expect("grid always contains the headline point")),
     ]);

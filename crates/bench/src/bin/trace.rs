@@ -1,0 +1,146 @@
+//! `trace` — capture a flit-event trace and emit Chrome trace-event JSON.
+//!
+//! Runs one (topology, n, rate, β) point with the [`SimProbe`] flit tracer
+//! on and writes the ring's contents in the Chrome trace-event object form,
+//! loadable directly in `chrome://tracing` or Perfetto: one instant event
+//! per inject / hop / clone-at-branch / deliver, `ts` = cycle, `tid` = node,
+//! per-message detail in `args`. The ring is bounded — at capacity the
+//! oldest events are overwritten (and counted), so a long run yields the
+//! *last* `capacity` events, which is what a "why is it still saturated"
+//! investigation wants.
+//!
+//! ```text
+//! trace [--topology T] [--n N] [--rate R] [--beta B] [--cycles C]
+//!       [--capacity CAP] [--out PATH]
+//! trace --validate PATH
+//! ```
+//!
+//! `--validate` parses an existing trace artifact and checks the shape the
+//! CI smoke job relies on — valid JSON, a `traceEvents` array with a
+//! `process_name` metadata record first and at least one instant event, and
+//! `ph`/`ts`/`pid`/`tid` on every event — exiting non-zero on any problem.
+
+use quarc_campaign::Json;
+use quarc_core::config::NocConfig;
+use quarc_core::topology::TopologyKind;
+use quarc_sim::{build_any, MonoStep, NocSim, ProbeConfig};
+use quarc_workloads::{Synthetic, SyntheticConfig};
+
+const USAGE: &str = "usage: trace [--topology quarc|spidergon|mesh|torus] [--n N] [--rate R] \
+     [--beta B] [--cycles C] [--capacity CAP] [--out PATH] | trace --validate PATH";
+
+/// Check the Chrome trace-event shape. Returns (metadata records, instant
+/// events) or a description of the first problem found.
+fn validate(text: &str) -> Result<(usize, usize), String> {
+    let doc = Json::parse(text).map_err(|e| format!("not valid JSON: {e:?}"))?;
+    if doc.get("displayTimeUnit").and_then(Json::as_str).is_none() {
+        return Err("missing `displayTimeUnit`".into());
+    }
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| "missing `traceEvents` array".to_string())?;
+    if events.is_empty() {
+        return Err("`traceEvents` is empty".into());
+    }
+    let mut meta = 0usize;
+    let mut instants = 0usize;
+    for (i, ev) in events.iter().enumerate() {
+        let ph =
+            ev.get("ph").and_then(Json::as_str).ok_or_else(|| format!("event {i} lacks `ph`"))?;
+        for key in ["ts", "pid", "tid"] {
+            if ev.get(key).and_then(Json::as_u64).is_none() {
+                return Err(format!("event {i} lacks numeric `{key}`"));
+            }
+        }
+        if ev.get("name").and_then(Json::as_str).is_none() {
+            return Err(format!("event {i} lacks `name`"));
+        }
+        match ph {
+            "M" => meta += 1,
+            "i" => instants += 1,
+            other => return Err(format!("event {i} has unexpected phase `{other}`")),
+        }
+    }
+    if meta == 0 {
+        return Err("no process_name metadata record".into());
+    }
+    if instants == 0 {
+        return Err("no flit events captured (all records are metadata)".into());
+    }
+    Ok((meta, instants))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut topology = TopologyKind::Quarc;
+    let mut n: usize = 16;
+    let mut rate: f64 = 0.05;
+    let mut beta: f64 = 0.05;
+    let mut cycles: u64 = 2_000;
+    let mut capacity: usize = 1 << 16;
+    let mut out = String::from("trace.json");
+    let mut validate_path: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut next = |flag: &str| it.next().unwrap_or_else(|| panic!("{flag} needs a value"));
+        match a.as_str() {
+            "--topology" => {
+                topology = match next("--topology").as_str() {
+                    "quarc" => TopologyKind::Quarc,
+                    "spidergon" => TopologyKind::Spidergon,
+                    "mesh" => TopologyKind::Mesh,
+                    "torus" => TopologyKind::Torus,
+                    other => panic!("unknown topology {other}"),
+                }
+            }
+            "--n" => n = next("--n").parse().expect("--n must be an integer"),
+            "--rate" => rate = next("--rate").parse().expect("--rate must be a number"),
+            "--beta" => beta = next("--beta").parse().expect("--beta must be a number"),
+            "--cycles" => cycles = next("--cycles").parse().expect("--cycles must be an integer"),
+            "--capacity" => {
+                capacity = next("--capacity").parse().expect("--capacity must be an integer")
+            }
+            "--out" => out = next("--out").clone(),
+            "--validate" => validate_path = Some(next("--validate").clone()),
+            other => {
+                eprintln!("unknown argument {other}\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    if let Some(path) = validate_path {
+        let text =
+            std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+        match validate(&text) {
+            Ok((meta, instants)) => {
+                println!("# {path}: OK ({meta} metadata record(s), {instants} flit events)")
+            }
+            Err(why) => {
+                eprintln!("{path}: MALFORMED: {why}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    assert!(capacity > 0, "--capacity must be positive (0 disables tracing)");
+    let mut net = build_any(NocConfig { kind: topology, n, ..Default::default() });
+    let nodes = net.num_nodes();
+    net.probe_mut().configure(ProbeConfig { trace_capacity: capacity, ..ProbeConfig::off() });
+    let mut wl = Synthetic::new(nodes, SyntheticConfig::paper(rate, 8, beta, 0xBE7C));
+    for _ in 0..cycles {
+        net.step_mono(&mut wl);
+    }
+    let probe = net.probe();
+    let captured = probe.events().count();
+    let label = format!("{topology} n={nodes} rate={rate} beta={beta}");
+    std::fs::write(&out, probe.chrome_trace_json(&label))
+        .unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
+    println!(
+        "# {out}: {captured} events over {cycles} cycles ({} overwritten at capacity {capacity})",
+        probe.events_dropped()
+    );
+    println!("# load in chrome://tracing or https://ui.perfetto.dev");
+}

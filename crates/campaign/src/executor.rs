@@ -24,7 +24,7 @@
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// What one execution step of a re-enqueueable task produced.
 #[derive(Debug)]
@@ -33,6 +33,34 @@ pub enum Step<S, R> {
     Yield(S),
     /// Finished with this result.
     Done(R),
+}
+
+/// Per-worker execution accounting from one pool run. Pure telemetry —
+/// results never depend on it, and the cost is two `Instant` reads per task
+/// step (point execution dominates by orders of magnitude).
+#[derive(Debug, Clone, Default)]
+pub struct WorkerStats {
+    /// Task steps this worker executed.
+    pub steps: u64,
+    /// Steps whose task came off another worker's deque.
+    pub steals: u64,
+    /// Wall time spent inside `step` calls.
+    pub busy: Duration,
+    /// The worker thread's total lifetime.
+    pub wall: Duration,
+}
+
+impl WorkerStats {
+    /// Fraction of the worker's lifetime spent executing task steps (the
+    /// rest is queue checks and idle waits).
+    pub fn busy_fraction(&self) -> f64 {
+        let wall = self.wall.as_secs_f64();
+        if wall <= 0.0 {
+            0.0
+        } else {
+            (self.busy.as_secs_f64() / wall).min(1.0)
+        }
+    }
 }
 
 /// Run re-enqueueable tasks over every item on `workers` threads; results in
@@ -61,6 +89,24 @@ where
     I: Fn(usize, &T) -> S + Sync,
     F: Fn(usize, &T, S) -> Step<S, R> + Sync,
 {
+    run_work_stealing_tasks_with_stats(items, workers, init, step).0
+}
+
+/// [`run_work_stealing_tasks`] plus per-worker [`WorkerStats`] (one entry
+/// per pool thread actually spawned).
+pub fn run_work_stealing_tasks_with_stats<T, S, R, I, F>(
+    items: &[T],
+    workers: usize,
+    init: I,
+    step: F,
+) -> (Vec<R>, Vec<WorkerStats>)
+where
+    T: Sync,
+    S: Send,
+    R: Send,
+    I: Fn(usize, &T) -> S + Sync,
+    F: Fn(usize, &T, S) -> Step<S, R> + Sync,
+{
     assert!(workers >= 1, "need at least one worker");
     let workers = workers.min(items.len()).max(1);
 
@@ -70,6 +116,8 @@ where
     let states: Vec<Mutex<Option<S>>> =
         items.iter().enumerate().map(|(i, item)| Mutex::new(Some(init(i, item)))).collect();
     let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    let stats: Vec<Mutex<WorkerStats>> =
+        (0..workers).map(|_| Mutex::new(WorkerStats::default())).collect();
     // Tasks not yet Done. Workers must outlive every *yielding* task, not
     // just the initial queue — an idle worker waits on this counter instead
     // of exiting, so a re-enqueued batch can still be stolen.
@@ -94,14 +142,17 @@ where
             let deques = &deques;
             let states = &states;
             let slots = &slots;
+            let stats = &stats;
             let remaining = &remaining;
             let poisoned = &poisoned;
             let step = &step;
             scope.spawn(move || {
                 let _guard = PoisonOnPanic(poisoned);
+                let born = Instant::now();
+                let mut local = WorkerStats::default();
                 loop {
                     if remaining.load(Ordering::Acquire) == 0 || poisoned.load(Ordering::Acquire) {
-                        return;
+                        break;
                     }
                     // Own work first (front: preserves shard locality) …
                     let next = deques[w].lock().expect("deque poisoned").pop_front();
@@ -109,7 +160,10 @@ where
                         Some(idx) => idx,
                         // … then steal from the back of the fullest victim.
                         None => match steal(deques, w) {
-                            Some(idx) => idx,
+                            Some(idx) => {
+                                local.steals += 1;
+                                idx
+                            }
                             None => {
                                 // Nothing queued, but unfinished tasks may
                                 // yield more batches: wait instead of
@@ -126,7 +180,11 @@ where
                         .expect("state poisoned")
                         .take()
                         .expect("a queued task always has parked state");
-                    match step(idx, &items[idx], state) {
+                    let t0 = Instant::now();
+                    let outcome = step(idx, &items[idx], state);
+                    local.busy += t0.elapsed();
+                    local.steps += 1;
+                    match outcome {
                         Step::Yield(state) => {
                             *states[idx].lock().expect("state poisoned") = Some(state);
                             deques[w].lock().expect("deque poisoned").push_back(idx);
@@ -137,14 +195,18 @@ where
                         }
                     }
                 }
+                local.wall = born.elapsed();
+                *stats[w].lock().expect("stats poisoned") = local;
             });
         }
     });
 
-    slots
+    let results = slots
         .into_iter()
         .map(|slot| slot.into_inner().expect("slot poisoned").expect("every item was executed"))
-        .collect()
+        .collect();
+    let stats = stats.into_iter().map(|s| s.into_inner().expect("stats poisoned")).collect();
+    (results, stats)
 }
 
 /// Run `f` over every item on `workers` threads; results in item order.

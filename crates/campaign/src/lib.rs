@@ -57,7 +57,10 @@ pub mod saturation;
 pub mod spec;
 
 pub use cache::ResultCache;
-pub use executor::{default_workers, run_work_stealing, run_work_stealing_tasks, Step};
+pub use executor::{
+    default_workers, run_work_stealing, run_work_stealing_tasks,
+    run_work_stealing_tasks_with_stats, Step, WorkerStats,
+};
 pub use json::Json;
 pub use replicate::{
     decide, extend_series, merge_series, replication_seed, run_replicated, Converged, Decision,
@@ -65,7 +68,8 @@ pub use replicate::{
 };
 pub use result::{PointOutcomeKind, PointResult};
 pub use runner::{
-    execute_point, run_campaign, CampaignError, CampaignOptions, CampaignReport, DEFAULT_BATCH_REPS,
+    execute_point, run_campaign, CampaignError, CampaignOptions, CampaignReport, PointTelemetry,
+    DEFAULT_BATCH_REPS,
 };
 pub use saturation::{find_saturation, Probe, SaturationResult};
 pub use spec::{

@@ -3,7 +3,8 @@
 
 use crate::artifact;
 use crate::cache::ResultCache;
-use crate::executor::{default_workers, run_work_stealing_tasks, Step};
+use crate::executor::{default_workers, run_work_stealing_tasks_with_stats, Step, WorkerStats};
+use crate::json::Json;
 use crate::replicate::{
     decide, extend_series, merge_series, replication_seed, Converged, Decision, RepOutcome,
 };
@@ -65,6 +66,38 @@ pub struct CampaignReport {
     pub artifacts: Vec<PathBuf>,
     /// Wall-clock duration of the execution phase.
     pub wall: Duration,
+    /// Per-worker pool accounting (busy fraction, steps, steals).
+    pub worker_stats: Vec<WorkerStats>,
+    /// Per-point execution accounting, in expansion order.
+    pub point_telemetry: Vec<PointTelemetry>,
+}
+
+/// How one point was executed: where its replications came from and how
+/// long the simulation work took. Pure telemetry — kept out of the campaign
+/// JSON/CSV artifacts so those stay pure functions of the spec.
+#[derive(Debug, Clone)]
+pub struct PointTelemetry {
+    /// Expansion-order id (matches [`PointResult::id`]).
+    pub id: usize,
+    /// The point's display label.
+    pub label: String,
+    /// Wall time spent simulating this point across all its batches
+    /// (zero-ish for a pure cache hit).
+    pub wall: Duration,
+    /// Replications simulated this run.
+    pub simulated_reps: usize,
+    /// Cached replications reused in the reported merge.
+    pub reps_cached: usize,
+    /// Served entirely from the result cache.
+    pub from_cache: bool,
+}
+
+impl PointTelemetry {
+    /// Whether this point was a convergence/replication top-up: cached work
+    /// was reused but the tail still had to be simulated.
+    pub fn is_topup(&self) -> bool {
+        self.simulated_reps > 0 && self.reps_cached > 0
+    }
 }
 
 impl CampaignReport {
@@ -76,6 +109,77 @@ impl CampaignReport {
     /// The CSV artifact table.
     pub fn csv(&self) -> String {
         artifact::campaign_csv(&self.results)
+    }
+
+    /// Points that reused cached replications but still simulated a tail.
+    pub fn topups(&self) -> usize {
+        self.point_telemetry.iter().filter(|p| p.is_topup()).count()
+    }
+
+    /// The execution-telemetry document. Deliberately a *separate* artifact
+    /// from [`CampaignReport::to_json`]: it records timing, cache traffic
+    /// and scheduling — everything the pure campaign artifact must exclude.
+    pub fn telemetry_json(&self, spec: &CampaignSpec) -> Json {
+        Json::obj(vec![
+            ("campaign", Json::Str(spec.name.clone())),
+            ("kind", Json::Str("execution-telemetry".into())),
+            ("wall_s", Json::Num(self.wall.as_secs_f64())),
+            ("workers", Json::UInt(self.workers as u64)),
+            (
+                "cache",
+                Json::obj(vec![
+                    ("hits", Json::UInt(self.from_cache as u64)),
+                    ("misses", Json::UInt((self.executed - self.topups()) as u64)),
+                    ("topups", Json::UInt(self.topups() as u64)),
+                    ("reps_simulated", Json::UInt(self.reps_simulated as u64)),
+                    ("reps_cached", Json::UInt(self.reps_cached as u64)),
+                ]),
+            ),
+            (
+                "worker_stats",
+                Json::Arr(
+                    self.worker_stats
+                        .iter()
+                        .enumerate()
+                        .map(|(w, s)| {
+                            Json::obj(vec![
+                                ("worker", Json::UInt(w as u64)),
+                                ("steps", Json::UInt(s.steps)),
+                                ("steals", Json::UInt(s.steals)),
+                                ("busy_s", Json::Num(s.busy.as_secs_f64())),
+                                ("wall_s", Json::Num(s.wall.as_secs_f64())),
+                                ("busy_fraction", Json::Num(s.busy_fraction())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "points",
+                Json::Arr(
+                    self.point_telemetry
+                        .iter()
+                        .map(|p| {
+                            let how = if p.from_cache {
+                                "cache"
+                            } else if p.is_topup() {
+                                "top-up"
+                            } else {
+                                "ran"
+                            };
+                            Json::obj(vec![
+                                ("id", Json::UInt(p.id as u64)),
+                                ("label", Json::Str(p.label.clone())),
+                                ("how", Json::Str(how.into())),
+                                ("wall_s", Json::Num(p.wall.as_secs_f64())),
+                                ("reps_simulated", Json::UInt(p.simulated_reps as u64)),
+                                ("reps_cached", Json::UInt(p.reps_cached as u64)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
     }
 }
 
@@ -150,6 +254,8 @@ struct PointTask {
     cached_reps: usize,
     /// Replications simulated by this run.
     simulated_reps: usize,
+    /// Wall time across this point's batches so far.
+    busy: Duration,
 }
 
 /// A completed point plus its execution accounting.
@@ -161,6 +267,8 @@ struct PointDone {
     reps_cached_used: usize,
     /// Served entirely from the cache.
     from_cache: bool,
+    /// Wall time across all of this point's batches.
+    wall: Duration,
 }
 
 impl PointTask {
@@ -171,6 +279,7 @@ impl PointTask {
             consulted_cache: false,
             cached_reps: 0,
             simulated_reps: 0,
+            busy: Duration::ZERO,
         }
     }
 
@@ -178,6 +287,7 @@ impl PointTask {
     /// then alternate `decide` → simulate-batch → persist, yielding between
     /// batches so convergence top-ups interleave with the rest of the grid.
     fn step(mut self, ctx: &PointContext<'_>) -> Step<PointTask, PointDone> {
+        let t0 = Instant::now();
         let merge_key = self.point.merge_key(ctx.spec);
         let merge_hash = self.point.merge_hash(ctx.spec);
         match self.point.work {
@@ -192,6 +302,7 @@ impl PointTask {
                             simulated_reps: 0,
                             reps_cached_used: 0,
                             from_cache: true,
+                            wall: self.busy + t0.elapsed(),
                         });
                     }
                 }
@@ -232,6 +343,7 @@ impl PointTask {
                     simulated_reps: probes,
                     reps_cached_used: 0,
                     from_cache: false,
+                    wall: self.busy + t0.elapsed(),
                 })
             }
             PointWork::Rate(rate) => {
@@ -254,6 +366,7 @@ impl PointTask {
                             simulated_reps: self.simulated_reps,
                             reps_cached_used: self.cached_reps.min(n as usize),
                             from_cache: self.simulated_reps == 0 && self.cached_reps > 0,
+                            wall: self.busy + t0.elapsed(),
                         })
                     }
                     Decision::NeedMore { upto } => {
@@ -283,6 +396,7 @@ impl PointTask {
                                 }
                             }
                         }
+                        self.busy += t0.elapsed();
                         Step::Yield(self)
                     }
                 }
@@ -326,13 +440,15 @@ pub fn run_campaign(
     let hits = AtomicUsize::new(0);
     let reps_simulated = AtomicUsize::new(0);
     let reps_cached = AtomicUsize::new(0);
+    let telemetry: Vec<std::sync::Mutex<Option<PointTelemetry>>> =
+        expansion.points.iter().map(|_| std::sync::Mutex::new(None)).collect();
     let start = Instant::now();
 
-    let results = run_work_stealing_tasks(
+    let (results, worker_stats) = run_work_stealing_tasks_with_stats(
         &expansion.points,
         workers,
         |_, point| PointTask::new(*point),
-        |_, point, task| match task.step(&ctx) {
+        |idx, point, task| match task.step(&ctx) {
             Step::Yield(task) => Step::Yield(task),
             Step::Done(out) => {
                 if out.from_cache {
@@ -343,6 +459,14 @@ pub fn run_campaign(
                 reps_simulated.fetch_add(out.simulated_reps, Ordering::Relaxed);
                 reps_cached.fetch_add(out.reps_cached_used, Ordering::Relaxed);
                 let label = PointResult::label_for(point);
+                *telemetry[idx].lock().expect("telemetry poisoned") = Some(PointTelemetry {
+                    id: point.id,
+                    label: label.clone(),
+                    wall: out.wall,
+                    simulated_reps: out.simulated_reps,
+                    reps_cached: out.reps_cached_used,
+                    from_cache: out.from_cache,
+                });
                 if !opts.quiet {
                     let n = done.fetch_add(1, Ordering::Relaxed) + 1;
                     let how = if out.from_cache {
@@ -380,6 +504,12 @@ pub fn run_campaign(
         },
     );
     let wall = start.elapsed();
+    let point_telemetry: Vec<PointTelemetry> = telemetry
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner().expect("telemetry poisoned").expect("every point was executed")
+        })
+        .collect();
 
     let mut report = CampaignReport {
         results,
@@ -391,9 +521,16 @@ pub fn run_campaign(
         workers,
         artifacts: Vec::new(),
         wall,
+        worker_stats,
+        point_telemetry,
     };
     if let Some(dir) = &opts.out_dir {
         report.artifacts = artifact::write_artifacts(dir, spec, &report.results, &report.skipped)?;
+        // Telemetry is its own file: the main JSON/CSV artifacts stay pure
+        // functions of the spec, this one records how the run actually went.
+        let path = dir.join(format!("{}.telemetry.json", spec.name));
+        std::fs::write(&path, report.telemetry_json(spec).to_pretty())?;
+        report.artifacts.push(path);
     }
     Ok(report)
 }
@@ -602,7 +739,7 @@ mod tests {
             },
         )
         .unwrap();
-        assert_eq!(report.artifacts.len(), 2);
+        assert_eq!(report.artifacts.len(), 3);
         let json_text = std::fs::read_to_string(&report.artifacts[0]).unwrap();
         let parsed = crate::json::Json::parse(&json_text).unwrap();
         assert_eq!(
@@ -614,6 +751,46 @@ mod tests {
         );
         let csv_text = std::fs::read_to_string(&report.artifacts[1]).unwrap();
         assert_eq!(csv_text.lines().count(), 1 + 4);
+        let telemetry_text = std::fs::read_to_string(&report.artifacts[2]).unwrap();
+        let telemetry = crate::json::Json::parse(&telemetry_text).unwrap();
+        assert_eq!(
+            telemetry.get("kind").and_then(crate::json::Json::as_str),
+            Some("execution-telemetry")
+        );
+        assert_eq!(
+            telemetry
+                .get("points")
+                .and_then(crate::json::Json::as_arr)
+                .map(<[crate::json::Json]>::len),
+            Some(4)
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn telemetry_accounts_for_every_point_without_touching_results() {
+        let dir = unique_dir("telemetry");
+        let _ = std::fs::remove_dir_all(&dir);
+        let spec = tiny_spec("runner-telemetry");
+        let opts = CampaignOptions {
+            workers: 2,
+            cache_dir: Some(dir.clone()),
+            quiet: true,
+            ..Default::default()
+        };
+        let first = run_campaign(&spec, &opts).unwrap();
+        assert_eq!(first.point_telemetry.len(), 4);
+        assert!(first.point_telemetry.iter().all(|p| !p.from_cache && p.simulated_reps == 2));
+        assert_eq!(first.topups(), 0);
+        assert!(!first.worker_stats.is_empty());
+        // Each point takes at least one pool step (fixed-replication points
+        // take two: simulate-batch, then merge).
+        assert!(first.worker_stats.iter().map(|w| w.steps).sum::<u64>() >= 4);
+
+        // A fully-cached rerun flips the telemetry but not one artifact byte.
+        let second = run_campaign(&spec, &opts).unwrap();
+        assert!(second.point_telemetry.iter().all(|p| p.from_cache && p.simulated_reps == 0));
+        assert_eq!(first.to_json(&spec).to_pretty(), second.to_json(&spec).to_pretty());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

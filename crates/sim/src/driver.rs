@@ -11,6 +11,7 @@
 
 use crate::mesh_net::MeshNetwork;
 use crate::metrics::Metrics;
+use crate::probe::SimProbe;
 use crate::quarc_net::QuarcNetwork;
 use crate::spider_net::SpidergonNetwork;
 use crate::torus_net::TorusNetwork;
@@ -41,6 +42,13 @@ pub trait NocSim {
     fn metrics(&self) -> &Metrics;
     /// Mutable measurement state (used to start the measurement window).
     fn metrics_mut(&mut self) -> &mut Metrics;
+    /// The instrumentation layer (phase profiler, counter time-series,
+    /// flit-event trace). Off by default; see [`crate::probe`].
+    fn probe(&self) -> &SimProbe;
+    /// Mutable probe access (used to configure channels before a run and to
+    /// drain exports after it). Probes observe, never mutate: any
+    /// configuration must leave simulated behaviour bit-identical.
+    fn probe_mut(&mut self) -> &mut SimProbe;
     /// Flits queued at source transceivers.
     fn source_backlog(&self) -> usize;
     /// Total link traversals (flit-hops) since construction. One flit moving
@@ -257,6 +265,14 @@ impl NocSim for AnyNet {
         for_each_net!(self, n => NocSim::metrics_mut(n))
     }
 
+    fn probe(&self) -> &SimProbe {
+        for_each_net!(self, n => NocSim::probe(n))
+    }
+
+    fn probe_mut(&mut self) -> &mut SimProbe {
+        for_each_net!(self, n => NocSim::probe_mut(n))
+    }
+
     fn source_backlog(&self) -> usize {
         for_each_net!(self, n => NocSim::source_backlog(n))
     }
@@ -301,6 +317,14 @@ impl NocSim for DynNet<'_> {
 
     fn metrics_mut(&mut self) -> &mut Metrics {
         self.0.metrics_mut()
+    }
+
+    fn probe(&self) -> &SimProbe {
+        self.0.probe()
+    }
+
+    fn probe_mut(&mut self) -> &mut SimProbe {
+        self.0.probe_mut()
     }
 
     fn source_backlog(&self) -> usize {

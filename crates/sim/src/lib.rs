@@ -73,6 +73,7 @@ pub mod link;
 pub mod mesh_net;
 pub mod metrics;
 pub mod packets;
+pub mod probe;
 pub mod quarc_net;
 pub mod spider_net;
 pub mod sweep;
@@ -82,6 +83,7 @@ pub use arbiter::ArbPolicy;
 pub use driver::{run, run_mono, AnyNet, MonoStep, NocSim, RunResult, RunSpec};
 pub use mesh_net::MeshNetwork;
 pub use metrics::Metrics;
+pub use probe::{CounterSample, FlitEvent, FlitEventKind, Phase, ProbeConfig, SimProbe};
 pub use quarc_net::QuarcNetwork;
 pub use spider_net::SpidergonNetwork;
 pub use sweep::{

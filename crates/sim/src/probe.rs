@@ -1,0 +1,593 @@
+//! `quarc-probe`: the permanent instrumentation layer.
+//!
+//! Three observation channels, all **off by default** and all bound by one
+//! hard invariant — *observe, never mutate*. A probe reads simulator state
+//! and wall-clock time; it never feeds anything back into arbitration,
+//! routing, credits or the workload schedule, so enabling every probe must
+//! leave the equivalence goldens byte-identical and the active-set lockstep
+//! proptests green (`tests/probe.rs`, `tests/equivalence.rs` pin this —
+//! proven, not asserted).
+//!
+//! 1. **Phase profiler** — wall-clock nanoseconds per step phase
+//!    (arrivals / polls / gather / commit) plus the size of the worklist
+//!    each phase walked, sampled every `profile_every`-th cycle so
+//!    steady-state overhead is bounded. This replaces the "temporary
+//!    `Instant` timers" workflow HOTPATH.md used to prescribe.
+//! 2. **Counter time-series** — one [`CounterSample`] row every
+//!    `counters_every`-th cycle: source backlog, buffered flits, link
+//!    occupancy, live packet-table slots, the three worklist sizes, metric
+//!    totals and the cumulative credit-stall count. Exported as CSV or JSON.
+//! 3. **Flit-event trace** — structured inject / hop / clone / deliver
+//!    events in a bounded ring buffer (drops counted, never blocking),
+//!    exportable as Chrome trace-event JSON (`chrome://tracing`, Perfetto)
+//!    via `quarc-bench trace`.
+//!
+//! The compiled-in cost with everything disabled is one branch per record
+//! site; the perf gate holds the headline to that claim.
+
+use quarc_core::flit::TrafficClass;
+use quarc_engine::Cycle;
+use std::time::Instant;
+
+/// Counter-sample rows are capped so an accidental `counters_every = 1` on a
+/// week-long campaign cannot eat the heap; rows beyond the cap are dropped
+/// and counted.
+const MAX_COUNTER_SAMPLES: usize = 1 << 20;
+
+/// The four phases of every network's `step_cycle` (see
+/// `crates/sim/HOTPATH.md`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// (a) link arrivals over the live-link worklist.
+    Arrivals = 0,
+    /// (b) workload polls over the due heap (plus chain re-injections).
+    Polls = 1,
+    /// (c) read-only arbitration over the sorted router worklist.
+    Gather = 2,
+    /// (d) commit of the planned transfers.
+    Commit = 3,
+}
+
+impl Phase {
+    /// All phases in step order.
+    pub const ALL: [Phase; 4] = [Phase::Arrivals, Phase::Polls, Phase::Gather, Phase::Commit];
+
+    /// Lower-case phase name (stable; used in exports).
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Arrivals => "arrivals",
+            Phase::Polls => "polls",
+            Phase::Gather => "gather",
+            Phase::Commit => "commit",
+        }
+    }
+}
+
+/// What to observe. Everything defaults to **off**; a disabled channel costs
+/// one branch per record site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ProbeConfig {
+    /// Profile the step phases every `profile_every`-th cycle (0 = off).
+    pub profile_every: u32,
+    /// Sample the counter registry every `counters_every`-th cycle (0 = off).
+    pub counters_every: u32,
+    /// Flit-event ring capacity (0 = tracing off).
+    pub trace_capacity: usize,
+}
+
+impl ProbeConfig {
+    /// Everything off (the steady-state default).
+    pub fn off() -> Self {
+        Self::default()
+    }
+
+    /// Every channel on, at full cadence — what the observe-never-mutate
+    /// tests run under.
+    pub fn all(trace_capacity: usize) -> Self {
+        ProbeConfig { profile_every: 1, counters_every: 1, trace_capacity }
+    }
+
+    /// Whether any channel is on.
+    pub fn any(&self) -> bool {
+        self.profile_every != 0 || self.counters_every != 0 || self.trace_capacity != 0
+    }
+}
+
+/// One row of the counter time-series. All fields are reads of O(1) state
+/// the networks already maintain — sampling allocates only the row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterSample {
+    /// Cycle the sample was taken at (end of the step, before the tick).
+    pub cycle: Cycle,
+    /// Flits queued at source transceivers.
+    pub backlog: u64,
+    /// Flits buffered in network input VC lanes.
+    pub buffered: u64,
+    /// Flits in flight on links.
+    pub on_links: u64,
+    /// Interned packet-table slots in use.
+    pub live_packets: u64,
+    /// Links in the live-link worklist.
+    pub live_links: u64,
+    /// Routers marked for the next arbitration pass.
+    pub active_routers: u64,
+    /// Entries in the source poll heap.
+    pub poll_sources: u64,
+    /// Messages created but not fully delivered.
+    pub in_flight: u64,
+    /// Messages fully completed.
+    pub completed: u64,
+    /// Flits delivered to PEs.
+    pub delivered: u64,
+    /// Cumulative input-lane heads blocked on zero downstream credits.
+    pub credit_stalls: u64,
+}
+
+impl CounterSample {
+    /// CSV header matching [`CounterSample::csv_row`].
+    pub fn csv_header() -> &'static str {
+        "cycle,backlog,buffered,on_links,live_packets,live_links,active_routers,\
+         poll_sources,in_flight,completed,delivered,credit_stalls"
+    }
+
+    /// One CSV row.
+    pub fn csv_row(&self) -> String {
+        format!(
+            "{},{},{},{},{},{},{},{},{},{},{},{}",
+            self.cycle,
+            self.backlog,
+            self.buffered,
+            self.on_links,
+            self.live_packets,
+            self.live_links,
+            self.active_routers,
+            self.poll_sources,
+            self.in_flight,
+            self.completed,
+            self.delivered,
+            self.credit_stalls,
+        )
+    }
+
+    fn json(&self) -> String {
+        format!(
+            "{{\"cycle\":{},\"backlog\":{},\"buffered\":{},\"on_links\":{},\
+             \"live_packets\":{},\"live_links\":{},\"active_routers\":{},\
+             \"poll_sources\":{},\"in_flight\":{},\"completed\":{},\
+             \"delivered\":{},\"credit_stalls\":{}}}",
+            self.cycle,
+            self.backlog,
+            self.buffered,
+            self.on_links,
+            self.live_packets,
+            self.live_links,
+            self.active_routers,
+            self.poll_sources,
+            self.in_flight,
+            self.completed,
+            self.delivered,
+            self.credit_stalls,
+        )
+    }
+}
+
+/// What happened to a packet header (events are header-granularity so trace
+/// volume scales with hops, not flits).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlitEventKind {
+    /// A message entered a source queue; `arg` is its expected receiver
+    /// count (so the event stream is self-contained for conservation
+    /// checks).
+    Inject,
+    /// A header was forwarded onto a link; `arg` is the output-port index.
+    Hop,
+    /// A copy was made — an ingress-mux clone at a branch node (`arg` =
+    /// output the original continued on) or a Spidergon chain replication
+    /// (`arg` = number of continuations).
+    Clone,
+    /// A tail flit was delivered to a PE (one event per reception).
+    Deliver,
+}
+
+impl FlitEventKind {
+    /// Stable lower-case name (used as the Chrome trace event name).
+    pub fn name(self) -> &'static str {
+        match self {
+            FlitEventKind::Inject => "inject",
+            FlitEventKind::Hop => "hop",
+            FlitEventKind::Clone => "clone",
+            FlitEventKind::Deliver => "deliver",
+        }
+    }
+}
+
+/// One structured flit event (24 bytes; the ring holds `trace_capacity` of
+/// them).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlitEvent {
+    /// Cycle the event happened at.
+    pub cycle: Cycle,
+    /// The message id (`MessageId.0`: metrics slab slot + generation tag).
+    pub message: u64,
+    /// Node the event happened at.
+    pub node: u32,
+    /// Kind-specific argument (see [`FlitEventKind`]).
+    pub arg: u32,
+    /// What happened.
+    pub kind: FlitEventKind,
+    /// Traffic class of the message.
+    pub class: TrafficClass,
+}
+
+/// The per-network probe. Owned as a plain field by every network model;
+/// with the default [`ProbeConfig`] every record method is a single
+/// early-return branch.
+#[derive(Debug, Default)]
+pub struct SimProbe {
+    cfg: ProbeConfig,
+    // Phase profiler.
+    phase_ns: [u64; 4],
+    phase_items: [u64; 4],
+    profiled_cycles: u64,
+    // Counter time-series.
+    samples: Vec<CounterSample>,
+    samples_dropped: u64,
+    credit_stalls: u64,
+    // Flit-event ring.
+    events: Vec<FlitEvent>,
+    /// Next ring slot to overwrite once `events` is at capacity.
+    ring_head: usize,
+    events_dropped: u64,
+}
+
+impl SimProbe {
+    /// A probe with everything off.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Install a configuration. Retains nothing from earlier observation —
+    /// call before the run being observed.
+    pub fn configure(&mut self, cfg: ProbeConfig) {
+        *self = SimProbe { cfg, ..SimProbe::default() };
+        if cfg.trace_capacity > 0 {
+            self.events.reserve_exact(cfg.trace_capacity);
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> ProbeConfig {
+        self.cfg
+    }
+
+    // ---- phase profiler ------------------------------------------------
+
+    /// Whether this cycle is a profiled one; counts it if so. The caller
+    /// takes its own `Instant` marks and reports each phase through
+    /// [`SimProbe::phase_lap`] — time never flows back into the simulation.
+    #[inline]
+    pub fn begin_profiled_cycle(&mut self, now: Cycle) -> bool {
+        let every = self.cfg.profile_every;
+        if every == 0 || !now.is_multiple_of(every as u64) {
+            return false;
+        }
+        self.profiled_cycles += 1;
+        true
+    }
+
+    /// Record that `phase` just finished, having walked `items` worklist
+    /// entries; advances `mark` to now so the next lap starts here.
+    #[inline]
+    pub fn phase_lap(&mut self, phase: Phase, mark: &mut Instant, items: usize) {
+        let t = Instant::now();
+        self.phase_ns[phase as usize] += t.duration_since(*mark).as_nanos() as u64;
+        self.phase_items[phase as usize] += items as u64;
+        *mark = t;
+    }
+
+    /// Cycles the profiler actually timed.
+    pub fn profiled_cycles(&self) -> u64 {
+        self.profiled_cycles
+    }
+
+    /// Accumulated nanoseconds of a phase across all profiled cycles.
+    pub fn phase_nanos(&self, phase: Phase) -> u64 {
+        self.phase_ns[phase as usize]
+    }
+
+    /// Accumulated worklist entries a phase walked across profiled cycles.
+    pub fn phase_items(&self, phase: Phase) -> u64 {
+        self.phase_items[phase as usize]
+    }
+
+    /// The phase profile as a JSON object: per-phase totals, means per
+    /// profiled cycle, and the phase's share of the profiled step time.
+    pub fn profile_json(&self) -> String {
+        let cycles = self.profiled_cycles.max(1) as f64;
+        let total_ns: u64 = self.phase_ns.iter().sum();
+        let mut out = String::from("{");
+        out.push_str(&format!("\"profiled_cycles\":{},\"phases\":{{", self.profiled_cycles));
+        for (i, p) in Phase::ALL.into_iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let ns = self.phase_ns[p as usize];
+            out.push_str(&format!(
+                "\"{}\":{{\"ns\":{},\"items\":{},\"ns_per_cycle\":{:.1},\"share\":{:.4}}}",
+                p.name(),
+                ns,
+                self.phase_items[p as usize],
+                ns as f64 / cycles,
+                ns as f64 / total_ns.max(1) as f64,
+            ));
+        }
+        out.push_str("}}");
+        out
+    }
+
+    // ---- counter time-series -------------------------------------------
+
+    /// Whether the counter registry is being sampled at all (gates the
+    /// credit-stall accounting in the gather phases).
+    #[inline]
+    pub fn counters_on(&self) -> bool {
+        self.cfg.counters_every != 0
+    }
+
+    /// Whether this cycle is a counter-sample one.
+    #[inline]
+    pub fn counters_due(&self, now: Cycle) -> bool {
+        let every = self.cfg.counters_every;
+        every != 0 && now.is_multiple_of(every as u64)
+    }
+
+    /// Count an input-lane head blocked by zero downstream credits. Called
+    /// from the gather phases only while [`SimProbe::counters_on`].
+    #[inline]
+    pub fn note_credit_stall(&mut self) {
+        self.credit_stalls += 1;
+    }
+
+    /// Cumulative credit-stall count (what [`CounterSample::credit_stalls`]
+    /// snapshots).
+    pub fn credit_stalls(&self) -> u64 {
+        self.credit_stalls
+    }
+
+    /// Append one sample row (bounded by [`MAX_COUNTER_SAMPLES`]).
+    pub fn push_sample(&mut self, sample: CounterSample) {
+        if self.samples.len() >= MAX_COUNTER_SAMPLES {
+            self.samples_dropped += 1;
+            return;
+        }
+        self.samples.push(sample);
+    }
+
+    /// The sampled time-series, in cycle order.
+    pub fn samples(&self) -> &[CounterSample] {
+        &self.samples
+    }
+
+    /// Sample rows dropped at the cap.
+    pub fn samples_dropped(&self) -> u64 {
+        self.samples_dropped
+    }
+
+    /// The counter time-series as CSV (header + one row per sample).
+    pub fn counters_csv(&self) -> String {
+        let mut out = String::from(CounterSample::csv_header());
+        out.push('\n');
+        for s in &self.samples {
+            out.push_str(&s.csv_row());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// The counter time-series as a JSON array of row objects.
+    pub fn counters_json(&self) -> String {
+        let mut out = String::from("[");
+        for (i, s) in self.samples.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&s.json());
+        }
+        out.push(']');
+        out
+    }
+
+    // ---- flit-event trace ----------------------------------------------
+
+    /// Whether flit tracing is on (callers gate meta lookups behind this).
+    #[inline]
+    pub fn trace_on(&self) -> bool {
+        self.cfg.trace_capacity != 0
+    }
+
+    /// Record one flit event into the ring (overwrites the oldest entry at
+    /// capacity; overwrites are counted, never block).
+    #[inline]
+    pub fn trace(
+        &mut self,
+        kind: FlitEventKind,
+        cycle: Cycle,
+        message: u64,
+        class: TrafficClass,
+        node: u32,
+        arg: u32,
+    ) {
+        let cap = self.cfg.trace_capacity;
+        if cap == 0 {
+            return;
+        }
+        let ev = FlitEvent { cycle, message, node, arg, kind, class };
+        if self.events.len() < cap {
+            self.events.push(ev);
+        } else {
+            self.events[self.ring_head] = ev;
+            self.ring_head = (self.ring_head + 1) % cap;
+            self.events_dropped += 1;
+        }
+    }
+
+    /// Events currently in the ring, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &FlitEvent> {
+        let (wrapped, tail) = self.events.split_at(self.ring_head);
+        tail.iter().chain(wrapped.iter())
+    }
+
+    /// Events overwritten because the ring was full.
+    pub fn events_dropped(&self) -> u64 {
+        self.events_dropped
+    }
+
+    /// The flit-event ring as Chrome trace-event JSON (the object form with
+    /// a `traceEvents` array), loadable in `chrome://tracing` and Perfetto.
+    /// Timestamps are cycles rendered as microseconds; `pid` 0 is the
+    /// network, `tid` is the node index; per-message detail rides in `args`.
+    pub fn chrome_trace_json(&self, process_name: &str) -> String {
+        let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+        out.push_str(&format!(
+            "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,\"ts\":0,\
+             \"args\":{{\"name\":\"{}\"}}}}",
+            escape_json(process_name)
+        ));
+        for ev in self.events() {
+            out.push(',');
+            out.push_str(&format!(
+                "{{\"name\":\"{}\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{},\"pid\":0,\"tid\":{},\
+                 \"args\":{{\"message\":{},\"class\":\"{}\",\"arg\":{}}}}}",
+                ev.kind.name(),
+                ev.cycle,
+                ev.node,
+                ev.message,
+                ev.class,
+                ev.arg,
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Minimal JSON string escaping for the hand-rendered exports.
+fn escape_json(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            '\n' => "\\n".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_probe_records_nothing() {
+        let mut p = SimProbe::new();
+        assert!(!p.begin_profiled_cycle(0));
+        assert!(!p.counters_due(0));
+        assert!(!p.trace_on());
+        p.trace(FlitEventKind::Inject, 0, 1, TrafficClass::Unicast, 0, 1);
+        assert_eq!(p.events().count(), 0);
+        assert_eq!(p.profiled_cycles(), 0);
+        assert!(p.samples().is_empty());
+    }
+
+    #[test]
+    fn profile_cadence_samples_every_kth_cycle() {
+        let mut p = SimProbe::new();
+        p.configure(ProbeConfig { profile_every: 4, ..ProbeConfig::off() });
+        let hits = (0..16u64).filter(|&c| p.begin_profiled_cycle(c)).count();
+        assert_eq!(hits, 4);
+        assert_eq!(p.profiled_cycles(), 4);
+    }
+
+    #[test]
+    fn phase_lap_accumulates_time_and_items() {
+        let mut p = SimProbe::new();
+        p.configure(ProbeConfig { profile_every: 1, ..ProbeConfig::off() });
+        assert!(p.begin_profiled_cycle(0));
+        let mut mark = Instant::now();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        p.phase_lap(Phase::Gather, &mut mark, 7);
+        assert!(p.phase_nanos(Phase::Gather) >= 1_000_000, "sleep must register");
+        assert_eq!(p.phase_items(Phase::Gather), 7);
+        // The mark advanced: an immediate second lap is near-zero.
+        p.phase_lap(Phase::Commit, &mut mark, 1);
+        assert!(p.phase_nanos(Phase::Commit) < p.phase_nanos(Phase::Gather));
+        let json = p.profile_json();
+        assert!(json.contains("\"gather\""), "{json}");
+        assert!(json.contains("\"profiled_cycles\":1"), "{json}");
+    }
+
+    #[test]
+    fn trace_ring_wraps_and_counts_drops() {
+        let mut p = SimProbe::new();
+        p.configure(ProbeConfig { trace_capacity: 3, ..ProbeConfig::off() });
+        for i in 0..5u64 {
+            p.trace(FlitEventKind::Hop, i, i, TrafficClass::Unicast, i as u32, 0);
+        }
+        assert_eq!(p.events_dropped(), 2);
+        let cycles: Vec<u64> = p.events().map(|e| e.cycle).collect();
+        assert_eq!(cycles, vec![2, 3, 4], "oldest-first after wrap");
+    }
+
+    #[test]
+    fn counters_csv_and_json_round_the_same_rows() {
+        let mut p = SimProbe::new();
+        p.configure(ProbeConfig { counters_every: 2, ..ProbeConfig::off() });
+        assert!(p.counters_due(0) && !p.counters_due(1) && p.counters_due(2));
+        p.note_credit_stall();
+        p.push_sample(CounterSample {
+            cycle: 2,
+            backlog: 1,
+            buffered: 2,
+            on_links: 3,
+            live_packets: 4,
+            live_links: 5,
+            active_routers: 6,
+            poll_sources: 7,
+            in_flight: 8,
+            completed: 9,
+            delivered: 10,
+            credit_stalls: p.credit_stalls(),
+        });
+        let csv = p.counters_csv();
+        assert_eq!(csv.lines().count(), 2);
+        assert!(csv.lines().nth(1).unwrap().ends_with(",1"), "{csv}");
+        assert!(p.counters_json().contains("\"credit_stalls\":1"));
+    }
+
+    #[test]
+    fn chrome_trace_shape_is_loadable() {
+        let mut p = SimProbe::new();
+        p.configure(ProbeConfig { trace_capacity: 8, ..ProbeConfig::off() });
+        p.trace(FlitEventKind::Inject, 0, 42, TrafficClass::Broadcast, 3, 15);
+        p.trace(FlitEventKind::Deliver, 9, 42, TrafficClass::Broadcast, 5, 0);
+        let json = p.chrome_trace_json("quarc n=16");
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"traceEvents\":["));
+        for field in ["\"ph\":\"i\"", "\"ts\":9", "\"tid\":5", "\"pid\":0", "\"name\":\"deliver\""]
+        {
+            assert!(json.contains(field), "missing {field} in {json}");
+        }
+    }
+
+    #[test]
+    fn configure_resets_prior_observation() {
+        let mut p = SimProbe::new();
+        p.configure(ProbeConfig::all(4));
+        p.trace(FlitEventKind::Hop, 1, 1, TrafficClass::Unicast, 0, 0);
+        p.note_credit_stall();
+        p.configure(ProbeConfig::off());
+        assert_eq!(p.events().count(), 0);
+        assert_eq!(p.credit_stalls(), 0);
+    }
+}

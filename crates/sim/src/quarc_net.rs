@@ -41,6 +41,7 @@ use crate::driver::NocSim;
 use crate::link::{LinkBank, TaggedFlit};
 use crate::metrics::Metrics;
 use crate::packets::{quarc_expand_into, IdAlloc, PacketQueue};
+use crate::probe::{CounterSample, FlitEventKind, Phase, SimProbe};
 use quarc_core::config::{NocConfig, MAX_VCS};
 use quarc_core::flit::PacketTable;
 use quarc_core::ids::{NodeId, VcId};
@@ -216,6 +217,8 @@ pub struct QuarcNetwork {
     buffered_flits: u64,
     /// Flits in flight on links, for O(1) `quiesced()`.
     link_occupancy: u64,
+    /// Instrumentation (off by default; observe, never mutate).
+    probe: SimProbe,
 }
 
 impl QuarcNetwork {
@@ -285,6 +288,7 @@ impl QuarcNetwork {
             inject_backlog: 0,
             buffered_flits: 0,
             link_occupancy: 0,
+            probe: SimProbe::new(),
         }
     }
 
@@ -458,8 +462,15 @@ impl QuarcNetwork {
             let ok = match plan.out {
                 None => true, // pure absorption: the all-port PE always sinks
                 Some(o) => {
-                    self.ownership_allows(node, o as usize, plan.out_vc, src, head.is_header())
-                        && self.downstream_free(node, o as usize, plan.out_vc) > 0
+                    self.ownership_allows(node, o as usize, plan.out_vc, src, head.is_header()) && {
+                        let free = self.downstream_free(node, o as usize, plan.out_vc) > 0;
+                        // Probe-only: a lane head whose granted-path check
+                        // fails purely on credits is a credit stall.
+                        if !free && self.probe.counters_on() {
+                            self.probe.note_credit_stall();
+                        }
+                        free
+                    }
                 }
             };
             if ok {
@@ -596,6 +607,25 @@ impl QuarcNetwork {
                 &flit,
                 self.packets.meta(flit.packet),
             );
+            if self.probe.trace_on() {
+                let m = self.packets.meta(flit.packet);
+                let (msg, class) = (m.message.0, m.class);
+                if let (true, Some(out)) = (flit.is_header(), t.req.plan.out) {
+                    // Ingress-mux clone: the local copy and the forwarded
+                    // flit move in the same cycle (§2.2 absorb-and-forward).
+                    self.probe.trace(
+                        FlitEventKind::Clone,
+                        now,
+                        msg,
+                        class,
+                        node as u32,
+                        out as u32,
+                    );
+                }
+                if flit.is_tail() {
+                    self.probe.trace(FlitEventKind::Deliver, now, msg, class, node as u32, 0);
+                }
+            }
         }
 
         // Forwarding.
@@ -613,6 +643,11 @@ impl QuarcNetwork {
             // is equivalent to the old per-flit copy-and-shift.
             if flit.is_header() && matches!(t.req.src, Src::Net { .. }) {
                 advance_header(self.packets.meta_mut(flit.packet));
+            }
+            if flit.is_header() && self.probe.trace_on() {
+                let m = self.packets.meta(flit.packet);
+                let (msg, class) = (m.message.0, m.class);
+                self.probe.trace(FlitEventKind::Hop, now, msg, class, node as u32, o as u32);
             }
             self.link_flits[lid] += 1;
             self.link_occupancy += 1;
@@ -673,6 +708,17 @@ impl QuarcNetwork {
             self.inject_backlog += flits;
             self.mark_node(node);
             self.metrics.set_expected(message, expected);
+            // Probe-only: the Inject event carries the expected reception
+            // count so the trace stream is self-contained for conservation
+            // checks.
+            self.probe.trace(
+                FlitEventKind::Inject,
+                now,
+                message.0,
+                req.class,
+                node as u32,
+                expected as u32,
+            );
         }
     }
 
@@ -682,6 +728,22 @@ impl QuarcNetwork {
     /// object-safe facade.
     pub fn step_cycle<W: Workload + ?Sized>(&mut self, workload: &mut W) {
         let now = self.clock.now();
+        // Phase profiler: the mark is taken and lapped purely for
+        // observation — wall time never feeds back into simulated behaviour.
+        let mut mark = if self.probe.begin_profiled_cycle(now) {
+            Some(std::time::Instant::now())
+        } else {
+            None
+        };
+        let arrivals_walked = if mark.is_some() {
+            if self.full_scan {
+                self.cfg.n * 4
+            } else {
+                self.live_links.len()
+            }
+        } else {
+            0
+        };
 
         // (a) Link arrivals from last cycle — only links carrying flits.
         let slot = self.links.slot_index(now);
@@ -710,11 +772,16 @@ impl QuarcNetwork {
             debug_assert!(self.live_links.is_empty(), "no sends happen during arrivals");
             self.live_links = live;
         }
+        if let Some(m) = mark.as_mut() {
+            self.probe.phase_lap(Phase::Arrivals, m, arrivals_walked);
+        }
 
         // (b) New messages from due sources (scratch buffer reused across
         // the whole run — no per-cycle allocation).
+        let mut polled = 0usize;
         let mut reqs = std::mem::take(&mut self.poll_buf);
         if self.full_scan {
+            polled = self.cfg.n;
             for node in 0..self.cfg.n {
                 self.poll_node(workload, node, now, &mut reqs);
             }
@@ -722,12 +789,16 @@ impl QuarcNetwork {
             while self.poll_heap.peek().is_some_and(|&Reverse((due, _))| due <= now) {
                 let Reverse((due, node)) = self.poll_heap.pop().expect("peeked");
                 debug_assert!(due == now, "due cycles never pass unpolled");
+                polled += 1;
                 self.poll_node(workload, node as usize, now, &mut reqs);
                 let next = workload.next_due(NodeId::new(node as usize), now).max(now + 1);
                 self.poll_heap.push(Reverse((next, node)));
             }
         }
         self.poll_buf = reqs;
+        if let Some(m) = mark.as_mut() {
+            self.probe.phase_lap(Phase::Polls, m, polled);
+        }
 
         // (c) Read-only arbitration over the routers-with-work worklist, in
         // canonical ascending order (metric accumulation order depends on
@@ -739,6 +810,7 @@ impl QuarcNetwork {
         }
         let mut transfers = std::mem::take(&mut self.transfers);
         transfers.clear();
+        let gather_walked;
         if self.full_scan {
             let mut marks = std::mem::take(&mut self.active_nodes);
             for &node in &marks {
@@ -746,6 +818,7 @@ impl QuarcNetwork {
             }
             marks.clear();
             self.active_nodes = marks;
+            gather_walked = self.cfg.n;
             for node in 0..self.cfg.n {
                 self.gather_node(node, &mut transfers);
             }
@@ -754,6 +827,7 @@ impl QuarcNetwork {
             debug_assert!(worklist.is_empty());
             std::mem::swap(&mut worklist, &mut self.active_nodes);
             worklist.sort_unstable();
+            gather_walked = worklist.len();
             for &node in &worklist {
                 self.node_active[node as usize] = false;
                 self.gather_node(node as usize, &mut transfers);
@@ -761,12 +835,37 @@ impl QuarcNetwork {
             worklist.clear();
             self.node_worklist = worklist;
         }
+        if let Some(m) = mark.as_mut() {
+            self.probe.phase_lap(Phase::Gather, m, gather_walked);
+        }
 
         // (d) Commit.
+        let committed = transfers.len();
         for t in transfers.drain(..) {
             self.commit(t);
         }
         self.transfers = transfers;
+        if let Some(m) = mark.as_mut() {
+            self.probe.phase_lap(Phase::Commit, m, committed);
+        }
+
+        if self.probe.counters_due(now) {
+            let sample = CounterSample {
+                cycle: now,
+                backlog: self.inject_backlog as u64,
+                buffered: self.buffered_flits,
+                on_links: self.link_occupancy,
+                live_packets: self.packets.live() as u64,
+                live_links: self.live_links.len() as u64,
+                active_routers: self.active_nodes.len() as u64,
+                poll_sources: self.poll_heap.len() as u64,
+                in_flight: self.metrics.in_flight() as u64,
+                completed: self.metrics.completed_total(),
+                delivered: self.metrics.flits_delivered(),
+                credit_stalls: self.probe.credit_stalls(),
+            };
+            self.probe.push_sample(sample);
+        }
 
         self.clock.tick();
     }
@@ -814,6 +913,14 @@ impl NocSim for QuarcNetwork {
 
     fn metrics_mut(&mut self) -> &mut Metrics {
         &mut self.metrics
+    }
+
+    fn probe(&self) -> &SimProbe {
+        &self.probe
+    }
+
+    fn probe_mut(&mut self) -> &mut SimProbe {
+        &mut self.probe
     }
 
     fn source_backlog(&self) -> usize {

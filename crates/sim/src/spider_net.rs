@@ -26,6 +26,7 @@ use crate::driver::NocSim;
 use crate::link::{LinkBank, TaggedFlit};
 use crate::metrics::Metrics;
 use crate::packets::{push_packet, spidergon_expand_into, IdAlloc, PacketQueue};
+use crate::probe::{CounterSample, FlitEventKind, Phase, SimProbe};
 use quarc_core::config::{NocConfig, MAX_VCS};
 use quarc_core::flit::{PacketMeta, PacketRef, PacketTable};
 use quarc_core::ids::{NodeId, VcId};
@@ -141,6 +142,8 @@ pub struct SpidergonNetwork {
     inject_backlog: usize,
     buffered_flits: u64,
     link_occupancy: u64,
+    /// Instrumentation (off by default; observe, never mutate).
+    probe: SimProbe,
 }
 
 impl SpidergonNetwork {
@@ -195,6 +198,7 @@ impl SpidergonNetwork {
             inject_backlog: 0,
             buffered_flits: 0,
             link_occupancy: 0,
+            probe: SimProbe::new(),
         }
     }
 
@@ -293,7 +297,18 @@ impl SpidergonNetwork {
                 }
             };
             let src = Src::Net { port: p, vc };
-            if self.feasible(node, plan, src, head.is_header()) {
+            // Inlined `feasible` so the credit failure is distinguishable —
+            // probe-only: a lane head blocked purely on credits is a credit
+            // stall. Evaluation order matches `feasible` exactly.
+            let ok = self.ownership_allows(node, plan, src, head.is_header())
+                && (plan.out == EJECT || {
+                    let free = self.downstream_free(node, plan.out, plan.out_vc) > 0;
+                    if !free && self.probe.counters_on() {
+                        self.probe.note_credit_stall();
+                    }
+                    free
+                });
+            if ok {
                 feasible[vc] = Some(PortReq {
                     src,
                     plan,
@@ -416,6 +431,14 @@ impl SpidergonNetwork {
             );
             if t.req.is_tail {
                 let meta = *self.packets.meta(flit.packet);
+                self.probe.trace(
+                    FlitEventKind::Deliver,
+                    now,
+                    meta.message.0,
+                    meta.class,
+                    node as u32,
+                    0,
+                );
                 // Broadcast-by-unicast: the tail of a chain packet triggers
                 // the replication logic, which rewrites the header and
                 // re-injects through the single local port one cycle later
@@ -423,6 +446,14 @@ impl SpidergonNetwork {
                 // and serialised at their due cycle.
                 if meta.class.is_chain() {
                     for seed in chain_continuations(self.topo.ring(), NodeId::new(node), &meta) {
+                        self.probe.trace(
+                            FlitEventKind::Clone,
+                            now,
+                            meta.message.0,
+                            meta.class,
+                            node as u32,
+                            seed.dst.index() as u32,
+                        );
                         let pref = self.packets.insert(PacketMeta {
                             packet: self.ids.packet(),
                             class: seed.class,
@@ -446,6 +477,11 @@ impl SpidergonNetwork {
             }
             if t.req.is_tail {
                 self.out_owner[lid * vcs + vc.index()] = None;
+            }
+            if flit.is_header() && self.probe.trace_on() {
+                let m = self.packets.meta(flit.packet);
+                let (msg, class) = (m.message.0, m.class);
+                self.probe.trace(FlitEventKind::Hop, now, msg, class, node as u32, o as u32);
             }
             self.flit_hops += 1;
             self.link_occupancy += 1;
@@ -497,12 +533,37 @@ impl SpidergonNetwork {
             self.inject_backlog += flits;
             self.mark_node(node);
             self.metrics.set_expected(message, expected);
+            // Probe-only: Inject carries the expected reception count so the
+            // trace stream is self-contained for conservation checks.
+            self.probe.trace(
+                FlitEventKind::Inject,
+                now,
+                message.0,
+                req.class,
+                node as u32,
+                expected as u32,
+            );
         }
     }
 
     /// Advance one cycle (monomorphized; see `QuarcNetwork::step_cycle`).
     pub fn step_cycle<W: Workload + ?Sized>(&mut self, workload: &mut W) {
         let now = self.clock.now();
+        // Phase profiler marks (observe-only; see `QuarcNetwork::step_cycle`).
+        let mut mark = if self.probe.begin_profiled_cycle(now) {
+            Some(std::time::Instant::now())
+        } else {
+            None
+        };
+        let arrivals_walked = if mark.is_some() {
+            if self.full_scan {
+                self.cfg.n * 3
+            } else {
+                self.live_links.len()
+            }
+        } else {
+            0
+        };
 
         // (a) Link arrivals — only links carrying flits.
         let slot = self.links.slot_index(now);
@@ -528,15 +589,21 @@ impl SpidergonNetwork {
             });
             self.live_links = live;
         }
+        if let Some(m) = mark.as_mut() {
+            self.probe.phase_lap(Phase::Arrivals, m, arrivals_walked);
+        }
 
         // (b) Re-injections from the replication logic, then new messages
         // from due sources.
+        let mut polled = 0usize;
         while let Some((_, (node, pref, len))) = self.pending.pop_due(now) {
             self.inject_backlog += push_packet(&mut self.inject_q[node], pref, len);
             self.mark_node(node);
+            polled += 1;
         }
         let mut reqs = std::mem::take(&mut self.poll_buf);
         if self.full_scan {
+            polled += self.cfg.n;
             for node in 0..self.cfg.n {
                 self.poll_node(workload, node, now, &mut reqs);
             }
@@ -544,17 +611,22 @@ impl SpidergonNetwork {
             while self.poll_heap.peek().is_some_and(|&Reverse((due, _))| due <= now) {
                 let Reverse((due, node)) = self.poll_heap.pop().expect("peeked");
                 debug_assert!(due == now, "due cycles never pass unpolled");
+                polled += 1;
                 self.poll_node(workload, node as usize, now, &mut reqs);
                 let next = workload.next_due(NodeId::new(node as usize), now).max(now + 1);
                 self.poll_heap.push(Reverse((next, node)));
             }
         }
         self.poll_buf = reqs;
+        if let Some(m) = mark.as_mut() {
+            self.probe.phase_lap(Phase::Polls, m, polled);
+        }
 
         // (c) Arbitration over the sorted routers-with-work worklist,
         // (d) commit.
         let mut transfers = std::mem::take(&mut self.transfers);
         transfers.clear();
+        let gather_walked;
         if self.full_scan {
             let mut marks = std::mem::take(&mut self.active_nodes);
             for &node in &marks {
@@ -562,6 +634,7 @@ impl SpidergonNetwork {
             }
             marks.clear();
             self.active_nodes = marks;
+            gather_walked = self.cfg.n;
             for node in 0..self.cfg.n {
                 self.gather_node(node, &mut transfers);
             }
@@ -570,6 +643,7 @@ impl SpidergonNetwork {
             debug_assert!(worklist.is_empty());
             std::mem::swap(&mut worklist, &mut self.active_nodes);
             worklist.sort_unstable();
+            gather_walked = worklist.len();
             for &node in &worklist {
                 self.node_active[node as usize] = false;
                 self.gather_node(node as usize, &mut transfers);
@@ -577,10 +651,35 @@ impl SpidergonNetwork {
             worklist.clear();
             self.node_worklist = worklist;
         }
+        if let Some(m) = mark.as_mut() {
+            self.probe.phase_lap(Phase::Gather, m, gather_walked);
+        }
+        let committed = transfers.len();
         for t in transfers.drain(..) {
             self.commit(t);
         }
         self.transfers = transfers;
+        if let Some(m) = mark.as_mut() {
+            self.probe.phase_lap(Phase::Commit, m, committed);
+        }
+
+        if self.probe.counters_due(now) {
+            let sample = CounterSample {
+                cycle: now,
+                backlog: self.inject_backlog as u64,
+                buffered: self.buffered_flits,
+                on_links: self.link_occupancy,
+                live_packets: self.packets.live() as u64,
+                live_links: self.live_links.len() as u64,
+                active_routers: self.active_nodes.len() as u64,
+                poll_sources: self.poll_heap.len() as u64,
+                in_flight: self.metrics.in_flight() as u64,
+                completed: self.metrics.completed_total(),
+                delivered: self.metrics.flits_delivered(),
+                credit_stalls: self.probe.credit_stalls(),
+            };
+            self.probe.push_sample(sample);
+        }
 
         self.clock.tick();
     }
@@ -627,6 +726,14 @@ impl NocSim for SpidergonNetwork {
 
     fn metrics_mut(&mut self) -> &mut Metrics {
         &mut self.metrics
+    }
+
+    fn probe(&self) -> &SimProbe {
+        &self.probe
+    }
+
+    fn probe_mut(&mut self) -> &mut SimProbe {
+        &mut self.probe
     }
 
     fn source_backlog(&self) -> usize {

@@ -31,6 +31,7 @@ use crate::driver::NocSim;
 use crate::link::{LinkBank, TaggedFlit};
 use crate::metrics::{grid_eject_site, grid_lane_site, Metrics};
 use crate::packets::{grid_expand_into, IdAlloc, PacketQueue};
+use crate::probe::{CounterSample, FlitEventKind, Phase, SimProbe};
 use quarc_core::config::{NocConfig, MAX_VCS};
 use quarc_core::flit::{PacketMeta, PacketTable, TrafficClass};
 use quarc_core::ids::{NodeId, VcId};
@@ -147,6 +148,8 @@ pub struct TorusNetwork {
     inject_backlog: usize,
     buffered_flits: u64,
     link_occupancy: u64,
+    /// Instrumentation (off by default; observe, never mutate).
+    probe: SimProbe,
 }
 
 impl TorusNetwork {
@@ -202,6 +205,7 @@ impl TorusNetwork {
             inject_backlog: 0,
             buffered_flits: 0,
             link_occupancy: 0,
+            probe: SimProbe::new(),
         }
     }
 
@@ -273,17 +277,21 @@ impl TorusNetwork {
         self.credits[(node * 4 + out) * self.cfg.vcs + vc.index()] as usize
     }
 
-    fn feasible(&self, node: usize, plan: HopPlan, src: Src, is_header: bool) -> bool {
+    fn ownership_allows(&self, node: usize, plan: HopPlan, src: Src, is_header: bool) -> bool {
         let owner = if plan.out == EJECT {
             self.eject_owner[node]
         } else {
             self.out_owner[(node * 4 + plan.out) * self.cfg.vcs + plan.out_vc.index()]
         };
-        let own_ok = match owner {
+        match owner {
             Some(o) => o == src && !is_header,
             None => is_header,
-        };
-        own_ok && (plan.out == EJECT || self.downstream_free(node, plan.out, plan.out_vc) > 0)
+        }
+    }
+
+    fn feasible(&self, node: usize, plan: HopPlan, src: Src, is_header: bool) -> bool {
+        self.ownership_allows(node, plan, src, is_header)
+            && (plan.out == EJECT || self.downstream_free(node, plan.out, plan.out_vc) > 0)
     }
 
     // Index loops couple several per-lane arrays; iterator forms obscure
@@ -309,7 +317,18 @@ impl TorusNetwork {
                 }
             };
             let src = Src::Net { port: p, vc };
-            if self.feasible(node, plan, src, head.is_header()) {
+            // Inlined `feasible` so the credit failure is distinguishable —
+            // probe-only: a lane head blocked purely on credits is a credit
+            // stall. Evaluation order matches `feasible` exactly.
+            let ok = self.ownership_allows(node, plan, src, head.is_header())
+                && (plan.out == EJECT || {
+                    let free = self.downstream_free(node, plan.out, plan.out_vc) > 0;
+                    if !free && self.probe.counters_on() {
+                        self.probe.note_credit_stall();
+                    }
+                    free
+                });
+            if ok {
                 feasible[vc] = Some(PortReq {
                     src,
                     plan,
@@ -413,6 +432,11 @@ impl TorusNetwork {
                 self.packets.meta(flit.packet),
             );
             if t.req.is_tail {
+                if self.probe.trace_on() {
+                    let m = self.packets.meta(flit.packet);
+                    let (msg, class) = (m.message.0, m.class);
+                    self.probe.trace(FlitEventKind::Deliver, now, msg, class, node as u32, 0);
+                }
                 // The packet has fully left the network: retire it.
                 self.packets.release(flit.packet);
             }
@@ -431,6 +455,19 @@ impl TorusNetwork {
                     &flit,
                     self.packets.meta(flit.packet),
                 );
+                if self.probe.trace_on() {
+                    let m = self.packets.meta(flit.packet);
+                    let (msg, class) = (m.message.0, m.class);
+                    if flit.is_header() {
+                        // Ingress-mux clone: the local copy and the forwarded
+                        // flit move in the same cycle.
+                        let o = t.req.plan.out as u32;
+                        self.probe.trace(FlitEventKind::Clone, now, msg, class, node as u32, o);
+                    }
+                    if flit.is_tail() {
+                        self.probe.trace(FlitEventKind::Deliver, now, msg, class, node as u32, 0);
+                    }
+                }
             }
             let o = t.req.plan.out;
             let vc = t.req.plan.out_vc;
@@ -445,6 +482,11 @@ impl TorusNetwork {
             // bit 0 always answers "does the next node take a copy?".
             if flit.is_header() && matches!(t.req.src, Src::Net { .. }) {
                 advance_header(self.packets.meta_mut(flit.packet));
+            }
+            if flit.is_header() && self.probe.trace_on() {
+                let m = self.packets.meta(flit.packet);
+                let (msg, class) = (m.message.0, m.class);
+                self.probe.trace(FlitEventKind::Hop, now, msg, class, node as u32, o as u32);
             }
             self.flit_hops += 1;
             self.link_occupancy += 1;
@@ -510,6 +552,14 @@ impl TorusNetwork {
                 &mut self.inject_q[node],
             );
             self.metrics.set_expected(message, expected);
+            self.probe.trace(
+                FlitEventKind::Inject,
+                now,
+                message.0,
+                req.class,
+                node as u32,
+                expected as u32,
+            );
             self.inject_backlog += flits;
             self.mark_node(node);
         }
@@ -519,6 +569,20 @@ impl TorusNetwork {
     pub fn step_cycle<W: Workload + ?Sized>(&mut self, workload: &mut W) {
         let now = self.clock.now();
         let n = self.topo.num_nodes();
+        let mut mark = if self.probe.begin_profiled_cycle(now) {
+            Some(std::time::Instant::now())
+        } else {
+            None
+        };
+        let arrivals_walked = if mark.is_some() {
+            if self.full_scan {
+                n * 4
+            } else {
+                self.live_links.len()
+            }
+        } else {
+            0
+        };
 
         // (a) Link arrivals — only links carrying flits.
         let slot = self.links.slot_index(now);
@@ -544,11 +608,16 @@ impl TorusNetwork {
             });
             self.live_links = live;
         }
+        if let Some(m) = mark.as_mut() {
+            self.probe.phase_lap(Phase::Arrivals, m, arrivals_walked);
+        }
 
         // (b) New messages from due sources.
+        let mut polled = 0usize;
         let mut reqs = std::mem::take(&mut self.poll_buf);
         let mut branches = std::mem::take(&mut self.branch_buf);
         if self.full_scan {
+            polled = n;
             for node in 0..n {
                 self.poll_node(workload, node, now, &mut reqs, &mut branches);
             }
@@ -556,6 +625,7 @@ impl TorusNetwork {
             while self.poll_heap.peek().is_some_and(|&Reverse((due, _))| due <= now) {
                 let Reverse((due, node)) = self.poll_heap.pop().expect("peeked");
                 debug_assert!(due == now, "due cycles never pass unpolled");
+                polled += 1;
                 self.poll_node(workload, node as usize, now, &mut reqs, &mut branches);
                 let next = workload.next_due(NodeId::new(node as usize), now).max(now + 1);
                 self.poll_heap.push(Reverse((next, node)));
@@ -563,11 +633,15 @@ impl TorusNetwork {
         }
         self.poll_buf = reqs;
         self.branch_buf = branches;
+        if let Some(m) = mark.as_mut() {
+            self.probe.phase_lap(Phase::Polls, m, polled);
+        }
 
         // (c) Arbitration over the sorted routers-with-work worklist,
         // (d) commit.
         let mut transfers = std::mem::take(&mut self.transfers);
         transfers.clear();
+        let gather_walked;
         if self.full_scan {
             let mut marks = std::mem::take(&mut self.active_nodes);
             for &node in &marks {
@@ -575,6 +649,7 @@ impl TorusNetwork {
             }
             marks.clear();
             self.active_nodes = marks;
+            gather_walked = n;
             for node in 0..n {
                 self.gather_node(node, &mut transfers);
             }
@@ -583,6 +658,7 @@ impl TorusNetwork {
             debug_assert!(worklist.is_empty());
             std::mem::swap(&mut worklist, &mut self.active_nodes);
             worklist.sort_unstable();
+            gather_walked = worklist.len();
             for &node in &worklist {
                 self.node_active[node as usize] = false;
                 self.gather_node(node as usize, &mut transfers);
@@ -590,10 +666,34 @@ impl TorusNetwork {
             worklist.clear();
             self.node_worklist = worklist;
         }
+        if let Some(m) = mark.as_mut() {
+            self.probe.phase_lap(Phase::Gather, m, gather_walked);
+        }
+        let committed = transfers.len();
         for t in transfers.drain(..) {
             self.commit(t);
         }
         self.transfers = transfers;
+        if let Some(m) = mark.as_mut() {
+            self.probe.phase_lap(Phase::Commit, m, committed);
+        }
+        if self.probe.counters_due(now) {
+            let sample = CounterSample {
+                cycle: now,
+                backlog: self.inject_backlog as u64,
+                buffered: self.buffered_flits,
+                on_links: self.link_occupancy,
+                live_packets: self.packets.live() as u64,
+                live_links: self.live_links.len() as u64,
+                active_routers: self.active_nodes.len() as u64,
+                poll_sources: self.poll_heap.len() as u64,
+                in_flight: self.metrics.in_flight() as u64,
+                completed: self.metrics.completed_total(),
+                delivered: self.metrics.flits_delivered(),
+                credit_stalls: self.probe.credit_stalls(),
+            };
+            self.probe.push_sample(sample);
+        }
         self.clock.tick();
     }
 
@@ -634,6 +734,14 @@ impl NocSim for TorusNetwork {
 
     fn metrics_mut(&mut self) -> &mut Metrics {
         &mut self.metrics
+    }
+
+    fn probe(&self) -> &SimProbe {
+        &self.probe
+    }
+
+    fn probe_mut(&mut self) -> &mut SimProbe {
+        &mut self.probe
     }
 
     fn source_backlog(&self) -> usize {

@@ -100,13 +100,19 @@ fn random_records(n: usize, count: usize, seed: u64) -> Vec<TraceRecord> {
 }
 
 /// Build the four (active, oracle) pairs behind one closure so each topology
-/// test stays a one-liner.
+/// test stays a one-liner. Both sides run with the full probe — profiler,
+/// counter sampling, flit tracing — at full cadence: lockstep equality under
+/// instrumentation is the observe-never-mutate invariant at its sharpest,
+/// since the active set and the full scan take different code paths through
+/// every probed phase.
 macro_rules! lockstep_pair {
     ($ty:ident, $cfg:expr) => {{
         let cfg = $cfg;
-        let active = $ty::new(cfg);
+        let mut active = $ty::new(cfg);
         let mut oracle = $ty::new(cfg);
         oracle.set_full_scan(true);
+        NocSim::probe_mut(&mut active).configure(quarc_sim::ProbeConfig::all(1 << 10));
+        NocSim::probe_mut(&mut oracle).configure(quarc_sim::ProbeConfig::all(1 << 10));
         (active, oracle)
     }};
 }

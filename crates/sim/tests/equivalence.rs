@@ -14,6 +14,12 @@
 //! with the quarc/spidergon lines verified byte-identical across it); the
 //! torus additionally pins the `TopologyKind::Torus` config path.
 //!
+//! Every scenario runs with the full [`SimProbe`] instrumentation — phase
+//! profiler, counter sampling and flit tracing — at full cadence. The
+//! goldens were generated with probes *off*, so byte-identical output here
+//! is the observe-never-mutate invariant: turning every probe on must not
+//! change a single simulated bit.
+//!
 //! Regenerate (only when an intentional behaviour change is made) with:
 //!
 //! ```text
@@ -25,7 +31,7 @@ use quarc_core::flit::TrafficClass;
 use quarc_core::ids::NodeId;
 use quarc_sim::mesh_net::MeshNetwork;
 use quarc_sim::torus_net::TorusNetwork;
-use quarc_sim::{NocSim, QuarcNetwork, SpidergonNetwork};
+use quarc_sim::{NocSim, ProbeConfig, QuarcNetwork, SpidergonNetwork};
 use quarc_workloads::{
     Bursty, BurstyConfig, MessageRequest, Synthetic, SyntheticConfig, TraceRecord, TraceWorkload,
     Workload,
@@ -37,6 +43,8 @@ const GOLDEN_LARGE: &str = include_str!("goldens/metrics_equivalence_large.txt")
 /// One scenario line: run `cycles` of injection, then drain up to `drain`
 /// cycles, and render every metric the figures consume.
 fn run_scenario(name: &str, net: &mut dyn NocSim, wl: &mut dyn Workload, cycles: u64) -> String {
+    // Observe, never mutate: all three probe channels on, goldens unchanged.
+    net.probe_mut().configure(ProbeConfig::all(1 << 12));
     for _ in 0..cycles {
         net.step(wl);
     }
