@@ -21,11 +21,12 @@ use quarc_campaign::{
     run_campaign, CampaignOptions, CampaignSpec, CiTarget, Converged, Convergence,
     PointOutcomeKind, RateAxis,
 };
-use quarc_core::config::ArbPolicy;
+use quarc_core::config::{ArbPolicy, FaultPlan};
 use quarc_core::topology::TopologyKind;
 use quarc_sim::RunSpec;
 use std::path::PathBuf;
 use std::process::exit;
+use std::time::Duration;
 
 const USAGE: &str = "\
 campaign — parallel, deterministic experiment campaigns for the Quarc NoC
@@ -36,7 +37,7 @@ USAGE:
 PRESETS (repeatable; `paper` = fig9 + fig10 + fig11):
     --preset NAME             one of: fig9, fig10, fig11, ablation-buffer,
                               ablation-link, ablation-beta, ablation-arb,
-                              scale, frontier, paper
+                              scale, frontier, robustness, paper
 
 AXIS FLAGS (build a custom grid; ignored when --preset is given):
     --name NAME               campaign/artifact name        [default: custom]
@@ -62,9 +63,20 @@ AXIS FLAGS (build a custom grid; ignored when --preset is given):
                                 rel:R                       half-width <= R x mean
                                 abs:W                       half-width <= W
     --max-reps N              replication cap under --converge [default: 64]
+    --fault SPEC              fault-plan axis entry (repeatable; any --fault
+                              replaces the default healthy plan, so include
+                              `none` for a healthy baseline):
+                                none                        the empty plan
+                                k=v,k=v,...                 with keys:
+                                  seed=S onset=C dead=N frozen=N
+                                  lossy=N p64k=P (drop prob in 1/65536)
+                                  transient=N window=C
     --seed S                  master seed                   [default: 2009]
     --warmup C / --measure C / --drain C
                               run protocol                  [default: 2000/20000/30000]
+    --stall-window C          watchdog: cut a run off after C cycles with
+                              pending traffic and no progress (0 disarms)
+                              [default: 10000]
     --quick                   short protocol (500/4000/8000) for smoke runs
 
 OPTIONS:
@@ -74,6 +86,10 @@ OPTIONS:
     --out DIR                 artifact directory             [default: campaign-out]
     --cache DIR               result-cache directory         [default: <out>/cache]
     --no-cache                disable the result cache
+    --point-timeout SECS      fail-soft wall-clock budget per point: a point
+                              over budget is quarantined as `failed` and the
+                              campaign carries on (execution knob; a budget
+                              every point fits inside cannot change results)
     --force                   re-simulate even on cache hits (results cannot change)
     --quiet                   no per-point progress on stderr
     --help                    this text
@@ -163,6 +179,36 @@ fn parse_rates(value: &str) -> RateAxis {
     }
 }
 
+fn parse_fault(value: &str) -> FaultPlan {
+    if value == "none" {
+        return FaultPlan::NONE;
+    }
+    let mut plan = FaultPlan::NONE;
+    for pair in value.split(',').filter(|s| !s.is_empty()) {
+        let Some((key, v)) = pair.split_once('=') else {
+            usage_error(&format!("bad --fault entry {pair:?} (want key=value)"));
+        };
+        fn num<T: std::str::FromStr>(pair: &str, v: &str) -> T {
+            v.parse().unwrap_or_else(|_| usage_error(&format!("bad --fault value in {pair:?}")))
+        }
+        match key.trim() {
+            "seed" => plan.seed = num(pair, v),
+            "onset" => plan.onset = num(pair, v),
+            "dead" => plan.dead_links = num(pair, v),
+            "frozen" => plan.frozen_routers = num(pair, v),
+            "lossy" => plan.lossy_links = num(pair, v),
+            "p64k" => plan.drop_per_64k = num(pair, v),
+            "transient" => plan.transient_links = num(pair, v),
+            "window" => plan.transient_cycles = num(pair, v),
+            other => usage_error(&format!("unknown --fault key {other:?}")),
+        }
+    }
+    if let Err(e) = plan.validate() {
+        usage_error(&format!("bad --fault spec {value:?}: {e}"));
+    }
+    plan
+}
+
 struct Cli {
     specs: Vec<CampaignSpec>,
     opts: CampaignOptions,
@@ -184,6 +230,7 @@ fn parse_cli() -> Cli {
     let mut run_overrides: Vec<(&'static str, u64)> = Vec::new();
     let mut converge_target: Option<CiTarget> = None;
     let mut max_reps: Option<u32> = None;
+    let mut fault_axis: Vec<FaultPlan> = Vec::new();
 
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -248,6 +295,10 @@ fn parse_cli() -> Cli {
                 custom.rates = parse_rates(&value);
                 custom_touched = true;
             }
+            "--fault" => {
+                fault_axis.push(parse_fault(&value));
+                custom_touched = true;
+            }
             "--replications" => {
                 custom.replications =
                     value.parse().unwrap_or_else(|_| usage_error("bad --replications"));
@@ -268,16 +319,25 @@ fn parse_cli() -> Cli {
                 custom.base_seed = value.parse().unwrap_or_else(|_| usage_error("bad --seed"));
                 custom_touched = true;
             }
-            "--warmup" | "--measure" | "--drain" => {
+            "--warmup" | "--measure" | "--drain" | "--stall-window" => {
                 let cycles = value.parse().unwrap_or_else(|_| usage_error(&format!("bad {flag}")));
                 run_overrides.push((
                     match flag.as_str() {
                         "--warmup" => "warmup",
                         "--measure" => "measure",
+                        "--stall-window" => "stall_window",
                         _ => "drain",
                     },
                     cycles,
                 ));
+            }
+            "--point-timeout" => {
+                let secs: f64 =
+                    value.parse().unwrap_or_else(|_| usage_error("bad --point-timeout"));
+                if !secs.is_finite() || secs <= 0.0 {
+                    usage_error("bad --point-timeout");
+                }
+                opts.point_timeout = Some(Duration::from_secs_f64(secs));
             }
             "--workers" => {
                 opts.workers = value.parse().unwrap_or_else(|_| usage_error("bad --workers"));
@@ -286,6 +346,10 @@ fn parse_cli() -> Cli {
             "--cache" => cache_dir = Some(PathBuf::from(value)),
             other => usage_error(&format!("unknown flag {other}")),
         }
+    }
+
+    if !fault_axis.is_empty() {
+        custom.faults = fault_axis;
     }
 
     match (converge_target, max_reps) {
@@ -326,6 +390,7 @@ fn parse_cli() -> Cli {
             match field {
                 "warmup" => spec.run.warmup = cycles,
                 "measure" => spec.run.measure = cycles,
+                "stall_window" => spec.run.stall_window = cycles,
                 _ => spec.run.drain = cycles,
             }
         }
@@ -344,6 +409,7 @@ fn main() {
 
     let mut grand_executed = 0;
     let mut grand_cached = 0;
+    let mut grand_quarantined = 0;
     for spec in &cli.specs {
         let opts = CampaignOptions {
             cache_dir: cache_dir.clone(),
@@ -403,6 +469,49 @@ fn main() {
         for path in &report.artifacts {
             println!("#   wrote {}", path.display());
         }
+        // Fail-soft summary: quarantined points are structured artifact
+        // entries, not fatal errors — the campaign still exits 0, every
+        // healthy point completed, and the failures are enumerated here.
+        if report.quarantined() > 0 {
+            grand_quarantined += report.quarantined();
+            println!(
+                "#   quarantined: {} point(s) ({} stalled, {} failed)",
+                report.quarantined(),
+                report.stalled(),
+                report.failed(),
+            );
+            for r in &report.results {
+                match &r.outcome {
+                    PointOutcomeKind::Stalled { rep, cycle, .. } => println!(
+                        "#   STALLED {:<36} rep {rep} @ cycle {cycle} (diagnostics in the JSON artifact)",
+                        r.label,
+                    ),
+                    PointOutcomeKind::Failed { reason } => {
+                        println!("#   FAILED  {:<36} {reason}", r.label);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        // Delivered-fraction summary: under fault plans the headline is how
+        // much traffic still arrived, not just latency.
+        if spec.faults.iter().any(|f| !f.is_empty()) {
+            let worst = report
+                .results
+                .iter()
+                .filter_map(|r| match &r.outcome {
+                    PointOutcomeKind::Rate { merged, .. } => {
+                        Some((merged.delivered_fraction.mean, merged.undeliverable, &r.label))
+                    }
+                    _ => None,
+                })
+                .min_by(|a, b| a.0.total_cmp(&b.0));
+            if let Some((df, undeliverable, label)) = worst {
+                println!(
+                    "#   delivered fraction: worst {df:.4} ({undeliverable} undeliverable) at {label}"
+                );
+            }
+        }
         // Convergence summary: how many points proved their CIs tight.
         if spec.convergence.is_some() {
             let (mut converged, mut capped, mut abandoned) = (0usize, 0usize, 0usize);
@@ -438,4 +547,9 @@ fn main() {
         }
     }
     println!("# total: {grand_executed} points simulated, {grand_cached} served from cache");
+    if grand_quarantined > 0 {
+        // Deliberately exit 0: a fail-soft campaign that completed every
+        // healthy point and *recorded* its failures succeeded at its job.
+        println!("# total: {grand_quarantined} point(s) quarantined (see artifacts)");
+    }
 }

@@ -6,7 +6,7 @@
 //! arbitrary but fixed so every invocation reproduces the same numbers.
 
 use quarc_campaign::{CampaignSpec, CiTarget, Convergence, RateAxis};
-use quarc_core::config::ArbPolicy;
+use quarc_core::config::{ArbPolicy, FaultPlan};
 use quarc_core::topology::TopologyKind;
 
 /// The topology axis of the figure presets: the paper's two ring networks
@@ -154,6 +154,30 @@ pub fn frontier() -> CampaignSpec {
     spec
 }
 
+/// Robustness grid: fault rate × topology. Every family runs healthy, with
+/// one then two permanent link failures, and with lossy links dropping
+/// ~1.5% of packets — all below the healthy knee so any delivered-fraction
+/// loss is attributable to the faults, not congestion. Frozen-router plans
+/// are deliberately absent: they wedge the network by design and belong in
+/// the fail-soft tests, not a preset meant to produce curves.
+pub fn robustness() -> CampaignSpec {
+    let mut spec = CampaignSpec::new("robustness");
+    spec.topologies = figure_topologies();
+    spec.sizes = vec![16];
+    spec.msg_lens = vec![16];
+    spec.betas = vec![0.05];
+    spec.rates = RateAxis::Explicit(vec![0.004, 0.008]);
+    spec.faults = vec![
+        FaultPlan::NONE,
+        FaultPlan { seed: 7, onset: 500, dead_links: 1, ..FaultPlan::NONE },
+        FaultPlan { seed: 7, onset: 500, dead_links: 2, ..FaultPlan::NONE },
+        FaultPlan { seed: 7, onset: 500, lossy_links: 2, drop_per_64k: 1000, ..FaultPlan::NONE },
+    ];
+    spec.replications = 2;
+    spec.base_seed = 51;
+    spec
+}
+
 /// Look a preset up by name.
 pub fn by_name(name: &str) -> Option<CampaignSpec> {
     match name {
@@ -166,6 +190,7 @@ pub fn by_name(name: &str) -> Option<CampaignSpec> {
         "ablation-arb" => Some(ablation_arb()),
         "scale" => Some(scale()),
         "frontier" => Some(frontier()),
+        "robustness" => Some(robustness()),
         _ => None,
     }
 }
@@ -186,6 +211,7 @@ pub const PRESET_NAMES: &[&str] = &[
     "ablation-arb",
     "scale",
     "frontier",
+    "robustness",
     "paper",
 ];
 
@@ -237,6 +263,23 @@ mod tests {
         assert!(exp.skipped.is_empty());
         let sizes: std::collections::HashSet<_> = exp.points.iter().map(|p| p.curve.n).collect();
         assert_eq!(sizes, std::collections::HashSet::from([256, 1024]));
+    }
+
+    #[test]
+    fn robustness_preset_sweeps_fault_rate_by_topology() {
+        let spec = robustness();
+        let exp = spec.expand().unwrap();
+        // 4 topologies × 4 fault plans × 2 rates, nothing skipped.
+        assert_eq!(exp.points.len(), 4 * 4 * 2);
+        assert!(exp.skipped.is_empty());
+        // Healthy and faulted points coexist, and labels tell them apart.
+        let faulted = exp.points.iter().filter(|p| !p.curve.fault.is_empty()).count();
+        assert_eq!(faulted, 4 * 3 * 2);
+        assert!(exp.points.iter().any(|p| !p.curve.to_string().contains("-F")));
+        assert!(exp.points.iter().any(|p| p.curve.to_string().contains("-Fs7o500d1")));
+        // The watchdog is armed: a preset full of fault plans must never
+        // hang a campaign silently.
+        assert!(spec.run.stall_window > 0);
     }
 
     #[test]

@@ -55,6 +55,7 @@ fn spec_json(spec: &CampaignSpec) -> Json {
         ),
         ("link_latencies", Json::Arr(spec.link_latencies.iter().map(|&l| Json::UInt(l)).collect())),
         ("arbs", Json::Arr(spec.arbs.iter().map(|a| Json::Str(a.to_string())).collect())),
+        ("faults", Json::Arr(spec.faults.iter().map(|f| Json::Str(f.to_string())).collect())),
         ("rates", rate_axis_json(&spec.rates)),
         ("replications", Json::UInt(spec.replications as u64)),
         (
@@ -83,6 +84,7 @@ fn spec_json(spec: &CampaignSpec) -> Json {
                 ("drain", Json::UInt(spec.run.drain)),
                 ("latency_cap", Json::Num(spec.run.latency_cap)),
                 ("backlog_cap", Json::Num(spec.run.backlog_cap)),
+                ("stall_window", Json::UInt(spec.run.stall_window)),
             ]),
         ),
     ])
@@ -92,7 +94,7 @@ fn spec_json(spec: &CampaignSpec) -> Json {
 pub fn campaign_json(spec: &CampaignSpec, results: &[PointResult], skipped: &[String]) -> Json {
     Json::obj(vec![
         ("campaign", Json::Str(spec.name.clone())),
-        ("format", Json::Str("quarc-campaign v1".into())),
+        ("format", Json::Str("quarc-campaign v2".into())),
         ("spec", spec_json(spec)),
         ("skipped", Json::Arr(skipped.iter().map(|s| Json::Str(s.clone())).collect())),
         ("points", Json::Arr(results.iter().map(PointResult::to_json).collect())),

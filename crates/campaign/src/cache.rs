@@ -102,7 +102,9 @@ impl ResultCache {
         let payload = self.load_entry(hash, merge_key, "saturation")?;
         match PointOutcomeKind::from_json(&payload)? {
             PointOutcomeKind::Saturation(s) => Some(s),
-            PointOutcomeKind::Rate { .. } => None,
+            // Anything else under a "saturation" kind is a malformed entry:
+            // quarantine outcomes in particular are never cached.
+            _ => None,
         }
     }
 

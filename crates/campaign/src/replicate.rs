@@ -24,7 +24,7 @@ use crate::json::Json;
 use crate::spec::{CiTarget, ReplicationPolicy};
 use quarc_engine::stats::{LatencyHistogram, OnlineStats};
 use quarc_engine::DetRng;
-use quarc_sim::{run_point, PointSpec, RunSpec};
+use quarc_sim::{run_point, run_point_outcome, PointRunOutcome, PointSpec, RunSpec};
 
 /// Two-sided 95% Student-t quantiles for ν = n − 1 degrees of freedom
 /// (ν > 30 uses the normal 1.96).
@@ -175,6 +175,11 @@ pub struct RepOutcome {
     pub bcast_samples: u64,
     /// Whether this replication hit a saturation criterion.
     pub saturated: bool,
+    /// Fraction of expected receiver deliveries that happened (1.0 on
+    /// fault-free runs; the headline robustness number under faults).
+    pub delivered_fraction: f64,
+    /// Messages retired with at least one receiver lost to a fault.
+    pub undeliverable: u64,
 }
 
 fn hist_json(h: &LatencyHistogram) -> Json {
@@ -219,12 +224,16 @@ impl RepOutcome {
             ("throughput", Json::Num(self.throughput)),
             ("bcast_samples", Json::UInt(self.bcast_samples)),
             ("saturated", Json::Bool(self.saturated)),
+            ("delivered_fraction", Json::Num(self.delivered_fraction)),
+            ("undeliverable", Json::UInt(self.undeliverable)),
             ("unicast_hist", hist_json(&self.unicast_hist)),
             ("bcast_hist", hist_json(&self.bcast_hist)),
         ])
     }
 
-    /// Parse the JSON form.
+    /// Parse the JSON form. Strict about the fault-accounting fields: the
+    /// `v4` merge-key bump retired every pre-fault cache entry, so a series
+    /// missing them is corrupt, not legacy.
     pub fn from_json(v: &Json) -> Option<RepOutcome> {
         Some(RepOutcome {
             unicast_mean: v.get("unicast_mean")?.as_f64()?,
@@ -233,6 +242,8 @@ impl RepOutcome {
             throughput: v.get("throughput")?.as_f64()?,
             bcast_samples: v.get("bcast_samples")?.as_u64()?,
             saturated: v.get("saturated")?.as_bool()?,
+            delivered_fraction: v.get("delivered_fraction")?.as_f64()?,
+            undeliverable: v.get("undeliverable")?.as_u64()?,
             unicast_hist: hist_from_json(v.get("unicast_hist")?)?,
             bcast_hist: hist_from_json(v.get("bcast_hist")?)?,
         })
@@ -264,6 +275,12 @@ pub struct MergedRun {
     pub saturated_reps: u32,
     /// Majority verdict.
     pub saturated: bool,
+    /// Mean delivered fraction across replications (1.0 without faults).
+    /// Summarised, never convergence-gated: a fault plan makes it a
+    /// near-constant, a healthy plan makes it exactly 1.0.
+    pub delivered_fraction: MeanCi,
+    /// Messages retired undeliverable, summed over replications.
+    pub undeliverable: u64,
     /// Whether the replication protocol's CI target was met: the policy's
     /// half-width target for convergent campaigns (achieved half-widths are
     /// the `ci95` fields), vacuously met for fixed-replication ones — or
@@ -287,6 +304,8 @@ impl MergedRun {
             ("bcast_samples", Json::UInt(self.bcast_samples)),
             ("saturated_reps", Json::UInt(self.saturated_reps as u64)),
             ("saturated", Json::Bool(self.saturated)),
+            ("delivered_fraction", self.delivered_fraction.to_json()),
+            ("undeliverable", Json::UInt(self.undeliverable)),
             ("converged", self.converged.to_json()),
         ])
     }
@@ -311,6 +330,8 @@ impl MergedRun {
             bcast_samples: v.get("bcast_samples")?.as_u64()?,
             saturated_reps: v.get("saturated_reps")?.as_u64()? as u32,
             saturated: v.get("saturated")?.as_bool()?,
+            delivered_fraction: MeanCi::from_json(v.get("delivered_fraction")?)?,
+            undeliverable: v.get("undeliverable")?.as_u64()?,
             converged: Converged::from_json(v.get("converged")?)?,
         })
     }
@@ -324,11 +345,43 @@ pub fn replication_seed(base_seed: u64, point_stream: u64, rep: u32) -> u64 {
     DetRng::new(base_seed).fork(point_stream).fork(rep as u64).next_u64()
 }
 
+/// A replication the stall watchdog cut off: the wedged run's coordinates,
+/// rendered for quarantine records and operator eyes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RepStall {
+    /// Replication index that stalled.
+    pub rep: u32,
+    /// Cycle at which the watchdog fired.
+    pub cycle: u64,
+    /// Where the traffic was wedged ([`quarc_sim::StallDiagnostics`],
+    /// rendered).
+    pub diagnostics: String,
+}
+
+fn rep_outcome(outcome: quarc_sim::PointOutcome) -> RepOutcome {
+    let r = &outcome.result;
+    RepOutcome {
+        unicast_mean: r.unicast_mean,
+        bcast_reception_mean: r.bcast_reception_mean,
+        bcast_completion_mean: r.bcast_completion_mean,
+        throughput: r.throughput,
+        bcast_samples: r.bcast_samples,
+        saturated: r.saturated,
+        delivered_fraction: r.delivered_fraction,
+        undeliverable: r.undeliverable,
+        unicast_hist: outcome.unicast_hist,
+        bcast_hist: outcome.bcast_completion_hist,
+    }
+}
+
 /// Simulate replications `series.len()..upto` of `template` (its `seed`
 /// field is overwritten per replication) and append them to `series`.
 ///
 /// Appending is the only mutation a series ever sees, so any interleaving of
 /// cache loads and top-up batches yields the same outcome at every index.
+/// A stalled replication is folded into its partial statistics (flagged
+/// saturated) — campaign execution uses [`extend_series_checked`] instead,
+/// which quarantines the point.
 pub fn extend_series(
     series: &mut Vec<RepOutcome>,
     template: &PointSpec,
@@ -343,18 +396,38 @@ pub fn extend_series(
         // Campaign points are validated at expansion, so a config error here
         // is a programming error, not an input error.
         let outcome = run_point(&point, run_spec).expect("expansion validated this configuration");
-        let r = &outcome.result;
-        series.push(RepOutcome {
-            unicast_mean: r.unicast_mean,
-            bcast_reception_mean: r.bcast_reception_mean,
-            bcast_completion_mean: r.bcast_completion_mean,
-            throughput: r.throughput,
-            unicast_hist: outcome.unicast_hist,
-            bcast_hist: outcome.bcast_completion_hist,
-            bcast_samples: r.bcast_samples,
-            saturated: r.saturated,
-        });
+        series.push(rep_outcome(outcome));
     }
+}
+
+/// [`extend_series`], but a stalled replication stops the extension and
+/// reports where it wedged instead of masquerading as a saturated sample.
+///
+/// The series keeps every replication completed *before* the stall — those
+/// are valid outcomes, safe to persist and to resume from. The stalled
+/// replication itself contributes nothing: its partial numbers describe a
+/// wedged network, not the configured workload.
+pub fn extend_series_checked(
+    series: &mut Vec<RepOutcome>,
+    template: &PointSpec,
+    run_spec: &RunSpec,
+    base_seed: u64,
+    point_stream: u64,
+    upto: u32,
+) -> Result<(), RepStall> {
+    for rep in series.len() as u32..upto {
+        let mut point = *template;
+        point.seed = replication_seed(base_seed, point_stream, rep);
+        let outcome =
+            run_point_outcome(&point, run_spec).expect("expansion validated this configuration");
+        match outcome {
+            PointRunOutcome::Finished(outcome) => series.push(rep_outcome(outcome)),
+            PointRunOutcome::Stalled { cycle, diagnostics, .. } => {
+                return Err(RepStall { rep, cycle, diagnostics: diagnostics.to_string() });
+            }
+        }
+    }
+    Ok(())
 }
 
 /// What [`decide`] concluded about a replication series.
@@ -467,19 +540,23 @@ pub fn merge_series(reps: &[RepOutcome], n: u32, converged: Converged) -> Merged
     let mut reception = OnlineStats::new();
     let mut completion = OnlineStats::new();
     let mut throughput = OnlineStats::new();
+    let mut delivered = OnlineStats::new();
     let mut pooled_unicast = LatencyHistogram::new();
     let mut pooled_bcast = LatencyHistogram::new();
     let mut bcast_samples = 0;
     let mut saturated_reps = 0;
+    let mut undeliverable = 0;
     for rep in &reps[..n as usize] {
         unicast.push(rep.unicast_mean);
         reception.push(rep.bcast_reception_mean);
         completion.push(rep.bcast_completion_mean);
         throughput.push(rep.throughput);
+        delivered.push(rep.delivered_fraction);
         pooled_unicast.merge(&rep.unicast_hist);
         pooled_bcast.merge(&rep.bcast_hist);
         bcast_samples += rep.bcast_samples;
         saturated_reps += u32::from(rep.saturated);
+        undeliverable += rep.undeliverable;
     }
     MergedRun {
         reps: n,
@@ -493,6 +570,8 @@ pub fn merge_series(reps: &[RepOutcome], n: u32, converged: Converged) -> Merged
         bcast_samples,
         saturated_reps,
         saturated: saturated_reps * 2 > n,
+        delivered_fraction: MeanCi::from_stats(&delivered),
+        undeliverable,
         converged,
     }
 }
@@ -547,6 +626,18 @@ mod tests {
         assert!(merged.unicast_p95.is_some());
         assert!(!merged.saturated);
         assert_eq!(merged.converged, Converged::Yes);
+        // Fault-free replications deliver everything, with zero spread.
+        assert_eq!(merged.delivered_fraction, MeanCi { mean: 1.0, ci95: 0.0, n: 3 });
+        assert_eq!(merged.undeliverable, 0);
+    }
+
+    #[test]
+    fn checked_extension_matches_unchecked_on_healthy_runs() {
+        let mut checked = Vec::new();
+        extend_series_checked(&mut checked, &template(), &quick(), 7, 11, 3).unwrap();
+        let mut plain = Vec::new();
+        extend_series(&mut plain, &template(), &quick(), 7, 11, 3);
+        assert_eq!(checked, plain);
     }
 
     #[test]
@@ -619,6 +710,8 @@ mod tests {
             bcast_hist: LatencyHistogram::new(),
             bcast_samples: 0,
             saturated: false,
+            delivered_fraction: 1.0,
+            undeliverable: 0,
         }
     }
 

@@ -17,12 +17,53 @@ pub enum PointOutcomeKind {
     },
     /// A saturation-search point.
     Saturation(SaturationResult),
+    /// Quarantined: the stall watchdog cut the point off — traffic was
+    /// pending but nothing moved for a full window (the expected fate of a
+    /// frozen-router fault plan). A structured artifact entry, never a
+    /// cache entry: the replications completed *before* the stall stay
+    /// cached, the stall itself is re-diagnosed on every run.
+    Stalled {
+        /// Offered load (messages/node/cycle) of the wedged run.
+        rate: f64,
+        /// Replication index that stalled.
+        rep: u32,
+        /// Cycle at which the watchdog fired.
+        cycle: u64,
+        /// Where the traffic was wedged (rendered
+        /// [`quarc_sim::StallDiagnostics`]).
+        diagnostics: String,
+    },
+    /// Quarantined: the point panicked or exceeded its wall-clock budget.
+    /// The rest of the campaign completes around it.
+    Failed {
+        /// The panic payload or budget report.
+        reason: String,
+    },
+}
+
+impl PointOutcomeKind {
+    /// Whether this outcome is a quarantine record rather than a
+    /// measurement.
+    pub fn is_quarantined(&self) -> bool {
+        matches!(self, PointOutcomeKind::Stalled { .. } | PointOutcomeKind::Failed { .. })
+    }
 }
 
 impl PointOutcomeKind {
     /// JSON form (stable field order).
     pub fn to_json(&self) -> Json {
         match self {
+            PointOutcomeKind::Stalled { rate, rep, cycle, diagnostics } => Json::obj(vec![
+                ("kind", Json::Str("stalled".into())),
+                ("rate", Json::Num(*rate)),
+                ("rep", Json::UInt(*rep as u64)),
+                ("cycle", Json::UInt(*cycle)),
+                ("diagnostics", Json::Str(diagnostics.clone())),
+            ]),
+            PointOutcomeKind::Failed { reason } => Json::obj(vec![
+                ("kind", Json::Str("failed".into())),
+                ("reason", Json::Str(reason.clone())),
+            ]),
             PointOutcomeKind::Rate { rate, merged } => Json::obj(vec![
                 ("kind", Json::Str("rate".into())),
                 ("rate", Json::Num(*rate)),
@@ -57,6 +98,15 @@ impl PointOutcomeKind {
                 rate: v.get("rate")?.as_f64()?,
                 merged: MergedRun::from_json(v.get("merged")?)?,
             }),
+            "stalled" => Some(PointOutcomeKind::Stalled {
+                rate: v.get("rate")?.as_f64()?,
+                rep: v.get("rep")?.as_u64()? as u32,
+                cycle: v.get("cycle")?.as_u64()?,
+                diagnostics: v.get("diagnostics")?.as_str()?.to_string(),
+            }),
+            "failed" => {
+                Some(PointOutcomeKind::Failed { reason: v.get("reason")?.as_str()?.to_string() })
+            }
             "saturation" => {
                 let probes = v
                     .get("probes")?
@@ -134,7 +184,7 @@ impl PointResult {
         );
         match &self.outcome {
             PointOutcomeKind::Rate { rate, merged } => format!(
-                "{prefix},rate,{rate},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+                "{prefix},rate,{rate},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
                 merged.reps,
                 merged.unicast_mean.mean,
                 merged.unicast_mean.ci95,
@@ -146,15 +196,26 @@ impl PointResult {
                 merged.bcast_completion_p95.map_or_else(|| "-".into(), |p| p.to_string()),
                 merged.bcast_samples,
                 merged.throughput.mean,
+                merged.delivered_fraction.mean,
+                merged.undeliverable,
                 merged.saturated,
                 merged.converged,
             ),
             PointOutcomeKind::Saturation(s) => format!(
-                "{prefix},saturation,{},-,-,-,-,-,-,-,-,-,-,{},{},-\n",
+                "{prefix},saturation,{},-,-,-,-,-,-,-,-,-,-,-,-,{},{},-\n",
                 s.sustained,
                 s.probes.len(),
                 s.collapsed.map_or_else(|| "-".into(), |v| v.to_string()),
             ),
+            PointOutcomeKind::Stalled { rate, rep, cycle, .. } => format!(
+                // The rep/cycle coordinates land in the reps/saturated
+                // columns; the full diagnostics live in the JSON artifact.
+                "{prefix},stalled,{rate},{rep},-,-,-,-,-,-,-,-,-,-,-,-,cycle={cycle},-\n",
+            ),
+            PointOutcomeKind::Failed { .. } => {
+                let blanks = ["-"; 16].join(",");
+                format!("{prefix},failed,{blanks}\n")
+            }
         }
     }
 
@@ -163,7 +224,7 @@ impl PointResult {
         "id,topology,n,msg_len,beta,buffer_depth,link_latency,arb,kind,rate,reps,\
          unicast_mean,unicast_ci95,unicast_p95,unicast_samples,bcast_reception_mean,\
          bcast_completion_mean,bcast_completion_ci95,bcast_completion_p95,bcast_samples,\
-         throughput,saturated,converged"
+         throughput,delivered_fraction,undeliverable,saturated,converged"
     }
 
     /// The display label for a point.
@@ -193,6 +254,8 @@ mod tests {
             bcast_samples: 56,
             saturated_reps: 0,
             saturated: false,
+            delivered_fraction: MeanCi { mean: 0.97, ci95: 0.01, n: 2 },
+            undeliverable: 12,
             converged: Converged::Yes,
         }
     }
@@ -242,10 +305,42 @@ mod tests {
                 collapsed: Some(0.022),
                 probes: vec![],
             }),
-            ..result
+            ..result.clone()
         };
         // Saturation rows reuse the last two columns for probe count and
         // collapse rate, keeping the column count identical.
         assert_eq!(sat.csv_row().trim_end().split(',').count(), header_cols);
+
+        // Quarantine rows keep the table rectangular too.
+        let stalled = PointResult {
+            outcome: PointOutcomeKind::Stalled {
+                rate: 0.01,
+                rep: 1,
+                cycle: 42_000,
+                diagnostics: "backlog=3 buffered=9".into(),
+            },
+            ..result.clone()
+        };
+        assert_eq!(stalled.csv_row().trim_end().split(',').count(), header_cols);
+        let failed =
+            PointResult { outcome: PointOutcomeKind::Failed { reason: "boom".into() }, ..result };
+        assert_eq!(failed.csv_row().trim_end().split(',').count(), header_cols);
+    }
+
+    #[test]
+    fn quarantine_outcomes_roundtrip() {
+        for outcome in [
+            PointOutcomeKind::Stalled {
+                rate: 0.02,
+                rep: 3,
+                cycle: 77_000,
+                diagnostics: "backlog=12 buffered=40 busiest=[5:12]".into(),
+            },
+            PointOutcomeKind::Failed { reason: "panicked: chaos".into() },
+        ] {
+            let text = outcome.to_json().to_pretty();
+            assert!(outcome.is_quarantined());
+            assert_eq!(PointOutcomeKind::from_json(&Json::parse(&text).unwrap()).unwrap(), outcome);
+        }
     }
 }

@@ -6,7 +6,7 @@ use crate::cache::ResultCache;
 use crate::executor::{default_workers, run_work_stealing_tasks_with_stats, Step, WorkerStats};
 use crate::json::Json;
 use crate::replicate::{
-    decide, extend_series, merge_series, replication_seed, Converged, Decision, RepOutcome,
+    decide, extend_series_checked, merge_series, replication_seed, Converged, Decision, RepOutcome,
 };
 use crate::result::{PointOutcomeKind, PointResult};
 use crate::saturation::find_saturation;
@@ -14,6 +14,7 @@ use crate::spec::{CampaignPoint, CampaignSpec, PointWork, SpecError};
 use quarc_sim::{run_point, PointSpec};
 use std::fmt;
 use std::io;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
@@ -42,6 +43,18 @@ pub struct CampaignOptions {
     /// through the pool (`0` = [`DEFAULT_BATCH_REPS`]). An execution knob:
     /// the canonical stopping rule makes reported numbers independent of it.
     pub batch_reps: u32,
+    /// Per-point wall-clock budget, checked at batch boundaries: a point
+    /// that has already burned this much simulation time without finishing
+    /// is quarantined as [`PointOutcomeKind::Failed`] instead of pinning a
+    /// worker. `None` = unbounded. Never caches and never alters a
+    /// completed point's numbers — a budget generous enough for every point
+    /// to finish reproduces the unbudgeted campaign byte for byte.
+    pub point_timeout: Option<Duration>,
+    /// Test-only chaos hook: points whose expansion id is listed here panic
+    /// on their first execution step, exercising the fail-soft path. Hidden
+    /// because campaigns must never use it; the fail-soft tests must.
+    #[doc(hidden)]
+    pub chaos_panic_ids: Vec<usize>,
 }
 
 /// What a campaign run produced.
@@ -90,6 +103,9 @@ pub struct PointTelemetry {
     pub reps_cached: usize,
     /// Served entirely from the result cache.
     pub from_cache: bool,
+    /// Quarantined by the per-point wall-clock budget
+    /// ([`CampaignOptions::point_timeout`]).
+    pub timed_out: bool,
 }
 
 impl PointTelemetry {
@@ -116,6 +132,26 @@ impl CampaignReport {
         self.point_telemetry.iter().filter(|p| p.is_topup()).count()
     }
 
+    /// Points quarantined this run (stalled + failed). A fail-soft campaign
+    /// still exits 0 with quarantined points — callers that want to gate on
+    /// them read this.
+    pub fn quarantined(&self) -> usize {
+        self.results.iter().filter(|r| r.outcome.is_quarantined()).count()
+    }
+
+    /// Points whose stall watchdog fired.
+    pub fn stalled(&self) -> usize {
+        self.results
+            .iter()
+            .filter(|r| matches!(r.outcome, PointOutcomeKind::Stalled { .. }))
+            .count()
+    }
+
+    /// Points that panicked or blew their wall-clock budget.
+    pub fn failed(&self) -> usize {
+        self.results.iter().filter(|r| matches!(r.outcome, PointOutcomeKind::Failed { .. })).count()
+    }
+
     /// The execution-telemetry document. Deliberately a *separate* artifact
     /// from [`CampaignReport::to_json`]: it records timing, cache traffic
     /// and scheduling — everything the pure campaign artifact must exclude.
@@ -125,6 +161,19 @@ impl CampaignReport {
             ("kind", Json::Str("execution-telemetry".into())),
             ("wall_s", Json::Num(self.wall.as_secs_f64())),
             ("workers", Json::UInt(self.workers as u64)),
+            (
+                "quarantine",
+                Json::obj(vec![
+                    ("stalled", Json::UInt(self.stalled() as u64)),
+                    ("failed", Json::UInt(self.failed() as u64)),
+                    (
+                        "timed_out",
+                        Json::UInt(
+                            self.point_telemetry.iter().filter(|p| p.timed_out).count() as u64
+                        ),
+                    ),
+                ]),
+            ),
             (
                 "cache",
                 Json::obj(vec![
@@ -174,6 +223,7 @@ impl CampaignReport {
                                 ("wall_s", Json::Num(p.wall.as_secs_f64())),
                                 ("reps_simulated", Json::UInt(p.simulated_reps as u64)),
                                 ("reps_cached", Json::UInt(p.reps_cached as u64)),
+                                ("timed_out", Json::Bool(p.timed_out)),
                             ])
                         })
                         .collect(),
@@ -225,6 +275,8 @@ pub fn execute_point(point: &CampaignPoint, spec: &CampaignSpec) -> PointOutcome
         force: false,
         batch: u32::MAX, // no cache to interleave with: run every batch at once
         quiet: true,
+        point_timeout: None,
+        chaos_panic_ids: &[],
     };
     loop {
         match task.step(&ctx) {
@@ -241,6 +293,8 @@ struct PointContext<'a> {
     force: bool,
     batch: u32,
     quiet: bool,
+    point_timeout: Option<Duration>,
+    chaos_panic_ids: &'a [usize],
 }
 
 /// The parked state of one point between trips through the pool.
@@ -269,6 +323,19 @@ struct PointDone {
     from_cache: bool,
     /// Wall time across all of this point's batches.
     wall: Duration,
+    /// Quarantined by the per-point wall-clock budget.
+    timed_out: bool,
+}
+
+/// Best-effort human rendering of a panic payload.
+fn panic_reason(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 impl PointTask {
@@ -283,10 +350,68 @@ impl PointTask {
         }
     }
 
+    /// Run one batch of this point, fail-soft. A panic anywhere inside the
+    /// batch — a simulator bug, a poisoned cache entry, the chaos hook — is
+    /// caught here and turned into a structured [`PointOutcomeKind::Failed`]
+    /// so the rest of the campaign keeps running; the per-point wall-clock
+    /// budget is enforced at the same boundary. Nothing quarantined is ever
+    /// cached.
+    fn step(self, ctx: &PointContext<'_>) -> Step<PointTask, PointDone> {
+        let busy = self.busy;
+        if ctx.chaos_panic_ids.contains(&self.point.id) {
+            let caught = catch_unwind(AssertUnwindSafe(|| {
+                panic!("chaos hook: point {} configured to panic", self.point.id)
+            }));
+            let payload = caught.expect_err("the chaos closure always panics");
+            return Step::Done(PointDone {
+                outcome: PointOutcomeKind::Failed {
+                    reason: format!("panicked: {}", panic_reason(payload)),
+                },
+                simulated_reps: self.simulated_reps,
+                reps_cached_used: 0,
+                from_cache: false,
+                wall: busy,
+                timed_out: false,
+            });
+        }
+        if let Some(budget) = ctx.point_timeout {
+            if self.busy >= budget {
+                return Step::Done(PointDone {
+                    outcome: PointOutcomeKind::Failed {
+                        reason: format!(
+                            "wall-clock budget exhausted: {:.1}s spent of {:.1}s allowed",
+                            self.busy.as_secs_f64(),
+                            budget.as_secs_f64(),
+                        ),
+                    },
+                    simulated_reps: self.simulated_reps,
+                    reps_cached_used: 0,
+                    from_cache: false,
+                    wall: busy,
+                    timed_out: true,
+                });
+            }
+        }
+        let simulated_so_far = self.simulated_reps;
+        match catch_unwind(AssertUnwindSafe(move || self.step_inner(ctx))) {
+            Ok(step) => step,
+            Err(payload) => Step::Done(PointDone {
+                outcome: PointOutcomeKind::Failed {
+                    reason: format!("panicked: {}", panic_reason(payload)),
+                },
+                simulated_reps: simulated_so_far,
+                reps_cached_used: 0,
+                from_cache: false,
+                wall: busy,
+                timed_out: false,
+            }),
+        }
+    }
+
     /// Run one batch of this point. Rate points consult the cache once,
     /// then alternate `decide` → simulate-batch → persist, yielding between
     /// batches so convergence top-ups interleave with the rest of the grid.
-    fn step(mut self, ctx: &PointContext<'_>) -> Step<PointTask, PointDone> {
+    fn step_inner(mut self, ctx: &PointContext<'_>) -> Step<PointTask, PointDone> {
         let t0 = Instant::now();
         let merge_key = self.point.merge_key(ctx.spec);
         let merge_hash = self.point.merge_hash(ctx.spec);
@@ -303,6 +428,7 @@ impl PointTask {
                             reps_cached_used: 0,
                             from_cache: true,
                             wall: self.busy + t0.elapsed(),
+                            timed_out: false,
                         });
                     }
                 }
@@ -344,6 +470,7 @@ impl PointTask {
                     reps_cached_used: 0,
                     from_cache: false,
                     wall: self.busy + t0.elapsed(),
+                    timed_out: false,
                 })
             }
             PointWork::Rate(rate) => {
@@ -367,6 +494,7 @@ impl PointTask {
                             reps_cached_used: self.cached_reps.min(n as usize),
                             from_cache: self.simulated_reps == 0 && self.cached_reps > 0,
                             wall: self.busy + t0.elapsed(),
+                            timed_out: false,
                         })
                     }
                     Decision::NeedMore { upto } => {
@@ -378,7 +506,7 @@ impl PointTask {
                             rate,
                         };
                         let before = self.series.len();
-                        extend_series(
+                        let stalled = extend_series_checked(
                             &mut self.series,
                             &template,
                             &ctx.spec.run,
@@ -388,13 +516,35 @@ impl PointTask {
                         );
                         self.simulated_reps += self.series.len() - before;
                         // Persist after every batch: an interrupted campaign
-                        // resumes from its last batch, not from scratch.
-                        if let Some(c) = ctx.cache {
-                            if let Err(e) = c.store_series(merge_hash, &merge_key, &self.series) {
-                                if !ctx.quiet {
-                                    eprintln!("campaign: failed to cache {merge_key}: {e}");
+                        // resumes from its last batch, not from scratch. The
+                        // replications completed *before* a stall are valid
+                        // outcomes and persist too — only the stall itself is
+                        // quarantined (never cached), so a wedged point
+                        // re-diagnoses on every run until the config is fixed.
+                        if !self.series.is_empty() {
+                            if let Some(c) = ctx.cache {
+                                if let Err(e) = c.store_series(merge_hash, &merge_key, &self.series)
+                                {
+                                    if !ctx.quiet {
+                                        eprintln!("campaign: failed to cache {merge_key}: {e}");
+                                    }
                                 }
                             }
+                        }
+                        if let Err(stall) = stalled {
+                            return Step::Done(PointDone {
+                                outcome: PointOutcomeKind::Stalled {
+                                    rate,
+                                    rep: stall.rep,
+                                    cycle: stall.cycle,
+                                    diagnostics: stall.diagnostics,
+                                },
+                                simulated_reps: self.simulated_reps,
+                                reps_cached_used: 0,
+                                from_cache: false,
+                                wall: self.busy + t0.elapsed(),
+                                timed_out: false,
+                            });
                         }
                         self.busy += t0.elapsed();
                         Step::Yield(self)
@@ -432,6 +582,8 @@ pub fn run_campaign(
         force: opts.force,
         batch: if opts.batch_reps == 0 { DEFAULT_BATCH_REPS } else { opts.batch_reps },
         quiet: opts.quiet,
+        point_timeout: opts.point_timeout,
+        chaos_panic_ids: &opts.chaos_panic_ids,
     };
 
     let total = expansion.points.len();
@@ -466,6 +618,7 @@ pub fn run_campaign(
                     simulated_reps: out.simulated_reps,
                     reps_cached: out.reps_cached_used,
                     from_cache: out.from_cache,
+                    timed_out: out.timed_out,
                 });
                 if !opts.quiet {
                     let n = done.fetch_add(1, Ordering::Relaxed) + 1;
@@ -489,6 +642,10 @@ pub fn run_campaign(
                             )
                         }
                         PointOutcomeKind::Saturation(_) => String::new(),
+                        PointOutcomeKind::Stalled { rep, cycle, .. } => {
+                            format!(" STALLED rep {rep} @ cycle {cycle}")
+                        }
+                        PointOutcomeKind::Failed { reason } => format!(" FAILED: {reason}"),
                     };
                     eprintln!("campaign [{n:>4}/{total}] {label:<40} ({how}{verdict})");
                 }

@@ -15,7 +15,7 @@
 //! order.
 
 use crate::hash::fnv1a64;
-use quarc_core::config::{ArbPolicy, NocConfig};
+use quarc_core::config::{ArbPolicy, FaultPlan, NocConfig};
 use quarc_core::topology::TopologyKind;
 use quarc_sim::RunSpec;
 use std::fmt;
@@ -154,6 +154,11 @@ pub struct CampaignSpec {
     /// by the Quarc model only, but part of every point's identity so the
     /// cache can never serve a round-robin result for a fixed-priority run).
     pub arbs: Vec<ArbPolicy>,
+    /// Fault-schedule axis ([`FaultPlan::NONE`] = healthy network). Fault
+    /// plans are deterministic, so faulted points cache and replicate
+    /// exactly like healthy ones; the plan is part of every point's
+    /// identity.
+    pub faults: Vec<FaultPlan>,
     /// The injection-rate axis.
     pub rates: RateAxis,
     /// Independent replications per point (distinct workload seeds). With a
@@ -182,6 +187,7 @@ impl CampaignSpec {
             buffer_depths: vec![4],
             link_latencies: vec![1],
             arbs: vec![ArbPolicy::RoundRobin],
+            faults: vec![FaultPlan::NONE],
             rates: RateAxis::AutoGeometric { span: 1.1, lo_div: 40.0, steps: 10 },
             replications: 2,
             convergence: None,
@@ -210,6 +216,7 @@ impl CampaignSpec {
             ("buffer_depths", self.buffer_depths.is_empty()),
             ("link_latencies", self.link_latencies.is_empty()),
             ("arbs", self.arbs.is_empty()),
+            ("faults", self.faults.is_empty()),
         ] {
             if empty {
                 return Err(SpecError::new_owned(format!("axis {axis} is empty")));
@@ -273,19 +280,22 @@ impl CampaignSpec {
                         for &buffer_depth in &self.buffer_depths {
                             for &link_latency in &self.link_latencies {
                                 for &arb in &self.arbs {
-                                    let curve = CurveParams {
-                                        topology,
-                                        n,
-                                        msg_len,
-                                        beta,
-                                        buffer_depth,
-                                        link_latency,
-                                        arb,
-                                    };
-                                    curve.noc().validate().map_err(|e| {
-                                        SpecError::new_owned(format!("{curve}: {e}"))
-                                    })?;
-                                    self.push_curve_points(curve, &mut points);
+                                    for &fault in &self.faults {
+                                        let curve = CurveParams {
+                                            topology,
+                                            n,
+                                            msg_len,
+                                            beta,
+                                            buffer_depth,
+                                            link_latency,
+                                            arb,
+                                            fault,
+                                        };
+                                        curve.noc().validate().map_err(|e| {
+                                            SpecError::new_owned(format!("{curve}: {e}"))
+                                        })?;
+                                        self.push_curve_points(curve, &mut points);
+                                    }
                                 }
                             }
                         }
@@ -372,6 +382,8 @@ pub struct CurveParams {
     pub link_latency: u64,
     /// Output-arbitration policy.
     pub arb: ArbPolicy,
+    /// Deterministic fault schedule ([`FaultPlan::NONE`] = healthy).
+    pub fault: FaultPlan,
 }
 
 impl CurveParams {
@@ -391,6 +403,7 @@ impl CurveParams {
         cfg.buffer_depth = self.buffer_depth;
         cfg.link_latency = self.link_latency;
         cfg.arb = self.arb;
+        cfg.fault = self.fault;
         cfg
     }
 }
@@ -407,7 +420,13 @@ impl fmt::Display for CurveParams {
             self.buffer_depth,
             self.link_latency,
             self.arb
-        )
+        )?;
+        // Healthy curves keep their historical labels; fault plans get a
+        // compact suffix (the plan's own Display form).
+        if !self.fault.is_empty() {
+            write!(f, "-F{}", self.fault)?;
+        }
+        Ok(())
     }
 }
 
@@ -455,7 +474,11 @@ impl CampaignPoint {
     /// Bump the version token when any result-affecting behaviour changes
     /// (RNG algorithm, run protocol, merge rules) — it invalidates every
     /// existing cache entry. `v3` split the replication protocol out of the
-    /// key (it previously re-keyed — and re-seeded — every point).
+    /// key (it previously re-keyed — and re-seeded — every point). `v4`
+    /// added the fault-plan axis and the stall-watchdog window to every
+    /// point's identity (and [`crate::replicate::RepOutcome`] grew
+    /// delivered-fraction accounting, so pre-fault series must not be
+    /// served).
     pub fn merge_key(&self, spec: &CampaignSpec) -> String {
         let c = &self.curve;
         let work = match self.work {
@@ -465,7 +488,7 @@ impl CampaignPoint {
             }
         };
         format!(
-            "quarc-campaign v3|{}|n={} m={} beta={} depth={} link={} arb={}|{}|seed={}|run w={} m={} d={} lat={} bk={}",
+            "quarc-campaign v4|{}|n={} m={} beta={} depth={} link={} arb={} fault={}|{}|seed={}|run w={} m={} d={} lat={} bk={} sw={}",
             c.topology,
             c.n,
             c.msg_len,
@@ -473,6 +496,7 @@ impl CampaignPoint {
             c.buffer_depth,
             c.link_latency,
             c.arb,
+            c.fault,
             work,
             spec.base_seed,
             spec.run.warmup,
@@ -480,6 +504,7 @@ impl CampaignPoint {
             spec.run.drain,
             spec.run.latency_cap,
             spec.run.backlog_cap,
+            spec.run.stall_window,
         )
     }
 
@@ -596,6 +621,7 @@ mod tests {
             * spec.buffer_depths.len()
             * spec.link_latencies.len()
             * spec.arbs.len()
+            * spec.faults.len()
             * 2; // explicit rates
         assert_eq!(exp.points.len(), product);
         assert!(exp.skipped.is_empty(), "{:?}", exp.skipped);
@@ -655,10 +681,67 @@ mod tests {
         let spec = small();
         let p = spec.expand().unwrap().points[0];
         let key = p.content_key(&spec);
-        for needle in ["quarc", "n=8", "m=4", "beta=0", "depth=4", "link=1", "arb=rr", "seed=2009"]
-        {
+        for needle in [
+            "quarc",
+            "n=8",
+            "m=4",
+            "beta=0",
+            "depth=4",
+            "link=1",
+            "arb=rr",
+            "fault=-",
+            "seed=2009",
+            "sw=10000",
+        ] {
             assert!(key.contains(needle), "key {key:?} lacks {needle:?}");
         }
+    }
+
+    #[test]
+    fn fault_axis_expands_and_separates_cache_keys() {
+        // A faulted run and a healthy run can never share numbers, so they
+        // must never share a cache entry — and the fault axis multiplies the
+        // grid like any other.
+        let mut spec = small();
+        spec.sizes = vec![16];
+        spec.faults = vec![
+            FaultPlan::NONE,
+            FaultPlan { dead_links: 1, seed: 7, onset: 1_000, ..FaultPlan::NONE },
+            FaultPlan { dead_links: 2, seed: 7, onset: 1_000, ..FaultPlan::NONE },
+        ];
+        let exp = spec.expand().unwrap();
+        assert_eq!(exp.points.len(), 2 * 3 * 2); // topologies × faults × rates
+        assert!(exp.skipped.is_empty());
+        let hashes: std::collections::HashSet<u64> =
+            exp.points.iter().map(|p| p.content_hash(&spec)).collect();
+        assert_eq!(hashes.len(), exp.points.len(), "fault plans must re-key every point");
+        // Healthy points keep their historical labels; faulted ones say so.
+        let labels: Vec<String> =
+            exp.points.iter().map(crate::result::PointResult::label_for).collect();
+        assert!(labels.iter().any(|l| !l.contains("-F")));
+        assert!(labels.iter().any(|l| l.contains("-Fs7o1000d1")));
+    }
+
+    #[test]
+    fn stall_window_reaches_the_merge_key() {
+        // Under faults the watchdog window decides when a wedged run is cut
+        // off, which moves partial statistics — so it is result identity.
+        let spec = small();
+        let p = spec.expand().unwrap().points[0];
+        let mut rewound = spec.clone();
+        rewound.run.stall_window = 500;
+        assert_ne!(p.merge_key(&spec), p.merge_key(&rewound));
+    }
+
+    #[test]
+    fn empty_fault_axis_is_rejected() {
+        let mut bad = small();
+        bad.faults = vec![];
+        assert!(bad.expand().is_err());
+        // And an internally inconsistent plan fails config validation.
+        let mut bad = small();
+        bad.faults = vec![FaultPlan { transient_links: 1, transient_cycles: 0, ..FaultPlan::NONE }];
+        assert!(bad.expand().is_err());
     }
 
     #[test]

@@ -45,6 +45,118 @@ impl fmt::Display for ArbPolicy {
     }
 }
 
+/// A deterministic fault schedule for one simulated network.
+///
+/// The plan is *declarative*: it names how many components fail and how,
+/// not which ones. The concrete selection (which links die, which routers
+/// freeze) is expanded by the simulator from a `DetRng` substream seeded
+/// only by [`FaultPlan::seed`], so a plan is a pure function of its fields
+/// and two runs of the same plan fail identically — fault campaigns cache
+/// and replicate exactly like fault-free ones.
+///
+/// Fault semantics (see `docs/ROBUSTNESS.md`):
+///
+/// * **dead links** — from [`FaultPlan::onset`], the link stops accepting
+///   new packets; a packet routed onto it is dropped whole, with every
+///   lost receiver accounted (`fail-stop at packet granularity`: packets
+///   whose header was already routed complete normally, so wormhole
+///   invariants hold).
+/// * **frozen routers** — from `onset`, the router's arbiter grants
+///   nothing; traffic through it wedges (the stall watchdog's job).
+/// * **lossy links** — each packet routed onto the link is dropped with
+///   probability `drop_per_64k / 65536`, decided per packet id.
+/// * **transient links** — the link blocks *losslessly* for
+///   [`FaultPlan::transient_cycles`] starting at `onset`; credit-based
+///   flow control holds traffic back, nothing is lost.
+///
+/// All fields are plain integers so the plan (and [`NocConfig`]) stays
+/// `Copy`, hashable and exactly representable in campaign content keys.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FaultPlan {
+    /// Seed of the fault-selection substream (which links/routers fail).
+    pub seed: u64,
+    /// Cycle at which every scheduled fault takes effect.
+    pub onset: u64,
+    /// Number of links that fail permanently (fail-stop) at `onset`.
+    pub dead_links: u16,
+    /// Number of routers whose arbitration freezes at `onset`.
+    pub frozen_routers: u16,
+    /// Number of links that drop packets probabilistically from `onset`.
+    pub lossy_links: u16,
+    /// Per-packet drop probability on lossy links, in units of 1/65536.
+    pub drop_per_64k: u16,
+    /// Number of links that block losslessly for a window at `onset`.
+    pub transient_links: u16,
+    /// Length of the transient blocking window, in cycles.
+    pub transient_cycles: u32,
+}
+
+impl FaultPlan {
+    /// The empty plan: no faults, byte-identical behaviour to a build
+    /// without the fault subsystem.
+    pub const NONE: FaultPlan = FaultPlan {
+        seed: 0,
+        onset: 0,
+        dead_links: 0,
+        frozen_routers: 0,
+        lossy_links: 0,
+        drop_per_64k: 0,
+        transient_links: 0,
+        transient_cycles: 0,
+    };
+
+    /// Whether this plan schedules no faults at all.
+    pub fn is_empty(&self) -> bool {
+        self.dead_links == 0
+            && self.frozen_routers == 0
+            && (self.lossy_links == 0 || self.drop_per_64k == 0)
+            && self.transient_links == 0
+    }
+
+    /// Check internal consistency (part of [`NocConfig::validate`]).
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.transient_links > 0 && self.transient_cycles == 0 {
+            return Err(ConfigError::BadParameter {
+                name: "fault.transient_cycles",
+                requirement: "transient link faults need a window of at least one cycle",
+            });
+        }
+        if self.lossy_links > 0 && self.drop_per_64k == 0 {
+            return Err(ConfigError::BadParameter {
+                name: "fault.drop_per_64k",
+                requirement: "lossy links need a non-zero drop probability",
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::NONE
+    }
+}
+
+impl fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return write!(f, "-");
+        }
+        write!(
+            f,
+            "s{}o{}d{}f{}l{}p{}t{}w{}",
+            self.seed,
+            self.onset,
+            self.dead_links,
+            self.frozen_routers,
+            self.lossy_links,
+            self.drop_per_64k,
+            self.transient_links,
+            self.transient_cycles
+        )
+    }
+}
+
 /// Errors raised when validating a [`NocConfig`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ConfigError {
@@ -101,6 +213,8 @@ pub struct NocConfig {
     /// Output-arbitration policy (consulted by the Quarc model's OPC grant
     /// arbiters; the other models always round-robin).
     pub arb: ArbPolicy,
+    /// Deterministic fault schedule ([`FaultPlan::NONE`] = healthy network).
+    pub fault: FaultPlan,
 }
 
 impl NocConfig {
@@ -134,6 +248,12 @@ impl NocConfig {
     /// Override the output-arbitration policy.
     pub fn with_arb(mut self, arb: ArbPolicy) -> Self {
         self.arb = arb;
+        self
+    }
+
+    /// Override the fault schedule.
+    pub fn with_fault(mut self, fault: FaultPlan) -> Self {
+        self.fault = fault;
         self
     }
 
@@ -205,6 +325,7 @@ impl NocConfig {
                 requirement: "links take at least one cycle",
             });
         }
+        self.fault.validate()?;
         Ok(())
     }
 }
@@ -218,6 +339,7 @@ impl Default for NocConfig {
             buffer_depth: 4,
             link_latency: 1,
             arb: ArbPolicy::RoundRobin,
+            fault: FaultPlan::NONE,
         }
     }
 }
@@ -228,7 +350,11 @@ impl fmt::Display for NocConfig {
             f,
             "{} n={} vcs={} buf={} link={} arb={}",
             self.kind, self.n, self.vcs, self.buffer_depth, self.link_latency, self.arb
-        )
+        )?;
+        if !self.fault.is_empty() {
+            write!(f, " fault={}", self.fault)?;
+        }
+        Ok(())
     }
 }
 
@@ -301,6 +427,30 @@ mod tests {
         let mut t = NocConfig::torus(16);
         t.vcs = 1;
         assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn fault_plan_defaults_to_empty_and_validates() {
+        let c = NocConfig::quarc(16);
+        assert!(c.fault.is_empty());
+        assert!(c.validate().is_ok());
+        // A plan with faults distinguishes otherwise-equal configs.
+        let faulted = c.with_fault(FaultPlan { dead_links: 2, seed: 7, ..FaultPlan::NONE });
+        assert!(!faulted.fault.is_empty());
+        assert_ne!(c, faulted);
+        assert!(faulted.validate().is_ok());
+        assert!(faulted.to_string().contains("fault="));
+        assert!(!c.to_string().contains("fault="), "empty plans must not change Display");
+    }
+
+    #[test]
+    fn fault_plan_rejects_inconsistent_schedules() {
+        let transient_no_window = FaultPlan { transient_links: 1, ..FaultPlan::NONE };
+        assert!(transient_no_window.validate().is_err());
+        let lossy_no_prob = FaultPlan { lossy_links: 2, drop_per_64k: 0, ..FaultPlan::NONE };
+        assert!(lossy_no_prob.validate().is_err());
+        let cfg = NocConfig::quarc(16).with_fault(transient_no_window);
+        assert!(cfg.validate().is_err());
     }
 
     #[test]

@@ -25,5 +25,5 @@ pub mod stats;
 pub use clock::{Clock, Cycle};
 pub use events::EventQueue;
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
-pub use rng::DetRng;
+pub use rng::{mix64, DetRng};
 pub use stats::{BatchMeans, LatencyHistogram, OnlineStats, Throughput};

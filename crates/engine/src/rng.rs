@@ -12,6 +12,15 @@
 //! result cache would be invalidated by any RNG change, so treat the
 //! algorithm as frozen.
 
+/// One SplitMix64 whitening step as a public pure mixer: the simulator's
+/// fault layer keys per-packet drop decisions on `mix64(salt ^ packet_id)`
+/// so a drop is a pure function of `(link, packet)` — independent of the
+/// cycle the decision happens to be evaluated on, which is what keeps the
+/// active-set scheduler bit-identical to the full-scan oracle under faults.
+pub fn mix64(z: u64) -> u64 {
+    splitmix64(z)
+}
+
 /// SplitMix64 step — used to whiten (seed, stream) pairs and to expand a
 /// 64-bit seed into the 256-bit xoshiro state.
 fn splitmix64(mut z: u64) -> u64 {

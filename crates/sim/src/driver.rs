@@ -57,6 +57,52 @@ pub trait NocSim {
     fn flit_hops(&self) -> u64;
     /// Whether no traffic is anywhere in the system.
     fn quiesced(&self) -> bool;
+    /// A snapshot of where traffic is wedged, taken when the stall watchdog
+    /// fires: the quiescence counters plus the most occupied routers. Walks
+    /// the network (cold path — never called per cycle).
+    fn stall_diagnostics(&self) -> StallDiagnostics;
+}
+
+/// Where the traffic was when a run stalled: the four quiescence counters
+/// plus the most occupied routers (buffered + source-queued flits), so a
+/// wedged run points at the faulted region instead of just timing out.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StallDiagnostics {
+    /// Flits queued at source transceivers.
+    pub backlog: u64,
+    /// Flits buffered in router input lanes.
+    pub buffered: u64,
+    /// Flits in flight on links.
+    pub on_links: u64,
+    /// Messages created but not yet fully accounted.
+    pub in_flight: u64,
+    /// Packets interned in the packet table.
+    pub live_packets: u64,
+    /// Up to [`Self::TOP_ROUTERS`] `(node, flits)` pairs, most occupied
+    /// first (ties broken by node id).
+    pub busiest_routers: Vec<(u32, u32)>,
+}
+
+impl StallDiagnostics {
+    /// How many router occupancy entries a snapshot keeps.
+    pub const TOP_ROUTERS: usize = 8;
+}
+
+impl std::fmt::Display for StallDiagnostics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "backlog={} buffered={} on_links={} in_flight={} live_packets={} busiest=[",
+            self.backlog, self.buffered, self.on_links, self.in_flight, self.live_packets
+        )?;
+        for (i, (node, flits)) in self.busiest_routers.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{node}:{flits}")?;
+        }
+        write!(f, "]")
+    }
 }
 
 /// Parameters of one measured run.
@@ -74,6 +120,12 @@ pub struct RunSpec {
     pub latency_cap: f64,
     /// Per-node backlog (in flits) above which the run counts as saturated.
     pub backlog_cap: f64,
+    /// Stall watchdog window (cycles): if traffic is pending and no flit
+    /// moves (hop, delivery or fault drop) for a full window, the run ends
+    /// with [`RunOutcome::Stalled`] instead of spinning to the cycle cap.
+    /// Progress is sampled once per window, so the check costs nothing per
+    /// cycle and a stall is reported within two windows. `0` disarms it.
+    pub stall_window: Cycle,
 }
 
 impl Default for RunSpec {
@@ -84,6 +136,7 @@ impl Default for RunSpec {
             drain: 30_000,
             latency_cap: 2_000.0,
             backlog_cap: 200.0,
+            stall_window: 10_000,
         }
     }
 }
@@ -123,19 +176,28 @@ pub struct RunResult {
     pub saturated: bool,
     /// Source backlog (flits) at the end of the measurement window.
     pub end_backlog: usize,
+    /// Fraction of expected receiver deliveries that actually happened
+    /// (1.0 on fault-free runs; the headline robustness number under
+    /// fault injection).
+    pub delivered_fraction: f64,
+    /// Messages retired with at least one receiver lost to a fault.
+    pub undeliverable: u64,
+    /// Flits consumed by fault drops.
+    pub flits_dropped: u64,
 }
 
 impl RunResult {
     /// CSV header matching [`Self::csv_row`].
     pub fn csv_header() -> &'static str {
         "topology,n,rate,unicast_mean,unicast_p95,unicast_samples,bcast_reception_mean,\
-         bcast_completion_mean,bcast_samples,throughput,saturated,end_backlog"
+         bcast_completion_mean,bcast_samples,throughput,saturated,end_backlog,\
+         delivered_fraction,undeliverable,flits_dropped"
     }
 
     /// One CSV row.
     pub fn csv_row(&self) -> String {
         format!(
-            "{},{},{},{:.3},{},{},{:.3},{:.3},{},{:.5},{},{}",
+            "{},{},{},{:.3},{},{},{:.3},{:.3},{},{:.5},{},{},{:.6},{},{}",
             self.kind,
             self.n,
             self.offered_rate.map_or_else(|| "-".into(), |r| format!("{r:.5}")),
@@ -148,7 +210,51 @@ impl RunResult {
             self.throughput,
             self.saturated,
             self.end_backlog,
+            self.delivered_fraction,
+            self.undeliverable,
+            self.flits_dropped,
         )
+    }
+}
+
+/// How a run ended: cleanly, or wedged with the watchdog's snapshot.
+#[derive(Debug, Clone)]
+pub enum RunOutcome {
+    /// The protocol ran to completion (possibly saturated).
+    Finished(RunResult),
+    /// The stall watchdog fired: traffic was pending but nothing moved for
+    /// a full [`RunSpec::stall_window`]. Carries partial statistics.
+    Stalled {
+        /// Cycle at which the stall was detected.
+        cycle: Cycle,
+        /// Where the traffic is wedged.
+        diagnostics: StallDiagnostics,
+        /// Statistics accumulated up to the stall (flagged saturated).
+        partial: RunResult,
+    },
+}
+
+impl RunOutcome {
+    /// Whether the watchdog ended this run.
+    pub fn is_stalled(&self) -> bool {
+        matches!(self, RunOutcome::Stalled { .. })
+    }
+
+    /// The run statistics, complete or partial.
+    pub fn result(&self) -> &RunResult {
+        match self {
+            RunOutcome::Finished(r) => r,
+            RunOutcome::Stalled { partial, .. } => partial,
+        }
+    }
+
+    /// Collapse to the statistics (a stalled run reads as saturated — the
+    /// legacy [`run`]/[`run_mono`] view).
+    pub fn into_result(self) -> RunResult {
+        match self {
+            RunOutcome::Finished(r) => r,
+            RunOutcome::Stalled { partial, .. } => partial,
+        }
     }
 }
 
@@ -284,6 +390,10 @@ impl NocSim for AnyNet {
     fn quiesced(&self) -> bool {
         for_each_net!(self, n => NocSim::quiesced(n))
     }
+
+    fn stall_diagnostics(&self) -> StallDiagnostics {
+        for_each_net!(self, n => NocSim::stall_diagnostics(n))
+    }
 }
 
 /// Adapter running the generic protocol over a type-erased network (one
@@ -338,6 +448,10 @@ impl NocSim for DynNet<'_> {
     fn quiesced(&self) -> bool {
         self.0.quiesced()
     }
+
+    fn stall_diagnostics(&self) -> StallDiagnostics {
+        self.0.stall_diagnostics()
+    }
 }
 
 impl MonoStep for DynNet<'_> {
@@ -349,25 +463,124 @@ impl MonoStep for DynNet<'_> {
     }
 }
 
+/// The stall watchdog: samples the progress counters once per window and
+/// fires if nothing moved across a full window while traffic was pending.
+/// Reading only counters (and walking links once per window), it cannot
+/// affect simulated behaviour — fault-free runs stay byte-identical with
+/// the watchdog armed.
+struct Watchdog {
+    window: Cycle,
+    countdown: Cycle,
+    last_progress: u64,
+}
+
+impl Watchdog {
+    fn new(window: Cycle) -> Self {
+        Watchdog { window, countdown: window, last_progress: u64::MAX }
+    }
+
+    /// Call once per simulated cycle; `true` means the run is wedged.
+    fn wedged<N: MonoStep>(&mut self, net: &N) -> bool {
+        if self.window == 0 {
+            return false;
+        }
+        self.countdown -= 1;
+        if self.countdown > 0 {
+            return false;
+        }
+        self.countdown = self.window;
+        // Every commit moves one of these three counters (forward = hop,
+        // absorption = delivery, fault drain = drop), so "all unchanged"
+        // is exactly "no flit moved".
+        let progress =
+            net.flit_hops() + net.metrics().flits_delivered() + net.metrics().flits_dropped();
+        let wedged = progress == self.last_progress && !net.quiesced();
+        self.last_progress = progress;
+        wedged
+    }
+}
+
+/// Summarise a (possibly partial) run from the current network state.
+fn summarise<N: MonoStep>(
+    net: &N,
+    offered_rate: Option<f64>,
+    spec: &RunSpec,
+    flits_before: u64,
+    flits_after: u64,
+    end_backlog: usize,
+    force_saturated: bool,
+) -> RunResult {
+    let m = net.metrics();
+    let unicast_mean = m.unicast_latency().mean();
+    let bcast_completion_mean = m.broadcast_completion_latency().mean();
+    let backlog_per_node = end_backlog as f64 / net.num_nodes() as f64;
+    let saturated = force_saturated
+        || unicast_mean > spec.latency_cap
+        || bcast_completion_mean > spec.latency_cap
+        || backlog_per_node > spec.backlog_cap
+        || !net.quiesced();
+
+    RunResult {
+        kind: net.kind(),
+        n: net.num_nodes(),
+        offered_rate,
+        unicast_mean,
+        unicast_p95: m.unicast_histogram().percentile(95.0),
+        unicast_samples: m.unicast_latency().count(),
+        bcast_reception_mean: m.broadcast_reception_latency().mean(),
+        bcast_completion_mean,
+        bcast_samples: m.completed(TrafficClass::Broadcast),
+        throughput: (flits_after - flits_before) as f64
+            / (spec.measure as f64 * net.num_nodes() as f64),
+        saturated,
+        end_backlog,
+        delivered_fraction: m.delivered_fraction(),
+        undeliverable: m.undeliverable_total(),
+        flits_dropped: m.flits_dropped(),
+    }
+}
+
 /// The warmup/measure/drain protocol, written once for every dispatch mode.
 fn run_protocol<N: MonoStep, W: Workload + ?Sized>(
     net: &mut N,
     workload: &mut W,
     spec: &RunSpec,
-) -> RunResult {
+) -> RunOutcome {
     let t0 = net.now();
+    let offered_rate = workload.nominal_rate();
     // A fresh network schedules every source at cycle 0, so this is a no-op
     // for the usual one-network-one-run case — but a *reused* network left
     // its poll schedule parked at the previous drain's silence; reset it so
     // `workload` is actually consulted.
     net.note_workload_change();
+    let mut dog = Watchdog::new(spec.stall_window);
     for _ in 0..spec.warmup {
         net.step_mono(workload);
+        if dog.wedged(net) {
+            let end_backlog = net.source_backlog();
+            let partial = summarise(net, offered_rate, spec, 0, 0, end_backlog, true);
+            return RunOutcome::Stalled {
+                cycle: net.now(),
+                diagnostics: net.stall_diagnostics(),
+                partial,
+            };
+        }
     }
     net.metrics_mut().begin_measurement(t0 + spec.warmup);
     let flits_before = net.metrics().flits_delivered();
     for _ in 0..spec.measure {
         net.step_mono(workload);
+        if dog.wedged(net) {
+            let flits_after = net.metrics().flits_delivered();
+            let end_backlog = net.source_backlog();
+            let partial =
+                summarise(net, offered_rate, spec, flits_before, flits_after, end_backlog, true);
+            return RunOutcome::Stalled {
+                cycle: net.now(),
+                diagnostics: net.stall_diagnostics(),
+                partial,
+            };
+        }
     }
     let flits_after = net.metrics().flits_delivered();
     let end_backlog = net.source_backlog();
@@ -379,33 +592,26 @@ fn run_protocol<N: MonoStep, W: Workload + ?Sized>(
             break;
         }
         net.step_mono(&mut silence);
+        if dog.wedged(net) {
+            let partial =
+                summarise(net, offered_rate, spec, flits_before, flits_after, end_backlog, true);
+            return RunOutcome::Stalled {
+                cycle: net.now(),
+                diagnostics: net.stall_diagnostics(),
+                partial,
+            };
+        }
     }
 
-    let m = net.metrics();
-    let unicast_mean = m.unicast_latency().mean();
-    let bcast_completion_mean = m.broadcast_completion_latency().mean();
-    let backlog_per_node = end_backlog as f64 / net.num_nodes() as f64;
-    let drained = net.quiesced();
-    let saturated = unicast_mean > spec.latency_cap
-        || bcast_completion_mean > spec.latency_cap
-        || backlog_per_node > spec.backlog_cap
-        || !drained;
-
-    RunResult {
-        kind: net.kind(),
-        n: net.num_nodes(),
-        offered_rate: workload.nominal_rate(),
-        unicast_mean,
-        unicast_p95: m.unicast_histogram().percentile(95.0),
-        unicast_samples: m.unicast_latency().count(),
-        bcast_reception_mean: m.broadcast_reception_latency().mean(),
-        bcast_completion_mean,
-        bcast_samples: m.completed(TrafficClass::Broadcast),
-        throughput: (flits_after - flits_before) as f64
-            / (spec.measure as f64 * net.num_nodes() as f64),
-        saturated,
+    RunOutcome::Finished(summarise(
+        net,
+        offered_rate,
+        spec,
+        flits_before,
+        flits_after,
         end_backlog,
-    }
+        false,
+    ))
 }
 
 /// Run the warmup/measure/drain protocol and summarise.
@@ -420,7 +626,7 @@ fn run_protocol<N: MonoStep, W: Workload + ?Sized>(
 /// callers — `run_point`, the perf harness — use [`run_mono`], which
 /// monomorphizes the same protocol.
 pub fn run(net: &mut dyn NocSim, workload: &mut dyn Workload, spec: &RunSpec) -> RunResult {
-    run_protocol(&mut DynNet(net), workload, spec)
+    run_protocol(&mut DynNet(net), workload, spec).into_result()
 }
 
 /// [`run`], monomorphized: the whole per-cycle loop — enum dispatch over the
@@ -431,6 +637,17 @@ pub fn run_mono<W: Workload + ?Sized>(
     workload: &mut W,
     spec: &RunSpec,
 ) -> RunResult {
+    run_protocol(net, workload, spec).into_result()
+}
+
+/// [`run_mono`], but reporting how the run ended: [`RunOutcome::Stalled`]
+/// carries the watchdog's diagnostics instead of silently folding a wedged
+/// network into `saturated`. Fault-injection campaigns use this entry point.
+pub fn run_mono_outcome<W: Workload + ?Sized>(
+    net: &mut AnyNet,
+    workload: &mut W,
+    spec: &RunSpec,
+) -> RunOutcome {
     run_protocol(net, workload, spec)
 }
 

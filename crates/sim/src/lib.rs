@@ -69,6 +69,7 @@
 pub mod arbiter;
 pub mod buffer;
 pub mod driver;
+pub mod fault;
 pub mod link;
 pub mod mesh_net;
 pub mod metrics;
@@ -80,14 +81,18 @@ pub mod sweep;
 pub mod torus_net;
 
 pub use arbiter::ArbPolicy;
-pub use driver::{run, run_mono, AnyNet, MonoStep, NocSim, RunResult, RunSpec};
+pub use driver::{
+    run, run_mono, run_mono_outcome, AnyNet, MonoStep, NocSim, RunOutcome, RunResult, RunSpec,
+    StallDiagnostics,
+};
+pub use fault::FaultState;
 pub use mesh_net::MeshNetwork;
 pub use metrics::Metrics;
 pub use probe::{CounterSample, FlitEvent, FlitEventKind, Phase, ProbeConfig, SimProbe};
 pub use quarc_net::QuarcNetwork;
 pub use spider_net::SpidergonNetwork;
 pub use sweep::{
-    build_any, build_network, curve_csv, geometric_rates, latency_curve, run_point, CurvePoint,
-    CurveSpec, PointError, PointOutcome, PointSpec,
+    build_any, build_network, curve_csv, geometric_rates, latency_curve, run_point,
+    run_point_outcome, CurvePoint, CurveSpec, PointError, PointOutcome, PointRunOutcome, PointSpec,
 };
 pub use torus_net::TorusNetwork;

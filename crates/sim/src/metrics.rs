@@ -54,6 +54,9 @@ struct MessageTrack {
     created_at: Cycle,
     expected: u32,
     received: u32,
+    /// Receivers this message can no longer reach (packets dropped by an
+    /// injected fault). Always 0 on a healthy network.
+    lost: u32,
 }
 
 /// Split a slab-issued [`MessageId`] into `(slot, generation)`.
@@ -92,7 +95,24 @@ pub struct Metrics {
     mcast_completion: OnlineStats,
     created: [u64; TrafficClass::COUNT],
     completed: [u64; TrafficClass::COUNT],
+    /// Messages retired with at least one receiver lost to a fault: they
+    /// terminated (all surviving receivers served, every loss accounted)
+    /// but did not reach their full receiver set.
+    undeliverable: [u64; TrafficClass::COUNT],
     flits_delivered: u64,
+    /// Flits consumed by fault drops (dead or lossy links), per class and
+    /// in total. A dropped flit is accounted here instead of transmitted —
+    /// never silently lost.
+    flits_dropped: u64,
+    flits_dropped_class: [u64; TrafficClass::COUNT],
+    /// Receiver-level delivery ledger: `expected` accumulates at
+    /// [`Metrics::set_expected`], `delivered` at each tail reception,
+    /// `lost` at each fault drop — so
+    /// `delivered + lost == expected` once the network drains, faults or
+    /// not (the probe-ledger invariant).
+    receivers_expected: u64,
+    receivers_delivered: u64,
+    receivers_lost: u64,
     messages_completed_total: u64,
 }
 
@@ -119,7 +139,13 @@ impl Metrics {
             mcast_completion: OnlineStats::new(),
             created: [0; TrafficClass::COUNT],
             completed: [0; TrafficClass::COUNT],
+            undeliverable: [0; TrafficClass::COUNT],
             flits_delivered: 0,
+            flits_dropped: 0,
+            flits_dropped_class: [0; TrafficClass::COUNT],
+            receivers_expected: 0,
+            receivers_delivered: 0,
+            receivers_lost: 0,
             messages_completed_total: 0,
         }
     }
@@ -151,6 +177,7 @@ impl Metrics {
                     created_at,
                     expected: 0,
                     received: 0,
+                    lost: 0,
                 };
                 MessageId((generation as u64) << 32 | slot as u64)
             }
@@ -162,6 +189,7 @@ impl Metrics {
                     created_at,
                     expected: 0,
                     received: 0,
+                    lost: 0,
                 });
                 MessageId(self.tracks.len() as u64 - 1)
             }
@@ -177,6 +205,7 @@ impl Metrics {
             "expected set too late"
         );
         track.expected = u32::try_from(expected).expect("receiver count fits u32");
+        self.receivers_expected += expected as u64;
     }
 
     /// Record the delivery of one flit at `node` through delivery site
@@ -219,11 +248,13 @@ impl Metrics {
         let track = &mut self.tracks[slot];
         assert!(track.live && track.generation == generation, "delivery for unregistered message");
         track.received += 1;
+        self.receivers_delivered += 1;
         assert!(
-            track.received <= track.expected,
-            "message {} over-delivered ({} > {})",
+            track.received + track.lost <= track.expected,
+            "message {} over-delivered ({} + {} lost > {})",
             meta.message,
             track.received,
+            track.lost,
             track.expected
         );
         let latency = now.saturating_sub(track.created_at);
@@ -234,7 +265,14 @@ impl Metrics {
             self.bcast_reception.push(latency as f64)
         }
 
-        if track.received == track.expected {
+        if track.received + track.lost == track.expected {
+            if track.lost > 0 {
+                // Part of the receiver set was lost to a fault: the message
+                // terminates (so the network can quiesce) but counts as
+                // undeliverable, and its latency is not a sample.
+                self.retire_undeliverable(slot);
+                return;
+            }
             let class = track.class;
             let created_at = track.created_at;
             track.live = false;
@@ -260,6 +298,51 @@ impl Metrics {
                 }
             }
         }
+    }
+
+    /// Retire a track whose receiver set can no longer be fully served.
+    fn retire_undeliverable(&mut self, slot: usize) {
+        let track = &mut self.tracks[slot];
+        track.live = false;
+        self.free_tracks.push(slot as u32);
+        self.in_flight -= 1;
+        self.undeliverable[track.class.index()] += 1;
+    }
+
+    /// Record that `count` receivers of `message` were lost to an injected
+    /// fault (a packet dropped by a dead or lossy link). Called once per
+    /// dropped packet, at header-drop time, with the number of receivers
+    /// the dropped packet would still have served. When losses plus
+    /// deliveries cover the expected receiver set the message retires as
+    /// undeliverable — which is what lets `quiesced()` terminate the drain
+    /// phase under permanent faults instead of waiting forever.
+    pub fn record_lost_receivers(&mut self, message: MessageId, count: usize) {
+        if count == 0 {
+            return;
+        }
+        let (slot, generation) = slot_of(message);
+        let track = &mut self.tracks[slot];
+        assert!(track.live && track.generation == generation, "loss for unregistered message");
+        let count = u32::try_from(count).expect("receiver count fits u32");
+        track.lost += count;
+        self.receivers_lost += count as u64;
+        assert!(
+            track.received + track.lost <= track.expected,
+            "message {} over-accounted ({} + {} lost > {})",
+            message,
+            track.received,
+            track.lost,
+            track.expected
+        );
+        if track.received + track.lost == track.expected {
+            self.retire_undeliverable(slot);
+        }
+    }
+
+    /// Record one flit of `class` consumed by a fault drop.
+    pub fn record_flit_drop(&mut self, class: TrafficClass) {
+        self.flits_dropped += 1;
+        self.flits_dropped_class[class.index()] += 1;
     }
 
     /// Mean unicast latency (message creation → tail at destination).
@@ -315,6 +398,52 @@ impl Metrics {
     /// Messages still in flight (created but not fully delivered).
     pub fn in_flight(&self) -> usize {
         self.in_flight
+    }
+
+    /// Messages of a class retired with part of their receiver set lost to
+    /// an injected fault.
+    pub fn undeliverable(&self, class: TrafficClass) -> u64 {
+        self.undeliverable[class.index()]
+    }
+
+    /// Total messages retired undeliverable.
+    pub fn undeliverable_total(&self) -> u64 {
+        self.undeliverable.iter().sum()
+    }
+
+    /// Total flits consumed by fault drops.
+    pub fn flits_dropped(&self) -> u64 {
+        self.flits_dropped
+    }
+
+    /// Flits of a class consumed by fault drops.
+    pub fn flits_dropped_of(&self, class: TrafficClass) -> u64 {
+        self.flits_dropped_class[class.index()]
+    }
+
+    /// Receivers promised by every registered message so far.
+    pub fn receivers_expected(&self) -> u64 {
+        self.receivers_expected
+    }
+
+    /// Receivers that got their tail flit.
+    pub fn receivers_delivered(&self) -> u64 {
+        self.receivers_delivered
+    }
+
+    /// Receivers lost to fault drops.
+    pub fn receivers_lost(&self) -> u64 {
+        self.receivers_lost
+    }
+
+    /// Fraction of expected receivers actually served (1.0 on a healthy
+    /// network or before any traffic).
+    pub fn delivered_fraction(&self) -> f64 {
+        if self.receivers_expected == 0 {
+            1.0
+        } else {
+            self.receivers_delivered as f64 / self.receivers_expected as f64
+        }
     }
 }
 
@@ -473,6 +602,60 @@ mod tests {
         let fresh = created(&mut m, TrafficClass::Unicast, 10, 1);
         assert_eq!(slot_of(old).0, slot_of(fresh).0);
         deliver_packet(&mut m, 12, NodeId(1), meta(old, 1, TrafficClass::Unicast, 1, 2));
+    }
+
+    #[test]
+    fn lost_receivers_retire_a_message_as_undeliverable() {
+        let mut m = Metrics::new();
+        let id = created(&mut m, TrafficClass::Multicast, 0, 3);
+        deliver_packet(&mut m, 10, NodeId(1), meta(id, 0, TrafficClass::Multicast, 1, 2));
+        // The packet covering the other two receivers hits a dead link.
+        m.record_lost_receivers(id, 2);
+        assert_eq!(m.in_flight(), 0, "loss accounting must let the message terminate");
+        assert_eq!(m.completed(TrafficClass::Multicast), 0);
+        assert_eq!(m.undeliverable(TrafficClass::Multicast), 1);
+        assert_eq!(m.multicast_completion_latency().count(), 0, "no latency sample for losses");
+        assert_eq!(m.receivers_expected(), 3);
+        assert_eq!(m.receivers_delivered(), 1);
+        assert_eq!(m.receivers_lost(), 2);
+        assert!((m.delivered_fraction() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delivery_after_loss_completes_the_undeliverable_message() {
+        // Losses recorded first, surviving receiver delivered after: the
+        // message still terminates exactly once.
+        let mut m = Metrics::new();
+        let id = created(&mut m, TrafficClass::Broadcast, 0, 2);
+        m.record_lost_receivers(id, 1);
+        assert_eq!(m.in_flight(), 1);
+        deliver_packet(&mut m, 10, NodeId(1), meta(id, 0, TrafficClass::Broadcast, 1, 2));
+        assert_eq!(m.in_flight(), 0);
+        assert_eq!(m.undeliverable(TrafficClass::Broadcast), 1);
+        assert_eq!(m.undeliverable_total(), 1);
+        assert_eq!(m.broadcast_completion_latency().count(), 0);
+        // The reception that did land still contributes its sample.
+        assert_eq!(m.broadcast_reception_latency().count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "over-accounted")]
+    fn over_accounted_loss_panics() {
+        let mut m = Metrics::new();
+        let id = created(&mut m, TrafficClass::Unicast, 0, 1);
+        m.record_lost_receivers(id, 2);
+    }
+
+    #[test]
+    fn flit_drops_are_counted_per_class() {
+        let mut m = Metrics::new();
+        m.record_flit_drop(TrafficClass::Unicast);
+        m.record_flit_drop(TrafficClass::Unicast);
+        m.record_flit_drop(TrafficClass::Broadcast);
+        assert_eq!(m.flits_dropped(), 3);
+        assert_eq!(m.flits_dropped_of(TrafficClass::Unicast), 2);
+        assert_eq!(m.flits_dropped_of(TrafficClass::Broadcast), 1);
+        assert_eq!(m.flits_dropped_of(TrafficClass::Multicast), 0);
     }
 
     #[test]

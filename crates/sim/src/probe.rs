@@ -119,6 +119,8 @@ pub struct CounterSample {
     pub completed: u64,
     /// Flits delivered to PEs.
     pub delivered: u64,
+    /// Flits consumed by fault drops (dead/lossy links).
+    pub dropped: u64,
     /// Cumulative input-lane heads blocked on zero downstream credits.
     pub credit_stalls: u64,
 }
@@ -127,13 +129,13 @@ impl CounterSample {
     /// CSV header matching [`CounterSample::csv_row`].
     pub fn csv_header() -> &'static str {
         "cycle,backlog,buffered,on_links,live_packets,live_links,active_routers,\
-         poll_sources,in_flight,completed,delivered,credit_stalls"
+         poll_sources,in_flight,completed,delivered,dropped,credit_stalls"
     }
 
     /// One CSV row.
     pub fn csv_row(&self) -> String {
         format!(
-            "{},{},{},{},{},{},{},{},{},{},{},{}",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{}",
             self.cycle,
             self.backlog,
             self.buffered,
@@ -145,6 +147,7 @@ impl CounterSample {
             self.in_flight,
             self.completed,
             self.delivered,
+            self.dropped,
             self.credit_stalls,
         )
     }
@@ -154,7 +157,7 @@ impl CounterSample {
             "{{\"cycle\":{},\"backlog\":{},\"buffered\":{},\"on_links\":{},\
              \"live_packets\":{},\"live_links\":{},\"active_routers\":{},\
              \"poll_sources\":{},\"in_flight\":{},\"completed\":{},\
-             \"delivered\":{},\"credit_stalls\":{}}}",
+             \"delivered\":{},\"dropped\":{},\"credit_stalls\":{}}}",
             self.cycle,
             self.backlog,
             self.buffered,
@@ -166,6 +169,7 @@ impl CounterSample {
             self.in_flight,
             self.completed,
             self.delivered,
+            self.dropped,
             self.credit_stalls,
         )
     }
@@ -187,6 +191,9 @@ pub enum FlitEventKind {
     Clone,
     /// A tail flit was delivered to a PE (one event per reception).
     Deliver,
+    /// A packet's forward was suppressed by a fault at header-plan time;
+    /// `arg` is the number of receivers written off as lost.
+    Drop,
 }
 
 impl FlitEventKind {
@@ -197,6 +204,7 @@ impl FlitEventKind {
             FlitEventKind::Hop => "hop",
             FlitEventKind::Clone => "clone",
             FlitEventKind::Deliver => "deliver",
+            FlitEventKind::Drop => "drop",
         }
     }
 }
@@ -557,6 +565,7 @@ mod tests {
             in_flight: 8,
             completed: 9,
             delivered: 10,
+            dropped: 0,
             credit_stalls: p.credit_stalls(),
         });
         let csv = p.counters_csv();

@@ -37,13 +37,14 @@
 
 use crate::arbiter::{ArbPolicy, RoundRobinBank};
 use crate::buffer::LaneBufs;
-use crate::driver::NocSim;
+use crate::driver::{NocSim, StallDiagnostics};
+use crate::fault::FaultState;
 use crate::link::{LinkBank, TaggedFlit};
 use crate::metrics::Metrics;
 use crate::packets::{quarc_expand_into, IdAlloc, PacketQueue};
 use crate::probe::{CounterSample, FlitEventKind, Phase, SimProbe};
 use quarc_core::config::{NocConfig, MAX_VCS};
-use quarc_core::flit::PacketTable;
+use quarc_core::flit::{PacketMeta, PacketTable};
 use quarc_core::ids::{NodeId, VcId};
 use quarc_core::ring::RingDir;
 use quarc_core::routing::{advance_header, quarc_injection_out, quarc_route, RouteAction};
@@ -91,10 +92,14 @@ enum Src {
 struct HopPlan {
     /// Local PE takes a copy.
     deliver: bool,
-    /// Continue on this network output (None = pure absorption).
+    /// Continue on this network output (None = pure absorption or drop).
     out: Option<u8>,
     /// VC on the outgoing link.
     out_vc: VcId,
+    /// The forward was suppressed by a fault: drain the packet's flits
+    /// without transmitting (the local copy, if any, still delivers). Set
+    /// only at header-plan time, so a fault never tears a worm mid-packet.
+    dropped: bool,
 }
 
 /// One input port's request for this cycle.
@@ -138,6 +143,10 @@ pub struct QuarcNetwork {
     inject_q: Box<[PacketQueue]>,
     /// Outgoing VC of the packet streaming from local port `node * 4 + quad`.
     inject_vc: Box<[Option<VcId>]>,
+    /// Whether the packet streaming from local port `node * 4 + quad` is
+    /// being drained by a fault drop (the local twin of the `dropped` bit
+    /// cached in `in_route` for network lanes).
+    inject_drop: Box<[bool]>,
     /// Input buffers, one bank for the whole network; lane
     /// `(node * 4 + port) * vcs + vc`.
     in_buf: LaneBufs,
@@ -167,6 +176,10 @@ pub struct QuarcNetwork {
     /// Whether any stall was ever scheduled — lets the per-lane credit
     /// check skip the stall-window read entirely in ordinary runs.
     has_stalls: bool,
+    /// Realised fault schedule from [`NocConfig::fault`] (dead/lossy/
+    /// transient links, frozen routers). Empty plans cost one predictable
+    /// branch per site.
+    fault: FaultState,
     /// Precomputed `link_target` per `node * 4 + out`: the downstream node
     /// and input-port index.
     targets: Vec<(u32, u8)>,
@@ -260,6 +273,7 @@ impl QuarcNetwork {
             clock: Clock::new(),
             inject_q: (0..n * 4).map(|_| PacketQueue::new()).collect(),
             inject_vc: vec![None; n * 4].into_boxed_slice(),
+            inject_drop: vec![false; n * 4].into_boxed_slice(),
             in_buf: LaneBufs::new(n * 4 * cfg.vcs, cfg.buffer_depth),
             in_route: vec![None; n * 4 * cfg.vcs].into_boxed_slice(),
             out_owner: vec![None; n * 4 * cfg.vcs].into_boxed_slice(),
@@ -274,6 +288,7 @@ impl QuarcNetwork {
             link_flits: vec![0; n * 4],
             stalls: vec![None; n * 4],
             has_stalls: false,
+            fault: FaultState::new(&cfg.fault, n, n * 4, |lid| lid / 4, |_| true),
             credits: vec![cfg.buffer_depth as u32; n * 4 * cfg.vcs],
             feeder,
             targets,
@@ -356,6 +371,9 @@ impl QuarcNetwork {
                 }
             }
         }
+        if self.fault.any() && self.fault.link_blocked(lid, self.clock.now()) {
+            return 0;
+        }
         self.credits[lid * self.cfg.vcs + vc.index()] as usize
     }
 
@@ -392,6 +410,54 @@ impl QuarcNetwork {
             cross += self.link_flits[node * 4 + 2] + self.link_flits[node * 4 + 3];
         }
         (rim as f64 / (2.0 * n * cycles), cross as f64 / (2.0 * n * cycles))
+    }
+
+    /// The number of receivers a packet at `node` (headed by `src`) would
+    /// still have served strictly downstream of `node`, had its forward not
+    /// been fault-dropped. Computed by replaying the remaining route on a
+    /// copy of the meta — exact for every class by construction, and cold:
+    /// it runs once per dropped packet.
+    fn receivers_beyond(&self, node: usize, src: Src, meta: &PacketMeta) -> usize {
+        let (mut meta, mut out, mut advance) = match src {
+            Src::Net { port, .. } => {
+                let action =
+                    quarc_route(self.topo.ring(), NodeId::new(node), NET_IN[port as usize], meta);
+                let out = match action {
+                    RouteAction::Forward(o) | RouteAction::DeliverAndForward(o) => o,
+                    RouteAction::Deliver => unreachable!("pure absorptions are never dropped"),
+                };
+                // Forwarding from a net lane shifts the bitstring (see
+                // `commit`); injections forward the meta unchanged.
+                (*meta, out, true)
+            }
+            Src::Local { quad } => (
+                *meta,
+                quarc_injection_out(quarc_core::quadrant::Quadrant::ALL[quad as usize]),
+                false,
+            ),
+        };
+        let mut node = node;
+        let mut count = 0usize;
+        loop {
+            if advance {
+                advance_header(&mut meta);
+            }
+            advance = true;
+            let (to, tin) = self.targets[node * 4 + out.index()];
+            let to = to as usize;
+            match quarc_route(self.topo.ring(), NodeId::new(to), NET_IN[tin as usize], &meta) {
+                RouteAction::Deliver => return count + 1,
+                RouteAction::Forward(o) => {
+                    node = to;
+                    out = o;
+                }
+                RouteAction::DeliverAndForward(o) => {
+                    count += 1;
+                    node = to;
+                    out = o;
+                }
+            }
+        }
     }
 
     /// Whether `src` may move a flit to `(out, vc)` under wormhole ownership.
@@ -435,26 +501,49 @@ impl QuarcNetwork {
                         head.is_header(),
                         "wormhole violated: non-header {head} without route state"
                     );
-                    let action = quarc_route(
-                        self.topo.ring(),
-                        NodeId::new(node),
-                        NET_IN[p],
-                        self.packets.meta(head.packet),
-                    );
-                    match action {
-                        RouteAction::Deliver => {
-                            HopPlan { deliver: true, out: None, out_vc: INJECTION_VC }
-                        }
+                    let meta = self.packets.meta(head.packet);
+                    let action = quarc_route(self.topo.ring(), NodeId::new(node), NET_IN[p], meta);
+                    let planned = match action {
+                        RouteAction::Deliver => HopPlan {
+                            deliver: true,
+                            out: None,
+                            out_vc: INJECTION_VC,
+                            dropped: false,
+                        },
                         RouteAction::Forward(out) => HopPlan {
                             deliver: false,
                             out: Some(out.index() as u8),
                             out_vc: self.forward_vc(node, out, VcId(vc as u8)),
+                            dropped: false,
                         },
                         RouteAction::DeliverAndForward(out) => HopPlan {
                             deliver: true,
                             out: Some(out.index() as u8),
                             out_vc: self.forward_vc(node, out, VcId(vc as u8)),
+                            dropped: false,
                         },
+                    };
+                    match planned.out {
+                        // Fail-stop at packet granularity: a faulted link
+                        // suppresses the forward at header-plan time. The
+                        // decision is pure in (link, packet) plus the onset
+                        // gate, and the plan is cached in `in_route` at the
+                        // header's commit, so the worm is never torn.
+                        Some(o)
+                            if self.fault.drops_packet(
+                                node * 4 + o as usize,
+                                meta.packet,
+                                self.clock.now(),
+                            ) =>
+                        {
+                            HopPlan {
+                                deliver: planned.deliver,
+                                out: None,
+                                out_vc: INJECTION_VC,
+                                dropped: true,
+                            }
+                        }
+                        _ => planned,
                     }
                 }
             };
@@ -489,7 +578,21 @@ impl QuarcNetwork {
     /// Build the request (if any) of local quadrant queue `quad` at `node`.
     fn gather_local_port(&self, node: usize, quad: usize) -> Option<PortReq> {
         let head = self.inject_q[node * 4 + quad].front()?;
+        let src = Src::Local { quad: quad as u8 };
+        let drop_plan = HopPlan { deliver: false, out: None, out_vc: INJECTION_VC, dropped: true };
+        // Continuation of a packet whose injection link fault-dropped its
+        // header: keep draining the queue without transmitting.
+        if self.inject_drop[node * 4 + quad] {
+            debug_assert!(!head.is_header());
+            return Some(PortReq {
+                src,
+                plan: drop_plan,
+                is_header: false,
+                is_tail: head.is_tail(),
+            });
+        }
         let out = quarc_injection_out(quarc_core::quadrant::Quadrant::ALL[quad]);
+        let o = out.index();
         let out_vc = match self.inject_vc[node * 4 + quad] {
             Some(vc) => {
                 debug_assert!(!head.is_header());
@@ -497,16 +600,29 @@ impl QuarcNetwork {
             }
             None => {
                 assert!(head.is_header(), "local queue must start with a header");
+                // Fail-stop at the source: a fresh packet whose injection
+                // link is faulted never enters the network (decision cached
+                // in `inject_drop` at the header's commit).
+                if self.fault.drops_packet(
+                    node * 4 + o,
+                    self.packets.meta(head.packet).packet,
+                    self.clock.now(),
+                ) {
+                    return Some(PortReq {
+                        src,
+                        plan: drop_plan,
+                        is_header: true,
+                        is_tail: head.is_tail(),
+                    });
+                }
                 self.injection_vc(node, out)
             }
         };
-        let o = out.index();
-        let src = Src::Local { quad: quad as u8 };
         let ok = self.ownership_allows(node, o, out_vc, src, head.is_header())
             && self.downstream_free(node, o, out_vc) > 0;
         ok.then_some(PortReq {
             src,
-            plan: HopPlan { deliver: false, out: Some(o as u8), out_vc },
+            plan: HopPlan { deliver: false, out: Some(o as u8), out_vc, dropped: false },
             is_header: head.is_header(),
             is_tail: head.is_tail(),
         })
@@ -517,6 +633,13 @@ impl QuarcNetwork {
     // the coupling in this golden-pinned hot path.
     #[allow(clippy::needless_range_loop)]
     fn gather_node(&mut self, node: usize, transfers: &mut Vec<Transfer>) {
+        // A frozen router grants nothing: no forwarding, no absorption, no
+        // local injection. Returning before any arbiter is consulted keeps
+        // full-scan and active-set state identical (the node simply stops
+        // producing grants and falls out of the active set).
+        if self.fault.node_frozen(node, self.clock.now()) {
+            return;
+        }
         // Phase 1: each input port (VC arbiter) elects at most one request.
         let mut reqs: [Option<PortReq>; 8] = [None; 8];
         for p in 0..4 {
@@ -584,13 +707,39 @@ impl QuarcNetwork {
                 self.inject_backlog -= 1;
                 if t.req.is_header {
                     self.inject_vc[q] = Some(t.req.plan.out_vc);
+                    self.inject_drop[q] = t.req.plan.dropped;
                 }
                 if t.req.is_tail {
                     self.inject_vc[q] = None;
+                    self.inject_drop[q] = false;
                 }
                 flit
             }
         };
+
+        // Fault drop: the forward this plan would have made is suppressed.
+        // Every flit is accounted; the header additionally writes off the
+        // receivers the suppressed forward would have served, so the message
+        // ledger still balances (`expected == delivered + lost`) and drain
+        // loops terminate.
+        if t.req.plan.dropped {
+            let meta = *self.packets.meta(flit.packet);
+            self.metrics.record_flit_drop(meta.class);
+            if t.req.is_header {
+                let lost = self.receivers_beyond(node, t.req.src, &meta);
+                self.metrics.record_lost_receivers(meta.message, lost);
+                if self.probe.trace_on() {
+                    self.probe.trace(
+                        FlitEventKind::Drop,
+                        now,
+                        meta.message.0,
+                        meta.class,
+                        node as u32,
+                        lost as u32,
+                    );
+                }
+            }
+        }
 
         // Local copy (absorption or ingress-mux clone). The delivery site is
         // the input lane: only network lanes ever deliver (local plans are
@@ -808,6 +957,15 @@ impl QuarcNetwork {
             let node = self.stalled_nodes[i] as usize;
             self.mark_node(node);
         }
+        // Fault watch list: sources of faulted links re-arbitrate every
+        // cycle, for the same reason as stall windows — their feasibility
+        // changes with time, which event tracking does not see.
+        if self.fault.any() {
+            for i in 0..self.fault.watch_nodes().len() {
+                let node = self.fault.watch_nodes()[i] as usize;
+                self.mark_node(node);
+            }
+        }
         let mut transfers = std::mem::take(&mut self.transfers);
         transfers.clear();
         let gather_walked;
@@ -862,6 +1020,7 @@ impl QuarcNetwork {
                 in_flight: self.metrics.in_flight() as u64,
                 completed: self.metrics.completed_total(),
                 delivered: self.metrics.flits_delivered(),
+                dropped: self.metrics.flits_dropped(),
                 credit_stalls: self.probe.credit_stalls(),
             };
             self.probe.push_sample(sample);
@@ -938,6 +1097,33 @@ impl NocSim for QuarcNetwork {
             && self.inject_backlog == 0
             && self.link_occupancy == 0
             && self.buffered_flits == 0
+    }
+
+    fn stall_diagnostics(&self) -> StallDiagnostics {
+        let vcs = self.cfg.vcs;
+        let mut busiest: Vec<(u32, u32)> = (0..self.cfg.n)
+            .map(|node| {
+                let mut flits = 0usize;
+                for lane in node * 4 * vcs..(node + 1) * 4 * vcs {
+                    flits += self.in_buf.len(lane);
+                }
+                for quad in 0..4 {
+                    flits += self.inject_q[node * 4 + quad].flits();
+                }
+                (node as u32, flits as u32)
+            })
+            .filter(|&(_, flits)| flits > 0)
+            .collect();
+        busiest.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        busiest.truncate(StallDiagnostics::TOP_ROUTERS);
+        StallDiagnostics {
+            backlog: self.inject_backlog as u64,
+            buffered: self.buffered_flits,
+            on_links: self.link_occupancy,
+            in_flight: self.metrics.in_flight() as u64,
+            live_packets: self.packets.live() as u64,
+            busiest_routers: busiest,
+        }
     }
 }
 

@@ -22,13 +22,14 @@
 
 use crate::arbiter::{ArbPolicy, RoundRobinBank};
 use crate::buffer::LaneBufs;
-use crate::driver::NocSim;
+use crate::driver::{NocSim, StallDiagnostics};
+use crate::fault::FaultState;
 use crate::link::{LinkBank, TaggedFlit};
 use crate::metrics::Metrics;
 use crate::packets::{push_packet, spidergon_expand_into, IdAlloc, PacketQueue};
 use crate::probe::{CounterSample, FlitEventKind, Phase, SimProbe};
 use quarc_core::config::{NocConfig, MAX_VCS};
-use quarc_core::flit::{PacketMeta, PacketRef, PacketTable};
+use quarc_core::flit::{PacketMeta, PacketRef, PacketTable, TrafficClass};
 use quarc_core::ids::{NodeId, VcId};
 use quarc_core::ring::RingDir;
 use quarc_core::routing::{chain_continuations, spidergon_route, RouteAction};
@@ -65,6 +66,9 @@ struct HopPlan {
     out: usize,
     /// Outgoing VC (meaningless for ejection).
     out_vc: VcId,
+    /// The forward was suppressed by a fault: drain the packet's flits
+    /// without transmitting or delivering. Set only at header-plan time.
+    dropped: bool,
 }
 
 /// One input port's request for this cycle.
@@ -142,6 +146,8 @@ pub struct SpidergonNetwork {
     inject_backlog: usize,
     buffered_flits: u64,
     link_occupancy: u64,
+    /// Injected fault schedule (all-healthy when the plan is empty).
+    fault: FaultState,
     /// Instrumentation (off by default; observe, never mutate).
     probe: SimProbe,
 }
@@ -198,6 +204,7 @@ impl SpidergonNetwork {
             inject_backlog: 0,
             buffered_flits: 0,
             link_occupancy: 0,
+            fault: FaultState::new(&cfg.fault, n, n * 3, |lid| lid / 3, |_| true),
             probe: SimProbe::new(),
         }
     }
@@ -223,9 +230,14 @@ impl SpidergonNetwork {
     }
 
     /// Resolve the route of a header at `node` into a hop plan.
+    ///
+    /// The fault drop decision is made here, once per packet per hop: a
+    /// forward onto a dead (or hash-selected lossy) link becomes a drop
+    /// plan the whole wormhole then follows, so packets are never torn
+    /// mid-stream. Ejection uses no link and is never dropped.
     fn plan_header(&self, node: usize, meta: &PacketMeta, cur_vc: VcId) -> HopPlan {
         match spidergon_route(self.topo.ring(), NodeId::new(node), meta.dst) {
-            RouteAction::Deliver => HopPlan { out: EJECT, out_vc: INJECTION_VC },
+            RouteAction::Deliver => HopPlan { out: EJECT, out_vc: INJECTION_VC, dropped: false },
             RouteAction::Forward(out) => {
                 let out_vc = match out {
                     SpiOut::RimCw => {
@@ -237,7 +249,13 @@ impl SpidergonNetwork {
                     SpiOut::Cross => vc_for_cross_hop(),
                     SpiOut::Eject => unreachable!(),
                 };
-                HopPlan { out: out.index(), out_vc }
+                let dropped = self.fault.any()
+                    && self.fault.drops_packet(
+                        node * 3 + out.index(),
+                        meta.packet,
+                        self.clock.now(),
+                    );
+                HopPlan { out: out.index(), out_vc, dropped }
             }
             RouteAction::DeliverAndForward(_) => {
                 unreachable!("Spidergon switches cannot clone (§2.2)")
@@ -248,6 +266,9 @@ impl SpidergonNetwork {
     /// Free downstream space for `(node, out, vc)`, minus in-flight flits.
     /// One read of the sender-side credit counter.
     fn downstream_free(&self, node: usize, out: usize, vc: VcId) -> usize {
+        if self.fault.any() && self.fault.link_blocked(node * 3 + out, self.clock.now()) {
+            return 0;
+        }
         self.credits[(node * 3 + out) * self.cfg.vcs + vc.index()] as usize
     }
 
@@ -266,6 +287,10 @@ impl SpidergonNetwork {
 
     /// Whether the resources of `plan` are available to `src` this cycle.
     fn feasible(&self, node: usize, plan: HopPlan, src: Src, is_header: bool) -> bool {
+        if plan.dropped {
+            // Drops consume the flit without claiming any output resource.
+            return true;
+        }
         if !self.ownership_allows(node, plan, src, is_header) {
             return false;
         }
@@ -300,14 +325,15 @@ impl SpidergonNetwork {
             // Inlined `feasible` so the credit failure is distinguishable —
             // probe-only: a lane head blocked purely on credits is a credit
             // stall. Evaluation order matches `feasible` exactly.
-            let ok = self.ownership_allows(node, plan, src, head.is_header())
-                && (plan.out == EJECT || {
-                    let free = self.downstream_free(node, plan.out, plan.out_vc) > 0;
-                    if !free && self.probe.counters_on() {
-                        self.probe.note_credit_stall();
-                    }
-                    free
-                });
+            let ok = plan.dropped
+                || (self.ownership_allows(node, plan, src, head.is_header())
+                    && (plan.out == EJECT || {
+                        let free = self.downstream_free(node, plan.out, plan.out_vc) > 0;
+                        if !free && self.probe.counters_on() {
+                            self.probe.note_credit_stall();
+                        }
+                        free
+                    }));
             if ok {
                 feasible[vc] = Some(PortReq {
                     src,
@@ -350,12 +376,28 @@ impl SpidergonNetwork {
     // the coupling in this golden-pinned hot path.
     #[allow(clippy::needless_range_loop)]
     fn gather_node(&mut self, node: usize, transfers: &mut Vec<Transfer>) {
+        // A frozen router grants nothing: returning before any arbiter is
+        // consulted keeps full-scan and active-set arbiter state identical.
+        if self.fault.node_frozen(node, self.clock.now()) {
+            return;
+        }
         // Phase 1: VC arbiter per input port.
         let mut reqs: [Option<PortReq>; 4] = [None; 4];
         for p in 0..3 {
             reqs[p] = self.gather_net_port(node, p);
         }
         reqs[3] = self.gather_local_port(node);
+
+        // Drop plans claim no output: commit them directly instead of
+        // letting them contend in (and possibly lose) output arbitration.
+        for slot in 0..4 {
+            if let Some(r) = reqs[slot] {
+                if r.plan.dropped {
+                    reqs[slot] = None;
+                    transfers.push(Transfer { node, req: r });
+                }
+            }
+        }
 
         // Phase 2: per-output grant over the topology's feeder lists.
         for o in 0..4 {
@@ -413,7 +455,32 @@ impl SpidergonNetwork {
             }
         };
 
-        if t.req.plan.out == EJECT {
+        if t.req.plan.dropped {
+            // Fault drop: every flit is accounted; the header writes off the
+            // receivers the suppressed forward (and, for chain packets, every
+            // continuation it would have spawned) would have served, so the
+            // message ledger still balances and drain loops terminate.
+            let meta = *self.packets.meta(flit.packet);
+            self.metrics.record_flit_drop(meta.class);
+            if t.req.is_header {
+                let lost = chain_receivers(&meta);
+                self.metrics.record_lost_receivers(meta.message, lost);
+                if self.probe.trace_on() {
+                    self.probe.trace(
+                        FlitEventKind::Drop,
+                        now,
+                        meta.message.0,
+                        meta.class,
+                        node as u32,
+                        lost as u32,
+                    );
+                }
+            }
+            if t.req.is_tail {
+                // No flit of this packet exists anywhere any more.
+                self.packets.release(flit.packet);
+            }
+        } else if t.req.plan.out == EJECT {
             if t.req.is_header {
                 self.eject_owner[node] = Some(t.req.src);
             }
@@ -622,6 +689,16 @@ impl SpidergonNetwork {
             self.probe.phase_lap(Phase::Polls, m, polled);
         }
 
+        // Faulted links flip feasibility by time, not via a tracked event
+        // (a header waiting at a link when `onset` arrives becomes
+        // droppable in place): keep their source routers in the active set.
+        if self.fault.any() {
+            for i in 0..self.fault.watch_nodes().len() {
+                let node = self.fault.watch_nodes()[i] as usize;
+                self.mark_node(node);
+            }
+        }
+
         // (c) Arbitration over the sorted routers-with-work worklist,
         // (d) commit.
         let mut transfers = std::mem::take(&mut self.transfers);
@@ -676,6 +753,7 @@ impl SpidergonNetwork {
                 in_flight: self.metrics.in_flight() as u64,
                 completed: self.metrics.completed_total(),
                 delivered: self.metrics.flits_delivered(),
+                dropped: self.metrics.flits_dropped(),
                 credit_stalls: self.probe.credit_stalls(),
             };
             self.probe.push_sample(sample);
@@ -751,6 +829,44 @@ impl NocSim for SpidergonNetwork {
             && self.pending.is_empty()
             && self.link_occupancy == 0
             && self.buffered_flits == 0
+    }
+
+    fn stall_diagnostics(&self) -> StallDiagnostics {
+        let vcs = self.cfg.vcs;
+        let mut busiest: Vec<(u32, u32)> = (0..self.cfg.n)
+            .map(|node| {
+                let mut flits = 0usize;
+                for lane in node * 3 * vcs..(node + 1) * 3 * vcs {
+                    flits += self.in_buf.len(lane);
+                }
+                flits += self.inject_q[node].flits();
+                (node as u32, flits as u32)
+            })
+            .filter(|&(_, flits)| flits > 0)
+            .collect();
+        busiest.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        busiest.truncate(StallDiagnostics::TOP_ROUTERS);
+        StallDiagnostics {
+            backlog: self.inject_backlog as u64,
+            buffered: self.buffered_flits,
+            on_links: self.link_occupancy,
+            in_flight: self.metrics.in_flight() as u64,
+            live_packets: self.packets.live() as u64,
+            busiest_routers: busiest,
+        }
+    }
+}
+
+/// Receivers a dropped packet would still have served: its own delivery
+/// plus, for chain packets, every node the continuations it would have
+/// spawned at delivery would cover (a rim chain with `remaining = r` covers
+/// `1 + r` nodes; a cross seed's receiver spawns two rim chains of
+/// `remaining − 1` each, so it covers `1 + 2·remaining`).
+fn chain_receivers(meta: &PacketMeta) -> usize {
+    match meta.class {
+        TrafficClass::ChainRim => 1 + meta.bitstring as usize,
+        TrafficClass::ChainCross => 1 + 2 * meta.bitstring as usize,
+        _ => 1,
     }
 }
 

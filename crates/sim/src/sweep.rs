@@ -6,7 +6,9 @@
 //! across worker threads, so any change to how a point is built or seeded
 //! must keep `run_point` a pure function of its arguments.
 
-use crate::driver::{run_mono, AnyNet, NocSim, RunResult, RunSpec};
+use crate::driver::{
+    run_mono_outcome, AnyNet, NocSim, RunOutcome, RunResult, RunSpec, StallDiagnostics,
+};
 use crate::mesh_net::MeshNetwork;
 use crate::quarc_net::QuarcNetwork;
 use crate::spider_net::SpidergonNetwork;
@@ -14,6 +16,7 @@ use crate::torus_net::TorusNetwork;
 use quarc_core::config::{ConfigError, NocConfig};
 use quarc_core::topology::TopologyKind;
 use quarc_engine::stats::LatencyHistogram;
+use quarc_engine::Cycle;
 use quarc_workloads::{Synthetic, SyntheticConfig};
 use std::fmt;
 
@@ -117,6 +120,51 @@ pub struct PointOutcome {
     pub bcast_completion_hist: LatencyHistogram,
 }
 
+/// How one point's run protocol ended: cleanly, or cut short by the stall
+/// watchdog ([`RunSpec::stall_window`]).
+///
+/// Campaign executors should treat `Stalled` as a quarantined result — the
+/// partial outcome carries whatever was measured before the wedge plus the
+/// watchdog's diagnostics, and must never enter the merge cache as if it
+/// were a finished point.
+#[derive(Debug, Clone)]
+pub enum PointRunOutcome {
+    /// The warmup/measure/drain protocol ran to completion.
+    Finished(PointOutcome),
+    /// The watchdog saw a full window with backlog and zero flit progress.
+    Stalled {
+        /// Cycle at which the stall was detected.
+        cycle: Cycle,
+        /// Occupancy snapshot for the stall report.
+        diagnostics: StallDiagnostics,
+        /// Summary of whatever completed before the wedge.
+        partial: PointOutcome,
+    },
+}
+
+impl PointRunOutcome {
+    /// Whether the run was cut short by the watchdog.
+    pub fn is_stalled(&self) -> bool {
+        matches!(self, PointRunOutcome::Stalled { .. })
+    }
+
+    /// The outcome, finished or partial.
+    pub fn outcome(&self) -> &PointOutcome {
+        match self {
+            PointRunOutcome::Finished(o) => o,
+            PointRunOutcome::Stalled { partial, .. } => partial,
+        }
+    }
+
+    /// The outcome, finished or partial, by value.
+    pub fn into_outcome(self) -> PointOutcome {
+        match self {
+            PointRunOutcome::Finished(o) => o,
+            PointRunOutcome::Stalled { partial, .. } => partial,
+        }
+    }
+}
+
 /// Simulate one point: build the network, run the warmup/measure/drain
 /// protocol, and return the summary plus latency distributions.
 ///
@@ -128,7 +176,19 @@ pub struct PointOutcome {
 /// class, so any `beta ∈ [0, 1]` is simulable; the only failure mode is a
 /// structurally invalid configuration, returned as [`PointError`] instead of
 /// panicking inside a network constructor.
+///
+/// A watchdog-stalled run (possible under fault plans that wedge the
+/// network) collapses to its partial summary here; callers that must
+/// distinguish a stall use [`run_point_outcome`].
 pub fn run_point(point: &PointSpec, run_spec: &RunSpec) -> Result<PointOutcome, PointError> {
+    run_point_outcome(point, run_spec).map(PointRunOutcome::into_outcome)
+}
+
+/// [`run_point`], but keeping the stall/finished distinction.
+pub fn run_point_outcome(
+    point: &PointSpec,
+    run_spec: &RunSpec,
+) -> Result<PointRunOutcome, PointError> {
     point.noc.validate()?;
     let mut net = build_any(point.noc);
     // Grid topologies round n up to a near-square; ask the network, not the
@@ -140,12 +200,18 @@ pub fn run_point(point: &PointSpec, run_spec: &RunSpec) -> Result<PointOutcome, 
     );
     // Fully monomorphized inner loop: enum dispatch on the network, static
     // dispatch into the Synthetic workload.
-    let result = run_mono(&mut net, &mut wl, run_spec);
+    let outcome = run_mono_outcome(&mut net, &mut wl, run_spec);
     let m = net.metrics();
-    Ok(PointOutcome {
+    let wrap = |result: RunResult| PointOutcome {
         result,
         unicast_hist: m.unicast_histogram().clone(),
         bcast_completion_hist: m.broadcast_completion_histogram().clone(),
+    };
+    Ok(match outcome {
+        RunOutcome::Finished(result) => PointRunOutcome::Finished(wrap(result)),
+        RunOutcome::Stalled { cycle, diagnostics, partial } => {
+            PointRunOutcome::Stalled { cycle, diagnostics, partial: wrap(partial) }
+        }
     })
 }
 

@@ -27,7 +27,8 @@
 
 use crate::arbiter::{ArbPolicy, RoundRobinBank};
 use crate::buffer::LaneBufs;
-use crate::driver::NocSim;
+use crate::driver::{NocSim, StallDiagnostics};
+use crate::fault::FaultState;
 use crate::link::{LinkBank, TaggedFlit};
 use crate::metrics::{grid_eject_site, grid_lane_site, Metrics};
 use crate::packets::{grid_expand_into, IdAlloc, PacketQueue};
@@ -75,6 +76,10 @@ struct HopPlan {
     /// `0..4` = link, [`EJECT`] = deliver-and-stop.
     out: usize,
     out_vc: VcId,
+    /// The forward was suppressed by a fault: drain the packet's flits
+    /// without transmitting (the local copy, if any, still delivers). Set
+    /// only at header-plan time.
+    dropped: bool,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -148,6 +153,8 @@ pub struct TorusNetwork {
     inject_backlog: usize,
     buffered_flits: u64,
     link_occupancy: u64,
+    /// Injected fault schedule (all-healthy when the plan is empty).
+    fault: FaultState,
     /// Instrumentation (off by default; observe, never mutate).
     probe: SimProbe,
 }
@@ -205,6 +212,7 @@ impl TorusNetwork {
             inject_backlog: 0,
             buffered_flits: 0,
             link_occupancy: 0,
+            fault: FaultState::new(&cfg.fault, n, n * 4, |lid| lid / 4, |_| true),
             probe: SimProbe::new(),
         }
     }
@@ -233,10 +241,16 @@ impl TorusNetwork {
     /// headers arriving on a network input: only those may clone (bit 0 of a
     /// freshly injected multicast header refers to the node one hop out, not
     /// to the source itself).
+    /// The fault drop decision is made here, once per packet per hop: a
+    /// forward onto a dead (or hash-selected lossy) link becomes a drop plan
+    /// the whole wormhole then follows. Ejection uses no link and is never
+    /// dropped, and a marked transit node's ingress copy still delivers.
     fn plan_header(&self, node: usize, meta: &PacketMeta, cur_vc: VcId, from_net: bool) -> HopPlan {
         let cur = NodeId::new(node);
         match self.topo.route(cur, meta.dst) {
-            TorusOut::Eject => HopPlan { deliver: false, out: EJECT, out_vc: INJECTION_VC },
+            TorusOut::Eject => {
+                HopPlan { deliver: false, out: EJECT, out_vc: INJECTION_VC, dropped: false }
+            }
             out => {
                 // A packet turning into y (or injecting) starts fresh on that
                 // dimension's dateline class; continuing in-dimension carries
@@ -248,6 +262,12 @@ impl TorusNetwork {
                         && meta.bitstring & 1 == 1,
                     out: out.index(),
                     out_vc,
+                    dropped: self.fault.any()
+                        && self.fault.drops_packet(
+                            node * 4 + out.index(),
+                            meta.packet,
+                            self.clock.now(),
+                        ),
                 }
             }
         }
@@ -273,6 +293,9 @@ impl TorusNetwork {
     }
 
     fn downstream_free(&self, node: usize, out: usize, vc: VcId) -> usize {
+        if self.fault.any() && self.fault.link_blocked(node * 4 + out, self.clock.now()) {
+            return 0;
+        }
         // One read of the sender-side credit counter.
         self.credits[(node * 4 + out) * self.cfg.vcs + vc.index()] as usize
     }
@@ -290,8 +313,10 @@ impl TorusNetwork {
     }
 
     fn feasible(&self, node: usize, plan: HopPlan, src: Src, is_header: bool) -> bool {
-        self.ownership_allows(node, plan, src, is_header)
-            && (plan.out == EJECT || self.downstream_free(node, plan.out, plan.out_vc) > 0)
+        // Drops consume the flit without claiming any output resource.
+        plan.dropped
+            || (self.ownership_allows(node, plan, src, is_header)
+                && (plan.out == EJECT || self.downstream_free(node, plan.out, plan.out_vc) > 0))
     }
 
     // Index loops couple several per-lane arrays; iterator forms obscure
@@ -320,14 +345,15 @@ impl TorusNetwork {
             // Inlined `feasible` so the credit failure is distinguishable —
             // probe-only: a lane head blocked purely on credits is a credit
             // stall. Evaluation order matches `feasible` exactly.
-            let ok = self.ownership_allows(node, plan, src, head.is_header())
-                && (plan.out == EJECT || {
-                    let free = self.downstream_free(node, plan.out, plan.out_vc) > 0;
-                    if !free && self.probe.counters_on() {
-                        self.probe.note_credit_stall();
-                    }
-                    free
-                });
+            let ok = plan.dropped
+                || (self.ownership_allows(node, plan, src, head.is_header())
+                    && (plan.out == EJECT || {
+                        let free = self.downstream_free(node, plan.out, plan.out_vc) > 0;
+                        if !free && self.probe.counters_on() {
+                            self.probe.note_credit_stall();
+                        }
+                        free
+                    }));
             if ok {
                 feasible[vc] = Some(PortReq {
                     src,
@@ -362,11 +388,26 @@ impl TorusNetwork {
     // the coupling in this golden-pinned hot path.
     #[allow(clippy::needless_range_loop)]
     fn gather_node(&mut self, node: usize, transfers: &mut Vec<Transfer>) {
+        // A frozen router grants nothing: returning before any arbiter is
+        // consulted keeps full-scan and active-set arbiter state identical.
+        if self.fault.node_frozen(node, self.clock.now()) {
+            return;
+        }
         let mut reqs: [Option<PortReq>; 5] = [None; 5];
         for p in 0..4 {
             reqs[p] = self.gather_net_port(node, p);
         }
         reqs[4] = self.gather_local(node);
+        // Drop plans claim no output: commit them directly instead of
+        // letting them contend in (and possibly lose) output arbitration.
+        for slot in 0..5 {
+            if let Some(r) = reqs[slot] {
+                if r.plan.dropped {
+                    reqs[slot] = None;
+                    transfers.push(Transfer { node, req: r });
+                }
+            }
+        }
         for o in 0..5 {
             let winner = self.rr_out.pick(
                 node * 5 + o,
@@ -469,6 +510,33 @@ impl TorusNetwork {
                     }
                 }
             }
+            if t.req.plan.dropped {
+                // Fault drop: every flit is accounted; the header writes off
+                // the receivers the suppressed forward would still have
+                // served (the ingress copy above, if any, was not among
+                // them), so the message ledger balances and drains terminate.
+                let meta = *self.packets.meta(flit.packet);
+                self.metrics.record_flit_drop(meta.class);
+                if t.req.is_header {
+                    let lost = self.receivers_beyond(node, t.req.src, &meta);
+                    self.metrics.record_lost_receivers(meta.message, lost);
+                    if self.probe.trace_on() {
+                        self.probe.trace(
+                            FlitEventKind::Drop,
+                            now,
+                            meta.message.0,
+                            meta.class,
+                            node as u32,
+                            lost as u32,
+                        );
+                    }
+                }
+                if t.req.is_tail {
+                    // No flit of this packet exists anywhere any more.
+                    self.packets.release(flit.packet);
+                }
+                return;
+            }
             let o = t.req.plan.out;
             let vc = t.req.plan.out_vc;
             let lid = node * 4 + o;
@@ -496,6 +564,36 @@ impl TorusNetwork {
             if !self.link_live[lid] {
                 self.link_live[lid] = true;
                 self.live_links.push(lid as u32);
+            }
+        }
+    }
+
+    /// Receivers a packet dropped at `node` would still have served: replay
+    /// the remaining dimension-ordered route on a meta copy, counting marked
+    /// transit copies and the branch terminal. Cold path — runs once per
+    /// dropped packet.
+    fn receivers_beyond(&self, node: usize, src: Src, meta: &PacketMeta) -> usize {
+        let mut m = *meta;
+        // Fresh local headers are not advanced before their first hop (bit 0
+        // of an injected multicast header refers to the node one hop out);
+        // net-sourced headers advance at every forward.
+        let mut advance = matches!(src, Src::Net { .. });
+        let mut cur = NodeId::new(node);
+        let mut count = 0usize;
+        loop {
+            let out = self.topo.route(cur, m.dst);
+            debug_assert!(!matches!(out, TorusOut::Eject), "ejections are never dropped");
+            if advance {
+                advance_header(&mut m);
+            }
+            advance = true;
+            cur = self.topo.link_target(cur, out).expect("torus link");
+            if matches!(self.topo.route(cur, m.dst), TorusOut::Eject) {
+                // The branch terminal delivers through the ejection port.
+                return count + 1;
+            }
+            if m.class == TrafficClass::Multicast && m.bitstring & 1 == 1 {
+                count += 1;
             }
         }
     }
@@ -637,6 +735,16 @@ impl TorusNetwork {
             self.probe.phase_lap(Phase::Polls, m, polled);
         }
 
+        // Faulted links flip feasibility by time, not via a tracked event
+        // (a header waiting at a link when `onset` arrives becomes
+        // droppable in place): keep their source routers in the active set.
+        if self.fault.any() {
+            for i in 0..self.fault.watch_nodes().len() {
+                let node = self.fault.watch_nodes()[i] as usize;
+                self.mark_node(node);
+            }
+        }
+
         // (c) Arbitration over the sorted routers-with-work worklist,
         // (d) commit.
         let mut transfers = std::mem::take(&mut self.transfers);
@@ -690,6 +798,7 @@ impl TorusNetwork {
                 in_flight: self.metrics.in_flight() as u64,
                 completed: self.metrics.completed_total(),
                 delivered: self.metrics.flits_delivered(),
+                dropped: self.metrics.flits_dropped(),
                 credit_stalls: self.probe.credit_stalls(),
             };
             self.probe.push_sample(sample);
@@ -758,6 +867,31 @@ impl NocSim for TorusNetwork {
             && self.inject_backlog == 0
             && self.link_occupancy == 0
             && self.buffered_flits == 0
+    }
+
+    fn stall_diagnostics(&self) -> StallDiagnostics {
+        let vcs = self.cfg.vcs;
+        let mut busiest: Vec<(u32, u32)> = (0..self.topo.num_nodes())
+            .map(|node| {
+                let mut flits = 0usize;
+                for lane in node * 4 * vcs..(node + 1) * 4 * vcs {
+                    flits += self.in_buf.len(lane);
+                }
+                flits += self.inject_q[node].flits();
+                (node as u32, flits as u32)
+            })
+            .filter(|&(_, flits)| flits > 0)
+            .collect();
+        busiest.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        busiest.truncate(StallDiagnostics::TOP_ROUTERS);
+        StallDiagnostics {
+            backlog: self.inject_backlog as u64,
+            buffered: self.buffered_flits,
+            on_links: self.link_occupancy,
+            in_flight: self.metrics.in_flight() as u64,
+            live_packets: self.packets.live() as u64,
+            busiest_routers: busiest,
+        }
     }
 }
 

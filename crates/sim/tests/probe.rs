@@ -94,6 +94,9 @@ fn check_conservation(net: &mut dyn NocSim, records: Vec<TraceRecord>, label: &s
                     ev.message,
                 );
             }
+            FlitEventKind::Drop => {
+                panic!("{label}: fault drop without a fault plan (message {})", ev.message)
+            }
         }
     }
     for (msg, (injects, expected, delivered)) in &ledger {
