@@ -131,7 +131,7 @@ mod tests {
         // load too.
         let loads = quarc_loads(16);
         let cw0 = loads.count(ring_link_id(NodeId(0), RingLinkKind::RimCw));
-        for node in 0..16u16 {
+        for node in 0..16u32 {
             assert_eq!(loads.count(ring_link_id(NodeId(node), RingLinkKind::RimCw)), cw0);
         }
         let xr = loads.count(ring_link_id(NodeId(0), RingLinkKind::CrossRight));

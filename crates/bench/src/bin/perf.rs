@@ -108,13 +108,16 @@ fn grid(quick: bool) -> Vec<GridPoint> {
         }
     }
     // The large-n scaling axis: per-cycle cost must track live traffic, not
-    // n, so trickle-load rows at 256 and 1024 nodes are first-class tracked
-    // cells (quick runs carry one as the CI smoke).
+    // n, so trickle-load rows up to 16384 nodes (slab-backed multicast
+    // bitstrings beyond 4096) are first-class tracked cells (quick runs
+    // carry two as the CI smoke, one on each side of the inline/slab
+    // boundary).
     if quick {
         let (rate, regime) = TRICKLE;
         points.push(GridPoint { topology: TopologyKind::Quarc, n: 256, rate, beta: 0.05, regime });
+        points.push(GridPoint { topology: TopologyKind::Quarc, n: 4096, rate, beta: 0.05, regime });
     } else {
-        for n in [256usize, 1024] {
+        for n in [256usize, 1024, 4096, 16384] {
             let (rate, regime) = TRICKLE;
             for topology in TOPOLOGIES {
                 points.push(GridPoint { topology, n, rate, beta: 0.05, regime });

@@ -124,14 +124,16 @@ pub fn ablation_arb() -> CampaignSpec {
     spec
 }
 
-/// The large-n scaling grid: all four topologies at n ∈ {256, 1024} under
+/// The large-n scaling grid: all four topologies at n ∈ {256 … 16384} under
 /// trickle loads (rate ≪ saturation) — the regime where the simulator's
 /// active-set scheduling makes per-cycle cost track live traffic instead of
-/// n, and the network sizes the paper's §2.6 wider-flit variant unlocks.
+/// n. The top two sizes put every multicast bitstring on the slab (the
+/// inline word stops at 63 positions), so this preset also tracks the
+/// slab-row hot path at scale.
 pub fn scale() -> CampaignSpec {
     let mut spec = CampaignSpec::new("scale");
     spec.topologies = figure_topologies();
-    spec.sizes = vec![256, 1024];
+    spec.sizes = vec![256, 1024, 4096, 16384];
     spec.msg_lens = vec![8];
     spec.betas = vec![0.05];
     spec.rates = RateAxis::Explicit(vec![0.0005, 0.001, 0.002]);
@@ -259,10 +261,10 @@ mod tests {
     #[test]
     fn scale_preset_covers_the_large_n_axis() {
         let exp = scale().expand().unwrap();
-        assert_eq!(exp.points.len(), 4 * 2 * 3); // topologies x sizes x rates
+        assert_eq!(exp.points.len(), 4 * 4 * 3); // topologies x sizes x rates
         assert!(exp.skipped.is_empty());
         let sizes: std::collections::HashSet<_> = exp.points.iter().map(|p| p.curve.n).collect();
-        assert_eq!(sizes, std::collections::HashSet::from([256, 1024]));
+        assert_eq!(sizes, std::collections::HashSet::from([256, 1024, 4096, 16384]));
     }
 
     #[test]

@@ -310,7 +310,10 @@ impl CampaignSpec {
     }
 
     fn push_curve_points(&self, curve: CurveParams, points: &mut Vec<CampaignPoint>) {
-        let bound = quarc_analytical::quarc_saturation_rate(curve.n, curve.msg_len);
+        // The analytical bound costs an O(n²·hops) all-pairs link-load walk
+        // — prohibitive at the slab-era sizes (n = 16384) — so only the
+        // axes that actually anchor on it pay for it.
+        let bound = || quarc_analytical::quarc_saturation_rate(curve.n, curve.msg_len);
         match &self.rates {
             RateAxis::Explicit(rates) => {
                 for &rate in rates {
@@ -323,15 +326,16 @@ impl CampaignSpec {
                 }
             }
             RateAxis::AutoGeometric { span, lo_div, steps } => {
-                let hi = bound * span;
+                let hi = bound() * span;
                 for rate in quarc_sim::geometric_rates(hi / lo_div, hi, *steps) {
                     points.push(self.point(curve, PointWork::Rate(rate), points.len()));
                 }
             }
             RateAxis::Saturation { rel_tol, max_probes } => {
+                let b = bound();
                 let work = PointWork::Saturation {
-                    lo: bound * 0.02,
-                    hi: bound * 2.0,
+                    lo: b * 0.02,
+                    hi: b * 2.0,
                     rel_tol: *rel_tol,
                     max_probes: *max_probes,
                 };

@@ -16,9 +16,11 @@ pub const MAX_VCS: usize = 4;
 /// the RTL model keeps that limit; the behavioural simulator models the
 /// wider-flit variant the paper names ("larger networks would need wider
 /// flits or multi-flit headers") so the scaling claims can be measured at
-/// n = 256/1024. 4096 is the point where a 64×64 mesh's diameter reaches the
-/// 128-bit multicast-bitstring span.
-pub const MAX_SIM_NODES: usize = 4096;
+/// n = 256 and far beyond. Multicast bitstrings live in a per-network slab
+/// ([`crate::bits::BitSlab`]) sized to the longest branch, so the only
+/// remaining bound is the grid planners' 256-wide column scratch: 65,536 is
+/// a 256×256 mesh/torus, and a 16,384-deep Quarc quadrant.
+pub const MAX_SIM_NODES: usize = 65_536;
 
 /// Output-arbitration policy (the DESIGN.md §6 ablation knob). Lives in the
 /// configuration so experiment grids can sweep it and cache keys can include
@@ -296,7 +298,7 @@ impl NocConfig {
         if self.n > MAX_SIM_NODES {
             return Err(ConfigError::BadNodeCount {
                 n: self.n,
-                requirement: "behavioural simulator caps n at 4096 \
+                requirement: "behavioural simulator caps n at 65536 \
                               (the 34-bit wire RTL stays at 64, paper §2.6)",
             });
         }

@@ -18,6 +18,7 @@
 //! ~56-byte metadata is written once at injection instead of being cloned on
 //! every hop, link slot and buffer push.
 
+use crate::bits::{BitSlab, Bits};
 use crate::ids::{MessageId, NodeId, PacketId};
 use crate::ring::RingDir;
 use std::fmt;
@@ -172,12 +173,14 @@ pub struct PacketMeta {
     pub src: NodeId,
     /// Destination: for collectives, the *last* node of the branch (wire field).
     pub dst: NodeId,
-    /// Multicast bitstring / chain remaining-count (wire field). 128 bits so
-    /// multicast branch paths may span up to 128 hops — wide enough for every
-    /// simulable grid (64×64) and for Quarc quadrants up to n = 512; the
-    /// 34-bit wire format truncates to its 16-bit field, which the RTL model
-    /// (n ≤ 64, spans ≤ 16) never exceeds.
-    pub bitstring: u128,
+    /// Multicast bitstring / chain remaining-count (wire field). A compact
+    /// [`Bits`] value: branches whose furthest delivery is within 63 hops
+    /// stay inline; longer branches hold a handle into the owning
+    /// [`PacketTable`]'s [`BitSlab`], so branch paths may span arbitrarily
+    /// many hops (n = 65,536 Quarc quadrants included). The 34-bit wire
+    /// format truncates to its 16-bit field, which the RTL model (n ≤ 64,
+    /// spans ≤ 16, always inline) never exceeds.
+    pub bitstring: Bits,
     /// Rim direction for chain packets (wire field, 1 bit).
     pub dir: RingDir,
     /// Number of flits in this packet (header + bodies + tail).
@@ -218,17 +221,53 @@ impl fmt::Display for PacketRef {
 /// slot vector stops growing and the table performs **zero allocations**:
 /// recycling pops and pushes within existing capacity. Lookups are a bounds-
 /// checked array index.
+///
+/// The table also owns the network's [`BitSlab`]: a packet whose bitstring
+/// spilled out of the inline representation holds a slab row, and `release`
+/// frees that row together with the slot, so bitstring storage recycles with
+/// the packet lifecycle and needs no separate accounting.
 #[derive(Debug, Default, Clone)]
 pub struct PacketTable {
     slots: Vec<PacketMeta>,
     free: Vec<u32>,
     live: usize,
+    bits: BitSlab,
 }
 
 impl PacketTable {
-    /// An empty table.
+    /// An empty table whose bitstrings must all fit inline (n ≤ 64
+    /// networks, Spidergon chains, unicast-only harnesses).
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty table able to hold multicast bitstrings of up to `max_bits`
+    /// hops. Networks size this from their longest plannable branch
+    /// (Quarc: quarter + 2; grids: diameter + 1).
+    pub fn with_bit_capacity(max_bits: usize) -> Self {
+        PacketTable { bits: BitSlab::new(max_bits), ..Self::default() }
+    }
+
+    /// The network's bitstring slab (bit tests, popcounts).
+    #[inline]
+    pub fn bits(&self) -> &BitSlab {
+        &self.bits
+    }
+
+    /// Mutable slab access (planners emitting rows, routers cloning).
+    #[inline]
+    pub fn bits_mut(&mut self) -> &mut BitSlab {
+        &mut self.bits
+    }
+
+    /// Per-hop multicast header advance: shift `packet`'s bitstring right by
+    /// one (O(1) cursor bump for slab rows). No-op for other classes.
+    #[inline]
+    pub fn advance_header(&mut self, packet: PacketRef) {
+        let meta = &mut self.slots[packet.index()];
+        if meta.class == TrafficClass::Multicast {
+            self.bits.shift(&mut meta.bitstring);
+        }
     }
 
     /// Intern `meta`, returning the packet's handle.
@@ -261,13 +300,17 @@ impl PacketTable {
         &mut self.slots[packet.index()]
     }
 
-    /// Return `packet`'s slot to the free list. The caller must guarantee no
-    /// flit holding this ref remains anywhere in the network — in the
-    /// simulators that point is the absorption of the tail flit at the last
-    /// node of the packet's path.
+    /// Return `packet`'s slot to the free list, together with its bitstring
+    /// slab row if it held one. The caller must guarantee no flit holding
+    /// this ref remains anywhere in the network — in the simulators that
+    /// point is the absorption of the tail flit at the last node of the
+    /// packet's path.
     #[inline]
     pub fn release(&mut self, packet: PacketRef) {
         debug_assert!(!self.free.contains(&packet.0), "double release of packet slot {packet}");
+        let slot = &mut self.slots[packet.index()];
+        self.bits.release(slot.bitstring);
+        slot.bitstring = Bits::ZERO;
         self.free.push(packet.0);
         self.live -= 1;
     }
@@ -373,7 +416,7 @@ pub mod wire {
             FlitKind::Header => {
                 debug_assert!(meta.src.index() < MAX_NODES && meta.dst.index() < MAX_NODES);
                 debug_assert!(
-                    meta.bitstring <= u16::MAX as u128,
+                    meta.bitstring.is_inline() && meta.bitstring.inline_value() <= u16::MAX as u64,
                     "wire headers carry 16-bit bitstrings (n ≤ 64 networks never exceed them)"
                 );
                 let dir_bit = match meta.dir {
@@ -382,7 +425,7 @@ pub mod wire {
                 };
                 (meta.class.wire_bits() << 31)
                     | (dir_bit << 30)
-                    | ((meta.bitstring as u16 as u64) << 14)
+                    | ((meta.bitstring.inline_value() & 0xFFFF) << 14)
                     | ((meta.src.index() as u64) << 8)
                     | ((meta.dst.index() as u64) << 2)
                     | FlitKind::Header.wire_bits()
@@ -420,14 +463,14 @@ mod tests {
     use super::wire::*;
     use super::*;
 
-    fn meta(class: TrafficClass, src: u16, dst: u16, bitstring: u128, dir: RingDir) -> PacketMeta {
+    fn meta(class: TrafficClass, src: u32, dst: u32, bitstring: u64, dir: RingDir) -> PacketMeta {
         PacketMeta {
             message: MessageId(1),
             packet: PacketId(2),
             class,
             src: NodeId(src),
             dst: NodeId(dst),
-            bitstring,
+            bitstring: Bits::inline(bitstring),
             dir,
             len: 8,
             created_at: 0,
@@ -556,8 +599,20 @@ mod tests {
     fn packet_table_meta_mut_edits_in_place() {
         let mut t = PacketTable::new();
         let r = t.insert(meta(TrafficClass::Multicast, 0, 4, 0b101, RingDir::Cw));
-        t.meta_mut(r).bitstring >>= 1;
-        assert_eq!(t.meta(r).bitstring, 0b10);
+        t.advance_header(r);
+        assert_eq!(t.meta(r).bitstring, Bits::inline(0b10));
+    }
+
+    #[test]
+    fn packet_table_release_frees_slab_rows() {
+        let mut t = PacketTable::with_bit_capacity(200);
+        let r = t.insert(meta(TrafficClass::Multicast, 0, 4, 0, RingDir::Cw));
+        let mut b = t.meta(r).bitstring;
+        t.bits_mut().set_bit(&mut b, 150);
+        t.meta_mut(r).bitstring = b;
+        assert_eq!(t.bits().live_rows(), 1);
+        t.release(r);
+        assert_eq!(t.bits().live_rows(), 0, "release must return the slab row");
     }
 
     #[test]

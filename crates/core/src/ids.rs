@@ -1,8 +1,9 @@
 //! Small copyable identifier types shared by every layer of the stack.
 //!
 //! Node addresses in the Quarc NoC are at most 6 bits wide (the paper fixes the
-//! practical network size at 64 nodes, §2.6), so a `u16` leaves generous
-//! headroom while keeping the types register-sized.
+//! practical network size at 64 nodes, §2.6), so a `u32` leaves generous
+//! headroom — wide enough for the behavioural simulator's n = 65,536 scaling
+//! axis — while keeping the types register-sized.
 
 use std::fmt;
 
@@ -10,14 +11,14 @@ use std::fmt;
 ///
 /// Nodes are numbered `0..n` clockwise, matching the paper's figures.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub struct NodeId(pub u16);
+pub struct NodeId(pub u32);
 
 impl NodeId {
-    /// Construct from a `usize` index. Panics if the index exceeds `u16`.
+    /// Construct from a `usize` index. Panics (debug) if the index exceeds `u32`.
     #[inline]
     pub fn new(idx: usize) -> Self {
-        debug_assert!(idx <= u16::MAX as usize, "node index out of range");
-        NodeId(idx as u16)
+        debug_assert!(idx <= u32::MAX as usize, "node index out of range");
+        NodeId(idx as u32)
     }
 
     /// The node's position as a `usize`, for indexing per-node arrays.
@@ -33,9 +34,15 @@ impl fmt::Display for NodeId {
     }
 }
 
+impl From<u32> for NodeId {
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
 impl From<u16> for NodeId {
     fn from(v: u16) -> Self {
-        NodeId(v)
+        NodeId(u32::from(v))
     }
 }
 
@@ -124,7 +131,7 @@ mod tests {
 
     #[test]
     fn ids_are_hashable_and_distinct() {
-        let set: HashSet<NodeId> = (0..16u16).map(NodeId).collect();
+        let set: HashSet<NodeId> = (0..16u32).map(NodeId).collect();
         assert_eq!(set.len(), 16);
     }
 
@@ -136,8 +143,10 @@ mod tests {
     }
 
     #[test]
-    fn node_from_u16() {
+    fn node_from_ints() {
         let n: NodeId = 5u16.into();
         assert_eq!(n, NodeId(5));
+        let w: NodeId = 70_000u32.into();
+        assert_eq!(w.index(), 70_000);
     }
 }

@@ -23,7 +23,7 @@
 //! // The paper's Fig. 6: node 0 broadcasting in a 16-node Quarc emits four
 //! // streams whose header destinations are 4, 5, 11 and 12.
 //! let ring = Ring::new(16);
-//! let mut dsts: Vec<u16> = broadcast_branches(&ring, NodeId(0))
+//! let mut dsts: Vec<u32> = broadcast_branches(&ring, NodeId(0))
 //!     .iter()
 //!     .map(|b| b.dst.0)
 //!     .collect();
@@ -34,6 +34,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod bits;
 pub mod config;
 pub mod flit;
 pub mod ids;
@@ -46,6 +47,7 @@ pub mod vc;
 
 /// Convenient re-exports of the types used by nearly every downstream module.
 pub mod prelude {
+    pub use crate::bits::{BitSlab, Bits};
     pub use crate::config::{ArbPolicy, ConfigError, NocConfig, MAX_VCS};
     pub use crate::flit::{Flit, FlitKind, PacketMeta, PacketRef, PacketTable, TrafficClass};
     pub use crate::ids::{MessageId, NodeId, PacketId, VcId};

@@ -29,6 +29,7 @@
 //! paper's switch gives one cross input port two possible destinations and the
 //! other only one (§2.3.2).
 
+use crate::bits::{BitSlab, Bits};
 use crate::ids::NodeId;
 use crate::ring::{Ring, RingDir};
 use std::fmt;
@@ -162,8 +163,9 @@ pub struct Branch {
     /// multicast it is the subset of targets.
     pub deliveries: Vec<NodeId>,
     /// Header bitstring (bit `i` ⇒ the node reached after `i + 1` hops takes a
-    /// copy). Zero for broadcast, which needs no bitstring.
-    pub bitstring: u128,
+    /// copy). Inline zero for broadcast, which needs no bitstring; branches
+    /// spanning more than 63 hops hold a row in the planner's [`BitSlab`].
+    pub bitstring: Bits,
     /// Total hops the stream travels (to `dst`).
     pub hops: usize,
 }
@@ -184,7 +186,7 @@ pub fn broadcast_branches(ring: &Ring, src: NodeId) -> Vec<Branch> {
         quadrant: Quadrant::Right,
         dst: *deliveries.last().expect("q >= 1"),
         hops: q,
-        bitstring: 0,
+        bitstring: Bits::ZERO,
         deliveries,
     });
 
@@ -195,7 +197,7 @@ pub fn broadcast_branches(ring: &Ring, src: NodeId) -> Vec<Branch> {
         quadrant: Quadrant::CrossRight,
         dst: *deliveries.last().expect("q >= 1"),
         hops: q, // 1 cross hop + (q − 1) rim hops
-        bitstring: 0,
+        bitstring: Bits::ZERO,
         deliveries,
     });
 
@@ -207,7 +209,7 @@ pub fn broadcast_branches(ring: &Ring, src: NodeId) -> Vec<Branch> {
             quadrant: Quadrant::CrossLeft,
             dst,
             hops: q, // 1 cross hop + (q − 1) rim hops
-            bitstring: 0,
+            bitstring: Bits::ZERO,
             deliveries,
         });
     }
@@ -218,7 +220,7 @@ pub fn broadcast_branches(ring: &Ring, src: NodeId) -> Vec<Branch> {
         quadrant: Quadrant::Left,
         dst: *deliveries.last().expect("q >= 1"),
         hops: q,
-        bitstring: 0,
+        bitstring: Bits::ZERO,
         deliveries,
     });
 
@@ -272,13 +274,19 @@ pub fn unicast_path_via(ring: &Ring, src: NodeId, quad: Quadrant, dst: NodeId) -
 /// `bitstring` has bit `i` set iff the node reached after `i + 1` hops is a
 /// target. Targets equal to `src` are ignored. Broadcast is the special case
 /// where every node is a target (see `multicast_covers_broadcast` test).
-pub fn multicast_branches(ring: &Ring, src: NodeId, targets: &[NodeId]) -> Vec<Branch> {
+///
+/// Bitstrings are emitted into `slab`: branches spanning ≤ 63 hops stay
+/// inline (and never touch it), longer ones acquire a slab row. In the
+/// simulators `slab` is the network `PacketTable`'s, so a row's lifetime is
+/// the branch packet's; standalone callers (tests, RTL harness) pass a
+/// scratch slab sized via [`crate::bits::BitSlab::new`]`(ring.quarter() + 1)`.
+pub fn multicast_branches(
+    ring: &Ring,
+    src: NodeId,
+    targets: &[NodeId],
+    slab: &mut BitSlab,
+) -> Vec<Branch> {
     assert!(ring.len().is_multiple_of(4), "Quarc requires n ≡ 0 (mod 4)");
-    assert!(
-        ring.quarter() <= 128,
-        "multicast bitstrings span 128 hops; explicit target sets need n ≤ 512 \
-         (broadcast carries no bitstring and scales to the full sim cap)"
-    );
     let mut by_quadrant: [Vec<NodeId>; 4] = Default::default();
     for &t in targets {
         if t != src {
@@ -296,11 +304,11 @@ pub fn multicast_branches(ring: &Ring, src: NodeId, targets: &[NodeId]) -> Vec<B
         let dst =
             *quad_targets.iter().max_by_key(|&&t| unicast_hops(ring, src, t)).expect("non-empty");
         let walk = unicast_path_via(ring, src, quad, dst);
-        let mut bitstring = 0u128;
+        let mut bitstring = Bits::ZERO;
         let mut deliveries = Vec::with_capacity(quad_targets.len());
         for (i, node) in walk.iter().enumerate() {
             if quad_targets.contains(node) {
-                bitstring |= 1 << i;
+                slab.set_bit(&mut bitstring, i);
                 deliveries.push(*node);
             }
         }
@@ -338,13 +346,18 @@ mod tests {
         Ring::new(16)
     }
 
+    fn mc(ring: &Ring, src: NodeId, targets: &[NodeId]) -> Vec<Branch> {
+        let mut slab = BitSlab::new(ring.quarter() + 1);
+        multicast_branches(ring, src, targets, &mut slab)
+    }
+
     #[test]
     fn fig6_broadcast_destinations() {
         // Paper Fig. 6: node 0 broadcasts in a 16-node Quarc; the four stream
         // destinations are 4 (right rim), 5 (cross-left), 11 (cross-right)
         // and 12 (left rim).
         let branches = broadcast_branches(&r16(), NodeId(0));
-        let dsts: HashSet<u16> = branches.iter().map(|b| b.dst.0).collect();
+        let dsts: HashSet<u32> = branches.iter().map(|b| b.dst.0).collect();
         assert_eq!(dsts, HashSet::from([4, 5, 11, 12]));
     }
 
@@ -493,7 +506,7 @@ mod tests {
             let ring = Ring::new(n);
             let src = NodeId(2);
             let all: Vec<NodeId> = ring.nodes().collect();
-            let mc = multicast_branches(&ring, src, &all);
+            let mc = mc(&ring, src, &all);
             let bc = broadcast_branches(&ring, src);
             let mc_set: HashSet<NodeId> =
                 mc.iter().flat_map(|b| b.deliveries.iter().copied()).collect();
@@ -507,13 +520,13 @@ mod tests {
     fn multicast_bitstring_marks_hop_positions() {
         let ring = r16();
         // Targets 2 and 4 from source 0: right-rim branch, walk 1,2,3,4.
-        let branches = multicast_branches(&ring, NodeId(0), &[NodeId(2), NodeId(4)]);
+        let branches = mc(&ring, NodeId(0), &[NodeId(2), NodeId(4)]);
         assert_eq!(branches.len(), 1);
         let b = &branches[0];
         assert_eq!(b.quadrant, Quadrant::Right);
         assert_eq!(b.dst, NodeId(4));
         // Hop 2 (bit 1) and hop 4 (bit 3).
-        assert_eq!(b.bitstring, 0b1010);
+        assert_eq!(b.bitstring, Bits::inline(0b1010));
         assert_eq!(b.deliveries, vec![NodeId(2), NodeId(4)]);
     }
 
@@ -521,18 +534,18 @@ mod tests {
     fn multicast_cross_left_bitstring_skips_antipode() {
         let ring = r16();
         // Target 7 from source 0 is cross-left: walk 8 (transit), 7.
-        let branches = multicast_branches(&ring, NodeId(0), &[NodeId(7)]);
+        let branches = mc(&ring, NodeId(0), &[NodeId(7)]);
         assert_eq!(branches.len(), 1);
         let b = &branches[0];
         assert_eq!(b.quadrant, Quadrant::CrossLeft);
         // Bit 0 (the antipode, hop 1) clear; bit 1 (node 7, hop 2) set.
-        assert_eq!(b.bitstring, 0b10);
+        assert_eq!(b.bitstring, Bits::inline(0b10));
     }
 
     #[test]
     fn multicast_ignores_source() {
         let ring = r16();
-        let branches = multicast_branches(&ring, NodeId(0), &[NodeId(0), NodeId(1)]);
+        let branches = mc(&ring, NodeId(0), &[NodeId(0), NodeId(1)]);
         assert_eq!(branches.len(), 1);
         assert_eq!(branches[0].deliveries, vec![NodeId(1)]);
     }
@@ -542,7 +555,7 @@ mod tests {
         let ring = Ring::new(4);
         let branches = broadcast_branches(&ring, NodeId(0));
         assert_eq!(branches.len(), 3);
-        let covered: HashSet<u16> =
+        let covered: HashSet<u32> =
             branches.iter().flat_map(|b| b.deliveries.iter().map(|n| n.0)).collect();
         assert_eq!(covered, HashSet::from([1, 2, 3]));
     }

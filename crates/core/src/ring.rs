@@ -62,7 +62,7 @@ impl Ring {
     /// A ring of `n` nodes. Panics if `n < 2`.
     pub fn new(n: usize) -> Self {
         assert!(n >= 2, "a ring needs at least 2 nodes");
-        assert!(n <= u16::MAX as usize, "node addresses are 16-bit");
+        assert!(n <= u32::MAX as usize, "node addresses are 32-bit");
         Ring { n }
     }
 
@@ -190,7 +190,7 @@ mod tests {
     #[test]
     fn step_n_matches_repeated_step() {
         let r = ring16();
-        for start in 0..16u16 {
+        for start in 0..16u32 {
             let mut cur = NodeId(start);
             for k in 0..20 {
                 assert_eq!(r.step_n(NodeId(start), RingDir::Cw, k), cur);

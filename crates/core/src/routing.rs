@@ -96,7 +96,8 @@ pub fn quarc_route(
     match meta.class {
         TrafficClass::Broadcast => RouteAction::DeliverAndForward(continue_out),
         TrafficClass::Multicast => {
-            if meta.bitstring & 1 == 1 {
+            // Free for slab-backed bitstrings too: handles cache bit 0.
+            if meta.bitstring.bit0() {
                 RouteAction::DeliverAndForward(continue_out)
             } else {
                 RouteAction::Forward(continue_out)
@@ -109,10 +110,19 @@ pub fn quarc_route(
 /// Header bookkeeping applied when a Quarc switch forwards a header flit:
 /// multicast bitstrings shift one position per hop so that bit 0 always
 /// answers "does the *next* node take a copy?" (§2.5.3).
+///
+/// This free-function form handles only inline bitstrings (the RTL model
+/// and tests); the simulators route every shift through
+/// [`crate::flit::PacketTable::advance_header`], which also advances
+/// slab-backed rows.
 #[inline]
 pub fn advance_header(meta: &mut PacketMeta) {
     if meta.class == TrafficClass::Multicast {
-        meta.bitstring >>= 1;
+        debug_assert!(
+            meta.bitstring.is_inline(),
+            "slab-backed bitstrings must be advanced via PacketTable::advance_header"
+        );
+        meta.bitstring = crate::bits::Bits::inline(meta.bitstring.inline_value() >> 1);
     }
 }
 
@@ -285,27 +295,28 @@ pub fn spidergon_broadcast_seeds(ring: &Ring, src: NodeId) -> ChainSeeds {
 /// packets on receipt of a broadcast-by-unicast packet").
 pub fn chain_continuations(ring: &Ring, node: NodeId, meta: &PacketMeta) -> ChainSeeds {
     let mut seeds = ChainSeeds::default();
+    // Chain counters always fit inline (remaining ≤ q − 1 < 2^16).
     match meta.class {
-        TrafficClass::ChainRim if meta.bitstring > 0 => {
+        TrafficClass::ChainRim if meta.bitstring.inline_value() > 0 => {
             seeds.push(ChainSeed {
                 class: TrafficClass::ChainRim,
                 dst: ring.step(node, meta.dir),
                 dir: meta.dir,
-                remaining: (meta.bitstring - 1) as u16,
+                remaining: (meta.bitstring.inline_value() - 1) as u16,
             });
         }
-        TrafficClass::ChainCross if meta.bitstring > 0 => {
+        TrafficClass::ChainCross if meta.bitstring.inline_value() > 0 => {
             seeds.push(ChainSeed {
                 class: TrafficClass::ChainRim,
                 dst: ring.cw(node),
                 dir: RingDir::Cw,
-                remaining: (meta.bitstring - 1) as u16,
+                remaining: (meta.bitstring.inline_value() - 1) as u16,
             });
             seeds.push(ChainSeed {
                 class: TrafficClass::ChainRim,
                 dst: ring.ccw(node),
                 dir: RingDir::Ccw,
-                remaining: (meta.bitstring - 1) as u16,
+                remaining: (meta.bitstring.inline_value() - 1) as u16,
             });
         }
         _ => {}
@@ -319,14 +330,14 @@ mod tests {
     use crate::ids::{MessageId, PacketId};
     use std::collections::HashSet;
 
-    fn meta(class: TrafficClass, src: u16, dst: u16, bitstring: u128, dir: RingDir) -> PacketMeta {
+    fn meta(class: TrafficClass, src: u32, dst: u32, bitstring: u64, dir: RingDir) -> PacketMeta {
         PacketMeta {
             message: MessageId(0),
             packet: PacketId(0),
             class,
             src: NodeId(src),
             dst: NodeId(dst),
-            bitstring,
+            bitstring: crate::bits::Bits::inline(bitstring),
             dir,
             len: 4,
             created_at: 0,
@@ -410,14 +421,14 @@ mod tests {
         );
         let mut m = hit;
         advance_header(&mut m);
-        assert_eq!(m.bitstring, 0b10);
+        assert_eq!(m.bitstring, crate::bits::Bits::inline(0b10));
     }
 
     #[test]
     fn advance_header_only_touches_multicast() {
         let mut m = meta(TrafficClass::Broadcast, 0, 4, 0xFFFF, RingDir::Cw);
         advance_header(&mut m);
-        assert_eq!(m.bitstring, 0xFFFF);
+        assert_eq!(m.bitstring, crate::bits::Bits::inline(0xFFFF));
     }
 
     #[test]
@@ -425,7 +436,7 @@ mod tests {
         let ring = Ring::new(16);
         let s = NodeId(0);
         for (dst, want) in [
-            (1u16, RouteAction::Forward(SpiOut::RimCw)),
+            (1u32, RouteAction::Forward(SpiOut::RimCw)),
             (4, RouteAction::Forward(SpiOut::RimCw)),
             (5, RouteAction::Forward(SpiOut::Cross)),
             (8, RouteAction::Forward(SpiOut::Cross)),
@@ -503,7 +514,7 @@ mod tests {
     fn chain_broadcast_covers_all_nodes_in_n_minus_1_hops() {
         for n in [8usize, 16, 32, 64] {
             let ring = Ring::new(n);
-            let src = NodeId(2 % n as u16);
+            let src = NodeId(2 % n as u32);
             let mut covered = HashSet::new();
             let mut total_hops = 0usize;
             let mut queue: Vec<ChainSeed> =
@@ -511,7 +522,7 @@ mod tests {
             while let Some(seed) = queue.pop() {
                 total_hops += spidergon_hops(&ring, seed_prev(&ring, &seed), seed.dst).max(1);
                 assert!(covered.insert(seed.dst), "n={n}: {} covered twice", seed.dst);
-                let m = meta(seed.class, src.0, seed.dst.0, seed.remaining as u128, seed.dir);
+                let m = meta(seed.class, src.0, seed.dst.0, seed.remaining as u64, seed.dir);
                 queue.extend(chain_continuations(&ring, seed.dst, &m));
             }
             assert_eq!(covered.len(), n - 1, "n={n}");

@@ -10,6 +10,7 @@
 //! they are defined here once and shared by the behavioural router, the RTL
 //! crossbar and the area model.
 
+use crate::bits::{BitSlab, Bits};
 use crate::ids::NodeId;
 use crate::quadrant::Quadrant;
 use crate::ring::Ring;
@@ -465,7 +466,7 @@ impl MeshTopology {
     /// Build a mesh. Panics if either dimension is zero.
     pub fn new(cols: usize, rows: usize) -> Self {
         assert!(cols >= 1 && rows >= 1, "mesh dimensions must be positive");
-        assert!(cols * rows <= u16::MAX as usize);
+        assert!(cols * rows <= u32::MAX as usize);
         MeshTopology { cols, rows }
     }
 
@@ -562,17 +563,20 @@ impl MeshTopology {
     /// exactly the semantics the routers shift per hop). Targets equal to
     /// `src` are ignored; duplicates set the same bit once. Broadcast is the
     /// all-targets special case. `out` is cleared and refilled, so a reused
-    /// buffer makes steady-state expansion allocation-free.
+    /// buffer makes steady-state expansion allocation-free; bitstrings are
+    /// emitted into `slab` (branches within 63 hops stay inline and never
+    /// touch it).
     pub fn multicast_branches_into(
         &self,
         src: NodeId,
         targets: impl IntoIterator<Item = NodeId>,
+        slab: &mut BitSlab,
         out: &mut Vec<GridBranch>,
     ) {
         out.clear();
         assert!(
-            self.cols <= GRID_MC_MAX_SIDE && self.diameter() <= 128,
-            "multicast bitstrings span 128 hops; the path may not exceed them (n ≤ 4096)"
+            self.cols <= GRID_MC_MAX_SIDE,
+            "grid multicast planner scratch caps the side at {GRID_MC_MAX_SIDE} (n ≤ 65,536)"
         );
         let (sx, sy) = self.coords(src);
         let mut acc = [[None::<GridBranchAcc>; 2]; GRID_MC_MAX_SIDE];
@@ -584,7 +588,7 @@ impl MeshTopology {
             let dist_x = sx.abs_diff(tx);
             // `dy == 0` targets sit on the x run and ride the "up" branch.
             let (down, dy) = if ty >= sy { (0, ty - sy) } else { (1, sy - ty) };
-            acc[tx][down].get_or_insert_with(GridBranchAcc::default).add(dist_x + dy, dy);
+            acc[tx][down].get_or_insert_with(GridBranchAcc::default).add(slab, dist_x + dy, dy);
         }
         for (tx, pair) in acc.iter().enumerate() {
             for (down, a) in pair.iter().enumerate() {
@@ -598,24 +602,24 @@ impl MeshTopology {
 }
 
 /// Upper bound on mesh/torus side length in the multicast planner's scratch
-/// (128-bit bitstrings cap paths at 128 hops, i.e. a 64×64 grid). Shared with
-/// the torus planner in [`crate::torus`].
-pub(crate) const GRID_MC_MAX_SIDE: usize = 64;
+/// (a 256×256 grid = the simulator's n = 65,536 cap). Shared with the torus
+/// planner in [`crate::torus`].
+pub(crate) const GRID_MC_MAX_SIDE: usize = 256;
 
 /// Per-`(column, y-direction)` accumulator of the grid multicast planners
 /// (mesh here, torus in [`crate::torus`] — same algorithm, different wrap
 /// arithmetic).
 #[derive(Debug, Clone, Copy, Default)]
 pub(crate) struct GridBranchAcc {
-    pub(crate) bits: u128,
+    pub(crate) bits: Bits,
     pub(crate) max_dy: usize,
 }
 
 impl GridBranchAcc {
     /// Record a target `hops` hops along the branch path, `dy` of them in y.
-    pub(crate) fn add(&mut self, hops: usize, dy: usize) {
+    pub(crate) fn add(&mut self, slab: &mut BitSlab, hops: usize, dy: usize) {
         debug_assert!(hops >= 1, "src is never a target");
-        self.bits |= 1 << (hops - 1);
+        slab.set_bit(&mut self.bits, hops - 1);
         self.max_dy = self.max_dy.max(dy);
     }
 }
@@ -628,14 +632,15 @@ pub struct GridBranch {
     /// Header destination: the last node of the branch (always a target).
     pub dst: NodeId,
     /// Bit `i` ⇒ the node reached after `i + 1` hops takes a copy. The
-    /// terminal `dst` bit is always set.
-    pub bitstring: u128,
+    /// terminal `dst` bit is always set. Long branches hold a row in the
+    /// slab the planner emitted into.
+    pub bitstring: Bits,
 }
 
 impl GridBranch {
     /// Receivers this branch delivers to.
-    pub fn receivers(&self) -> usize {
-        self.bitstring.count_ones() as usize
+    pub fn receivers(&self, slab: &BitSlab) -> usize {
+        slab.popcount(self.bitstring) as usize
     }
 }
 
@@ -825,21 +830,30 @@ mod tests {
 
     /// Decode a planned branch back into its delivery set by walking the XY
     /// route the router will take (the oracle for the planner tests).
-    fn mesh_branch_deliveries(m: &MeshTopology, src: NodeId, b: &GridBranch) -> Vec<NodeId> {
+    fn mesh_branch_deliveries(
+        m: &MeshTopology,
+        src: NodeId,
+        b: &GridBranch,
+        slab: &BitSlab,
+    ) -> Vec<NodeId> {
         let mut deliveries = Vec::new();
         let mut cur = src;
-        let mut bits = b.bitstring;
+        let mut k = 0usize;
         while cur != b.dst {
             cur = match m.route(cur, b.dst) {
                 MeshOut::Eject => unreachable!("walk ends at dst"),
                 port => m.link_target(cur, port).expect("XY stays on the mesh"),
             };
-            if bits & 1 == 1 {
+            if slab.bit_at(b.bitstring, k) {
                 deliveries.push(cur);
             }
-            bits >>= 1;
+            k += 1;
         }
-        assert_eq!(bits, 0, "bits past the branch terminal");
+        assert_eq!(
+            slab.popcount(b.bitstring) as usize,
+            deliveries.len(),
+            "bits past the branch terminal"
+        );
         deliveries
     }
 
@@ -849,15 +863,16 @@ mod tests {
         let src = NodeId(5); // (1, 1)
         let targets = vec![NodeId(0), NodeId(3), NodeId(7), NodeId(12), NodeId(15), NodeId(6)];
         let mut branches = Vec::new();
-        m.multicast_branches_into(src, targets.iter().copied(), &mut branches);
+        let mut slab = BitSlab::new(m.diameter() + 1);
+        m.multicast_branches_into(src, targets.iter().copied(), &mut slab, &mut branches);
         let mut delivered: Vec<NodeId> =
-            branches.iter().flat_map(|b| mesh_branch_deliveries(&m, src, b)).collect();
+            branches.iter().flat_map(|b| mesh_branch_deliveries(&m, src, b, &slab)).collect();
         delivered.sort();
         let mut want = targets.clone();
         want.sort();
         assert_eq!(delivered, want);
         assert_eq!(
-            branches.iter().map(GridBranch::receivers).sum::<usize>(),
+            branches.iter().map(|b| b.receivers(&slab)).sum::<usize>(),
             targets.len(),
             "receiver count must equal the distinct target count"
         );
@@ -870,10 +885,16 @@ mod tests {
             for s in 0..m.num_nodes() {
                 let src = NodeId::new(s);
                 let mut branches = Vec::new();
-                m.multicast_branches_into(src, (0..m.num_nodes()).map(NodeId::new), &mut branches);
+                let mut slab = BitSlab::new(m.diameter() + 1);
+                m.multicast_branches_into(
+                    src,
+                    (0..m.num_nodes()).map(NodeId::new),
+                    &mut slab,
+                    &mut branches,
+                );
                 let mut seen = std::collections::HashSet::new();
                 for b in &branches {
-                    for d in mesh_branch_deliveries(&m, src, b) {
+                    for d in mesh_branch_deliveries(&m, src, b, &slab) {
                         assert!(seen.insert(d), "{c}x{r} src={src}: {d} covered twice");
                         assert_ne!(d, src);
                     }
@@ -888,8 +909,14 @@ mod tests {
         let m = MeshTopology::new(4, 4);
         let src = NodeId(0);
         let mut branches = Vec::new();
-        m.multicast_branches_into(src, [src, NodeId(2), NodeId(2), NodeId(9)], &mut branches);
-        assert_eq!(branches.iter().map(GridBranch::receivers).sum::<usize>(), 2);
+        let mut slab = BitSlab::new(m.diameter() + 1);
+        m.multicast_branches_into(
+            src,
+            [src, NodeId(2), NodeId(2), NodeId(9)],
+            &mut slab,
+            &mut branches,
+        );
+        assert_eq!(branches.iter().map(|b| b.receivers(&slab)).sum::<usize>(), 2);
     }
 
     #[test]
@@ -898,10 +925,11 @@ mod tests {
         // node (2,0), which takes its copy on the x run.
         let m = MeshTopology::new(4, 4);
         let mut branches = Vec::new();
-        m.multicast_branches_into(NodeId(0), [NodeId(2), NodeId(14)], &mut branches);
+        let mut slab = BitSlab::new(m.diameter() + 1);
+        m.multicast_branches_into(NodeId(0), [NodeId(2), NodeId(14)], &mut slab, &mut branches);
         assert_eq!(branches.len(), 1);
         assert_eq!(branches[0].dst, NodeId(14));
         // Hops 2 (node 2, bit 1) and 5 (node 14, bit 4).
-        assert_eq!(branches[0].bitstring, 0b10010);
+        assert_eq!(branches[0].bitstring, Bits::inline(0b10010));
     }
 }

@@ -12,6 +12,7 @@
 //! each ring, with ties broken toward increasing coordinates so routes stay
 //! deterministic.
 
+use crate::bits::BitSlab;
 use crate::ids::{NodeId, VcId};
 use crate::ring::{Ring, RingDir};
 use crate::topology::{GridBranch, GridBranchAcc, GRID_MC_MAX_SIDE};
@@ -80,7 +81,7 @@ impl TorusTopology {
     /// distinct from the direct ones.
     pub fn new(cols: usize, rows: usize) -> Self {
         assert!(cols >= 2 && rows >= 2, "torus dimensions must be ≥ 2");
-        assert!(cols * rows <= u16::MAX as usize);
+        assert!(cols * rows <= u32::MAX as usize);
         TorusTopology { cols, rows }
     }
 
@@ -238,17 +239,19 @@ impl TorusTopology {
     /// branching out of the x run at the turn node. Bit `i` of the branch
     /// bitstring marks the node after `i + 1` hops, the same per-hop shift
     /// semantics the routers apply. `out` is cleared and refilled so a reused
-    /// buffer keeps steady-state expansion allocation-free.
+    /// buffer keeps steady-state expansion allocation-free; bitstrings are
+    /// emitted into `slab` (branches within 63 hops stay inline).
     pub fn multicast_branches_into(
         &self,
         src: NodeId,
         targets: impl IntoIterator<Item = NodeId>,
+        slab: &mut BitSlab,
         out: &mut Vec<GridBranch>,
     ) {
         out.clear();
         assert!(
-            self.cols <= GRID_MC_MAX_SIDE && self.diameter() <= 128,
-            "multicast bitstrings span 128 hops; the path may not exceed them (n ≤ 4096)"
+            self.cols <= GRID_MC_MAX_SIDE,
+            "grid multicast planner scratch caps the side at {GRID_MC_MAX_SIDE} (n ≤ 65,536)"
         );
         let (sx, sy) = self.coords(src);
         let mut acc = [[None::<GridBranchAcc>; 2]; GRID_MC_MAX_SIDE];
@@ -261,7 +264,7 @@ impl TorusTopology {
             let oy = Self::signed_offset(sy, ty, self.rows);
             // `oy == 0` targets sit on the x run and ride the `y+` branch.
             let (minus, dy) = if oy >= 0 { (0, oy as usize) } else { (1, oy.unsigned_abs()) };
-            acc[tx][minus].get_or_insert_with(GridBranchAcc::default).add(dist_x + dy, dy);
+            acc[tx][minus].get_or_insert_with(GridBranchAcc::default).add(slab, dist_x + dy, dy);
         }
         for (tx, pair) in acc.iter().enumerate() {
             for (minus, a) in pair.iter().enumerate() {
@@ -378,20 +381,25 @@ mod tests {
         t: &TorusTopology,
         src: NodeId,
         b: &crate::topology::GridBranch,
+        slab: &BitSlab,
     ) -> Vec<NodeId> {
         let mut deliveries = Vec::new();
         let mut cur = src;
-        let mut bits = b.bitstring;
+        let mut k = 0usize;
         while cur != b.dst {
             let port = t.route(cur, b.dst);
             assert_ne!(port, TorusOut::Eject);
             cur = t.link_target(cur, port).expect("torus links wrap");
-            if bits & 1 == 1 {
+            if slab.bit_at(b.bitstring, k) {
                 deliveries.push(cur);
             }
-            bits >>= 1;
+            k += 1;
         }
-        assert_eq!(bits, 0, "bits past the branch terminal");
+        assert_eq!(
+            slab.popcount(b.bitstring) as usize,
+            deliveries.len(),
+            "bits past the branch terminal"
+        );
         deliveries
     }
 
@@ -402,10 +410,16 @@ mod tests {
             for s in 0..t.num_nodes() {
                 let src = NodeId::new(s);
                 let mut branches = Vec::new();
-                t.multicast_branches_into(src, (0..t.num_nodes()).map(NodeId::new), &mut branches);
+                let mut slab = BitSlab::new(t.diameter() + 1);
+                t.multicast_branches_into(
+                    src,
+                    (0..t.num_nodes()).map(NodeId::new),
+                    &mut slab,
+                    &mut branches,
+                );
                 let mut seen = std::collections::HashSet::new();
                 for b in &branches {
-                    for d in branch_deliveries(&t, src, b) {
+                    for d in branch_deliveries(&t, src, b, &slab) {
                         assert!(seen.insert(d), "{c}x{r} src={src}: {d} covered twice");
                         assert_ne!(d, src);
                     }
@@ -421,11 +435,12 @@ mod tests {
         // away: a 2-hop branch, not the mesh's 6-hop one.
         let t = TorusTopology::new(4, 4);
         let mut branches = Vec::new();
-        t.multicast_branches_into(NodeId(0), [NodeId(15)], &mut branches);
+        let mut slab = BitSlab::new(t.diameter() + 1);
+        t.multicast_branches_into(NodeId(0), [NodeId(15)], &mut slab, &mut branches);
         assert_eq!(branches.len(), 1);
         assert_eq!(branches[0].dst, NodeId(15));
-        assert_eq!(branches[0].bitstring, 0b10);
-        assert_eq!(branch_deliveries(&t, NodeId(0), &branches[0]), vec![NodeId(15)]);
+        assert_eq!(branches[0].bitstring, crate::bits::Bits::inline(0b10));
+        assert_eq!(branch_deliveries(&t, NodeId(0), &branches[0], &slab), vec![NodeId(15)]);
     }
 
     #[test]
@@ -434,9 +449,10 @@ mod tests {
         let src = NodeId(5);
         let targets = vec![NodeId(0), NodeId(2), NodeId(7), NodeId(8), NodeId(13), NodeId(15)];
         let mut branches = Vec::new();
-        t.multicast_branches_into(src, targets.iter().copied(), &mut branches);
+        let mut slab = BitSlab::new(t.diameter() + 1);
+        t.multicast_branches_into(src, targets.iter().copied(), &mut slab, &mut branches);
         let mut delivered: Vec<NodeId> =
-            branches.iter().flat_map(|b| branch_deliveries(&t, src, b)).collect();
+            branches.iter().flat_map(|b| branch_deliveries(&t, src, b, &slab)).collect();
         delivered.sort();
         let mut want = targets.clone();
         want.sort();

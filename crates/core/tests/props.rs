@@ -35,8 +35,8 @@ proptest! {
     fn header_wire_roundtrip(
         class in arb_class(),
         dir in arb_dir(),
-        src in 0u16..64,
-        dst in 0u16..64,
+        src in 0u32..64,
+        dst in 0u32..64,
         bitstring in any::<u16>(),
     ) {
         let meta = PacketMeta {
@@ -45,7 +45,7 @@ proptest! {
             class,
             src: NodeId(src),
             dst: NodeId(dst),
-            bitstring: bitstring.into(),
+            bitstring: Bits::inline(bitstring as u64),
             dir,
             len: 2,
             created_at: 0,
@@ -71,7 +71,7 @@ proptest! {
             class: TrafficClass::Unicast,
             src: NodeId(0),
             dst: NodeId(1),
-            bitstring: 0,
+            bitstring: Bits::ZERO,
             dir: RingDir::Cw,
             len: 2,
             created_at: 0,
@@ -137,10 +137,11 @@ proptest! {
             .map(NodeId::new)
             .collect();
         let want: HashSet<NodeId> = targets.iter().copied().filter(|&t| t != src).collect();
-        let branches = multicast_branches(&ring, src, &targets);
+        let mut slab = BitSlab::new(ring.quarter() + 1);
+        let branches = multicast_branches(&ring, src, &targets, &mut slab);
         let mut got = HashSet::new();
         for b in &branches {
-            prop_assert_eq!(b.bitstring.count_ones() as usize, b.deliveries.len());
+            prop_assert_eq!(slab.popcount(b.bitstring) as usize, b.deliveries.len());
             for d in &b.deliveries {
                 prop_assert!(got.insert(*d), "{d} delivered twice");
             }
@@ -173,7 +174,7 @@ proptest! {
                 class: seed.class,
                 src,
                 dst: seed.dst,
-                bitstring: seed.remaining.into(),
+                bitstring: Bits::inline(seed.remaining as u64),
                 dir: seed.dir,
                 len: 2,
                 created_at: 0,
@@ -181,6 +182,47 @@ proptest! {
             queue.extend(chain_continuations(&ring, seed.dst, &meta));
         }
         prop_assert_eq!(covered.len(), n - 1);
+    }
+
+    /// The slab-backed bitstring is semantically identical to the retired
+    /// `u128` representation for every operation the routers perform —
+    /// set, positional read, shift (with the cached bit 0), popcount and
+    /// clone independence — across the whole n ≤ 128 range the old word
+    /// could express.
+    #[test]
+    fn slab_matches_u128_semantics(
+        positions in proptest::collection::vec(0usize..128, 0..24),
+        shifts in 0usize..130,
+    ) {
+        let mut slab = BitSlab::new(128);
+        let mut b = Bits::ZERO;
+        let mut model: u128 = 0;
+        for &i in &positions {
+            if model & (1u128 << i) == 0 {
+                slab.set_bit(&mut b, i);
+                model |= 1u128 << i;
+            }
+        }
+        prop_assert_eq!(slab.popcount(b), model.count_ones());
+        prop_assert_eq!(slab.to_u128(b), model);
+        for k in 0..130usize {
+            let want = k < 128 && (model >> k) & 1 == 1;
+            prop_assert_eq!(slab.bit_at(b, k), want, "bit_at({k})");
+        }
+        let snapshot = slab.clone_bits(b);
+        let frozen = model;
+        for s in 0..shifts {
+            slab.shift(&mut b);
+            model >>= 1;
+            prop_assert_eq!(b.bit0(), model & 1 == 1, "bit0 after {s} shifts");
+            prop_assert_eq!(slab.popcount(b), model.count_ones());
+        }
+        prop_assert_eq!(slab.to_u128(b), model);
+        // Shifting the original never disturbs the clone.
+        prop_assert_eq!(slab.to_u128(snapshot), frozen);
+        slab.release(b);
+        slab.release(snapshot);
+        prop_assert_eq!(slab.live_rows(), 0);
     }
 
     /// The quadrant decision is a function of the CW distance only

@@ -194,7 +194,7 @@ impl RingRtl {
             dst: NodeId,
             words: usize,
         }
-        let mut open: HashMap<(u16, usize, usize), Partial> = HashMap::new();
+        let mut open: HashMap<(u32, usize, usize), Partial> = HashMap::new();
         let mut done = Vec::new();
         for d in &self.deliveries {
             let key = (d.node.0, d.port, d.lane);
@@ -364,7 +364,7 @@ mod tests {
     #[test]
     fn opposing_unicasts_share_the_ring() {
         let mut ring = RingRtl::new(16);
-        for s in 0..16u16 {
+        for s in 0..16u32 {
             let dst = NodeId((s + 3) % 16);
             for (quad, frame) in unicast_frames(ring.ring(), NodeId(s), dst, 5) {
                 assert!(ring.inject(NodeId(s), quad, &frame));

@@ -20,6 +20,7 @@ use crate::opc::{Opc, OpcGrant, OpcReq};
 use crate::signals::{LlFwd, LlRev, NUM_VCS};
 use crate::vc_arbiter::VcArbiter;
 use crate::write_ctrl::WriteController;
+use quarc_core::bits::Bits;
 use quarc_core::flit::wire::{decode, encode, WireFlit};
 use quarc_core::flit::{FlitKind, PacketMeta, TrafficClass};
 use quarc_core::ids::{MessageId, NodeId, PacketId, VcId};
@@ -94,7 +95,7 @@ fn route_word(ring: &Ring, node: NodeId, port: usize, word: u64) -> OutSel {
         class,
         src,
         dst,
-        bitstring: bitstring as u128,
+        bitstring: Bits::inline(bitstring as u64),
         dir,
         len: 2,
         created_at: 0,
@@ -131,7 +132,7 @@ pub fn advance_header_word(word: u64) -> u64 {
                 class: TrafficClass::Multicast,
                 src,
                 dst,
-                bitstring: (bitstring >> 1) as u128,
+                bitstring: Bits::inline((bitstring >> 1) as u64),
                 dir,
                 len: 2,
                 created_at: 0,

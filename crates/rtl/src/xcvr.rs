@@ -8,6 +8,7 @@
 //! calculator calculates the quadrant by comparing the source address ...
 //! and the destination address."
 
+use quarc_core::bits::{BitSlab, Bits};
 use quarc_core::flit::wire::encode;
 use quarc_core::flit::{FlitKind, PacketMeta, TrafficClass};
 use quarc_core::ids::{MessageId, NodeId, PacketId};
@@ -31,7 +32,7 @@ pub fn build_frame(
         class,
         src,
         dst,
-        bitstring: bitstring as u128,
+        bitstring: Bits::inline(bitstring as u64),
         dir: RingDir::Cw,
         len: len as u32,
         created_at: 0,
@@ -72,7 +73,10 @@ pub fn multicast_frames(
     targets: &[NodeId],
     len: usize,
 ) -> Vec<(usize, Vec<u64>)> {
-    multicast_branches(ring, src, targets)
+    // RTL networks are n <= 64, so every planner bitstring stays inline in
+    // this scratch slab and fits the 16-bit wire field.
+    let mut slab = BitSlab::new(ring.quarter() + 1);
+    multicast_branches(ring, src, targets, &mut slab)
         .into_iter()
         .map(|b| {
             (
@@ -81,7 +85,7 @@ pub fn multicast_frames(
                     TrafficClass::Multicast,
                     src,
                     b.dst,
-                    u16::try_from(b.bitstring)
+                    u16::try_from(b.bitstring.inline_value())
                         .expect("RTL networks are n <= 64: spans fit 16 bits"),
                     len,
                 ),
@@ -120,7 +124,7 @@ mod tests {
         let quads: std::collections::HashSet<usize> = frames.iter().map(|(q, _)| *q).collect();
         assert_eq!(quads.len(), 4, "one frame per quadrant");
         // Destinations per Fig. 6.
-        let mut dsts: Vec<u16> = frames
+        let mut dsts: Vec<u32> = frames
             .iter()
             .map(|(_, f)| match decode(f[0]).unwrap() {
                 WireFlit::Header { dst, .. } => dst.0,

@@ -55,9 +55,9 @@ fn random_messages(n: usize, count: usize, seed: u64) -> Vec<Msg> {
 
 /// Expected multiset of `(receiver, src, class)` receptions with flit
 /// lengths, computed from the pure-core planner (the shared oracle).
-fn oracle(n: usize, msgs: &[Msg]) -> BTreeMap<(u16, u16, &'static str), Vec<usize>> {
+fn oracle(n: usize, msgs: &[Msg]) -> BTreeMap<(u32, u32, &'static str), Vec<usize>> {
     let ring = quarc_core::ring::Ring::new(n);
-    let mut out: BTreeMap<(u16, u16, &'static str), Vec<usize>> = BTreeMap::new();
+    let mut out: BTreeMap<(u32, u32, &'static str), Vec<usize>> = BTreeMap::new();
     for m in msgs {
         match m {
             Msg::Unicast { src, dst, len } => {
@@ -71,7 +71,8 @@ fn oracle(n: usize, msgs: &[Msg]) -> BTreeMap<(u16, u16, &'static str), Vec<usiz
                 }
             }
             Msg::Multicast { src, targets, len } => {
-                for b in quarc_core::quadrant::multicast_branches(&ring, *src, targets) {
+                let mut slab = quarc_core::bits::BitSlab::new(ring.quarter() + 1);
+                for b in quarc_core::quadrant::multicast_branches(&ring, *src, targets, &mut slab) {
                     for d in &b.deliveries {
                         out.entry((d.0, src.0, "multicast")).or_default().push(*len);
                     }
@@ -95,7 +96,7 @@ fn class_name(c: TrafficClass) -> &'static str {
 }
 
 /// Run the message set through the RTL ring and collect its receptions.
-fn rtl_deliveries(n: usize, msgs: &[Msg]) -> BTreeMap<(u16, u16, &'static str), Vec<usize>> {
+fn rtl_deliveries(n: usize, msgs: &[Msg]) -> BTreeMap<(u32, u32, &'static str), Vec<usize>> {
     let mut ring = RingRtl::new(n);
     for m in msgs {
         let frames = match m {
@@ -115,7 +116,7 @@ fn rtl_deliveries(n: usize, msgs: &[Msg]) -> BTreeMap<(u16, u16, &'static str), 
         }
     }
     ring.run_until_idle(100_000);
-    let mut out: BTreeMap<(u16, u16, &'static str), Vec<usize>> = BTreeMap::new();
+    let mut out: BTreeMap<(u32, u32, &'static str), Vec<usize>> = BTreeMap::new();
     for f in ring.received_frames() {
         out.entry((f.node.0, f.src.0, class_name(f.class))).or_default().push(f.len);
     }

@@ -43,7 +43,6 @@ use crate::probe::{CounterSample, FlitEventKind, Phase, SimProbe};
 use quarc_core::config::{NocConfig, MAX_VCS};
 use quarc_core::flit::{PacketMeta, PacketTable, TrafficClass};
 use quarc_core::ids::NodeId;
-use quarc_core::routing::advance_header;
 use quarc_core::topology::{GridBranch, MeshOut, MeshTopology, TopologyKind};
 use quarc_core::vc::INJECTION_VC;
 use quarc_engine::{Clock, Cycle};
@@ -202,7 +201,9 @@ impl MeshNetwork {
             links: LinkBank::new(n * 4, cfg.link_latency),
             ids: IdAlloc::new(),
             metrics: Metrics::new(),
-            packets: PacketTable::new(),
+            // Sized so the longest XY branch's bitstring always fits; for
+            // n <= 64 every branch stays inline and the slab never allocates.
+            packets: PacketTable::with_bit_capacity(topo.diameter() + 1),
             transfers: Vec::new(),
             poll_buf: Vec::new(),
             branch_buf: Vec::new(),
@@ -257,9 +258,7 @@ impl MeshNetwork {
         match self.topo.route(NodeId::new(node), meta.dst) {
             MeshOut::Eject => HopPlan { deliver: false, out: EJECT, dropped: false },
             out => HopPlan {
-                deliver: from_net
-                    && meta.class == TrafficClass::Multicast
-                    && meta.bitstring & 1 == 1,
+                deliver: from_net && meta.class == TrafficClass::Multicast && meta.bitstring.bit0(),
                 out: out.index(),
                 dropped: self.fault.any()
                     && self.fault.drops_packet(
@@ -527,7 +526,7 @@ impl MeshNetwork {
             // Routers shift multicast bitstrings as they forward headers, so
             // bit 0 always answers "does the next node take a copy?".
             if flit.is_header() && matches!(t.req.src, Src::Net { .. }) {
-                advance_header(self.packets.meta_mut(flit.packet));
+                self.packets.advance_header(flit.packet);
             }
             if flit.is_header() && self.probe.trace_on() {
                 let m = self.packets.meta(flit.packet);
@@ -551,26 +550,30 @@ impl MeshNetwork {
     /// the remaining XY route on a meta copy, counting marked transit copies
     /// and the branch terminal. Cold path — runs once per dropped packet.
     fn receivers_beyond(&self, node: usize, src: Src, meta: &PacketMeta) -> usize {
-        let mut m = *meta;
+        // Replay against the packet's bitstring through a read-only offset
+        // (`bit_at`) rather than shifting a meta copy: a slab-backed
+        // bitstring is shared with the live packet and must not be mutated.
+        let bits = meta.bitstring;
         // Fresh local headers are not advanced before their first hop (bit 0
         // of an injected multicast header refers to the node one hop out);
         // net-sourced headers advance at every forward.
         let mut advance = matches!(src, Src::Net { .. });
+        let mut shift = 0usize;
         let mut cur = NodeId::new(node);
         let mut count = 0usize;
         loop {
-            let out = self.topo.route(cur, m.dst);
+            let out = self.topo.route(cur, meta.dst);
             debug_assert!(out != MeshOut::Eject, "ejections are never dropped");
             if advance {
-                advance_header(&mut m);
+                shift += 1;
             }
             advance = true;
             cur = self.topo.link_target(cur, out).expect("route stays on the mesh");
-            if self.topo.route(cur, m.dst) == MeshOut::Eject {
+            if self.topo.route(cur, meta.dst) == MeshOut::Eject {
                 // The branch terminal delivers through the ejection port.
                 return count + 1;
             }
-            if m.class == TrafficClass::Multicast && m.bitstring & 1 == 1 {
+            if meta.class == TrafficClass::Multicast && self.packets.bits().bit_at(bits, shift) {
                 count += 1;
             }
         }
@@ -607,12 +610,16 @@ impl MeshNetwork {
             // path-based multicast packet per (column, y direction).
             match req.class {
                 TrafficClass::Unicast => branches.clear(),
-                TrafficClass::Broadcast => {
-                    self.topo.multicast_branches_into(req.src, (0..n).map(NodeId::new), branches)
-                }
+                TrafficClass::Broadcast => self.topo.multicast_branches_into(
+                    req.src,
+                    (0..n).map(NodeId::new),
+                    self.packets.bits_mut(),
+                    branches,
+                ),
                 TrafficClass::Multicast => self.topo.multicast_branches_into(
                     req.src,
                     req.targets.iter().copied(),
+                    self.packets.bits_mut(),
                     branches,
                 ),
                 other => panic!("applications do not inject {other} packets directly"),
@@ -906,8 +913,8 @@ mod tests {
     #[test]
     fn all_pairs_deliver() {
         let mut records = Vec::new();
-        for s in 0..9u16 {
-            for t in 0..9u16 {
+        for s in 0..9u32 {
+            for t in 0..9u32 {
                 if s != t {
                     records.push(TraceRecord {
                         cycle: (s as u64) * 40,

@@ -458,7 +458,7 @@ mod tests {
         message: MessageId,
         packet: u64,
         class: TrafficClass,
-        dst: u16,
+        dst: u32,
         len: u32,
     ) -> PacketMeta {
         PacketMeta {
@@ -467,7 +467,7 @@ mod tests {
             class,
             src: NodeId(0),
             dst: NodeId(dst),
-            bitstring: 0,
+            bitstring: quarc_core::bits::Bits::ZERO,
             dir: RingDir::Cw,
             len,
             created_at: 10,

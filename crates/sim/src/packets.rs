@@ -15,6 +15,7 @@
 //! branch planner builds per-quadrant target partitions; multicast messages
 //! exist only in explicit traces, never in the paper's synthetic loads.)
 
+use quarc_core::bits::Bits;
 use quarc_core::flit::{Flit, FlitKind, PacketMeta, PacketRef, PacketTable, TrafficClass};
 use quarc_core::ids::{MessageId, PacketId};
 use quarc_core::quadrant::{broadcast_branch_heads, multicast_branches, quadrant_of};
@@ -146,7 +147,7 @@ pub fn quarc_expand_into(
         class: req.class,
         src: req.src,
         dst: req.src, // overwritten
-        bitstring: 0,
+        bitstring: Bits::ZERO,
         dir: RingDir::Cw,
         len: req.len as u32,
         created_at: now,
@@ -169,7 +170,7 @@ pub fn quarc_expand_into(
             (ring.len() - 1, flits)
         }
         TrafficClass::Multicast => {
-            let branches = multicast_branches(ring, req.src, &req.targets);
+            let branches = multicast_branches(ring, req.src, &req.targets, table.bits_mut());
             let receivers = branches.iter().map(|b| b.deliveries.len()).sum();
             for b in branches {
                 let pref = table.insert(PacketMeta {
@@ -205,7 +206,7 @@ pub fn spidergon_expand_into(
         class: req.class,
         src: req.src,
         dst: req.src,
-        bitstring: 0,
+        bitstring: Bits::ZERO,
         dir: RingDir::Cw,
         len: req.len as u32,
         created_at: now,
@@ -225,7 +226,7 @@ pub fn spidergon_expand_into(
                     packet: ids.packet(),
                     class: seed.class,
                     dst: seed.dst,
-                    bitstring: seed.remaining as u128,
+                    bitstring: Bits::inline(seed.remaining as u64),
                     dir: seed.dir,
                     ..base
                 });
@@ -272,7 +273,7 @@ pub fn grid_expand_into(
         class: req.class,
         src: req.src,
         dst: req.src, // overwritten
-        bitstring: 0,
+        bitstring: Bits::ZERO,
         dir: RingDir::Cw,
         len: req.len as u32,
         created_at: now,
@@ -292,7 +293,7 @@ pub fn grid_expand_into(
             // (the message keeps its own class for the metrics).
             let mut receivers = 0usize;
             for b in branches {
-                receivers += b.receivers();
+                receivers += b.receivers(table.bits());
                 let pref = table.insert(PacketMeta {
                     packet: ids.packet(),
                     class: TrafficClass::Multicast,
@@ -321,7 +322,7 @@ mod tests {
             class: TrafficClass::Unicast,
             src: NodeId(0),
             dst: NodeId(3),
-            bitstring: 0,
+            bitstring: Bits::ZERO,
             dir: RingDir::Cw,
             len,
             created_at: 7,

@@ -43,11 +43,12 @@ use crate::link::{LinkBank, TaggedFlit};
 use crate::metrics::Metrics;
 use crate::packets::{quarc_expand_into, IdAlloc, PacketQueue};
 use crate::probe::{CounterSample, FlitEventKind, Phase, SimProbe};
+use quarc_core::bits::Bits;
 use quarc_core::config::{NocConfig, MAX_VCS};
-use quarc_core::flit::{PacketMeta, PacketTable};
+use quarc_core::flit::{PacketMeta, PacketTable, TrafficClass};
 use quarc_core::ids::{NodeId, VcId};
 use quarc_core::ring::RingDir;
-use quarc_core::routing::{advance_header, quarc_injection_out, quarc_route, RouteAction};
+use quarc_core::routing::{quarc_injection_out, quarc_route, RouteAction};
 use quarc_core::topology::{QuarcIn, QuarcOut, QuarcTopology, TopologyKind};
 use quarc_core::vc::{vc_after_rim_hop, vc_for_cross_hop, INJECTION_VC};
 use quarc_engine::{Clock, Cycle};
@@ -282,7 +283,9 @@ impl QuarcNetwork {
             links: LinkBank::new(n * 4, cfg.link_latency),
             ids: IdAlloc::new(),
             metrics: Metrics::new(),
-            packets: PacketTable::new(),
+            // A Quarc branch bitstring never exceeds quarter-depth + 1 bits;
+            // for n <= 64 every bitstring stays inline (no slab rows).
+            packets: PacketTable::with_bit_capacity(topo.ring().quarter() + 2),
             transfers: Vec::new(),
             poll_buf: Vec::new(),
             link_flits: vec![0; n * 4],
@@ -418,6 +421,12 @@ impl QuarcNetwork {
     /// copy of the meta — exact for every class by construction, and cold:
     /// it runs once per dropped packet.
     fn receivers_beyond(&self, node: usize, src: Src, meta: &PacketMeta) -> usize {
+        // Replay on a meta copy whose bitstring is synthesised inline, one
+        // bit at a time, from a read-only offset (`bit_at`) into the
+        // packet's (possibly slab-backed) bitstring: the live row is shared
+        // with the packet and must not be shifted by this accounting.
+        let bits = meta.bitstring;
+        let mut shift = 0usize;
         let (mut meta, mut out, mut advance) = match src {
             Src::Net { port, .. } => {
                 let action =
@@ -439,8 +448,9 @@ impl QuarcNetwork {
         let mut node = node;
         let mut count = 0usize;
         loop {
-            if advance {
-                advance_header(&mut meta);
+            if advance && meta.class == TrafficClass::Multicast {
+                shift += 1;
+                meta.bitstring = Bits::inline(u64::from(self.packets.bits().bit_at(bits, shift)));
             }
             advance = true;
             let (to, tin) = self.targets[node * 4 + out.index()];
@@ -791,7 +801,7 @@ impl QuarcNetwork {
             // Only headers are routed, so shifting the interned meta in place
             // is equivalent to the old per-flit copy-and-shift.
             if flit.is_header() && matches!(t.req.src, Src::Net { .. }) {
-                advance_header(self.packets.meta_mut(flit.packet));
+                self.packets.advance_header(flit.packet);
             }
             if flit.is_header() && self.probe.trace_on() {
                 let m = self.packets.meta(flit.packet);
@@ -1301,7 +1311,7 @@ mod tests {
 
     #[test]
     fn concurrent_broadcasts_all_complete() {
-        let records = (0..16u16)
+        let records = (0..16u32)
             .map(|s| TraceRecord { cycle: 0, request: MessageRequest::broadcast(NodeId(s), 4) })
             .collect();
         let (mut net, mut wl) = one_shot(16, records);

@@ -28,6 +28,7 @@ use crate::link::{LinkBank, TaggedFlit};
 use crate::metrics::Metrics;
 use crate::packets::{push_packet, spidergon_expand_into, IdAlloc, PacketQueue};
 use crate::probe::{CounterSample, FlitEventKind, Phase, SimProbe};
+use quarc_core::bits::Bits;
 use quarc_core::config::{NocConfig, MAX_VCS};
 use quarc_core::flit::{PacketMeta, PacketRef, PacketTable, TrafficClass};
 use quarc_core::ids::{NodeId, VcId};
@@ -525,7 +526,7 @@ impl SpidergonNetwork {
                             packet: self.ids.packet(),
                             class: seed.class,
                             dst: seed.dst,
-                            bitstring: seed.remaining as u128,
+                            bitstring: Bits::inline(seed.remaining as u64),
                             dir: seed.dir,
                             ..meta
                         });
@@ -864,8 +865,8 @@ impl NocSim for SpidergonNetwork {
 /// `remaining − 1` each, so it covers `1 + 2·remaining`).
 fn chain_receivers(meta: &PacketMeta) -> usize {
     match meta.class {
-        TrafficClass::ChainRim => 1 + meta.bitstring as usize,
-        TrafficClass::ChainCross => 1 + 2 * meta.bitstring as usize,
+        TrafficClass::ChainRim => 1 + meta.bitstring.inline_value() as usize,
+        TrafficClass::ChainCross => 1 + 2 * meta.bitstring.inline_value() as usize,
         _ => 1,
     }
 }

@@ -36,7 +36,6 @@ use crate::probe::{CounterSample, FlitEventKind, Phase, SimProbe};
 use quarc_core::config::{NocConfig, MAX_VCS};
 use quarc_core::flit::{PacketMeta, PacketTable, TrafficClass};
 use quarc_core::ids::{NodeId, VcId};
-use quarc_core::routing::advance_header;
 use quarc_core::topology::{GridBranch, TopologyKind};
 use quarc_core::torus::{TorusOut, TorusTopology};
 use quarc_core::vc::INJECTION_VC;
@@ -194,7 +193,9 @@ impl TorusNetwork {
             links: LinkBank::new(n * 4, cfg.link_latency),
             ids: IdAlloc::new(),
             metrics: Metrics::new(),
-            packets: PacketTable::new(),
+            // Sized so the longest dimension-ordered branch's bitstring fits;
+            // small networks stay inline and the slab never allocates.
+            packets: PacketTable::with_bit_capacity(topo.diameter() + 1),
             transfers: Vec::new(),
             poll_buf: Vec::new(),
             branch_buf: Vec::new(),
@@ -259,7 +260,7 @@ impl TorusNetwork {
                 HopPlan {
                     deliver: from_net
                         && meta.class == TrafficClass::Multicast
-                        && meta.bitstring & 1 == 1,
+                        && meta.bitstring.bit0(),
                     out: out.index(),
                     out_vc,
                     dropped: self.fault.any()
@@ -549,7 +550,7 @@ impl TorusNetwork {
             // Routers shift multicast bitstrings as they forward headers, so
             // bit 0 always answers "does the next node take a copy?".
             if flit.is_header() && matches!(t.req.src, Src::Net { .. }) {
-                advance_header(self.packets.meta_mut(flit.packet));
+                self.packets.advance_header(flit.packet);
             }
             if flit.is_header() && self.probe.trace_on() {
                 let m = self.packets.meta(flit.packet);
@@ -573,26 +574,30 @@ impl TorusNetwork {
     /// transit copies and the branch terminal. Cold path — runs once per
     /// dropped packet.
     fn receivers_beyond(&self, node: usize, src: Src, meta: &PacketMeta) -> usize {
-        let mut m = *meta;
+        // Replay against the packet's bitstring through a read-only offset
+        // (`bit_at`) rather than shifting a meta copy: a slab-backed
+        // bitstring is shared with the live packet and must not be mutated.
+        let bits = meta.bitstring;
         // Fresh local headers are not advanced before their first hop (bit 0
         // of an injected multicast header refers to the node one hop out);
         // net-sourced headers advance at every forward.
         let mut advance = matches!(src, Src::Net { .. });
+        let mut shift = 0usize;
         let mut cur = NodeId::new(node);
         let mut count = 0usize;
         loop {
-            let out = self.topo.route(cur, m.dst);
+            let out = self.topo.route(cur, meta.dst);
             debug_assert!(!matches!(out, TorusOut::Eject), "ejections are never dropped");
             if advance {
-                advance_header(&mut m);
+                shift += 1;
             }
             advance = true;
             cur = self.topo.link_target(cur, out).expect("torus link");
-            if matches!(self.topo.route(cur, m.dst), TorusOut::Eject) {
+            if matches!(self.topo.route(cur, meta.dst), TorusOut::Eject) {
                 // The branch terminal delivers through the ejection port.
                 return count + 1;
             }
-            if m.class == TrafficClass::Multicast && m.bitstring & 1 == 1 {
+            if meta.class == TrafficClass::Multicast && self.packets.bits().bit_at(bits, shift) {
                 count += 1;
             }
         }
@@ -629,12 +634,16 @@ impl TorusNetwork {
             // path-based multicast packet per (column, y direction).
             match req.class {
                 TrafficClass::Unicast => branches.clear(),
-                TrafficClass::Broadcast => {
-                    self.topo.multicast_branches_into(req.src, (0..n).map(NodeId::new), branches)
-                }
+                TrafficClass::Broadcast => self.topo.multicast_branches_into(
+                    req.src,
+                    (0..n).map(NodeId::new),
+                    self.packets.bits_mut(),
+                    branches,
+                ),
                 TrafficClass::Multicast => self.topo.multicast_branches_into(
                     req.src,
                     req.targets.iter().copied(),
+                    self.packets.bits_mut(),
                     branches,
                 ),
                 other => panic!("applications do not inject {other} packets directly"),
@@ -926,8 +935,8 @@ mod tests {
     #[test]
     fn all_pairs_deliver() {
         let mut records = Vec::new();
-        for s in 0..16u16 {
-            for t in 0..16u16 {
+        for s in 0..16u32 {
+            for t in 0..16u32 {
                 if s != t {
                     records.push(TraceRecord {
                         cycle: (s as u64) * 50,

@@ -52,6 +52,7 @@ fn random_records(n: usize, count: usize, seed: u64) -> Vec<TraceRecord> {
 /// Expected flit deliveries for a record set (the conservation oracle).
 fn expected_flits(n: usize, records: &[TraceRecord]) -> usize {
     let ring = Ring::new(n);
+    let mut slab = quarc_core::bits::BitSlab::new(ring.quarter() + 1);
     records
         .iter()
         .map(|r| {
@@ -62,6 +63,7 @@ fn expected_flits(n: usize, records: &[TraceRecord]) -> usize {
                     &ring,
                     r.request.src,
                     &r.request.targets,
+                    &mut slab,
                 )
                 .iter()
                 .map(|b| b.deliveries.len())
@@ -78,9 +80,10 @@ fn expected_flits(n: usize, records: &[TraceRecord]) -> usize {
 fn expected_grid_flits(
     n: usize,
     records: &[TraceRecord],
-    plan: impl Fn(NodeId, &[NodeId], &mut Vec<GridBranch>),
+    plan: impl Fn(NodeId, &[NodeId], &mut quarc_core::bits::BitSlab, &mut Vec<GridBranch>),
 ) -> usize {
     let mut branches = Vec::new();
+    let mut slab = quarc_core::bits::BitSlab::new(n);
     let all: Vec<NodeId> = (0..n).map(NodeId::new).collect();
     records
         .iter()
@@ -88,12 +91,12 @@ fn expected_grid_flits(
             let receivers = match r.request.class {
                 TrafficClass::Unicast => 1,
                 TrafficClass::Broadcast => {
-                    plan(r.request.src, &all, &mut branches);
-                    branches.iter().map(GridBranch::receivers).sum()
+                    plan(r.request.src, &all, &mut slab, &mut branches);
+                    branches.iter().map(|b| b.receivers(&slab)).sum()
                 }
                 TrafficClass::Multicast => {
-                    plan(r.request.src, &r.request.targets, &mut branches);
-                    branches.iter().map(GridBranch::receivers).sum()
+                    plan(r.request.src, &r.request.targets, &mut slab, &mut branches);
+                    branches.iter().map(|b| b.receivers(&slab)).sum()
                 }
                 _ => unreachable!(),
             };
@@ -192,7 +195,7 @@ proptest! {
         let records = random_records(n, count, seed);
         let topo = MeshTopology::square(n);
         let want_flits =
-            expected_grid_flits(n, &records, |s, t, out| topo.multicast_branches_into(s, t.iter().copied(), out)) as u64;
+            expected_grid_flits(n, &records, |s, t, slab, out| topo.multicast_branches_into(s, t.iter().copied(), slab, out)) as u64;
         let want_msgs = records.len() as u64;
         let mut net = MeshNetwork::new(NocConfig::mesh(n));
         let (flits, msgs) = run_to_quiescence(&mut net, records);
@@ -212,7 +215,7 @@ proptest! {
         let records = random_records(n, count, seed);
         let topo = TorusTopology::square(n);
         let want_flits =
-            expected_grid_flits(n, &records, |s, t, out| topo.multicast_branches_into(s, t.iter().copied(), out)) as u64;
+            expected_grid_flits(n, &records, |s, t, slab, out| topo.multicast_branches_into(s, t.iter().copied(), slab, out)) as u64;
         let want_msgs = records.len() as u64;
         let mut net = TorusNetwork::new(NocConfig::torus(n).with_buffer_depth(1));
         let (flits, msgs) = run_to_quiescence(&mut net, records);

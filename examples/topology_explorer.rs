@@ -30,7 +30,7 @@ fn main() {
 
     println!("\n== quadrants from node 0 (n = 16) ==");
     let ring = Ring::new(16);
-    for d in 1..16u16 {
+    for d in 1..16u32 {
         let q = quadrant_of(&ring, NodeId(0), NodeId(d));
         print!("{d}:{q}  ");
         if d % 4 == 0 {

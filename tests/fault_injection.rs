@@ -45,7 +45,7 @@ fn stall_during_broadcast_storm_is_lossless() {
     let mut net = QuarcNetwork::new(NocConfig::quarc(n).with_buffer_depth(2));
     // Stall one cross link exactly while broadcasts are in flight.
     net.inject_link_stall(NodeId(3), QuarcOut::CrossRight, 2, 400);
-    let records: Vec<quarc::workloads::TraceRecord> = (0..n as u16)
+    let records: Vec<quarc::workloads::TraceRecord> = (0..n as u32)
         .map(|s| quarc::workloads::TraceRecord {
             cycle: 0,
             request: quarc::workloads::MessageRequest::broadcast(NodeId(s), 8),
@@ -137,7 +137,7 @@ fn per_link_counters_are_conserved() {
         }
     }
     let mut total = 0u64;
-    for node in 0..n as u16 {
+    for node in 0..n as u32 {
         for o in [QuarcOut::RimCw, QuarcOut::RimCcw, QuarcOut::CrossRight, QuarcOut::CrossLeft] {
             total += net.link_flits(NodeId(node), o);
         }

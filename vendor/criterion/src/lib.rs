@@ -3,9 +3,9 @@
 //! The build container has no crates.io access, so this shim keeps the
 //! repository's Criterion benches compiling and runnable offline. It performs
 //! a short warm-up, times a fixed number of iterations with
-//! [`std::time::Instant`], and prints a mean time per iteration — no
-//! statistics, outlier analysis or HTML reports. Swap the real crate back in
-//! when a registry is available.
+//! [`std::time::Instant`], and prints min/median/mean time per iteration —
+//! no outlier analysis or HTML reports. Swap the real crate back in when a
+//! registry is available.
 
 use std::time::Instant;
 
@@ -38,13 +38,36 @@ pub enum BatchSize {
 /// The per-benchmark timing driver handed to `bench_function` closures.
 pub struct Bencher {
     iters: u32,
-    /// Mean nanoseconds per iteration of the last `iter*` call.
-    last_ns: f64,
+    /// Per-iteration nanosecond samples from the last `iter*` call.
+    samples_ns: Vec<f64>,
+}
+
+/// Summary statistics over one `iter*` call's per-iteration samples.
+struct Stats {
+    min: f64,
+    median: f64,
+    mean: f64,
 }
 
 impl Bencher {
     fn new(iters: u32) -> Self {
-        Bencher { iters, last_ns: f64::NAN }
+        Bencher { iters, samples_ns: Vec::new() }
+    }
+
+    fn stats(&self) -> Stats {
+        if self.samples_ns.is_empty() {
+            return Stats { min: f64::NAN, median: f64::NAN, mean: f64::NAN };
+        }
+        let mut sorted = self.samples_ns.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let mid = sorted.len() / 2;
+        let median = if sorted.len().is_multiple_of(2) {
+            (sorted[mid - 1] + sorted[mid]) / 2.0
+        } else {
+            sorted[mid]
+        };
+        let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+        Stats { min: sorted[0], median, mean }
     }
 
     /// Time `routine` over the shim's fixed iteration count.
@@ -52,11 +75,12 @@ impl Bencher {
         for _ in 0..WARMUP_ITERS {
             black_box(routine());
         }
-        let start = Instant::now();
+        self.samples_ns.clear();
         for _ in 0..self.iters {
+            let start = Instant::now();
             black_box(routine());
+            self.samples_ns.push(start.elapsed().as_nanos() as f64);
         }
-        self.last_ns = start.elapsed().as_nanos() as f64 / self.iters as f64;
     }
 
     /// Time `routine` with a fresh `setup()` input per iteration; only the
@@ -66,17 +90,16 @@ impl Bencher {
         S: FnMut() -> I,
         R: FnMut(I) -> O,
     {
-        let mut total_ns = 0u128;
         for _ in 0..WARMUP_ITERS {
             black_box(routine(setup()));
         }
+        self.samples_ns.clear();
         for _ in 0..self.iters {
             let input = setup();
             let start = Instant::now();
             black_box(routine(input));
-            total_ns += start.elapsed().as_nanos();
+            self.samples_ns.push(start.elapsed().as_nanos() as f64);
         }
-        self.last_ns = total_ns as f64 / self.iters as f64;
     }
 }
 
@@ -85,17 +108,22 @@ fn report(group: Option<&str>, name: &str, b: &Bencher, throughput: Option<Throu
         Some(g) => format!("{g}/{name}"),
         None => name.to_string(),
     };
-    let per_iter = b.last_ns;
+    let stats = b.stats();
+    // Throughput is derived from the median: the least noise-sensitive of
+    // the three on a shared machine.
     let extra = match throughput {
-        Some(Throughput::Elements(k)) if per_iter > 0.0 => {
-            format!("  ({:.0} elem/s)", k as f64 / (per_iter / 1e9))
+        Some(Throughput::Elements(k)) if stats.median > 0.0 => {
+            format!("  ({:.0} elem/s)", k as f64 / (stats.median / 1e9))
         }
-        Some(Throughput::Bytes(k)) if per_iter > 0.0 => {
-            format!("  ({:.0} B/s)", k as f64 / (per_iter / 1e9))
+        Some(Throughput::Bytes(k)) if stats.median > 0.0 => {
+            format!("  ({:.0} B/s)", k as f64 / (stats.median / 1e9))
         }
         _ => String::new(),
     };
-    println!("bench {label:<48} {:>14.0} ns/iter{extra}", per_iter);
+    println!(
+        "bench {label:<48} min {:>12.0}  med {:>12.0}  mean {:>12.0} ns/iter{extra}",
+        stats.min, stats.median, stats.mean
+    );
 }
 
 /// A named set of related benchmarks.
