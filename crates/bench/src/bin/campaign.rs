@@ -21,7 +21,7 @@ use quarc_campaign::{
     run_campaign, CampaignOptions, CampaignSpec, CiTarget, Converged, Convergence,
     PointOutcomeKind, RateAxis,
 };
-use quarc_core::config::{ArbPolicy, FaultPlan};
+use quarc_core::config::{ArbPolicy, FaultPlan, RecoveryPolicy};
 use quarc_core::topology::TopologyKind;
 use quarc_sim::RunSpec;
 use std::path::PathBuf;
@@ -71,6 +71,13 @@ AXIS FLAGS (build a custom grid; ignored when --preset is given):
                                   seed=S onset=C dead=N frozen=N
                                   lossy=N p64k=P (drop prob in 1/65536)
                                   transient=N window=C
+    --recovery SPEC           recovery-policy axis entry (repeatable; any
+                              --recovery replaces the default best-effort
+                              policy, so include `none` for an off baseline):
+                                none                        best-effort delivery
+                                k=v,k=v,...                 with keys:
+                                  timeout=C (ack timeout, cycles; required)
+                                  retries=N jitter=C seed=S
     --seed S                  master seed                   [default: 2009]
     --warmup C / --measure C / --drain C
                               run protocol                  [default: 2000/20000/30000]
@@ -209,6 +216,32 @@ fn parse_fault(value: &str) -> FaultPlan {
     plan
 }
 
+fn parse_recovery(value: &str) -> RecoveryPolicy {
+    if value == "none" {
+        return RecoveryPolicy::NONE;
+    }
+    let mut policy = RecoveryPolicy::NONE;
+    for pair in value.split(',').filter(|s| !s.is_empty()) {
+        let Some((key, v)) = pair.split_once('=') else {
+            usage_error(&format!("bad --recovery entry {pair:?} (want key=value)"));
+        };
+        fn num<T: std::str::FromStr>(pair: &str, v: &str) -> T {
+            v.parse().unwrap_or_else(|_| usage_error(&format!("bad --recovery value in {pair:?}")))
+        }
+        match key.trim() {
+            "seed" => policy.seed = num(pair, v),
+            "timeout" => policy.ack_timeout = num(pair, v),
+            "retries" => policy.max_retries = num(pair, v),
+            "jitter" => policy.jitter = num(pair, v),
+            other => usage_error(&format!("unknown --recovery key {other:?}")),
+        }
+    }
+    if let Err(e) = policy.validate() {
+        usage_error(&format!("bad --recovery spec {value:?}: {e}"));
+    }
+    policy
+}
+
 struct Cli {
     specs: Vec<CampaignSpec>,
     opts: CampaignOptions,
@@ -231,6 +264,7 @@ fn parse_cli() -> Cli {
     let mut converge_target: Option<CiTarget> = None;
     let mut max_reps: Option<u32> = None;
     let mut fault_axis: Vec<FaultPlan> = Vec::new();
+    let mut recovery_axis: Vec<RecoveryPolicy> = Vec::new();
 
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -299,6 +333,10 @@ fn parse_cli() -> Cli {
                 fault_axis.push(parse_fault(&value));
                 custom_touched = true;
             }
+            "--recovery" => {
+                recovery_axis.push(parse_recovery(&value));
+                custom_touched = true;
+            }
             "--replications" => {
                 custom.replications =
                     value.parse().unwrap_or_else(|_| usage_error("bad --replications"));
@@ -350,6 +388,9 @@ fn parse_cli() -> Cli {
 
     if !fault_axis.is_empty() {
         custom.faults = fault_axis;
+    }
+    if !recovery_axis.is_empty() {
+        custom.recoveries = recovery_axis;
     }
 
     match (converge_target, max_reps) {
@@ -511,6 +552,20 @@ fn main() {
                     "#   delivered fraction: worst {df:.4} ({undeliverable} undeliverable) at {label}"
                 );
             }
+        }
+        // Recovery summary: how hard the ack/retransmit layer worked.
+        if spec.recoveries.iter().any(|r| r.enabled()) {
+            let (mut retransmissions, mut recovered) = (0u64, 0u64);
+            for r in &report.results {
+                if let PointOutcomeKind::Rate { merged, .. } = &r.outcome {
+                    retransmissions += merged.retransmissions;
+                    recovered += merged.recovered_receivers;
+                }
+            }
+            println!(
+                "#   recovery: {retransmissions} retransmission(s), \
+                 {recovered} receiver(s) served by a retry"
+            );
         }
         // Convergence summary: how many points proved their CIs tight.
         if spec.convergence.is_some() {

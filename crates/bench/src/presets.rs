@@ -6,7 +6,7 @@
 //! arbitrary but fixed so every invocation reproduces the same numbers.
 
 use quarc_campaign::{CampaignSpec, CiTarget, Convergence, RateAxis};
-use quarc_core::config::{ArbPolicy, FaultPlan};
+use quarc_core::config::{ArbPolicy, FaultPlan, RecoveryPolicy};
 use quarc_core::topology::TopologyKind;
 
 /// The topology axis of the figure presets: the paper's two ring networks
@@ -156,12 +156,15 @@ pub fn frontier() -> CampaignSpec {
     spec
 }
 
-/// Robustness grid: fault rate × topology. Every family runs healthy, with
-/// one then two permanent link failures, and with lossy links dropping
-/// ~1.5% of packets — all below the healthy knee so any delivered-fraction
-/// loss is attributable to the faults, not congestion. Frozen-router plans
-/// are deliberately absent: they wedge the network by design and belong in
-/// the fail-soft tests, not a preset meant to produce curves.
+/// Robustness grid: fault rate × recovery × topology. Every family runs
+/// healthy, with one then two permanent link failures, and with lossy links
+/// dropping ~1.5% of packets — all below the healthy knee so any
+/// delivered-fraction loss is attributable to the faults, not congestion —
+/// each crossed with recovery off and on, so every curve has its reliable
+/// twin (the off/on delta is the price of reliability; the on-plan
+/// delivered fraction is its payoff). Frozen-router plans are deliberately
+/// absent: they wedge the network by design and belong in the fail-soft
+/// tests, not a preset meant to produce curves.
 pub fn robustness() -> CampaignSpec {
     let mut spec = CampaignSpec::new("robustness");
     spec.topologies = figure_topologies();
@@ -174,6 +177,10 @@ pub fn robustness() -> CampaignSpec {
         FaultPlan { seed: 7, onset: 500, dead_links: 1, ..FaultPlan::NONE },
         FaultPlan { seed: 7, onset: 500, dead_links: 2, ..FaultPlan::NONE },
         FaultPlan { seed: 7, onset: 500, lossy_links: 2, drop_per_64k: 1000, ..FaultPlan::NONE },
+    ];
+    spec.recoveries = vec![
+        RecoveryPolicy::NONE,
+        RecoveryPolicy { seed: 13, ack_timeout: 600, max_retries: 8, jitter: 64 },
     ];
     spec.replications = 2;
     spec.base_seed = 51;
@@ -271,14 +278,20 @@ mod tests {
     fn robustness_preset_sweeps_fault_rate_by_topology() {
         let spec = robustness();
         let exp = spec.expand().unwrap();
-        // 4 topologies × 4 fault plans × 2 rates, nothing skipped.
-        assert_eq!(exp.points.len(), 4 * 4 * 2);
+        // 4 topologies × 4 fault plans × 2 recovery policies × 2 rates,
+        // nothing skipped.
+        assert_eq!(exp.points.len(), 4 * 4 * 2 * 2);
         assert!(exp.skipped.is_empty());
         // Healthy and faulted points coexist, and labels tell them apart.
         let faulted = exp.points.iter().filter(|p| !p.curve.fault.is_empty()).count();
-        assert_eq!(faulted, 4 * 3 * 2);
+        assert_eq!(faulted, 4 * 3 * 2 * 2);
         assert!(exp.points.iter().any(|p| !p.curve.to_string().contains("-F")));
         assert!(exp.points.iter().any(|p| p.curve.to_string().contains("-Fs7o500d1")));
+        // Every curve has its reliable twin: the recovery axis splits the
+        // grid exactly in half, and labels tell the halves apart.
+        let recovered = exp.points.iter().filter(|p| p.curve.recovery.enabled()).count();
+        assert_eq!(recovered * 2, exp.points.len());
+        assert!(exp.points.iter().any(|p| p.curve.to_string().contains("-Rt600r8j64s13")));
         // The watchdog is armed: a preset full of fault plans must never
         // hang a campaign silently.
         assert!(spec.run.stall_window > 0);

@@ -56,6 +56,10 @@ fn spec_json(spec: &CampaignSpec) -> Json {
         ("link_latencies", Json::Arr(spec.link_latencies.iter().map(|&l| Json::UInt(l)).collect())),
         ("arbs", Json::Arr(spec.arbs.iter().map(|a| Json::Str(a.to_string())).collect())),
         ("faults", Json::Arr(spec.faults.iter().map(|f| Json::Str(f.to_string())).collect())),
+        (
+            "recoveries",
+            Json::Arr(spec.recoveries.iter().map(|r| Json::Str(r.to_string())).collect()),
+        ),
         ("rates", rate_axis_json(&spec.rates)),
         ("replications", Json::UInt(spec.replications as u64)),
         (

@@ -64,7 +64,7 @@ pub use executor::{
 pub use json::Json;
 pub use replicate::{
     decide, extend_series, extend_series_checked, merge_series, replication_seed, run_replicated,
-    Converged, Decision, MeanCi, MergedRun, RepOutcome, RepStall,
+    Converged, Decision, MeanCi, MergedRun, RepInterrupt, RepOutcome, RepStall,
 };
 pub use result::{PointOutcomeKind, PointResult};
 pub use runner::{

@@ -24,7 +24,8 @@ use crate::json::Json;
 use crate::spec::{CiTarget, ReplicationPolicy};
 use quarc_engine::stats::{LatencyHistogram, OnlineStats};
 use quarc_engine::DetRng;
-use quarc_sim::{run_point, run_point_outcome, PointRunOutcome, PointSpec, RunSpec};
+use quarc_sim::{run_point, run_point_outcome_deadline, PointRunOutcome, PointSpec, RunSpec};
+use std::time::Instant;
 
 /// Two-sided 95% Student-t quantiles for ν = n − 1 degrees of freedom
 /// (ν > 30 uses the normal 1.96).
@@ -180,6 +181,10 @@ pub struct RepOutcome {
     pub delivered_fraction: f64,
     /// Messages retired with at least one receiver lost to a fault.
     pub undeliverable: u64,
+    /// Recovery-layer retransmissions issued (0 with recovery disabled).
+    pub retransmissions: u64,
+    /// Receivers first served by a retransmitted copy.
+    pub recovered_receivers: u64,
 }
 
 fn hist_json(h: &LatencyHistogram) -> Json {
@@ -226,14 +231,16 @@ impl RepOutcome {
             ("saturated", Json::Bool(self.saturated)),
             ("delivered_fraction", Json::Num(self.delivered_fraction)),
             ("undeliverable", Json::UInt(self.undeliverable)),
+            ("retransmissions", Json::UInt(self.retransmissions)),
+            ("recovered_receivers", Json::UInt(self.recovered_receivers)),
             ("unicast_hist", hist_json(&self.unicast_hist)),
             ("bcast_hist", hist_json(&self.bcast_hist)),
         ])
     }
 
-    /// Parse the JSON form. Strict about the fault-accounting fields: the
-    /// `v4` merge-key bump retired every pre-fault cache entry, so a series
-    /// missing them is corrupt, not legacy.
+    /// Parse the JSON form. Strict about the fault- and recovery-accounting
+    /// fields: the `v4`/`v5` merge-key bumps retired every earlier cache
+    /// entry, so a series missing them is corrupt, not legacy.
     pub fn from_json(v: &Json) -> Option<RepOutcome> {
         Some(RepOutcome {
             unicast_mean: v.get("unicast_mean")?.as_f64()?,
@@ -244,6 +251,8 @@ impl RepOutcome {
             saturated: v.get("saturated")?.as_bool()?,
             delivered_fraction: v.get("delivered_fraction")?.as_f64()?,
             undeliverable: v.get("undeliverable")?.as_u64()?,
+            retransmissions: v.get("retransmissions")?.as_u64()?,
+            recovered_receivers: v.get("recovered_receivers")?.as_u64()?,
             unicast_hist: hist_from_json(v.get("unicast_hist")?)?,
             bcast_hist: hist_from_json(v.get("bcast_hist")?)?,
         })
@@ -281,6 +290,12 @@ pub struct MergedRun {
     pub delivered_fraction: MeanCi,
     /// Messages retired undeliverable, summed over replications.
     pub undeliverable: u64,
+    /// Recovery-layer retransmissions, summed over replications (0 with
+    /// recovery disabled).
+    pub retransmissions: u64,
+    /// Receivers first served by a retransmitted copy, summed over
+    /// replications.
+    pub recovered_receivers: u64,
     /// Whether the replication protocol's CI target was met: the policy's
     /// half-width target for convergent campaigns (achieved half-widths are
     /// the `ci95` fields), vacuously met for fixed-replication ones — or
@@ -306,6 +321,8 @@ impl MergedRun {
             ("saturated", Json::Bool(self.saturated)),
             ("delivered_fraction", self.delivered_fraction.to_json()),
             ("undeliverable", Json::UInt(self.undeliverable)),
+            ("retransmissions", Json::UInt(self.retransmissions)),
+            ("recovered_receivers", Json::UInt(self.recovered_receivers)),
             ("converged", self.converged.to_json()),
         ])
     }
@@ -332,6 +349,8 @@ impl MergedRun {
             saturated: v.get("saturated")?.as_bool()?,
             delivered_fraction: MeanCi::from_json(v.get("delivered_fraction")?)?,
             undeliverable: v.get("undeliverable")?.as_u64()?,
+            retransmissions: v.get("retransmissions")?.as_u64()?,
+            recovered_receivers: v.get("recovered_receivers")?.as_u64()?,
             converged: Converged::from_json(v.get("converged")?)?,
         })
     }
@@ -358,6 +377,26 @@ pub struct RepStall {
     pub diagnostics: String,
 }
 
+/// Why a checked series extension stopped before reaching its target length.
+///
+/// Either way, the interrupted replication contributes nothing to the
+/// series — only the replications completed before the cut are valid
+/// outcomes — and the point is quarantined rather than cached.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RepInterrupt {
+    /// The stall watchdog fired: the network wedged under this replication.
+    Stall(RepStall),
+    /// The cooperative wall-clock deadline expired mid-replication (the
+    /// campaign's `--point-timeout` budget reaching inside a run instead of
+    /// waiting for the batch boundary).
+    Deadline {
+        /// Replication index that was cut off.
+        rep: u32,
+        /// Simulation cycle at which the deadline was noticed.
+        cycle: u64,
+    },
+}
+
 fn rep_outcome(outcome: quarc_sim::PointOutcome) -> RepOutcome {
     let r = &outcome.result;
     RepOutcome {
@@ -369,6 +408,8 @@ fn rep_outcome(outcome: quarc_sim::PointOutcome) -> RepOutcome {
         saturated: r.saturated,
         delivered_fraction: r.delivered_fraction,
         undeliverable: r.undeliverable,
+        retransmissions: r.retransmissions,
+        recovered_receivers: r.recovered_receivers,
         unicast_hist: outcome.unicast_hist,
         bcast_hist: outcome.bcast_completion_hist,
     }
@@ -400,13 +441,18 @@ pub fn extend_series(
     }
 }
 
-/// [`extend_series`], but a stalled replication stops the extension and
-/// reports where it wedged instead of masquerading as a saturated sample.
+/// [`extend_series`], but a stalled or over-deadline replication stops the
+/// extension and reports why instead of masquerading as a saturated sample.
 ///
-/// The series keeps every replication completed *before* the stall — those
-/// are valid outcomes, safe to persist and to resume from. The stalled
-/// replication itself contributes nothing: its partial numbers describe a
-/// wedged network, not the configured workload.
+/// The series keeps every replication completed *before* the interrupt —
+/// those are valid outcomes, safe to persist and to resume from. The
+/// interrupted replication itself contributes nothing: its partial numbers
+/// describe a wedged (or cut-off) network, not the configured workload.
+///
+/// `deadline` is the campaign's remaining per-point wall-clock budget as an
+/// absolute instant; `None` runs unbounded. It is checked cooperatively at
+/// the stall watchdog's cadence inside each replication, so one over-budget
+/// replication yields mid-run instead of pinning a worker to completion.
 pub fn extend_series_checked(
     series: &mut Vec<RepOutcome>,
     template: &PointSpec,
@@ -414,16 +460,24 @@ pub fn extend_series_checked(
     base_seed: u64,
     point_stream: u64,
     upto: u32,
-) -> Result<(), RepStall> {
+    deadline: Option<Instant>,
+) -> Result<(), RepInterrupt> {
     for rep in series.len() as u32..upto {
         let mut point = *template;
         point.seed = replication_seed(base_seed, point_stream, rep);
-        let outcome =
-            run_point_outcome(&point, run_spec).expect("expansion validated this configuration");
+        let outcome = run_point_outcome_deadline(&point, run_spec, deadline)
+            .expect("expansion validated this configuration");
         match outcome {
             PointRunOutcome::Finished(outcome) => series.push(rep_outcome(outcome)),
             PointRunOutcome::Stalled { cycle, diagnostics, .. } => {
-                return Err(RepStall { rep, cycle, diagnostics: diagnostics.to_string() });
+                return Err(RepInterrupt::Stall(RepStall {
+                    rep,
+                    cycle,
+                    diagnostics: diagnostics.to_string(),
+                }));
+            }
+            PointRunOutcome::DeadlineExceeded { cycle, .. } => {
+                return Err(RepInterrupt::Deadline { rep, cycle });
             }
         }
     }
@@ -546,6 +600,8 @@ pub fn merge_series(reps: &[RepOutcome], n: u32, converged: Converged) -> Merged
     let mut bcast_samples = 0;
     let mut saturated_reps = 0;
     let mut undeliverable = 0;
+    let mut retransmissions = 0;
+    let mut recovered_receivers = 0;
     for rep in &reps[..n as usize] {
         unicast.push(rep.unicast_mean);
         reception.push(rep.bcast_reception_mean);
@@ -557,6 +613,8 @@ pub fn merge_series(reps: &[RepOutcome], n: u32, converged: Converged) -> Merged
         bcast_samples += rep.bcast_samples;
         saturated_reps += u32::from(rep.saturated);
         undeliverable += rep.undeliverable;
+        retransmissions += rep.retransmissions;
+        recovered_receivers += rep.recovered_receivers;
     }
     MergedRun {
         reps: n,
@@ -572,6 +630,8 @@ pub fn merge_series(reps: &[RepOutcome], n: u32, converged: Converged) -> Merged
         saturated: saturated_reps * 2 > n,
         delivered_fraction: MeanCi::from_stats(&delivered),
         undeliverable,
+        retransmissions,
+        recovered_receivers,
         converged,
     }
 }
@@ -629,12 +689,15 @@ mod tests {
         // Fault-free replications deliver everything, with zero spread.
         assert_eq!(merged.delivered_fraction, MeanCi { mean: 1.0, ci95: 0.0, n: 3 });
         assert_eq!(merged.undeliverable, 0);
+        // And with recovery off, no retransmission machinery ever engages.
+        assert_eq!(merged.retransmissions, 0);
+        assert_eq!(merged.recovered_receivers, 0);
     }
 
     #[test]
     fn checked_extension_matches_unchecked_on_healthy_runs() {
         let mut checked = Vec::new();
-        extend_series_checked(&mut checked, &template(), &quick(), 7, 11, 3).unwrap();
+        extend_series_checked(&mut checked, &template(), &quick(), 7, 11, 3, None).unwrap();
         let mut plain = Vec::new();
         extend_series(&mut plain, &template(), &quick(), 7, 11, 3);
         assert_eq!(checked, plain);
@@ -712,6 +775,8 @@ mod tests {
             saturated: false,
             delivered_fraction: 1.0,
             undeliverable: 0,
+            retransmissions: 0,
+            recovered_receivers: 0,
         }
     }
 

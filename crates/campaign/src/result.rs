@@ -169,6 +169,8 @@ impl PointResult {
             ("buffer_depth", Json::UInt(c.buffer_depth as u64)),
             ("link_latency", Json::UInt(c.link_latency)),
             ("arb", Json::Str(c.arb.to_string())),
+            ("fault", Json::Str(c.fault.to_string())),
+            ("recovery", Json::Str(c.recovery.to_string())),
             ("content_hash", Json::Str(format!("{:016x}", self.content_hash))),
             ("outcome", self.outcome.to_json()),
         ])
@@ -184,7 +186,7 @@ impl PointResult {
         );
         match &self.outcome {
             PointOutcomeKind::Rate { rate, merged } => format!(
-                "{prefix},rate,{rate},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+                "{prefix},rate,{rate},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
                 merged.reps,
                 merged.unicast_mean.mean,
                 merged.unicast_mean.ci95,
@@ -198,11 +200,13 @@ impl PointResult {
                 merged.throughput.mean,
                 merged.delivered_fraction.mean,
                 merged.undeliverable,
+                merged.retransmissions,
+                merged.recovered_receivers,
                 merged.saturated,
                 merged.converged,
             ),
             PointOutcomeKind::Saturation(s) => format!(
-                "{prefix},saturation,{},-,-,-,-,-,-,-,-,-,-,-,-,{},{},-\n",
+                "{prefix},saturation,{},-,-,-,-,-,-,-,-,-,-,-,-,-,-,{},{},-\n",
                 s.sustained,
                 s.probes.len(),
                 s.collapsed.map_or_else(|| "-".into(), |v| v.to_string()),
@@ -210,10 +214,10 @@ impl PointResult {
             PointOutcomeKind::Stalled { rate, rep, cycle, .. } => format!(
                 // The rep/cycle coordinates land in the reps/saturated
                 // columns; the full diagnostics live in the JSON artifact.
-                "{prefix},stalled,{rate},{rep},-,-,-,-,-,-,-,-,-,-,-,-,cycle={cycle},-\n",
+                "{prefix},stalled,{rate},{rep},-,-,-,-,-,-,-,-,-,-,-,-,-,-,cycle={cycle},-\n",
             ),
             PointOutcomeKind::Failed { .. } => {
-                let blanks = ["-"; 16].join(",");
+                let blanks = ["-"; 18].join(",");
                 format!("{prefix},failed,{blanks}\n")
             }
         }
@@ -224,7 +228,8 @@ impl PointResult {
         "id,topology,n,msg_len,beta,buffer_depth,link_latency,arb,kind,rate,reps,\
          unicast_mean,unicast_ci95,unicast_p95,unicast_samples,bcast_reception_mean,\
          bcast_completion_mean,bcast_completion_ci95,bcast_completion_p95,bcast_samples,\
-         throughput,delivered_fraction,undeliverable,saturated,converged"
+         throughput,delivered_fraction,undeliverable,retransmissions,recovered_receivers,\
+         saturated,converged"
     }
 
     /// The display label for a point.
@@ -256,6 +261,8 @@ mod tests {
             saturated: false,
             delivered_fraction: MeanCi { mean: 0.97, ci95: 0.01, n: 2 },
             undeliverable: 12,
+            retransmissions: 9,
+            recovered_receivers: 5,
             converged: Converged::Yes,
         }
     }

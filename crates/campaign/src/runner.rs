@@ -6,7 +6,8 @@ use crate::cache::ResultCache;
 use crate::executor::{default_workers, run_work_stealing_tasks_with_stats, Step, WorkerStats};
 use crate::json::Json;
 use crate::replicate::{
-    decide, extend_series_checked, merge_series, replication_seed, Converged, Decision, RepOutcome,
+    decide, extend_series_checked, merge_series, replication_seed, Converged, Decision,
+    RepInterrupt, RepOutcome,
 };
 use crate::result::{PointOutcomeKind, PointResult};
 use crate::saturation::find_saturation;
@@ -43,10 +44,12 @@ pub struct CampaignOptions {
     /// through the pool (`0` = [`DEFAULT_BATCH_REPS`]). An execution knob:
     /// the canonical stopping rule makes reported numbers independent of it.
     pub batch_reps: u32,
-    /// Per-point wall-clock budget, checked at batch boundaries: a point
-    /// that has already burned this much simulation time without finishing
-    /// is quarantined as [`PointOutcomeKind::Failed`] instead of pinning a
-    /// worker. `None` = unbounded. Never caches and never alters a
+    /// Per-point wall-clock budget: a point that has already burned this
+    /// much simulation time without finishing is quarantined as
+    /// [`PointOutcomeKind::Failed`] instead of pinning a worker. Checked at
+    /// batch boundaries *and* cooperatively inside each replication (at the
+    /// stall watchdog's cadence), so a single runaway replication yields
+    /// mid-run. `None` = unbounded. Never caches and never alters a
     /// completed point's numbers — a budget generous enough for every point
     /// to finish reproduces the unbudgeted campaign byte for byte.
     pub point_timeout: Option<Duration>,
@@ -506,13 +509,20 @@ impl PointTask {
                             rate,
                         };
                         let before = self.series.len();
-                        let stalled = extend_series_checked(
+                        // The remaining wall-clock budget, as an absolute
+                        // deadline the replication loop checks cooperatively
+                        // (step() already quarantined the point if the
+                        // budget was spent before this batch).
+                        let deadline =
+                            ctx.point_timeout.map(|budget| t0 + budget.saturating_sub(self.busy));
+                        let interrupted = extend_series_checked(
                             &mut self.series,
                             &template,
                             &ctx.spec.run,
                             ctx.spec.base_seed,
                             merge_hash,
                             upto,
+                            deadline,
                         );
                         self.simulated_reps += self.series.len() - before;
                         // Persist after every batch: an interrupted campaign
@@ -531,20 +541,43 @@ impl PointTask {
                                 }
                             }
                         }
-                        if let Err(stall) = stalled {
-                            return Step::Done(PointDone {
-                                outcome: PointOutcomeKind::Stalled {
-                                    rate,
-                                    rep: stall.rep,
-                                    cycle: stall.cycle,
-                                    diagnostics: stall.diagnostics,
-                                },
-                                simulated_reps: self.simulated_reps,
-                                reps_cached_used: 0,
-                                from_cache: false,
-                                wall: self.busy + t0.elapsed(),
-                                timed_out: false,
-                            });
+                        match interrupted {
+                            Ok(()) => {}
+                            Err(RepInterrupt::Stall(stall)) => {
+                                return Step::Done(PointDone {
+                                    outcome: PointOutcomeKind::Stalled {
+                                        rate,
+                                        rep: stall.rep,
+                                        cycle: stall.cycle,
+                                        diagnostics: stall.diagnostics,
+                                    },
+                                    simulated_reps: self.simulated_reps,
+                                    reps_cached_used: 0,
+                                    from_cache: false,
+                                    wall: self.busy + t0.elapsed(),
+                                    timed_out: false,
+                                });
+                            }
+                            Err(RepInterrupt::Deadline { rep, cycle }) => {
+                                let budget = ctx
+                                    .point_timeout
+                                    .expect("deadline interrupts only occur with a budget");
+                                return Step::Done(PointDone {
+                                    outcome: PointOutcomeKind::Failed {
+                                        reason: format!(
+                                            "wall-clock budget exhausted mid-replication: \
+                                             rep {rep} cut off at cycle {cycle} \
+                                             ({:.1}s allowed)",
+                                            budget.as_secs_f64(),
+                                        ),
+                                    },
+                                    simulated_reps: self.simulated_reps,
+                                    reps_cached_used: 0,
+                                    from_cache: false,
+                                    wall: self.busy + t0.elapsed(),
+                                    timed_out: true,
+                                });
+                            }
                         }
                         self.busy += t0.elapsed();
                         Step::Yield(self)

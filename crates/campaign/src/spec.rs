@@ -15,7 +15,7 @@
 //! order.
 
 use crate::hash::fnv1a64;
-use quarc_core::config::{ArbPolicy, FaultPlan, NocConfig};
+use quarc_core::config::{ArbPolicy, FaultPlan, NocConfig, RecoveryPolicy};
 use quarc_core::topology::TopologyKind;
 use quarc_sim::RunSpec;
 use std::fmt;
@@ -159,6 +159,11 @@ pub struct CampaignSpec {
     /// exactly like healthy ones; the plan is part of every point's
     /// identity.
     pub faults: Vec<FaultPlan>,
+    /// End-to-end recovery axis ([`RecoveryPolicy::NONE`] = best-effort
+    /// delivery). Recovery retries are deterministic (seeded jitter
+    /// substream), so recovered points cache and replicate exactly like
+    /// best-effort ones; the policy is part of every point's identity.
+    pub recoveries: Vec<RecoveryPolicy>,
     /// The injection-rate axis.
     pub rates: RateAxis,
     /// Independent replications per point (distinct workload seeds). With a
@@ -188,6 +193,7 @@ impl CampaignSpec {
             link_latencies: vec![1],
             arbs: vec![ArbPolicy::RoundRobin],
             faults: vec![FaultPlan::NONE],
+            recoveries: vec![RecoveryPolicy::NONE],
             rates: RateAxis::AutoGeometric { span: 1.1, lo_div: 40.0, steps: 10 },
             replications: 2,
             convergence: None,
@@ -217,6 +223,7 @@ impl CampaignSpec {
             ("link_latencies", self.link_latencies.is_empty()),
             ("arbs", self.arbs.is_empty()),
             ("faults", self.faults.is_empty()),
+            ("recoveries", self.recoveries.is_empty()),
         ] {
             if empty {
                 return Err(SpecError::new_owned(format!("axis {axis} is empty")));
@@ -281,20 +288,23 @@ impl CampaignSpec {
                             for &link_latency in &self.link_latencies {
                                 for &arb in &self.arbs {
                                     for &fault in &self.faults {
-                                        let curve = CurveParams {
-                                            topology,
-                                            n,
-                                            msg_len,
-                                            beta,
-                                            buffer_depth,
-                                            link_latency,
-                                            arb,
-                                            fault,
-                                        };
-                                        curve.noc().validate().map_err(|e| {
-                                            SpecError::new_owned(format!("{curve}: {e}"))
-                                        })?;
-                                        self.push_curve_points(curve, &mut points);
+                                        for &recovery in &self.recoveries {
+                                            let curve = CurveParams {
+                                                topology,
+                                                n,
+                                                msg_len,
+                                                beta,
+                                                buffer_depth,
+                                                link_latency,
+                                                arb,
+                                                fault,
+                                                recovery,
+                                            };
+                                            curve.noc().validate().map_err(|e| {
+                                                SpecError::new_owned(format!("{curve}: {e}"))
+                                            })?;
+                                            self.push_curve_points(curve, &mut points);
+                                        }
                                     }
                                 }
                             }
@@ -388,6 +398,8 @@ pub struct CurveParams {
     pub arb: ArbPolicy,
     /// Deterministic fault schedule ([`FaultPlan::NONE`] = healthy).
     pub fault: FaultPlan,
+    /// End-to-end recovery policy ([`RecoveryPolicy::NONE`] = best-effort).
+    pub recovery: RecoveryPolicy,
 }
 
 impl CurveParams {
@@ -408,6 +420,7 @@ impl CurveParams {
         cfg.link_latency = self.link_latency;
         cfg.arb = self.arb;
         cfg.fault = self.fault;
+        cfg.recovery = self.recovery;
         cfg
     }
 }
@@ -425,10 +438,14 @@ impl fmt::Display for CurveParams {
             self.link_latency,
             self.arb
         )?;
-        // Healthy curves keep their historical labels; fault plans get a
-        // compact suffix (the plan's own Display form).
+        // Healthy best-effort curves keep their historical labels; fault
+        // plans and recovery policies get compact suffixes (each one's own
+        // Display form).
         if !self.fault.is_empty() {
             write!(f, "-F{}", self.fault)?;
+        }
+        if self.recovery.enabled() {
+            write!(f, "-R{}", self.recovery)?;
         }
         Ok(())
     }
@@ -482,7 +499,9 @@ impl CampaignPoint {
     /// added the fault-plan axis and the stall-watchdog window to every
     /// point's identity (and [`crate::replicate::RepOutcome`] grew
     /// delivered-fraction accounting, so pre-fault series must not be
-    /// served).
+    /// served). `v5` added the recovery-policy axis (and `RepOutcome` grew
+    /// retransmission accounting, so pre-recovery series must not be
+    /// served either).
     pub fn merge_key(&self, spec: &CampaignSpec) -> String {
         let c = &self.curve;
         let work = match self.work {
@@ -492,7 +511,7 @@ impl CampaignPoint {
             }
         };
         format!(
-            "quarc-campaign v4|{}|n={} m={} beta={} depth={} link={} arb={} fault={}|{}|seed={}|run w={} m={} d={} lat={} bk={} sw={}",
+            "quarc-campaign v5|{}|n={} m={} beta={} depth={} link={} arb={} fault={} rec={}|{}|seed={}|run w={} m={} d={} lat={} bk={} sw={}",
             c.topology,
             c.n,
             c.msg_len,
@@ -501,6 +520,7 @@ impl CampaignPoint {
             c.link_latency,
             c.arb,
             c.fault,
+            c.recovery,
             work,
             spec.base_seed,
             spec.run.warmup,
@@ -694,6 +714,7 @@ mod tests {
             "link=1",
             "arb=rr",
             "fault=-",
+            "rec=-",
             "seed=2009",
             "sw=10000",
         ] {
@@ -724,6 +745,45 @@ mod tests {
             exp.points.iter().map(crate::result::PointResult::label_for).collect();
         assert!(labels.iter().any(|l| !l.contains("-F")));
         assert!(labels.iter().any(|l| l.contains("-Fs7o1000d1")));
+    }
+
+    #[test]
+    fn recovery_axis_expands_and_separates_cache_keys() {
+        // A recovered run and a best-effort run over the same fault plan
+        // produce different numbers, so they must never share a cache entry
+        // — and the recovery axis multiplies the grid like any other.
+        let mut spec = small();
+        spec.sizes = vec![16];
+        spec.faults =
+            vec![FaultPlan { lossy_links: 2, drop_per_64k: 500, seed: 3, ..FaultPlan::NONE }];
+        spec.recoveries = vec![
+            RecoveryPolicy::NONE,
+            RecoveryPolicy { seed: 1, ack_timeout: 500, max_retries: 8, jitter: 32 },
+        ];
+        let exp = spec.expand().unwrap();
+        assert_eq!(exp.points.len(), 2 * 2 * 2); // topologies × recoveries × rates
+        assert!(exp.skipped.is_empty());
+        let hashes: std::collections::HashSet<u64> =
+            exp.points.iter().map(|p| p.content_hash(&spec)).collect();
+        assert_eq!(hashes.len(), exp.points.len(), "recovery policies must re-key every point");
+        // And the policy reaches the network configuration and the label.
+        let labels: Vec<String> =
+            exp.points.iter().map(crate::result::PointResult::label_for).collect();
+        assert!(labels.iter().any(|l| l.contains("-Rt500r8j32s1")));
+        assert!(labels.iter().any(|l| !l.contains("-R")));
+        assert!(exp.points.iter().any(|p| p.curve.noc().recovery.enabled()));
+        assert!(exp.points.iter().any(|p| !p.curve.noc().recovery.enabled()));
+    }
+
+    #[test]
+    fn empty_recovery_axis_is_rejected() {
+        let mut bad = small();
+        bad.recoveries = vec![];
+        assert!(bad.expand().is_err());
+        // And an internally inconsistent policy fails config validation.
+        let mut bad = small();
+        bad.recoveries = vec![RecoveryPolicy { max_retries: 3, ..RecoveryPolicy::NONE }];
+        assert!(bad.expand().is_err());
     }
 
     #[test]

@@ -249,6 +249,30 @@ impl BitSlab {
         }
     }
 
+    /// Clear logical bit `i` (relative to the current cursor). A no-op on
+    /// bits that are already clear or past the row width.
+    ///
+    /// The recovery layer's outstanding-receiver sets shrink bit by bit as
+    /// ACKs arrive; rows never downgrade back to inline (the handle stays
+    /// valid until [`BitSlab::release`]).
+    pub fn clear_bit(&mut self, b: &mut Bits, i: usize) {
+        if b.is_inline() {
+            if i < INLINE_BITS {
+                *b = Bits(b.0 & !(1 << i));
+            }
+            return;
+        }
+        let row = self.check(*b);
+        let pos = self.cursor[row] as usize + i;
+        if pos >= self.stride * 64 {
+            return;
+        }
+        self.data[row * self.stride + pos / 64] &= !(1 << (pos % 64));
+        if i == 0 {
+            *b = Bits(b.0 & !1);
+        }
+    }
+
     /// Logical bit `k` positions above the current cursor. Positions past
     /// the row width read as zero, matching `u128 >> k` semantics.
     #[inline]
@@ -425,6 +449,34 @@ mod tests {
         assert!(!slab.bit_at(b, 69));
         slab.release(b);
         slab.release(c);
+        assert_eq!(slab.live_rows(), 0);
+    }
+
+    #[test]
+    fn clear_bit_shrinks_both_representations() {
+        let mut slab = BitSlab::new(200);
+        // Inline: set and clear around bit 0 (the cached hot bit).
+        let mut b = Bits::ZERO;
+        slab.set_bit(&mut b, 0);
+        slab.set_bit(&mut b, 5);
+        slab.clear_bit(&mut b, 0);
+        assert!(!b.bit0());
+        assert_eq!(slab.popcount(b), 1);
+        slab.clear_bit(&mut b, 5);
+        assert_eq!(slab.popcount(b), 0);
+        // Slab row: the cached bit 0 in the handle must track clears too.
+        let mut r = Bits::ZERO;
+        slab.set_bit(&mut r, 0);
+        slab.set_bit(&mut r, 150);
+        assert!(!r.is_inline() && r.bit0());
+        slab.clear_bit(&mut r, 0);
+        assert!(!r.bit0());
+        assert_eq!(slab.popcount(r), 1);
+        slab.clear_bit(&mut r, 150);
+        assert_eq!(slab.popcount(r), 0);
+        // Clearing past the row width is a harmless no-op.
+        slab.clear_bit(&mut r, 100_000);
+        slab.release(r);
         assert_eq!(slab.live_rows(), 0);
     }
 

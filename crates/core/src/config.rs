@@ -159,6 +159,84 @@ impl fmt::Display for FaultPlan {
     }
 }
 
+/// End-to-end reliable-delivery policy: ack/timeout/retransmit recovery
+/// layered over the best-effort fabric.
+///
+/// With a non-zero [`RecoveryPolicy::ack_timeout`] every receiver answers a
+/// delivered message with a single-flit ACK packet routed through the same
+/// fabric (real contending traffic, not a side channel), and every source
+/// keeps the message in an outstanding window until all receivers have
+/// acked. On timeout the source retransmits to exactly the still-unserved
+/// receiver subset, with exponential backoff and a seeded jitter substream
+/// so two runs of the same policy retry identically. After
+/// [`RecoveryPolicy::max_retries`] retransmissions the unserved remainder
+/// retires as undeliverable, so `quiesced()` still terminates on
+/// unreachable-by-topology receivers.
+///
+/// All fields are plain integers so the policy (and [`NocConfig`]) stays
+/// `Copy`, hashable and exactly representable in campaign content keys.
+/// [`RecoveryPolicy::NONE`] is bit-for-bit the build without the recovery
+/// subsystem (pinned by the equivalence goldens).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RecoveryPolicy {
+    /// Seed of the retransmission-jitter substream.
+    pub seed: u64,
+    /// Cycles a source waits for the full ACK set before retransmitting.
+    /// `0` disables the recovery layer entirely.
+    pub ack_timeout: u32,
+    /// Retransmissions per message before the unserved remainder retires
+    /// as undeliverable.
+    pub max_retries: u32,
+    /// Upper bound (exclusive, in cycles) of the uniform jitter added to
+    /// each timeout deadline. `0` means no jitter.
+    pub jitter: u32,
+}
+
+impl RecoveryPolicy {
+    /// Recovery off: best-effort delivery, byte-identical behaviour to a
+    /// build without the recovery subsystem.
+    pub const NONE: RecoveryPolicy =
+        RecoveryPolicy { seed: 0, ack_timeout: 0, max_retries: 0, jitter: 0 };
+
+    /// Whether the recovery layer is active.
+    pub fn enabled(&self) -> bool {
+        self.ack_timeout != 0
+    }
+
+    /// Check internal consistency (part of [`NocConfig::validate`]).
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if !self.enabled() && (self.max_retries != 0 || self.jitter != 0 || self.seed != 0) {
+            return Err(ConfigError::BadParameter {
+                name: "recovery.ack_timeout",
+                requirement: "a recovery policy with retries/jitter/seed needs a non-zero timeout",
+            });
+        }
+        Ok(())
+    }
+
+    /// The deadline delay for retransmission attempt `attempt` (0 = first
+    /// transmission): `ack_timeout << min(attempt, 16)`, exponential backoff
+    /// with a saturating shift cap.
+    pub fn backoff(&self, attempt: u32) -> u64 {
+        (self.ack_timeout as u64) << attempt.min(16)
+    }
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy::NONE
+    }
+}
+
+impl fmt::Display for RecoveryPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if !self.enabled() {
+            return write!(f, "-");
+        }
+        write!(f, "t{}r{}j{}s{}", self.ack_timeout, self.max_retries, self.jitter, self.seed)
+    }
+}
+
 /// Errors raised when validating a [`NocConfig`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ConfigError {
@@ -217,6 +295,9 @@ pub struct NocConfig {
     pub arb: ArbPolicy,
     /// Deterministic fault schedule ([`FaultPlan::NONE`] = healthy network).
     pub fault: FaultPlan,
+    /// End-to-end reliable-delivery policy ([`RecoveryPolicy::NONE`] =
+    /// best-effort delivery, no acks).
+    pub recovery: RecoveryPolicy,
 }
 
 impl NocConfig {
@@ -256,6 +337,12 @@ impl NocConfig {
     /// Override the fault schedule.
     pub fn with_fault(mut self, fault: FaultPlan) -> Self {
         self.fault = fault;
+        self
+    }
+
+    /// Override the end-to-end recovery policy.
+    pub fn with_recovery(mut self, recovery: RecoveryPolicy) -> Self {
+        self.recovery = recovery;
         self
     }
 
@@ -328,6 +415,7 @@ impl NocConfig {
             });
         }
         self.fault.validate()?;
+        self.recovery.validate()?;
         Ok(())
     }
 }
@@ -342,6 +430,7 @@ impl Default for NocConfig {
             link_latency: 1,
             arb: ArbPolicy::RoundRobin,
             fault: FaultPlan::NONE,
+            recovery: RecoveryPolicy::NONE,
         }
     }
 }
@@ -355,6 +444,9 @@ impl fmt::Display for NocConfig {
         )?;
         if !self.fault.is_empty() {
             write!(f, " fault={}", self.fault)?;
+        }
+        if self.recovery.enabled() {
+            write!(f, " rec={}", self.recovery)?;
         }
         Ok(())
     }
@@ -453,6 +545,33 @@ mod tests {
         assert!(lossy_no_prob.validate().is_err());
         let cfg = NocConfig::quarc(16).with_fault(transient_no_window);
         assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn recovery_policy_defaults_off_and_validates() {
+        let c = NocConfig::quarc(16);
+        assert!(!c.recovery.enabled());
+        assert!(c.validate().is_ok());
+        assert!(!c.to_string().contains("rec="), "RecoveryPolicy::NONE must not change Display");
+        let rec = RecoveryPolicy { seed: 3, ack_timeout: 400, max_retries: 4, jitter: 16 };
+        let reliable = c.with_recovery(rec);
+        assert!(reliable.recovery.enabled());
+        assert!(reliable.validate().is_ok());
+        assert_ne!(c, reliable, "configs differing only in recovery must not compare equal");
+        assert!(reliable.to_string().contains("rec=t400r4j16s3"));
+        // Retries/jitter without a timeout is an inert, confusing policy.
+        let inert = RecoveryPolicy { max_retries: 3, ..RecoveryPolicy::NONE };
+        assert!(c.with_recovery(inert).validate().is_err());
+    }
+
+    #[test]
+    fn recovery_backoff_is_exponential_and_saturating() {
+        let rec = RecoveryPolicy { ack_timeout: 100, max_retries: 3, ..RecoveryPolicy::NONE };
+        assert_eq!(rec.backoff(0), 100);
+        assert_eq!(rec.backoff(1), 200);
+        assert_eq!(rec.backoff(3), 800);
+        // The shift cap keeps deadlines finite for pathological retry counts.
+        assert_eq!(rec.backoff(200), 100u64 << 16);
     }
 
     #[test]

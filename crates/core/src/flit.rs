@@ -32,6 +32,10 @@ pub enum FlitKind {
     Body,
     /// Last flit: releases the route behind it.
     Tail,
+    /// A whole one-flit packet: header and tail in one word (claims and
+    /// releases its route in the same flit). Used by the recovery layer's
+    /// ACK packets; takes the wire encoding the original format reserved.
+    Single,
 }
 
 impl FlitKind {
@@ -42,6 +46,7 @@ impl FlitKind {
             FlitKind::Header => 0b00,
             FlitKind::Body => 0b01,
             FlitKind::Tail => 0b10,
+            FlitKind::Single => 0b11,
         }
     }
 
@@ -51,7 +56,7 @@ impl FlitKind {
             0b00 => Some(FlitKind::Header),
             0b01 => Some(FlitKind::Body),
             0b10 => Some(FlitKind::Tail),
-            _ => None,
+            _ => Some(FlitKind::Single),
         }
     }
 }
@@ -62,6 +67,7 @@ impl fmt::Display for FlitKind {
             FlitKind::Header => write!(f, "H"),
             FlitKind::Body => write!(f, "B"),
             FlitKind::Tail => write!(f, "T"),
+            FlitKind::Single => write!(f, "S"),
         }
     }
 }
@@ -87,6 +93,12 @@ pub enum TrafficClass {
     /// which re-injects two `ChainRim` packets, one per rim direction, each
     /// covering `bitstring` further nodes.
     ChainCross,
+    /// Single-flit end-to-end acknowledgement emitted by the recovery layer
+    /// (see `quarc_core::config::RecoveryPolicy`). Routed as a unicast from
+    /// the acking receiver back to the message source; `message` in its
+    /// [`PacketMeta`] names the *data* message being acknowledged, so an Ack
+    /// is a control packet, never a tracked message of its own.
+    Ack,
 }
 
 impl TrafficClass {
@@ -99,6 +111,7 @@ impl TrafficClass {
             TrafficClass::Broadcast => 0b010,
             TrafficClass::ChainRim => 0b011,
             TrafficClass::ChainCross => 0b100,
+            TrafficClass::Ack => 0b101,
         }
     }
 
@@ -110,12 +123,13 @@ impl TrafficClass {
             0b010 => Some(TrafficClass::Broadcast),
             0b011 => Some(TrafficClass::ChainRim),
             0b100 => Some(TrafficClass::ChainCross),
+            0b101 => Some(TrafficClass::Ack),
             _ => None,
         }
     }
 
     /// Number of traffic classes (for fixed-size per-class counter arrays).
-    pub const COUNT: usize = 5;
+    pub const COUNT: usize = 6;
 
     /// Dense index in `0..COUNT` (for fixed-size per-class counter arrays).
     #[inline]
@@ -126,6 +140,7 @@ impl TrafficClass {
             TrafficClass::Broadcast => 2,
             TrafficClass::ChainRim => 3,
             TrafficClass::ChainCross => 4,
+            TrafficClass::Ack => 5,
         }
     }
 
@@ -150,6 +165,7 @@ impl fmt::Display for TrafficClass {
             TrafficClass::Broadcast => "broadcast",
             TrafficClass::ChainRim => "chain-rim",
             TrafficClass::ChainCross => "chain-cross",
+            TrafficClass::Ack => "ack",
         };
         write!(f, "{s}")
     }
@@ -343,16 +359,18 @@ pub struct Flit {
 }
 
 impl Flit {
-    /// Is this the header flit?
+    /// Is this the flit that claims the route? (`Single` flits are whole
+    /// one-flit packets: header and tail at once.)
     #[inline]
     pub fn is_header(&self) -> bool {
-        self.kind == FlitKind::Header
+        matches!(self.kind, FlitKind::Header | FlitKind::Single)
     }
 
-    /// Is this the tail flit?
+    /// Is this the flit that releases the route? (`Single` flits are whole
+    /// one-flit packets: header and tail at once.)
     #[inline]
     pub fn is_tail(&self) -> bool {
-        self.kind == FlitKind::Tail
+        matches!(self.kind, FlitKind::Tail | FlitKind::Single)
     }
 }
 
@@ -368,7 +386,12 @@ impl fmt::Display for Flit {
 /// header:  [33:31] class  [30] dir  [29:14] bitstring  [13:8] src  [7:2] dst  [1:0] = 00
 /// body:    [33:2]  payload                                                  [1:0] = 01
 /// tail:    [33:2]  payload                                                  [1:0] = 10
+/// single:  [33:31] class  [30] dir  [29:14] bitstring  [13:8] src  [7:2] dst  [1:0] = 11
 /// ```
+///
+/// The `single` type (a one-flit packet, header fields with tail semantics)
+/// takes the encoding the original format reserved; it exists for the
+/// recovery layer's ACK packets.
 ///
 /// Six address bits bound the network at 64 nodes, exactly the scalability
 /// limit the paper states in §2.6 ("it is assumed that the network size may be
@@ -405,6 +428,19 @@ pub mod wire {
         Body(u32),
         /// Tail flit payload.
         Tail(u32),
+        /// One-flit packet (recovery ACK): header fields, tail semantics.
+        Single {
+            /// Traffic class.
+            class: TrafficClass,
+            /// Rim direction bit.
+            dir: RingDir,
+            /// Bitstring field (unused by ACKs, kept for symmetry).
+            bitstring: u16,
+            /// Source address (6 bits).
+            src: NodeId,
+            /// Destination address (6 bits).
+            dst: NodeId,
+        },
     }
 
     /// Encode one flit of packet `meta` into its 34-bit wire word. Body and
@@ -413,7 +449,7 @@ pub mod wire {
     /// Panics (debug) if an address does not fit in 6 bits.
     pub fn encode(meta: &PacketMeta, kind: FlitKind, payload: u32) -> u64 {
         match kind {
-            FlitKind::Header => {
+            FlitKind::Header | FlitKind::Single => {
                 debug_assert!(meta.src.index() < MAX_NODES && meta.dst.index() < MAX_NODES);
                 debug_assert!(
                     meta.bitstring.is_inline() && meta.bitstring.inline_value() <= u16::MAX as u64,
@@ -428,7 +464,7 @@ pub mod wire {
                     | ((meta.bitstring.inline_value() & 0xFFFF) << 14)
                     | ((meta.src.index() as u64) << 8)
                     | ((meta.dst.index() as u64) << 2)
-                    | FlitKind::Header.wire_bits()
+                    | kind.wire_bits()
             }
             FlitKind::Body => ((payload as u64) << 2) | FlitKind::Body.wire_bits(),
             FlitKind::Tail => ((payload as u64) << 2) | FlitKind::Tail.wire_bits(),
@@ -444,13 +480,17 @@ pub mod wire {
             return None;
         }
         match FlitKind::from_wire_bits(word)? {
-            FlitKind::Header => {
+            kind @ (FlitKind::Header | FlitKind::Single) => {
                 let class = TrafficClass::from_wire_bits(word >> 31)?;
                 let dir = if (word >> 30) & 1 == 1 { RingDir::Ccw } else { RingDir::Cw };
                 let bitstring = ((word >> 14) & 0xFFFF) as u16;
                 let src = NodeId::new(((word >> 8) & 0x3F) as usize);
                 let dst = NodeId::new(((word >> 2) & 0x3F) as usize);
-                Some(WireFlit::Header { class, dir, bitstring, src, dst })
+                Some(if kind == FlitKind::Header {
+                    WireFlit::Header { class, dir, bitstring, src, dst }
+                } else {
+                    WireFlit::Single { class, dir, bitstring, src, dst }
+                })
             }
             FlitKind::Body => Some(WireFlit::Body(((word >> 2) & 0xFFFF_FFFF) as u32)),
             FlitKind::Tail => Some(WireFlit::Tail(((word >> 2) & 0xFFFF_FFFF) as u32)),
@@ -515,12 +555,40 @@ mod tests {
 
     #[test]
     fn reserved_encodings_rejected() {
-        assert_eq!(decode(0b11), None, "flit type 0b11 is reserved");
-        // class 0b111 is reserved
+        // class 0b111 is reserved (on both header-carrying flit types)
         let bad = (0b111u64 << 31) | FlitKind::Header.wire_bits();
         assert_eq!(decode(bad), None);
+        let bad_single = (0b111u64 << 31) | FlitKind::Single.wire_bits();
+        assert_eq!(decode(bad_single), None);
+        // classes 0b110 and 0b111 are reserved
+        let bad6 = (0b110u64 << 31) | FlitKind::Header.wire_bits();
+        assert_eq!(decode(bad6), None);
         // bits above bit 33 must be clear
         assert_eq!(decode(1u64 << 34), None);
+    }
+
+    #[test]
+    fn single_flit_roundtrip() {
+        // Flit type 0b11 was reserved in the original format; it now carries
+        // whole one-flit packets (the recovery layer's ACKs).
+        let m = meta(TrafficClass::Ack, 9, 3, 0, RingDir::Cw);
+        let w = encode(&m, FlitKind::Single, 0);
+        assert!(w <= FLIT_MASK);
+        match decode(w).unwrap() {
+            WireFlit::Single { class, src, dst, .. } => {
+                assert_eq!(class, TrafficClass::Ack);
+                assert_eq!(src, NodeId(9));
+                assert_eq!(dst, NodeId(3));
+            }
+            other => panic!("expected single, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn single_flit_is_header_and_tail() {
+        let f = Flit { packet: PacketRef(0), seq: 0, kind: FlitKind::Single, payload: 0 };
+        assert!(f.is_header() && f.is_tail());
+        assert_eq!(f.to_string(), "S[0 #0]");
     }
 
     #[test]
@@ -535,10 +603,9 @@ mod tests {
 
     #[test]
     fn kind_wire_bits_roundtrip() {
-        for k in [FlitKind::Header, FlitKind::Body, FlitKind::Tail] {
+        for k in [FlitKind::Header, FlitKind::Body, FlitKind::Tail, FlitKind::Single] {
             assert_eq!(FlitKind::from_wire_bits(k.wire_bits()), Some(k));
         }
-        assert_eq!(FlitKind::from_wire_bits(0b11), None);
     }
 
     #[test]
@@ -549,6 +616,7 @@ mod tests {
             TrafficClass::Broadcast,
             TrafficClass::ChainRim,
             TrafficClass::ChainCross,
+            TrafficClass::Ack,
         ] {
             assert_eq!(TrafficClass::from_wire_bits(c.wire_bits()), Some(c));
         }
@@ -568,6 +636,7 @@ mod tests {
             TrafficClass::Broadcast,
             TrafficClass::ChainRim,
             TrafficClass::ChainCross,
+            TrafficClass::Ack,
         ];
         let mut seen = [false; TrafficClass::COUNT];
         for c in all {

@@ -74,7 +74,9 @@ impl Fcu {
         let word = head?;
         let kind = word_kind(word);
         let sel = match kind {
-            FlitKind::Header => {
+            // A single-flit packet routes itself like a header and releases
+            // the route behind it like a tail.
+            FlitKind::Header | FlitKind::Single => {
                 debug_assert!(self.table[lane].is_none(), "header while table entry live");
                 route(word)
             }
@@ -86,8 +88,8 @@ impl Fcu {
             lane,
             sel,
             word,
-            is_header: kind == FlitKind::Header,
-            is_tail: kind == FlitKind::Tail,
+            is_header: matches!(kind, FlitKind::Header | FlitKind::Single),
+            is_tail: matches!(kind, FlitKind::Tail | FlitKind::Single),
         })
     }
 

@@ -218,6 +218,17 @@ impl RingRtl {
                         completed_at: d.cycle,
                     });
                 }
+                WireFlit::Single { class, src, dst, .. } => {
+                    assert!(!open.contains_key(&key), "single flit interleaved into open frame");
+                    done.push(ReceivedFrame {
+                        node: d.node,
+                        class,
+                        src,
+                        dst,
+                        len: 1,
+                        completed_at: d.cycle,
+                    });
+                }
             }
         }
         assert!(open.is_empty(), "truncated frames at PEs: {open:?}");

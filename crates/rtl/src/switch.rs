@@ -276,8 +276,8 @@ impl QuarcSwitchRtl {
                         let kind = word_kind(w);
                         OpcReq {
                             lane: 0,
-                            is_header: kind == FlitKind::Header,
-                            is_tail: kind == FlitKind::Tail,
+                            is_header: matches!(kind, FlitKind::Header | FlitKind::Single),
+                            is_tail: matches!(kind, FlitKind::Tail | FlitKind::Single),
                             required_vc: required_vc(&ring, node, o, INJECTION_VC),
                         }
                     }),

@@ -57,6 +57,15 @@ pub trait NocSim {
     fn flit_hops(&self) -> u64;
     /// Whether no traffic is anywhere in the system.
     fn quiesced(&self) -> bool;
+    /// Recovery windows still open (messages with unacknowledged receivers
+    /// whose retry budget is not exhausted). A non-zero count means the
+    /// end-to-end recovery layer is waiting out a backoff — legitimate
+    /// progress even when no flit moves — so the stall watchdog must not
+    /// fire. Zero whenever [`quarc_core::config::RecoveryPolicy`] is
+    /// disabled.
+    fn recovery_pending(&self) -> u64 {
+        0
+    }
     /// A snapshot of where traffic is wedged, taken when the stall watchdog
     /// fires: the quiescence counters plus the most occupied routers. Walks
     /// the network (cold path — never called per cycle).
@@ -78,6 +87,11 @@ pub struct StallDiagnostics {
     pub in_flight: u64,
     /// Packets interned in the packet table.
     pub live_packets: u64,
+    /// The active fault plan's compact token (`s{}o{}d{}l{}t{}f{}`, see
+    /// [`quarc_core::config::FaultPlan`]'s `Display`), so a stall report
+    /// names the injected faults that wedged the run without a trip back
+    /// to the spec.
+    pub fault: String,
     /// Up to [`Self::TOP_ROUTERS`] `(node, flits)` pairs, most occupied
     /// first (ties broken by node id).
     pub busiest_routers: Vec<(u32, u32)>,
@@ -92,8 +106,13 @@ impl std::fmt::Display for StallDiagnostics {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "backlog={} buffered={} on_links={} in_flight={} live_packets={} busiest=[",
-            self.backlog, self.buffered, self.on_links, self.in_flight, self.live_packets
+            "backlog={} buffered={} on_links={} in_flight={} live_packets={} fault={} busiest=[",
+            self.backlog,
+            self.buffered,
+            self.on_links,
+            self.in_flight,
+            self.live_packets,
+            self.fault
         )?;
         for (i, (node, flits)) in self.busiest_routers.iter().enumerate() {
             if i > 0 {
@@ -169,8 +188,11 @@ pub struct RunResult {
     pub bcast_completion_mean: f64,
     /// Broadcast messages completed in the window.
     pub bcast_samples: u64,
-    /// Delivered flit throughput per node per cycle over the measurement
-    /// window.
+    /// Flit throughput per node per cycle over the measurement window:
+    /// every flit the fabric moved to an ejection port — fresh data,
+    /// duplicate data suppressed by the recovery layer, and ACK control
+    /// flits. Equals [`Self::goodput`] whenever recovery is disabled (no
+    /// acks, no duplicates), so pre-recovery runs are unchanged.
     pub throughput: f64,
     /// Whether the run hit a saturation criterion.
     pub saturated: bool,
@@ -184,6 +206,17 @@ pub struct RunResult {
     pub undeliverable: u64,
     /// Flits consumed by fault drops.
     pub flits_dropped: u64,
+    /// Recovery-layer retransmissions issued (0 with recovery disabled).
+    pub retransmissions: u64,
+    /// Receivers whose first successful delivery rode a retransmission.
+    pub recovered_receivers: u64,
+    /// Mean data-send → ACK-received round trip (cycles) over the
+    /// measurement window (`NaN` with no samples).
+    pub ack_latency_mean: f64,
+    /// *Fresh* delivered data flits per node per cycle over the measurement
+    /// window — the pre-recovery definition of throughput, excluding ACK
+    /// and duplicate traffic.
+    pub goodput: f64,
 }
 
 impl RunResult {
@@ -191,13 +224,14 @@ impl RunResult {
     pub fn csv_header() -> &'static str {
         "topology,n,rate,unicast_mean,unicast_p95,unicast_samples,bcast_reception_mean,\
          bcast_completion_mean,bcast_samples,throughput,saturated,end_backlog,\
-         delivered_fraction,undeliverable,flits_dropped"
+         delivered_fraction,undeliverable,flits_dropped,retransmissions,\
+         recovered_receivers,ack_latency_mean,goodput"
     }
 
     /// One CSV row.
     pub fn csv_row(&self) -> String {
         format!(
-            "{},{},{},{:.3},{},{},{:.3},{:.3},{},{:.5},{},{},{:.6},{},{}",
+            "{},{},{},{:.3},{},{},{:.3},{:.3},{},{:.5},{},{},{:.6},{},{},{},{},{:.3},{:.5}",
             self.kind,
             self.n,
             self.offered_rate.map_or_else(|| "-".into(), |r| format!("{r:.5}")),
@@ -213,6 +247,10 @@ impl RunResult {
             self.delivered_fraction,
             self.undeliverable,
             self.flits_dropped,
+            self.retransmissions,
+            self.recovered_receivers,
+            self.ack_latency_mean,
+            self.goodput,
         )
     }
 }
@@ -232,6 +270,17 @@ pub enum RunOutcome {
         /// Statistics accumulated up to the stall (flagged saturated).
         partial: RunResult,
     },
+    /// A cooperative wall-clock deadline (a campaign's `--point-timeout`
+    /// budget) expired mid-run. Checked at the stall watchdog's cadence, so
+    /// a run yields within one window of going over budget instead of
+    /// pinning a worker to the cycle cap. The partial statistics describe a
+    /// truncated run and must never be cached or merged as a finished point.
+    DeadlineExceeded {
+        /// Cycle at which the deadline was noticed.
+        cycle: Cycle,
+        /// Statistics accumulated up to the cutoff (flagged saturated).
+        partial: RunResult,
+    },
 }
 
 impl RunOutcome {
@@ -245,6 +294,7 @@ impl RunOutcome {
         match self {
             RunOutcome::Finished(r) => r,
             RunOutcome::Stalled { partial, .. } => partial,
+            RunOutcome::DeadlineExceeded { partial, .. } => partial,
         }
     }
 
@@ -254,6 +304,7 @@ impl RunOutcome {
         match self {
             RunOutcome::Finished(r) => r,
             RunOutcome::Stalled { partial, .. } => partial,
+            RunOutcome::DeadlineExceeded { partial, .. } => partial,
         }
     }
 }
@@ -391,6 +442,10 @@ impl NocSim for AnyNet {
         for_each_net!(self, n => NocSim::quiesced(n))
     }
 
+    fn recovery_pending(&self) -> u64 {
+        for_each_net!(self, n => NocSim::recovery_pending(n))
+    }
+
     fn stall_diagnostics(&self) -> StallDiagnostics {
         for_each_net!(self, n => NocSim::stall_diagnostics(n))
     }
@@ -449,6 +504,10 @@ impl NocSim for DynNet<'_> {
         self.0.quiesced()
     }
 
+    fn recovery_pending(&self) -> u64 {
+        self.0.recovery_pending()
+    }
+
     fn stall_diagnostics(&self) -> StallDiagnostics {
         self.0.stall_diagnostics()
     }
@@ -463,41 +522,84 @@ impl MonoStep for DynNet<'_> {
     }
 }
 
+/// What tripped the per-cycle sentinel.
+enum Trip {
+    /// Traffic was pending and nothing moved for a full stall window.
+    Wedged,
+    /// The cooperative wall-clock deadline expired.
+    Overdue,
+}
+
+/// Sampling cadence for the wall-clock deadline when the stall watchdog is
+/// disarmed (`stall_window == 0`) — deadline checks still need a cadence.
+const DEADLINE_CADENCE: Cycle = 4_096;
+
 /// The stall watchdog: samples the progress counters once per window and
 /// fires if nothing moved across a full window while traffic was pending.
 /// Reading only counters (and walking links once per window), it cannot
 /// affect simulated behaviour — fault-free runs stay byte-identical with
-/// the watchdog armed.
+/// the watchdog armed. It doubles as the run's wall-clock sentinel: an
+/// optional [`std::time::Instant`] deadline is checked at the same cadence,
+/// keeping `Instant::now` (a syscall) off the per-cycle path.
 struct Watchdog {
     window: Cycle,
     countdown: Cycle,
     last_progress: u64,
+    deadline: Option<std::time::Instant>,
 }
 
 impl Watchdog {
-    fn new(window: Cycle) -> Self {
-        Watchdog { window, countdown: window, last_progress: u64::MAX }
+    fn new(window: Cycle, deadline: Option<std::time::Instant>) -> Self {
+        let cadence = if window == 0 { DEADLINE_CADENCE } else { window };
+        Watchdog { window, countdown: cadence, last_progress: u64::MAX, deadline }
     }
 
-    /// Call once per simulated cycle; `true` means the run is wedged.
-    fn wedged<N: MonoStep>(&mut self, net: &N) -> bool {
-        if self.window == 0 {
-            return false;
+    /// Call once per simulated cycle.
+    fn poll<N: MonoStep>(&mut self, net: &N) -> Option<Trip> {
+        if self.window == 0 && self.deadline.is_none() {
+            return None;
         }
         self.countdown -= 1;
         if self.countdown > 0 {
-            return false;
+            return None;
         }
-        self.countdown = self.window;
+        self.countdown = if self.window == 0 { DEADLINE_CADENCE } else { self.window };
+        if let Some(deadline) = self.deadline {
+            if std::time::Instant::now() >= deadline {
+                return Some(Trip::Overdue);
+            }
+        }
+        if self.window == 0 {
+            return None;
+        }
         // Every commit moves one of these three counters (forward = hop,
         // absorption = delivery, fault drain = drop), so "all unchanged"
-        // is exactly "no flit moved".
+        // is exactly "no flit moved". An open recovery window waiting out
+        // a retransmission backoff is progress the counters can't see —
+        // the network may be legitimately empty until the timer fires —
+        // so pending recovery suppresses the verdict.
         let progress =
             net.flit_hops() + net.metrics().flits_delivered() + net.metrics().flits_dropped();
-        let wedged = progress == self.last_progress && !net.quiesced();
+        let wedged =
+            progress == self.last_progress && !net.quiesced() && net.recovery_pending() == 0;
         self.last_progress = progress;
-        wedged
+        if wedged {
+            Some(Trip::Wedged)
+        } else {
+            None
+        }
     }
+}
+
+/// `(fresh data flits, total flits moved)` delivered so far: the pair of
+/// counters the throughput/goodput split snapshots at the measurement
+/// window's edges. "Total" adds ACK control flits and suppressed duplicate
+/// data — fabric work the goodput definition excludes. The two components
+/// are equal whenever recovery is disabled.
+fn flits_moved<N: MonoStep>(net: &N) -> (u64, u64) {
+    let m = net.metrics();
+    let data = m.flits_delivered();
+    (data, data + m.acks_delivered() + m.dup_flits_suppressed())
 }
 
 /// Summarise a (possibly partial) run from the current network state.
@@ -505,12 +607,13 @@ fn summarise<N: MonoStep>(
     net: &N,
     offered_rate: Option<f64>,
     spec: &RunSpec,
-    flits_before: u64,
-    flits_after: u64,
+    flits_before: (u64, u64),
+    flits_after: (u64, u64),
     end_backlog: usize,
     force_saturated: bool,
 ) -> RunResult {
     let m = net.metrics();
+    let per_node_cycle = spec.measure as f64 * net.num_nodes() as f64;
     let unicast_mean = m.unicast_latency().mean();
     let bcast_completion_mean = m.broadcast_completion_latency().mean();
     let backlog_per_node = end_backlog as f64 / net.num_nodes() as f64;
@@ -530,21 +633,28 @@ fn summarise<N: MonoStep>(
         bcast_reception_mean: m.broadcast_reception_latency().mean(),
         bcast_completion_mean,
         bcast_samples: m.completed(TrafficClass::Broadcast),
-        throughput: (flits_after - flits_before) as f64
-            / (spec.measure as f64 * net.num_nodes() as f64),
+        throughput: (flits_after.1 - flits_before.1) as f64 / per_node_cycle,
         saturated,
         end_backlog,
         delivered_fraction: m.delivered_fraction(),
         undeliverable: m.undeliverable_total(),
         flits_dropped: m.flits_dropped(),
+        retransmissions: m.retransmissions(),
+        recovered_receivers: m.recovered_receivers(),
+        ack_latency_mean: m.ack_latency().mean(),
+        goodput: (flits_after.0 - flits_before.0) as f64 / per_node_cycle,
     }
 }
 
 /// The warmup/measure/drain protocol, written once for every dispatch mode.
+/// `deadline` is the cooperative wall-clock cutoff (a campaign's
+/// `--point-timeout` budget), checked at the stall watchdog's cadence;
+/// `None` runs unbounded.
 fn run_protocol<N: MonoStep, W: Workload + ?Sized>(
     net: &mut N,
     workload: &mut W,
     spec: &RunSpec,
+    deadline: Option<std::time::Instant>,
 ) -> RunOutcome {
     let t0 = net.now();
     let offered_rate = workload.nominal_rate();
@@ -553,36 +663,28 @@ fn run_protocol<N: MonoStep, W: Workload + ?Sized>(
     // its poll schedule parked at the previous drain's silence; reset it so
     // `workload` is actually consulted.
     net.note_workload_change();
-    let mut dog = Watchdog::new(spec.stall_window);
+    let mut dog = Watchdog::new(spec.stall_window, deadline);
     for _ in 0..spec.warmup {
         net.step_mono(workload);
-        if dog.wedged(net) {
+        if let Some(trip) = dog.poll(net) {
             let end_backlog = net.source_backlog();
-            let partial = summarise(net, offered_rate, spec, 0, 0, end_backlog, true);
-            return RunOutcome::Stalled {
-                cycle: net.now(),
-                diagnostics: net.stall_diagnostics(),
-                partial,
-            };
+            let partial = summarise(net, offered_rate, spec, (0, 0), (0, 0), end_backlog, true);
+            return trip_outcome(net, trip, partial);
         }
     }
     net.metrics_mut().begin_measurement(t0 + spec.warmup);
-    let flits_before = net.metrics().flits_delivered();
+    let flits_before = flits_moved(net);
     for _ in 0..spec.measure {
         net.step_mono(workload);
-        if dog.wedged(net) {
-            let flits_after = net.metrics().flits_delivered();
+        if let Some(trip) = dog.poll(net) {
+            let flits_after = flits_moved(net);
             let end_backlog = net.source_backlog();
             let partial =
                 summarise(net, offered_rate, spec, flits_before, flits_after, end_backlog, true);
-            return RunOutcome::Stalled {
-                cycle: net.now(),
-                diagnostics: net.stall_diagnostics(),
-                partial,
-            };
+            return trip_outcome(net, trip, partial);
         }
     }
-    let flits_after = net.metrics().flits_delivered();
+    let flits_after = flits_moved(net);
     let end_backlog = net.source_backlog();
 
     let mut silence = Silence;
@@ -592,14 +694,10 @@ fn run_protocol<N: MonoStep, W: Workload + ?Sized>(
             break;
         }
         net.step_mono(&mut silence);
-        if dog.wedged(net) {
+        if let Some(trip) = dog.poll(net) {
             let partial =
                 summarise(net, offered_rate, spec, flits_before, flits_after, end_backlog, true);
-            return RunOutcome::Stalled {
-                cycle: net.now(),
-                diagnostics: net.stall_diagnostics(),
-                partial,
-            };
+            return trip_outcome(net, trip, partial);
         }
     }
 
@@ -614,6 +712,17 @@ fn run_protocol<N: MonoStep, W: Workload + ?Sized>(
     ))
 }
 
+/// Package a tripped sentinel as the matching outcome (diagnostics are only
+/// gathered for a genuine stall — the deadline cut is not a wedge).
+fn trip_outcome<N: MonoStep>(net: &N, trip: Trip, partial: RunResult) -> RunOutcome {
+    match trip {
+        Trip::Wedged => {
+            RunOutcome::Stalled { cycle: net.now(), diagnostics: net.stall_diagnostics(), partial }
+        }
+        Trip::Overdue => RunOutcome::DeadlineExceeded { cycle: net.now(), partial },
+    }
+}
+
 /// Run the warmup/measure/drain protocol and summarise.
 ///
 /// Injection runs for `warmup + measure` cycles; only messages created inside
@@ -626,7 +735,7 @@ fn run_protocol<N: MonoStep, W: Workload + ?Sized>(
 /// callers — `run_point`, the perf harness — use [`run_mono`], which
 /// monomorphizes the same protocol.
 pub fn run(net: &mut dyn NocSim, workload: &mut dyn Workload, spec: &RunSpec) -> RunResult {
-    run_protocol(&mut DynNet(net), workload, spec).into_result()
+    run_protocol(&mut DynNet(net), workload, spec, None).into_result()
 }
 
 /// [`run`], monomorphized: the whole per-cycle loop — enum dispatch over the
@@ -637,7 +746,7 @@ pub fn run_mono<W: Workload + ?Sized>(
     workload: &mut W,
     spec: &RunSpec,
 ) -> RunResult {
-    run_protocol(net, workload, spec).into_result()
+    run_protocol(net, workload, spec, None).into_result()
 }
 
 /// [`run_mono`], but reporting how the run ended: [`RunOutcome::Stalled`]
@@ -648,7 +757,21 @@ pub fn run_mono_outcome<W: Workload + ?Sized>(
     workload: &mut W,
     spec: &RunSpec,
 ) -> RunOutcome {
-    run_protocol(net, workload, spec)
+    run_protocol(net, workload, spec, None)
+}
+
+/// [`run_mono_outcome`] with a cooperative wall-clock deadline: the run
+/// checks `deadline` at the stall watchdog's cadence and yields
+/// [`RunOutcome::DeadlineExceeded`] once it passes, so an over-budget
+/// campaign point stops within one window instead of pinning its worker to
+/// the cycle cap. `None` is exactly [`run_mono_outcome`].
+pub fn run_mono_outcome_deadline<W: Workload + ?Sized>(
+    net: &mut AnyNet,
+    workload: &mut W,
+    spec: &RunSpec,
+    deadline: Option<std::time::Instant>,
+) -> RunOutcome {
+    run_protocol(net, workload, spec, deadline)
 }
 
 #[cfg(test)]

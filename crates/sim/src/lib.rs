@@ -76,23 +76,26 @@ pub mod metrics;
 pub mod packets;
 pub mod probe;
 pub mod quarc_net;
+pub mod recovery;
 pub mod spider_net;
 pub mod sweep;
 pub mod torus_net;
 
 pub use arbiter::ArbPolicy;
 pub use driver::{
-    run, run_mono, run_mono_outcome, AnyNet, MonoStep, NocSim, RunOutcome, RunResult, RunSpec,
-    StallDiagnostics,
+    run, run_mono, run_mono_outcome, run_mono_outcome_deadline, AnyNet, MonoStep, NocSim,
+    RunOutcome, RunResult, RunSpec, StallDiagnostics,
 };
 pub use fault::FaultState;
 pub use mesh_net::MeshNetwork;
 pub use metrics::Metrics;
 pub use probe::{CounterSample, FlitEvent, FlitEventKind, Phase, ProbeConfig, SimProbe};
 pub use quarc_net::QuarcNetwork;
+pub use recovery::{DataDelivery, RecoveryAction, RecoveryState};
 pub use spider_net::SpidergonNetwork;
 pub use sweep::{
     build_any, build_network, curve_csv, geometric_rates, latency_curve, run_point,
-    run_point_outcome, CurvePoint, CurveSpec, PointError, PointOutcome, PointRunOutcome, PointSpec,
+    run_point_outcome, run_point_outcome_deadline, CurvePoint, CurveSpec, PointError, PointOutcome,
+    PointRunOutcome, PointSpec,
 };
 pub use torus_net::TorusNetwork;

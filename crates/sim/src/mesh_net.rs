@@ -38,8 +38,9 @@ use crate::driver::{NocSim, StallDiagnostics};
 use crate::fault::FaultState;
 use crate::link::{LinkBank, TaggedFlit};
 use crate::metrics::{grid_eject_site, grid_lane_site, Metrics};
-use crate::packets::{grid_expand_into, IdAlloc, PacketQueue};
+use crate::packets::{ack_meta, grid_expand_into, IdAlloc, PacketQueue};
 use crate::probe::{CounterSample, FlitEventKind, Phase, SimProbe};
+use crate::recovery::{DataDelivery, RecoveryAction, RecoveryState};
 use quarc_core::config::{NocConfig, MAX_VCS};
 use quarc_core::flit::{PacketMeta, PacketTable, TrafficClass};
 use quarc_core::ids::NodeId;
@@ -83,6 +84,11 @@ struct HopPlan {
     /// without transmitting (the local copy, if any, still delivers). Set
     /// only at header-plan time.
     dropped: bool,
+    /// The delivery at *this* node (ingress copy or ejection) duplicates an
+    /// already-served receiver (recovery only): drain it without recording,
+    /// but still re-ack the tail. Decided at the header's commit, cached
+    /// here for the body.
+    dup: bool,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -161,6 +167,12 @@ pub struct MeshNetwork {
     /// Injected fault schedule (all-healthy when the plan is empty). Edge
     /// positions are masked out of the selection pool at expansion.
     fault: FaultState,
+    /// End-to-end ack/timeout/retransmit engine from
+    /// [`NocConfig::recovery`]. Disabled policies cost one predictable
+    /// branch per hook.
+    recovery: RecoveryState,
+    /// Scratch for retry-target extraction, reused across pump calls.
+    retry_targets: Vec<NodeId>,
     /// Instrumentation (off by default; observe, never mutate).
     probe: SimProbe,
 }
@@ -222,6 +234,8 @@ impl MeshNetwork {
             buffered_flits: 0,
             link_occupancy: 0,
             fault,
+            recovery: RecoveryState::new(cfg.recovery, n),
+            retry_targets: Vec::new(),
             probe: SimProbe::new(),
         }
     }
@@ -256,7 +270,7 @@ impl MeshNetwork {
     /// dropped, and a marked transit node's ingress copy still delivers.
     fn plan_header(&self, node: usize, meta: &PacketMeta, from_net: bool) -> HopPlan {
         match self.topo.route(NodeId::new(node), meta.dst) {
-            MeshOut::Eject => HopPlan { deliver: false, out: EJECT, dropped: false },
+            MeshOut::Eject => HopPlan { deliver: false, out: EJECT, dropped: false, dup: false },
             out => HopPlan {
                 deliver: from_net && meta.class == TrafficClass::Multicast && meta.bitstring.bit0(),
                 out: out.index(),
@@ -266,6 +280,7 @@ impl MeshNetwork {
                         meta.packet,
                         self.clock.now(),
                     ),
+                dup: false,
             },
         }
     }
@@ -441,23 +456,59 @@ impl MeshNetwork {
             if t.req.is_tail {
                 self.eject_owner[node] = None;
             }
-            // The single arbitrated ejection port is the delivery site: it
-            // streams one packet at a time (eject_owner pins it).
-            self.metrics.record_flit_delivery(
-                now,
-                NodeId::new(node),
-                grid_eject_site(node),
-                &flit,
-                self.packets.meta(flit.packet),
-            );
-            if t.req.is_tail {
-                if self.probe.trace_on() {
-                    let m = self.packets.meta(flit.packet);
-                    let (msg, class) = (m.message.0, m.class);
-                    self.probe.trace(FlitEventKind::Deliver, now, msg, class, node as u32, 0);
+            let meta = *self.packets.meta(flit.packet);
+            if meta.class == TrafficClass::Ack {
+                // ACK absorbed at the data source: a control packet, never a
+                // tracked delivery (the data message may already be completed
+                // and its slot recycled). First ack per receiver closes its
+                // pending bit and samples the round trip; duplicates drain.
+                let fresh = self.recovery.on_ack(meta.message, meta.src, now);
+                if let Some(created_at) = fresh {
+                    self.metrics.record_ack_delivery(now, created_at);
                 }
-                // The packet has fully left the network: retire it.
-                self.packets.release(flit.packet);
+                if self.probe.trace_on() {
+                    self.probe.trace(
+                        FlitEventKind::Ack,
+                        now,
+                        meta.message.0,
+                        meta.class,
+                        meta.src.index() as u32,
+                        fresh.is_some() as u32,
+                    );
+                }
+                if t.req.is_tail {
+                    self.packets.release(flit.packet);
+                }
+            } else {
+                let dup = self.data_dup(&t, &meta, node);
+                if dup {
+                    self.metrics.note_dup_flit();
+                } else {
+                    // The single arbitrated ejection port is the delivery
+                    // site: it streams one packet at a time (eject_owner
+                    // pins it).
+                    self.metrics.record_flit_delivery(
+                        now,
+                        NodeId::new(node),
+                        grid_eject_site(node),
+                        &flit,
+                        &meta,
+                    );
+                }
+                if t.req.is_tail {
+                    if !dup && self.probe.trace_on() {
+                        let (msg, class) = (meta.message.0, meta.class);
+                        self.probe.trace(FlitEventKind::Deliver, now, msg, class, node as u32, 0);
+                    }
+                    // Every tail reception acks — fresh or duplicate: a
+                    // duplicate's re-ack may be the one that finally closes
+                    // the window when the original ack was itself dropped.
+                    if self.recovery.enabled() {
+                        self.emit_ack(node, &meta, now);
+                    }
+                    // The packet has fully left the network: retire it.
+                    self.packets.release(flit.packet);
+                }
             }
         } else {
             // Ingress-mux multicast copy: the marked node absorbs while the
@@ -467,25 +518,42 @@ impl MeshNetwork {
                 let Src::Net { port, vc } = t.req.src else {
                     unreachable!("local injections never clone")
                 };
-                self.metrics.record_flit_delivery(
-                    now,
-                    NodeId::new(node),
-                    grid_lane_site(node, port, vc),
-                    &flit,
-                    self.packets.meta(flit.packet),
-                );
-                if self.probe.trace_on() {
-                    let m = self.packets.meta(flit.packet);
-                    let (msg, class) = (m.message.0, m.class);
-                    if flit.is_header() {
-                        // Ingress-mux clone: the local copy and the forwarded
-                        // flit move in the same cycle.
-                        let o = t.req.plan.out as u32;
-                        self.probe.trace(FlitEventKind::Clone, now, msg, class, node as u32, o);
+                let meta = *self.packets.meta(flit.packet);
+                let dup = self.data_dup(&t, &meta, node);
+                if dup {
+                    self.metrics.note_dup_flit();
+                } else {
+                    self.metrics.record_flit_delivery(
+                        now,
+                        NodeId::new(node),
+                        grid_lane_site(node, port, vc),
+                        &flit,
+                        &meta,
+                    );
+                    if self.probe.trace_on() {
+                        let (msg, class) = (meta.message.0, meta.class);
+                        if flit.is_header() {
+                            // Ingress-mux clone: the local copy and the
+                            // forwarded flit move in the same cycle.
+                            let o = t.req.plan.out as u32;
+                            self.probe.trace(FlitEventKind::Clone, now, msg, class, node as u32, o);
+                        }
+                        if flit.is_tail() {
+                            self.probe.trace(
+                                FlitEventKind::Deliver,
+                                now,
+                                msg,
+                                class,
+                                node as u32,
+                                0,
+                            );
+                        }
                     }
-                    if flit.is_tail() {
-                        self.probe.trace(FlitEventKind::Deliver, now, msg, class, node as u32, 0);
-                    }
+                }
+                // Every tail reception acks — fresh or duplicate (see the
+                // ejection branch).
+                if self.recovery.enabled() && flit.is_tail() {
+                    self.emit_ack(node, &meta, now);
                 }
             }
             if t.req.plan.dropped {
@@ -493,10 +561,18 @@ impl MeshNetwork {
                 // the receivers the suppressed forward would still have
                 // served (the ingress copy above, if any, was not among
                 // them), so the message ledger balances and drains terminate.
+                // Dropped ACKs are pure control loss (the data source's
+                // timeout recovers them), and with recovery on every data
+                // loss is deferred to the retransmit window — the exhaust
+                // pump is the sole write-off site.
                 let meta = *self.packets.meta(flit.packet);
                 self.metrics.record_flit_drop(meta.class);
-                if t.req.is_header {
-                    let lost = self.receivers_beyond(node, t.req.src, &meta);
+                if t.req.is_header && meta.class != TrafficClass::Ack {
+                    let lost = if self.recovery.enabled() {
+                        0
+                    } else {
+                        self.receivers_beyond(node, t.req.src, &meta)
+                    };
                     self.metrics.record_lost_receivers(meta.message, lost);
                     if self.probe.trace_on() {
                         self.probe.trace(
@@ -544,6 +620,123 @@ impl MeshNetwork {
                 self.live_links.push(lid as u32);
             }
         }
+    }
+
+    /// Commit-time duplicate verdict for the data delivery at `node`
+    /// (gather is read-only arbitration). The header consults the recovery
+    /// window once; the verdict rides the cached plan so the worm's body
+    /// and tail agree with it.
+    fn data_dup(&mut self, t: &Transfer, meta: &PacketMeta, node: usize) -> bool {
+        if !self.recovery.enabled() {
+            return false;
+        }
+        if !t.req.is_header {
+            return t.req.plan.dup;
+        }
+        match self.recovery.on_data_header(meta.message, NodeId::new(node)) {
+            DataDelivery::Fresh { recovered } => {
+                if recovered {
+                    self.metrics.note_recovered_receiver();
+                }
+                false
+            }
+            DataDelivery::Dup => {
+                if let Src::Net { port, vc } = t.req.src {
+                    let lane = (node * 4 + port) * self.cfg.vcs + vc;
+                    if let Some(plan) = self.in_route[lane].as_mut() {
+                        plan.dup = true;
+                    }
+                } else if let Some(plan) = self.inject_plan[node].as_mut() {
+                    plan.dup = true;
+                }
+                true
+            }
+        }
+    }
+
+    /// Enqueue the single-flit ACK a receiver emits on absorbing a data
+    /// tail: a control unicast back to the data source, injected through
+    /// the single local port like any application packet.
+    fn emit_ack(&mut self, node: usize, meta: &PacketMeta, now: Cycle) {
+        let packet = self.ids.packet();
+        let pm = ack_meta(meta.message, NodeId::new(node), meta.src, packet, now);
+        let pref = self.packets.insert(pm);
+        let flits = self.inject_q[node].push_packet(pref, 1);
+        self.inject_backlog += flits;
+        self.mark_node(node);
+    }
+
+    /// Drain the recovery timer heap: re-inject each due message to its
+    /// unacked receiver subset, or write off the never-served receivers of
+    /// a retry-exhausted window. Runs in step phase (b) right after the
+    /// workload polls, so retransmissions enter the same injection path as
+    /// fresh traffic in a deterministic order.
+    fn pump_recovery(&mut self, now: Cycle) {
+        let mut targets = std::mem::take(&mut self.retry_targets);
+        let mut branches = std::mem::take(&mut self.branch_buf);
+        while let Some(action) = self.recovery.pop_action(now, &mut targets) {
+            match action {
+                RecoveryAction::Retry { message, src, class, len, attempt: _ } => {
+                    // Re-expand under the *original* message id (no
+                    // create_message / set_expected: the ledger entry is the
+                    // original's) narrowed to the unacked subset; collective
+                    // classes retransmit as a multicast over that subset,
+                    // riding a freshly planned dimension-ordered tree.
+                    let req = if class == TrafficClass::Unicast {
+                        branches.clear();
+                        MessageRequest::unicast(src, targets[0], len as usize)
+                    } else {
+                        self.topo.multicast_branches_into(
+                            src,
+                            targets.iter().copied(),
+                            self.packets.bits_mut(),
+                            &mut branches,
+                        );
+                        MessageRequest::multicast(src, targets.clone(), len as usize)
+                    };
+                    let node = src.index();
+                    let (_, flits) = grid_expand_into(
+                        &req,
+                        &branches,
+                        message,
+                        &mut self.ids,
+                        now,
+                        &mut self.packets,
+                        &mut self.inject_q[node],
+                    );
+                    self.inject_backlog += flits;
+                    self.mark_node(node);
+                    self.metrics.note_retransmission();
+                    if self.probe.trace_on() {
+                        self.probe.trace(
+                            FlitEventKind::Retry,
+                            now,
+                            message.0,
+                            class,
+                            node as u32,
+                            targets.len() as u32,
+                        );
+                    }
+                }
+                RecoveryAction::Exhaust { message, src, class, lost } => {
+                    if lost > 0 {
+                        self.metrics.record_lost_receivers(message, lost);
+                    }
+                    if self.probe.trace_on() {
+                        self.probe.trace(
+                            FlitEventKind::Expire,
+                            now,
+                            message.0,
+                            class,
+                            src.index() as u32,
+                            lost as u32,
+                        );
+                    }
+                }
+            }
+        }
+        self.retry_targets = targets;
+        self.branch_buf = branches;
     }
 
     /// Receivers a packet dropped at `node` would still have served: replay
@@ -635,6 +828,9 @@ impl MeshNetwork {
                 &mut self.inject_q[node],
             );
             self.metrics.set_expected(message, expected);
+            if self.recovery.enabled() {
+                self.recovery.on_send(message, &req, now, expected);
+            }
             self.inject_backlog += flits;
             self.mark_node(node);
             // Probe-only: Inject carries the expected reception count so the
@@ -719,6 +915,11 @@ impl MeshNetwork {
         }
         self.poll_buf = reqs;
         self.branch_buf = branches;
+        // Recovery deadlines: retransmissions and write-offs join phase (b)
+        // alongside fresh traffic.
+        if self.recovery.enabled() {
+            self.pump_recovery(now);
+        }
         if let Some(m) = mark.as_mut() {
             self.probe.phase_lap(Phase::Polls, m, polled);
         }
@@ -852,10 +1053,18 @@ impl NocSim for MeshNetwork {
 
     fn quiesced(&self) -> bool {
         // Counters only — O(1) per call (drain loops poll this every cycle).
+        // `pending() > 0` keeps drains alive while a backoff timer holds the
+        // fabric idle: an empty network whose recovery window is not done is
+        // not quiet — a deadline will still fire.
         self.metrics.in_flight() == 0
             && self.inject_backlog == 0
             && self.link_occupancy == 0
             && self.buffered_flits == 0
+            && self.recovery.pending() == 0
+    }
+
+    fn recovery_pending(&self) -> u64 {
+        self.recovery.pending()
     }
 
     fn stall_diagnostics(&self) -> StallDiagnostics {
@@ -879,6 +1088,7 @@ impl NocSim for MeshNetwork {
             on_links: self.link_occupancy,
             in_flight: self.metrics.in_flight() as u64,
             live_packets: self.packets.live() as u64,
+            fault: self.cfg.fault.to_string(),
             busiest_routers: busiest,
         }
     }

@@ -14,7 +14,7 @@
 //! broadcast reaches every node exactly once.
 
 use quarc_core::config::MAX_VCS;
-use quarc_core::flit::{Flit, FlitKind, PacketMeta, TrafficClass};
+use quarc_core::flit::{Flit, PacketMeta, TrafficClass};
 use quarc_core::ids::{MessageId, NodeId};
 use quarc_engine::stats::{LatencyHistogram, OnlineStats};
 use quarc_engine::Cycle;
@@ -114,6 +114,23 @@ pub struct Metrics {
     receivers_delivered: u64,
     receivers_lost: u64,
     messages_completed_total: u64,
+    /// Packets re-sent by the recovery layer (one per timeout-triggered
+    /// retransmission of one message, however many branch packets it took).
+    retransmissions: u64,
+    /// Receivers served by a retransmission after the first attempt failed
+    /// to reach them — the recovery layer's payoff counter.
+    recovered_receivers: u64,
+    /// Single-flit ACK packets absorbed at their source. ACKs are control
+    /// traffic: they never count toward `flits_delivered` or the receiver
+    /// ledger.
+    acks_delivered: u64,
+    /// Data flits drained by receivers that had already been served (late
+    /// originals or over-wide retransmissions). Suppressed from
+    /// `flits_delivered` so goodput stays duplicate-free.
+    dup_flits_suppressed: u64,
+    /// Message-creation → ACK-reception round-trip latency (measured
+    /// messages only).
+    ack_latency: OnlineStats,
 }
 
 impl Default for Metrics {
@@ -147,6 +164,11 @@ impl Metrics {
             receivers_delivered: 0,
             receivers_lost: 0,
             messages_completed_total: 0,
+            retransmissions: 0,
+            recovered_receivers: 0,
+            acks_delivered: 0,
+            dup_flits_suppressed: 0,
+            ack_latency: OnlineStats::new(),
         }
     }
 
@@ -233,7 +255,7 @@ impl Metrics {
             meta.packet, flit.seq, expected_seq
         );
         *expected_seq += 1;
-        if flit.kind != FlitKind::Tail {
+        if !flit.is_tail() {
             return;
         }
         // Tail: the packet is fully received at this site.
@@ -345,6 +367,61 @@ impl Metrics {
         self.flits_dropped_class[class.index()] += 1;
     }
 
+    /// Record one timeout-triggered retransmission issued by the recovery
+    /// layer.
+    pub fn note_retransmission(&mut self) {
+        self.retransmissions += 1;
+    }
+
+    /// Record a receiver served by a retransmission (the first attempt never
+    /// reached it).
+    pub fn note_recovered_receiver(&mut self) {
+        self.recovered_receivers += 1;
+    }
+
+    /// Record a data flit drained at an already-served receiver. Duplicates
+    /// are invisible to the receiver ledger and latency stats; they only
+    /// show up here and in link occupancy.
+    pub fn note_dup_flit(&mut self) {
+        self.dup_flits_suppressed += 1;
+    }
+
+    /// Record an ACK absorbed at the source of the message it acknowledges.
+    /// `created_at` is the acknowledged message's creation cycle, so the
+    /// sample is the full send → ack round trip including source queueing —
+    /// measured messages only, like every other latency stat.
+    pub fn record_ack_delivery(&mut self, now: Cycle, created_at: Cycle) {
+        self.acks_delivered += 1;
+        if created_at >= self.measure_from {
+            self.ack_latency.push(now.saturating_sub(created_at) as f64);
+        }
+    }
+
+    /// Retransmissions issued by the recovery layer.
+    pub fn retransmissions(&self) -> u64 {
+        self.retransmissions
+    }
+
+    /// Receivers served only thanks to a retransmission.
+    pub fn recovered_receivers(&self) -> u64 {
+        self.recovered_receivers
+    }
+
+    /// ACK packets absorbed at their destination source.
+    pub fn acks_delivered(&self) -> u64 {
+        self.acks_delivered
+    }
+
+    /// Duplicate data flits drained at already-served receivers.
+    pub fn dup_flits_suppressed(&self) -> u64 {
+        self.dup_flits_suppressed
+    }
+
+    /// Message-creation → ACK-reception round-trip latency.
+    pub fn ack_latency(&self) -> &OnlineStats {
+        &self.ack_latency
+    }
+
     /// Mean unicast latency (message creation → tail at destination).
     pub fn unicast_latency(&self) -> &OnlineStats {
         &self.unicast
@@ -450,7 +527,7 @@ impl Metrics {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use quarc_core::flit::PacketRef;
+    use quarc_core::flit::{FlitKind, PacketRef};
     use quarc_core::ids::PacketId;
     use quarc_core::ring::RingDir;
 
@@ -656,6 +733,25 @@ mod tests {
         assert_eq!(m.flits_dropped_of(TrafficClass::Unicast), 2);
         assert_eq!(m.flits_dropped_of(TrafficClass::Broadcast), 1);
         assert_eq!(m.flits_dropped_of(TrafficClass::Multicast), 0);
+    }
+
+    #[test]
+    fn recovery_counters_and_ack_latency_gating() {
+        let mut m = Metrics::new();
+        m.begin_measurement(100);
+        m.note_retransmission();
+        m.note_recovered_receiver();
+        m.note_dup_flit();
+        // Warmup message: counted, not sampled.
+        m.record_ack_delivery(150, 50);
+        // Measured message: counted and sampled.
+        m.record_ack_delivery(180, 120);
+        assert_eq!(m.retransmissions(), 1);
+        assert_eq!(m.recovered_receivers(), 1);
+        assert_eq!(m.dup_flits_suppressed(), 1);
+        assert_eq!(m.acks_delivered(), 2);
+        assert_eq!(m.ack_latency().count(), 1);
+        assert_eq!(m.ack_latency().mean(), 60.0);
     }
 
     #[test]

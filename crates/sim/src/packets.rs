@@ -17,7 +17,7 @@
 
 use quarc_core::bits::Bits;
 use quarc_core::flit::{Flit, FlitKind, PacketMeta, PacketRef, PacketTable, TrafficClass};
-use quarc_core::ids::{MessageId, PacketId};
+use quarc_core::ids::{MessageId, NodeId, PacketId};
 use quarc_core::quadrant::{broadcast_branch_heads, multicast_branches, quadrant_of};
 use quarc_core::ring::{Ring, RingDir};
 use quarc_core::routing::spidergon_broadcast_seeds;
@@ -26,11 +26,15 @@ use quarc_engine::Cycle;
 use quarc_workloads::MessageRequest;
 use std::collections::VecDeque;
 
-/// The `seq`-th flit of a `len`-flit packet: header, bodies, tail, with the
-/// sequence number as payload (as the original transceiver model emitted).
+/// The `seq`-th flit of a `len`-flit packet: header, bodies, tail — or a
+/// lone `Single` flit for one-flit packets (the recovery layer's ACKs) —
+/// with the sequence number as payload (as the original transceiver model
+/// emitted).
 #[inline]
 fn nth_flit(packet: PacketRef, seq: u32, len: u32) -> Flit {
-    let kind = if seq == 0 {
+    let kind = if len == 1 {
+        FlitKind::Single
+    } else if seq == 0 {
         FlitKind::Header
     } else if seq + 1 == len {
         FlitKind::Tail
@@ -65,7 +69,9 @@ impl PacketQueue {
 
     /// Enqueue packet `packet` of `len` flits. Returns the flit count.
     pub fn push_packet(&mut self, packet: PacketRef, len: u32) -> usize {
-        assert!(len >= 2, "a packet needs header and tail flits (paper §2.6)");
+        // Data packets carry header and tail flits (paper §2.6); the one
+        // legal one-flit packet is the recovery layer's Single-flit ACK.
+        assert!(len >= 1, "a packet needs at least one flit");
         self.entries.push_back((packet, len));
         len as usize
     }
@@ -105,6 +111,32 @@ impl PacketQueue {
 /// onto the back of `queue`. Returns the flit count.
 pub fn push_packet(queue: &mut PacketQueue, packet: PacketRef, len: u32) -> usize {
     queue.push_packet(packet, len)
+}
+
+/// The recovery layer's single-flit ACK packet for data message `message`:
+/// a control unicast from acking receiver `from` back to the data source
+/// `to`. `message` names the *data* message — acks are never tracked
+/// messages of their own (no `create_message`, no receiver ledger entry).
+/// The caller interns the meta and serialises it into whichever injection
+/// queue its topology routes `from → to` through.
+pub fn ack_meta(
+    message: MessageId,
+    from: NodeId,
+    to: NodeId,
+    packet: PacketId,
+    now: Cycle,
+) -> PacketMeta {
+    PacketMeta {
+        message,
+        packet,
+        class: TrafficClass::Ack,
+        src: from,
+        dst: to,
+        bitstring: Bits::ZERO,
+        dir: RingDir::Cw,
+        len: 1,
+        created_at: now,
+    }
 }
 
 /// Allocates monotonically increasing packet identifiers. (Message ids are
@@ -366,6 +398,20 @@ mod tests {
         assert_eq!(q.front().unwrap().kind, FlitKind::Tail);
         assert_eq!(q.pop().unwrap().kind, FlitKind::Tail);
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn single_flit_packet_is_header_and_tail_at_once() {
+        let mut table = PacketTable::new();
+        let pref = table.insert(ack_meta(MessageId(7), NodeId(3), NodeId(0), PacketId(9), 42));
+        let mut q = PacketQueue::new();
+        assert_eq!(push_packet(&mut q, pref, 1), 1);
+        let f = q.pop().unwrap();
+        assert_eq!(f.kind, FlitKind::Single);
+        assert!(f.is_header() && f.is_tail());
+        assert!(q.is_empty());
+        assert_eq!(table.meta(pref).class, TrafficClass::Ack);
+        assert_eq!(table.meta(pref).message, MessageId(7), "acks name the data message");
     }
 
     #[test]

@@ -192,8 +192,21 @@ pub enum FlitEventKind {
     /// A tail flit was delivered to a PE (one event per reception).
     Deliver,
     /// A packet's forward was suppressed by a fault at header-plan time;
-    /// `arg` is the number of receivers written off as lost.
+    /// `arg` is the number of receivers written off as lost. Under an
+    /// active recovery policy data drops carry `arg = 0` — loss accounting
+    /// is deferred to the retry window and shows up as [`Self::Expire`].
     Drop,
+    /// An ACK was absorbed at the source of the message it acknowledges;
+    /// `node` is the acking receiver, `arg` is 1 for the first ack from
+    /// that receiver and 0 for a drained duplicate.
+    Ack,
+    /// The recovery layer retransmitted a message to its unacked receiver
+    /// subset; `node` is the source, `arg` is the subset size.
+    Retry,
+    /// The recovery layer exhausted its retries; `arg` is the number of
+    /// never-served receivers written off as lost (closing the per-message
+    /// ledger: delivers + drop-losses + expire-losses == expected).
+    Expire,
 }
 
 impl FlitEventKind {
@@ -205,6 +218,9 @@ impl FlitEventKind {
             FlitEventKind::Clone => "clone",
             FlitEventKind::Deliver => "deliver",
             FlitEventKind::Drop => "drop",
+            FlitEventKind::Ack => "ack",
+            FlitEventKind::Retry => "retry",
+            FlitEventKind::Expire => "expire",
         }
     }
 }

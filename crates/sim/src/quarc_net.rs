@@ -41,8 +41,9 @@ use crate::driver::{NocSim, StallDiagnostics};
 use crate::fault::FaultState;
 use crate::link::{LinkBank, TaggedFlit};
 use crate::metrics::Metrics;
-use crate::packets::{quarc_expand_into, IdAlloc, PacketQueue};
+use crate::packets::{ack_meta, quarc_expand_into, IdAlloc, PacketQueue};
 use crate::probe::{CounterSample, FlitEventKind, Phase, SimProbe};
+use crate::recovery::{DataDelivery, RecoveryAction, RecoveryState};
 use quarc_core::bits::Bits;
 use quarc_core::config::{NocConfig, MAX_VCS};
 use quarc_core::flit::{PacketMeta, PacketTable, TrafficClass};
@@ -101,6 +102,12 @@ struct HopPlan {
     /// without transmitting (the local copy, if any, still delivers). Set
     /// only at header-plan time, so a fault never tears a worm mid-packet.
     dropped: bool,
+    /// The local copy is a duplicate at an already-served receiver
+    /// (recovery only): drain it without recording, but still re-ack the
+    /// tail. Decided at the header's *commit* (a header that loses
+    /// arbitration re-plans, so gather must stay read-only) and cached
+    /// with the rest of the plan for the worm's body and tail.
+    dup: bool,
 }
 
 /// One input port's request for this cycle.
@@ -181,6 +188,12 @@ pub struct QuarcNetwork {
     /// transient links, frozen routers). Empty plans cost one predictable
     /// branch per site.
     fault: FaultState,
+    /// End-to-end ack/timeout/retransmit engine from
+    /// [`NocConfig::recovery`]. Disabled policies cost one predictable
+    /// branch per hook site and mutate nothing.
+    recovery: RecoveryState,
+    /// Scratch for retransmission target sets (cold path, reused).
+    retry_targets: Vec<NodeId>,
     /// Precomputed `link_target` per `node * 4 + out`: the downstream node
     /// and input-port index.
     targets: Vec<(u32, u8)>,
@@ -292,6 +305,8 @@ impl QuarcNetwork {
             stalls: vec![None; n * 4],
             has_stalls: false,
             fault: FaultState::new(&cfg.fault, n, n * 4, |lid| lid / 4, |_| true),
+            recovery: RecoveryState::new(cfg.recovery, n),
+            retry_targets: Vec::new(),
             credits: vec![cfg.buffer_depth as u32; n * 4 * cfg.vcs],
             feeder,
             targets,
@@ -519,18 +534,21 @@ impl QuarcNetwork {
                             out: None,
                             out_vc: INJECTION_VC,
                             dropped: false,
+                            dup: false,
                         },
                         RouteAction::Forward(out) => HopPlan {
                             deliver: false,
                             out: Some(out.index() as u8),
                             out_vc: self.forward_vc(node, out, VcId(vc as u8)),
                             dropped: false,
+                            dup: false,
                         },
                         RouteAction::DeliverAndForward(out) => HopPlan {
                             deliver: true,
                             out: Some(out.index() as u8),
                             out_vc: self.forward_vc(node, out, VcId(vc as u8)),
                             dropped: false,
+                            dup: false,
                         },
                     };
                     match planned.out {
@@ -551,6 +569,7 @@ impl QuarcNetwork {
                                 out: None,
                                 out_vc: INJECTION_VC,
                                 dropped: true,
+                                dup: false,
                             }
                         }
                         _ => planned,
@@ -589,7 +608,8 @@ impl QuarcNetwork {
     fn gather_local_port(&self, node: usize, quad: usize) -> Option<PortReq> {
         let head = self.inject_q[node * 4 + quad].front()?;
         let src = Src::Local { quad: quad as u8 };
-        let drop_plan = HopPlan { deliver: false, out: None, out_vc: INJECTION_VC, dropped: true };
+        let drop_plan =
+            HopPlan { deliver: false, out: None, out_vc: INJECTION_VC, dropped: true, dup: false };
         // Continuation of a packet whose injection link fault-dropped its
         // header: keep draining the queue without transmitting.
         if self.inject_drop[node * 4 + quad] {
@@ -632,7 +652,13 @@ impl QuarcNetwork {
             && self.downstream_free(node, o, out_vc) > 0;
         ok.then_some(PortReq {
             src,
-            plan: HopPlan { deliver: false, out: Some(o as u8), out_vc, dropped: false },
+            plan: HopPlan {
+                deliver: false,
+                out: Some(o as u8),
+                out_vc,
+                dropped: false,
+                dup: false,
+            },
             is_header: head.is_header(),
             is_tail: head.is_tail(),
         })
@@ -735,8 +761,17 @@ impl QuarcNetwork {
         if t.req.plan.dropped {
             let meta = *self.packets.meta(flit.packet);
             self.metrics.record_flit_drop(meta.class);
-            if t.req.is_header {
-                let lost = self.receivers_beyond(node, t.req.src, &meta);
+            // Dropped ACKs are pure control loss: the data source's timeout
+            // covers them. Data drops write off their unreached receivers —
+            // unless recovery is on, in which case every loss is deferred to
+            // the retry window (the exhaust pump is the sole write-off site,
+            // so a drop racing the final deadline can never double-count).
+            if t.req.is_header && meta.class != TrafficClass::Ack {
+                let lost = if self.recovery.enabled() {
+                    0
+                } else {
+                    self.receivers_beyond(node, t.req.src, &meta)
+                };
                 self.metrics.record_lost_receivers(meta.message, lost);
                 if self.probe.trace_on() {
                     self.probe.trace(
@@ -758,31 +793,88 @@ impl QuarcNetwork {
             let Src::Net { port, vc } = t.req.src else {
                 unreachable!("local injection queues never deliver")
             };
+            let lane = (node * 4 + port as usize) * vcs + vc as usize;
             let site = (node * 4 + port as usize) * MAX_VCS + vc as usize;
-            self.metrics.record_flit_delivery(
-                now,
-                NodeId::new(node),
-                site,
-                &flit,
-                self.packets.meta(flit.packet),
-            );
-            if self.probe.trace_on() {
-                let m = self.packets.meta(flit.packet);
-                let (msg, class) = (m.message.0, m.class);
-                if let (true, Some(out)) = (flit.is_header(), t.req.plan.out) {
-                    // Ingress-mux clone: the local copy and the forwarded
-                    // flit move in the same cycle (§2.2 absorb-and-forward).
+            let meta = *self.packets.meta(flit.packet);
+            if meta.class == TrafficClass::Ack {
+                // ACK absorbed at the data source: a control packet, never a
+                // tracked delivery (the data message may already be completed
+                // and its slot recycled). First ack per receiver closes its
+                // pending bit and samples the round trip; duplicates drain.
+                let fresh = self.recovery.on_ack(meta.message, meta.src, now);
+                if let Some(created_at) = fresh {
+                    self.metrics.record_ack_delivery(now, created_at);
+                }
+                if self.probe.trace_on() {
                     self.probe.trace(
-                        FlitEventKind::Clone,
+                        FlitEventKind::Ack,
                         now,
-                        msg,
-                        class,
-                        node as u32,
-                        out as u32,
+                        meta.message.0,
+                        meta.class,
+                        meta.src.index() as u32,
+                        fresh.is_some() as u32,
                     );
                 }
-                if flit.is_tail() {
-                    self.probe.trace(FlitEventKind::Deliver, now, msg, class, node as u32, 0);
+            } else {
+                let mut dup = false;
+                if self.recovery.enabled() {
+                    if t.req.is_header {
+                        // Commit-time dup decision (gather is read-only
+                        // arbitration); the verdict rides the cached plan so
+                        // the worm's body and tail agree with its header.
+                        match self.recovery.on_data_header(meta.message, NodeId::new(node)) {
+                            DataDelivery::Fresh { recovered } => {
+                                if recovered {
+                                    self.metrics.note_recovered_receiver();
+                                }
+                            }
+                            DataDelivery::Dup => {
+                                dup = true;
+                                if let Some(plan) = self.in_route[lane].as_mut() {
+                                    plan.dup = true;
+                                }
+                            }
+                        }
+                    } else {
+                        dup = t.req.plan.dup;
+                    }
+                }
+                if dup {
+                    self.metrics.note_dup_flit();
+                } else {
+                    self.metrics.record_flit_delivery(now, NodeId::new(node), site, &flit, &meta);
+                    if self.probe.trace_on() {
+                        let (msg, class) = (meta.message.0, meta.class);
+                        if let (true, Some(out)) = (flit.is_header(), t.req.plan.out) {
+                            // Ingress-mux clone: the local copy and the
+                            // forwarded flit move in the same cycle (§2.2
+                            // absorb-and-forward).
+                            self.probe.trace(
+                                FlitEventKind::Clone,
+                                now,
+                                msg,
+                                class,
+                                node as u32,
+                                out as u32,
+                            );
+                        }
+                        if flit.is_tail() {
+                            self.probe.trace(
+                                FlitEventKind::Deliver,
+                                now,
+                                msg,
+                                class,
+                                node as u32,
+                                0,
+                            );
+                        }
+                    }
+                }
+                // Every tail reception acks — fresh or duplicate: a
+                // duplicate's re-ack may be the one that finally closes the
+                // window when the original ack was itself dropped.
+                if self.recovery.enabled() && flit.is_tail() {
+                    self.emit_ack(node, &meta, now);
                 }
             }
         }
@@ -867,6 +959,9 @@ impl QuarcNetwork {
             self.inject_backlog += flits;
             self.mark_node(node);
             self.metrics.set_expected(message, expected);
+            if self.recovery.enabled() {
+                self.recovery.on_send(message, &req, now, expected);
+            }
             // Probe-only: the Inject event carries the expected reception
             // count so the trace stream is self-contained for conservation
             // checks.
@@ -879,6 +974,87 @@ impl QuarcNetwork {
                 expected as u32,
             );
         }
+    }
+
+    /// Enqueue the single-flit ACK a receiver emits on absorbing a data
+    /// tail: a control unicast back to the data source, injected through
+    /// the quadrant queue that routes `node → meta.src` — the same
+    /// contended path as any application packet.
+    fn emit_ack(&mut self, node: usize, meta: &PacketMeta, now: Cycle) {
+        let packet = self.ids.packet();
+        let pm = ack_meta(meta.message, NodeId::new(node), meta.src, packet, now);
+        let quad = quarc_core::quadrant::quadrant_of(self.topo.ring(), pm.src, pm.dst);
+        let pref = self.packets.insert(pm);
+        let flits = self.inject_q[node * 4 + quad.index()].push_packet(pref, 1);
+        self.inject_backlog += flits;
+        self.mark_node(node);
+    }
+
+    /// Drain the recovery timer heap: re-inject each due message to its
+    /// unacked receiver subset, or write off the never-served receivers of
+    /// a retry-exhausted window. Runs in step phase (b) right after the
+    /// workload polls, so retransmissions enter the same injection path as
+    /// fresh traffic in a deterministic order.
+    fn pump_recovery(&mut self, now: Cycle) {
+        let mut targets = std::mem::take(&mut self.retry_targets);
+        while let Some(action) = self.recovery.pop_action(now, &mut targets) {
+            match action {
+                RecoveryAction::Retry { message, src, class, len, attempt: _ } => {
+                    // Re-expand under the *original* message id (no
+                    // create_message / set_expected: the ledger entry is the
+                    // original's) narrowed to the unacked subset; collective
+                    // classes retransmit as a multicast over that subset.
+                    let req = if class == TrafficClass::Unicast {
+                        MessageRequest::unicast(src, targets[0], len as usize)
+                    } else {
+                        MessageRequest::multicast(src, targets.clone(), len as usize)
+                    };
+                    let node = src.index();
+                    let queues: &mut [PacketQueue; 4] = (&mut self.inject_q
+                        [node * 4..node * 4 + 4])
+                        .try_into()
+                        .expect("four quadrant queues per node");
+                    let (_, flits) = quarc_expand_into(
+                        self.topo.ring(),
+                        &req,
+                        message,
+                        &mut self.ids,
+                        now,
+                        &mut self.packets,
+                        queues,
+                    );
+                    self.inject_backlog += flits;
+                    self.mark_node(node);
+                    self.metrics.note_retransmission();
+                    if self.probe.trace_on() {
+                        self.probe.trace(
+                            FlitEventKind::Retry,
+                            now,
+                            message.0,
+                            class,
+                            node as u32,
+                            targets.len() as u32,
+                        );
+                    }
+                }
+                RecoveryAction::Exhaust { message, src, class, lost } => {
+                    if lost > 0 {
+                        self.metrics.record_lost_receivers(message, lost);
+                    }
+                    if self.probe.trace_on() {
+                        self.probe.trace(
+                            FlitEventKind::Expire,
+                            now,
+                            message.0,
+                            class,
+                            src.index() as u32,
+                            lost as u32,
+                        );
+                    }
+                }
+            }
+        }
+        self.retry_targets = targets;
     }
 
     /// Advance one cycle, polling `workload` for new messages. Monomorphized
@@ -955,6 +1131,11 @@ impl QuarcNetwork {
             }
         }
         self.poll_buf = reqs;
+        // Recovery deadlines: retransmissions and write-offs join phase (b)
+        // as extra injections (one predictable branch when disabled).
+        if self.recovery.enabled() {
+            self.pump_recovery(now);
+        }
         if let Some(m) = mark.as_mut() {
             self.probe.phase_lap(Phase::Polls, m, polled);
         }
@@ -1101,12 +1282,18 @@ impl NocSim for QuarcNetwork {
     }
 
     fn quiesced(&self) -> bool {
-        // All four terms are counters — drain loops poll this every cycle,
-        // so it must not walk nodes × ports × VCs.
+        // All terms are counters — drain loops poll this every cycle, so it
+        // must not walk nodes × ports × VCs. An empty network with an open
+        // recovery window is not done: a deadline will still fire.
         self.metrics.in_flight() == 0
             && self.inject_backlog == 0
             && self.link_occupancy == 0
             && self.buffered_flits == 0
+            && self.recovery.pending() == 0
+    }
+
+    fn recovery_pending(&self) -> u64 {
+        self.recovery.pending()
     }
 
     fn stall_diagnostics(&self) -> StallDiagnostics {
@@ -1132,6 +1319,7 @@ impl NocSim for QuarcNetwork {
             on_links: self.link_occupancy,
             in_flight: self.metrics.in_flight() as u64,
             live_packets: self.packets.live() as u64,
+            fault: self.cfg.fault.to_string(),
             busiest_routers: busiest,
         }
     }

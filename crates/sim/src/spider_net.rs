@@ -26,8 +26,9 @@ use crate::driver::{NocSim, StallDiagnostics};
 use crate::fault::FaultState;
 use crate::link::{LinkBank, TaggedFlit};
 use crate::metrics::Metrics;
-use crate::packets::{push_packet, spidergon_expand_into, IdAlloc, PacketQueue};
+use crate::packets::{ack_meta, push_packet, spidergon_expand_into, IdAlloc, PacketQueue};
 use crate::probe::{CounterSample, FlitEventKind, Phase, SimProbe};
+use crate::recovery::{DataDelivery, RecoveryAction, RecoveryState};
 use quarc_core::bits::Bits;
 use quarc_core::config::{NocConfig, MAX_VCS};
 use quarc_core::flit::{PacketMeta, PacketRef, PacketTable, TrafficClass};
@@ -70,6 +71,10 @@ struct HopPlan {
     /// The forward was suppressed by a fault: drain the packet's flits
     /// without transmitting or delivering. Set only at header-plan time.
     dropped: bool,
+    /// This worm is a duplicate delivery of an already-served receiver
+    /// (recovery only): drain it without recording, but still re-ack the
+    /// tail. Decided at the header's commit, cached here for the body.
+    dup: bool,
 }
 
 /// One input port's request for this cycle.
@@ -149,6 +154,12 @@ pub struct SpidergonNetwork {
     link_occupancy: u64,
     /// Injected fault schedule (all-healthy when the plan is empty).
     fault: FaultState,
+    /// End-to-end ack/timeout/retransmit engine from
+    /// [`NocConfig::recovery`]. Disabled policies cost one predictable
+    /// branch per hook.
+    recovery: RecoveryState,
+    /// Scratch for retry-target extraction, reused across pump calls.
+    retry_targets: Vec<NodeId>,
     /// Instrumentation (off by default; observe, never mutate).
     probe: SimProbe,
 }
@@ -206,6 +217,8 @@ impl SpidergonNetwork {
             buffered_flits: 0,
             link_occupancy: 0,
             fault: FaultState::new(&cfg.fault, n, n * 3, |lid| lid / 3, |_| true),
+            recovery: RecoveryState::new(cfg.recovery, n),
+            retry_targets: Vec::new(),
             probe: SimProbe::new(),
         }
     }
@@ -238,7 +251,9 @@ impl SpidergonNetwork {
     /// mid-stream. Ejection uses no link and is never dropped.
     fn plan_header(&self, node: usize, meta: &PacketMeta, cur_vc: VcId) -> HopPlan {
         match spidergon_route(self.topo.ring(), NodeId::new(node), meta.dst) {
-            RouteAction::Deliver => HopPlan { out: EJECT, out_vc: INJECTION_VC, dropped: false },
+            RouteAction::Deliver => {
+                HopPlan { out: EJECT, out_vc: INJECTION_VC, dropped: false, dup: false }
+            }
             RouteAction::Forward(out) => {
                 let out_vc = match out {
                     SpiOut::RimCw => {
@@ -256,7 +271,7 @@ impl SpidergonNetwork {
                         meta.packet,
                         self.clock.now(),
                     );
-                HopPlan { out: out.index(), out_vc, dropped }
+                HopPlan { out: out.index(), out_vc, dropped, dup: false }
             }
             RouteAction::DeliverAndForward(_) => {
                 unreachable!("Spidergon switches cannot clone (§2.2)")
@@ -463,8 +478,13 @@ impl SpidergonNetwork {
             // message ledger still balances and drain loops terminate.
             let meta = *self.packets.meta(flit.packet);
             self.metrics.record_flit_drop(meta.class);
-            if t.req.is_header {
-                let lost = chain_receivers(&meta);
+            // Dropped ACKs are pure control loss: the data source's timeout
+            // recovers them, and no receiver accounting is owed. Data drops
+            // write receivers off here — unless recovery is on, in which
+            // case every loss is deferred to the retransmit window and the
+            // exhaust pump is the sole write-off site.
+            if t.req.is_header && meta.class != TrafficClass::Ack {
+                let lost = if self.recovery.enabled() { 0 } else { chain_receivers(&meta) };
                 self.metrics.record_lost_receivers(meta.message, lost);
                 if self.probe.trace_on() {
                     self.probe.trace(
@@ -488,53 +508,115 @@ impl SpidergonNetwork {
             if t.req.is_tail {
                 self.eject_owner[node] = None;
             }
-            // The single arbitrated ejection port is the delivery site: it
-            // streams one packet at a time (eject_owner pins it).
-            self.metrics.record_flit_delivery(
-                now,
-                NodeId::new(node),
-                node,
-                &flit,
-                self.packets.meta(flit.packet),
-            );
-            if t.req.is_tail {
-                let meta = *self.packets.meta(flit.packet);
-                self.probe.trace(
-                    FlitEventKind::Deliver,
-                    now,
-                    meta.message.0,
-                    meta.class,
-                    node as u32,
-                    0,
-                );
-                // Broadcast-by-unicast: the tail of a chain packet triggers
-                // the replication logic, which rewrites the header and
-                // re-injects through the single local port one cycle later
-                // (§2.2). The continuations are fresh packets, interned now
-                // and serialised at their due cycle.
-                if meta.class.is_chain() {
-                    for seed in chain_continuations(self.topo.ring(), NodeId::new(node), &meta) {
+            let meta = *self.packets.meta(flit.packet);
+            if meta.class == TrafficClass::Ack {
+                // ACK absorbed at the data source: a control packet, never a
+                // tracked delivery (the data message may already be completed
+                // and its slot recycled). First ack per receiver closes its
+                // pending bit and samples the round trip; duplicates drain.
+                let fresh = self.recovery.on_ack(meta.message, meta.src, now);
+                if let Some(created_at) = fresh {
+                    self.metrics.record_ack_delivery(now, created_at);
+                }
+                if self.probe.trace_on() {
+                    self.probe.trace(
+                        FlitEventKind::Ack,
+                        now,
+                        meta.message.0,
+                        meta.class,
+                        meta.src.index() as u32,
+                        fresh.is_some() as u32,
+                    );
+                }
+                if t.req.is_tail {
+                    self.packets.release(flit.packet);
+                }
+            } else {
+                let mut dup = false;
+                if self.recovery.enabled() {
+                    if t.req.is_header {
+                        // Commit-time dup decision (gather is read-only
+                        // arbitration); the verdict rides the cached plan so
+                        // the worm's body and tail agree with its header.
+                        match self.recovery.on_data_header(meta.message, NodeId::new(node)) {
+                            DataDelivery::Fresh { recovered } => {
+                                if recovered {
+                                    self.metrics.note_recovered_receiver();
+                                }
+                            }
+                            DataDelivery::Dup => {
+                                dup = true;
+                                if let Src::Net { port, vc } = t.req.src {
+                                    let lane = (node * 3 + port) * vcs + vc;
+                                    if let Some(plan) = self.in_route[lane].as_mut() {
+                                        plan.dup = true;
+                                    }
+                                }
+                            }
+                        }
+                    } else {
+                        dup = t.req.plan.dup;
+                    }
+                }
+                if dup {
+                    self.metrics.note_dup_flit();
+                } else {
+                    // The single arbitrated ejection port is the delivery
+                    // site: it streams one packet at a time (eject_owner
+                    // pins it).
+                    self.metrics.record_flit_delivery(now, NodeId::new(node), node, &flit, &meta);
+                }
+                if t.req.is_tail {
+                    if !dup {
                         self.probe.trace(
-                            FlitEventKind::Clone,
+                            FlitEventKind::Deliver,
                             now,
                             meta.message.0,
                             meta.class,
                             node as u32,
-                            seed.dst.index() as u32,
+                            0,
                         );
-                        let pref = self.packets.insert(PacketMeta {
-                            packet: self.ids.packet(),
-                            class: seed.class,
-                            dst: seed.dst,
-                            bitstring: Bits::inline(seed.remaining as u64),
-                            dir: seed.dir,
-                            ..meta
-                        });
-                        self.pending.push(now + 1, (node, pref, meta.len));
+                        // Broadcast-by-unicast: the tail of a chain packet
+                        // triggers the replication logic, which rewrites the
+                        // header and re-injects through the single local port
+                        // one cycle later (§2.2). The continuations are fresh
+                        // packets, interned now and serialised at their due
+                        // cycle. Duplicate tails spawn nothing: their
+                        // downstream coverage is owed to the source's open
+                        // recovery window, not a second chain.
+                        if meta.class.is_chain() {
+                            for seed in
+                                chain_continuations(self.topo.ring(), NodeId::new(node), &meta)
+                            {
+                                self.probe.trace(
+                                    FlitEventKind::Clone,
+                                    now,
+                                    meta.message.0,
+                                    meta.class,
+                                    node as u32,
+                                    seed.dst.index() as u32,
+                                );
+                                let pref = self.packets.insert(PacketMeta {
+                                    packet: self.ids.packet(),
+                                    class: seed.class,
+                                    dst: seed.dst,
+                                    bitstring: Bits::inline(seed.remaining as u64),
+                                    dir: seed.dir,
+                                    ..meta
+                                });
+                                self.pending.push(now + 1, (node, pref, meta.len));
+                            }
+                        }
                     }
+                    // Every tail reception acks — fresh or duplicate: a
+                    // duplicate's re-ack may be the one that finally closes
+                    // the window when the original ack was itself dropped.
+                    if self.recovery.enabled() {
+                        self.emit_ack(node, &meta, now);
+                    }
+                    // The ejected packet has fully left the network: retire it.
+                    self.packets.release(flit.packet);
                 }
-                // The ejected packet has fully left the network: retire it.
-                self.packets.release(flit.packet);
             }
         } else {
             let o = t.req.plan.out;
@@ -601,6 +683,9 @@ impl SpidergonNetwork {
             self.inject_backlog += flits;
             self.mark_node(node);
             self.metrics.set_expected(message, expected);
+            if self.recovery.enabled() {
+                self.recovery.on_send(message, &req, now, expected);
+            }
             // Probe-only: Inject carries the expected reception count so the
             // trace stream is self-contained for conservation checks.
             self.probe.trace(
@@ -612,6 +697,83 @@ impl SpidergonNetwork {
                 expected as u32,
             );
         }
+    }
+
+    /// Enqueue the single-flit ACK a receiver emits on absorbing a data
+    /// tail: a control unicast back to the data source, injected through
+    /// the single local port — acks contend for the same one-port router
+    /// as application packets and chain re-injections.
+    fn emit_ack(&mut self, node: usize, meta: &PacketMeta, now: Cycle) {
+        let packet = self.ids.packet();
+        let pm = ack_meta(meta.message, NodeId::new(node), meta.src, packet, now);
+        let pref = self.packets.insert(pm);
+        let flits = push_packet(&mut self.inject_q[node], pref, 1);
+        self.inject_backlog += flits;
+        self.mark_node(node);
+    }
+
+    /// Drain the recovery timer heap: re-inject each due message to its
+    /// unacked receiver subset, or write off the never-served receivers of
+    /// a retry-exhausted window. Runs in step phase (b) right after the
+    /// workload polls, so retransmissions enter the same injection path as
+    /// fresh traffic in a deterministic order.
+    fn pump_recovery(&mut self, now: Cycle) {
+        let mut targets = std::mem::take(&mut self.retry_targets);
+        while let Some(action) = self.recovery.pop_action(now, &mut targets) {
+            match action {
+                RecoveryAction::Retry { message, src, class, len, attempt: _ } => {
+                    // Re-expand under the *original* message id (no
+                    // create_message / set_expected: the ledger entry is the
+                    // original's) narrowed to the unacked subset; collective
+                    // classes retransmit as a multicast over that subset,
+                    // which Spidergon expands as per-target unicasts.
+                    let req = if class == TrafficClass::Unicast {
+                        MessageRequest::unicast(src, targets[0], len as usize)
+                    } else {
+                        MessageRequest::multicast(src, targets.clone(), len as usize)
+                    };
+                    let node = src.index();
+                    let (_, flits) = spidergon_expand_into(
+                        self.topo.ring(),
+                        &req,
+                        message,
+                        &mut self.ids,
+                        now,
+                        &mut self.packets,
+                        &mut self.inject_q[node],
+                    );
+                    self.inject_backlog += flits;
+                    self.mark_node(node);
+                    self.metrics.note_retransmission();
+                    if self.probe.trace_on() {
+                        self.probe.trace(
+                            FlitEventKind::Retry,
+                            now,
+                            message.0,
+                            class,
+                            node as u32,
+                            targets.len() as u32,
+                        );
+                    }
+                }
+                RecoveryAction::Exhaust { message, src, class, lost } => {
+                    if lost > 0 {
+                        self.metrics.record_lost_receivers(message, lost);
+                    }
+                    if self.probe.trace_on() {
+                        self.probe.trace(
+                            FlitEventKind::Expire,
+                            now,
+                            message.0,
+                            class,
+                            src.index() as u32,
+                            lost as u32,
+                        );
+                    }
+                }
+            }
+        }
+        self.retry_targets = targets;
     }
 
     /// Advance one cycle (monomorphized; see `QuarcNetwork::step_cycle`).
@@ -686,6 +848,11 @@ impl SpidergonNetwork {
             }
         }
         self.poll_buf = reqs;
+        // Recovery deadlines: retransmissions and write-offs join phase (b)
+        // alongside chain re-injections and fresh traffic.
+        if self.recovery.enabled() {
+            self.pump_recovery(now);
+        }
         if let Some(m) = mark.as_mut() {
             self.probe.phase_lap(Phase::Polls, m, polled);
         }
@@ -825,11 +992,19 @@ impl NocSim for SpidergonNetwork {
 
     fn quiesced(&self) -> bool {
         // Counters only — O(1) per call (drain loops poll this every cycle).
+        // `pending() > 0` keeps drains alive while a backoff timer holds the
+        // fabric idle: an empty network whose recovery window is not done is
+        // not quiet — a deadline will still fire.
         self.metrics.in_flight() == 0
             && self.inject_backlog == 0
             && self.pending.is_empty()
             && self.link_occupancy == 0
             && self.buffered_flits == 0
+            && self.recovery.pending() == 0
+    }
+
+    fn recovery_pending(&self) -> u64 {
+        self.recovery.pending()
     }
 
     fn stall_diagnostics(&self) -> StallDiagnostics {
@@ -853,6 +1028,7 @@ impl NocSim for SpidergonNetwork {
             on_links: self.link_occupancy,
             in_flight: self.metrics.in_flight() as u64,
             live_packets: self.packets.live() as u64,
+            fault: self.cfg.fault.to_string(),
             busiest_routers: busiest,
         }
     }

@@ -7,7 +7,7 @@
 //! must keep `run_point` a pure function of its arguments.
 
 use crate::driver::{
-    run_mono_outcome, AnyNet, NocSim, RunOutcome, RunResult, RunSpec, StallDiagnostics,
+    run_mono_outcome_deadline, AnyNet, NocSim, RunOutcome, RunResult, RunSpec, StallDiagnostics,
 };
 use crate::mesh_net::MeshNetwork;
 use crate::quarc_net::QuarcNetwork;
@@ -140,6 +140,16 @@ pub enum PointRunOutcome {
         /// Summary of whatever completed before the wedge.
         partial: PointOutcome,
     },
+    /// The cooperative wall-clock deadline passed to
+    /// [`run_point_outcome_deadline`] expired mid-run. Campaign executors
+    /// quarantine this as an over-budget failure; the partial outcome must
+    /// never be cached.
+    DeadlineExceeded {
+        /// Cycle at which the deadline was noticed.
+        cycle: Cycle,
+        /// Summary of whatever completed before the cutoff.
+        partial: PointOutcome,
+    },
 }
 
 impl PointRunOutcome {
@@ -153,6 +163,7 @@ impl PointRunOutcome {
         match self {
             PointRunOutcome::Finished(o) => o,
             PointRunOutcome::Stalled { partial, .. } => partial,
+            PointRunOutcome::DeadlineExceeded { partial, .. } => partial,
         }
     }
 
@@ -161,6 +172,7 @@ impl PointRunOutcome {
         match self {
             PointRunOutcome::Finished(o) => o,
             PointRunOutcome::Stalled { partial, .. } => partial,
+            PointRunOutcome::DeadlineExceeded { partial, .. } => partial,
         }
     }
 }
@@ -189,6 +201,17 @@ pub fn run_point_outcome(
     point: &PointSpec,
     run_spec: &RunSpec,
 ) -> Result<PointRunOutcome, PointError> {
+    run_point_outcome_deadline(point, run_spec, None)
+}
+
+/// [`run_point_outcome`] with a cooperative wall-clock deadline, checked at
+/// the stall watchdog's cadence — how a campaign's `--point-timeout` budget
+/// reaches inside a replication instead of waiting for a batch boundary.
+pub fn run_point_outcome_deadline(
+    point: &PointSpec,
+    run_spec: &RunSpec,
+    deadline: Option<std::time::Instant>,
+) -> Result<PointRunOutcome, PointError> {
     point.noc.validate()?;
     let mut net = build_any(point.noc);
     // Grid topologies round n up to a near-square; ask the network, not the
@@ -200,7 +223,7 @@ pub fn run_point_outcome(
     );
     // Fully monomorphized inner loop: enum dispatch on the network, static
     // dispatch into the Synthetic workload.
-    let outcome = run_mono_outcome(&mut net, &mut wl, run_spec);
+    let outcome = run_mono_outcome_deadline(&mut net, &mut wl, run_spec, deadline);
     let m = net.metrics();
     let wrap = |result: RunResult| PointOutcome {
         result,
@@ -211,6 +234,9 @@ pub fn run_point_outcome(
         RunOutcome::Finished(result) => PointRunOutcome::Finished(wrap(result)),
         RunOutcome::Stalled { cycle, diagnostics, partial } => {
             PointRunOutcome::Stalled { cycle, diagnostics, partial: wrap(partial) }
+        }
+        RunOutcome::DeadlineExceeded { cycle, partial } => {
+            PointRunOutcome::DeadlineExceeded { cycle, partial: wrap(partial) }
         }
     })
 }

@@ -143,7 +143,11 @@ fn probe_ledger_closes_under_lossy_and_dead_links() {
                 drop_events += 1;
                 ledger.entry(ev.message).or_insert((0, 0, 0)).2 += ev.arg as u64;
             }
-            FlitEventKind::Hop | FlitEventKind::Clone => {}
+            FlitEventKind::Hop
+            | FlitEventKind::Clone
+            | FlitEventKind::Ack
+            | FlitEventKind::Retry
+            | FlitEventKind::Expire => {}
         }
     }
     assert!(drop_events > 0, "the lossy plan never dropped a header");

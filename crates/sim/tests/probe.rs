@@ -97,6 +97,9 @@ fn check_conservation(net: &mut dyn NocSim, records: Vec<TraceRecord>, label: &s
             FlitEventKind::Drop => {
                 panic!("{label}: fault drop without a fault plan (message {})", ev.message)
             }
+            FlitEventKind::Ack | FlitEventKind::Retry | FlitEventKind::Expire => {
+                panic!("{label}: recovery event without a recovery policy (message {})", ev.message)
+            }
         }
     }
     for (msg, (injects, expected, delivered)) in &ledger {
